@@ -1,0 +1,140 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   (a) item bias on/off in the predictor f_ui = U_u·V_i (+ b_i),
+//   (b) latent dimensionality d (paper fixes d = 20),
+//   (c) DSS geometric tail fraction (oversampling aggressiveness),
+//   (d) DSS rank-list refresh interval (staleness/cost tradeoff).
+// Each ablation trains CLAPF-MAP on one dataset and reports test metrics
+// plus training time.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "clapf/util/logging.h"
+#include "clapf/core/clapf_trainer.h"
+#include "clapf/util/stopwatch.h"
+#include "clapf/util/string_util.h"
+#include "clapf/util/table_printer.h"
+
+namespace {
+
+using namespace clapf;
+using namespace clapf::bench;
+
+struct Context {
+  TrainTestSplit split;
+  int64_t iterations;
+};
+
+EvalSummary TrainAndEval(const Context& ctx, const ClapfOptions& options,
+                         double* seconds) {
+  ClapfTrainer trainer(options);
+  Stopwatch watch;
+  CLAPF_CHECK_OK(trainer.Train(ctx.split.train));
+  *seconds = watch.ElapsedSeconds();
+  Evaluator evaluator(&ctx.split.train, &ctx.split.test);
+  return evaluator.Evaluate(*trainer.model(), {5});
+}
+
+ClapfOptions BaseOptions(const Context& ctx) {
+  ClapfOptions options;
+  options.variant = ClapfVariant::kMap;
+  options.lambda = 0.4;
+  options.sgd.num_factors = 20;
+  options.sgd.learning_rate = 0.05;
+  options.sgd.iterations = ctx.iterations;
+  options.sgd.seed = 1;
+  return options;
+}
+
+void AddRow(TablePrinter& table, const std::string& label,
+            const EvalSummary& s, double seconds) {
+  table.AddRow({label, FormatDouble(s.AtK(5).precision, 3),
+                FormatDouble(s.AtK(5).ndcg, 3), FormatDouble(s.map, 3),
+                FormatDouble(s.mrr, 3), FormatDouble(s.auc, 3),
+                FormatDuration(seconds)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentSettings settings;
+  if (Status s = ParseExperimentFlags(argc, argv, &settings); !s.ok()) {
+    if (s.code() == StatusCode::kFailedPrecondition) return 0;
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const DatasetPreset preset =
+      settings.datasets.empty() ? DatasetPreset::kMl100k
+                                : settings.datasets.front();
+
+  Dataset data = MakeScaledDataset(preset, settings.scale, 0);
+  Context ctx{SplitRandom(data, 0.5, 5000), 0};
+  ctx.iterations = settings.iterations > 0 ? settings.iterations
+                                           : AutoIterations(ctx.split.train);
+  std::printf("=== Design ablations on %s (%s) ===\n",
+              PresetName(preset).c_str(), data.Summary().c_str());
+
+  const std::vector<std::string> header{"Config", "Prec@5", "NDCG@5",
+                                        "MAP",    "MRR",    "AUC", "time"};
+  double seconds = 0.0;
+
+  {
+    TablePrinter table;
+    table.SetHeader(header);
+    for (bool bias : {true, false}) {
+      ClapfOptions options = BaseOptions(ctx);
+      options.sgd.use_item_bias = bias;
+      EvalSummary s = TrainAndEval(ctx, options, &seconds);
+      AddRow(table, bias ? "item bias ON (paper)" : "item bias OFF", s,
+             seconds);
+    }
+    std::printf("\n(a) item bias in the predictor:\n");
+    table.Print(std::cout);
+  }
+
+  {
+    TablePrinter table;
+    table.SetHeader(header);
+    for (int32_t d : {5, 10, 20, 40, 80}) {
+      ClapfOptions options = BaseOptions(ctx);
+      options.sgd.num_factors = d;
+      EvalSummary s = TrainAndEval(ctx, options, &seconds);
+      AddRow(table, "d = " + std::to_string(d) + (d == 20 ? " (paper)" : ""),
+             s, seconds);
+    }
+    std::printf("\n(b) latent dimensionality:\n");
+    table.Print(std::cout);
+  }
+
+  {
+    TablePrinter table;
+    table.SetHeader(header);
+    for (double tail : {0.01, 0.05, 0.2, 0.5}) {
+      ClapfOptions options = BaseOptions(ctx);
+      options.sampler = ClapfSamplerKind::kDss;
+      options.dss_tail_fraction = tail;
+      EvalSummary s = TrainAndEval(ctx, options, &seconds);
+      AddRow(table, "DSS tail fraction " + FormatDouble(tail, 2), s, seconds);
+    }
+    std::printf("\n(c) DSS oversampling aggressiveness:\n");
+    table.Print(std::cout);
+  }
+
+  {
+    TablePrinter table;
+    table.SetHeader(header);
+    for (int64_t refresh : {int64_t{500}, int64_t{5000}, int64_t{50000}}) {
+      ClapfOptions options = BaseOptions(ctx);
+      options.sampler = ClapfSamplerKind::kDss;
+      options.dss_refresh_interval = refresh;
+      EvalSummary s = TrainAndEval(ctx, options, &seconds);
+      AddRow(table,
+             "DSS refresh every " + std::to_string(refresh) + " draws", s,
+             seconds);
+    }
+    std::printf("\n(d) DSS rank-list refresh interval:\n");
+    table.Print(std::cout);
+  }
+  return 0;
+}

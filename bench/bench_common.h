@@ -1,0 +1,109 @@
+#ifndef CLAPF_BENCH_BENCH_COMMON_H_
+#define CLAPF_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clapf/core/trainer_factory.h"
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "clapf/eval/protocol.h"
+#include "clapf/util/csv.h"
+#include "clapf/util/flags.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+namespace bench {
+
+/// Common knobs for the table/figure reproduction binaries.
+struct ExperimentSettings {
+  /// Multiplies users and interactions of every preset (0 < scale <= 4).
+  double scale = 1.0;
+  /// Independent experiment copies (the paper uses 5).
+  int64_t repeats = 2;
+  /// SGD iterations for MF methods; 0 = auto from the training size.
+  int64_t iterations = 0;
+  /// Datasets to run; empty = all six presets.
+  std::vector<DatasetPreset> datasets;
+  /// Methods to run; empty = the binary's default set.
+  std::vector<MethodKind> methods;
+  /// Optional CSV dump of every row printed.
+  std::string output_csv;
+  /// Tune CLAPF's λ on a held-out validation split per run (the paper's
+  /// §6.3 protocol: best NDCG@5 on validation). When false, the paper's
+  /// reported λ values are used directly.
+  bool tune_lambda = true;
+};
+
+/// Registers --scale/--repeats/--iterations/--datasets/--methods/--csv and
+/// parses argv. `datasets`/`methods` take comma-separated names. On --help
+/// prints usage and returns FailedPrecondition (caller exits 0).
+Status ParseExperimentFlags(int argc, char** argv,
+                            ExperimentSettings* settings);
+
+/// The tuned tradeoff λ reported in the paper's Table 2 for each dataset and
+/// CLAPF instantiation (the DSS "+" variants occasionally differ).
+double PaperLambda(DatasetPreset preset, MethodKind method);
+
+/// Auto iteration budget: ~30 sampled triples per observed training pair,
+/// clamped to [60k, 500k] — comparable to the paper's T ∈ {1e3, 1e4, 1e5}.
+int64_t AutoIterations(const Dataset& train);
+
+/// Builds the per-method configuration used across all bench binaries:
+/// d = 20 factors, γ = 0.05, regularization 0.01, paper-tuned λ, and scaled
+/// epoch counts for the epoch-based methods.
+MethodConfig MakeMethodConfig(DatasetPreset preset, MethodKind method,
+                              const Dataset& train, uint64_t seed,
+                              int64_t iterations_override);
+
+/// Generates experiment copy `rep` of `preset` at `scale`.
+Dataset MakeScaledDataset(DatasetPreset preset, double scale, uint64_t rep);
+
+/// One trained-and-evaluated run.
+struct RunResult {
+  EvalSummary summary;
+  double train_seconds = 0.0;
+  /// λ actually used (tuned or paper value); < 0 for non-CLAPF methods.
+  double lambda = -1.0;
+};
+
+/// Selects the CLAPF tradeoff λ for `method` by NDCG@5 on a one-pair-per-user
+/// validation split of `train` (paper §6.3). λ = 0 (exact BPR) is in the
+/// grid, so tuned CLAPF never falls below BPR except by validation noise.
+double TuneLambdaOnValidation(MethodKind method, DatasetPreset preset,
+                              const Dataset& train, uint64_t seed,
+                              int64_t iterations_override);
+
+/// Trains `method` on the split and evaluates at `cutoffs`. When
+/// `tune_lambda` is set and the method is a CLAPF variant, λ is first tuned
+/// on validation; otherwise the paper's Table 2 value is used.
+RunResult RunOnce(MethodKind method, DatasetPreset preset,
+                  const TrainTestSplit& split, const std::vector<int>& cutoffs,
+                  uint64_t seed, int64_t iterations_override,
+                  bool tune_lambda = false);
+
+/// True for the four CLAPF rows of Table 2.
+bool IsClapfMethod(MethodKind method);
+
+/// Streams result rows to a CSV file when a path was given; silently inert
+/// otherwise. The header is written on the first row.
+class CsvSink {
+ public:
+  explicit CsvSink(const std::string& path) : path_(path) {}
+
+  /// Writes `header` once, then the row.
+  void Write(const std::vector<std::string>& header,
+             const std::vector<std::string>& row);
+
+ private:
+  std::string path_;
+  bool opened_ = false;
+  CsvWriter writer_;
+};
+
+}  // namespace bench
+}  // namespace clapf
+
+#endif  // CLAPF_BENCH_BENCH_COMMON_H_

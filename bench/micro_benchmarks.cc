@@ -1,0 +1,169 @@
+// Google-benchmark microbenchmarks for the per-operation costs the paper's
+// complexity analysis (§4.3) talks about: sampler draws, single SGD steps,
+// full-item scoring, and top-k selection.
+
+#include <benchmark/benchmark.h>
+
+#include "clapf/util/logging.h"
+
+#include "clapf/core/clapf_trainer.h"
+#include "clapf/core/smoothing.h"
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/sampling/dss_sampler.h"
+#include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/linalg.h"
+#include "clapf/util/math.h"
+#include "clapf/util/top_k.h"
+
+namespace clapf {
+namespace {
+
+Dataset BenchData(int32_t users, int32_t items, int64_t pairs) {
+  SyntheticConfig cfg;
+  cfg.num_users = users;
+  cfg.num_items = items;
+  cfg.num_interactions = pairs;
+  cfg.seed = 99;
+  return *GenerateSynthetic(cfg);
+}
+
+void BM_Sigmoid(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x = Sigmoid(x) - 0.4);
+  }
+}
+BENCHMARK(BM_Sigmoid);
+
+void BM_LogSigmoid(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x = LogSigmoid(x) * 0.01);
+  }
+}
+BENCHMARK(BM_LogSigmoid);
+
+void BM_UniformTripleSample(benchmark::State& state) {
+  static Dataset data = BenchData(500, 2000, 25000);
+  UniformTripleSampler sampler(&data, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample());
+  }
+}
+BENCHMARK(BM_UniformTripleSample);
+
+void BM_DssTripleSample(benchmark::State& state) {
+  static Dataset data = BenchData(500, 2000, 25000);
+  static FactorModel model = [] {
+    FactorModel m(500, 2000, 20);
+    Rng rng(7);
+    m.InitGaussian(rng, 0.1);
+    return m;
+  }();
+  DssOptions options;
+  DssSampler sampler(&data, &model, options, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample());
+  }
+}
+BENCHMARK(BM_DssTripleSample);
+
+// One CLAPF SGD iteration end-to-end (sample + gradient), the unit of the
+// O(T·d) analysis, as a function of latent dimension d.
+void BM_ClapfSgdIteration(benchmark::State& state) {
+  const int32_t d = static_cast<int32_t>(state.range(0));
+  static Dataset data = BenchData(500, 2000, 25000);
+  TrainTestSplit split = SplitRandom(data, 0.5, 2);
+  ClapfOptions options;
+  options.sgd.num_factors = d;
+  options.sgd.iterations = 1;  // warm start the model via a 1-step train
+  ClapfTrainer trainer(options);
+  CLAPF_CHECK_OK(trainer.Train(split.train));
+
+  // Measure steady-state steps by re-training in chunks.
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClapfOptions opts = options;
+    opts.sgd.iterations = 1000;
+    ClapfTrainer chunk(opts);
+    state.ResumeTiming();
+    CLAPF_CHECK_OK(chunk.Train(split.train));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ClapfSgdIteration)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_ScoreAllItems(benchmark::State& state) {
+  const int32_t m = static_cast<int32_t>(state.range(0));
+  FactorModel model(10, m, 20);
+  Rng rng(3);
+  model.InitGaussian(rng, 0.1);
+  std::vector<double> scores;
+  for (auto _ : state) {
+    model.ScoreAllItems(0, &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ScoreAllItems)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_TopKSelection(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> scores(m);
+  for (auto& s : scores) s = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectTopK(scores, {}, 20));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m));
+}
+BENCHMARK(BM_TopKSelection)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<double> base(static_cast<size_t>(d) * d);
+  for (auto& x : base) x = rng.NextGaussian();
+  std::vector<double> a(static_cast<size_t>(d) * d);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        double s = i == j ? static_cast<double>(d) : 0.0;
+        for (int k = 0; k < d; ++k) {
+          s += base[static_cast<size_t>(k) * d + i] *
+               base[static_cast<size_t>(k) * d + j];
+        }
+        a[static_cast<size_t>(i) * d + j] = s;
+      }
+    }
+    std::vector<double> b(static_cast<size_t>(d), 1.0);
+    state.ResumeTiming();
+    CLAPF_CHECK_OK(CholeskySolveInPlace(a, b, d));
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_SmoothedApPerUser(benchmark::State& state) {
+  static Dataset data = BenchData(100, 500, 5000);
+  static FactorModel model = [] {
+    FactorModel m(100, 500, 20);
+    Rng rng(9);
+    m.InitGaussian(rng, 0.1);
+    return m;
+  }();
+  UserId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SmoothedAveragePrecision(model, data, u));
+    u = (u + 1) % 100;
+  }
+}
+BENCHMARK(BM_SmoothedApPerUser);
+
+}  // namespace
+}  // namespace clapf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Tag recommendation scenario (the paper's UserTag dataset): suggest tags a
+// user is likely to adopt. Tags have multiple correct answers per user, the
+// setting where MAP- and MRR-oriented objectives differ most — this example
+// trains both CLAPF instantiations and contrasts them across cutoffs.
+
+#include <cstdio>
+
+#include "clapf/clapf.h"
+#include "clapf/util/flags.h"
+#include "clapf/util/string_util.h"
+#include "clapf/util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace clapf;
+
+  int64_t iterations = 120000;
+  double lambda_map = 0.3;  // paper's tuned λ for CLAPF-MAP on UserTag
+  double lambda_mrr = 0.2;  // paper's tuned λ for CLAPF-MRR on UserTag
+  FlagParser flags;
+  flags.AddInt("iterations", &iterations, "SGD iterations per method");
+  flags.AddDouble("lambda_map", &lambda_map, "tradeoff for CLAPF-MAP");
+  flags.AddDouble("lambda_mrr", &lambda_mrr, "tradeoff for CLAPF-MRR");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    return s.code() == StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  // UserTag-shaped synthetic data, scaled for an example run.
+  SyntheticConfig config = PresetConfig(DatasetPreset::kUserTag);
+  config.num_users = 400;
+  config.num_items = 800;
+  config.num_interactions = 26000;
+  Dataset data = *GenerateSynthetic(config);
+  std::printf("user-tag dataset: %s\n", data.Summary().c_str());
+
+  TrainTestSplit split = SplitRandom(data, 0.5, 11);
+  Evaluator evaluator(&split.train, &split.test);
+
+  auto train_variant = [&](ClapfVariant variant, double lambda) {
+    ClapfOptions options;
+    options.variant = variant;
+    options.lambda = lambda;
+    options.sgd.iterations = iterations;
+    options.sgd.seed = 5;
+    auto trainer = std::make_unique<ClapfTrainer>(options);
+    CLAPF_CHECK_OK(trainer->Train(split.train));
+    return trainer;
+  };
+
+  auto map_model = train_variant(ClapfVariant::kMap, lambda_map);
+  auto mrr_model = train_variant(ClapfVariant::kMrr, lambda_mrr);
+
+  EvalSummary map_summary =
+      evaluator.Evaluate(*map_model->model(), PaperCutoffs());
+  EvalSummary mrr_summary =
+      evaluator.Evaluate(*mrr_model->model(), PaperCutoffs());
+
+  TablePrinter table;
+  table.SetHeader({"k", "CLAPF-MAP Recall@k", "CLAPF-MRR Recall@k",
+                   "CLAPF-MAP NDCG@k", "CLAPF-MRR NDCG@k"});
+  for (int k : PaperCutoffs()) {
+    table.AddRow({std::to_string(k),
+                  FormatDouble(map_summary.AtK(k).recall, 3),
+                  FormatDouble(mrr_summary.AtK(k).recall, 3),
+                  FormatDouble(map_summary.AtK(k).ndcg, 3),
+                  FormatDouble(mrr_summary.AtK(k).ndcg, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "headline: CLAPF-MAP MAP=%.3f MRR=%.3f | CLAPF-MRR MAP=%.3f "
+      "MRR=%.3f\n",
+      map_summary.map, map_summary.mrr, mrr_summary.map, mrr_summary.mrr);
+
+  // Recommend tags for a handful of users with the MAP model.
+  for (UserId u = 0; u < 3; ++u) {
+    auto top = map_model->model()->TopKForUser(u, 5, &split.train);
+    std::printf("user %d suggested tags:", u);
+    for (const ScoredItem& tag : top) std::printf(" #%d", tag.item);
+    std::printf("\n");
+  }
+  return 0;
+}

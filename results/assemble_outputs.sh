@@ -1,0 +1,33 @@
+#!/bin/bash
+# Assembles the authoritative bench_output.txt in `for b in build/bench/*`
+# (alphabetical) order from the individually captured runs.
+cd /root/repo
+{
+  echo "===== build/bench/ablation_design ====="
+  cat results/ablation.txt
+  echo
+  echo "===== build/bench/extensions_bench ====="
+  cat results/extensions.txt
+  echo
+  echo "===== build/bench/fig2_topk ====="
+  cat results/fig2.txt
+  echo
+  echo "===== build/bench/fig3_lambda ====="
+  cat results/fig3.txt
+  echo
+  echo "===== build/bench/fig4_convergence ====="
+  cat results/fig4.txt
+  echo
+  echo "===== build/bench/micro_benchmarks ====="
+  cat results/micro.txt
+  echo
+  echo "===== build/bench/protocol_compare ====="
+  cat results/protocol_compare.txt
+  echo
+  echo "===== build/bench/table1_datasets ====="
+  cat results/table1.txt
+  echo
+  echo "===== build/bench/table2_main ====="
+  cat results/table2.txt
+} > bench_output.txt
+wc -l bench_output.txt

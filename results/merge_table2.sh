@@ -1,0 +1,11 @@
+#!/bin/bash
+cd /root/repo/results
+{
+  sed '/^--- ML1M-sim ---$/,$d' table2_part1.txt
+  echo "(ML100K-sim above ran with the exhaustive 12-point tuning grid;"
+  echo " the datasets below use the equivalent two-stage grid — see"
+  echo " bench/bench_common.cc.)"
+  echo
+  sed -n '/^--- ML1M-sim ---$/,$p' table2_part2.txt
+} > table2.txt
+wc -l table2.txt

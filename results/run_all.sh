@@ -1,0 +1,10 @@
+#!/bin/bash
+cd /root/repo
+./build/bench/table2_main --repeats 2 --csv results/table2.csv > results/table2.txt 2>&1
+./build/bench/table1_datasets --csv results/table1.csv > results/table1.txt 2>&1
+./build/bench/fig3_lambda --csv results/fig3.csv > results/fig3.txt 2>&1
+./build/bench/fig4_convergence --csv results/fig4.csv > results/fig4.txt 2>&1
+./build/bench/ablation_design > results/ablation.txt 2>&1
+./build/bench/micro_benchmarks --benchmark_min_time=0.1s > results/micro.txt 2>&1
+./build/bench/fig2_topk --csv results/fig2.csv > results/fig2.txt 2>&1
+echo DONE > results/all_done

@@ -1,0 +1,100 @@
+#include "clapf/baselines/bpr.h"
+
+#include "clapf/sampling/aobpr_sampler.h"
+#include "clapf/sampling/dns_sampler.h"
+#include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/math.h"
+
+namespace clapf {
+
+BprTrainer::BprTrainer(const BprOptions& options) : options_(options) {}
+
+std::string BprTrainer::name() const {
+  switch (options_.sampler) {
+    case PairSamplerKind::kUniform:
+      return "BPR";
+    case PairSamplerKind::kDns:
+      return "BPR-DNS";
+    case PairSamplerKind::kAobpr:
+      return "AoBPR";
+  }
+  return "BPR";
+}
+
+std::unique_ptr<PairSampler> BprTrainer::MakeSampler(
+    const Dataset& train) const {
+  const uint64_t seed = options_.sgd.seed ^ 0x5eedu;
+  switch (options_.sampler) {
+    case PairSamplerKind::kUniform:
+      return std::make_unique<UniformPairSampler>(&train, seed);
+    case PairSamplerKind::kDns:
+      return std::make_unique<DnsPairSampler>(&train, model_.get(),
+                                              options_.dns_candidates, seed);
+    case PairSamplerKind::kAobpr: {
+      AobprPairSampler::Options opts;
+      opts.tail_fraction = options_.aobpr_tail_fraction;
+      return std::make_unique<AobprPairSampler>(&train, model_.get(), opts,
+                                                seed);
+    }
+  }
+  return nullptr;
+}
+
+Status BprTrainer::Train(const Dataset& train) {
+  if (options_.sgd.num_factors <= 0) {
+    return Status::InvalidArgument("num_factors must be positive");
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+  if (TrainableUsers(train).empty()) {
+    return Status::FailedPrecondition(
+        "no user has both observed and unobserved items");
+  }
+
+  Rng init_rng(options_.sgd.seed);
+  model_ = std::make_unique<FactorModel>(
+      train.num_users(), train.num_items(), options_.sgd.num_factors,
+      options_.sgd.use_item_bias);
+  model_->InitGaussian(init_rng, options_.sgd.init_stddev);
+
+  std::unique_ptr<PairSampler> sampler = MakeSampler(train);
+
+  const double lr0 = options_.sgd.learning_rate;
+  const double lr1 = lr0 * options_.sgd.final_learning_rate_fraction;
+  const double total = static_cast<double>(options_.sgd.iterations);
+  const double reg_u = options_.sgd.reg_user;
+  const double reg_v = options_.sgd.reg_item;
+  const double reg_b = options_.sgd.reg_bias;
+  const int32_t d = options_.sgd.num_factors;
+  const bool bias = options_.sgd.use_item_bias;
+
+  for (int64_t it = 1; it <= options_.sgd.iterations; ++it) {
+    const double lr =
+        lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total);
+    const PairSample p = sampler->Sample();
+    const double margin = model_->Score(p.u, p.i) - model_->Score(p.u, p.j);
+    const double g = Sigmoid(-margin);
+
+    auto uu = model_->UserFactors(p.u);
+    auto vi = model_->ItemFactors(p.i);
+    auto vj = model_->ItemFactors(p.j);
+    for (int32_t f = 0; f < d; ++f) {
+      const double u_old = uu[f];
+      uu[f] += lr * (g * (vi[f] - vj[f]) - reg_u * uu[f]);
+      vi[f] += lr * (g * u_old - reg_v * vi[f]);
+      vj[f] += lr * (-g * u_old - reg_v * vj[f]);
+    }
+    if (bias) {
+      double& bi = model_->ItemBias(p.i);
+      double& bj = model_->ItemBias(p.j);
+      bi += lr * (g - reg_b * bi);
+      bj += lr * (-g - reg_b * bj);
+    }
+    MaybeProbe(it);
+  }
+  return Status::OK();
+}
+
+}  // namespace clapf

@@ -1,0 +1,45 @@
+#ifndef CLAPF_BASELINES_BPR_H_
+#define CLAPF_BASELINES_BPR_H_
+
+#include <memory>
+#include <string>
+
+#include "clapf/core/trainer.h"
+#include "clapf/sampling/sampler.h"
+
+namespace clapf {
+
+/// Negative sampler choices for BPR.
+enum class PairSamplerKind { kUniform, kDns, kAobpr };
+
+struct BprOptions {
+  SgdOptions sgd;
+  PairSamplerKind sampler = PairSamplerKind::kUniform;
+  /// Candidate pool size for DNS.
+  int32_t dns_candidates = 5;
+  /// Geometric head mass for AoBPR.
+  double aobpr_tail_fraction = 0.2;
+};
+
+/// Bayesian Personalized Ranking (Rendle et al., UAI 2009; paper Eq. 3):
+/// SGD on pairs (u, i, j), ascending ln σ(f_ui − f_uj) with L2
+/// regularization. The seminal pairwise baseline; CLAPF with λ = 0 recovers
+/// this objective.
+class BprTrainer : public FactorModelTrainer {
+ public:
+  explicit BprTrainer(const BprOptions& options);
+
+  Status Train(const Dataset& train) override;
+  std::string name() const override;
+
+  const BprOptions& options() const { return options_; }
+
+ private:
+  std::unique_ptr<PairSampler> MakeSampler(const Dataset& train) const;
+
+  BprOptions options_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_BPR_H_

@@ -1,0 +1,92 @@
+#include "clapf/baselines/climf.h"
+
+#include <vector>
+
+#include "clapf/util/logging.h"
+#include "clapf/util/math.h"
+
+namespace clapf {
+
+ClimfTrainer::ClimfTrainer(const ClimfOptions& options) : options_(options) {}
+
+Status ClimfTrainer::Train(const Dataset& train) {
+  if (options_.epochs < 0) {
+    return Status::InvalidArgument("epochs must be >= 0");
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+
+  Rng init_rng(options_.sgd.seed);
+  model_ = std::make_unique<FactorModel>(
+      train.num_users(), train.num_items(), options_.sgd.num_factors,
+      options_.sgd.use_item_bias);
+  model_->InitGaussian(init_rng, options_.sgd.init_stddev);
+
+  const double lr = options_.sgd.learning_rate;
+  const double reg_u = options_.sgd.reg_user;
+  const double reg_v = options_.sgd.reg_item;
+  const double reg_b = options_.sgd.reg_bias;
+  const int32_t d = options_.sgd.num_factors;
+  const bool bias = options_.sgd.use_item_bias;
+
+  std::vector<double> scores;
+  std::vector<double> dL_df;       // per observed item: ∂L/∂f_ua
+  std::vector<double> user_grad(static_cast<size_t>(d));
+
+  int64_t iteration = 0;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (UserId u = 0; u < train.num_users(); ++u) {
+      auto items = train.ItemsOf(u);
+      if (items.empty()) continue;
+      const size_t n_u = items.size();
+
+      scores.resize(n_u);
+      for (size_t a = 0; a < n_u; ++a) scores[a] = model_->Score(u, items[a]);
+
+      // ∂L/∂f_ua = σ(−f_ua) + Σ_{k≠a} [σ(f_uk − f_ua) − σ(f_ua − f_uk)]
+      // for the Eq. (7) lower bound — the listwise coupling among all of the
+      // user's observed items. The whole per-user objective is scaled by
+      // 1/n_u (the constant the paper's own derivation drops) so the
+      // gradient magnitude does not grow with the user's activity; without
+      // it the U↔V updates compound and the factors diverge.
+      const double inv_n = 1.0 / static_cast<double>(n_u);
+      dL_df.assign(n_u, 0.0);
+      for (size_t a = 0; a < n_u; ++a) {
+        dL_df[a] = Sigmoid(-scores[a]);
+        for (size_t k = 0; k < n_u; ++k) {
+          if (k == a) continue;
+          dL_df[a] += Sigmoid(scores[k] - scores[a]) -
+                      Sigmoid(scores[a] - scores[k]);
+        }
+        dL_df[a] *= inv_n;
+      }
+
+      auto uu = model_->UserFactors(u);
+      std::fill(user_grad.begin(), user_grad.end(), 0.0);
+      for (size_t a = 0; a < n_u; ++a) {
+        auto va = model_->ItemFactors(items[a]);
+        for (int32_t f = 0; f < d; ++f) user_grad[f] += dL_df[a] * va[f];
+      }
+      // Item updates use the pre-update user vector.
+      for (size_t a = 0; a < n_u; ++a) {
+        auto va = model_->ItemFactors(items[a]);
+        for (int32_t f = 0; f < d; ++f) {
+          va[f] += lr * (dL_df[a] * uu[f] - reg_v * va[f]);
+        }
+        if (bias) {
+          double& ba = model_->ItemBias(items[a]);
+          ba += lr * (dL_df[a] - reg_b * ba);
+        }
+      }
+      for (int32_t f = 0; f < d; ++f) {
+        uu[f] += lr * (user_grad[f] - reg_u * uu[f]);
+      }
+
+      MaybeProbe(++iteration);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace clapf

@@ -1,0 +1,37 @@
+#ifndef CLAPF_BASELINES_CLIMF_H_
+#define CLAPF_BASELINES_CLIMF_H_
+
+#include <string>
+
+#include "clapf/core/trainer.h"
+
+namespace clapf {
+
+struct ClimfOptions {
+  SgdOptions sgd;
+  /// Number of full passes over all users. CLiMF's per-user update is
+  /// O(|I_u⁺|²·d), so its cost is measured in epochs, not sampled
+  /// iterations — exactly why the paper reports it as slow.
+  int32_t epochs = 20;
+};
+
+/// Collaborative Less-is-More Filtering (Shi et al., RecSys 2012; paper
+/// Eq. 7): maximizes the lower bound of the smoothed Mean Reciprocal Rank
+///   Σ_{i∈I⁺} ln σ(f_ui) + Σ_{i,k∈I⁺,k≠i} ln σ(f_ui − f_uk)
+/// by gradient ascent over each user's observed items. A listwise method:
+/// it never touches unobserved items during training, the limitation CLAPF
+/// is designed to remove.
+class ClimfTrainer : public FactorModelTrainer {
+ public:
+  explicit ClimfTrainer(const ClimfOptions& options);
+
+  Status Train(const Dataset& train) override;
+  std::string name() const override { return "CLiMF"; }
+
+ private:
+  ClimfOptions options_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_CLIMF_H_

@@ -1,0 +1,146 @@
+#include "clapf/baselines/deep_icf.h"
+
+#include <cmath>
+
+#include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/math.h"
+
+namespace clapf {
+
+DeepIcfTrainer::DeepIcfTrainer(const DeepIcfOptions& options)
+    : options_(options) {}
+
+Status DeepIcfTrainer::Train(const Dataset& train) {
+  if (options_.embedding_dim <= 0) {
+    return Status::InvalidArgument("embedding_dim must be positive");
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+
+  train_ = &train;
+  const int32_t e = options_.embedding_dim;
+  AdamConfig adam;
+  adam.learning_rate = options_.learning_rate;
+  history_emb_ = std::make_unique<Embedding>(train.num_items(), e, adam);
+  target_emb_ = std::make_unique<Embedding>(train.num_items(), e, adam);
+  const int32_t half = std::max(1, e / 2);
+  tower_ = std::make_unique<Mlp>(std::vector<int32_t>{e, e, half, 1},
+                                 Activation::kTanh, Activation::kIdentity,
+                                 adam);
+
+  Rng rng(options_.seed);
+  history_emb_->Init(rng, options_.init_stddev);
+  target_emb_->Init(rng, options_.init_stddev);
+  tower_->Init(rng);
+
+  std::vector<double> hist_sum(static_cast<size_t>(e));
+  std::vector<double> pooled(static_cast<size_t>(e));
+  std::vector<double> q_grad(static_cast<size_t>(e));
+  std::vector<double> p_grad(static_cast<size_t>(e));
+  int64_t iteration = 0;
+
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (UserId u = 0; u < train.num_users(); ++u) {
+      auto items = train.ItemsOf(u);
+      if (items.empty() || train.NumItemsOf(u) >= train.num_items()) continue;
+
+      for (ItemId pos : items) {
+        for (int32_t s = 0; s <= options_.negatives_per_positive; ++s) {
+          const bool positive = s == 0;
+          const ItemId i =
+              positive ? pos : SampleUnobservedUniform(train, u, rng);
+          const double y = positive ? 1.0 : 0.0;
+
+          // History excludes the target itself (leave-one-out pooling).
+          std::fill(hist_sum.begin(), hist_sum.end(), 0.0);
+          int32_t hist_count = 0;
+          for (ItemId k : items) {
+            if (k == i) continue;
+            auto pk = history_emb_->Row(k);
+            for (int32_t f = 0; f < e; ++f) {
+              hist_sum[static_cast<size_t>(f)] += pk[f];
+            }
+            ++hist_count;
+          }
+          if (hist_count == 0) continue;
+          const double norm =
+              1.0 / std::pow(static_cast<double>(hist_count),
+                             options_.pooling_alpha);
+
+          auto qi = target_emb_->Row(i);
+          for (int32_t f = 0; f < e; ++f) {
+            pooled[static_cast<size_t>(f)] =
+                norm * hist_sum[static_cast<size_t>(f)] * qi[f];
+          }
+
+          const double logit = tower_->Forward(pooled)[0];
+          const double dlogit = Sigmoid(logit) - y;
+          std::vector<double> pooled_grad =
+              tower_->BackwardAndStep(std::span<const double>(&dlogit, 1));
+
+          // dL/dq_i = pooled_grad ⊙ (norm * hist_sum).
+          for (int32_t f = 0; f < e; ++f) {
+            q_grad[static_cast<size_t>(f)] =
+                pooled_grad[static_cast<size_t>(f)] * norm *
+                hist_sum[static_cast<size_t>(f)];
+          }
+          target_emb_->ApplyGradient(i, q_grad);
+          // dL/dp_k = pooled_grad ⊙ (norm * q_i) for every history item.
+          for (int32_t f = 0; f < e; ++f) {
+            p_grad[static_cast<size_t>(f)] =
+                pooled_grad[static_cast<size_t>(f)] * norm * qi[f];
+          }
+          for (ItemId k : items) {
+            if (k == i) continue;
+            history_emb_->ApplyGradient(k, p_grad);
+          }
+        }
+      }
+      MaybeProbe(++iteration);
+    }
+  }
+  return Status::OK();
+}
+
+void DeepIcfTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
+  CLAPF_CHECK(train_ != nullptr) << "Train() must run before ScoreItems()";
+  const int32_t e = options_.embedding_dim;
+  const int32_t m = target_emb_->rows();
+  scores->assign(static_cast<size_t>(m), 0.0);
+
+  auto items = train_->ItemsOf(u);
+  // Precompute the user's full history sum once; per candidate we subtract
+  // the target's own embedding when it is part of the history.
+  std::vector<double> hist_sum(static_cast<size_t>(e), 0.0);
+  for (ItemId k : items) {
+    auto pk = history_emb_->Row(k);
+    for (int32_t f = 0; f < e; ++f) {
+      hist_sum[static_cast<size_t>(f)] += pk[f];
+    }
+  }
+  pooled_.resize(static_cast<size_t>(e));
+
+  for (ItemId i = 0; i < m; ++i) {
+    const bool in_history = train_->IsObserved(u, i);
+    const int32_t hist_count =
+        static_cast<int32_t>(items.size()) - (in_history ? 1 : 0);
+    if (hist_count <= 0) {
+      (*scores)[static_cast<size_t>(i)] = 0.0;
+      continue;
+    }
+    const double norm = 1.0 / std::pow(static_cast<double>(hist_count),
+                                       options_.pooling_alpha);
+    auto qi = target_emb_->Row(i);
+    auto pi = history_emb_->Row(i);
+    for (int32_t f = 0; f < e; ++f) {
+      double h = hist_sum[static_cast<size_t>(f)];
+      if (in_history) h -= pi[f];
+      pooled_[static_cast<size_t>(f)] = norm * h * qi[f];
+    }
+    (*scores)[static_cast<size_t>(i)] = tower_->Forward(pooled_)[0];
+  }
+}
+
+}  // namespace clapf

@@ -1,0 +1,52 @@
+#ifndef CLAPF_BASELINES_DEEP_ICF_H_
+#define CLAPF_BASELINES_DEEP_ICF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clapf/core/trainer.h"
+#include "clapf/nn/embedding.h"
+#include "clapf/nn/mlp.h"
+
+namespace clapf {
+
+struct DeepIcfOptions {
+  int32_t embedding_dim = 8;
+  /// Smoothing exponent on the history size (DeepICF's 1/|I_u|^alpha pooling).
+  double pooling_alpha = 0.5;
+  double learning_rate = 0.002;
+  int32_t epochs = 10;
+  int32_t negatives_per_positive = 4;
+  double init_stddev = 0.1;
+  uint64_t seed = 1;
+};
+
+/// Deep Item-based Collaborative Filtering (Xue et al., TOIS 2019) — the
+/// paper's pointwise neural baseline: the prediction for (u, i) pools the
+/// element-wise interactions between the target item's embedding and the
+/// embeddings of the user's historical items,
+///   z_ui = (1/|I_u\{i}|^α) Σ_{k∈I_u\{i}} p_k ⊙ q_i,
+/// then feeds z through an MLP to a logit, trained with the log loss over
+/// sampled negatives.
+class DeepIcfTrainer : public Trainer {
+ public:
+  explicit DeepIcfTrainer(const DeepIcfOptions& options);
+
+  Status Train(const Dataset& train) override;
+  std::string name() const override { return "DeepICF"; }
+
+  void ScoreItems(UserId u, std::vector<double>* scores) const override;
+
+ private:
+  DeepIcfOptions options_;
+  const Dataset* train_ = nullptr;  // borrowed; must outlive the trainer
+  std::unique_ptr<Embedding> history_emb_;  // p_k
+  std::unique_ptr<Embedding> target_emb_;   // q_i
+  std::unique_ptr<Mlp> tower_;
+  mutable std::vector<double> pooled_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_DEEP_ICF_H_

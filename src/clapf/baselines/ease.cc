@@ -1,0 +1,70 @@
+#include "clapf/baselines/ease.h"
+
+#include <string>
+
+#include "clapf/util/linalg.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+EaseTrainer::EaseTrainer(const EaseOptions& options) : options_(options) {}
+
+Status EaseTrainer::Train(const Dataset& train) {
+  if (options_.l2 <= 0.0) {
+    return Status::InvalidArgument("l2 must be positive");
+  }
+  if (train.num_items() > options_.max_items) {
+    return Status::FailedPrecondition(
+        "EASE inverts an m x m Gram matrix; m = " +
+        std::to_string(train.num_items()) + " exceeds max_items = " +
+        std::to_string(options_.max_items));
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+  train_ = &train;
+  num_items_ = train.num_items();
+  const int32_t m = num_items_;
+
+  // Gram matrix G = XᵀX (co-occurrence counts; diagonal = popularity).
+  std::vector<double> g(static_cast<size_t>(m) * m, 0.0);
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    auto items = train.ItemsOf(u);
+    for (size_t a = 0; a < items.size(); ++a) {
+      for (size_t b = 0; b < items.size(); ++b) {
+        ++g[static_cast<size_t>(items[a]) * m + items[b]];
+      }
+    }
+  }
+  for (int32_t i = 0; i < m; ++i) {
+    g[static_cast<size_t>(i) * m + i] += options_.l2;
+  }
+
+  // P = G⁻¹; B = I − P·diagMat(1 ⊘ diag(P)) with diag(B) forced to zero.
+  CLAPF_RETURN_IF_ERROR(CholeskyInvertInPlace(g, m));
+  b_.assign(static_cast<size_t>(m) * m, 0.0);
+  for (int32_t j = 0; j < m; ++j) {
+    const double pjj = g[static_cast<size_t>(j) * m + j];
+    CLAPF_CHECK(pjj > 0.0);
+    for (int32_t i = 0; i < m; ++i) {
+      if (i == j) continue;
+      b_[static_cast<size_t>(i) * m + j] =
+          -g[static_cast<size_t>(i) * m + j] / pjj;
+    }
+  }
+  return Status::OK();
+}
+
+void EaseTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
+  CLAPF_CHECK(train_ != nullptr) << "Train() must run before ScoreItems()";
+  scores->assign(static_cast<size_t>(num_items_), 0.0);
+  // s(u, ·) = x_u · B: sum the rows of B for the user's history.
+  for (ItemId i : train_->ItemsOf(u)) {
+    const double* row = &b_[static_cast<size_t>(i) * num_items_];
+    for (int32_t j = 0; j < num_items_; ++j) {
+      (*scores)[static_cast<size_t>(j)] += row[j];
+    }
+  }
+}
+
+}  // namespace clapf

@@ -1,0 +1,50 @@
+#ifndef CLAPF_BASELINES_EASE_H_
+#define CLAPF_BASELINES_EASE_H_
+
+#include <string>
+#include <vector>
+
+#include "clapf/core/trainer.h"
+
+namespace clapf {
+
+struct EaseOptions {
+  /// L2 regularization of the item-item regression; the only EASE knob.
+  double l2 = 100.0;
+  /// Safety cap: the closed form inverts an m×m Gram matrix (O(m³) time,
+  /// O(m²) memory); training fails cleanly above this item count.
+  int32_t max_items = 4000;
+};
+
+/// EASE — Embarrassingly Shallow Autoencoder (Steck, WWW 2019), an
+/// extension baseline: the closed-form item-item linear model
+///   B = I − P·diagMat(1 ⊘ diag(P)),  P = (XᵀX + λI)⁻¹,  diag(B) = 0,
+/// scored as  s(u, ·) = x_u · B.  State of the art among linear models on
+/// implicit feedback and a useful non-latent counterpoint to the paper's
+/// MF methods.
+class EaseTrainer : public Trainer {
+ public:
+  explicit EaseTrainer(const EaseOptions& options);
+
+  /// Solves the closed form. Returns FailedPrecondition when the item count
+  /// exceeds max_items.
+  Status Train(const Dataset& train) override;
+  std::string name() const override { return "EASE"; }
+
+  void ScoreItems(UserId u, std::vector<double>* scores) const override;
+
+  /// Learned item-item weight B[i*m + j], for tests.
+  double Weight(ItemId i, ItemId j) const {
+    return b_[static_cast<size_t>(i) * num_items_ + j];
+  }
+
+ private:
+  EaseOptions options_;
+  const Dataset* train_ = nullptr;  // borrowed; must outlive the trainer
+  int32_t num_items_ = 0;
+  std::vector<double> b_;  // m x m, row-major, zero diagonal
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_EASE_H_

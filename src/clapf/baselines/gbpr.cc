@@ -1,0 +1,125 @@
+#include "clapf/baselines/gbpr.h"
+
+#include <algorithm>
+
+#include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/math.h"
+
+namespace clapf {
+
+GbprTrainer::GbprTrainer(const GbprOptions& options) : options_(options) {}
+
+Status GbprTrainer::Train(const Dataset& train) {
+  if (options_.rho < 0.0 || options_.rho > 1.0) {
+    return Status::InvalidArgument("rho must be in [0, 1]");
+  }
+  if (options_.group_size < 1) {
+    return Status::InvalidArgument("group_size must be >= 1");
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+  if (TrainableUsers(train).empty()) {
+    return Status::FailedPrecondition(
+        "no user has both observed and unobserved items");
+  }
+
+  Rng init_rng(options_.sgd.seed);
+  model_ = std::make_unique<FactorModel>(
+      train.num_users(), train.num_items(), options_.sgd.num_factors,
+      options_.sgd.use_item_bias);
+  model_->InitGaussian(init_rng, options_.sgd.init_stddev);
+
+  // Inverted index: consumers of each item, for group sampling.
+  std::vector<std::vector<UserId>> users_of_item(
+      static_cast<size_t>(train.num_items()));
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    for (ItemId i : train.ItemsOf(u)) {
+      users_of_item[static_cast<size_t>(i)].push_back(u);
+    }
+  }
+
+  UniformPairSampler sampler(&train, options_.sgd.seed ^ 0x5eedu);
+  Rng group_rng(options_.sgd.seed ^ 0x9b9u);
+
+  const double rho = options_.rho;
+  const double lr0 = options_.sgd.learning_rate;
+  const double lr1 = lr0 * options_.sgd.final_learning_rate_fraction;
+  const double total = static_cast<double>(options_.sgd.iterations);
+  const double reg_u = options_.sgd.reg_user;
+  const double reg_v = options_.sgd.reg_item;
+  const double reg_b = options_.sgd.reg_bias;
+  const int32_t d = options_.sgd.num_factors;
+  const bool bias = options_.sgd.use_item_bias;
+
+  std::vector<UserId> group;
+  std::vector<double> group_mean(static_cast<size_t>(d));
+
+  for (int64_t it = 1; it <= options_.sgd.iterations; ++it) {
+    const double lr =
+        lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total);
+    const PairSample p = sampler.Sample();
+
+    // Sample the group from the consumers of i (always contains u).
+    const auto& consumers = users_of_item[static_cast<size_t>(p.i)];
+    group.clear();
+    group.push_back(p.u);
+    for (int32_t s = 1;
+         s < options_.group_size && consumers.size() > 1 && s < 16; ++s) {
+      UserId w = consumers[group_rng.Uniform(consumers.size())];
+      if (w != p.u) group.push_back(w);
+    }
+
+    // Group preference on i: mean of group members' scores.
+    double group_score = 0.0;
+    std::fill(group_mean.begin(), group_mean.end(), 0.0);
+    for (UserId w : group) {
+      group_score += model_->Score(w, p.i);
+      auto wf = model_->UserFactors(w);
+      for (int32_t f = 0; f < d; ++f) group_mean[static_cast<size_t>(f)] += wf[f];
+    }
+    const double inv_g = 1.0 / static_cast<double>(group.size());
+    group_score *= inv_g;
+    for (double& x : group_mean) x *= inv_g;
+
+    const double f_ui = model_->Score(p.u, p.i);
+    const double f_uj = model_->Score(p.u, p.j);
+    const double margin = rho * group_score + (1.0 - rho) * f_ui - f_uj;
+    const double g = Sigmoid(-margin);
+
+    auto vi = model_->ItemFactors(p.i);
+    auto vj = model_->ItemFactors(p.j);
+    auto uu = model_->UserFactors(p.u);
+
+    // d margin / dV_i = ρ·mean(U_w) + (1−ρ)U_u ; dV_j = −U_u.
+    // d margin / dU_u = (ρ/|G| + (1−ρ))·V_i − V_j (u is in the group);
+    // d margin / dU_w = (ρ/|G|)·V_i for the other members.
+    std::vector<double> u_old(uu.begin(), uu.end());
+    for (int32_t f = 0; f < d; ++f) {
+      const double dvi =
+          rho * group_mean[static_cast<size_t>(f)] + (1.0 - rho) * u_old[f];
+      const double du =
+          (rho * inv_g + (1.0 - rho)) * vi[f] - vj[f];
+      uu[f] += lr * (g * du - reg_u * uu[f]);
+      vi[f] += lr * (g * dvi - reg_v * vi[f]);
+      vj[f] += lr * (-g * u_old[f] - reg_v * vj[f]);
+    }
+    for (size_t gi = 1; gi < group.size(); ++gi) {
+      auto wf = model_->UserFactors(group[gi]);
+      for (int32_t f = 0; f < d; ++f) {
+        wf[f] += lr * (g * rho * inv_g * vi[f] - reg_u * wf[f]);
+      }
+    }
+    if (bias) {
+      double& bi = model_->ItemBias(p.i);
+      double& bj = model_->ItemBias(p.j);
+      bi += lr * (g - reg_b * bi);
+      bj += lr * (-g - reg_b * bj);
+    }
+    MaybeProbe(it);
+  }
+  return Status::OK();
+}
+
+}  // namespace clapf

@@ -1,0 +1,40 @@
+#ifndef CLAPF_BASELINES_GBPR_H_
+#define CLAPF_BASELINES_GBPR_H_
+
+#include <string>
+#include <vector>
+
+#include "clapf/core/trainer.h"
+
+namespace clapf {
+
+struct GbprOptions {
+  SgdOptions sgd;
+  /// Weight of the group preference vs the individual's (ρ in GBPR).
+  double rho = 0.6;
+  /// Users sampled into the group (including u itself when too few other
+  /// consumers of i exist).
+  int32_t group_size = 3;
+};
+
+/// Group Bayesian Personalized Ranking (Pan & Chen, IJCAI 2013), cited by
+/// the paper (§2.1) as the method relaxing BPR's user-independence
+/// assumption: the positive side of the pairwise comparison blends the
+/// user's own score with the mean score of a sampled group G of users who
+/// also consumed item i,
+///   margin = ρ·(1/|G| Σ_{w∈G} f_wi) + (1−ρ)·f_ui − f_uj,
+/// and the SGD step updates every group member.
+class GbprTrainer : public FactorModelTrainer {
+ public:
+  explicit GbprTrainer(const GbprOptions& options);
+
+  Status Train(const Dataset& train) override;
+  std::string name() const override { return "GBPR"; }
+
+ private:
+  GbprOptions options_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_GBPR_H_

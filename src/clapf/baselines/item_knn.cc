@@ -1,0 +1,82 @@
+#include "clapf/baselines/item_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+ItemKnnTrainer::ItemKnnTrainer(const ItemKnnOptions& options)
+    : options_(options) {}
+
+Status ItemKnnTrainer::Train(const Dataset& train) {
+  if (options_.neighbors < 0) {
+    return Status::InvalidArgument("neighbors must be >= 0");
+  }
+  if (options_.shrinkage < 0.0) {
+    return Status::InvalidArgument("shrinkage must be >= 0");
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+  train_ = &train;
+
+  const int32_t m = train.num_items();
+  auto popularity = train.ItemPopularity();
+
+  // Co-occurrence counts via per-user item pairs.
+  std::vector<std::unordered_map<ItemId, int32_t>> cooc(
+      static_cast<size_t>(m));
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    auto items = train.ItemsOf(u);
+    for (size_t a = 0; a < items.size(); ++a) {
+      for (size_t b = a + 1; b < items.size(); ++b) {
+        // Store each unordered pair once under the smaller id.
+        ++cooc[static_cast<size_t>(items[a])][items[b]];
+      }
+    }
+  }
+
+  neighbors_.assign(static_cast<size_t>(m), {});
+  for (ItemId i = 0; i < m; ++i) {
+    for (const auto& [j, count] : cooc[static_cast<size_t>(i)]) {
+      const double denom =
+          std::sqrt(static_cast<double>(popularity[static_cast<size_t>(i)])) *
+              std::sqrt(
+                  static_cast<double>(popularity[static_cast<size_t>(j)])) +
+          options_.shrinkage;
+      if (denom <= 0.0) continue;
+      const double sim = static_cast<double>(count) / denom;
+      neighbors_[static_cast<size_t>(i)].emplace_back(j, sim);
+      neighbors_[static_cast<size_t>(j)].emplace_back(i, sim);
+    }
+  }
+
+  for (auto& list : neighbors_) {
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (options_.neighbors > 0 &&
+        static_cast<int32_t>(list.size()) > options_.neighbors) {
+      list.resize(static_cast<size_t>(options_.neighbors));
+    }
+  }
+  return Status::OK();
+}
+
+void ItemKnnTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
+  CLAPF_CHECK(train_ != nullptr) << "Train() must run before ScoreItems()";
+  scores->assign(static_cast<size_t>(train_->num_items()), 0.0);
+  // Accumulate similarity mass from the user's history into each
+  // neighbouring item.
+  for (ItemId j : train_->ItemsOf(u)) {
+    for (const auto& [i, sim] : neighbors_[static_cast<size_t>(j)]) {
+      (*scores)[static_cast<size_t>(i)] += sim;
+    }
+  }
+}
+
+}  // namespace clapf

@@ -1,0 +1,51 @@
+#ifndef CLAPF_BASELINES_ITEM_KNN_H_
+#define CLAPF_BASELINES_ITEM_KNN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clapf/core/trainer.h"
+
+namespace clapf {
+
+struct ItemKnnOptions {
+  /// Neighbours kept per item (0 = keep all similarities).
+  int32_t neighbors = 50;
+  /// Shrinkage added to the similarity denominator; damps similarities
+  /// estimated from few co-occurrences.
+  double shrinkage = 10.0;
+};
+
+/// Item-based k-nearest-neighbour CF with cosine similarity over the binary
+/// interaction matrix — the classic memory-based top-N recommender
+/// (Deshpande & Karypis 2004, the paper's reference [18]). Not part of the
+/// paper's Table 2; included as an extension baseline because it is the
+/// standard non-latent comparator for implicit top-N tasks.
+///
+/// sim(i, j) = |U_i ∩ U_j| / (sqrt(|U_i|)·sqrt(|U_j|) + shrinkage);
+/// score(u, i) = Σ_{j ∈ I_u⁺} sim(i, j).
+class ItemKnnTrainer : public Trainer {
+ public:
+  explicit ItemKnnTrainer(const ItemKnnOptions& options);
+
+  /// Builds the truncated item-item similarity lists. O(Σ_u n_u²) time.
+  Status Train(const Dataset& train) override;
+  std::string name() const override { return "ItemKNN"; }
+
+  void ScoreItems(UserId u, std::vector<double>* scores) const override;
+
+  /// The kept neighbours of `i` (sorted by similarity desc), for tests.
+  const std::vector<std::pair<ItemId, double>>& NeighborsOf(ItemId i) const {
+    return neighbors_[static_cast<size_t>(i)];
+  }
+
+ private:
+  ItemKnnOptions options_;
+  const Dataset* train_ = nullptr;  // borrowed; must outlive the trainer
+  std::vector<std::vector<std::pair<ItemId, double>>> neighbors_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_ITEM_KNN_H_

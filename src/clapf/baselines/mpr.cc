@@ -1,0 +1,94 @@
+#include "clapf/baselines/mpr.h"
+
+#include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/math.h"
+
+namespace clapf {
+
+MprTrainer::MprTrainer(const MprOptions& options) : options_(options) {}
+
+Status MprTrainer::Train(const Dataset& train) {
+  if (options_.rho < 0.0 || options_.rho > 1.0) {
+    return Status::InvalidArgument("rho must be in [0, 1]");
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+  if (TrainableUsers(train).empty()) {
+    return Status::FailedPrecondition(
+        "no user has both observed and unobserved items");
+  }
+
+  Rng init_rng(options_.sgd.seed);
+  model_ = std::make_unique<FactorModel>(
+      train.num_users(), train.num_items(), options_.sgd.num_factors,
+      options_.sgd.use_item_bias);
+  model_->InitGaussian(init_rng, options_.sgd.init_stddev);
+
+  UniformPairSampler sampler(&train, options_.sgd.seed ^ 0x5eedu);
+  Rng pair_rng(options_.sgd.seed ^ 0xa11ce5u);
+
+  const double rho = options_.rho;
+  const double lr0 = options_.sgd.learning_rate;
+  const double lr1 = lr0 * options_.sgd.final_learning_rate_fraction;
+  const double total = static_cast<double>(options_.sgd.iterations);
+  const double reg_u = options_.sgd.reg_user;
+  const double reg_v = options_.sgd.reg_item;
+  const double reg_b = options_.sgd.reg_bias;
+  const int32_t d = options_.sgd.num_factors;
+  const bool bias = options_.sgd.use_item_bias;
+
+  std::vector<double> user_snapshot(static_cast<size_t>(d));
+
+  for (int64_t it = 1; it <= options_.sgd.iterations; ++it) {
+    const double lr =
+        lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total);
+    const PairSample p1 = sampler.Sample();
+    // The second pairwise criterion is drawn for the same user so the two
+    // margins fuse in one per-user objective.
+    PairSample p2;
+    p2.u = p1.u;
+    auto items = train.ItemsOf(p1.u);
+    p2.i = items[pair_rng.Uniform(items.size())];
+    p2.j = SampleUnobservedUniform(train, p2.u, pair_rng);
+
+    const double m1 = model_->Score(p1.u, p1.i) - model_->Score(p1.u, p1.j);
+    const double m2 = model_->Score(p2.u, p2.i) - model_->Score(p2.u, p2.j);
+    const double margin = rho * m1 + (1.0 - rho) * m2;
+    const double g = Sigmoid(-margin);
+
+    auto uu = model_->UserFactors(p1.u);
+    for (int32_t f = 0; f < d; ++f) user_snapshot[f] = uu[f];
+
+    auto apply_pair = [&](const PairSample& p, double weight) {
+      auto vi = model_->ItemFactors(p.i);
+      auto vj = model_->ItemFactors(p.j);
+      for (int32_t f = 0; f < d; ++f) {
+        vi[f] += lr * (g * weight * user_snapshot[f] - reg_v * vi[f]);
+        vj[f] += lr * (-g * weight * user_snapshot[f] - reg_v * vj[f]);
+      }
+      if (bias) {
+        double& bi = model_->ItemBias(p.i);
+        double& bj = model_->ItemBias(p.j);
+        bi += lr * (g * weight - reg_b * bi);
+        bj += lr * (-g * weight - reg_b * bj);
+      }
+    };
+
+    for (int32_t f = 0; f < d; ++f) {
+      const double grad_u =
+          rho * (model_->ItemFactors(p1.i)[f] - model_->ItemFactors(p1.j)[f]) +
+          (1.0 - rho) *
+              (model_->ItemFactors(p2.i)[f] - model_->ItemFactors(p2.j)[f]);
+      uu[f] += lr * (g * grad_u - reg_u * uu[f]);
+    }
+    apply_pair(p1, rho);
+    apply_pair(p2, 1.0 - rho);
+
+    MaybeProbe(it);
+  }
+  return Status::OK();
+}
+
+}  // namespace clapf

@@ -1,0 +1,152 @@
+#include "clapf/baselines/neu_mf.h"
+
+#include <cmath>
+
+#include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/math.h"
+
+namespace clapf {
+
+NeuMfTrainer::NeuMfTrainer(const NeuMfOptions& options) : options_(options) {}
+
+double NeuMfTrainer::ForwardLogit(UserId u, ItemId i) {
+  const int32_t e = options_.embedding_dim;
+  auto pu = gmf_user_->Row(u);
+  auto qi = gmf_item_->Row(i);
+  auto mu = mlp_user_->Row(u);
+  auto mi = mlp_item_->Row(i);
+
+  concat_in_.resize(static_cast<size_t>(2 * e));
+  for (int32_t f = 0; f < e; ++f) concat_in_[static_cast<size_t>(f)] = mu[f];
+  for (int32_t f = 0; f < e; ++f) {
+    concat_in_[static_cast<size_t>(e + f)] = mi[f];
+  }
+  auto tower_out = tower_->Forward(concat_in_);
+
+  head_in_.resize(static_cast<size_t>(e) + tower_out.size());
+  for (int32_t f = 0; f < e; ++f) {
+    head_in_[static_cast<size_t>(f)] = pu[f] * qi[f];  // GMF branch
+  }
+  for (size_t f = 0; f < tower_out.size(); ++f) {
+    head_in_[static_cast<size_t>(e) + f] = tower_out[f];
+  }
+  return head_->Forward(head_in_)[0];
+}
+
+Status NeuMfTrainer::Train(const Dataset& train) {
+  if (options_.embedding_dim <= 0) {
+    return Status::InvalidArgument("embedding_dim must be positive");
+  }
+  if (options_.epochs < 0) {
+    return Status::InvalidArgument("epochs must be >= 0");
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+
+  const int32_t e = options_.embedding_dim;
+  AdamConfig adam;
+  adam.learning_rate = options_.learning_rate;
+
+  gmf_user_ = std::make_unique<Embedding>(train.num_users(), e, adam);
+  gmf_item_ = std::make_unique<Embedding>(train.num_items(), e, adam);
+  mlp_user_ = std::make_unique<Embedding>(train.num_users(), e, adam);
+  mlp_item_ = std::make_unique<Embedding>(train.num_items(), e, adam);
+  // NCF's 4-layer tower on top of the 2e concat: 2e → 2e → e → e/2.
+  const int32_t half = std::max(1, e / 2);
+  tower_ = std::make_unique<Mlp>(std::vector<int32_t>{2 * e, 2 * e, e, half},
+                                 Activation::kRelu, Activation::kRelu, adam);
+  head_ = std::make_unique<DenseLayer>(e + half, 1, Activation::kIdentity,
+                                       adam);
+
+  Rng rng(options_.seed);
+  gmf_user_->Init(rng, options_.init_stddev);
+  gmf_item_->Init(rng, options_.init_stddev);
+  mlp_user_->Init(rng, options_.init_stddev);
+  mlp_item_->Init(rng, options_.init_stddev);
+  tower_->Init(rng);
+  head_->Init(rng);
+
+  std::vector<double> grad_e(static_cast<size_t>(e));
+  int64_t iteration = 0;
+
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (UserId u = 0; u < train.num_users(); ++u) {
+      auto items = train.ItemsOf(u);
+      if (items.empty() || train.NumItemsOf(u) >= train.num_items()) continue;
+      for (ItemId pos : items) {
+        for (int32_t s = 0; s <= options_.negatives_per_positive; ++s) {
+          const bool positive = s == 0;
+          const ItemId i =
+              positive ? pos : SampleUnobservedUniform(train, u, rng);
+          const double y = positive ? 1.0 : 0.0;
+          const double logit = ForwardLogit(u, i);
+          // Binary cross-entropy over σ(logit): dL/dlogit = σ(logit) − y.
+          const double dlogit = Sigmoid(logit) - y;
+
+          std::vector<double> head_grad =
+              head_->BackwardAndStep(std::span<const double>(&dlogit, 1));
+          // GMF branch gradient.
+          auto pu = gmf_user_->Row(u);
+          auto qi = gmf_item_->Row(i);
+          for (int32_t f = 0; f < e; ++f) {
+            grad_e[static_cast<size_t>(f)] =
+                head_grad[static_cast<size_t>(f)] * qi[f];
+          }
+          std::vector<double> qi_grad(static_cast<size_t>(e));
+          for (int32_t f = 0; f < e; ++f) {
+            qi_grad[static_cast<size_t>(f)] =
+                head_grad[static_cast<size_t>(f)] * pu[f];
+          }
+          gmf_user_->ApplyGradient(u, grad_e);
+          gmf_item_->ApplyGradient(i, qi_grad);
+          // MLP branch gradient through the tower into the embeddings.
+          std::vector<double> tower_grad(head_grad.begin() + e,
+                                         head_grad.end());
+          std::vector<double> concat_grad =
+              tower_->BackwardAndStep(tower_grad);
+          mlp_user_->ApplyGradient(
+              u, std::span<const double>(concat_grad.data(),
+                                         static_cast<size_t>(e)));
+          mlp_item_->ApplyGradient(
+              i, std::span<const double>(concat_grad.data() + e,
+                                         static_cast<size_t>(e)));
+        }
+      }
+      MaybeProbe(++iteration);
+    }
+  }
+  return Status::OK();
+}
+
+void NeuMfTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
+  CLAPF_CHECK(gmf_user_ != nullptr) << "Train() must run before ScoreItems()";
+  const int32_t m = gmf_item_->rows();
+  scores->resize(static_cast<size_t>(m));
+  // const_cast-free: unique_ptr gives non-const access to the pointee, and
+  // Forward only mutates scratch caches, not learned parameters.
+  for (ItemId i = 0; i < m; ++i) {
+    const int32_t e = options_.embedding_dim;
+    auto pu = gmf_user_->Row(u);
+    auto qi = gmf_item_->Row(i);
+    auto mu = mlp_user_->Row(u);
+    auto mi = mlp_item_->Row(i);
+    concat_in_.resize(static_cast<size_t>(2 * e));
+    for (int32_t f = 0; f < e; ++f) concat_in_[static_cast<size_t>(f)] = mu[f];
+    for (int32_t f = 0; f < e; ++f) {
+      concat_in_[static_cast<size_t>(e + f)] = mi[f];
+    }
+    auto tower_out = tower_->Forward(concat_in_);
+    head_in_.resize(static_cast<size_t>(e) + tower_out.size());
+    for (int32_t f = 0; f < e; ++f) {
+      head_in_[static_cast<size_t>(f)] = pu[f] * qi[f];
+    }
+    for (size_t f = 0; f < tower_out.size(); ++f) {
+      head_in_[static_cast<size_t>(e) + f] = tower_out[f];
+    }
+    (*scores)[static_cast<size_t>(i)] = head_->Forward(head_in_)[0];
+  }
+}
+
+}  // namespace clapf

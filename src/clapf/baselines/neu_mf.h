@@ -1,0 +1,57 @@
+#ifndef CLAPF_BASELINES_NEU_MF_H_
+#define CLAPF_BASELINES_NEU_MF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clapf/core/trainer.h"
+#include "clapf/nn/dense_layer.h"
+#include "clapf/nn/embedding.h"
+#include "clapf/nn/mlp.h"
+
+namespace clapf {
+
+struct NeuMfOptions {
+  /// Predictive embedding size (paper searches {4, 8, 16, 32}).
+  int32_t embedding_dim = 8;
+  double learning_rate = 0.002;
+  /// Full passes over the positive pairs.
+  int32_t epochs = 10;
+  /// Uniformly sampled negatives per positive (NCF's pointwise protocol).
+  int32_t negatives_per_positive = 4;
+  double init_stddev = 0.1;
+  uint64_t seed = 1;
+};
+
+/// Neural Matrix Factorization (He et al., WWW 2017): the advanced NCF
+/// instantiation fusing a GMF branch (element-wise product of user/item
+/// embeddings) with an MLP branch (concatenated separate embeddings through
+/// a 4-layer tower), joined by a final linear layer and trained pointwise
+/// with the log loss over sampled negatives.
+class NeuMfTrainer : public Trainer {
+ public:
+  explicit NeuMfTrainer(const NeuMfOptions& options);
+
+  Status Train(const Dataset& train) override;
+  std::string name() const override { return "NeuMF"; }
+
+  void ScoreItems(UserId u, std::vector<double>* scores) const override;
+
+ private:
+  /// Forward pass for one (u, i); fills the concat buffer used by backprop.
+  double ForwardLogit(UserId u, ItemId i);
+
+  NeuMfOptions options_;
+  std::unique_ptr<Embedding> gmf_user_, gmf_item_;
+  std::unique_ptr<Embedding> mlp_user_, mlp_item_;
+  std::unique_ptr<Mlp> tower_;
+  std::unique_ptr<DenseLayer> head_;  // concat(GMF, tower out) -> 1 logit
+  // Scratch buffers (single-threaded training/inference).
+  mutable std::vector<double> concat_in_;   // MLP tower input
+  mutable std::vector<double> head_in_;     // head input
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_NEU_MF_H_

@@ -1,0 +1,87 @@
+#include "clapf/baselines/neu_pr.h"
+
+#include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/math.h"
+
+namespace clapf {
+
+NeuPrTrainer::NeuPrTrainer(const NeuPrOptions& options) : options_(options) {}
+
+double NeuPrTrainer::ForwardScore(UserId u, ItemId i) const {
+  const int32_t e = options_.embedding_dim;
+  auto mu = user_emb_->Row(u);
+  auto mi = item_emb_->Row(i);
+  concat_in_.resize(static_cast<size_t>(2 * e));
+  for (int32_t f = 0; f < e; ++f) concat_in_[static_cast<size_t>(f)] = mu[f];
+  for (int32_t f = 0; f < e; ++f) {
+    concat_in_[static_cast<size_t>(e + f)] = mi[f];
+  }
+  return tower_->Forward(concat_in_)[0];
+}
+
+void NeuPrTrainer::BackwardFor(UserId u, ItemId i, double dscore) {
+  const int32_t e = options_.embedding_dim;
+  // Restore the layer caches for this input, then backprop.
+  ForwardScore(u, i);
+  std::vector<double> concat_grad =
+      tower_->BackwardAndStep(std::span<const double>(&dscore, 1));
+  user_emb_->ApplyGradient(
+      u, std::span<const double>(concat_grad.data(), static_cast<size_t>(e)));
+  item_emb_->ApplyGradient(
+      i, std::span<const double>(concat_grad.data() + e,
+                                 static_cast<size_t>(e)));
+}
+
+Status NeuPrTrainer::Train(const Dataset& train) {
+  if (options_.embedding_dim <= 0) {
+    return Status::InvalidArgument("embedding_dim must be positive");
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+  if (TrainableUsers(train).empty()) {
+    return Status::FailedPrecondition(
+        "no user has both observed and unobserved items");
+  }
+
+  const int32_t e = options_.embedding_dim;
+  AdamConfig adam;
+  adam.learning_rate = options_.learning_rate;
+  user_emb_ = std::make_unique<Embedding>(train.num_users(), e, adam);
+  item_emb_ = std::make_unique<Embedding>(train.num_items(), e, adam);
+  const int32_t half = std::max(1, e / 2);
+  tower_ = std::make_unique<Mlp>(
+      std::vector<int32_t>{2 * e, 2 * e, e, half, 1}, Activation::kRelu,
+      Activation::kIdentity, adam);
+
+  Rng rng(options_.seed);
+  user_emb_->Init(rng, options_.init_stddev);
+  item_emb_->Init(rng, options_.init_stddev);
+  tower_->Init(rng);
+
+  UniformPairSampler sampler(&train, options_.seed ^ 0x5eedu);
+
+  for (int64_t it = 1; it <= options_.iterations; ++it) {
+    const PairSample p = sampler.Sample();
+    const double si = ForwardScore(p.u, p.i);
+    const double sj = ForwardScore(p.u, p.j);
+    // Minimize −ln σ(si − sj): d/dsi = −σ(sj − si), d/dsj = +σ(sj − si).
+    const double g = Sigmoid(sj - si);
+    BackwardFor(p.u, p.i, -g);
+    BackwardFor(p.u, p.j, g);
+    MaybeProbe(it);
+  }
+  return Status::OK();
+}
+
+void NeuPrTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
+  CLAPF_CHECK(user_emb_ != nullptr) << "Train() must run before ScoreItems()";
+  const int32_t m = item_emb_->rows();
+  scores->resize(static_cast<size_t>(m));
+  for (ItemId i = 0; i < m; ++i) {
+    (*scores)[static_cast<size_t>(i)] = ForwardScore(u, i);
+  }
+}
+
+}  // namespace clapf

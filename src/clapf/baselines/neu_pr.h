@@ -1,0 +1,50 @@
+#ifndef CLAPF_BASELINES_NEU_PR_H_
+#define CLAPF_BASELINES_NEU_PR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clapf/core/trainer.h"
+#include "clapf/nn/embedding.h"
+#include "clapf/nn/mlp.h"
+
+namespace clapf {
+
+struct NeuPrOptions {
+  int32_t embedding_dim = 8;
+  double learning_rate = 0.002;
+  /// SGD iterations over sampled (u, i, j) pairs.
+  int64_t iterations = 100000;
+  double init_stddev = 0.1;
+  uint64_t seed = 1;
+};
+
+/// Neural Personalized Ranking (after Song et al., CIKM 2018's neural
+/// collaborative ranking): user/item embeddings feed a shared MLP tower that
+/// scores s_ui; training maximizes the pairwise probability
+/// ln σ(s_ui − s_uj) over observed/unobserved pairs — BPR's criterion with a
+/// deep scorer.
+class NeuPrTrainer : public Trainer {
+ public:
+  explicit NeuPrTrainer(const NeuPrOptions& options);
+
+  Status Train(const Dataset& train) override;
+  std::string name() const override { return "NeuPR"; }
+
+  void ScoreItems(UserId u, std::vector<double>* scores) const override;
+
+ private:
+  double ForwardScore(UserId u, ItemId i) const;
+  /// Re-runs the forward for (u, i) and backprops d(loss)/d(score) = dscore.
+  void BackwardFor(UserId u, ItemId i, double dscore);
+
+  NeuPrOptions options_;
+  std::unique_ptr<Embedding> user_emb_, item_emb_;
+  std::unique_ptr<Mlp> tower_;
+  mutable std::vector<double> concat_in_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_NEU_PR_H_

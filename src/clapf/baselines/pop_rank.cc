@@ -1,0 +1,16 @@
+#include "clapf/baselines/pop_rank.h"
+
+namespace clapf {
+
+Status PopRankTrainer::Train(const Dataset& train) {
+  auto counts = train.ItemPopularity();
+  popularity_.assign(counts.begin(), counts.end());
+  return Status::OK();
+}
+
+void PopRankTrainer::ScoreItems(UserId /*u*/,
+                                std::vector<double>* scores) const {
+  *scores = popularity_;
+}
+
+}  // namespace clapf

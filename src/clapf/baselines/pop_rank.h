@@ -1,0 +1,31 @@
+#ifndef CLAPF_BASELINES_POP_RANK_H_
+#define CLAPF_BASELINES_POP_RANK_H_
+
+#include <string>
+#include <vector>
+
+#include "clapf/core/trainer.h"
+
+namespace clapf {
+
+/// Popularity ranking: scores every item by its training interaction count,
+/// identically for all users — the paper's non-personalized baseline.
+class PopRankTrainer : public Trainer {
+ public:
+  PopRankTrainer() = default;
+
+  Status Train(const Dataset& train) override;
+  std::string name() const override { return "PopRank"; }
+
+  void ScoreItems(UserId u, std::vector<double>* scores) const override;
+
+  /// Item popularity counts learned from training data.
+  const std::vector<double>& popularity() const { return popularity_; }
+
+ private:
+  std::vector<double> popularity_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_POP_RANK_H_

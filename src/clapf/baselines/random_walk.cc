@@ -1,0 +1,98 @@
+#include "clapf/baselines/random_walk.h"
+
+#include <algorithm>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+RandomWalkTrainer::RandomWalkTrainer(const RandomWalkOptions& options)
+    : options_(options) {}
+
+Status RandomWalkTrainer::Train(const Dataset& train) {
+  if (options_.walk_length <= 0) {
+    return Status::InvalidArgument("walk_length must be positive");
+  }
+  if (options_.restart_probability < 0.0 ||
+      options_.restart_probability >= 1.0) {
+    return Status::InvalidArgument("restart_probability must be in [0, 1)");
+  }
+  // The walk reads the training graph lazily at scoring time; the dataset
+  // must outlive this trainer.
+  train_ = &train;
+  users_of_item_.assign(static_cast<size_t>(train.num_items()), {});
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    for (ItemId i : train.ItemsOf(u)) {
+      users_of_item_[static_cast<size_t>(i)].push_back(u);
+    }
+  }
+  return Status::OK();
+}
+
+void RandomWalkTrainer::ScoreItems(UserId u,
+                                   std::vector<double>* scores) const {
+  CLAPF_CHECK(train_ != nullptr) << "Train() must run before ScoreItems()";
+  const int32_t n = train_->num_users();
+  const int32_t m = train_->num_items();
+  scores->assign(static_cast<size_t>(m), 0.0);
+
+  // Personalized walk over users: each round hops user → item → user, with
+  // restart mass back at the source. Items below the reachability threshold
+  // do not create user-user edges.
+  std::vector<double> p(static_cast<size_t>(n), 0.0);
+  std::vector<double> item_mass(static_cast<size_t>(m), 0.0);
+  std::vector<double> next(static_cast<size_t>(n), 0.0);
+  p[static_cast<size_t>(u)] = 1.0;
+
+  const int32_t rounds = options_.walk_length;
+  for (int32_t round = 0; round < rounds; ++round) {
+    std::fill(item_mass.begin(), item_mass.end(), 0.0);
+    for (UserId v = 0; v < n; ++v) {
+      const double mass = p[static_cast<size_t>(v)];
+      if (mass <= 0.0) continue;
+      auto items = train_->ItemsOf(v);
+      if (items.empty()) continue;
+      const double share = mass / static_cast<double>(items.size());
+      for (ItemId i : items) item_mass[static_cast<size_t>(i)] += share;
+    }
+    std::fill(next.begin(), next.end(), 0.0);
+    double propagated = 0.0;
+    for (ItemId i = 0; i < m; ++i) {
+      const double mass = item_mass[static_cast<size_t>(i)];
+      if (mass <= 0.0) continue;
+      const auto& users = users_of_item_[static_cast<size_t>(i)];
+      if (static_cast<int32_t>(users.size()) < options_.reachable_threshold) {
+        continue;  // too weak an edge to be "reachable"
+      }
+      const double share = mass / static_cast<double>(users.size());
+      for (UserId v : users) {
+        next[static_cast<size_t>(v)] += share;
+        propagated += share;
+      }
+    }
+    const double restart = options_.restart_probability;
+    if (propagated > 0.0) {
+      for (UserId v = 0; v < n; ++v) {
+        p[static_cast<size_t>(v)] =
+            (1.0 - restart) * next[static_cast<size_t>(v)] / propagated;
+      }
+      p[static_cast<size_t>(u)] += restart;
+    } else {
+      std::fill(p.begin(), p.end(), 0.0);
+      p[static_cast<size_t>(u)] = 1.0;
+      break;
+    }
+  }
+
+  // Preference estimate: walk-probability-weighted average of reachable
+  // users' observed preferences.
+  for (UserId v = 0; v < n; ++v) {
+    const double weight = p[static_cast<size_t>(v)];
+    if (weight <= 0.0 || v == u) continue;
+    for (ItemId i : train_->ItemsOf(v)) {
+      (*scores)[static_cast<size_t>(i)] += weight;
+    }
+  }
+}
+
+}  // namespace clapf

@@ -1,0 +1,43 @@
+#ifndef CLAPF_BASELINES_RANDOM_WALK_H_
+#define CLAPF_BASELINES_RANDOM_WALK_H_
+
+#include <string>
+#include <vector>
+
+#include "clapf/core/trainer.h"
+
+namespace clapf {
+
+struct RandomWalkOptions {
+  /// Number of user→item→user propagation rounds (the paper searches the
+  /// walk length in {20, 40, 60, 80}; each round is two hops).
+  int32_t walk_length = 20;
+  /// Restart probability back to the source user each round.
+  double restart_probability = 0.15;
+  /// Minimum co-interaction count for a user-user edge to be reachable
+  /// (the paper's reachability threshold, searched in {2, 5, 10, 20}).
+  int32_t reachable_threshold = 2;
+};
+
+/// Random-walk baseline: estimates a user's preference for an item as the
+/// walk-probability-weighted average of reachable users' preferences,
+/// propagated over the user-item bipartite graph with restarts.
+class RandomWalkTrainer : public Trainer {
+ public:
+  explicit RandomWalkTrainer(const RandomWalkOptions& options);
+
+  Status Train(const Dataset& train) override;
+  std::string name() const override { return "RandomWalk"; }
+
+  void ScoreItems(UserId u, std::vector<double>* scores) const override;
+
+ private:
+  RandomWalkOptions options_;
+  const Dataset* train_ = nullptr;  // borrowed during/after Train
+  // users_of_item_[i] = training users of item i (the reverse adjacency).
+  std::vector<std::vector<UserId>> users_of_item_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_RANDOM_WALK_H_

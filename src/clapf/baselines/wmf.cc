@@ -1,0 +1,146 @@
+#include "clapf/baselines/wmf.h"
+
+#include <vector>
+
+#include "clapf/util/linalg.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+namespace {
+
+// gram = Xᵀ X for the row-major factor block with `rows` rows of length d.
+void ComputeGram(const std::vector<double>& x, int64_t rows, int32_t d,
+                 std::vector<double>* gram) {
+  gram->assign(static_cast<size_t>(d) * d, 0.0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const double* row = &x[static_cast<size_t>(r) * d];
+    for (int32_t a = 0; a < d; ++a) {
+      for (int32_t b = a; b < d; ++b) {
+        (*gram)[static_cast<size_t>(a) * d + b] += row[a] * row[b];
+      }
+    }
+  }
+  for (int32_t a = 0; a < d; ++a) {
+    for (int32_t b = 0; b < a; ++b) {
+      (*gram)[static_cast<size_t>(a) * d + b] =
+          (*gram)[static_cast<size_t>(b) * d + a];
+    }
+  }
+}
+
+}  // namespace
+
+WmfTrainer::WmfTrainer(const WmfOptions& options) : options_(options) {}
+
+Status WmfTrainer::Train(const Dataset& train) {
+  if (options_.num_factors <= 0) {
+    return Status::InvalidArgument("num_factors must be positive");
+  }
+  if (options_.sweeps < 0) {
+    return Status::InvalidArgument("sweeps must be >= 0");
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+
+  const int32_t n = train.num_users();
+  const int32_t m = train.num_items();
+  const int32_t d = options_.num_factors;
+  const double alpha = options_.alpha;
+  const double reg = options_.reg;
+
+  // WMF has no item bias; the ALS solution absorbs popularity into factors.
+  model_ = std::make_unique<FactorModel>(n, m, d, /*use_item_bias=*/false);
+  Rng init_rng(options_.seed);
+  model_->InitGaussian(init_rng, options_.init_stddev);
+
+  // Inverted index: users per item, for the item-side sweep.
+  std::vector<std::vector<UserId>> users_of_item(static_cast<size_t>(m));
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId i : train.ItemsOf(u)) {
+      users_of_item[static_cast<size_t>(i)].push_back(u);
+    }
+  }
+
+  // Mutable copies of the factor blocks (FactorModel spans are per-row).
+  std::vector<double> uf(static_cast<size_t>(n) * d);
+  std::vector<double> vf(static_cast<size_t>(m) * d);
+  for (UserId u = 0; u < n; ++u) {
+    auto span = model_->UserFactors(u);
+    std::copy(span.begin(), span.end(), &uf[static_cast<size_t>(u) * d]);
+  }
+  for (ItemId i = 0; i < m; ++i) {
+    auto span = model_->ItemFactors(i);
+    std::copy(span.begin(), span.end(), &vf[static_cast<size_t>(i) * d]);
+  }
+
+  std::vector<double> gram;
+  std::vector<double> a(static_cast<size_t>(d) * d);
+  std::vector<double> b(static_cast<size_t>(d));
+
+  for (int32_t sweep = 0; sweep < options_.sweeps; ++sweep) {
+    // User side: solve (VᵀV + α Σ v vᵀ + reg I) x = (1+α) Σ v.
+    ComputeGram(vf, m, d, &gram);
+    for (UserId u = 0; u < n; ++u) {
+      auto items = train.ItemsOf(u);
+      if (items.empty()) continue;
+      a = gram;
+      std::fill(b.begin(), b.end(), 0.0);
+      for (ItemId i : items) {
+        const double* v = &vf[static_cast<size_t>(i) * d];
+        for (int32_t p = 0; p < d; ++p) {
+          for (int32_t q = 0; q < d; ++q) {
+            a[static_cast<size_t>(p) * d + q] += alpha * v[p] * v[q];
+          }
+          b[static_cast<size_t>(p)] += (1.0 + alpha) * v[p];
+        }
+      }
+      for (int32_t p = 0; p < d; ++p) {
+        a[static_cast<size_t>(p) * d + p] += reg;
+      }
+      CLAPF_RETURN_IF_ERROR(CholeskySolveInPlace(a, b, d));
+      std::copy(b.begin(), b.end(), &uf[static_cast<size_t>(u) * d]);
+    }
+
+    // Item side, symmetric.
+    ComputeGram(uf, n, d, &gram);
+    for (ItemId i = 0; i < m; ++i) {
+      const auto& users = users_of_item[static_cast<size_t>(i)];
+      if (users.empty()) continue;
+      a = gram;
+      std::fill(b.begin(), b.end(), 0.0);
+      for (UserId u : users) {
+        const double* x = &uf[static_cast<size_t>(u) * d];
+        for (int32_t p = 0; p < d; ++p) {
+          for (int32_t q = 0; q < d; ++q) {
+            a[static_cast<size_t>(p) * d + q] += alpha * x[p] * x[q];
+          }
+          b[static_cast<size_t>(p)] += (1.0 + alpha) * x[p];
+        }
+      }
+      for (int32_t p = 0; p < d; ++p) {
+        a[static_cast<size_t>(p) * d + p] += reg;
+      }
+      CLAPF_RETURN_IF_ERROR(CholeskySolveInPlace(a, b, d));
+      std::copy(b.begin(), b.end(), &vf[static_cast<size_t>(i) * d]);
+    }
+
+    MaybeProbe(sweep + 1);
+  }
+
+  // Publish the solved factors back into the model.
+  for (UserId u = 0; u < n; ++u) {
+    auto span = model_->UserFactors(u);
+    std::copy(&uf[static_cast<size_t>(u) * d],
+              &uf[static_cast<size_t>(u) * d] + d, span.begin());
+  }
+  for (ItemId i = 0; i < m; ++i) {
+    auto span = model_->ItemFactors(i);
+    std::copy(&vf[static_cast<size_t>(i) * d],
+              &vf[static_cast<size_t>(i) * d] + d, span.begin());
+  }
+  return Status::OK();
+}
+
+}  // namespace clapf

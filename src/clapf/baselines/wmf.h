@@ -1,0 +1,43 @@
+#ifndef CLAPF_BASELINES_WMF_H_
+#define CLAPF_BASELINES_WMF_H_
+
+#include <string>
+
+#include "clapf/core/trainer.h"
+
+namespace clapf {
+
+struct WmfOptions {
+  /// Latent dimensionality.
+  int32_t num_factors = 20;
+  /// Confidence weight: observed cells get confidence 1 + alpha, unobserved
+  /// cells confidence 1 (Hu, Koren & Volinsky 2008). The paper searches this
+  /// in {10, 20, 40, 100}.
+  double alpha = 40.0;
+  /// L2 regularization.
+  double reg = 0.01;
+  /// Alternating least squares sweeps.
+  int32_t sweeps = 10;
+  double init_stddev = 0.01;
+  uint64_t seed = 1;
+};
+
+/// Weighted Matrix Factorization (Hu et al., ICDM 2008) — the paper's
+/// pointwise baseline: treats implicit feedback as absolute preferences and
+/// minimizes the confidence-weighted square loss
+///   Σ_{u,i} c_ui (p_ui − U_u·V_i)² + reg(||U||² + ||V||²)
+/// by exact alternating least squares with the (C − I) sparse trick.
+class WmfTrainer : public FactorModelTrainer {
+ public:
+  explicit WmfTrainer(const WmfOptions& options);
+
+  Status Train(const Dataset& train) override;
+  std::string name() const override { return "WMF"; }
+
+ private:
+  WmfOptions options_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_BASELINES_WMF_H_

@@ -1,0 +1,173 @@
+#include "clapf/core/clapf_trainer.h"
+
+#include <cmath>
+
+#include "clapf/core/smoothing.h"
+#include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/math.h"
+
+namespace clapf {
+
+ClapfTrainer::ClapfTrainer(const ClapfOptions& options) : options_(options) {}
+
+std::string ClapfTrainer::name() const {
+  std::string base =
+      options_.sampler == ClapfSamplerKind::kDss ? "CLAPF+" : "CLAPF";
+  switch (options_.variant) {
+    case ClapfVariant::kMap:
+      base += "-MAP";
+      break;
+    case ClapfVariant::kMrr:
+      base += "-MRR";
+      break;
+    case ClapfVariant::kNdcg:
+      base += "-NDCG";
+      break;
+  }
+  if (options_.sampler == ClapfSamplerKind::kPositiveOnly) base += "(pos)";
+  if (options_.sampler == ClapfSamplerKind::kNegativeOnly) base += "(neg)";
+  return base;
+}
+
+std::unique_ptr<TripleSampler> ClapfTrainer::MakeSampler(
+    const Dataset& train) const {
+  const uint64_t sampler_seed = options_.sgd.seed ^ 0x5eedu;
+  if (options_.sampler == ClapfSamplerKind::kUniform) {
+    return std::make_unique<UniformTripleSampler>(&train, sampler_seed);
+  }
+  DssOptions dss;
+  dss.variant = options_.variant;
+  dss.tail_fraction = options_.dss_tail_fraction;
+  dss.refresh_interval = options_.dss_refresh_interval;
+  dss.adaptive_positive = options_.sampler != ClapfSamplerKind::kNegativeOnly;
+  dss.adaptive_negative = options_.sampler != ClapfSamplerKind::kPositiveOnly;
+  return std::make_unique<DssSampler>(&train, model_.get(), dss, sampler_seed);
+}
+
+Status ClapfTrainer::Train(const Dataset& train) {
+  if (options_.lambda < 0.0 || options_.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in [0, 1]");
+  }
+  if (options_.sgd.num_factors <= 0) {
+    return Status::InvalidArgument("num_factors must be positive");
+  }
+  if (options_.sgd.iterations < 0) {
+    return Status::InvalidArgument("iterations must be >= 0");
+  }
+  if (train.num_interactions() == 0) {
+    return Status::FailedPrecondition("training data is empty");
+  }
+  if (TrainableUsers(train).empty()) {
+    return Status::FailedPrecondition(
+        "no user has both observed and unobserved items");
+  }
+
+  Rng init_rng(options_.sgd.seed);
+  model_ = std::make_unique<FactorModel>(
+      train.num_users(), train.num_items(), options_.sgd.num_factors,
+      options_.sgd.use_item_bias);
+  model_->InitGaussian(init_rng, options_.sgd.init_stddev);
+
+  std::unique_ptr<TripleSampler> sampler = MakeSampler(train);
+
+  const double lambda = options_.lambda;
+  const bool is_map = options_.variant == ClapfVariant::kMap;
+  const bool is_ndcg = options_.variant == ClapfVariant::kNdcg;
+  // Margin coefficients: R = ci*f_ui + ck*f_uk + cj*f_uj. The NDCG
+  // instantiation shares the MRR margin; its rank bias comes from the
+  // per-triple discount weight below.
+  const double ci = is_map ? 1.0 - 2.0 * lambda : 1.0;
+  const double ck = is_map ? lambda : -lambda;
+  const double cj = -(1.0 - lambda);
+
+  const double lr0 = options_.sgd.learning_rate;
+  const double lr1 = lr0 * options_.sgd.final_learning_rate_fraction;
+  const double total = static_cast<double>(options_.sgd.iterations);
+  const double reg_u = options_.sgd.reg_user;
+  const double reg_v = options_.sgd.reg_item;
+  const double reg_b = options_.sgd.reg_bias;
+  const int32_t d = options_.sgd.num_factors;
+  const bool bias = options_.sgd.use_item_bias;
+
+  std::vector<double> user_snapshot(static_cast<size_t>(d));
+  double loss_acc = 0.0;
+  int64_t loss_count = 0;
+
+  for (int64_t it = 1; it <= options_.sgd.iterations; ++it) {
+    const double lr =
+        lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total);
+    const Triple t = sampler->Sample();
+    const double f_ui = model_->Score(t.u, t.i);
+    const double f_uk = model_->Score(t.u, t.k);
+    const double f_uj = model_->Score(t.u, t.j);
+    const double margin =
+        ClapfMargin(options_.variant, lambda, f_ui, f_uk, f_uj);
+    // d/dR of ln σ(R) = σ(−R); ascend the log-likelihood.
+    double g = Sigmoid(-margin);
+    loss_acc += -LogSigmoid(margin);
+    ++loss_count;
+
+    if (is_ndcg) {
+      // CLAPF-NDCG (library extension): weight the triple by the DCG
+      // discount at item i's current rank among the user's observed items,
+      // so gradient mass concentrates on the head of the list the way
+      // NDCG's gain does. rank_i = 1 + |{t ∈ I_u⁺ : f_ut > f_ui}|.
+      auto observed = train.ItemsOf(t.u);
+      int32_t rank = 1;
+      for (ItemId o : observed) {
+        if (o != t.i && model_->Score(t.u, o) > f_ui) ++rank;
+      }
+      g *= 1.0 / std::log2(1.0 + static_cast<double>(rank));
+    }
+
+    auto uu = model_->UserFactors(t.u);
+    auto vi = model_->ItemFactors(t.i);
+    auto vk = model_->ItemFactors(t.k);
+    auto vj = model_->ItemFactors(t.j);
+    for (int32_t f = 0; f < d; ++f) user_snapshot[f] = uu[f];
+
+    if (t.i == t.k) {
+      // Single-item users sample k == i; fold the coefficients so the item
+      // vector receives one consistent update.
+      const double c = ci + ck;
+      for (int32_t f = 0; f < d; ++f) {
+        const double u_old = user_snapshot[f];
+        uu[f] += lr * (g * (c * vi[f] + cj * vj[f]) - reg_u * uu[f]);
+        vi[f] += lr * (g * c * u_old - reg_v * vi[f]);
+        vj[f] += lr * (g * cj * u_old - reg_v * vj[f]);
+      }
+      if (bias) {
+        double& bi = model_->ItemBias(t.i);
+        double& bj = model_->ItemBias(t.j);
+        bi += lr * (g * c - reg_b * bi);
+        bj += lr * (g * cj - reg_b * bj);
+      }
+    } else {
+      for (int32_t f = 0; f < d; ++f) {
+        const double u_old = user_snapshot[f];
+        uu[f] += lr * (g * (ci * vi[f] + ck * vk[f] + cj * vj[f]) -
+                       reg_u * uu[f]);
+        vi[f] += lr * (g * ci * u_old - reg_v * vi[f]);
+        vk[f] += lr * (g * ck * u_old - reg_v * vk[f]);
+        vj[f] += lr * (g * cj * u_old - reg_v * vj[f]);
+      }
+      if (bias) {
+        double& bi = model_->ItemBias(t.i);
+        double& bk = model_->ItemBias(t.k);
+        double& bj = model_->ItemBias(t.j);
+        bi += lr * (g * ci - reg_b * bi);
+        bk += lr * (g * ck - reg_b * bk);
+        bj += lr * (g * cj - reg_b * bj);
+      }
+    }
+
+    MaybeProbe(it);
+  }
+
+  last_average_loss_ =
+      loss_count > 0 ? loss_acc / static_cast<double>(loss_count) : 0.0;
+  return Status::OK();
+}
+
+}  // namespace clapf

@@ -1,0 +1,67 @@
+#ifndef CLAPF_CORE_CLAPF_TRAINER_H_
+#define CLAPF_CORE_CLAPF_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clapf/core/trainer.h"
+#include "clapf/sampling/dss_sampler.h"
+#include "clapf/sampling/sampler.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Which sampler feeds the CLAPF SGD loop (paper §5 / Fig. 4 ablation):
+/// kUniform = CLAPF, kDss = CLAPF+; the partial samplers isolate the two
+/// adaptive halves of DSS.
+enum class ClapfSamplerKind { kUniform, kDss, kPositiveOnly, kNegativeOnly };
+
+/// Full configuration of a CLAPF run.
+struct ClapfOptions {
+  SgdOptions sgd;
+  /// CLAPF-MAP or CLAPF-MRR (Eqs. 18 / 21).
+  ClapfVariant variant = ClapfVariant::kMap;
+  /// Tradeoff λ ∈ [0, 1] fusing the listwise pair with the pairwise pair;
+  /// λ = 0 reduces CLAPF to BPR exactly.
+  double lambda = 0.4;
+  ClapfSamplerKind sampler = ClapfSamplerKind::kUniform;
+  /// Geometric/refresh knobs for the adaptive samplers (variant and the
+  /// adaptive_{positive,negative} switches are set automatically).
+  double dss_tail_fraction = 0.2;
+  int64_t dss_refresh_interval = 0;
+};
+
+/// Collaborative List-and-Pairwise Filtering (paper §4): matrix factorization
+/// trained by SGD on sampled triples (u, i, k, j) with the fused objective
+///   max Σ ln σ(R_{≻u}) − regularization,
+/// where R_{≻u} is the λ-weighted combination of the listwise margin between
+/// two observed items and the pairwise margin between an observed and an
+/// unobserved item.
+class ClapfTrainer : public FactorModelTrainer {
+ public:
+  explicit ClapfTrainer(const ClapfOptions& options);
+
+  /// Runs T SGD iterations. Returns InvalidArgument for a malformed config
+  /// or a dataset without trainable users.
+  Status Train(const Dataset& train) override;
+
+  /// "CLAPF-MAP", "CLAPF+-MRR", ... ("+" when the DSS sampler is active).
+  std::string name() const override;
+
+  const ClapfOptions& options() const { return options_; }
+
+  /// Average per-triple loss −ln σ(R_{≻u}) over the last trained epoch-sized
+  /// window (diagnostics).
+  double last_average_loss() const { return last_average_loss_; }
+
+ private:
+  std::unique_ptr<TripleSampler> MakeSampler(const Dataset& train) const;
+
+  ClapfOptions options_;
+  double last_average_loss_ = 0.0;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_CORE_CLAPF_TRAINER_H_

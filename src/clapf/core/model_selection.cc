@@ -1,0 +1,99 @@
+#include "clapf/core/model_selection.h"
+
+#include "clapf/data/split.h"
+#include "clapf/eval/evaluator.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+namespace {
+
+double ExtractMetric(const EvalSummary& summary, SelectionMetric metric) {
+  switch (metric) {
+    case SelectionMetric::kNdcgAt5:
+      return summary.AtK(5).ndcg;
+    case SelectionMetric::kMap:
+      return summary.map;
+    case SelectionMetric::kMrr:
+      return summary.mrr;
+    case SelectionMetric::kPrecisionAt5:
+      return summary.AtK(5).precision;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* SelectionMetricName(SelectionMetric metric) {
+  switch (metric) {
+    case SelectionMetric::kNdcgAt5:
+      return "NDCG@5";
+    case SelectionMetric::kMap:
+      return "MAP";
+    case SelectionMetric::kMrr:
+      return "MRR";
+    case SelectionMetric::kPrecisionAt5:
+      return "Prec@5";
+  }
+  return "?";
+}
+
+Result<SelectionResult> SelectClapfOptions(
+    const Dataset& train, const std::vector<ClapfOptions>& candidates,
+    SelectionMetric metric, uint64_t seed) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidates to select from");
+  }
+  TrainValidationSplit holdout = HoldOutOnePerUser(train, seed);
+  if (holdout.validation.num_interactions() == 0) {
+    return Status::FailedPrecondition(
+        "no user has enough items to hold out a validation pair");
+  }
+  Evaluator evaluator(&holdout.train, &holdout.validation);
+
+  SelectionResult result;
+  double best_score = -1.0;
+  for (size_t idx = 0; idx < candidates.size(); ++idx) {
+    ClapfTrainer trainer(candidates[idx]);
+    CLAPF_RETURN_IF_ERROR(trainer.Train(holdout.train));
+    const double score =
+        ExtractMetric(evaluator.Evaluate(*trainer.model(), {5}), metric);
+    result.trials.push_back(CandidateResult{candidates[idx], score});
+    if (score > best_score) {
+      best_score = score;
+      result.best_index = idx;
+    }
+  }
+  result.best_options = candidates[result.best_index];
+  return result;
+}
+
+Result<SelectionResult> SelectLambda(const Dataset& train,
+                                     const ClapfOptions& base,
+                                     const std::vector<double>& lambdas,
+                                     SelectionMetric metric, uint64_t seed) {
+  std::vector<ClapfOptions> candidates;
+  candidates.reserve(lambdas.size());
+  for (double lambda : lambdas) {
+    ClapfOptions options = base;
+    options.lambda = lambda;
+    candidates.push_back(options);
+  }
+  return SelectClapfOptions(train, candidates, metric, seed);
+}
+
+Result<SelectionResult> SelectIterations(
+    const Dataset& train, const ClapfOptions& base,
+    const std::vector<int64_t>& iteration_grid, SelectionMetric metric,
+    uint64_t seed) {
+  std::vector<ClapfOptions> candidates;
+  candidates.reserve(iteration_grid.size());
+  for (int64_t iterations : iteration_grid) {
+    ClapfOptions options = base;
+    options.sgd.iterations = iterations;
+    candidates.push_back(options);
+  }
+  return SelectClapfOptions(train, candidates, metric, seed);
+}
+
+}  // namespace clapf

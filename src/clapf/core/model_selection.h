@@ -1,0 +1,62 @@
+#ifndef CLAPF_CORE_MODEL_SELECTION_H_
+#define CLAPF_CORE_MODEL_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clapf/core/clapf_trainer.h"
+#include "clapf/data/dataset.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// The validation metric a selection optimizes. The paper selects every
+/// hyper-parameter by NDCG@5 on a one-pair-per-user validation split (§6.3).
+enum class SelectionMetric { kNdcgAt5, kMap, kMrr, kPrecisionAt5 };
+
+/// One evaluated candidate.
+struct CandidateResult {
+  ClapfOptions options;
+  double validation_score = 0.0;
+};
+
+/// Outcome of a grid search.
+struct SelectionResult {
+  /// Index of the winner in the candidate list.
+  size_t best_index = 0;
+  /// The winning configuration (copy of candidates[best_index]).
+  ClapfOptions best_options;
+  /// Every candidate with its validation score, in input order.
+  std::vector<CandidateResult> trials;
+};
+
+/// Evaluates each candidate CLAPF configuration on a one-pair-per-user
+/// validation split carved out of `train` and returns the best by `metric`.
+/// Deterministic given `seed`. Returns InvalidArgument for an empty
+/// candidate list, FailedPrecondition when no validation pair can be held
+/// out.
+Result<SelectionResult> SelectClapfOptions(
+    const Dataset& train, const std::vector<ClapfOptions>& candidates,
+    SelectionMetric metric, uint64_t seed);
+
+/// Convenience: sweeps λ over `lambdas` with everything else from `base`
+/// (the paper's λ selection protocol).
+Result<SelectionResult> SelectLambda(const Dataset& train,
+                                     const ClapfOptions& base,
+                                     const std::vector<double>& lambdas,
+                                     SelectionMetric metric, uint64_t seed);
+
+/// Convenience: sweeps the SGD iteration budget T (the paper's
+/// T ∈ {1e3, 1e4, 1e5} protocol).
+Result<SelectionResult> SelectIterations(
+    const Dataset& train, const ClapfOptions& base,
+    const std::vector<int64_t>& iteration_grid, SelectionMetric metric,
+    uint64_t seed);
+
+/// Human-readable metric name.
+const char* SelectionMetricName(SelectionMetric metric);
+
+}  // namespace clapf
+
+#endif  // CLAPF_CORE_MODEL_SELECTION_H_

@@ -1,0 +1,104 @@
+#include "clapf/core/smoothing.h"
+
+#include "clapf/util/logging.h"
+#include "clapf/util/math.h"
+
+namespace clapf {
+
+double SmoothedReciprocalRank(const FactorModel& model, const Dataset& data,
+                              UserId u) {
+  auto items = data.ItemsOf(u);
+  double rr = 0.0;
+  for (ItemId i : items) {
+    const double f_ui = model.Score(u, i);
+    double prod = Sigmoid(f_ui);
+    for (ItemId k : items) {
+      prod *= 1.0 - Sigmoid(model.Score(u, k) - f_ui);
+    }
+    rr += prod;
+  }
+  return rr;
+}
+
+double SmoothedAveragePrecision(const FactorModel& model, const Dataset& data,
+                                UserId u) {
+  auto items = data.ItemsOf(u);
+  if (items.empty()) return 0.0;
+  double ap = 0.0;
+  for (ItemId i : items) {
+    const double f_ui = model.Score(u, i);
+    double inner = 0.0;
+    for (ItemId k : items) {
+      inner += Sigmoid(model.Score(u, k) - f_ui);
+    }
+    ap += Sigmoid(f_ui) * inner;
+  }
+  return ap / static_cast<double>(items.size());
+}
+
+double ClimfLowerBound(const FactorModel& model, const Dataset& data,
+                       UserId u) {
+  auto items = data.ItemsOf(u);
+  double total = 0.0;
+  for (ItemId i : items) {
+    const double f_ui = model.Score(u, i);
+    total += LogSigmoid(f_ui);
+    for (ItemId k : items) {
+      if (k == i) continue;
+      total += LogSigmoid(f_ui - model.Score(u, k));
+    }
+  }
+  return total;
+}
+
+double MapLowerBound(const FactorModel& model, const Dataset& data, UserId u) {
+  auto items = data.ItemsOf(u);
+  double total = 0.0;
+  for (ItemId i : items) {
+    const double f_ui = model.Score(u, i);
+    total += LogSigmoid(f_ui);
+    for (ItemId k : items) {
+      if (k == i) continue;
+      total += LogSigmoid(model.Score(u, k) - f_ui);
+    }
+  }
+  return total;
+}
+
+double ClapfMargin(ClapfVariant variant, double lambda, double f_ui,
+                   double f_uk, double f_uj) {
+  if (variant == ClapfVariant::kMap) {
+    return lambda * (f_uk - f_ui) + (1.0 - lambda) * (f_ui - f_uj);
+  }
+  // kMrr and kNdcg share the margin; kNdcg adds a rank-discount weight at
+  // the gradient level (see ClapfTrainer).
+  return lambda * (f_ui - f_uk) + (1.0 - lambda) * (f_ui - f_uj);
+}
+
+double ClapfTripleLoss(ClapfVariant variant, double lambda, double f_ui,
+                       double f_uk, double f_uj) {
+  return -LogSigmoid(ClapfMargin(variant, lambda, f_ui, f_uk, f_uj));
+}
+
+double ExactClapfLogLikelihood(const FactorModel& model, const Dataset& data,
+                               ClapfVariant variant, double lambda) {
+  double total = 0.0;
+  const int32_t m = data.num_items();
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    auto items = data.ItemsOf(u);
+    for (ItemId i : items) {
+      const double f_ui = model.Score(u, i);
+      for (ItemId k : items) {
+        const double f_uk = model.Score(u, k);
+        for (ItemId j = 0; j < m; ++j) {
+          if (data.IsObserved(u, j)) continue;
+          total += LogSigmoid(
+              ClapfMargin(variant, lambda, f_ui, f_uk, model.Score(u, j)));
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace clapf

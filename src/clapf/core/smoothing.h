@@ -1,0 +1,53 @@
+#ifndef CLAPF_CORE_SMOOTHING_H_
+#define CLAPF_CORE_SMOOTHING_H_
+
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/sampling/dss_sampler.h"  // ClapfVariant
+
+namespace clapf {
+
+/// The paper's smoothed rank-biased quantities (§3.3 and §4.1). These are
+/// analysis/verification tools: training optimizes the sampled lower-bound
+/// objectives, while tests use these functions to check the smoothing and
+/// lower-bound derivations (Eqs. 6, 9, 7, 12, 11).
+
+/// Smoothed Reciprocal Rank, Eq. (6):
+///   RR_u = Σ_i Y_ui σ(f_ui) Π_k (1 − Y_uk σ(f_uk − f_ui)).
+double SmoothedReciprocalRank(const FactorModel& model, const Dataset& data,
+                              UserId u);
+
+/// Smoothed Average Precision, Eq. (9):
+///   AP_u = (1/n_u⁺) Σ_i Y_ui σ(f_ui) Σ_k Y_uk σ(f_uk − f_ui).
+double SmoothedAveragePrecision(const FactorModel& model, const Dataset& data,
+                                UserId u);
+
+/// CLiMF lower-bound objective for one user, Eq. (7):
+///   L = Σ_{i∈I⁺} ln σ(f_ui) + Σ_{i,k∈I⁺,k≠i} ln σ(f_ui − f_uk).
+double ClimfLowerBound(const FactorModel& model, const Dataset& data,
+                       UserId u);
+
+/// Smoothed-MAP lower-bound objective for one user, Eq. (12):
+///   L = Σ_{i∈I⁺} ln σ(f_ui) + Σ_{i,k∈I⁺,k≠i} ln σ(f_uk − f_ui).
+double MapLowerBound(const FactorModel& model, const Dataset& data, UserId u);
+
+/// The fused CLAPF ranking margin R_{≻u} (Eqs. 16 / 19) for one sampled
+/// triple: MAP uses λ(f_uk − f_ui) + (1−λ)(f_ui − f_uj); MRR uses
+/// λ(f_ui − f_uk) + (1−λ)(f_ui − f_uj).
+double ClapfMargin(ClapfVariant variant, double lambda, double f_ui,
+                   double f_uk, double f_uj);
+
+/// Per-triple CLAPF loss −ln σ(R_{≻u}) without regularization.
+double ClapfTripleLoss(ClapfVariant variant, double lambda, double f_ui,
+                       double f_uk, double f_uj);
+
+/// Exact full objective ln CLAPF (Eq. 18 / 21) summed over every
+/// (i, k, j) combination — O(n·n_u²·(m−n_u)), only for tiny test datasets.
+double ExactClapfLogLikelihood(const FactorModel& model, const Dataset& data,
+                               ClapfVariant variant, double lambda);
+
+}  // namespace clapf
+
+#endif  // CLAPF_CORE_SMOOTHING_H_

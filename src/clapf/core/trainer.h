@@ -1,0 +1,96 @@
+#ifndef CLAPF_CORE_TRAINER_H_
+#define CLAPF_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "clapf/data/dataset.h"
+#include "clapf/eval/evaluator.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Hyper-parameters shared by all SGD matrix-factorization trainers
+/// (BPR, MPR, CLiMF, CLAPF). Defaults follow the paper's §6.3 settings.
+struct SgdOptions {
+  /// Latent dimensionality d (paper fixes d = 20).
+  int32_t num_factors = 20;
+  /// Learning rate γ (initial value when decay is enabled).
+  double learning_rate = 0.05;
+  /// Final learning rate as a fraction of `learning_rate`, reached linearly
+  /// at the last iteration. 1.0 = constant rate. SGD with a decaying rate
+  /// settles instead of orbiting a noise ball.
+  double final_learning_rate_fraction = 1.0;
+  /// L2 regularization α_u, α_v, β_v.
+  double reg_user = 0.01;
+  double reg_item = 0.01;
+  double reg_bias = 0.01;
+  /// Number of single-sample SGD iterations T.
+  int64_t iterations = 100000;
+  /// Learn an item bias b_i (paper's predictor f_ui = U_u·V_i + b_i).
+  bool use_item_bias = true;
+  /// Stddev of the Gaussian parameter initialization.
+  double init_stddev = 0.01;
+  /// Seed for initialization and sampling.
+  uint64_t seed = 1;
+};
+
+/// A recommendation method that can be fitted to a training dataset and then
+/// scores items per user. All of the paper's methods (CLAPF and the nine
+/// baselines) implement this interface, which is what the benchmark harness
+/// and the Evaluator consume.
+class Trainer : public Ranker {
+ public:
+  /// Observation hook invoked every `interval` iterations during training
+  /// (used by the Fig. 4 convergence experiments). Receives the 1-based
+  /// iteration count.
+  using ProbeFn = std::function<void(int64_t iteration, const Trainer&)>;
+
+  ~Trainer() override = default;
+
+  /// Fits the method. May be called once per instance.
+  virtual Status Train(const Dataset& train) = 0;
+
+  /// Display name, e.g. "CLAPF-MAP" or "BPR".
+  virtual std::string name() const = 0;
+
+  /// Installs the training probe; pass interval <= 0 to disable.
+  void SetProbe(int64_t interval, ProbeFn fn) {
+    probe_interval_ = interval;
+    probe_ = std::move(fn);
+  }
+
+ protected:
+  /// Invokes the probe if one is due at `iteration` (1-based).
+  void MaybeProbe(int64_t iteration) {
+    if (probe_ && probe_interval_ > 0 && iteration % probe_interval_ == 0) {
+      probe_(iteration, *this);
+    }
+  }
+
+ private:
+  int64_t probe_interval_ = 0;
+  ProbeFn probe_;
+};
+
+/// Base for trainers whose predictor is a FactorModel; wires ScoreItems to
+/// the model and exposes it for inspection/serialization.
+class FactorModelTrainer : public Trainer {
+ public:
+  /// The fitted model; null before Train().
+  const FactorModel* model() const { return model_.get(); }
+
+  void ScoreItems(UserId u, std::vector<double>* scores) const override {
+    model_->ScoreAllItems(u, scores);
+  }
+
+ protected:
+  std::unique_ptr<FactorModel> model_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_CORE_TRAINER_H_

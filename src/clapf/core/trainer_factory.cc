@@ -1,0 +1,133 @@
+#include "clapf/core/trainer_factory.h"
+
+#include "clapf/baselines/gbpr.h"
+#include "clapf/baselines/pop_rank.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/string_util.h"
+
+namespace clapf {
+
+std::vector<MethodKind> AllMethods() {
+  return {MethodKind::kPopRank,      MethodKind::kRandomWalk,
+          MethodKind::kWmf,          MethodKind::kBpr,
+          MethodKind::kMpr,          MethodKind::kClimf,
+          MethodKind::kNeuMf,        MethodKind::kNeuPr,
+          MethodKind::kDeepIcf,      MethodKind::kClapfMap,
+          MethodKind::kClapfMrr,     MethodKind::kClapfPlusMap,
+          MethodKind::kClapfPlusMrr};
+}
+
+std::vector<MethodKind> AllMethodsWithExtensions() {
+  std::vector<MethodKind> methods = AllMethods();
+  methods.push_back(MethodKind::kGbpr);
+  methods.push_back(MethodKind::kClapfNdcg);
+  return methods;
+}
+
+std::string MethodName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kPopRank:
+      return "PopRank";
+    case MethodKind::kRandomWalk:
+      return "RandomWalk";
+    case MethodKind::kWmf:
+      return "WMF";
+    case MethodKind::kBpr:
+      return "BPR";
+    case MethodKind::kMpr:
+      return "MPR";
+    case MethodKind::kClimf:
+      return "CLiMF";
+    case MethodKind::kNeuMf:
+      return "NeuMF";
+    case MethodKind::kNeuPr:
+      return "NeuPR";
+    case MethodKind::kDeepIcf:
+      return "DeepICF";
+    case MethodKind::kClapfMap:
+      return "CLAPF-MAP";
+    case MethodKind::kClapfMrr:
+      return "CLAPF-MRR";
+    case MethodKind::kClapfPlusMap:
+      return "CLAPF+-MAP";
+    case MethodKind::kClapfPlusMrr:
+      return "CLAPF+-MRR";
+    case MethodKind::kGbpr:
+      return "GBPR";
+    case MethodKind::kClapfNdcg:
+      return "CLAPF-NDCG";
+  }
+  return "?";
+}
+
+Result<MethodKind> ParseMethodName(const std::string& name) {
+  const std::string key = ToLower(name);
+  for (MethodKind kind : AllMethodsWithExtensions()) {
+    if (ToLower(MethodName(kind)) == key) return kind;
+  }
+  return Status::NotFound("unknown method: " + name);
+}
+
+std::unique_ptr<Trainer> MakeTrainer(MethodKind kind,
+                                     const MethodConfig& config) {
+  switch (kind) {
+    case MethodKind::kPopRank:
+      return std::make_unique<PopRankTrainer>();
+    case MethodKind::kRandomWalk:
+      return std::make_unique<RandomWalkTrainer>(config.random_walk);
+    case MethodKind::kWmf:
+      return std::make_unique<WmfTrainer>(config.wmf);
+    case MethodKind::kBpr: {
+      BprOptions opts;
+      opts.sgd = config.sgd;
+      return std::make_unique<BprTrainer>(opts);
+    }
+    case MethodKind::kMpr: {
+      MprOptions opts;
+      opts.sgd = config.sgd;
+      opts.rho = config.mpr_rho;
+      return std::make_unique<MprTrainer>(opts);
+    }
+    case MethodKind::kClimf:
+      return std::make_unique<ClimfTrainer>(config.climf);
+    case MethodKind::kNeuMf:
+      return std::make_unique<NeuMfTrainer>(config.neumf);
+    case MethodKind::kNeuPr:
+      return std::make_unique<NeuPrTrainer>(config.neupr);
+    case MethodKind::kDeepIcf:
+      return std::make_unique<DeepIcfTrainer>(config.deepicf);
+    case MethodKind::kGbpr: {
+      GbprOptions opts;
+      opts.sgd = config.sgd;
+      opts.rho = config.gbpr_rho;
+      opts.group_size = config.gbpr_group_size;
+      return std::make_unique<GbprTrainer>(opts);
+    }
+    case MethodKind::kClapfMap:
+    case MethodKind::kClapfMrr:
+    case MethodKind::kClapfNdcg:
+    case MethodKind::kClapfPlusMap:
+    case MethodKind::kClapfPlusMrr: {
+      ClapfOptions opts;
+      opts.sgd = config.sgd;
+      opts.lambda = config.clapf_lambda;
+      if (kind == MethodKind::kClapfMap || kind == MethodKind::kClapfPlusMap) {
+        opts.variant = ClapfVariant::kMap;
+      } else if (kind == MethodKind::kClapfNdcg) {
+        opts.variant = ClapfVariant::kNdcg;
+      } else {
+        opts.variant = ClapfVariant::kMrr;
+      }
+      opts.sampler = (kind == MethodKind::kClapfPlusMap ||
+                      kind == MethodKind::kClapfPlusMrr)
+                         ? ClapfSamplerKind::kDss
+                         : ClapfSamplerKind::kUniform;
+      opts.dss_tail_fraction = config.dss_tail_fraction;
+      return std::make_unique<ClapfTrainer>(opts);
+    }
+  }
+  CLAPF_CHECK(false) << "unhandled method kind";
+  return nullptr;
+}
+
+}  // namespace clapf

@@ -1,0 +1,77 @@
+#ifndef CLAPF_CORE_TRAINER_FACTORY_H_
+#define CLAPF_CORE_TRAINER_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clapf/baselines/bpr.h"
+#include "clapf/baselines/climf.h"
+#include "clapf/baselines/deep_icf.h"
+#include "clapf/baselines/mpr.h"
+#include "clapf/baselines/neu_mf.h"
+#include "clapf/baselines/neu_pr.h"
+#include "clapf/baselines/random_walk.h"
+#include "clapf/baselines/wmf.h"
+#include "clapf/core/clapf_trainer.h"
+#include "clapf/core/trainer.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Every method evaluated in the paper's Table 2, plus the CLAPF+ variants.
+enum class MethodKind {
+  kPopRank,
+  kRandomWalk,
+  kWmf,
+  kBpr,
+  kMpr,
+  kClimf,
+  kNeuMf,
+  kNeuPr,
+  kDeepIcf,
+  kClapfMap,       // CLAPF-MAP, uniform sampler
+  kClapfMrr,       // CLAPF-MRR, uniform sampler
+  kClapfPlusMap,   // CLAPF+-MAP, DSS sampler
+  kClapfPlusMrr,   // CLAPF+-MRR, DSS sampler
+  // Extensions beyond the paper's Table 2:
+  kGbpr,           // Group BPR (Pan & Chen 2013), cited in §2.1
+  kClapfNdcg,      // CLAPF-NDCG, this library's smoothed-NDCG instantiation
+};
+
+/// All methods in the paper's Table 2 row order (extensions excluded).
+std::vector<MethodKind> AllMethods();
+
+/// Table 2 methods plus the extension methods (GBPR, CLAPF-NDCG).
+std::vector<MethodKind> AllMethodsWithExtensions();
+
+/// Display name matching the paper ("PopRank", "CLAPF-MAP", ...).
+std::string MethodName(MethodKind kind);
+
+/// Parses a method name, case-insensitively ("clapf-map", "bpr", ...).
+Result<MethodKind> ParseMethodName(const std::string& name);
+
+/// One configuration bag covering every method; each trainer reads only its
+/// own section. The benchmark harness fills this from presets/flags.
+struct MethodConfig {
+  SgdOptions sgd;              // MF SGD methods (BPR/MPR/CLAPF/GBPR)
+  double clapf_lambda = 0.4;   // λ for CLAPF (paper tunes per dataset)
+  double mpr_rho = 0.5;
+  double gbpr_rho = 0.6;       // group-vs-individual weight for GBPR
+  int32_t gbpr_group_size = 3;
+  ClimfOptions climf;
+  WmfOptions wmf;
+  RandomWalkOptions random_walk;
+  NeuMfOptions neumf;
+  NeuPrOptions neupr;
+  DeepIcfOptions deepicf;
+  double dss_tail_fraction = 0.2;
+};
+
+/// Instantiates a trainer for `kind` configured from `config`.
+std::unique_ptr<Trainer> MakeTrainer(MethodKind kind,
+                                     const MethodConfig& config);
+
+}  // namespace clapf
+
+#endif  // CLAPF_CORE_TRAINER_FACTORY_H_

@@ -1,0 +1,43 @@
+#include "clapf/data/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "clapf/util/string_util.h"
+
+namespace clapf {
+
+double Dataset::Density() const {
+  if (num_users_ == 0 || num_items_ == 0) return 0.0;
+  return static_cast<double>(num_interactions()) /
+         (static_cast<double>(num_users_) * static_cast<double>(num_items_));
+}
+
+bool Dataset::IsObserved(UserId u, ItemId i) const {
+  auto items = ItemsOf(u);
+  return std::binary_search(items.begin(), items.end(), i);
+}
+
+int32_t Dataset::NumActiveUsers() const {
+  int32_t active = 0;
+  for (UserId u = 0; u < num_users_; ++u) {
+    if (NumItemsOf(u) > 0) ++active;
+  }
+  return active;
+}
+
+std::vector<int64_t> Dataset::ItemPopularity() const {
+  std::vector<int64_t> pop(num_items_, 0);
+  for (ItemId i : items_) ++pop[i];
+  return pop;
+}
+
+std::string Dataset::Summary() const {
+  std::ostringstream os;
+  os << "Dataset(n=" << num_users_ << ", m=" << num_items_
+     << ", |P|=" << num_interactions()
+     << ", density=" << FormatDouble(Density() * 100.0, 3) << "%)";
+  return os.str();
+}
+
+}  // namespace clapf

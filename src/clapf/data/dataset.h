@@ -1,0 +1,77 @@
+#ifndef CLAPF_DATA_DATASET_H_
+#define CLAPF_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clapf {
+
+/// User and item ids are dense 32-bit indices in [0, NumUsers()/NumItems()).
+using UserId = int32_t;
+using ItemId = int32_t;
+
+/// Immutable implicit-feedback interaction store in CSR layout: for each user
+/// the sorted list of observed (positive) items. This is the binary relevance
+/// matrix Y of the paper; Y_ui = 1 iff `i` appears in ItemsOf(u).
+///
+/// Construction goes through DatasetBuilder (deduplicates, sorts, validates).
+class Dataset {
+ public:
+  /// Empty dataset with fixed dimensions; used by DatasetBuilder.
+  Dataset() = default;
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+
+  /// Total number of observed user-item pairs (|P| in the paper's Table 1).
+  int64_t num_interactions() const {
+    return static_cast<int64_t>(items_.size());
+  }
+
+  /// Fraction of the n×m matrix that is observed.
+  double Density() const;
+
+  /// Sorted observed items of user `u` (the set I_u^+). The span is valid as
+  /// long as the Dataset is alive.
+  std::span<const ItemId> ItemsOf(UserId u) const {
+    return std::span<const ItemId>(items_.data() + offsets_[u],
+                                   items_.data() + offsets_[u + 1]);
+  }
+
+  /// |I_u^+|, the user's activity n_u^+.
+  int32_t NumItemsOf(UserId u) const {
+    return static_cast<int32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// True iff (u, i) is an observed interaction. O(log |I_u^+|).
+  bool IsObserved(UserId u, ItemId i) const;
+
+  /// Number of users with at least one observed item.
+  int32_t NumActiveUsers() const;
+
+  /// Item popularity counts: result[i] = number of users who interacted
+  /// with item i.
+  std::vector<int64_t> ItemPopularity() const;
+
+  /// Flat (user, item) pair view, grouped by user; pair p belongs to the user
+  /// whose offset range contains p.
+  const std::vector<ItemId>& flat_items() const { return items_; }
+  const std::vector<int64_t>& offsets() const { return offsets_; }
+
+  /// One-line summary for logs: "Dataset(n=..., m=..., |P|=..., density=..)".
+  std::string Summary() const;
+
+ private:
+  friend class DatasetBuilder;
+
+  int32_t num_users_ = 0;
+  int32_t num_items_ = 0;
+  std::vector<int64_t> offsets_;  // size num_users_ + 1
+  std::vector<ItemId> items_;     // sorted within each user range
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_DATA_DATASET_H_

@@ -1,0 +1,57 @@
+#include "clapf/data/dataset_builder.h"
+
+#include <algorithm>
+#include <string>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+DatasetBuilder::DatasetBuilder(int32_t num_users, int32_t num_items)
+    : num_users_(num_users), num_items_(num_items) {
+  CLAPF_CHECK(num_users >= 0);
+  CLAPF_CHECK(num_items >= 0);
+}
+
+Status DatasetBuilder::Add(UserId u, ItemId i) {
+  if (u < 0 || u >= num_users_) {
+    return Status::OutOfRange("user id " + std::to_string(u) +
+                              " outside [0, " + std::to_string(num_users_) +
+                              ")");
+  }
+  if (i < 0 || i >= num_items_) {
+    return Status::OutOfRange("item id " + std::to_string(i) +
+                              " outside [0, " + std::to_string(num_items_) +
+                              ")");
+  }
+  pairs_.emplace_back(u, i);
+  return Status::OK();
+}
+
+Status DatasetBuilder::AddAll(
+    const std::vector<std::pair<UserId, ItemId>>& pairs) {
+  for (const auto& [u, i] : pairs) CLAPF_RETURN_IF_ERROR(Add(u, i));
+  return Status::OK();
+}
+
+Dataset DatasetBuilder::Build() {
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+
+  Dataset ds;
+  ds.num_users_ = num_users_;
+  ds.num_items_ = num_items_;
+  ds.offsets_.assign(static_cast<size_t>(num_users_) + 1, 0);
+  ds.items_.reserve(pairs_.size());
+  for (const auto& [u, i] : pairs_) {
+    ++ds.offsets_[static_cast<size_t>(u) + 1];
+    ds.items_.push_back(i);
+  }
+  for (size_t u = 1; u < ds.offsets_.size(); ++u) {
+    ds.offsets_[u] += ds.offsets_[u - 1];
+  }
+  pairs_.clear();
+  return ds;
+}
+
+}  // namespace clapf

@@ -1,0 +1,42 @@
+#ifndef CLAPF_DATA_DATASET_BUILDER_H_
+#define CLAPF_DATA_DATASET_BUILDER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Accumulates (user, item) interactions and freezes them into a Dataset.
+/// Duplicates are collapsed; ids must already be dense indices within the
+/// declared dimensions.
+class DatasetBuilder {
+ public:
+  /// Declares the matrix dimensions; pairs outside them are rejected.
+  DatasetBuilder(int32_t num_users, int32_t num_items);
+
+  /// Adds one observed interaction. Returns InvalidArgument when (u, i) is
+  /// out of the declared range.
+  Status Add(UserId u, ItemId i);
+
+  /// Adds many pairs; stops at the first invalid one.
+  Status AddAll(const std::vector<std::pair<UserId, ItemId>>& pairs);
+
+  int64_t num_added() const { return static_cast<int64_t>(pairs_.size()); }
+
+  /// Sorts, deduplicates, and produces the immutable Dataset. The builder is
+  /// left empty and can be reused.
+  Dataset Build();
+
+ private:
+  int32_t num_users_;
+  int32_t num_items_;
+  std::vector<std::pair<UserId, ItemId>> pairs_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_DATA_DATASET_BUILDER_H_

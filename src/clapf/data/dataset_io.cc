@@ -1,0 +1,100 @@
+#include "clapf/data/dataset_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "clapf/data/dataset_builder.h"
+
+namespace clapf {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'L', 'D', 'S'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, dataset.num_users());
+  WritePod(out, dataset.num_items());
+  const int64_t nnz = dataset.num_interactions();
+  WritePod(out, nnz);
+  const auto& offsets = dataset.offsets();
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(int64_t)));
+  const auto& items = dataset.flat_items();
+  out.write(reinterpret_cast<const char*>(items.data()),
+            static_cast<std::streamsize>(items.size() * sizeof(ItemId)));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported dataset version in " + path);
+  }
+  int32_t num_users = 0, num_items = 0;
+  int64_t nnz = 0;
+  if (!ReadPod(in, &num_users) || !ReadPod(in, &num_items) ||
+      !ReadPod(in, &nnz)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  if (num_users < 0 || num_items < 0 || nnz < 0) {
+    return Status::Corruption("invalid dimensions in " + path);
+  }
+
+  std::vector<int64_t> offsets(static_cast<size_t>(num_users) + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(int64_t)));
+  if (!in) return Status::Corruption("truncated offsets in " + path);
+  if (offsets.front() != 0 || offsets.back() != nnz) {
+    return Status::Corruption("inconsistent CSR offsets in " + path);
+  }
+  for (size_t u = 1; u < offsets.size(); ++u) {
+    if (offsets[u] < offsets[u - 1]) {
+      return Status::Corruption("non-monotonic CSR offsets in " + path);
+    }
+  }
+  std::vector<ItemId> items(static_cast<size_t>(nnz));
+  in.read(reinterpret_cast<char*>(items.data()),
+          static_cast<std::streamsize>(items.size() * sizeof(ItemId)));
+  if (!in) return Status::Corruption("truncated items in " + path);
+
+  DatasetBuilder builder(num_users, num_items);
+  for (int32_t u = 0; u < num_users; ++u) {
+    for (int64_t p = offsets[static_cast<size_t>(u)];
+         p < offsets[static_cast<size_t>(u) + 1]; ++p) {
+      CLAPF_RETURN_IF_ERROR(builder.Add(u, items[static_cast<size_t>(p)]));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace clapf

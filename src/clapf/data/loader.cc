@@ -1,0 +1,116 @@
+#include "clapf/data/loader.h"
+
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "clapf/data/dataset_builder.h"
+#include "clapf/util/string_util.h"
+
+namespace clapf {
+
+namespace {
+
+// Splits one record into fields according to the file format.
+Result<std::vector<std::string>> SplitRecord(const std::string& line,
+                                             FileFormat format) {
+  switch (format) {
+    case FileFormat::kTabSeparated:
+      return Split(line, '\t');
+    case FileFormat::kDoubleColon: {
+      std::vector<std::string> fields;
+      size_t start = 0;
+      while (true) {
+        size_t pos = line.find("::", start);
+        if (pos == std::string::npos) {
+          fields.emplace_back(line.substr(start));
+          break;
+        }
+        fields.emplace_back(line.substr(start, pos - start));
+        start = pos + 2;
+      }
+      return fields;
+    }
+    case FileFormat::kCsv:
+      return Split(line, ',');
+    case FileFormat::kPairs:
+      return SplitWhitespace(line);
+  }
+  return Status::InvalidArgument("unknown file format");
+}
+
+}  // namespace
+
+Result<Dataset> LoadInteractions(const std::string& path,
+                                 const LoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  std::unordered_map<int64_t, UserId> user_map;
+  std::unordered_map<int64_t, ItemId> item_map;
+  std::vector<std::pair<UserId, ItemId>> pairs;
+
+  std::string line;
+  bool first = true;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (first && options.has_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+
+    auto fields = SplitRecord(std::string(trimmed), options.format);
+    if (!fields.ok()) return fields.status();
+    size_t required = options.format == FileFormat::kPairs ? 2 : 3;
+    if (fields->size() < required) {
+      return Status::Corruption("line " + std::to_string(line_no) + " in " +
+                                path + ": expected at least " +
+                                std::to_string(required) + " fields");
+    }
+
+    auto raw_user = ParseInt64((*fields)[0]);
+    auto raw_item = ParseInt64((*fields)[1]);
+    if (!raw_user.ok()) return raw_user.status();
+    if (!raw_item.ok()) return raw_item.status();
+
+    if (options.format != FileFormat::kPairs) {
+      auto rating = ParseDouble((*fields)[2]);
+      if (!rating.ok()) return rating.status();
+      // The paper keeps only ratings > threshold as positive feedback.
+      if (*rating <= options.rating_threshold) continue;
+    }
+
+    auto [uit, u_inserted] = user_map.try_emplace(
+        *raw_user, static_cast<UserId>(user_map.size()));
+    auto [iit, i_inserted] = item_map.try_emplace(
+        *raw_item, static_cast<ItemId>(item_map.size()));
+    (void)u_inserted;
+    (void)i_inserted;
+    pairs.emplace_back(uit->second, iit->second);
+  }
+
+  DatasetBuilder builder(static_cast<int32_t>(user_map.size()),
+                         static_cast<int32_t>(item_map.size()));
+  CLAPF_RETURN_IF_ERROR(builder.AddAll(pairs));
+  return builder.Build();
+}
+
+Status SaveAsPairs(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    for (ItemId i : dataset.ItemsOf(u)) {
+      out << u << '\t' << i << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace clapf

@@ -1,0 +1,44 @@
+#ifndef CLAPF_DATA_LOADER_H_
+#define CLAPF_DATA_LOADER_H_
+
+#include <string>
+
+#include "clapf/data/dataset.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// On-disk layout of a ratings/interactions file.
+enum class FileFormat {
+  /// "user<TAB>item<TAB>rating<TAB>timestamp" — MovieLens 100K u.data.
+  kTabSeparated,
+  /// "user::item::rating::timestamp" — MovieLens 1M ratings.dat.
+  kDoubleColon,
+  /// "user,item,rating[,timestamp]" with optional header — MovieLens 20M.
+  kCsv,
+  /// "user<WS>item" pairs only, already implicit.
+  kPairs,
+};
+
+/// Options controlling how raw ratings become implicit feedback.
+struct LoadOptions {
+  FileFormat format = FileFormat::kTabSeparated;
+  /// Ratings strictly greater than this are kept as positive feedback
+  /// (the paper keeps ratings > 3). Ignored for kPairs.
+  double rating_threshold = 3.0;
+  /// Skip the first line (CSV header).
+  bool has_header = false;
+};
+
+/// Loads an interactions file and binarizes it per `options`. Raw user/item
+/// ids are remapped to dense indices in first-seen order; the mapping is not
+/// retained (ranking experiments only need the dense matrix).
+Result<Dataset> LoadInteractions(const std::string& path,
+                                 const LoadOptions& options);
+
+/// Writes `dataset` as "user<TAB>item" pairs so external tools can consume it.
+Status SaveAsPairs(const Dataset& dataset, const std::string& path);
+
+}  // namespace clapf
+
+#endif  // CLAPF_DATA_LOADER_H_

@@ -1,0 +1,52 @@
+#include "clapf/data/split.h"
+
+#include <utility>
+#include <vector>
+
+#include "clapf/data/dataset_builder.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/random.h"
+
+namespace clapf {
+
+TrainTestSplit SplitRandom(const Dataset& dataset, double train_fraction,
+                           uint64_t seed) {
+  CLAPF_CHECK(train_fraction >= 0.0 && train_fraction <= 1.0);
+  Rng rng(seed);
+  DatasetBuilder train_builder(dataset.num_users(), dataset.num_items());
+  DatasetBuilder test_builder(dataset.num_users(), dataset.num_items());
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    for (ItemId i : dataset.ItemsOf(u)) {
+      if (rng.Bernoulli(train_fraction)) {
+        CLAPF_CHECK_OK(train_builder.Add(u, i));
+      } else {
+        CLAPF_CHECK_OK(test_builder.Add(u, i));
+      }
+    }
+  }
+  return TrainTestSplit{train_builder.Build(), test_builder.Build()};
+}
+
+TrainValidationSplit HoldOutOnePerUser(const Dataset& train, uint64_t seed) {
+  Rng rng(seed);
+  DatasetBuilder train_builder(train.num_users(), train.num_items());
+  DatasetBuilder val_builder(train.num_users(), train.num_items());
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    auto items = train.ItemsOf(u);
+    if (items.size() < 2) {
+      for (ItemId i : items) CLAPF_CHECK_OK(train_builder.Add(u, i));
+      continue;
+    }
+    size_t held = static_cast<size_t>(rng.Uniform(items.size()));
+    for (size_t idx = 0; idx < items.size(); ++idx) {
+      if (idx == held) {
+        CLAPF_CHECK_OK(val_builder.Add(u, items[idx]));
+      } else {
+        CLAPF_CHECK_OK(train_builder.Add(u, items[idx]));
+      }
+    }
+  }
+  return TrainValidationSplit{train_builder.Build(), val_builder.Build()};
+}
+
+}  // namespace clapf

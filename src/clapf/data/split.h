@@ -1,0 +1,39 @@
+#ifndef CLAPF_DATA_SPLIT_H_
+#define CLAPF_DATA_SPLIT_H_
+
+#include <cstdint>
+
+#include "clapf/data/dataset.h"
+
+namespace clapf {
+
+/// A train/test partition of a dataset's observed pairs. Both halves share
+/// the original matrix dimensions so item/user ids stay aligned.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Randomly assigns each observed pair to train with probability
+/// `train_fraction`, the rest to test — the paper's protocol ("randomly split
+/// half of the observed user-item pairs as training data, the rest as test").
+/// Deterministic given `seed`.
+TrainTestSplit SplitRandom(const Dataset& dataset, double train_fraction,
+                           uint64_t seed);
+
+/// A train/validation partition where validation holds exactly one pair per
+/// user (the paper: "randomly take one user-item pair for each user from the
+/// training data to construct a validation set"). Users with fewer than two
+/// training items contribute nothing to validation (they keep their items for
+/// training).
+struct TrainValidationSplit {
+  Dataset train;
+  Dataset validation;
+};
+
+/// Extracts the leave-one-out validation split. Deterministic given `seed`.
+TrainValidationSplit HoldOutOnePerUser(const Dataset& train, uint64_t seed);
+
+}  // namespace clapf
+
+#endif  // CLAPF_DATA_SPLIT_H_

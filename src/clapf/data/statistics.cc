@@ -1,0 +1,82 @@
+#include "clapf/data/statistics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "clapf/util/string_util.h"
+
+namespace clapf {
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double total = 0.0;
+  double weighted = 0.0;
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    total += values[i];
+    weighted += (static_cast<double>(i) + 1.0) * values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  // G = (2 Σ i·x_(i) / (n Σ x)) − (n+1)/n.
+  return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.num_users = dataset.num_users();
+  stats.num_items = dataset.num_items();
+  stats.num_interactions = dataset.num_interactions();
+  stats.density = dataset.Density();
+
+  std::vector<double> activity(static_cast<size_t>(dataset.num_users()));
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    activity[static_cast<size_t>(u)] =
+        static_cast<double>(dataset.NumItemsOf(u));
+    stats.max_user_activity =
+        std::max(stats.max_user_activity, activity[static_cast<size_t>(u)]);
+  }
+  if (dataset.num_users() > 0) {
+    stats.mean_user_activity = static_cast<double>(stats.num_interactions) /
+                               static_cast<double>(dataset.num_users());
+  }
+  stats.user_activity_gini = GiniCoefficient(activity);
+
+  auto counts = dataset.ItemPopularity();
+  std::vector<double> popularity(counts.begin(), counts.end());
+  for (double p : popularity) {
+    stats.max_item_popularity = std::max(stats.max_item_popularity, p);
+  }
+  if (dataset.num_items() > 0) {
+    stats.mean_item_popularity = static_cast<double>(stats.num_interactions) /
+                                 static_cast<double>(dataset.num_items());
+  }
+  stats.item_popularity_gini = GiniCoefficient(popularity);
+
+  std::sort(popularity.begin(), popularity.end(), std::greater<>());
+  const size_t head = popularity.size() / 10;
+  double head_sum = 0.0;
+  for (size_t i = 0; i < head; ++i) head_sum += popularity[i];
+  if (stats.num_interactions > 0) {
+    stats.top10pct_item_share =
+        head_sum / static_cast<double>(stats.num_interactions);
+  }
+  return stats;
+}
+
+std::string DatasetStats::ToString() const {
+  std::ostringstream os;
+  os << "users: " << num_users << "  items: " << num_items
+     << "  interactions: " << num_interactions
+     << "  density: " << FormatDouble(density * 100.0, 3) << "%\n"
+     << "user activity: mean " << FormatDouble(mean_user_activity, 1)
+     << ", max " << FormatDouble(max_user_activity, 0) << ", gini "
+     << FormatDouble(user_activity_gini, 3) << "\n"
+     << "item popularity: mean " << FormatDouble(mean_item_popularity, 1)
+     << ", max " << FormatDouble(max_item_popularity, 0) << ", gini "
+     << FormatDouble(item_popularity_gini, 3) << ", top-10% share "
+     << FormatDouble(top10pct_item_share * 100.0, 1) << "%";
+  return os.str();
+}
+
+}  // namespace clapf

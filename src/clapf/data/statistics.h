@@ -1,0 +1,46 @@
+#ifndef CLAPF_DATA_STATISTICS_H_
+#define CLAPF_DATA_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+
+namespace clapf {
+
+/// Distribution statistics of a dataset, used to verify that synthetic
+/// substitutes match the real datasets' shape (DESIGN.md §4) and by the
+/// Table 1 bench.
+struct DatasetStats {
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  int64_t num_interactions = 0;
+  double density = 0.0;
+
+  double mean_user_activity = 0.0;
+  double max_user_activity = 0.0;
+  /// Gini coefficient of per-user activity in [0, 1); 0 = uniform.
+  double user_activity_gini = 0.0;
+
+  double mean_item_popularity = 0.0;
+  double max_item_popularity = 0.0;
+  /// Gini coefficient of item popularity; long-tail catalogs are > ~0.4.
+  double item_popularity_gini = 0.0;
+  /// Share of interactions covered by the most popular 10% of items.
+  double top10pct_item_share = 0.0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes all statistics in one pass over the dataset.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+/// Gini coefficient of a non-negative value distribution (0 when empty or
+/// all-zero). Order of `values` does not matter.
+double GiniCoefficient(std::vector<double> values);
+
+}  // namespace clapf
+
+#endif  // CLAPF_DATA_STATISTICS_H_

@@ -1,0 +1,91 @@
+#ifndef CLAPF_DATA_SYNTHETIC_H_
+#define CLAPF_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Configuration for the synthetic implicit-feedback generator that stands in
+/// for the paper's six real datasets (see DESIGN.md §4). The generator draws
+/// a latent-factor ground-truth preference model, mixes in Zipf item
+/// popularity, gives users log-normally skewed activity, and emits a sparse
+/// binary interaction matrix with the requested density.
+struct SyntheticConfig {
+  int32_t num_users = 1000;
+  int32_t num_items = 1000;
+  /// Target total number of observed pairs (train + test before splitting).
+  int64_t num_interactions = 30000;
+  /// Rank of the ground-truth preference model.
+  int32_t ground_truth_factors = 8;
+  /// Zipf exponent for item popularity (1.0 ≈ classic long tail).
+  double popularity_exponent = 1.0;
+  /// Weight of popularity vs personal affinity in [0, 1]; real recommender
+  /// data mixes both.
+  double popularity_mix = 0.4;
+  /// Log-normal sigma of per-user activity skew (0 = uniform activity).
+  double activity_sigma = 0.8;
+  /// Softmax temperature over affinity scores; higher = peakier preferences.
+  double affinity_sharpness = 2.0;
+  /// Number of taste clusters users are drawn around (genre structure).
+  /// 0 = fully i.i.d. user factors. Clustered tastes make personalization
+  /// signal that global popularity cannot capture, as in real data.
+  int32_t taste_clusters = 16;
+  /// Relative deviation of a user's taste from their cluster centroid.
+  double cluster_noise = 0.3;
+  uint64_t seed = 42;
+
+  /// Human-readable preset name, if created via DatasetPreset.
+  std::string name = "synthetic";
+};
+
+/// The generator's latent ground truth, exportable for oracle evaluation:
+/// the affinity score of (u, i) is the dot product of the factor rows.
+struct SyntheticGroundTruth {
+  int32_t num_factors = 0;
+  std::vector<double> user_factors;  // num_users x num_factors, row-major
+  std::vector<double> item_factors;  // num_items x num_factors, row-major
+
+  /// Ground-truth affinity (popularity mixing excluded).
+  double Affinity(UserId u, ItemId i) const;
+};
+
+/// Generates the dataset. Returns InvalidArgument for impossible configs
+/// (e.g. more interactions than cells). When `ground_truth` is non-null it
+/// receives the latent preference model the data was drawn from — the
+/// upper bound any recommender can reach on this data.
+Result<Dataset> GenerateSynthetic(const SyntheticConfig& config,
+                                  SyntheticGroundTruth* ground_truth = nullptr);
+
+/// Named presets mirroring the paper's Table 1 at a scale that runs on one
+/// core. Each preset preserves the real dataset's density and mean user
+/// activity; dimensions are scaled down (scale factor in DESIGN.md).
+enum class DatasetPreset {
+  kMl100k,   // 943 x 1682, density 3.49% (full scale)
+  kMl1m,     // scaled MovieLens 1M shape, density 2.41%
+  kUserTag,  // scaled UserTag shape, density 4.11%
+  kMl20m,    // scaled MovieLens 20M shape, density 0.11%
+  kFlixter,  // scaled Flixter shape, density 0.02%
+  kNetflix,  // scaled Netflix shape, density 0.23%
+};
+
+/// All presets in Table 1 order.
+std::vector<DatasetPreset> AllDatasetPresets();
+
+/// Returns the generator config for `preset`, offset by `seed_offset` so
+/// repeated experiment copies use independent data draws.
+SyntheticConfig PresetConfig(DatasetPreset preset, uint64_t seed_offset = 0);
+
+/// Preset display name ("ML100K-sim", ...).
+std::string PresetName(DatasetPreset preset);
+
+/// Parses a preset name (case-insensitive, with or without "-sim").
+Result<DatasetPreset> ParsePresetName(const std::string& name);
+
+}  // namespace clapf
+
+#endif  // CLAPF_DATA_SYNTHETIC_H_

@@ -1,0 +1,105 @@
+#include "clapf/eval/beyond_accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "clapf/data/statistics.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/random.h"
+#include "clapf/util/string_util.h"
+#include "clapf/util/top_k.h"
+
+namespace clapf {
+
+std::string BeyondAccuracy::ToString() const {
+  std::ostringstream os;
+  os << "coverage@" << k << "=" << FormatDouble(catalog_coverage * 100.0, 1)
+     << "%  novelty=" << FormatDouble(novelty_bits, 2)
+     << " bits  exposure-gini=" << FormatDouble(exposure_gini, 3)
+     << "  inter-user-jaccard=" << FormatDouble(inter_user_similarity, 3);
+  return os.str();
+}
+
+BeyondAccuracy ComputeBeyondAccuracy(const Dataset& train,
+                                     const Ranker& ranker, int k,
+                                     int similarity_samples, uint64_t seed) {
+  CLAPF_CHECK(k >= 1);
+  BeyondAccuracy out;
+  out.k = k;
+  const int32_t m = train.num_items();
+
+  auto popularity = train.ItemPopularity();
+  const double total_interactions =
+      std::max<double>(1.0, static_cast<double>(train.num_interactions()));
+
+  std::vector<double> scores;
+  std::vector<bool> exclude(static_cast<size_t>(m), false);
+  std::vector<double> exposure(static_cast<size_t>(m), 0.0);
+  std::vector<std::vector<ItemId>> lists;
+  std::vector<UserId> users;
+
+  double novelty_sum = 0.0;
+  int64_t recommended = 0;
+
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    if (train.NumItemsOf(u) == 0) continue;
+    ranker.ScoreItems(u, &scores);
+    for (ItemId i : train.ItemsOf(u)) exclude[static_cast<size_t>(i)] = true;
+    auto top = SelectTopK(scores, exclude, static_cast<size_t>(k));
+    for (ItemId i : train.ItemsOf(u)) exclude[static_cast<size_t>(i)] = false;
+
+    std::vector<ItemId> list;
+    list.reserve(top.size());
+    for (const ScoredItem& item : top) {
+      list.push_back(item.item);
+      exposure[static_cast<size_t>(item.item)] += 1.0;
+      // Popularity share with +1 smoothing so unseen items are finite.
+      const double share =
+          (static_cast<double>(popularity[static_cast<size_t>(item.item)]) +
+           1.0) /
+          (total_interactions + static_cast<double>(m));
+      novelty_sum += -std::log2(share);
+      ++recommended;
+    }
+    std::sort(list.begin(), list.end());
+    lists.push_back(std::move(list));
+    users.push_back(u);
+  }
+  if (recommended == 0) return out;
+
+  int32_t covered = 0;
+  for (double e : exposure) covered += e > 0.0 ? 1 : 0;
+  out.catalog_coverage = static_cast<double>(covered) / std::max(1, m);
+  out.novelty_bits = novelty_sum / static_cast<double>(recommended);
+  out.exposure_gini = GiniCoefficient(exposure);
+
+  // Estimated mean pairwise Jaccard over random distinct user pairs.
+  if (lists.size() >= 2 && similarity_samples > 0) {
+    Rng rng(seed);
+    double jaccard_sum = 0.0;
+    int pairs = 0;
+    for (int s = 0; s < similarity_samples; ++s) {
+      size_t a = static_cast<size_t>(rng.Uniform(lists.size()));
+      size_t b = static_cast<size_t>(rng.Uniform(lists.size()));
+      if (a == b) continue;
+      const auto& la = lists[a];
+      const auto& lb = lists[b];
+      std::vector<ItemId> inter;
+      std::set_intersection(la.begin(), la.end(), lb.begin(), lb.end(),
+                            std::back_inserter(inter));
+      const double uni =
+          static_cast<double>(la.size() + lb.size() - inter.size());
+      if (uni > 0) {
+        jaccard_sum += static_cast<double>(inter.size()) / uni;
+        ++pairs;
+      }
+    }
+    if (pairs > 0) out.inter_user_similarity = jaccard_sum / pairs;
+  }
+  return out;
+}
+
+}  // namespace clapf

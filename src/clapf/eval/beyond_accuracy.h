@@ -1,0 +1,43 @@
+#ifndef CLAPF_EVAL_BEYOND_ACCURACY_H_
+#define CLAPF_EVAL_BEYOND_ACCURACY_H_
+
+#include <string>
+
+#include "clapf/data/dataset.h"
+#include "clapf/eval/evaluator.h"
+
+namespace clapf {
+
+/// Beyond-accuracy properties of a recommender's top-k lists. Accuracy
+/// metrics (Table 2) say nothing about *what* gets recommended; these
+/// quantify catalog usage and popularity bias — the practical difference
+/// between PopRank and a personalized CLAPF model with similar NDCG.
+struct BeyondAccuracy {
+  int k = 0;
+  /// Fraction of the catalog that appears in at least one user's top-k.
+  double catalog_coverage = 0.0;
+  /// Mean self-information −log2(pop_share) of recommended items; higher =
+  /// more long-tail recommendations.
+  double novelty_bits = 0.0;
+  /// Gini coefficient of how often each item is recommended; 0 = uniform
+  /// exposure, →1 = a few blockbusters dominate every list.
+  double exposure_gini = 0.0;
+  /// Mean pairwise Jaccard similarity between different users' top-k lists;
+  /// 1 = everyone gets the same list (PopRank), lower = personalized.
+  double inter_user_similarity = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes the beyond-accuracy profile of `ranker`'s top-k lists over all
+/// users with training history, excluding each user's observed items.
+/// The pairwise similarity term is estimated from `similarity_samples`
+/// random user pairs (deterministic given `seed`).
+BeyondAccuracy ComputeBeyondAccuracy(const Dataset& train,
+                                     const Ranker& ranker, int k,
+                                     int similarity_samples = 200,
+                                     uint64_t seed = 1);
+
+}  // namespace clapf
+
+#endif  // CLAPF_EVAL_BEYOND_ACCURACY_H_

@@ -1,0 +1,35 @@
+#ifndef CLAPF_EVAL_ORACLE_H_
+#define CLAPF_EVAL_ORACLE_H_
+
+#include <vector>
+
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+
+namespace clapf {
+
+/// Ranker backed by the synthetic generator's ground truth: the ceiling any
+/// learned recommender can reach on that data (used to calibrate the
+/// presets, DESIGN.md §4, and handy in tests).
+class OracleRanker : public Ranker {
+ public:
+  /// `truth` must outlive the ranker.
+  explicit OracleRanker(const SyntheticGroundTruth* truth) : truth_(truth) {}
+
+  void ScoreItems(UserId u, std::vector<double>* scores) const override {
+    const int32_t m = static_cast<int32_t>(truth_->item_factors.size() /
+                                           static_cast<size_t>(
+                                               truth_->num_factors));
+    scores->resize(static_cast<size_t>(m));
+    for (ItemId i = 0; i < m; ++i) {
+      (*scores)[static_cast<size_t>(i)] = truth_->Affinity(u, i);
+    }
+  }
+
+ private:
+  const SyntheticGroundTruth* truth_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_EVAL_ORACLE_H_

@@ -1,0 +1,77 @@
+#include "clapf/eval/protocol.h"
+
+#include <cmath>
+
+#include "clapf/util/logging.h"
+#include "clapf/util/string_util.h"
+
+namespace clapf {
+
+namespace {
+
+MeanStd Reduce(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace
+
+std::string MeanStd::ToString(int digits) const {
+  return FormatDouble(mean, digits) + "±" + FormatDouble(std, digits);
+}
+
+const AggregateSummary::AtK& AggregateSummary::AtCut(int k) const {
+  for (const auto& mk : at_k) {
+    if (mk.k == k) return mk;
+  }
+  CLAPF_CHECK(false) << "no aggregate metrics at k=" << k;
+  return at_k.front();  // unreachable
+}
+
+AggregateSummary Aggregate(const std::vector<EvalSummary>& runs,
+                           const std::vector<double>& train_seconds) {
+  AggregateSummary agg;
+  agg.num_runs = static_cast<int>(runs.size());
+  if (runs.empty()) return agg;
+  CLAPF_CHECK(train_seconds.empty() || train_seconds.size() == runs.size());
+
+  const size_t num_ks = runs.front().at_k.size();
+  for (const auto& run : runs) {
+    CLAPF_CHECK(run.at_k.size() == num_ks) << "cutoff mismatch across runs";
+  }
+
+  agg.at_k.resize(num_ks);
+  std::vector<double> scratch(runs.size());
+  auto reduce_field = [&](auto getter) {
+    for (size_t r = 0; r < runs.size(); ++r) scratch[r] = getter(runs[r]);
+    return Reduce(scratch);
+  };
+
+  for (size_t ki = 0; ki < num_ks; ++ki) {
+    auto& out = agg.at_k[ki];
+    out.k = runs.front().at_k[ki].k;
+    out.precision =
+        reduce_field([&](const EvalSummary& s) { return s.at_k[ki].precision; });
+    out.recall =
+        reduce_field([&](const EvalSummary& s) { return s.at_k[ki].recall; });
+    out.f1 = reduce_field([&](const EvalSummary& s) { return s.at_k[ki].f1; });
+    out.one_call =
+        reduce_field([&](const EvalSummary& s) { return s.at_k[ki].one_call; });
+    out.ndcg =
+        reduce_field([&](const EvalSummary& s) { return s.at_k[ki].ndcg; });
+  }
+  agg.map = reduce_field([](const EvalSummary& s) { return s.map; });
+  agg.mrr = reduce_field([](const EvalSummary& s) { return s.mrr; });
+  agg.auc = reduce_field([](const EvalSummary& s) { return s.auc; });
+  if (!train_seconds.empty()) agg.train_seconds = Reduce(train_seconds);
+  return agg;
+}
+
+}  // namespace clapf

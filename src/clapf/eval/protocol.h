@@ -1,0 +1,42 @@
+#ifndef CLAPF_EVAL_PROTOCOL_H_
+#define CLAPF_EVAL_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "clapf/eval/evaluator.h"
+
+namespace clapf {
+
+/// mean ± std of one metric across repeated experiment copies.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+
+  /// "0.432±0.005" with `digits` decimals.
+  std::string ToString(int digits = 3) const;
+};
+
+/// Aggregated repeated-splits result, paralleling EvalSummary.
+struct AggregateSummary {
+  struct AtK {
+    int k = 0;
+    MeanStd precision, recall, f1, one_call, ndcg;
+  };
+  std::vector<AtK> at_k;
+  MeanStd map, mrr, auc;
+  MeanStd train_seconds;
+  int num_runs = 0;
+
+  const AtK& AtCut(int k) const;
+};
+
+/// Computes per-metric mean and (population) standard deviation across the
+/// paper's five repeated copies. All summaries must share the same cutoffs.
+/// `train_seconds` may be empty or parallel to `runs`.
+AggregateSummary Aggregate(const std::vector<EvalSummary>& runs,
+                           const std::vector<double>& train_seconds = {});
+
+}  // namespace clapf
+
+#endif  // CLAPF_EVAL_PROTOCOL_H_

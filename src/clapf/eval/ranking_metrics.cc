@@ -1,0 +1,156 @@
+#include "clapf/eval/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+namespace {
+
+inline bool IsRelevant(const RankedList& list, size_t pos) {
+  return (*list.relevant)[static_cast<size_t>((*list.ranking)[pos])];
+}
+
+}  // namespace
+
+double PrecisionAtK(const RankedList& list, size_t k) {
+  if (k == 0) return 0.0;
+  size_t depth = std::min(k, list.ranking->size());
+  size_t hits = 0;
+  for (size_t pos = 0; pos < depth; ++pos) {
+    if (IsRelevant(list, pos)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const RankedList& list, size_t k) {
+  if (list.num_relevant == 0) return 0.0;
+  size_t depth = std::min(k, list.ranking->size());
+  size_t hits = 0;
+  for (size_t pos = 0; pos < depth; ++pos) {
+    if (IsRelevant(list, pos)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(list.num_relevant);
+}
+
+double F1AtK(const RankedList& list, size_t k) {
+  double p = PrecisionAtK(list, k);
+  double r = RecallAtK(list, k);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double OneCallAtK(const RankedList& list, size_t k) {
+  size_t depth = std::min(k, list.ranking->size());
+  for (size_t pos = 0; pos < depth; ++pos) {
+    if (IsRelevant(list, pos)) return 1.0;
+  }
+  return 0.0;
+}
+
+double NdcgAtK(const RankedList& list, size_t k) {
+  if (list.num_relevant == 0) return 0.0;
+  size_t depth = std::min(k, list.ranking->size());
+  double dcg = 0.0;
+  for (size_t pos = 0; pos < depth; ++pos) {
+    if (IsRelevant(list, pos)) {
+      dcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  size_t ideal = std::min(k, list.num_relevant);
+  for (size_t pos = 0; pos < ideal; ++pos) {
+    idcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double AveragePrecision(const RankedList& list) {
+  if (list.num_relevant == 0) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t pos = 0; pos < list.ranking->size(); ++pos) {
+    if (IsRelevant(list, pos)) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(pos + 1);
+    }
+  }
+  return sum / static_cast<double>(list.num_relevant);
+}
+
+double ReciprocalRank(const RankedList& list) {
+  for (size_t pos = 0; pos < list.ranking->size(); ++pos) {
+    if (IsRelevant(list, pos)) {
+      return 1.0 / static_cast<double>(pos + 1);
+    }
+  }
+  return 0.0;
+}
+
+double Auc(const RankedList& list) {
+  size_t total = list.ranking->size();
+  size_t relevant = list.num_relevant;
+  if (relevant == 0 || relevant >= total) return 0.0;
+  // Sum of 1-based ranks of relevant items gives the Mann-Whitney statistic.
+  uint64_t rank_sum = 0;
+  size_t seen = 0;
+  for (size_t pos = 0; pos < total; ++pos) {
+    if (IsRelevant(list, pos)) {
+      rank_sum += pos + 1;
+      ++seen;
+    }
+  }
+  CLAPF_DCHECK(seen == relevant);
+  const double r = static_cast<double>(relevant);
+  const double n = static_cast<double>(total);
+  // Mann-Whitney: U = rank_sum - r(r+1)/2 counts (relevant, irrelevant)
+  // pairs where the irrelevant item ranks above, so the correctly ordered
+  // pairs are r*(n-r) - U.
+  double u = static_cast<double>(rank_sum) - r * (r + 1.0) / 2.0;
+  double correct = r * (n - r) - u;
+  return correct / (r * (n - r));
+}
+
+double ReciprocalRankFromDefinition(const std::vector<int>& ranks,
+                                    const std::vector<bool>& relevant) {
+  CLAPF_CHECK(ranks.size() == relevant.size());
+  const size_t m = ranks.size();
+  double rr = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    if (!relevant[i]) continue;
+    // Product over k of (1 - Y_uk * I(R_uk < R_ui)): zero unless item i is
+    // the best-ranked relevant item.
+    double prod = 1.0;
+    for (size_t k = 0; k < m; ++k) {
+      if (relevant[k] && ranks[k] < ranks[i]) {
+        prod = 0.0;
+        break;
+      }
+    }
+    rr += prod / static_cast<double>(ranks[i]);
+  }
+  return rr;
+}
+
+double AveragePrecisionFromDefinition(const std::vector<int>& ranks,
+                                      const std::vector<bool>& relevant) {
+  CLAPF_CHECK(ranks.size() == relevant.size());
+  const size_t m = ranks.size();
+  size_t num_relevant = 0;
+  for (bool r : relevant) num_relevant += r ? 1 : 0;
+  if (num_relevant == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    if (!relevant[i]) continue;
+    double hits_at_or_above = 0.0;
+    for (size_t k = 0; k < m; ++k) {
+      if (relevant[k] && ranks[k] <= ranks[i]) hits_at_or_above += 1.0;
+    }
+    sum += hits_at_or_above / static_cast<double>(ranks[i]);
+  }
+  return sum / static_cast<double>(num_relevant);
+}
+
+}  // namespace clapf

@@ -1,0 +1,59 @@
+#ifndef CLAPF_EVAL_RANKING_METRICS_H_
+#define CLAPF_EVAL_RANKING_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+
+namespace clapf {
+
+/// A user's evaluation input: the candidate items ranked best-first, and a
+/// bitmap over item ids marking which are relevant (in the test set).
+struct RankedList {
+  const std::vector<ItemId>* ranking;      // best first
+  const std::vector<bool>* relevant;       // indexed by item id
+  size_t num_relevant;                     // == count of true bits seen in ranking
+};
+
+/// Precision@k: fraction of the top-k that is relevant.
+double PrecisionAtK(const RankedList& list, size_t k);
+
+/// Recall@k: fraction of the relevant items found in the top-k.
+double RecallAtK(const RankedList& list, size_t k);
+
+/// F1@k: harmonic mean of Precision@k and Recall@k (0 when both are 0).
+double F1AtK(const RankedList& list, size_t k);
+
+/// 1-call@k: 1 if at least one relevant item appears in the top-k, else 0.
+double OneCallAtK(const RankedList& list, size_t k);
+
+/// NDCG@k with binary gains: DCG@k / IDCG@k where a relevant item at
+/// 1-based rank r contributes 1/log2(r+1).
+double NdcgAtK(const RankedList& list, size_t k);
+
+/// Average Precision over the full ranking (Eq. 8 of the paper):
+/// AP = (1/|rel|) Σ_{relevant at rank r} Precision@r.
+double AveragePrecision(const RankedList& list);
+
+/// Reciprocal Rank: 1 / rank of the first relevant item (Eq. 5).
+double ReciprocalRank(const RankedList& list);
+
+/// AUC over the full ranking (Eq. 1): probability that a random relevant
+/// item is ranked above a random irrelevant candidate.
+double Auc(const RankedList& list);
+
+/// Exact (non-smoothed) Reciprocal Rank computed directly from Eq. (5) of
+/// the paper — the product form over Y and rank indicators. Used by tests to
+/// validate that ReciprocalRank() agrees with the paper's definition.
+/// `ranks[i]` is the 1-based rank R_ui of item i; `relevant[i]` is Y_ui.
+double ReciprocalRankFromDefinition(const std::vector<int>& ranks,
+                                    const std::vector<bool>& relevant);
+
+/// Exact Average Precision computed directly from Eq. (8).
+double AveragePrecisionFromDefinition(const std::vector<int>& ranks,
+                                      const std::vector<bool>& relevant);
+
+}  // namespace clapf
+
+#endif  // CLAPF_EVAL_RANKING_METRICS_H_

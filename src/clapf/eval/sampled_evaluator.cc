@@ -1,0 +1,105 @@
+#include "clapf/eval/sampled_evaluator.h"
+
+#include <algorithm>
+
+#include "clapf/eval/ranking_metrics.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/random.h"
+
+namespace clapf {
+
+SampledEvaluator::SampledEvaluator(const Dataset* train, const Dataset* test,
+                                   int32_t num_negatives, uint64_t seed)
+    : train_(train), test_(test), num_negatives_(num_negatives), seed_(seed) {
+  CLAPF_CHECK(train != nullptr && test != nullptr);
+  CLAPF_CHECK(train->num_users() == test->num_users());
+  CLAPF_CHECK(train->num_items() == test->num_items());
+  CLAPF_CHECK(num_negatives >= 1);
+}
+
+EvalSummary SampledEvaluator::Evaluate(const Ranker& ranker,
+                                       const std::vector<int>& ks) const {
+  CLAPF_CHECK(!ks.empty());
+  CLAPF_CHECK(std::is_sorted(ks.begin(), ks.end()));
+
+  EvalSummary summary;
+  summary.at_k.resize(ks.size());
+  for (size_t i = 0; i < ks.size(); ++i) summary.at_k[i].k = ks[i];
+
+  Rng rng(seed_);
+  const int32_t m = train_->num_items();
+  std::vector<double> scores;
+  std::vector<ItemId> candidates;
+  std::vector<ItemId> ranking;
+  std::vector<bool> relevant(static_cast<size_t>(m), false);
+  int64_t cases = 0;
+
+  for (UserId u = 0; u < train_->num_users(); ++u) {
+    auto test_items = test_->ItemsOf(u);
+    if (test_items.empty()) continue;
+    if (train_->NumItemsOf(u) + test_->NumItemsOf(u) + num_negatives_ > m) {
+      continue;  // not enough unobserved items to sample negatives from
+    }
+    ranker.ScoreItems(u, &scores);
+
+    for (ItemId pos : test_items) {
+      candidates.clear();
+      candidates.push_back(pos);
+      int guard = 0;
+      while (static_cast<int32_t>(candidates.size()) < num_negatives_ + 1 &&
+             guard < 1000 * num_negatives_) {
+        ++guard;
+        ItemId j = static_cast<ItemId>(rng.Uniform(static_cast<uint64_t>(m)));
+        if (train_->IsObserved(u, j) || test_->IsObserved(u, j)) continue;
+        if (std::find(candidates.begin(), candidates.end(), j) !=
+            candidates.end()) {
+          continue;
+        }
+        candidates.push_back(j);
+      }
+
+      ranking = candidates;
+      std::sort(ranking.begin(), ranking.end(), [&](ItemId a, ItemId b) {
+        double sa = scores[static_cast<size_t>(a)];
+        double sb = scores[static_cast<size_t>(b)];
+        if (sa != sb) return sa > sb;
+        return a < b;
+      });
+
+      relevant[static_cast<size_t>(pos)] = true;
+      RankedList list{&ranking, &relevant, 1};
+      for (size_t ki = 0; ki < ks.size(); ++ki) {
+        MetricsAtK& mk = summary.at_k[ki];
+        size_t k = static_cast<size_t>(ks[ki]);
+        mk.precision += PrecisionAtK(list, k);
+        mk.recall += RecallAtK(list, k);  // == HitRate@k for single positive
+        mk.f1 += F1AtK(list, k);
+        mk.one_call += OneCallAtK(list, k);
+        mk.ndcg += NdcgAtK(list, k);
+      }
+      summary.map += AveragePrecision(list);
+      summary.mrr += ReciprocalRank(list);
+      summary.auc += Auc(list);
+      relevant[static_cast<size_t>(pos)] = false;
+      ++cases;
+    }
+    ++summary.users_evaluated;
+  }
+
+  if (cases > 0) {
+    const double inv = 1.0 / static_cast<double>(cases);
+    for (auto& mk : summary.at_k) {
+      mk.precision *= inv;
+      mk.recall *= inv;
+      mk.f1 *= inv;
+      mk.one_call *= inv;
+      mk.ndcg *= inv;
+    }
+    summary.map *= inv;
+    summary.mrr *= inv;
+    summary.auc *= inv;
+  }
+  return summary;
+}
+
+}  // namespace clapf

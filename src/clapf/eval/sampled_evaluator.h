@@ -1,0 +1,38 @@
+#ifndef CLAPF_EVAL_SAMPLED_EVALUATOR_H_
+#define CLAPF_EVAL_SAMPLED_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "clapf/eval/evaluator.h"
+
+namespace clapf {
+
+/// The NCF-style sampled evaluation protocol (He et al. 2017): each test
+/// positive is ranked against `num_negatives` sampled unobserved items
+/// instead of the whole catalog. The paper explicitly does NOT use this
+/// ("we rank all the unobserved items … as adopted in common recommender
+/// systems", §6.3) because sampled ranking inflates every metric; this
+/// implementation exists so the two protocols can be compared directly.
+class SampledEvaluator {
+ public:
+  /// `train`/`test` must outlive the evaluator and share dimensions.
+  SampledEvaluator(const Dataset* train, const Dataset* test,
+                   int32_t num_negatives, uint64_t seed);
+
+  /// Evaluates hit-rate-style metrics: each (u, test-item) case ranks the
+  /// positive against `num_negatives` negatives; metrics are averaged over
+  /// cases. Recall@k degenerates to HitRate@k (one relevant per case).
+  EvalSummary Evaluate(const Ranker& ranker, const std::vector<int>& ks) const;
+
+  int32_t num_negatives() const { return num_negatives_; }
+
+ private:
+  const Dataset* train_;
+  const Dataset* test_;
+  int32_t num_negatives_;
+  uint64_t seed_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_EVAL_SAMPLED_EVALUATOR_H_

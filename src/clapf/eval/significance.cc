@@ -1,0 +1,83 @@
+#include "clapf/eval/significance.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "clapf/util/string_util.h"
+
+namespace clapf {
+
+namespace {
+
+// Critical t values (two-sided, alpha = 0.05) for df = 1..30.
+constexpr double kT05[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+}  // namespace
+
+double NormalSurvival(double x) {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+Result<PairedComparison> PairedTTest(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired samples must have equal length");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("need at least 2 paired samples");
+  }
+  const size_t n = a.size();
+  PairedComparison result;
+  result.degrees_of_freedom = static_cast<int64_t>(n) - 1;
+
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) mean += a[i] - b[i];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n - 1);  // sample variance
+
+  result.mean_difference = mean;
+  result.std_difference = std::sqrt(var);
+  if (var <= 0.0) {
+    // All differences identical: degenerate, but a consistent nonzero
+    // difference is as significant as it gets.
+    result.t_statistic = mean == 0.0 ? 0.0 : (mean > 0 ? 1e9 : -1e9);
+    result.p_value = mean == 0.0 ? 1.0 : 0.0;
+    result.significant_at_05 = mean != 0.0;
+    return result;
+  }
+
+  result.t_statistic =
+      mean / (result.std_difference / std::sqrt(static_cast<double>(n)));
+  const double abs_t = std::fabs(result.t_statistic);
+  if (result.degrees_of_freedom >= 30) {
+    result.p_value = 2.0 * NormalSurvival(abs_t);
+    result.significant_at_05 = result.p_value < 0.05;
+  } else {
+    const double critical =
+        kT05[static_cast<size_t>(result.degrees_of_freedom) - 1];
+    result.significant_at_05 = abs_t > critical;
+    // Coarse p-value: normal approximation reported for reference only.
+    result.p_value = 2.0 * NormalSurvival(abs_t);
+  }
+  return result;
+}
+
+std::string PairedComparison::ToString() const {
+  std::ostringstream os;
+  os << "Δ=" << FormatDouble(mean_difference, 4) << "±"
+     << FormatDouble(std_difference, 4) << " t(" << degrees_of_freedom
+     << ")=" << FormatDouble(t_statistic, 2)
+     << (significant_at_05 ? " (significant at 0.05)"
+                           : " (not significant at 0.05)");
+  return os.str();
+}
+
+}  // namespace clapf

@@ -1,0 +1,38 @@
+#ifndef CLAPF_EVAL_SIGNIFICANCE_H_
+#define CLAPF_EVAL_SIGNIFICANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Result of a paired comparison between two methods over repeated
+/// experiment copies (the paper reports mean±std over five copies; this
+/// makes "A beats B" quantitative).
+struct PairedComparison {
+  double mean_difference = 0.0;  // mean(a - b)
+  double std_difference = 0.0;   // sample std of the differences
+  double t_statistic = 0.0;      // paired t statistic
+  int64_t degrees_of_freedom = 0;
+  /// Two-sided p-value (normal approximation for df >= 30, otherwise a
+  /// conservative t-table lookup at the 0.05/0.01 levels).
+  double p_value = 1.0;
+  bool significant_at_05 = false;
+
+  std::string ToString() const;
+};
+
+/// Paired t-test on per-copy metric values `a` and `b` (same splits, same
+/// order). Requires >= 2 paired samples and equal lengths.
+Result<PairedComparison> PairedTTest(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+/// Standard normal upper-tail survival function Q(x) = P(Z > x), exposed for
+/// tests; accurate to ~1e-7.
+double NormalSurvival(double x);
+
+}  // namespace clapf
+
+#endif  // CLAPF_EVAL_SIGNIFICANCE_H_

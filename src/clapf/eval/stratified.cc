@@ -1,0 +1,69 @@
+#include "clapf/eval/stratified.h"
+
+#include <algorithm>
+
+#include "clapf/data/dataset_builder.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+std::vector<StratumSummary> EvaluateByActivity(const Dataset& train,
+                                               const Dataset& test,
+                                               const Ranker& ranker,
+                                               const std::vector<int>& ks,
+                                               int num_strata) {
+  CLAPF_CHECK(num_strata >= 1);
+  CLAPF_CHECK(train.num_users() == test.num_users());
+  CLAPF_CHECK(train.num_items() == test.num_items());
+
+  // Order evaluable users by training activity.
+  std::vector<UserId> users;
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    if (test.NumItemsOf(u) > 0) users.push_back(u);
+  }
+  std::sort(users.begin(), users.end(), [&](UserId a, UserId b) {
+    int32_t na = train.NumItemsOf(a);
+    int32_t nb = train.NumItemsOf(b);
+    if (na != nb) return na < nb;
+    return a < b;
+  });
+
+  std::vector<StratumSummary> out;
+  if (users.empty()) return out;
+  const size_t per_stratum =
+      (users.size() + static_cast<size_t>(num_strata) - 1) /
+      static_cast<size_t>(num_strata);
+
+  for (int s = 0; s < num_strata; ++s) {
+    const size_t lo = static_cast<size_t>(s) * per_stratum;
+    if (lo >= users.size()) break;
+    const size_t hi = std::min(users.size(), lo + per_stratum);
+
+    // Restrict the test set to this bucket's users; training data stays
+    // intact so exclusion and candidate sets are unchanged.
+    DatasetBuilder test_builder(test.num_users(), test.num_items());
+    int32_t min_act = train.NumItemsOf(users[lo]);
+    int32_t max_act = min_act;
+    for (size_t idx = lo; idx < hi; ++idx) {
+      const UserId u = users[idx];
+      min_act = std::min(min_act, train.NumItemsOf(u));
+      max_act = std::max(max_act, train.NumItemsOf(u));
+      for (ItemId i : test.ItemsOf(u)) {
+        CLAPF_CHECK_OK(test_builder.Add(u, i));
+      }
+    }
+    Dataset bucket_test = test_builder.Build();
+
+    StratumSummary stratum;
+    stratum.min_activity = min_act;
+    stratum.max_activity = max_act;
+    stratum.label = "activity[" + std::to_string(min_act) + "," +
+                    std::to_string(max_act) + "]";
+    Evaluator evaluator(&train, &bucket_test);
+    stratum.summary = evaluator.Evaluate(ranker, ks);
+    out.push_back(std::move(stratum));
+  }
+  return out;
+}
+
+}  // namespace clapf

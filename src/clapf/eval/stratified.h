@@ -1,0 +1,34 @@
+#ifndef CLAPF_EVAL_STRATIFIED_H_
+#define CLAPF_EVAL_STRATIFIED_H_
+
+#include <string>
+#include <vector>
+
+#include "clapf/eval/evaluator.h"
+
+namespace clapf {
+
+/// Per-stratum evaluation breakdown: users bucketed by training activity
+/// ("how much history does personalization have to work with") — the
+/// diagnostic behind the paper's sparse-vs-dense dataset observations
+/// condensed to one dataset.
+struct StratumSummary {
+  std::string label;
+  /// Users whose training activity is in [min_activity, max_activity).
+  int32_t min_activity = 0;
+  int32_t max_activity = 0;
+  EvalSummary summary;
+};
+
+/// Splits users into `num_strata` equal-count buckets by training activity
+/// (cold → heavy) and evaluates `ranker` on each bucket separately. Users
+/// without test items are not counted. `num_strata` >= 1.
+std::vector<StratumSummary> EvaluateByActivity(const Dataset& train,
+                                               const Dataset& test,
+                                               const Ranker& ranker,
+                                               const std::vector<int>& ks,
+                                               int num_strata);
+
+}  // namespace clapf
+
+#endif  // CLAPF_EVAL_STRATIFIED_H_

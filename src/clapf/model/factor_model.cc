@@ -1,0 +1,83 @@
+#include "clapf/model/factor_model.h"
+
+#include <algorithm>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+FactorModel::FactorModel(int32_t num_users, int32_t num_items,
+                         int32_t num_factors, bool use_item_bias)
+    : num_users_(num_users),
+      num_items_(num_items),
+      num_factors_(num_factors),
+      use_item_bias_(use_item_bias),
+      user_factors_(static_cast<size_t>(num_users) * num_factors, 0.0),
+      item_factors_(static_cast<size_t>(num_items) * num_factors, 0.0),
+      item_bias_(static_cast<size_t>(num_items), 0.0) {
+  CLAPF_CHECK(num_users >= 0);
+  CLAPF_CHECK(num_items >= 0);
+  CLAPF_CHECK(num_factors > 0);
+}
+
+void FactorModel::InitGaussian(Rng& rng, double stddev) {
+  for (double& x : user_factors_) x = rng.NextGaussian() * stddev;
+  for (double& x : item_factors_) x = rng.NextGaussian() * stddev;
+  std::fill(item_bias_.begin(), item_bias_.end(), 0.0);
+}
+
+void FactorModel::InitUniform(Rng& rng, double range) {
+  for (double& x : user_factors_) x = (rng.NextDouble() * 2.0 - 1.0) * range;
+  for (double& x : item_factors_) x = (rng.NextDouble() * 2.0 - 1.0) * range;
+  std::fill(item_bias_.begin(), item_bias_.end(), 0.0);
+}
+
+double FactorModel::Score(UserId u, ItemId i) const {
+  const double* uf = &user_factors_[static_cast<size_t>(u) * num_factors_];
+  const double* vf = &item_factors_[static_cast<size_t>(i) * num_factors_];
+  double s = use_item_bias_ ? item_bias_[static_cast<size_t>(i)] : 0.0;
+  for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
+  return s;
+}
+
+void FactorModel::ScoreAllItems(UserId u, std::vector<double>* scores) const {
+  scores->resize(static_cast<size_t>(num_items_));
+  const double* uf = &user_factors_[static_cast<size_t>(u) * num_factors_];
+  for (int32_t i = 0; i < num_items_; ++i) {
+    const double* vf = &item_factors_[static_cast<size_t>(i) * num_factors_];
+    double s = use_item_bias_ ? item_bias_[static_cast<size_t>(i)] : 0.0;
+    for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
+    (*scores)[static_cast<size_t>(i)] = s;
+  }
+}
+
+std::vector<ScoredItem> FactorModel::TopKForUser(UserId u, size_t k,
+                                                 const Dataset* exclude) const {
+  TopKAccumulator acc(k);
+  const double* uf = &user_factors_[static_cast<size_t>(u) * num_factors_];
+  auto observed = exclude != nullptr ? exclude->ItemsOf(u)
+                                     : std::span<const ItemId>();
+  size_t next_observed = 0;
+  for (int32_t i = 0; i < num_items_; ++i) {
+    // `observed` is sorted, so a single forward cursor skips exclusions.
+    if (next_observed < observed.size() && observed[next_observed] == i) {
+      ++next_observed;
+      continue;
+    }
+    const double* vf = &item_factors_[static_cast<size_t>(i) * num_factors_];
+    double s = use_item_bias_ ? item_bias_[static_cast<size_t>(i)] : 0.0;
+    for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
+    acc.Push(i, s);
+  }
+  return acc.Take();
+}
+
+double FactorModel::SquaredNorm() const {
+  double total = 0.0;
+  for (double x : user_factors_) total += x * x;
+  for (double x : item_factors_) total += x * x;
+  for (double x : item_bias_) total += x * x;
+  return total;
+}
+
+}  // namespace clapf

@@ -1,0 +1,108 @@
+#include "clapf/model/model_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace clapf {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'L', 'P', 'F'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteDoubles(std::ofstream& out, const std::vector<double>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+bool ReadDoubles(std::ifstream& in, size_t count, double* dst) {
+  in.read(reinterpret_cast<char*>(dst),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveModel(const FactorModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, model.num_users());
+  WritePod(out, model.num_items());
+  WritePod(out, model.num_factors());
+  uint8_t bias = model.use_item_bias() ? 1 : 0;
+  WritePod(out, bias);
+  WriteDoubles(out, model.user_factor_data());
+  WriteDoubles(out, model.item_factor_data());
+  WriteDoubles(out, model.item_bias_data());
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<FactorModel> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported model version in " + path);
+  }
+  int32_t num_users = 0, num_items = 0, num_factors = 0;
+  uint8_t bias = 0;
+  if (!ReadPod(in, &num_users) || !ReadPod(in, &num_items) ||
+      !ReadPod(in, &num_factors) || !ReadPod(in, &bias)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  if (num_users < 0 || num_items < 0 || num_factors <= 0) {
+    return Status::Corruption("invalid dimensions in " + path);
+  }
+
+  FactorModel model(num_users, num_items, num_factors, bias != 0);
+  const size_t uf = static_cast<size_t>(num_users) * num_factors;
+  const size_t vf = static_cast<size_t>(num_items) * num_factors;
+  std::vector<double> buf(uf);
+  if (!ReadDoubles(in, uf, buf.data())) {
+    return Status::Corruption("truncated user factors in " + path);
+  }
+  for (int32_t u = 0; u < num_users; ++u) {
+    auto dst = model.UserFactors(u);
+    std::memcpy(dst.data(), &buf[static_cast<size_t>(u) * num_factors],
+                sizeof(double) * static_cast<size_t>(num_factors));
+  }
+  buf.resize(vf);
+  if (!ReadDoubles(in, vf, buf.data())) {
+    return Status::Corruption("truncated item factors in " + path);
+  }
+  for (int32_t i = 0; i < num_items; ++i) {
+    auto dst = model.ItemFactors(i);
+    std::memcpy(dst.data(), &buf[static_cast<size_t>(i) * num_factors],
+                sizeof(double) * static_cast<size_t>(num_factors));
+  }
+  buf.resize(static_cast<size_t>(num_items));
+  if (!ReadDoubles(in, static_cast<size_t>(num_items), buf.data())) {
+    return Status::Corruption("truncated item biases in " + path);
+  }
+  for (int32_t i = 0; i < num_items; ++i) model.ItemBias(i) = buf[i];
+  return model;
+}
+
+}  // namespace clapf

@@ -1,0 +1,21 @@
+#ifndef CLAPF_MODEL_MODEL_IO_H_
+#define CLAPF_MODEL_MODEL_IO_H_
+
+#include <string>
+
+#include "clapf/model/factor_model.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Serializes `model` to `path` in a little-endian binary format:
+/// magic "CLPF", version, dims, then the raw parameter arrays.
+Status SaveModel(const FactorModel& model, const std::string& path);
+
+/// Loads a model previously written by SaveModel. Returns Corruption on a
+/// bad magic/version or a truncated file.
+Result<FactorModel> LoadModel(const std::string& path);
+
+}  // namespace clapf
+
+#endif  // CLAPF_MODEL_MODEL_IO_H_

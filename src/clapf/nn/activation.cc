@@ -1,0 +1,51 @@
+#include "clapf/nn/activation.h"
+
+#include <cmath>
+
+#include "clapf/util/math.h"
+
+namespace clapf {
+
+double ApplyActivation(Activation act, double x) {
+  switch (act) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kRelu:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kTanh:
+      return std::tanh(x);
+  }
+  return x;
+}
+
+double ActivationDerivative(Activation act, double x, double y) {
+  switch (act) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kRelu:
+      return x > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid:
+      return y * (1.0 - y);
+    case Activation::kTanh:
+      return 1.0 - y * y;
+  }
+  return 1.0;
+}
+
+const char* ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+}  // namespace clapf

@@ -1,0 +1,21 @@
+#ifndef CLAPF_NN_ACTIVATION_H_
+#define CLAPF_NN_ACTIVATION_H_
+
+namespace clapf {
+
+/// Element-wise nonlinearities supported by the nn substrate.
+enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
+
+/// y = act(x).
+double ApplyActivation(Activation act, double x);
+
+/// d act(x) / dx given both the pre-activation `x` and the stored output
+/// `y = act(x)` (lets sigmoid/tanh reuse y).
+double ActivationDerivative(Activation act, double x, double y);
+
+/// Parses "relu" / "sigmoid" / "tanh" / "identity"; nullptr-safe name.
+const char* ActivationName(Activation act);
+
+}  // namespace clapf
+
+#endif  // CLAPF_NN_ACTIVATION_H_

@@ -1,0 +1,69 @@
+#include "clapf/nn/dense_layer.h"
+
+#include <cmath>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+DenseLayer::DenseLayer(int32_t in_dim, int32_t out_dim, Activation activation,
+                       const AdamConfig& config)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      activation_(activation),
+      weights_(static_cast<size_t>(out_dim) * in_dim, 0.0),
+      biases_(static_cast<size_t>(out_dim), 0.0),
+      weight_opt_(weights_.size(), weights_.size(), config),
+      bias_opt_(biases_.size(), biases_.size(), config),
+      weight_grad_(weights_.size(), 0.0),
+      bias_grad_(biases_.size(), 0.0) {
+  CLAPF_CHECK(in_dim > 0 && out_dim > 0);
+}
+
+void DenseLayer::Init(Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(in_dim_ + out_dim_));
+  for (double& w : weights_) w = (rng.NextDouble() * 2.0 - 1.0) * limit;
+  std::fill(biases_.begin(), biases_.end(), 0.0);
+}
+
+std::span<const double> DenseLayer::Forward(std::span<const double> input) {
+  CLAPF_DCHECK(input.size() == static_cast<size_t>(in_dim_));
+  input_.assign(input.begin(), input.end());
+  pre_.resize(static_cast<size_t>(out_dim_));
+  output_.resize(static_cast<size_t>(out_dim_));
+  for (int32_t o = 0; o < out_dim_; ++o) {
+    const double* w = &weights_[static_cast<size_t>(o) * in_dim_];
+    double s = biases_[static_cast<size_t>(o)];
+    for (int32_t i = 0; i < in_dim_; ++i) s += w[i] * input_[i];
+    pre_[static_cast<size_t>(o)] = s;
+    output_[static_cast<size_t>(o)] = ApplyActivation(activation_, s);
+  }
+  return output_;
+}
+
+std::vector<double> DenseLayer::BackwardAndStep(
+    std::span<const double> grad_output) {
+  CLAPF_DCHECK(grad_output.size() == static_cast<size_t>(out_dim_));
+  std::vector<double> grad_input(static_cast<size_t>(in_dim_), 0.0);
+
+  for (int32_t o = 0; o < out_dim_; ++o) {
+    const double dpre =
+        grad_output[static_cast<size_t>(o)] *
+        ActivationDerivative(activation_, pre_[static_cast<size_t>(o)],
+                             output_[static_cast<size_t>(o)]);
+    bias_grad_[static_cast<size_t>(o)] = dpre;
+    double* wg = &weight_grad_[static_cast<size_t>(o) * in_dim_];
+    const double* w = &weights_[static_cast<size_t>(o) * in_dim_];
+    for (int32_t i = 0; i < in_dim_; ++i) {
+      wg[i] = dpre * input_[static_cast<size_t>(i)];
+      grad_input[static_cast<size_t>(i)] += dpre * w[i];
+    }
+  }
+
+  weight_opt_.Update(0, weight_grad_, weights_);
+  bias_opt_.Update(0, bias_grad_, biases_);
+  return grad_input;
+}
+
+}  // namespace clapf

@@ -1,0 +1,60 @@
+#ifndef CLAPF_NN_DENSE_LAYER_H_
+#define CLAPF_NN_DENSE_LAYER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clapf/nn/activation.h"
+#include "clapf/nn/optimizer.h"
+#include "clapf/util/random.h"
+
+namespace clapf {
+
+/// Fully-connected layer y = act(W x + b) with per-sample backprop and Adam.
+/// Forward stores the activations needed by Backward, so the usage pattern is
+/// strictly Forward → BackwardAndStep per sample.
+class DenseLayer {
+ public:
+  DenseLayer(int32_t in_dim, int32_t out_dim, Activation activation,
+             const AdamConfig& config);
+
+  /// Glorot-uniform weight init; zero biases.
+  void Init(Rng& rng);
+
+  /// Computes and caches the forward pass; the returned span is valid until
+  /// the next Forward call.
+  std::span<const double> Forward(std::span<const double> input);
+
+  /// Backpropagates dLoss/dOutput, applies one Adam step to W and b, and
+  /// returns dLoss/dInput.
+  std::vector<double> BackwardAndStep(std::span<const double> grad_output);
+
+  int32_t in_dim() const { return in_dim_; }
+  int32_t out_dim() const { return out_dim_; }
+  Activation activation() const { return activation_; }
+
+  /// Raw weights (out_dim × in_dim, row-major), for tests.
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<double>& biases() const { return biases_; }
+
+ private:
+  int32_t in_dim_;
+  int32_t out_dim_;
+  Activation activation_;
+  std::vector<double> weights_;  // out x in
+  std::vector<double> biases_;   // out
+  AdamOptimizer weight_opt_;
+  AdamOptimizer bias_opt_;
+  // Cached forward state.
+  std::vector<double> input_;
+  std::vector<double> pre_;
+  std::vector<double> output_;
+  // Scratch gradients.
+  std::vector<double> weight_grad_;
+  std::vector<double> bias_grad_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_NN_DENSE_LAYER_H_

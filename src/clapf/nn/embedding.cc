@@ -1,0 +1,25 @@
+#include "clapf/nn/embedding.h"
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+Embedding::Embedding(int32_t rows, int32_t dim, const AdamConfig& config)
+    : rows_(rows),
+      dim_(dim),
+      table_(static_cast<size_t>(rows) * dim, 0.0),
+      optimizer_(static_cast<size_t>(rows) * dim, static_cast<size_t>(dim),
+                 config) {
+  CLAPF_CHECK(rows >= 0);
+  CLAPF_CHECK(dim > 0);
+}
+
+void Embedding::Init(Rng& rng, double stddev) {
+  for (double& x : table_) x = rng.NextGaussian() * stddev;
+}
+
+void Embedding::ApplyGradient(int32_t r, std::span<const double> grad) {
+  optimizer_.Update(static_cast<size_t>(r) * dim_, grad, MutableRow(r));
+}
+
+}  // namespace clapf

@@ -1,0 +1,46 @@
+#ifndef CLAPF_NN_EMBEDDING_H_
+#define CLAPF_NN_EMBEDDING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clapf/nn/optimizer.h"
+#include "clapf/util/random.h"
+
+namespace clapf {
+
+/// Trainable embedding table with per-row Adam updates — the lookup layer
+/// under the neural baselines (NeuMF/NeuPR/DeepICF).
+class Embedding {
+ public:
+  Embedding(int32_t rows, int32_t dim, const AdamConfig& config);
+
+  /// Gaussian init with the given stddev.
+  void Init(Rng& rng, double stddev = 0.01);
+
+  int32_t rows() const { return rows_; }
+  int32_t dim() const { return dim_; }
+
+  std::span<const double> Row(int32_t r) const {
+    return {&table_[static_cast<size_t>(r) * dim_],
+            static_cast<size_t>(dim_)};
+  }
+  std::span<double> MutableRow(int32_t r) {
+    return {&table_[static_cast<size_t>(r) * dim_],
+            static_cast<size_t>(dim_)};
+  }
+
+  /// One Adam step on row `r` with dLoss/dRow = `grad`.
+  void ApplyGradient(int32_t r, std::span<const double> grad);
+
+ private:
+  int32_t rows_;
+  int32_t dim_;
+  std::vector<double> table_;
+  AdamOptimizer optimizer_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_NN_EMBEDDING_H_

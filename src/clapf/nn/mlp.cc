@@ -1,0 +1,36 @@
+#include "clapf/nn/mlp.h"
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+Mlp::Mlp(const std::vector<int32_t>& dims, Activation hidden,
+         Activation output, const AdamConfig& config) {
+  CLAPF_CHECK(dims.size() >= 2) << "MLP needs at least input and output dims";
+  layers_.reserve(dims.size() - 1);
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    const bool last = l + 2 == dims.size();
+    layers_.emplace_back(dims[l], dims[l + 1], last ? output : hidden,
+                         config);
+  }
+}
+
+void Mlp::Init(Rng& rng) {
+  for (auto& layer : layers_) layer.Init(rng);
+}
+
+std::span<const double> Mlp::Forward(std::span<const double> input) {
+  std::span<const double> x = input;
+  for (auto& layer : layers_) x = layer.Forward(x);
+  return x;
+}
+
+std::vector<double> Mlp::BackwardAndStep(std::span<const double> grad_output) {
+  std::vector<double> g(grad_output.begin(), grad_output.end());
+  for (size_t l = layers_.size(); l > 0; --l) {
+    g = layers_[l - 1].BackwardAndStep(g);
+  }
+  return g;
+}
+
+}  // namespace clapf

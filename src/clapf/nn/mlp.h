@@ -1,0 +1,42 @@
+#ifndef CLAPF_NN_MLP_H_
+#define CLAPF_NN_MLP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clapf/nn/dense_layer.h"
+
+namespace clapf {
+
+/// Multi-layer perceptron: a stack of DenseLayers. `dims` lists the layer
+/// widths including the input width, e.g. {64, 32, 16, 8} builds three
+/// layers 64→32→16→8. Hidden layers use `hidden`; the last layer uses
+/// `output` (often kIdentity so a loss-specific nonlinearity can sit on
+/// top).
+class Mlp {
+ public:
+  Mlp(const std::vector<int32_t>& dims, Activation hidden, Activation output,
+      const AdamConfig& config);
+
+  void Init(Rng& rng);
+
+  /// Forward pass; valid until the next Forward.
+  std::span<const double> Forward(std::span<const double> input);
+
+  /// Backprop dLoss/dOutput through every layer, stepping all parameters;
+  /// returns dLoss/dInput.
+  std::vector<double> BackwardAndStep(std::span<const double> grad_output);
+
+  int32_t input_dim() const { return layers_.front().in_dim(); }
+  int32_t output_dim() const { return layers_.back().out_dim(); }
+  size_t num_layers() const { return layers_.size(); }
+  const DenseLayer& layer(size_t idx) const { return layers_[idx]; }
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_NN_MLP_H_

@@ -1,0 +1,54 @@
+#include "clapf/nn/optimizer.h"
+
+#include <cmath>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+AdamOptimizer::AdamOptimizer(size_t num_params, size_t slice_size,
+                             const AdamConfig& config)
+    : config_(config),
+      slice_size_(slice_size),
+      m_(num_params, 0.0),
+      v_(num_params, 0.0),
+      step_(slice_size > 0 ? num_params / slice_size : 0, 0) {
+  CLAPF_CHECK(slice_size > 0);
+  CLAPF_CHECK(num_params % slice_size == 0);
+}
+
+void AdamOptimizer::Update(size_t offset, std::span<const double> grad,
+                           std::span<double> params) {
+  CLAPF_DCHECK(grad.size() == slice_size_);
+  CLAPF_DCHECK(params.size() == slice_size_);
+  CLAPF_DCHECK(offset % slice_size_ == 0);
+  CLAPF_DCHECK(offset + slice_size_ <= m_.size());
+
+  const size_t slice = offset / slice_size_;
+  const int64_t t = ++step_[slice];
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t));
+
+  for (size_t i = 0; i < slice_size_; ++i) {
+    double g = grad[i];
+    if (config_.weight_decay > 0.0) g += config_.weight_decay * params[i];
+    double& m = m_[offset + i];
+    double& v = v_[offset + i];
+    m = config_.beta1 * m + (1.0 - config_.beta1) * g;
+    v = config_.beta2 * v + (1.0 - config_.beta2) * g * g;
+    const double m_hat = m / bc1;
+    const double v_hat = v / bc2;
+    params[i] -=
+        config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+  }
+}
+
+void SgdStep(double learning_rate, double l2, std::span<const double> grad,
+             std::span<double> params) {
+  CLAPF_DCHECK(grad.size() == params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i] -= learning_rate * (grad[i] + l2 * params[i]);
+  }
+}
+
+}  // namespace clapf

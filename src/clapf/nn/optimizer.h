@@ -1,0 +1,52 @@
+#ifndef CLAPF_NN_OPTIMIZER_H_
+#define CLAPF_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace clapf {
+
+/// Adam hyper-parameters (Kingma & Ba defaults).
+struct AdamConfig {
+  double learning_rate = 0.001;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Decoupled L2 weight decay applied at each step (0 disables).
+  double weight_decay = 0.0;
+};
+
+/// Adam state for one parameter tensor. Supports sparse updates: callers may
+/// update any contiguous slice (e.g. one embedding row); bias correction uses
+/// a per-slice step count so rarely-touched rows are corrected properly.
+class AdamOptimizer {
+ public:
+  /// `num_params` total parameters; `slice_size` granularity of sparse
+  /// updates (use num_params for dense tensors). num_params must be a
+  /// multiple of slice_size.
+  AdamOptimizer(size_t num_params, size_t slice_size, const AdamConfig& config);
+
+  /// Applies one Adam step to the slice starting at `offset` (a multiple of
+  /// slice_size): params -= lr * m̂ / (√v̂ + ε). `grad` and `params` have
+  /// slice_size elements.
+  void Update(size_t offset, std::span<const double> grad,
+              std::span<double> params);
+
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  AdamConfig config_;
+  size_t slice_size_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::vector<int64_t> step_;  // per-slice step count
+};
+
+/// Plain per-sample SGD step with L2: params -= lr * (grad + l2 * params).
+void SgdStep(double learning_rate, double l2, std::span<const double> grad,
+             std::span<double> params);
+
+}  // namespace clapf
+
+#endif  // CLAPF_NN_OPTIMIZER_H_

@@ -1,0 +1,80 @@
+#include "clapf/recommender.h"
+
+#include <string>
+#include <utility>
+
+#include "clapf/model/model_io.h"
+
+namespace clapf {
+
+Recommender::Recommender(FactorModel model, Dataset history)
+    : model_(std::move(model)), history_(std::move(history)) {
+  auto counts = history_.ItemPopularity();
+  popularity_.assign(counts.begin(), counts.end());
+}
+
+Result<Recommender> Recommender::Create(FactorModel model, Dataset history) {
+  if (model.num_users() != history.num_users() ||
+      model.num_items() != history.num_items()) {
+    return Status::InvalidArgument(
+        "model and history dimensions disagree: model " +
+        std::to_string(model.num_users()) + "x" +
+        std::to_string(model.num_items()) + ", history " +
+        std::to_string(history.num_users()) + "x" +
+        std::to_string(history.num_items()));
+  }
+  return Recommender(std::move(model), std::move(history));
+}
+
+Result<Recommender> Recommender::Load(const std::string& model_path,
+                                      Dataset history) {
+  auto model = LoadModel(model_path);
+  if (!model.ok()) return model.status();
+  return Create(*std::move(model), std::move(history));
+}
+
+Result<std::vector<ScoredItem>> Recommender::Recommend(UserId u,
+                                                       size_t k) const {
+  return RecommendFiltered(u, k, {});
+}
+
+Result<std::vector<ScoredItem>> Recommender::RecommendFiltered(
+    UserId u, size_t k, const std::vector<ItemId>& exclude) const {
+  if (u < 0 || u >= model_.num_users()) {
+    return Status::OutOfRange("unknown user id " + std::to_string(u));
+  }
+  if (k == 0) return std::vector<ScoredItem>{};
+
+  std::vector<bool> excluded(static_cast<size_t>(model_.num_items()), false);
+  for (ItemId i : history_.ItemsOf(u)) excluded[static_cast<size_t>(i)] = true;
+  for (ItemId i : exclude) {
+    if (i >= 0 && i < model_.num_items()) {
+      excluded[static_cast<size_t>(i)] = true;
+    }
+  }
+
+  const bool cold = history_.NumItemsOf(u) == 0;
+  std::vector<double> scores;
+  if (cold) {
+    scores = popularity_;  // cold-start: popularity fallback
+  } else {
+    model_.ScoreAllItems(u, &scores);
+  }
+  return SelectTopK(scores, excluded, k);
+}
+
+Result<double> Recommender::Score(UserId u, ItemId i) const {
+  if (u < 0 || u >= model_.num_users()) {
+    return Status::OutOfRange("unknown user id " + std::to_string(u));
+  }
+  if (i < 0 || i >= model_.num_items()) {
+    return Status::OutOfRange("unknown item id " + std::to_string(i));
+  }
+  return model_.Score(u, i);
+}
+
+Status Recommender::Save(const std::string& model_path) const {
+  return SaveModel(model_, model_path);
+}
+
+}  // namespace clapf

@@ -1,0 +1,60 @@
+#ifndef CLAPF_RECOMMENDER_H_
+#define CLAPF_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/util/status.h"
+#include "clapf/util/top_k.h"
+
+namespace clapf {
+
+/// Serving facade: a trained FactorModel plus the interaction history it was
+/// trained on, packaged for answering top-k queries. Covers the gaps a raw
+/// model leaves for production use: history exclusion, explicit exclusion
+/// lists, popularity fallback for cold users, and model persistence.
+class Recommender {
+ public:
+  /// Builds from a trained model and its training data; both are copied so
+  /// the recommender owns its state. Model and data dimensions must agree.
+  static Result<Recommender> Create(FactorModel model, Dataset history);
+
+  /// Loads the model from `model_path` (SaveModel format) and pairs it with
+  /// `history`.
+  static Result<Recommender> Load(const std::string& model_path,
+                                  Dataset history);
+
+  /// Top-k unseen items for `u`. Cold users (no history) fall back to
+  /// popularity ranking. Returns OutOfRange for an unknown user id.
+  Result<std::vector<ScoredItem>> Recommend(UserId u, size_t k) const;
+
+  /// Like Recommend but additionally skips every item in `exclude`
+  /// (out-of-range ids are ignored).
+  Result<std::vector<ScoredItem>> RecommendFiltered(
+      UserId u, size_t k, const std::vector<ItemId>& exclude) const;
+
+  /// Predicted relevance score for one (user, item); OutOfRange on bad ids.
+  Result<double> Score(UserId u, ItemId i) const;
+
+  /// Persists the underlying model.
+  Status Save(const std::string& model_path) const;
+
+  int32_t num_users() const { return model_.num_users(); }
+  int32_t num_items() const { return model_.num_items(); }
+  const FactorModel& model() const { return model_; }
+  const Dataset& history() const { return history_; }
+
+ private:
+  Recommender(FactorModel model, Dataset history);
+
+  FactorModel model_;
+  Dataset history_;
+  std::vector<double> popularity_;  // cold-start fallback scores
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_RECOMMENDER_H_

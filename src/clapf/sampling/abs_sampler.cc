@@ -1,0 +1,75 @@
+#include "clapf/sampling/abs_sampler.h"
+
+#include <algorithm>
+
+#include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+AbsPairSampler::AbsPairSampler(const Dataset* dataset,
+                               const FactorModel* model,
+                               const Options& options, uint64_t seed)
+    : dataset_(dataset),
+      model_(model),
+      options_(options),
+      rng_(seed),
+      active_users_(TrainableUsers(*dataset)) {
+  CLAPF_CHECK(dataset != nullptr && model != nullptr);
+  CLAPF_CHECK(options.alpha >= 0.0 && options.beta >= 0.0);
+  CLAPF_CHECK(options.alpha + options.beta <= 1.0);
+  CLAPF_CHECK(options.candidates >= 1);
+  CLAPF_CHECK(!active_users_.empty());
+
+  auto counts = dataset->ItemPopularity();
+  popularity_cdf_.resize(counts.size());
+  double total = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    // +1 smoothing keeps never-consumed items reachable.
+    total += static_cast<double>(counts[i]) + 1.0;
+    popularity_cdf_[i] = total;
+  }
+  popularity_total_ = total;
+}
+
+ItemId AbsPairSampler::SampleByPopularity(UserId u) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double r = rng_.NextDouble() * popularity_total_;
+    auto it =
+        std::lower_bound(popularity_cdf_.begin(), popularity_cdf_.end(), r);
+    ItemId j = static_cast<ItemId>(it - popularity_cdf_.begin());
+    if (j >= dataset_->num_items()) j = dataset_->num_items() - 1;
+    if (!dataset_->IsObserved(u, j)) return j;
+  }
+  return SampleUnobservedUniform(*dataset_, u, rng_);
+}
+
+PairSample AbsPairSampler::Sample() {
+  PairSample p;
+  p.u = active_users_[rng_.Uniform(active_users_.size())];
+  auto items = dataset_->ItemsOf(p.u);
+  p.i = items[rng_.Uniform(items.size())];
+
+  const double branch = rng_.NextDouble();
+  if (branch < options_.alpha) {
+    // Score-adaptive branch: hardest of a small uniform pool.
+    ItemId best = SampleUnobservedUniform(*dataset_, p.u, rng_);
+    double best_score = model_->Score(p.u, best);
+    for (int32_t c = 1; c < options_.candidates; ++c) {
+      ItemId j = SampleUnobservedUniform(*dataset_, p.u, rng_);
+      double s = model_->Score(p.u, j);
+      if (s > best_score) {
+        best = j;
+        best_score = s;
+      }
+    }
+    p.j = best;
+  } else if (branch < options_.alpha + options_.beta) {
+    p.j = SampleByPopularity(p.u);
+  } else {
+    p.j = SampleUnobservedUniform(*dataset_, p.u, rng_);
+  }
+  return p;
+}
+
+}  // namespace clapf

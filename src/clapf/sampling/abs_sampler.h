@@ -1,0 +1,55 @@
+#ifndef CLAPF_SAMPLING_ABS_SAMPLER_H_
+#define CLAPF_SAMPLING_ABS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/sampling/sampler.h"
+#include "clapf/util/random.h"
+
+namespace clapf {
+
+/// Alpha-Beta Sampling for pairwise ranking (after Cheng et al., ICDM 2019,
+/// cited by the paper in §2.1): the negative j is drawn from a mixture of
+/// the two signals adaptive samplers use —
+///  * with probability `alpha`, score-adaptively (the best-scored of a small
+///    uniform candidate pool, DNS-style: items the model currently
+///    over-ranks);
+///  * with probability `beta`, popularity-weighted (items with much
+///    evidence of being consumable that this user skipped);
+///  * otherwise uniformly.
+/// Requires alpha + beta <= 1.
+class AbsPairSampler : public PairSampler {
+ public:
+  struct Options {
+    double alpha = 0.5;
+    double beta = 0.3;
+    /// Candidate pool size for the score-adaptive branch.
+    int32_t candidates = 5;
+  };
+
+  /// `dataset` and `model` must outlive the sampler.
+  AbsPairSampler(const Dataset* dataset, const FactorModel* model,
+                 const Options& options, uint64_t seed);
+
+  PairSample Sample() override;
+  const char* name() const override { return "ABS"; }
+
+ private:
+  ItemId SampleByPopularity(UserId u);
+
+  const Dataset* dataset_;
+  const FactorModel* model_;
+  Options options_;
+  Rng rng_;
+  std::vector<UserId> active_users_;
+  // Inclusive prefix sums of item popularity, for O(log m) weighted draws.
+  std::vector<double> popularity_cdf_;
+  double popularity_total_ = 0.0;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SAMPLING_ABS_SAMPLER_H_

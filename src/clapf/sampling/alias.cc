@@ -1,0 +1,59 @@
+#include "clapf/sampling/alias.h"
+
+#include <vector>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  CLAPF_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    CLAPF_CHECK(w >= 0.0) << "negative weight";
+    total += w;
+  }
+  CLAPF_CHECK(total > 0.0) << "all weights are zero";
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scale to mean 1 and split into under-/over-full buckets.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) probability_[i] = 1.0;
+  for (uint32_t i : small) probability_[i] = 1.0;  // numerical leftovers
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t bucket = static_cast<size_t>(rng.Uniform(probability_.size()));
+  return rng.NextDouble() < probability_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasTable::ProbabilityOf(size_t i) const {
+  const double n = static_cast<double>(probability_.size());
+  double p = probability_[i] / n;
+  for (size_t b = 0; b < probability_.size(); ++b) {
+    if (alias_[b] == i && probability_[b] < 1.0) {
+      p += (1.0 - probability_[b]) / n;
+    }
+  }
+  return p;
+}
+
+}  // namespace clapf

@@ -1,0 +1,35 @@
+#ifndef CLAPF_SAMPLING_ALIAS_H_
+#define CLAPF_SAMPLING_ALIAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clapf/util/random.h"
+
+namespace clapf {
+
+/// Walker's alias method: O(n) construction, O(1) draws from an arbitrary
+/// discrete distribution. Used for popularity-weighted negative sampling at
+/// scale, where per-draw binary search over a CDF would cost O(log n).
+class AliasTable {
+ public:
+  /// Builds the table for (unnormalized, non-negative) `weights`. At least
+  /// one weight must be positive.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index with probability weights[i] / Σ weights.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return probability_.size(); }
+
+  /// Normalized probability of index i (reconstructed; tests only). O(n).
+  double ProbabilityOf(size_t i) const;
+
+ private:
+  std::vector<double> probability_;  // acceptance threshold per bucket
+  std::vector<uint32_t> alias_;      // fallback index per bucket
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SAMPLING_ALIAS_H_

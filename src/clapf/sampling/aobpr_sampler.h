@@ -1,0 +1,47 @@
+#ifndef CLAPF_SAMPLING_AOBPR_SAMPLER_H_
+#define CLAPF_SAMPLING_AOBPR_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/sampling/geometric.h"
+#include "clapf/sampling/rank_list.h"
+#include "clapf/sampling/sampler.h"
+#include "clapf/util/random.h"
+
+namespace clapf {
+
+/// Adaptive Oversampling for BPR (Rendle & Freudenthaler, WSDM 2014): the
+/// negative j is drawn geometrically from the head of a factor-ranked item
+/// list oriented by sgn(U_{u,q}) — the single-sided ancestor of DSS.
+class AobprPairSampler : public PairSampler {
+ public:
+  struct Options {
+    double tail_fraction = 0.2;
+    /// Draws between rank-list rebuilds; 0 = auto (same rule as DSS).
+    int64_t refresh_interval = 0;
+  };
+
+  AobprPairSampler(const Dataset* dataset, const FactorModel* model,
+                   const Options& options, uint64_t seed);
+
+  PairSample Sample() override;
+  const char* name() const override { return "AoBPR"; }
+
+ private:
+  const Dataset* dataset_;
+  const FactorModel* model_;
+  Options options_;
+  Rng rng_;
+  std::vector<UserId> active_users_;
+  FactorRankList rank_list_;
+  GeometricRankSampler geometric_;
+  int64_t draws_since_refresh_ = 0;
+  int64_t refresh_interval_ = 0;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SAMPLING_AOBPR_SAMPLER_H_

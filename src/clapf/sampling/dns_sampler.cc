@@ -1,0 +1,41 @@
+#include "clapf/sampling/dns_sampler.h"
+
+#include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+DnsPairSampler::DnsPairSampler(const Dataset* dataset,
+                               const FactorModel* model, int32_t candidates,
+                               uint64_t seed)
+    : dataset_(dataset),
+      model_(model),
+      candidates_(candidates),
+      rng_(seed),
+      active_users_(TrainableUsers(*dataset)) {
+  CLAPF_CHECK(dataset != nullptr && model != nullptr);
+  CLAPF_CHECK(candidates >= 1);
+  CLAPF_CHECK(!active_users_.empty());
+}
+
+PairSample DnsPairSampler::Sample() {
+  PairSample p;
+  p.u = active_users_[rng_.Uniform(active_users_.size())];
+  auto items = dataset_->ItemsOf(p.u);
+  p.i = items[rng_.Uniform(items.size())];
+
+  ItemId best = SampleUnobservedUniform(*dataset_, p.u, rng_);
+  double best_score = model_->Score(p.u, best);
+  for (int32_t c = 1; c < candidates_; ++c) {
+    ItemId j = SampleUnobservedUniform(*dataset_, p.u, rng_);
+    double s = model_->Score(p.u, j);
+    if (s > best_score) {
+      best = j;
+      best_score = s;
+    }
+  }
+  p.j = best;
+  return p;
+}
+
+}  // namespace clapf

@@ -1,0 +1,37 @@
+#ifndef CLAPF_SAMPLING_DNS_SAMPLER_H_
+#define CLAPF_SAMPLING_DNS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/sampling/sampler.h"
+#include "clapf/util/random.h"
+
+namespace clapf {
+
+/// Dynamic Negative Sampling (Zhang et al., SIGIR 2013): draws `candidates`
+/// unobserved items uniformly and keeps the one the current model scores
+/// highest — the hardest negative in the candidate pool. Referenced by the
+/// paper as one of the adaptive samplers DSS builds on.
+class DnsPairSampler : public PairSampler {
+ public:
+  /// `dataset` and `model` must outlive the sampler; `candidates` >= 1.
+  DnsPairSampler(const Dataset* dataset, const FactorModel* model,
+                 int32_t candidates, uint64_t seed);
+
+  PairSample Sample() override;
+  const char* name() const override { return "DNS"; }
+
+ private:
+  const Dataset* dataset_;
+  const FactorModel* model_;
+  int32_t candidates_;
+  Rng rng_;
+  std::vector<UserId> active_users_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SAMPLING_DNS_SAMPLER_H_

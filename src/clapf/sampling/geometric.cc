@@ -1,0 +1,29 @@
+#include "clapf/sampling/geometric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+GeometricRankSampler::GeometricRankSampler(double tail_fraction)
+    : tail_fraction_(tail_fraction) {
+  CLAPF_CHECK(tail_fraction > 0.0 && tail_fraction <= 1.0);
+}
+
+size_t GeometricRankSampler::Sample(size_t size, Rng& rng) const {
+  CLAPF_CHECK(size >= 1);
+  if (size == 1) return 0;
+  // Success probability so the mean (1-p)/p lands around tail_fraction*size.
+  double mean = std::max(1.0, tail_fraction_ * static_cast<double>(size));
+  double p = 1.0 / (mean + 1.0);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    uint64_t draw = rng.Geometric(p);
+    if (draw < size) return static_cast<size_t>(draw);
+  }
+  // Truncation fallback (p extremely small relative to size).
+  return static_cast<size_t>(rng.Uniform(size));
+}
+
+}  // namespace clapf

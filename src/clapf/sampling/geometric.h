@@ -1,0 +1,32 @@
+#ifndef CLAPF_SAMPLING_GEOMETRIC_H_
+#define CLAPF_SAMPLING_GEOMETRIC_H_
+
+#include <cstddef>
+
+#include "clapf/util/random.h"
+
+namespace clapf {
+
+/// Geometric sampling over ranked positions, as used by DSS/AoBPR: position 0
+/// (the head of the list) is most likely, with probability decaying
+/// geometrically down the list. The success probability is chosen so that the
+/// distribution's mass concentrates on roughly the first `tail_fraction *
+/// size` positions. Draws outside [0, size) are re-drawn (truncated
+/// geometric), so every position has non-zero probability.
+class GeometricRankSampler {
+ public:
+  /// `tail_fraction` in (0, 1]; smaller = more head-heavy.
+  explicit GeometricRankSampler(double tail_fraction = 0.1);
+
+  /// Samples a position in [0, size); `size` must be >= 1.
+  size_t Sample(size_t size, Rng& rng) const;
+
+  double tail_fraction() const { return tail_fraction_; }
+
+ private:
+  double tail_fraction_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SAMPLING_GEOMETRIC_H_

@@ -1,0 +1,50 @@
+#ifndef CLAPF_SAMPLING_SAMPLER_H_
+#define CLAPF_SAMPLING_SAMPLER_H_
+
+#include "clapf/data/dataset.h"
+
+namespace clapf {
+
+/// One CLAPF training case (paper §4.3): user u, an observed item i, a second
+/// observed item k (the listwise companion), and an unobserved item j (the
+/// pairwise negative).
+struct Triple {
+  UserId u = 0;
+  ItemId i = 0;
+  ItemId k = 0;
+  ItemId j = 0;
+};
+
+/// One BPR-style training case: user u prefers observed i over unobserved j.
+struct PairSample {
+  UserId u = 0;
+  ItemId i = 0;
+  ItemId j = 0;
+};
+
+/// Draws CLAPF triples. Implementations own their RNG so a sampler is a
+/// deterministic stream given its construction seed. Adaptive samplers read
+/// the evolving model they were constructed with on every draw.
+class TripleSampler {
+ public:
+  virtual ~TripleSampler() = default;
+
+  /// Draws the next training triple.
+  virtual Triple Sample() = 0;
+
+  /// Human-readable name for logs/benchmarks.
+  virtual const char* name() const = 0;
+};
+
+/// Draws BPR pairs; same contract as TripleSampler.
+class PairSampler {
+ public:
+  virtual ~PairSampler() = default;
+
+  virtual PairSample Sample() = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SAMPLING_SAMPLER_H_

@@ -1,0 +1,58 @@
+#include "clapf/sampling/uniform_sampler.h"
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+ItemId SampleUnobservedUniform(const Dataset& dataset, UserId u, Rng& rng) {
+  const int32_t m = dataset.num_items();
+  CLAPF_DCHECK(dataset.NumItemsOf(u) < m);
+  while (true) {
+    ItemId j = static_cast<ItemId>(rng.Uniform(static_cast<uint64_t>(m)));
+    if (!dataset.IsObserved(u, j)) return j;
+  }
+}
+
+std::vector<UserId> TrainableUsers(const Dataset& dataset) {
+  std::vector<UserId> users;
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    int32_t count = dataset.NumItemsOf(u);
+    if (count > 0 && count < dataset.num_items()) users.push_back(u);
+  }
+  return users;
+}
+
+UniformTripleSampler::UniformTripleSampler(const Dataset* dataset,
+                                           uint64_t seed)
+    : dataset_(dataset), rng_(seed), active_users_(TrainableUsers(*dataset)) {
+  CLAPF_CHECK(dataset != nullptr);
+  CLAPF_CHECK(!active_users_.empty())
+      << "dataset has no user trainable by pairwise methods";
+}
+
+Triple UniformTripleSampler::Sample() {
+  Triple t;
+  t.u = active_users_[rng_.Uniform(active_users_.size())];
+  auto items = dataset_->ItemsOf(t.u);
+  t.i = items[rng_.Uniform(items.size())];
+  t.k = items[rng_.Uniform(items.size())];
+  t.j = SampleUnobservedUniform(*dataset_, t.u, rng_);
+  return t;
+}
+
+UniformPairSampler::UniformPairSampler(const Dataset* dataset, uint64_t seed)
+    : dataset_(dataset), rng_(seed), active_users_(TrainableUsers(*dataset)) {
+  CLAPF_CHECK(dataset != nullptr);
+  CLAPF_CHECK(!active_users_.empty());
+}
+
+PairSample UniformPairSampler::Sample() {
+  PairSample p;
+  p.u = active_users_[rng_.Uniform(active_users_.size())];
+  auto items = dataset_->ItemsOf(p.u);
+  p.i = items[rng_.Uniform(items.size())];
+  p.j = SampleUnobservedUniform(*dataset_, p.u, rng_);
+  return p;
+}
+
+}  // namespace clapf

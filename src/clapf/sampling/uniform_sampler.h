@@ -1,0 +1,58 @@
+#ifndef CLAPF_SAMPLING_UNIFORM_SAMPLER_H_
+#define CLAPF_SAMPLING_UNIFORM_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/sampling/sampler.h"
+#include "clapf/util/random.h"
+
+namespace clapf {
+
+/// Uniform CLAPF sampler (the paper's "Uniform Sampling"): u uniform over
+/// users with observed items, i and k uniform over I_u^+, j uniform over the
+/// unobserved items (rejection sampling). For users with a single observed
+/// item, k == i, which zeroes the listwise pair but keeps the pairwise term
+/// learning.
+class UniformTripleSampler : public TripleSampler {
+ public:
+  /// `dataset` must outlive the sampler and contain >= 1 interaction, with at
+  /// least one unobserved item for some user.
+  UniformTripleSampler(const Dataset* dataset, uint64_t seed);
+
+  Triple Sample() override;
+  const char* name() const override { return "Uniform"; }
+
+ private:
+  const Dataset* dataset_;
+  Rng rng_;
+  std::vector<UserId> active_users_;
+};
+
+/// Uniform BPR pair sampler: u, i uniform over observed pairs, j uniform over
+/// unobserved items of u.
+class UniformPairSampler : public PairSampler {
+ public:
+  UniformPairSampler(const Dataset* dataset, uint64_t seed);
+
+  PairSample Sample() override;
+  const char* name() const override { return "UniformPair"; }
+
+ private:
+  const Dataset* dataset_;
+  Rng rng_;
+  std::vector<UserId> active_users_;
+};
+
+/// Shared helper: draws an item of `u` not observed in `dataset`, by
+/// rejection. Requires the user to have at least one unobserved item.
+ItemId SampleUnobservedUniform(const Dataset& dataset, UserId u, Rng& rng);
+
+/// Shared helper: users of `dataset` with >= 1 observed item and >= 1
+/// unobserved item (i.e. users trainable by pairwise methods).
+std::vector<UserId> TrainableUsers(const Dataset& dataset);
+
+}  // namespace clapf
+
+#endif  // CLAPF_SAMPLING_UNIFORM_SAMPLER_H_

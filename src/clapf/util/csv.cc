@@ -1,0 +1,105 @@
+#include "clapf/util/csv.h"
+
+#include <sstream>
+
+namespace clapf {
+
+Status CsvWriter::Open(const std::string& path) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) return Status::IoError("cannot open for write: " + path);
+  return Status::OK();
+}
+
+std::string CsvWriter::Escape(const std::string& field) const {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == delim_ || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_.is_open()) return Status::FailedPrecondition("writer not open");
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << delim_;
+    out_ << Escape(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.close();
+    if (out_.fail()) return Status::IoError("close failed");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char delim) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    // Re-join lines while inside a quoted field.
+    while (true) {
+      size_t quotes = 0;
+      for (char c : line) {
+        if (c == '"') ++quotes;
+      }
+      if (quotes % 2 == 0) break;
+      std::string next;
+      if (!std::getline(in, next)) break;
+      line += '\n';
+      line += next;
+    }
+    rows.push_back(ParseCsvLine(line, delim));
+  }
+  return rows;
+}
+
+}  // namespace clapf

@@ -1,0 +1,47 @@
+#ifndef CLAPF_UTIL_CSV_H_
+#define CLAPF_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Streaming writer for delimiter-separated files. Fields containing the
+/// delimiter, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char delim = ',') : delim_(delim) {}
+
+  /// Opens `path` for writing, truncating any existing file.
+  Status Open(const std::string& path);
+
+  /// Writes one row; fields are escaped as needed.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes the file.
+  Status Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+ private:
+  std::string Escape(const std::string& field) const;
+
+  char delim_;
+  std::ofstream out_;
+};
+
+/// Reads a whole delimiter-separated file into rows of fields. Handles
+/// RFC 4180 quoting (embedded delimiters/quotes/newlines in quoted fields).
+/// Blank lines are skipped.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char delim = ',');
+
+/// Parses a single CSV line (no embedded newlines) into fields.
+std::vector<std::string> ParseCsvLine(const std::string& line, char delim);
+
+}  // namespace clapf
+
+#endif  // CLAPF_UTIL_CSV_H_

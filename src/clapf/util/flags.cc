@@ -1,0 +1,113 @@
+#include "clapf/util/flags.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "clapf/util/string_util.h"
+
+namespace clapf {
+
+void FlagParser::AddInt(const std::string& name, int64_t* target,
+                        std::string help) {
+  flags_[name] = Flag{Type::kInt, target, std::move(help),
+                      std::to_string(*target)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           std::string help) {
+  flags_[name] = Flag{Type::kDouble, target, std::move(help),
+                      FormatDouble(*target, 4)};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           std::string help) {
+  flags_[name] = Flag{Type::kString, target, std::move(help), *target};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         std::string help) {
+  flags_[name] =
+      Flag{Type::kBool, target, std::move(help), *target ? "true" : "false"};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag: --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt: {
+      auto parsed = ParseInt64(value);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<int64_t*>(flag.target) = *parsed;
+      break;
+    }
+    case Type::kDouble: {
+      auto parsed = ParseDouble(value);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<double*>(flag.target) = *parsed;
+      break;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      break;
+    case Type::kBool: {
+      std::string v = ToLower(value);
+      if (v == "true" || v == "1" || v == "yes" || v.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (v == "false" || v == "0" || v == "no") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " + value);
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      return Status::FailedPrecondition("help requested");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      CLAPF_RETURN_IF_ERROR(SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + body);
+    }
+    if (it->second.type == Type::kBool) {
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + body + " expects a value");
+    }
+    CLAPF_RETURN_IF_ERROR(SetValue(body, argv[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_repr << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace clapf

@@ -1,0 +1,53 @@
+#ifndef CLAPF_UTIL_FLAGS_H_
+#define CLAPF_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Minimal CLI flag parser for the benchmark and example binaries. Accepts
+/// `--name=value` and `--name value`; `--name` alone sets a bool flag true.
+/// Unknown flags are an error so typos surface immediately.
+class FlagParser {
+ public:
+  /// Registers a flag with a default value and help text. `*target` must
+  /// outlive Parse().
+  void AddInt(const std::string& name, int64_t* target, std::string help);
+  void AddDouble(const std::string& name, double* target, std::string help);
+  void AddString(const std::string& name, std::string* target,
+                 std::string help);
+  void AddBool(const std::string& name, bool* target, std::string help);
+
+  /// Parses argv; positional (non-flag) arguments are collected in
+  /// `positional()`. On `--help`, prints usage and returns a non-OK status
+  /// with code kFailedPrecondition so callers can exit cleanly.
+  Status Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the registered flags with defaults and help strings.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_UTIL_FLAGS_H_

@@ -1,0 +1,119 @@
+#include "clapf/util/linalg.h"
+
+#include <cmath>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+Status CholeskySolveInPlace(std::vector<double>& a, std::vector<double>& b,
+                            int n) {
+  CLAPF_CHECK(a.size() == static_cast<size_t>(n) * n);
+  CLAPF_CHECK(b.size() == static_cast<size_t>(n));
+  // Decompose A = L Lᵀ, storing L in the lower triangle of `a`.
+  for (int j = 0; j < n; ++j) {
+    double diag = a[static_cast<size_t>(j) * n + j];
+    for (int k = 0; k < j; ++k) {
+      double l = a[static_cast<size_t>(j) * n + k];
+      diag -= l * l;
+    }
+    if (diag <= 1e-12) {
+      return Status::FailedPrecondition("matrix is not positive definite");
+    }
+    diag = std::sqrt(diag);
+    a[static_cast<size_t>(j) * n + j] = diag;
+    for (int i = j + 1; i < n; ++i) {
+      double v = a[static_cast<size_t>(i) * n + j];
+      for (int k = 0; k < j; ++k) {
+        v -= a[static_cast<size_t>(i) * n + k] *
+             a[static_cast<size_t>(j) * n + k];
+      }
+      a[static_cast<size_t>(i) * n + j] = v / diag;
+    }
+  }
+  // Forward solve L y = b.
+  for (int i = 0; i < n; ++i) {
+    double v = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) {
+      v -= a[static_cast<size_t>(i) * n + k] * b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] = v / a[static_cast<size_t>(i) * n + i];
+  }
+  // Back solve Lᵀ x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    double v = b[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      v -= a[static_cast<size_t>(k) * n + i] * b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] = v / a[static_cast<size_t>(i) * n + i];
+  }
+  return Status::OK();
+}
+
+Status CholeskyInvertInPlace(std::vector<double>& a, int n) {
+  CLAPF_CHECK(a.size() == static_cast<size_t>(n) * n);
+  // Factor A = L Lᵀ (lower triangle of `a` becomes L).
+  for (int j = 0; j < n; ++j) {
+    double diag = a[static_cast<size_t>(j) * n + j];
+    for (int k = 0; k < j; ++k) {
+      double l = a[static_cast<size_t>(j) * n + k];
+      diag -= l * l;
+    }
+    if (diag <= 1e-12) {
+      return Status::FailedPrecondition("matrix is not positive definite");
+    }
+    diag = std::sqrt(diag);
+    a[static_cast<size_t>(j) * n + j] = diag;
+    for (int i = j + 1; i < n; ++i) {
+      double v = a[static_cast<size_t>(i) * n + j];
+      for (int k = 0; k < j; ++k) {
+        v -= a[static_cast<size_t>(i) * n + k] *
+             a[static_cast<size_t>(j) * n + k];
+      }
+      a[static_cast<size_t>(i) * n + j] = v / diag;
+    }
+  }
+  // Invert the lower-triangular L: Linv_jj = 1/L_jj and, for i > j,
+  // Linv_ij = −(1/L_ii) Σ_{k=j}^{i−1} L_ik · Linv_kj.
+  std::vector<double> linv(static_cast<size_t>(n) * n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    linv[static_cast<size_t>(j) * n + j] =
+        1.0 / a[static_cast<size_t>(j) * n + j];
+    for (int i = j + 1; i < n; ++i) {
+      double s = 0.0;
+      for (int k = j; k < i; ++k) {
+        s += a[static_cast<size_t>(i) * n + k] *
+             linv[static_cast<size_t>(k) * n + j];
+      }
+      linv[static_cast<size_t>(i) * n + j] =
+          -s / a[static_cast<size_t>(i) * n + i];
+    }
+  }
+  // A⁻¹ = Linvᵀ · Linv (symmetric).
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double s = 0.0;
+      for (int k = j; k < n; ++k) {
+        s += linv[static_cast<size_t>(k) * n + i] *
+             linv[static_cast<size_t>(k) * n + j];
+      }
+      a[static_cast<size_t>(i) * n + j] = s;
+      a[static_cast<size_t>(j) * n + i] = s;
+    }
+  }
+  return Status::OK();
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  CLAPF_CHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y) {
+  CLAPF_CHECK(x.size() == y.size());
+  double s = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+}  // namespace clapf

@@ -1,0 +1,30 @@
+#ifndef CLAPF_UTIL_LINALG_H_
+#define CLAPF_UTIL_LINALG_H_
+
+#include <vector>
+
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky decomposition. `a` is n×n row-major and is destroyed; `b` has
+/// length n and receives the solution. Returns FailedPrecondition when A is
+/// not positive definite (within a small pivot tolerance).
+Status CholeskySolveInPlace(std::vector<double>& a, std::vector<double>& b,
+                            int n);
+
+/// Inverts the symmetric positive-definite n×n matrix `a` (row-major) in
+/// place via Cholesky factorization: A → A⁻¹. Returns FailedPrecondition
+/// when A is not positive definite. O(n³).
+Status CholeskyInvertInPlace(std::vector<double>& a, int n);
+
+/// y += alpha * x (vectors of equal length).
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace clapf
+
+#endif  // CLAPF_UTIL_LINALG_H_

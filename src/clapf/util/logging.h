@@ -1,0 +1,66 @@
+#ifndef CLAPF_UTIL_LOGGING_H_
+#define CLAPF_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace clapf {
+
+/// Log severity, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum severity that is emitted; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits to stderr on destruction. If `fatal` it
+/// aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace clapf
+
+#define CLAPF_LOG(level)                                                     \
+  ::clapf::internal_logging::LogMessage(::clapf::LogLevel::k##level,        \
+                                        __FILE__, __LINE__)                  \
+      .stream()
+
+/// Aborts with a message when `cond` is false. For programmer errors only;
+/// recoverable failures use Status.
+#define CLAPF_CHECK(cond)                                                    \
+  if (!(cond))                                                               \
+  ::clapf::internal_logging::LogMessage(::clapf::LogLevel::kError, __FILE__, \
+                                        __LINE__, /*fatal=*/true)            \
+          .stream()                                                          \
+      << "Check failed: " #cond " "
+
+#define CLAPF_CHECK_OK(expr)                                          \
+  do {                                                                \
+    const ::clapf::Status _clapf_check_status = (expr);               \
+    CLAPF_CHECK(_clapf_check_status.ok()) << _clapf_check_status.ToString(); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CLAPF_DCHECK(cond) \
+  while (false) CLAPF_CHECK(cond)
+#else
+#define CLAPF_DCHECK(cond) CLAPF_CHECK(cond)
+#endif
+
+#endif  // CLAPF_UTIL_LOGGING_H_

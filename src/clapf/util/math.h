@@ -1,0 +1,33 @@
+#ifndef CLAPF_UTIL_MATH_H_
+#define CLAPF_UTIL_MATH_H_
+
+#include <cmath>
+
+namespace clapf {
+
+/// Logistic sigmoid 1 / (1 + e^-x), numerically stable for large |x|.
+inline double Sigmoid(double x) {
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// ln sigma(x) = -ln(1 + e^-x), stable for large |x|.
+inline double LogSigmoid(double x) {
+  if (x >= 0.0) return -std::log1p(std::exp(-x));
+  return x - std::log1p(std::exp(x));
+}
+
+/// d/dx ln sigma(x) = 1 - sigma(x) = sigma(-x).
+inline double LogSigmoidGrad(double x) { return Sigmoid(-x); }
+
+/// Clamps `x` into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace clapf
+
+#endif  // CLAPF_UTIL_MATH_H_

@@ -1,0 +1,28 @@
+#ifndef CLAPF_UTIL_STOPWATCH_H_
+#define CLAPF_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace clapf {
+
+/// Wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Restarts from zero.
+  void Reset();
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_UTIL_STOPWATCH_H_

@@ -1,0 +1,45 @@
+#ifndef CLAPF_UTIL_STRING_UTIL_H_
+#define CLAPF_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Splits `s` on `delim`; empty fields are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Strict parses; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lowercases ASCII.
+std::string ToLower(std::string_view s);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// "h:mm:ss" style duration for seconds.
+std::string FormatDuration(double seconds);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace clapf
+
+#endif  // CLAPF_UTIL_STRING_UTIL_H_

@@ -1,0 +1,68 @@
+#include "clapf/util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace clapf {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { separators_.push_back(rows_.size()); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  if (cols == 0) return;
+
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto rule = [&] {
+    os << '+';
+    for (size_t c = 0; c < cols; ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t sep : separators_) {
+      if (sep == r) rule();
+    }
+    emit(rows_[r]);
+  }
+  rule();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace clapf

@@ -1,0 +1,39 @@
+#ifndef CLAPF_UTIL_TABLE_PRINTER_H_
+#define CLAPF_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace clapf {
+
+/// Accumulates rows and prints a column-aligned ASCII table, used by the
+/// benchmark harness to render the paper's tables.
+class TablePrinter {
+ public:
+  /// Sets the header row; must be called before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; shorter rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator after the current last row.
+  void AddSeparator();
+
+  /// Renders the table ("| a | b |" style with +---+ rules).
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separators_;  // row indices after which to draw a rule
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_UTIL_TABLE_PRINTER_H_

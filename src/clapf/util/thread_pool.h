@@ -1,0 +1,55 @@
+#ifndef CLAPF_UTIL_THREAD_POOL_H_
+#define CLAPF_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace clapf {
+
+/// Fixed-size worker pool for CPU-bound fan-out (parallel evaluation over
+/// users). Tasks are void() closures; Wait() blocks until the queue drains
+/// and all workers are idle.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Convenience: runs fn(begin..end) sharded across the pool and waits.
+  /// fn is invoked as fn(index) for every index in [begin, end).
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_UTIL_THREAD_POOL_H_

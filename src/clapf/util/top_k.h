@@ -1,0 +1,48 @@
+#ifndef CLAPF_UTIL_TOP_K_H_
+#define CLAPF_UTIL_TOP_K_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clapf {
+
+/// (item id, predicted score) pair used throughout ranking code.
+struct ScoredItem {
+  int32_t item = 0;
+  double score = 0.0;
+};
+
+/// Streaming top-k accumulator keyed by score (max first). Ties are broken by
+/// smaller item id for determinism. O(log k) per Push.
+class TopKAccumulator {
+ public:
+  /// `k` must be >= 1.
+  explicit TopKAccumulator(size_t k);
+
+  /// Offers one candidate.
+  void Push(int32_t item, double score);
+
+  /// Extracts the accumulated items ordered best-to-worst; the accumulator
+  /// is left empty.
+  std::vector<ScoredItem> Take();
+
+  size_t size() const { return heap_.size(); }
+  size_t k() const { return k_; }
+
+ private:
+  bool Less(const ScoredItem& a, const ScoredItem& b) const;
+
+  size_t k_;
+  std::vector<ScoredItem> heap_;  // min-heap on score
+};
+
+/// Convenience: returns the top-k of `scores` (indexed by item id) excluding
+/// any item for which `exclude[item]` is true. `exclude` may be empty to mean
+/// "exclude nothing".
+std::vector<ScoredItem> SelectTopK(const std::vector<double>& scores,
+                                   const std::vector<bool>& exclude, size_t k);
+
+}  // namespace clapf
+
+#endif  // CLAPF_UTIL_TOP_K_H_

@@ -1,0 +1,105 @@
+#include "clapf/baselines/bpr.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TrainTestSplit LearnableSplit(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 100;
+  cfg.num_interactions = 2400;
+  cfg.affinity_sharpness = 8.0;
+  cfg.popularity_mix = 0.2;
+  cfg.seed = seed;
+  return SplitRandom(*GenerateSynthetic(cfg), 0.5, seed + 1);
+}
+
+BprOptions FastOptions() {
+  BprOptions opts;
+  opts.sgd.num_factors = 8;
+  opts.sgd.iterations = 25000;
+  opts.sgd.learning_rate = 0.05;
+  opts.sgd.seed = 3;
+  return opts;
+}
+
+TEST(BprTrainerTest, LearnsAboveChance) {
+  auto split = LearnableSplit(301);
+  BprTrainer trainer(FastOptions());
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(*trainer.model(), {5}).auc, 0.58);
+}
+
+TEST(BprTrainerTest, RejectsEmptyData) {
+  Dataset empty = testing::MakeDataset(3, 3, {});
+  BprTrainer trainer(FastOptions());
+  EXPECT_EQ(trainer.Train(empty).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BprTrainerTest, RejectsBadFactors) {
+  Dataset data = testing::MakeDataset(1, 2, {{0, 0}});
+  BprOptions opts = FastOptions();
+  opts.sgd.num_factors = -1;
+  BprTrainer trainer(opts);
+  EXPECT_EQ(trainer.Train(data).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BprTrainerTest, DeterministicGivenSeed) {
+  auto split = LearnableSplit(303);
+  BprOptions opts = FastOptions();
+  opts.sgd.iterations = 3000;
+  BprTrainer a(opts), b(opts);
+  ASSERT_TRUE(a.Train(split.train).ok());
+  ASSERT_TRUE(b.Train(split.train).ok());
+  EXPECT_EQ(a.model()->item_factor_data(), b.model()->item_factor_data());
+}
+
+TEST(BprTrainerTest, SamplerVariantsHaveDistinctNames) {
+  BprOptions opts;
+  EXPECT_EQ(BprTrainer(opts).name(), "BPR");
+  opts.sampler = PairSamplerKind::kDns;
+  EXPECT_EQ(BprTrainer(opts).name(), "BPR-DNS");
+  opts.sampler = PairSamplerKind::kAobpr;
+  EXPECT_EQ(BprTrainer(opts).name(), "AoBPR");
+}
+
+// The adaptive samplers must also train successfully end-to-end.
+class BprSamplerSweep : public ::testing::TestWithParam<PairSamplerKind> {};
+
+TEST_P(BprSamplerSweep, LearnsAboveChance) {
+  auto split = LearnableSplit(307);
+  BprOptions opts = FastOptions();
+  opts.sampler = GetParam();
+  opts.sgd.iterations = 15000;
+  BprTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(*trainer.model(), {5}).auc, 0.58);
+}
+
+INSTANTIATE_TEST_SUITE_P(Samplers, BprSamplerSweep,
+                         ::testing::Values(PairSamplerKind::kUniform,
+                                           PairSamplerKind::kDns,
+                                           PairSamplerKind::kAobpr));
+
+TEST(BprTrainerTest, ProbeFires) {
+  auto split = LearnableSplit(311);
+  BprOptions opts = FastOptions();
+  opts.sgd.iterations = 100;
+  BprTrainer trainer(opts);
+  int calls = 0;
+  trainer.SetProbe(50, [&](int64_t, const Trainer&) { ++calls; });
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,112 @@
+#include "clapf/baselines/climf.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/core/smoothing.h"
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TrainTestSplit LearnableSplit(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 80;
+  cfg.num_interactions = 1500;
+  cfg.affinity_sharpness = 8.0;
+  cfg.seed = seed;
+  return SplitRandom(*GenerateSynthetic(cfg), 0.5, seed + 1);
+}
+
+ClimfOptions FastOptions() {
+  ClimfOptions opts;
+  opts.sgd.num_factors = 8;
+  opts.sgd.learning_rate = 0.05;
+  opts.sgd.seed = 3;
+  opts.epochs = 30;
+  return opts;
+}
+
+TEST(ClimfTrainerTest, IncreasesItsOwnObjective) {
+  auto split = LearnableSplit(501);
+
+  ClimfOptions zero = FastOptions();
+  zero.epochs = 0;
+  ClimfTrainer before(zero);
+  ASSERT_TRUE(before.Train(split.train).ok());
+
+  ClimfTrainer after(FastOptions());
+  ASSERT_TRUE(after.Train(split.train).ok());
+
+  double obj_before = 0.0, obj_after = 0.0;
+  for (UserId u = 0; u < split.train.num_users(); ++u) {
+    obj_before += ClimfLowerBound(*before.model(), split.train, u);
+    obj_after += ClimfLowerBound(*after.model(), split.train, u);
+  }
+  EXPECT_GT(obj_after, obj_before);
+}
+
+TEST(ClimfTrainerTest, PromotesObservedItems) {
+  // CLiMF never sees unobserved items, but pushing observed scores up still
+  // ranks them above the (unmoved) unobserved ones on the training data.
+  auto split = LearnableSplit(503);
+  ClimfTrainer trainer(FastOptions());
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+
+  double observed_mean = 0.0;
+  int64_t observed_count = 0;
+  double baseline_mean = 0.0;
+  int64_t baseline_count = 0;
+  for (UserId u = 0; u < split.train.num_users(); ++u) {
+    for (ItemId i : split.train.ItemsOf(u)) {
+      observed_mean += trainer.model()->Score(u, i);
+      ++observed_count;
+    }
+    for (ItemId i = 0; i < split.train.num_items(); i += 7) {
+      if (!split.train.IsObserved(u, i)) {
+        baseline_mean += trainer.model()->Score(u, i);
+        ++baseline_count;
+      }
+    }
+  }
+  ASSERT_GT(observed_count, 0);
+  ASSERT_GT(baseline_count, 0);
+  EXPECT_GT(observed_mean / observed_count, baseline_mean / baseline_count);
+}
+
+TEST(ClimfTrainerTest, RejectsBadConfig) {
+  Dataset data = testing::MakeDataset(1, 2, {{0, 0}});
+  ClimfOptions opts = FastOptions();
+  opts.epochs = -1;
+  EXPECT_EQ(ClimfTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+  Dataset empty = testing::MakeDataset(1, 2, {});
+  EXPECT_EQ(ClimfTrainer(FastOptions()).Train(empty).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ClimfTrainerTest, DeterministicGivenSeed) {
+  auto split = LearnableSplit(507);
+  ClimfOptions opts = FastOptions();
+  opts.epochs = 5;
+  ClimfTrainer a(opts), b(opts);
+  ASSERT_TRUE(a.Train(split.train).ok());
+  ASSERT_TRUE(b.Train(split.train).ok());
+  EXPECT_EQ(a.model()->item_factor_data(), b.model()->item_factor_data());
+}
+
+TEST(ClimfTrainerTest, BetterThanRandomOnTestMrr) {
+  auto split = LearnableSplit(509);
+  ClimfTrainer trainer(FastOptions());
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  auto summary = eval.Evaluate(*trainer.model(), {5});
+  // Random MRR over ~80 candidates is roughly sum(1/k)/m ≈ 0.06.
+  EXPECT_GT(summary.mrr, 0.1);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,84 @@
+#include "clapf/baselines/ease.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(EaseTest, DiagonalOfBIsZero) {
+  Dataset train =
+      testing::MakeDataset(3, 4, {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 3}});
+  EaseOptions opts;
+  opts.l2 = 1.0;
+  EaseTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(train).ok());
+  for (ItemId i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(trainer.Weight(i, i), 0.0) << i;
+  }
+}
+
+TEST(EaseTest, CooccurringItemsGetPositiveWeight) {
+  // Items 0 and 1 always co-occur; item 3 never co-occurs with them.
+  Dataset train = testing::MakeDataset(
+      4, 4, {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}, {3, 3}});
+  EaseOptions opts;
+  opts.l2 = 0.5;
+  EaseTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(train).ok());
+  EXPECT_GT(trainer.Weight(0, 1), trainer.Weight(0, 3));
+  EXPECT_GT(trainer.Weight(0, 1), 0.0);
+}
+
+TEST(EaseTest, ScoresPredictHeldOutCooccurrence) {
+  Dataset train = testing::MakeDataset(
+      4, 4, {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {3, 2}});
+  EaseOptions opts;
+  opts.l2 = 0.5;
+  EaseTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(train).ok());
+  // User 2 has item 0; item 1 co-occurs with 0, items 2/3 do not.
+  std::vector<double> scores;
+  trainer.ScoreItems(2, &scores);
+  EXPECT_GT(scores[1], scores[2]);
+  EXPECT_GT(scores[1], scores[3]);
+}
+
+TEST(EaseTest, LearnsAboveChance) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 100;
+  cfg.num_interactions = 2400;
+  cfg.affinity_sharpness = 8.0;
+  cfg.popularity_mix = 0.2;
+  cfg.seed = 1201;
+  auto split = SplitRandom(*GenerateSynthetic(cfg), 0.5, 1202);
+  EaseTrainer trainer(EaseOptions{});
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(trainer, {5}).auc, 0.6);
+}
+
+TEST(EaseTest, RejectsBadConfigAndOversizedCatalogs) {
+  Dataset data = testing::MakeDataset(1, 2, {{0, 0}});
+  EaseOptions opts;
+  opts.l2 = 0.0;
+  EXPECT_EQ(EaseTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+
+  opts = EaseOptions{};
+  opts.max_items = 1;
+  EXPECT_EQ(EaseTrainer(opts).Train(data).code(),
+            StatusCode::kFailedPrecondition);
+
+  Dataset empty = testing::MakeDataset(1, 2, {});
+  EXPECT_EQ(EaseTrainer(EaseOptions{}).Train(empty).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,88 @@
+#include "clapf/baselines/gbpr.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TrainTestSplit LearnableSplit(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 100;
+  cfg.num_interactions = 2400;
+  cfg.affinity_sharpness = 8.0;
+  cfg.popularity_mix = 0.2;
+  cfg.seed = seed;
+  return SplitRandom(*GenerateSynthetic(cfg), 0.5, seed + 1);
+}
+
+GbprOptions FastOptions() {
+  GbprOptions opts;
+  opts.sgd.num_factors = 8;
+  opts.sgd.iterations = 25000;
+  opts.sgd.learning_rate = 0.05;
+  opts.sgd.seed = 3;
+  return opts;
+}
+
+TEST(GbprTrainerTest, LearnsAboveChance) {
+  auto split = LearnableSplit(801);
+  GbprTrainer trainer(FastOptions());
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(*trainer.model(), {5}).auc, 0.58);
+}
+
+TEST(GbprTrainerTest, RejectsBadConfig) {
+  Dataset data = testing::MakeDataset(1, 3, {{0, 0}});
+  GbprOptions opts = FastOptions();
+  opts.rho = 1.5;
+  EXPECT_EQ(GbprTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+  opts = FastOptions();
+  opts.group_size = 0;
+  EXPECT_EQ(GbprTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+  Dataset empty = testing::MakeDataset(2, 2, {});
+  EXPECT_EQ(GbprTrainer(FastOptions()).Train(empty).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GbprTrainerTest, DeterministicGivenSeed) {
+  auto split = LearnableSplit(803);
+  GbprOptions opts = FastOptions();
+  opts.sgd.iterations = 3000;
+  GbprTrainer a(opts), b(opts);
+  ASSERT_TRUE(a.Train(split.train).ok());
+  ASSERT_TRUE(b.Train(split.train).ok());
+  EXPECT_EQ(a.model()->item_factor_data(), b.model()->item_factor_data());
+}
+
+TEST(GbprTrainerTest, RhoZeroStillLearns) {
+  // ρ = 0 degenerates toward plain BPR (no group influence).
+  auto split = LearnableSplit(807);
+  GbprOptions opts = FastOptions();
+  opts.rho = 0.0;
+  GbprTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(*trainer.model(), {5}).auc, 0.58);
+}
+
+TEST(GbprTrainerTest, GroupSizeOneIsIndividual) {
+  auto split = LearnableSplit(809);
+  GbprOptions opts = FastOptions();
+  opts.group_size = 1;
+  opts.sgd.iterations = 5000;
+  GbprTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  EXPECT_NE(trainer.model(), nullptr);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,103 @@
+#include "clapf/baselines/item_knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(ItemKnnTest, SimilarityHandComputed) {
+  // Items 0 and 1 co-occur for both users; item 2 only with user 1's set.
+  Dataset train =
+      testing::MakeDataset(2, 3, {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2}});
+  ItemKnnOptions opts;
+  opts.shrinkage = 0.0;
+  ItemKnnTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(train).ok());
+
+  // sim(0,1) = 2 / (sqrt(2)*sqrt(2)) = 1.0.
+  const auto& n0 = trainer.NeighborsOf(0);
+  ASSERT_FALSE(n0.empty());
+  EXPECT_EQ(n0[0].first, 1);
+  EXPECT_NEAR(n0[0].second, 1.0, 1e-12);
+  // sim(0,2) = 1 / (sqrt(2)*sqrt(1)) ≈ 0.707.
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[1].first, 2);
+  EXPECT_NEAR(n0[1].second, 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(ItemKnnTest, ShrinkageDampsRareCooccurrence) {
+  Dataset train = testing::MakeDataset(2, 3, {{0, 0}, {0, 1}, {1, 1}});
+  ItemKnnOptions no_shrink;
+  no_shrink.shrinkage = 0.0;
+  ItemKnnOptions shrunk;
+  shrunk.shrinkage = 5.0;
+  ItemKnnTrainer a(no_shrink), b(shrunk);
+  ASSERT_TRUE(a.Train(train).ok());
+  ASSERT_TRUE(b.Train(train).ok());
+  EXPECT_GT(a.NeighborsOf(0)[0].second, b.NeighborsOf(0)[0].second);
+}
+
+TEST(ItemKnnTest, NeighborTruncation) {
+  // Item 0 co-occurs with 4 other items; keep only top 2.
+  Dataset train = testing::MakeDataset(
+      4, 5,
+      {{0, 0}, {0, 1}, {1, 0}, {1, 2}, {2, 0}, {2, 3}, {3, 0}, {3, 4}});
+  ItemKnnOptions opts;
+  opts.neighbors = 2;
+  ItemKnnTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(train).ok());
+  EXPECT_LE(trainer.NeighborsOf(0).size(), 2u);
+}
+
+TEST(ItemKnnTest, ScoresAccumulateFromHistory) {
+  Dataset train =
+      testing::MakeDataset(2, 3, {{0, 0}, {0, 1}, {1, 0}, {1, 2}});
+  ItemKnnOptions opts;
+  opts.shrinkage = 0.0;
+  ItemKnnTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(train).ok());
+  std::vector<double> scores;
+  trainer.ScoreItems(0, &scores);
+  // Item 2 co-occurs with item 0 (user 1), so it gets positive mass.
+  EXPECT_GT(scores[2], 0.0);
+}
+
+TEST(ItemKnnTest, LearnsAboveChance) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 100;
+  cfg.num_interactions = 2400;
+  cfg.affinity_sharpness = 8.0;
+  cfg.popularity_mix = 0.2;
+  cfg.seed = 1101;
+  auto split = SplitRandom(*GenerateSynthetic(cfg), 0.5, 1102);
+  ItemKnnTrainer trainer(ItemKnnOptions{});
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(trainer, {5}).auc, 0.6);
+}
+
+TEST(ItemKnnTest, RejectsBadConfig) {
+  Dataset data = testing::MakeDataset(1, 2, {{0, 0}});
+  ItemKnnOptions opts;
+  opts.neighbors = -1;
+  EXPECT_EQ(ItemKnnTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+  opts = ItemKnnOptions{};
+  opts.shrinkage = -1.0;
+  EXPECT_EQ(ItemKnnTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+  Dataset empty = testing::MakeDataset(1, 2, {});
+  EXPECT_EQ(ItemKnnTrainer(ItemKnnOptions{}).Train(empty).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace clapf

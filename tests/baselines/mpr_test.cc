@@ -1,0 +1,88 @@
+#include "clapf/baselines/mpr.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TrainTestSplit LearnableSplit(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 100;
+  cfg.num_interactions = 2400;
+  cfg.affinity_sharpness = 8.0;
+  cfg.popularity_mix = 0.2;
+  cfg.seed = seed;
+  return SplitRandom(*GenerateSynthetic(cfg), 0.5, seed + 1);
+}
+
+MprOptions FastOptions() {
+  MprOptions opts;
+  opts.sgd.num_factors = 8;
+  opts.sgd.iterations = 25000;
+  opts.sgd.learning_rate = 0.05;
+  opts.sgd.seed = 3;
+  return opts;
+}
+
+TEST(MprTrainerTest, LearnsAboveChance) {
+  auto split = LearnableSplit(401);
+  MprTrainer trainer(FastOptions());
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(*trainer.model(), {5}).auc, 0.58);
+}
+
+TEST(MprTrainerTest, RejectsBadRho) {
+  Dataset data = testing::MakeDataset(1, 3, {{0, 0}});
+  MprOptions opts = FastOptions();
+  opts.rho = -0.1;
+  EXPECT_EQ(MprTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+  opts.rho = 1.1;
+  EXPECT_EQ(MprTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MprTrainerTest, RejectsEmptyData) {
+  Dataset empty = testing::MakeDataset(2, 2, {});
+  EXPECT_EQ(MprTrainer(FastOptions()).Train(empty).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MprTrainerTest, DeterministicGivenSeed) {
+  auto split = LearnableSplit(403);
+  MprOptions opts = FastOptions();
+  opts.sgd.iterations = 3000;
+  MprTrainer a(opts), b(opts);
+  ASSERT_TRUE(a.Train(split.train).ok());
+  ASSERT_TRUE(b.Train(split.train).ok());
+  EXPECT_EQ(a.model()->item_factor_data(), b.model()->item_factor_data());
+}
+
+// The ρ tradeoff spans pure first-pair to pure second-pair criteria; all
+// should learn.
+class MprRhoSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MprRhoSweep, LearnsAboveChance) {
+  auto split = LearnableSplit(407);
+  MprOptions opts = FastOptions();
+  opts.rho = GetParam();
+  opts.sgd.iterations = 15000;
+  MprTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(*trainer.model(), {5}).auc, 0.58)
+      << "rho=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, MprRhoSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "clapf/baselines/deep_icf.h"
+#include "clapf/baselines/neu_mf.h"
+#include "clapf/baselines/neu_pr.h"
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TrainTestSplit LearnableSplit(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 120;
+  cfg.num_interactions = 1800;
+  cfg.affinity_sharpness = 8.0;
+  cfg.popularity_mix = 0.2;
+  cfg.seed = seed;
+  return SplitRandom(*GenerateSynthetic(cfg), 0.5, seed + 1);
+}
+
+TEST(NeuMfTest, LearnsAboveChance) {
+  auto split = LearnableSplit(701);
+  NeuMfOptions opts;
+  opts.embedding_dim = 8;
+  opts.epochs = 10;
+  opts.seed = 2;
+  NeuMfTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(trainer, {5}).auc, 0.55);
+}
+
+TEST(NeuMfTest, RejectsBadConfig) {
+  Dataset data = testing::MakeDataset(1, 2, {{0, 0}});
+  NeuMfOptions opts;
+  opts.embedding_dim = 0;
+  EXPECT_EQ(NeuMfTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+  Dataset empty = testing::MakeDataset(1, 2, {});
+  EXPECT_EQ(NeuMfTrainer(NeuMfOptions{}).Train(empty).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NeuMfDeathTest, ScoreBeforeTrainAborts) {
+  NeuMfTrainer trainer(NeuMfOptions{});
+  std::vector<double> scores;
+  EXPECT_DEATH(trainer.ScoreItems(0, &scores), "Train");
+}
+
+TEST(NeuPrTest, LearnsAboveChance) {
+  auto split = LearnableSplit(703);
+  NeuPrOptions opts;
+  opts.embedding_dim = 8;
+  opts.iterations = 60000;
+  opts.seed = 2;
+  NeuPrTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(trainer, {5}).auc, 0.55);
+}
+
+TEST(NeuPrTest, RejectsBadConfig) {
+  Dataset empty = testing::MakeDataset(1, 2, {});
+  EXPECT_EQ(NeuPrTrainer(NeuPrOptions{}).Train(empty).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DeepIcfTest, LearnsAboveChance) {
+  auto split = LearnableSplit(707);
+  DeepIcfOptions opts;
+  opts.embedding_dim = 8;
+  opts.epochs = 10;
+  opts.seed = 2;
+  DeepIcfTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(trainer, {5}).auc, 0.55);
+}
+
+TEST(DeepIcfTest, ScoresDependOnUserHistory) {
+  auto split = LearnableSplit(709);
+  DeepIcfOptions opts;
+  opts.embedding_dim = 4;
+  opts.epochs = 2;
+  opts.seed = 3;
+  DeepIcfTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  // Two users with different histories should get different score vectors.
+  std::vector<double> s0, s1;
+  trainer.ScoreItems(0, &s0);
+  trainer.ScoreItems(1, &s1);
+  EXPECT_NE(s0, s1);
+}
+
+TEST(DeepIcfTest, RejectsBadConfig) {
+  Dataset empty = testing::MakeDataset(1, 2, {});
+  EXPECT_EQ(DeepIcfTrainer(DeepIcfOptions{}).Train(empty).code(),
+            StatusCode::kFailedPrecondition);
+  Dataset data = testing::MakeDataset(1, 2, {{0, 0}});
+  DeepIcfOptions opts;
+  opts.embedding_dim = -2;
+  EXPECT_EQ(DeepIcfTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NeuralNamesTest, MatchPaper) {
+  EXPECT_EQ(NeuMfTrainer(NeuMfOptions{}).name(), "NeuMF");
+  EXPECT_EQ(NeuPrTrainer(NeuPrOptions{}).name(), "NeuPR");
+  EXPECT_EQ(DeepIcfTrainer(DeepIcfOptions{}).name(), "DeepICF");
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,47 @@
+#include "clapf/baselines/pop_rank.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(PopRankTest, ScoresEqualPopularity) {
+  Dataset train =
+      testing::MakeDataset(3, 3, {{0, 0}, {1, 0}, {2, 0}, {0, 1}});
+  PopRankTrainer trainer;
+  ASSERT_TRUE(trainer.Train(train).ok());
+  std::vector<double> scores;
+  trainer.ScoreItems(0, &scores);
+  EXPECT_EQ(scores, (std::vector<double>{3.0, 1.0, 0.0}));
+}
+
+TEST(PopRankTest, SameRankingForAllUsers) {
+  Dataset train = testing::MakeDataset(2, 4, {{0, 2}, {1, 2}, {0, 3}});
+  PopRankTrainer trainer;
+  ASSERT_TRUE(trainer.Train(train).ok());
+  std::vector<double> s0, s1;
+  trainer.ScoreItems(0, &s0);
+  trainer.ScoreItems(1, &s1);
+  EXPECT_EQ(s0, s1);
+}
+
+TEST(PopRankTest, RecommendsPopularItemInEvaluation) {
+  // Item 1 popular in training; user 2 holds it in test.
+  Dataset train = testing::MakeDataset(3, 3, {{0, 1}, {1, 1}, {2, 0}});
+  Dataset test = testing::MakeDataset(3, 3, {{2, 1}});
+  PopRankTrainer trainer;
+  ASSERT_TRUE(trainer.Train(train).ok());
+  Evaluator eval(&train, &test);
+  auto summary = eval.Evaluate(trainer, {1});
+  EXPECT_DOUBLE_EQ(summary.AtK(1).precision, 1.0);
+}
+
+TEST(PopRankTest, NameIsPaperName) {
+  EXPECT_EQ(PopRankTrainer().name(), "PopRank");
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,78 @@
+#include "clapf/baselines/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(RandomWalkTest, RejectsBadConfig) {
+  Dataset data = testing::MakeDataset(1, 2, {{0, 0}});
+  RandomWalkOptions opts;
+  opts.walk_length = 0;
+  EXPECT_EQ(RandomWalkTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+  opts = RandomWalkOptions{};
+  opts.restart_probability = 1.0;
+  EXPECT_EQ(RandomWalkTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RandomWalkTest, PropagatesPreferenceThroughSharedItems) {
+  // Users 0 and 1 share item 0; user 1 also likes item 1. The walk from
+  // user 0 should reach user 1 and score item 1 above item 2 (liked by the
+  // unreachable user 2 only... here user 2 shares nothing).
+  Dataset train = testing::MakeDataset(
+      3, 4, {{0, 0}, {1, 0}, {1, 1}, {2, 2}});
+  RandomWalkOptions opts;
+  opts.reachable_threshold = 1;
+  RandomWalkTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(train).ok());
+
+  std::vector<double> scores;
+  trainer.ScoreItems(0, &scores);
+  EXPECT_GT(scores[1], scores[2]);
+  EXPECT_GT(scores[1], scores[3]);
+}
+
+TEST(RandomWalkTest, ThresholdCutsWeakEdges) {
+  // Item 0 is shared by only one pair of users; with threshold 3 no item
+  // creates an edge, so nothing propagates.
+  Dataset train = testing::MakeDataset(2, 3, {{0, 0}, {1, 0}, {1, 1}});
+  RandomWalkOptions opts;
+  opts.reachable_threshold = 3;
+  RandomWalkTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(train).ok());
+  std::vector<double> scores;
+  trainer.ScoreItems(0, &scores);
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(RandomWalkTest, BetterThanNothingOnLearnableData) {
+  SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 60;
+  cfg.num_interactions = 1200;
+  cfg.seed = 71;
+  auto split = SplitRandom(*GenerateSynthetic(cfg), 0.5, 72);
+  RandomWalkOptions opts;
+  opts.reachable_threshold = 1;
+  opts.walk_length = 10;
+  RandomWalkTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(trainer, {5}).auc, 0.55);
+}
+
+TEST(RandomWalkDeathTest, ScoreBeforeTrainAborts) {
+  RandomWalkTrainer trainer(RandomWalkOptions{});
+  std::vector<double> scores;
+  EXPECT_DEATH(trainer.ScoreItems(0, &scores), "Train");
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,114 @@
+#include "clapf/baselines/wmf.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TrainTestSplit LearnableSplit(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 100;
+  cfg.num_interactions = 2400;
+  cfg.affinity_sharpness = 8.0;
+  cfg.popularity_mix = 0.2;
+  cfg.seed = seed;
+  return SplitRandom(*GenerateSynthetic(cfg), 0.5, seed + 1);
+}
+
+WmfOptions FastOptions() {
+  WmfOptions opts;
+  opts.num_factors = 8;
+  opts.sweeps = 8;
+  opts.alpha = 10.0;
+  opts.reg = 10.0;
+  opts.seed = 3;
+  return opts;
+}
+
+// Weighted square loss the ALS minimizes, computed exactly.
+double WmfLoss(const FactorModel& model, const Dataset& data, double alpha,
+               double reg) {
+  double loss = 0.0;
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    for (ItemId i = 0; i < data.num_items(); ++i) {
+      const bool observed = data.IsObserved(u, i);
+      const double c = observed ? 1.0 + alpha : 1.0;
+      const double p = observed ? 1.0 : 0.0;
+      const double e = p - model.Score(u, i);
+      loss += c * e * e;
+    }
+  }
+  return loss + reg * model.SquaredNorm();
+}
+
+TEST(WmfTrainerTest, AlsDecreasesWeightedLoss) {
+  auto split = LearnableSplit(601);
+  WmfOptions zero = FastOptions();
+  zero.sweeps = 0;
+  WmfTrainer before(zero);
+  ASSERT_TRUE(before.Train(split.train).ok());
+
+  WmfOptions one = FastOptions();
+  one.sweeps = 1;
+  WmfTrainer mid(one);
+  ASSERT_TRUE(mid.Train(split.train).ok());
+
+  WmfTrainer after(FastOptions());
+  ASSERT_TRUE(after.Train(split.train).ok());
+
+  const double l0 = WmfLoss(*before.model(), split.train, 10.0, 10.0);
+  const double l1 = WmfLoss(*mid.model(), split.train, 10.0, 10.0);
+  const double l8 = WmfLoss(*after.model(), split.train, 10.0, 10.0);
+  EXPECT_LT(l1, l0);
+  EXPECT_LE(l8, l1 + 1e-6);
+}
+
+TEST(WmfTrainerTest, LearnsAboveChance) {
+  auto split = LearnableSplit(603);
+  WmfTrainer trainer(FastOptions());
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  // WMF is the weakest personalized baseline in the paper too.
+  EXPECT_GT(eval.Evaluate(*trainer.model(), {5}).auc, 0.55);
+}
+
+TEST(WmfTrainerTest, RejectsBadConfig) {
+  Dataset data = testing::MakeDataset(1, 2, {{0, 0}});
+  WmfOptions opts = FastOptions();
+  opts.num_factors = 0;
+  EXPECT_EQ(WmfTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+  opts = FastOptions();
+  opts.sweeps = -1;
+  EXPECT_EQ(WmfTrainer(opts).Train(data).code(),
+            StatusCode::kInvalidArgument);
+  Dataset empty = testing::MakeDataset(1, 2, {});
+  EXPECT_EQ(WmfTrainer(FastOptions()).Train(empty).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(WmfTrainerTest, DeterministicGivenSeed) {
+  auto split = LearnableSplit(607);
+  WmfOptions opts = FastOptions();
+  opts.sweeps = 2;
+  WmfTrainer a(opts), b(opts);
+  ASSERT_TRUE(a.Train(split.train).ok());
+  ASSERT_TRUE(b.Train(split.train).ok());
+  EXPECT_EQ(a.model()->item_factor_data(), b.model()->item_factor_data());
+}
+
+TEST(WmfTrainerTest, ModelHasNoItemBias) {
+  auto split = LearnableSplit(611);
+  WmfTrainer trainer(FastOptions());
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  EXPECT_FALSE(trainer.model()->use_item_bias());
+}
+
+}  // namespace
+}  // namespace clapf

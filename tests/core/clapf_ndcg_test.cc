@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "clapf/core/clapf_trainer.h"
+#include "clapf/core/smoothing.h"
+#include "clapf/core/trainer_factory.h"
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TrainTestSplit LearnableSplit(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 100;
+  cfg.num_interactions = 2400;
+  cfg.affinity_sharpness = 8.0;
+  cfg.popularity_mix = 0.2;
+  cfg.seed = seed;
+  return SplitRandom(*GenerateSynthetic(cfg), 0.5, seed + 1);
+}
+
+TEST(ClapfNdcgTest, NameReflectsVariant) {
+  ClapfOptions opts;
+  opts.variant = ClapfVariant::kNdcg;
+  EXPECT_EQ(ClapfTrainer(opts).name(), "CLAPF-NDCG");
+  opts.sampler = ClapfSamplerKind::kDss;
+  EXPECT_EQ(ClapfTrainer(opts).name(), "CLAPF+-NDCG");
+}
+
+TEST(ClapfNdcgTest, MarginSharesMrrForm) {
+  EXPECT_DOUBLE_EQ(
+      ClapfMargin(ClapfVariant::kNdcg, 0.3, 1.0, 2.0, -0.5),
+      ClapfMargin(ClapfVariant::kMrr, 0.3, 1.0, 2.0, -0.5));
+}
+
+TEST(ClapfNdcgTest, LearnsAboveChance) {
+  auto split = LearnableSplit(1001);
+  ClapfOptions opts;
+  opts.variant = ClapfVariant::kNdcg;
+  opts.lambda = 0.2;
+  opts.sgd.num_factors = 8;
+  opts.sgd.iterations = 30000;
+  opts.sgd.seed = 5;
+  ClapfTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split.train).ok());
+  Evaluator eval(&split.train, &split.test);
+  EXPECT_GT(eval.Evaluate(*trainer.model(), {5}).auc, 0.58);
+}
+
+TEST(ClapfNdcgTest, FactorySupportsExtensionMethods) {
+  auto extended = AllMethodsWithExtensions();
+  EXPECT_EQ(extended.size(), AllMethods().size() + 2);
+  EXPECT_TRUE(ParseMethodName("CLAPF-NDCG").ok());
+  EXPECT_TRUE(ParseMethodName("gbpr").ok());
+
+  MethodConfig config;
+  auto ndcg = MakeTrainer(MethodKind::kClapfNdcg, config);
+  EXPECT_EQ(ndcg->name(), "CLAPF-NDCG");
+  auto gbpr = MakeTrainer(MethodKind::kGbpr, config);
+  EXPECT_EQ(gbpr->name(), "GBPR");
+}
+
+TEST(ClapfNdcgTest, ExtensionMethodsTrainViaFactory) {
+  auto split = LearnableSplit(1003);
+  MethodConfig config;
+  config.sgd.num_factors = 4;
+  config.sgd.iterations = 3000;
+  for (MethodKind kind : {MethodKind::kClapfNdcg, MethodKind::kGbpr}) {
+    auto trainer = MakeTrainer(kind, config);
+    ASSERT_TRUE(trainer->Train(split.train).ok()) << MethodName(kind);
+    Evaluator eval(&split.train, &split.test);
+    auto summary = eval.Evaluate(*trainer, {5});
+    EXPECT_GT(summary.users_evaluated, 0);
+  }
+}
+
+TEST(ClapfNdcgTest, DssOrientationMatchesMrr) {
+  // The NDCG variant samples its companion from the top, like MRR.
+  Dataset ds = *[] {
+    SyntheticConfig cfg;
+    cfg.num_users = 30;
+    cfg.num_items = 120;
+    cfg.num_interactions = 600;
+    cfg.seed = 21;
+    return GenerateSynthetic(cfg);
+  }();
+  FactorModel model(ds.num_users(), ds.num_items(), 4);
+  Rng rng(3);
+  model.InitGaussian(rng, 0.5);
+
+  DssOptions ndcg_opts;
+  ndcg_opts.variant = ClapfVariant::kNdcg;
+  DssOptions map_opts;
+  map_opts.variant = ClapfVariant::kMap;
+  DssSampler ndcg_sampler(&ds, &model, ndcg_opts, 13);
+  DssSampler map_sampler(&ds, &model, map_opts, 13);
+
+  double ndcg_sum = 0.0, map_sum = 0.0;
+  const int draws = 3000;
+  for (int n = 0; n < draws; ++n) {
+    Triple tn = ndcg_sampler.Sample();
+    Triple tm = map_sampler.Sample();
+    ndcg_sum += model.Score(tn.u, tn.k);
+    map_sum += model.Score(tm.u, tm.k);
+  }
+  EXPECT_GT(ndcg_sum / draws, map_sum / draws);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,116 @@
+#include "clapf/core/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+Dataset LearnableData(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 80;
+  cfg.num_interactions = 1800;
+  cfg.affinity_sharpness = 8.0;
+  cfg.seed = seed;
+  return *GenerateSynthetic(cfg);
+}
+
+ClapfOptions FastBase() {
+  ClapfOptions base;
+  base.sgd.num_factors = 8;
+  base.sgd.iterations = 8000;
+  base.sgd.seed = 5;
+  return base;
+}
+
+TEST(SelectClapfOptionsTest, PicksHighestValidationScore) {
+  Dataset data = LearnableData(901);
+  // A real config against a deliberately crippled one (zero iterations).
+  ClapfOptions good = FastBase();
+  ClapfOptions bad = FastBase();
+  bad.sgd.iterations = 0;
+  auto result = SelectClapfOptions(data, {bad, good},
+                                   SelectionMetric::kNdcgAt5, 7);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->best_index, 1u);
+  ASSERT_EQ(result->trials.size(), 2u);
+  EXPECT_GT(result->trials[1].validation_score,
+            result->trials[0].validation_score);
+}
+
+TEST(SelectClapfOptionsTest, EmptyCandidatesRejected) {
+  Dataset data = LearnableData(903);
+  EXPECT_EQ(
+      SelectClapfOptions(data, {}, SelectionMetric::kMap, 1).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(SelectClapfOptionsTest, NoValidationPairsRejected) {
+  // Every user has one item: nothing can be held out.
+  Dataset data = testing::MakeDataset(3, 5, {{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_EQ(SelectClapfOptions(data, {FastBase()}, SelectionMetric::kMap, 1)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SelectLambdaTest, SweepsAllLambdas) {
+  Dataset data = LearnableData(907);
+  auto result = SelectLambda(data, FastBase(), {0.0, 0.4, 0.8},
+                             SelectionMetric::kNdcgAt5, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->trials.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->trials[0].options.lambda, 0.0);
+  EXPECT_DOUBLE_EQ(result->trials[1].options.lambda, 0.4);
+  EXPECT_DOUBLE_EQ(result->trials[2].options.lambda, 0.8);
+  EXPECT_GE(result->best_options.lambda, 0.0);
+}
+
+TEST(SelectIterationsTest, SweepsBudgets) {
+  Dataset data = LearnableData(911);
+  auto result = SelectIterations(data, FastBase(), {1000, 10000},
+                                 SelectionMetric::kMrr, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->trials.size(), 2u);
+  EXPECT_EQ(result->trials[0].options.sgd.iterations, 1000);
+  EXPECT_EQ(result->trials[1].options.sgd.iterations, 10000);
+}
+
+TEST(SelectClapfOptionsTest, DeterministicGivenSeed) {
+  Dataset data = LearnableData(913);
+  auto a = SelectLambda(data, FastBase(), {0.0, 0.2, 0.4},
+                        SelectionMetric::kNdcgAt5, 11);
+  auto b = SelectLambda(data, FastBase(), {0.0, 0.2, 0.4},
+                        SelectionMetric::kNdcgAt5, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->best_index, b->best_index);
+  for (size_t i = 0; i < a->trials.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->trials[i].validation_score,
+                     b->trials[i].validation_score);
+  }
+}
+
+TEST(SelectionMetricTest, AllMetricsExtractable) {
+  Dataset data = LearnableData(917);
+  for (SelectionMetric metric :
+       {SelectionMetric::kNdcgAt5, SelectionMetric::kMap,
+        SelectionMetric::kMrr, SelectionMetric::kPrecisionAt5}) {
+    auto result = SelectClapfOptions(data, {FastBase()}, metric, 1);
+    ASSERT_TRUE(result.ok()) << SelectionMetricName(metric);
+    EXPECT_GE(result->trials[0].validation_score, 0.0);
+  }
+}
+
+TEST(SelectionMetricTest, NamesAreDistinct) {
+  EXPECT_STREQ(SelectionMetricName(SelectionMetric::kNdcgAt5), "NDCG@5");
+  EXPECT_STREQ(SelectionMetricName(SelectionMetric::kMap), "MAP");
+  EXPECT_STREQ(SelectionMetricName(SelectionMetric::kMrr), "MRR");
+  EXPECT_STREQ(SelectionMetricName(SelectionMetric::kPrecisionAt5), "Prec@5");
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,159 @@
+#include "clapf/core/smoothing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clapf/util/math.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+FactorModel RandomModel(int32_t n, int32_t m, uint64_t seed) {
+  FactorModel model(n, m, 4);
+  Rng rng(seed);
+  model.InitGaussian(rng, 0.8);
+  return model;
+}
+
+TEST(ClapfMarginTest, MapFormulaMatchesEq16) {
+  const double f_ui = 1.0, f_uk = 2.0, f_uj = -0.5, lambda = 0.3;
+  const double expected =
+      lambda * (f_uk - f_ui) + (1 - lambda) * (f_ui - f_uj);
+  EXPECT_DOUBLE_EQ(ClapfMargin(ClapfVariant::kMap, lambda, f_ui, f_uk, f_uj),
+                   expected);
+}
+
+TEST(ClapfMarginTest, MrrFormulaMatchesEq19) {
+  const double f_ui = 1.0, f_uk = 2.0, f_uj = -0.5, lambda = 0.3;
+  const double expected =
+      lambda * (f_ui - f_uk) + (1 - lambda) * (f_ui - f_uj);
+  EXPECT_DOUBLE_EQ(ClapfMargin(ClapfVariant::kMrr, lambda, f_ui, f_uk, f_uj),
+                   expected);
+}
+
+TEST(ClapfMarginTest, LambdaZeroReducesToBpr) {
+  // λ = 0 must recover BPR's margin f_ui − f_uj for both variants.
+  for (auto variant : {ClapfVariant::kMap, ClapfVariant::kMrr}) {
+    EXPECT_DOUBLE_EQ(ClapfMargin(variant, 0.0, 1.2, 99.0, 0.4), 1.2 - 0.4);
+  }
+}
+
+TEST(ClapfMarginTest, LambdaOneIsPureListwise) {
+  EXPECT_DOUBLE_EQ(ClapfMargin(ClapfVariant::kMap, 1.0, 1.0, 3.0, -100.0),
+                   3.0 - 1.0);
+  EXPECT_DOUBLE_EQ(ClapfMargin(ClapfVariant::kMrr, 1.0, 1.0, 3.0, -100.0),
+                   1.0 - 3.0);
+}
+
+TEST(ClapfTripleLossTest, IsNegativeLogSigmoidOfMargin) {
+  const double loss =
+      ClapfTripleLoss(ClapfVariant::kMap, 0.4, 0.5, 1.0, -0.2);
+  const double margin = ClapfMargin(ClapfVariant::kMap, 0.4, 0.5, 1.0, -0.2);
+  EXPECT_NEAR(loss, -std::log(Sigmoid(margin)), 1e-12);
+  EXPECT_GT(loss, 0.0);
+}
+
+TEST(SmoothedRrTest, BoundedByOne) {
+  Dataset data = testing::MakeLearnableDataset(10, 20, 5, 3);
+  FactorModel model = RandomModel(10, 20, 5);
+  for (UserId u = 0; u < 10; ++u) {
+    double rr = SmoothedReciprocalRank(model, data, u);
+    EXPECT_GE(rr, 0.0);
+    // Each product term ≤ σ(f) Π(1−σ) ≤ 1; the sum telescopes below 1 when
+    // ranks are distinct, but can exceed it slightly for the smooth version.
+    EXPECT_LT(rr, static_cast<double>(data.NumItemsOf(u)) + 1.0);
+  }
+}
+
+TEST(SmoothedApTest, NonNegative) {
+  Dataset data = testing::MakeLearnableDataset(10, 20, 5, 7);
+  FactorModel model = RandomModel(10, 20, 7);
+  for (UserId u = 0; u < 10; ++u) {
+    EXPECT_GE(SmoothedAveragePrecision(model, data, u), 0.0);
+  }
+}
+
+TEST(MapLowerBoundTest, JensenStepHolds) {
+  // The first (rigorous) step of the paper's Eq. (11) derivation: by
+  // concavity of ln with weights Y_ui / n_u⁺,
+  //   ln(AP_u) >= (1/n_u⁺) Σ_i ln( σ(f_ui) Σ_k σ(f_uk − f_ui) ).
+  Dataset data = testing::MakeLearnableDataset(12, 25, 6, 11);
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    FactorModel model = RandomModel(12, 25, 100 + seed);
+    for (UserId u = 0; u < 12; ++u) {
+      auto items = data.ItemsOf(u);
+      if (items.empty()) continue;
+      const double n_u = static_cast<double>(items.size());
+      double jensen = 0.0;
+      for (ItemId i : items) {
+        const double f_ui = model.Score(u, i);
+        double inner = 0.0;
+        for (ItemId k : items) inner += Sigmoid(model.Score(u, k) - f_ui);
+        jensen += std::log(Sigmoid(f_ui) * inner);
+      }
+      jensen /= n_u;
+      const double smoothed = SmoothedAveragePrecision(model, data, u);
+      EXPECT_GE(std::log(smoothed) + 1e-9, jensen)
+          << "user " << u << " seed " << seed;
+    }
+  }
+}
+
+TEST(MapLowerBoundTest, AlwaysNonPositive) {
+  // Every term is ln σ(·) < 0, so the Eq. (12) objective is negative.
+  Dataset data = testing::MakeLearnableDataset(8, 16, 4, 13);
+  FactorModel model = RandomModel(8, 16, 13);
+  for (UserId u = 0; u < 8; ++u) {
+    if (data.NumItemsOf(u) == 0) continue;
+    EXPECT_LT(MapLowerBound(model, data, u), 0.0);
+    EXPECT_LT(ClimfLowerBound(model, data, u), 0.0);
+  }
+}
+
+TEST(ClimfVsMapBoundTest, DifferOnlyInPairOrientation) {
+  // Eq. (7) has ln σ(f_ui − f_uk); Eq. (12) has ln σ(f_uk − f_ui). For a
+  // two-item user the off-diagonal terms are symmetric, so the two bounds
+  // coincide; verify on the full double sum.
+  Dataset data = testing::MakeDataset(1, 5, {{0, 1}, {0, 3}});
+  FactorModel model = RandomModel(1, 5, 17);
+  EXPECT_NEAR(ClimfLowerBound(model, data, 0), MapLowerBound(model, data, 0),
+              1e-12);
+}
+
+TEST(ClimfVsMapBoundTest, FullDoubleSumsCoincide) {
+  // Summed over all ordered pairs, every (i,k) term of Eq. (7) appears as
+  // the (k,i) term of Eq. (12), so the *full* objectives coincide; the two
+  // criteria differ only once a single ordered pair is sampled and fused
+  // with the pairwise term (CLAPF-MAP vs CLAPF-MRR). This pins both
+  // implementations to ordered-pair summation.
+  Dataset data = testing::MakeDataset(1, 6, {{0, 0}, {0, 2}, {0, 4}});
+  FactorModel model = RandomModel(1, 6, 19);
+  EXPECT_NEAR(ClimfLowerBound(model, data, 0), MapLowerBound(model, data, 0),
+              1e-12);
+}
+
+TEST(ExactClapfLogLikelihoodTest, IsNegativeAndFiniteAndLambdaSensitive) {
+  Dataset data = testing::MakeDataset(2, 6, {{0, 0}, {0, 1}, {1, 2}, {1, 3}});
+  FactorModel model = RandomModel(2, 6, 23);
+  const double ll_map =
+      ExactClapfLogLikelihood(model, data, ClapfVariant::kMap, 0.4);
+  EXPECT_TRUE(std::isfinite(ll_map));
+  EXPECT_LT(ll_map, 0.0);  // log of probabilities
+
+  const double ll_map_l0 =
+      ExactClapfLogLikelihood(model, data, ClapfVariant::kMap, 0.0);
+  EXPECT_NE(ll_map, ll_map_l0);
+}
+
+TEST(ExactClapfLogLikelihoodTest, MapAndMrrAgreeAtLambdaZero) {
+  Dataset data = testing::MakeDataset(2, 5, {{0, 0}, {0, 1}, {1, 3}});
+  FactorModel model = RandomModel(2, 5, 29);
+  EXPECT_NEAR(ExactClapfLogLikelihood(model, data, ClapfVariant::kMap, 0.0),
+              ExactClapfLogLikelihood(model, data, ClapfVariant::kMrr, 0.0),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace clapf

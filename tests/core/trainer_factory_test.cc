@@ -1,0 +1,73 @@
+#include "clapf/core/trainer_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace clapf {
+namespace {
+
+TEST(TrainerFactoryTest, AllMethodsHaveTable2Order) {
+  auto methods = AllMethods();
+  ASSERT_EQ(methods.size(), 13u);
+  EXPECT_EQ(methods.front(), MethodKind::kPopRank);
+  EXPECT_EQ(methods.back(), MethodKind::kClapfPlusMrr);
+}
+
+TEST(TrainerFactoryTest, NamesAreUniqueAndPaperStyle) {
+  std::set<std::string> names;
+  for (MethodKind kind : AllMethods()) names.insert(MethodName(kind));
+  EXPECT_EQ(names.size(), AllMethods().size());
+  EXPECT_TRUE(names.count("BPR"));
+  EXPECT_TRUE(names.count("CLiMF"));
+  EXPECT_TRUE(names.count("CLAPF-MAP"));
+  EXPECT_TRUE(names.count("CLAPF+-MRR"));
+}
+
+TEST(TrainerFactoryTest, ParseRoundTripsEveryName) {
+  for (MethodKind kind : AllMethods()) {
+    auto parsed = ParseMethodName(MethodName(kind));
+    ASSERT_TRUE(parsed.ok()) << MethodName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_TRUE(ParseMethodName("bpr").ok());
+  EXPECT_TRUE(ParseMethodName("clapf-map").ok());
+  EXPECT_FALSE(ParseMethodName("svd++").ok());
+}
+
+TEST(TrainerFactoryTest, MakeTrainerInstantiatesEveryKind) {
+  MethodConfig config;
+  for (MethodKind kind : AllMethods()) {
+    auto trainer = MakeTrainer(kind, config);
+    ASSERT_NE(trainer, nullptr) << MethodName(kind);
+    // Factory-produced trainer names match the registry names, except the
+    // CLAPF family where the trainer renders its own variant/sampler name.
+    if (kind == MethodKind::kClapfPlusMap) {
+      EXPECT_EQ(trainer->name(), "CLAPF+-MAP");
+    } else if (kind == MethodKind::kClapfPlusMrr) {
+      EXPECT_EQ(trainer->name(), "CLAPF+-MRR");
+    } else {
+      EXPECT_EQ(trainer->name(), MethodName(kind));
+    }
+  }
+}
+
+TEST(TrainerFactoryTest, ConfigPropagatesToClapf) {
+  MethodConfig config;
+  config.clapf_lambda = 0.7;
+  auto trainer = MakeTrainer(MethodKind::kClapfMap, config);
+  auto* clapf = dynamic_cast<ClapfTrainer*>(trainer.get());
+  ASSERT_NE(clapf, nullptr);
+  EXPECT_DOUBLE_EQ(clapf->options().lambda, 0.7);
+  EXPECT_EQ(clapf->options().variant, ClapfVariant::kMap);
+  EXPECT_EQ(clapf->options().sampler, ClapfSamplerKind::kUniform);
+
+  auto plus = MakeTrainer(MethodKind::kClapfPlusMrr, config);
+  auto* clapf_plus = dynamic_cast<ClapfTrainer*>(plus.get());
+  ASSERT_NE(clapf_plus, nullptr);
+  EXPECT_EQ(clapf_plus->options().variant, ClapfVariant::kMrr);
+  EXPECT_EQ(clapf_plus->options().sampler, ClapfSamplerKind::kDss);
+}
+
+}  // namespace
+}  // namespace clapf

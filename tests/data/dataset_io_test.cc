@@ -1,0 +1,87 @@
+#include "clapf/data/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "clapf/data/synthetic.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(DatasetIoTest, RoundTripSmall) {
+  Dataset original = testing::MakeDataset(3, 5, {{0, 1}, {0, 4}, {2, 0}});
+  std::string path = ::testing::TempDir() + "ds_roundtrip.clds";
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_users(), 3);
+  EXPECT_EQ(loaded->num_items(), 5);
+  EXPECT_EQ(loaded->flat_items(), original.flat_items());
+  EXPECT_EQ(loaded->offsets(), original.offsets());
+}
+
+TEST(DatasetIoTest, RoundTripSynthetic) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 90;
+  cfg.num_interactions = 1500;
+  cfg.seed = 9;
+  Dataset original = *GenerateSynthetic(cfg);
+  std::string path = ::testing::TempDir() + "ds_roundtrip2.clds";
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_interactions(), original.num_interactions());
+  for (UserId u = 0; u < original.num_users(); ++u) {
+    auto a = original.ItemsOf(u);
+    auto b = loaded->ItemsOf(u);
+    ASSERT_EQ(a.size(), b.size()) << "user " << u;
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(DatasetIoTest, EmptyDatasetRoundTrips) {
+  Dataset original = testing::MakeDataset(4, 4, {});
+  std::string path = ::testing::TempDir() + "ds_empty.clds";
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_interactions(), 0);
+  EXPECT_EQ(loaded->num_users(), 4);
+}
+
+TEST(DatasetIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadDataset("/no/such/data.clds").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(DatasetIoTest, BadMagicIsCorruption) {
+  std::string path = ::testing::TempDir() + "ds_bad_magic.clds";
+  std::ofstream(path) << "NOTADATASET_____________________";
+  EXPECT_EQ(LoadDataset(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, TruncationIsCorruption) {
+  Dataset original = testing::MakeDataset(5, 5, {{0, 1}, {1, 2}, {4, 4}});
+  std::string full = ::testing::TempDir() + "ds_full.clds";
+  ASSERT_TRUE(SaveDataset(original, full).ok());
+  std::ifstream in(full, std::ios::binary);
+  std::vector<char> bytes(30);
+  in.read(bytes.data(), 30);
+  std::string trunc = ::testing::TempDir() + "ds_trunc.clds";
+  std::ofstream out(trunc, std::ios::binary);
+  out.write(bytes.data(), in.gcount());
+  out.close();
+  EXPECT_EQ(LoadDataset(trunc).status().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, SaveToBadPathIsIoError) {
+  Dataset ds = testing::MakeDataset(1, 1, {});
+  EXPECT_EQ(SaveDataset(ds, "/no-dir-xyz/x.clds").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace clapf

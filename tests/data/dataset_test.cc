@@ -1,0 +1,99 @@
+#include "clapf/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/dataset_builder.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(DatasetBuilderTest, BuildsCsrLayout) {
+  Dataset ds = testing::MakeDataset(3, 5, {{0, 1}, {0, 3}, {2, 4}, {2, 0}});
+  EXPECT_EQ(ds.num_users(), 3);
+  EXPECT_EQ(ds.num_items(), 5);
+  EXPECT_EQ(ds.num_interactions(), 4);
+  auto u0 = ds.ItemsOf(0);
+  ASSERT_EQ(u0.size(), 2u);
+  EXPECT_EQ(u0[0], 1);
+  EXPECT_EQ(u0[1], 3);
+  EXPECT_TRUE(ds.ItemsOf(1).empty());
+  auto u2 = ds.ItemsOf(2);
+  ASSERT_EQ(u2.size(), 2u);
+  EXPECT_EQ(u2[0], 0);  // sorted
+  EXPECT_EQ(u2[1], 4);
+}
+
+TEST(DatasetBuilderTest, DeduplicatesPairs) {
+  Dataset ds = testing::MakeDataset(2, 2, {{0, 1}, {0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(ds.num_interactions(), 2);
+  EXPECT_EQ(ds.NumItemsOf(0), 1);
+}
+
+TEST(DatasetBuilderTest, RejectsOutOfRange) {
+  DatasetBuilder builder(2, 2);
+  EXPECT_EQ(builder.Add(2, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.Add(-1, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.Add(0, 2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.Add(0, -5).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(builder.Add(1, 1).ok());
+}
+
+TEST(DatasetBuilderTest, ReusableAfterBuild) {
+  DatasetBuilder builder(1, 3);
+  ASSERT_TRUE(builder.Add(0, 0).ok());
+  Dataset first = builder.Build();
+  EXPECT_EQ(first.num_interactions(), 1);
+  ASSERT_TRUE(builder.Add(0, 1).ok());
+  ASSERT_TRUE(builder.Add(0, 2).ok());
+  Dataset second = builder.Build();
+  EXPECT_EQ(second.num_interactions(), 2);
+  EXPECT_FALSE(second.IsObserved(0, 0));
+}
+
+TEST(DatasetTest, IsObserved) {
+  Dataset ds = testing::MakeDataset(2, 4, {{0, 0}, {0, 2}, {1, 3}});
+  EXPECT_TRUE(ds.IsObserved(0, 0));
+  EXPECT_TRUE(ds.IsObserved(0, 2));
+  EXPECT_FALSE(ds.IsObserved(0, 1));
+  EXPECT_FALSE(ds.IsObserved(0, 3));
+  EXPECT_TRUE(ds.IsObserved(1, 3));
+  EXPECT_FALSE(ds.IsObserved(1, 0));
+}
+
+TEST(DatasetTest, DensityMatchesDefinition) {
+  Dataset ds = testing::MakeDataset(2, 5, {{0, 0}, {0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(ds.Density(), 3.0 / 10.0);
+}
+
+TEST(DatasetTest, EmptyDatasetDensityZero) {
+  Dataset ds;
+  EXPECT_DOUBLE_EQ(ds.Density(), 0.0);
+  EXPECT_EQ(ds.num_interactions(), 0);
+}
+
+TEST(DatasetTest, ItemPopularityCountsUsers) {
+  Dataset ds =
+      testing::MakeDataset(3, 3, {{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 2}});
+  auto pop = ds.ItemPopularity();
+  ASSERT_EQ(pop.size(), 3u);
+  EXPECT_EQ(pop[0], 3);
+  EXPECT_EQ(pop[1], 1);
+  EXPECT_EQ(pop[2], 1);
+}
+
+TEST(DatasetTest, NumActiveUsers) {
+  Dataset ds = testing::MakeDataset(4, 3, {{0, 0}, {2, 1}});
+  EXPECT_EQ(ds.NumActiveUsers(), 2);
+}
+
+TEST(DatasetTest, SummaryMentionsDimensions) {
+  Dataset ds = testing::MakeDataset(2, 3, {{0, 0}});
+  std::string s = ds.Summary();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("m=3"), std::string::npos);
+  EXPECT_NE(s.find("|P|=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clapf

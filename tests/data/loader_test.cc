@@ -1,0 +1,120 @@
+#include "clapf/data/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(LoaderTest, TabSeparatedWithThreshold) {
+  // Only ratings > 3 survive binarization.
+  std::string path = testing::WriteTempFile(
+      "ml100k.data",
+      "1\t10\t5\t881250949\n"
+      "1\t20\t3\t881250950\n"  // dropped
+      "2\t10\t4\t881250951\n"
+      "2\t30\t1\t881250952\n");  // dropped
+  LoadOptions opts;
+  opts.format = FileFormat::kTabSeparated;
+  auto ds = LoadInteractions(path, opts);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_users(), 2);
+  // Only item 10 survives binarization, so a single dense item id exists.
+  EXPECT_EQ(ds->num_items(), 1);
+  EXPECT_EQ(ds->num_interactions(), 2);
+}
+
+TEST(LoaderTest, DoubleColonFormat) {
+  std::string path = testing::WriteTempFile(
+      "ml1m.dat",
+      "1::1193::5::978300760\n"
+      "1::661::3::978302109\n"
+      "2::1193::4::978300275\n");
+  LoadOptions opts;
+  opts.format = FileFormat::kDoubleColon;
+  auto ds = LoadInteractions(path, opts);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_interactions(), 2);
+  EXPECT_EQ(ds->num_users(), 2);
+  EXPECT_EQ(ds->num_items(), 1);  // only item 1193 survives
+}
+
+TEST(LoaderTest, CsvWithHeader) {
+  std::string path = testing::WriteTempFile(
+      "ml20m.csv",
+      "userId,movieId,rating,timestamp\n"
+      "1,2,3.5,1112486027\n"
+      "1,29,5.0,1112484676\n");
+  LoadOptions opts;
+  opts.format = FileFormat::kCsv;
+  opts.has_header = true;
+  auto ds = LoadInteractions(path, opts);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_interactions(), 2);  // 3.5 > 3 and 5.0 > 3
+}
+
+TEST(LoaderTest, PairsFormatSkipsRatings) {
+  std::string path = testing::WriteTempFile("pairs.txt",
+                                            "0 5\n"
+                                            "1 6\n"
+                                            "1 5\n");
+  LoadOptions opts;
+  opts.format = FileFormat::kPairs;
+  auto ds = LoadInteractions(path, opts);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_users(), 2);
+  EXPECT_EQ(ds->num_items(), 2);
+  EXPECT_EQ(ds->num_interactions(), 3);
+}
+
+TEST(LoaderTest, CustomThreshold) {
+  std::string path = testing::WriteTempFile("thresh.tsv",
+                                            "1\t1\t2\t0\n"
+                                            "1\t2\t3\t0\n");
+  LoadOptions opts;
+  opts.rating_threshold = 1.0;
+  auto ds = LoadInteractions(path, opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_interactions(), 2);
+}
+
+TEST(LoaderTest, MissingFileIsIoError) {
+  auto ds = LoadInteractions("/no/such/file.data", LoadOptions{});
+  EXPECT_EQ(ds.status().code(), StatusCode::kIoError);
+}
+
+TEST(LoaderTest, TruncatedRecordIsCorruption) {
+  std::string path = testing::WriteTempFile("bad.tsv", "1\t2\n");
+  auto ds = LoadInteractions(path, LoadOptions{});
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoaderTest, NonNumericFieldIsError) {
+  std::string path = testing::WriteTempFile("nan.tsv", "a\tb\t5\t0\n");
+  auto ds = LoadInteractions(path, LoadOptions{});
+  EXPECT_FALSE(ds.ok());
+}
+
+TEST(LoaderTest, BlankLinesIgnored) {
+  std::string path =
+      testing::WriteTempFile("blank.tsv", "\n1\t1\t5\t0\n\n2\t1\t4\t0\n\n");
+  auto ds = LoadInteractions(path, LoadOptions{});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_interactions(), 2);
+}
+
+TEST(SaveAsPairsTest, RoundTripsThroughPairsFormat) {
+  Dataset original = testing::MakeDataset(3, 4, {{0, 1}, {1, 2}, {2, 3}});
+  std::string path = ::testing::TempDir() + "saved_pairs.txt";
+  ASSERT_TRUE(SaveAsPairs(original, path).ok());
+
+  LoadOptions opts;
+  opts.format = FileFormat::kPairs;
+  auto loaded = LoadInteractions(path, opts);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_interactions(), original.num_interactions());
+}
+
+}  // namespace
+}  // namespace clapf

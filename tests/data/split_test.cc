@@ -1,0 +1,117 @@
+#include "clapf/data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "clapf/data/synthetic.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+std::set<std::pair<UserId, ItemId>> PairsOf(const Dataset& ds) {
+  std::set<std::pair<UserId, ItemId>> out;
+  for (UserId u = 0; u < ds.num_users(); ++u) {
+    for (ItemId i : ds.ItemsOf(u)) out.emplace(u, i);
+  }
+  return out;
+}
+
+Dataset SmallData() {
+  SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 60;
+  cfg.num_interactions = 600;
+  cfg.seed = 9;
+  return *GenerateSynthetic(cfg);
+}
+
+TEST(SplitRandomTest, PartitionIsDisjointAndComplete) {
+  Dataset data = SmallData();
+  auto split = SplitRandom(data, 0.5, 77);
+  auto train = PairsOf(split.train);
+  auto test = PairsOf(split.test);
+  auto all = PairsOf(data);
+
+  EXPECT_EQ(train.size() + test.size(), all.size());
+  for (const auto& p : train) {
+    EXPECT_TRUE(all.count(p));
+    EXPECT_FALSE(test.count(p));
+  }
+  for (const auto& p : test) EXPECT_TRUE(all.count(p));
+}
+
+TEST(SplitRandomTest, PreservesDimensions) {
+  Dataset data = SmallData();
+  auto split = SplitRandom(data, 0.5, 1);
+  EXPECT_EQ(split.train.num_users(), data.num_users());
+  EXPECT_EQ(split.train.num_items(), data.num_items());
+  EXPECT_EQ(split.test.num_users(), data.num_users());
+  EXPECT_EQ(split.test.num_items(), data.num_items());
+}
+
+TEST(SplitRandomTest, FractionIsApproximate) {
+  Dataset data = SmallData();
+  auto split = SplitRandom(data, 0.5, 3);
+  double frac = static_cast<double>(split.train.num_interactions()) /
+                static_cast<double>(data.num_interactions());
+  EXPECT_NEAR(frac, 0.5, 0.08);
+}
+
+TEST(SplitRandomTest, DeterministicGivenSeed) {
+  Dataset data = SmallData();
+  auto a = SplitRandom(data, 0.5, 42);
+  auto b = SplitRandom(data, 0.5, 42);
+  EXPECT_EQ(PairsOf(a.train), PairsOf(b.train));
+  auto c = SplitRandom(data, 0.5, 43);
+  EXPECT_NE(PairsOf(a.train), PairsOf(c.train));
+}
+
+TEST(SplitRandomTest, ExtremeFractions) {
+  Dataset data = SmallData();
+  auto all_train = SplitRandom(data, 1.0, 1);
+  EXPECT_EQ(all_train.train.num_interactions(), data.num_interactions());
+  EXPECT_EQ(all_train.test.num_interactions(), 0);
+  auto all_test = SplitRandom(data, 0.0, 1);
+  EXPECT_EQ(all_test.train.num_interactions(), 0);
+  EXPECT_EQ(all_test.test.num_interactions(), data.num_interactions());
+}
+
+TEST(HoldOutOnePerUserTest, OnePairPerEligibleUser) {
+  Dataset data = SmallData();
+  auto holdout = HoldOutOnePerUser(data, 5);
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    int32_t orig = data.NumItemsOf(u);
+    int32_t val = holdout.validation.NumItemsOf(u);
+    int32_t tr = holdout.train.NumItemsOf(u);
+    if (orig >= 2) {
+      EXPECT_EQ(val, 1) << "user " << u;
+      EXPECT_EQ(tr, orig - 1);
+    } else {
+      EXPECT_EQ(val, 0) << "user " << u;
+      EXPECT_EQ(tr, orig);
+    }
+  }
+}
+
+TEST(HoldOutOnePerUserTest, ValidationDisjointFromTrain) {
+  Dataset data = SmallData();
+  auto holdout = HoldOutOnePerUser(data, 5);
+  auto train = PairsOf(holdout.train);
+  auto val = PairsOf(holdout.validation);
+  for (const auto& p : val) EXPECT_FALSE(train.count(p));
+  EXPECT_EQ(train.size() + val.size(), PairsOf(data).size());
+}
+
+TEST(HoldOutOnePerUserTest, SingleItemUserKeepsItem) {
+  Dataset data = testing::MakeDataset(2, 3, {{0, 1}, {1, 0}, {1, 2}});
+  auto holdout = HoldOutOnePerUser(data, 1);
+  EXPECT_EQ(holdout.train.NumItemsOf(0), 1);
+  EXPECT_EQ(holdout.validation.NumItemsOf(0), 0);
+  EXPECT_EQ(holdout.validation.NumItemsOf(1), 1);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,66 @@
+#include "clapf/data/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/synthetic.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(GiniCoefficientTest, UniformIsZero) {
+  EXPECT_NEAR(GiniCoefficient({5.0, 5.0, 5.0, 5.0}), 0.0, 1e-12);
+}
+
+TEST(GiniCoefficientTest, SingleHolderApproachesOne) {
+  // One holder of all mass among n: G = (n-1)/n.
+  EXPECT_NEAR(GiniCoefficient({0.0, 0.0, 0.0, 10.0}), 0.75, 1e-12);
+}
+
+TEST(GiniCoefficientTest, KnownHandValue) {
+  // {1, 3}: G = (2*(1*1 + 2*3)/(2*4)) - 3/2 = 14/8 - 1.5 = 0.25.
+  EXPECT_NEAR(GiniCoefficient({1.0, 3.0}), 0.25, 1e-12);
+}
+
+TEST(GiniCoefficientTest, OrderInvariant) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({3.0, 1.0, 7.0}),
+                   GiniCoefficient({7.0, 3.0, 1.0}));
+}
+
+TEST(GiniCoefficientTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0.0, 0.0}), 0.0);
+}
+
+TEST(ComputeStatsTest, CountsAndDensity) {
+  Dataset ds = testing::MakeDataset(2, 4, {{0, 0}, {0, 1}, {1, 0}});
+  DatasetStats stats = ComputeStats(ds);
+  EXPECT_EQ(stats.num_users, 2);
+  EXPECT_EQ(stats.num_items, 4);
+  EXPECT_EQ(stats.num_interactions, 3);
+  EXPECT_DOUBLE_EQ(stats.density, 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(stats.mean_user_activity, 1.5);
+  EXPECT_DOUBLE_EQ(stats.max_user_activity, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max_item_popularity, 2.0);
+}
+
+TEST(ComputeStatsTest, SyntheticPresetIsLongTailed) {
+  Dataset ds = *GenerateSynthetic(PresetConfig(DatasetPreset::kMl100k));
+  DatasetStats stats = ComputeStats(ds);
+  // The generator must reproduce a real catalog's skew: popular head and
+  // heterogeneous users.
+  EXPECT_GT(stats.item_popularity_gini, 0.3);
+  EXPECT_GT(stats.user_activity_gini, 0.2);
+  EXPECT_GT(stats.top10pct_item_share, 0.2);
+}
+
+TEST(ComputeStatsTest, ToStringMentionsEverything) {
+  Dataset ds = testing::MakeDataset(2, 2, {{0, 0}});
+  std::string s = ComputeStats(ds).ToString();
+  EXPECT_NE(s.find("users: 2"), std::string::npos);
+  EXPECT_NE(s.find("gini"), std::string::npos);
+  EXPECT_NE(s.find("density"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,236 @@
+#include "clapf/data/synthetic.h"
+
+#include "clapf/util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace clapf {
+namespace {
+
+TEST(SyntheticTest, ProducesRequestedShape) {
+  SyntheticConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 80;
+  cfg.num_interactions = 1000;
+  auto ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_users(), 50);
+  EXPECT_EQ(ds->num_items(), 80);
+  // Budget nudging should land exactly on target (duplicates removed could
+  // shave a little, but pairs are distinct by construction).
+  EXPECT_EQ(ds->num_interactions(), 1000);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_items = 40;
+  cfg.num_interactions = 300;
+  cfg.seed = 123;
+  auto a = GenerateSynthetic(cfg);
+  auto b = GenerateSynthetic(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->flat_items(), b->flat_items());
+  EXPECT_EQ(a->offsets(), b->offsets());
+
+  cfg.seed = 124;
+  auto c = GenerateSynthetic(cfg);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->flat_items(), c->flat_items());
+}
+
+TEST(SyntheticTest, RejectsImpossibleConfigs) {
+  SyntheticConfig cfg;
+  cfg.num_users = 2;
+  cfg.num_items = 2;
+  cfg.num_interactions = 10;  // > n*m
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+
+  cfg.num_interactions = 2;
+  cfg.num_users = 0;
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+
+  cfg.num_users = 2;
+  cfg.popularity_mix = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+
+  cfg.popularity_mix = 0.5;
+  cfg.ground_truth_factors = 0;
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+}
+
+TEST(SyntheticTest, FullDensityIsPossible) {
+  SyntheticConfig cfg;
+  cfg.num_users = 5;
+  cfg.num_items = 6;
+  cfg.num_interactions = 30;
+  auto ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_interactions(), 30);
+}
+
+TEST(SyntheticTest, PopularityIsLongTailed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 300;
+  cfg.num_items = 200;
+  cfg.num_interactions = 6000;
+  cfg.popularity_mix = 0.8;  // emphasize popularity to measure the tail
+  cfg.seed = 77;
+  auto ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  auto pop = ds->ItemPopularity();
+  std::sort(pop.begin(), pop.end(), std::greater<>());
+  // Top 10% of items should hold a disproportionate share of interactions.
+  int64_t total = 0, head = 0;
+  for (size_t i = 0; i < pop.size(); ++i) {
+    total += pop[i];
+    if (i < pop.size() / 10) head += pop[i];
+  }
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.25);
+}
+
+TEST(SyntheticTest, UserActivityIsSkewed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 200;
+  cfg.num_items = 300;
+  cfg.num_interactions = 4000;
+  cfg.activity_sigma = 1.0;
+  cfg.seed = 99;
+  auto ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  int32_t max_act = 0;
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    max_act = std::max(max_act, ds->NumItemsOf(u));
+  }
+  const double mean = static_cast<double>(ds->num_interactions()) /
+                      static_cast<double>(ds->num_users());
+  EXPECT_GT(max_act, 2.0 * mean);  // heavy-tailed activity
+}
+
+TEST(SyntheticTest, GroundTruthExportScoresItsOwnData) {
+  SyntheticConfig cfg;
+  cfg.num_users = 80;
+  cfg.num_items = 150;
+  cfg.num_interactions = 2400;
+  cfg.popularity_mix = 0.2;
+  cfg.affinity_sharpness = 3.0;
+  cfg.ground_truth_factors = 3;
+  cfg.seed = 555;
+  SyntheticGroundTruth truth;
+  auto data = GenerateSynthetic(cfg, &truth);
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(truth.num_factors, 3);
+  ASSERT_EQ(truth.user_factors.size(), 80u * 3u);
+  ASSERT_EQ(truth.item_factors.size(), 150u * 3u);
+
+  // The oracle (true affinity) must rank a user's observed items above
+  // random unobserved ones far more often than chance.
+  Rng rng(7);
+  int correct = 0, total = 0;
+  for (UserId u = 0; u < data->num_users(); ++u) {
+    for (ItemId i : data->ItemsOf(u)) {
+      ItemId j = static_cast<ItemId>(rng.Uniform(150));
+      if (data->IsObserved(u, j)) continue;
+      correct += truth.Affinity(u, i) > truth.Affinity(u, j) ? 1 : 0;
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.7);
+}
+
+TEST(SyntheticTest, GroundTruthIsDeterministic) {
+  SyntheticConfig cfg;
+  cfg.num_users = 10;
+  cfg.num_items = 20;
+  cfg.num_interactions = 50;
+  cfg.seed = 31;
+  SyntheticGroundTruth a, b;
+  ASSERT_TRUE(GenerateSynthetic(cfg, &a).ok());
+  ASSERT_TRUE(GenerateSynthetic(cfg, &b).ok());
+  EXPECT_EQ(a.user_factors, b.user_factors);
+  EXPECT_EQ(a.item_factors, b.item_factors);
+}
+
+TEST(SyntheticPresetTest, AllPresetsHaveDistinctNames) {
+  std::set<std::string> names;
+  for (DatasetPreset p : AllDatasetPresets()) names.insert(PresetName(p));
+  EXPECT_EQ(names.size(), AllDatasetPresets().size());
+}
+
+TEST(SyntheticPresetTest, Ml100kMatchesTable1Shape) {
+  SyntheticConfig cfg = PresetConfig(DatasetPreset::kMl100k);
+  EXPECT_EQ(cfg.num_users, 943);
+  EXPECT_EQ(cfg.num_items, 1682);
+  EXPECT_EQ(cfg.num_interactions, 55375);
+  // Density 3.49% as in Table 1.
+  double density = static_cast<double>(cfg.num_interactions) /
+                   (static_cast<double>(cfg.num_users) * cfg.num_items);
+  EXPECT_NEAR(density, 0.0349, 0.0002);
+}
+
+TEST(SyntheticPresetTest, DensitiesMatchTable1) {
+  // Paper Table 1 densities (train+test) per dataset.
+  const std::pair<DatasetPreset, double> expected[] = {
+      {DatasetPreset::kMl100k, 0.0349}, {DatasetPreset::kMl1m, 0.0241},
+      {DatasetPreset::kUserTag, 0.0411}, {DatasetPreset::kMl20m, 0.0011},
+      {DatasetPreset::kFlixter, 0.0002}, {DatasetPreset::kNetflix, 0.0023},
+  };
+  for (const auto& [preset, density] : expected) {
+    SyntheticConfig cfg = PresetConfig(preset);
+    double actual = static_cast<double>(cfg.num_interactions) /
+                    (static_cast<double>(cfg.num_users) * cfg.num_items);
+    EXPECT_NEAR(actual, density, density * 0.05) << PresetName(preset);
+  }
+}
+
+TEST(SyntheticPresetTest, SeedOffsetChangesData) {
+  SyntheticConfig a = PresetConfig(DatasetPreset::kMl100k, 0);
+  SyntheticConfig b = PresetConfig(DatasetPreset::kMl100k, 1);
+  EXPECT_NE(a.seed, b.seed);
+}
+
+TEST(SyntheticPresetTest, ParsePresetNameVariants) {
+  EXPECT_TRUE(ParsePresetName("ML100K").ok());
+  EXPECT_TRUE(ParsePresetName("ml100k-sim").ok());
+  EXPECT_TRUE(ParsePresetName("Netflix").ok());
+  EXPECT_EQ(*ParsePresetName("flixter"), DatasetPreset::kFlixter);
+  EXPECT_FALSE(ParsePresetName("amazon").ok());
+}
+
+// Property sweep: every preset generates data of the declared shape (scaled
+// presets only, to keep the suite fast).
+class PresetGenerationTest : public ::testing::TestWithParam<DatasetPreset> {};
+
+TEST_P(PresetGenerationTest, GeneratesDeclaredShape) {
+  SyntheticConfig cfg = PresetConfig(GetParam());
+  // Shrink for test speed while keeping proportions.
+  cfg.num_interactions = std::min<int64_t>(cfg.num_interactions, 4000);
+  auto ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_users(), cfg.num_users);
+  EXPECT_EQ(ds->num_items(), cfg.num_items);
+  EXPECT_NEAR(static_cast<double>(ds->num_interactions()),
+              static_cast<double>(cfg.num_interactions),
+              0.01 * static_cast<double>(cfg.num_interactions) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetGenerationTest,
+                         ::testing::ValuesIn(AllDatasetPresets()),
+                         [](const auto& info) {
+                           std::string name = PresetName(info.param);
+                           std::string out;
+                           for (char c : name) {
+                             if (std::isalnum(static_cast<unsigned char>(c))) {
+                               out += c;
+                             }
+                           }
+                           return out;
+                         });
+
+}  // namespace
+}  // namespace clapf

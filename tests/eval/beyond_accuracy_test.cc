@@ -1,0 +1,85 @@
+#include "clapf/eval/beyond_accuracy.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/baselines/pop_rank.h"
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+Dataset MediumData(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 120;
+  cfg.num_interactions = 1200;
+  cfg.seed = seed;
+  return *GenerateSynthetic(cfg);
+}
+
+TEST(BeyondAccuracyTest, PopRankHasIdenticalListsAndLowCoverage) {
+  Dataset data = MediumData(1);
+  PopRankTrainer pop;
+  ASSERT_TRUE(pop.Train(data).ok());
+  BeyondAccuracy profile = ComputeBeyondAccuracy(data, pop, 10);
+
+  // Every user gets (nearly) the same top-10, modulo history exclusions.
+  EXPECT_GT(profile.inter_user_similarity, 0.2);
+  // Coverage is bounded near k + typical history overlap, far below 100%.
+  EXPECT_LT(profile.catalog_coverage, 0.5);
+  EXPECT_GT(profile.exposure_gini, 0.7);
+}
+
+TEST(BeyondAccuracyTest, PersonalizedModelSpreadsExposure) {
+  Dataset data = MediumData(2);
+  PopRankTrainer pop;
+  ASSERT_TRUE(pop.Train(data).ok());
+  BeyondAccuracy pop_profile = ComputeBeyondAccuracy(data, pop, 10);
+
+  // A random personalized model maximally spreads recommendations.
+  FactorModel model(data.num_users(), data.num_items(), 4);
+  Rng rng(3);
+  model.InitGaussian(rng, 0.5);
+  FactorModelRanker ranker(&model);
+  BeyondAccuracy mf_profile = ComputeBeyondAccuracy(data, ranker, 10);
+
+  EXPECT_GT(mf_profile.catalog_coverage, pop_profile.catalog_coverage);
+  EXPECT_LT(mf_profile.inter_user_similarity,
+            pop_profile.inter_user_similarity);
+  EXPECT_LT(mf_profile.exposure_gini, pop_profile.exposure_gini);
+  EXPECT_GT(mf_profile.novelty_bits, pop_profile.novelty_bits);
+}
+
+TEST(BeyondAccuracyTest, DeterministicGivenSeed) {
+  Dataset data = MediumData(4);
+  PopRankTrainer pop;
+  ASSERT_TRUE(pop.Train(data).ok());
+  BeyondAccuracy a = ComputeBeyondAccuracy(data, pop, 5, 100, 9);
+  BeyondAccuracy b = ComputeBeyondAccuracy(data, pop, 5, 100, 9);
+  EXPECT_DOUBLE_EQ(a.inter_user_similarity, b.inter_user_similarity);
+  EXPECT_DOUBLE_EQ(a.novelty_bits, b.novelty_bits);
+}
+
+TEST(BeyondAccuracyTest, EmptyTrainingGivesZeros) {
+  Dataset data = testing::MakeDataset(3, 5, {});
+  FactorModel model(3, 5, 2);
+  FactorModelRanker ranker(&model);
+  BeyondAccuracy profile = ComputeBeyondAccuracy(data, ranker, 3);
+  EXPECT_DOUBLE_EQ(profile.catalog_coverage, 0.0);
+  EXPECT_DOUBLE_EQ(profile.novelty_bits, 0.0);
+}
+
+TEST(BeyondAccuracyTest, ToStringMentionsAllFields) {
+  Dataset data = MediumData(5);
+  PopRankTrainer pop;
+  ASSERT_TRUE(pop.Train(data).ok());
+  std::string s = ComputeBeyondAccuracy(data, pop, 5).ToString();
+  EXPECT_NE(s.find("coverage@5"), std::string::npos);
+  EXPECT_NE(s.find("novelty"), std::string::npos);
+  EXPECT_NE(s.find("gini"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,124 @@
+#include "clapf/eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(EvaluatorTest, PerfectModelScoresPerfectly) {
+  // 2 users, 4 items. Train: u0→0, u1→1. Test: u0→1, u1→2.
+  Dataset train = testing::MakeDataset(2, 4, {{0, 0}, {1, 1}});
+  Dataset test = testing::MakeDataset(2, 4, {{0, 1}, {1, 2}});
+  // Give each user's test item the top score among candidates.
+  FactorModel model = testing::MakeExactModel(
+      {{0.0, 10.0, 1.0, 2.0}, {5.0, 0.0, 10.0, 1.0}});
+  Evaluator eval(&train, &test);
+  auto summary = eval.Evaluate(model, {1, 3});
+
+  EXPECT_EQ(summary.users_evaluated, 2);
+  EXPECT_DOUBLE_EQ(summary.AtK(1).precision, 1.0);
+  EXPECT_DOUBLE_EQ(summary.AtK(1).recall, 1.0);
+  EXPECT_DOUBLE_EQ(summary.AtK(1).ndcg, 1.0);
+  EXPECT_DOUBLE_EQ(summary.AtK(1).one_call, 1.0);
+  EXPECT_DOUBLE_EQ(summary.map, 1.0);
+  EXPECT_DOUBLE_EQ(summary.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(summary.auc, 1.0);
+}
+
+TEST(EvaluatorTest, TrainItemsExcludedFromRanking) {
+  // User 0 trained on item 0, which the model scores astronomically. If the
+  // train item were ranked it would displace the test item from the top.
+  Dataset train = testing::MakeDataset(1, 3, {{0, 0}});
+  Dataset test = testing::MakeDataset(1, 3, {{0, 1}});
+  FactorModel model = testing::MakeExactModel({{1000.0, 5.0, 1.0}});
+  Evaluator eval(&train, &test);
+  auto summary = eval.Evaluate(model, {1});
+  EXPECT_DOUBLE_EQ(summary.AtK(1).precision, 1.0);
+  EXPECT_DOUBLE_EQ(summary.mrr, 1.0);
+}
+
+TEST(EvaluatorTest, UsersWithoutTestItemsSkipped) {
+  Dataset train = testing::MakeDataset(3, 4, {{0, 0}, {1, 1}, {2, 2}});
+  Dataset test = testing::MakeDataset(3, 4, {{1, 3}});
+  FactorModel model = testing::MakeExactModel(
+      {{1.0, 2.0, 3.0, 4.0}, {1.0, 2.0, 3.0, 4.0}, {1.0, 2.0, 3.0, 4.0}});
+  Evaluator eval(&train, &test);
+  auto summary = eval.Evaluate(model, {2});
+  EXPECT_EQ(summary.users_evaluated, 1);
+}
+
+TEST(EvaluatorTest, WorstModelScoresZeroAtSmallK) {
+  // Test item has the lowest score among candidates.
+  Dataset train = testing::MakeDataset(1, 5, {{0, 0}});
+  Dataset test = testing::MakeDataset(1, 5, {{0, 4}});
+  FactorModel model = testing::MakeExactModel({{0.0, 9.0, 8.0, 7.0, 1.0}});
+  Evaluator eval(&train, &test);
+  auto summary = eval.Evaluate(model, {1, 3});
+  EXPECT_DOUBLE_EQ(summary.AtK(1).precision, 0.0);
+  EXPECT_DOUBLE_EQ(summary.AtK(3).recall, 0.0);
+  EXPECT_DOUBLE_EQ(summary.auc, 0.0);
+  EXPECT_DOUBLE_EQ(summary.mrr, 1.0 / 4.0);  // 4 candidates, test item last
+}
+
+TEST(EvaluatorTest, MetricsAveragedOverUsers) {
+  // User 0 perfect, user 1 worst (2 candidates each).
+  Dataset train = testing::MakeDataset(2, 3, {{0, 0}, {1, 0}});
+  Dataset test = testing::MakeDataset(2, 3, {{0, 1}, {1, 2}});
+  FactorModel model =
+      testing::MakeExactModel({{0.0, 9.0, 1.0}, {0.0, 9.0, 1.0}});
+  Evaluator eval(&train, &test);
+  auto summary = eval.Evaluate(model, {1});
+  EXPECT_DOUBLE_EQ(summary.AtK(1).precision, 0.5);
+  EXPECT_DOUBLE_EQ(summary.mrr, (1.0 + 0.5) / 2.0);
+}
+
+TEST(EvaluatorTest, RankerInterfaceWorks) {
+  // A hand-rolled ranker that prefers higher item ids.
+  class AscendingRanker : public Ranker {
+   public:
+    explicit AscendingRanker(int32_t m) : m_(m) {}
+    void ScoreItems(UserId, std::vector<double>* scores) const override {
+      scores->resize(static_cast<size_t>(m_));
+      for (int32_t i = 0; i < m_; ++i) {
+        (*scores)[static_cast<size_t>(i)] = i;
+      }
+    }
+
+   private:
+    int32_t m_;
+  };
+
+  Dataset train = testing::MakeDataset(1, 4, {{0, 0}});
+  Dataset test = testing::MakeDataset(1, 4, {{0, 3}});
+  Evaluator eval(&train, &test);
+  AscendingRanker ranker(4);
+  auto summary = eval.Evaluate(ranker, {1});
+  EXPECT_DOUBLE_EQ(summary.AtK(1).precision, 1.0);
+}
+
+TEST(EvalSummaryTest, ToStringContainsHeadlineMetrics) {
+  Dataset train = testing::MakeDataset(1, 3, {{0, 0}});
+  Dataset test = testing::MakeDataset(1, 3, {{0, 1}});
+  FactorModel model = testing::MakeExactModel({{0.0, 2.0, 1.0}});
+  Evaluator eval(&train, &test);
+  auto summary = eval.Evaluate(model, {1});
+  std::string s = summary.ToString();
+  EXPECT_NE(s.find("MAP="), std::string::npos);
+  EXPECT_NE(s.find("MRR="), std::string::npos);
+  EXPECT_NE(s.find("Prec@1="), std::string::npos);
+}
+
+TEST(EvaluatorTest, PaperCutoffsMatchFigure2) {
+  EXPECT_EQ(PaperCutoffs(), (std::vector<int>{3, 5, 10, 15, 20}));
+}
+
+TEST(EvaluatorDeathTest, MismatchedDimensionsAbort) {
+  Dataset train = testing::MakeDataset(2, 3, {{0, 0}});
+  Dataset test = testing::MakeDataset(2, 4, {{0, 1}});
+  EXPECT_DEATH(Evaluator(&train, &test), "Check failed");
+}
+
+}  // namespace
+}  // namespace clapf

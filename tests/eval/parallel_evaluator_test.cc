@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(ParallelEvaluatorTest, MatchesSerial) {
+  SyntheticConfig cfg;
+  cfg.num_users = 120;
+  cfg.num_items = 150;
+  cfg.num_interactions = 3000;
+  cfg.seed = 77;
+  Dataset data = *GenerateSynthetic(cfg);
+  auto split = SplitRandom(data, 0.5, 78);
+
+  FactorModel model(data.num_users(), data.num_items(), 6);
+  Rng rng(5);
+  model.InitGaussian(rng, 0.4);
+
+  Evaluator evaluator(&split.train, &split.test);
+  EvalSummary serial = evaluator.Evaluate(model, PaperCutoffs());
+  for (int threads : {1, 2, 4, 7}) {
+    FactorModelRanker ranker(&model);
+    EvalSummary parallel =
+        evaluator.EvaluateParallel(ranker, PaperCutoffs(), threads);
+    EXPECT_EQ(parallel.users_evaluated, serial.users_evaluated)
+        << threads << " threads";
+    // Per-shard summation reorders the floating-point adds; results agree
+    // to within accumulation error.
+    EXPECT_NEAR(parallel.map, serial.map, 1e-12) << threads;
+    EXPECT_NEAR(parallel.mrr, serial.mrr, 1e-12) << threads;
+    EXPECT_NEAR(parallel.auc, serial.auc, 1e-12) << threads;
+    for (size_t ki = 0; ki < serial.at_k.size(); ++ki) {
+      EXPECT_NEAR(parallel.at_k[ki].precision, serial.at_k[ki].precision,
+                  1e-12);
+      EXPECT_NEAR(parallel.at_k[ki].ndcg, serial.at_k[ki].ndcg, 1e-12);
+      EXPECT_NEAR(parallel.at_k[ki].recall, serial.at_k[ki].recall, 1e-12);
+    }
+  }
+}
+
+TEST(ParallelEvaluatorTest, MoreThreadsThanUsers) {
+  Dataset train = testing::MakeDataset(2, 5, {{0, 0}, {1, 1}});
+  Dataset test = testing::MakeDataset(2, 5, {{0, 2}, {1, 3}});
+  FactorModel model(2, 5, 2);
+  Rng rng(3);
+  model.InitGaussian(rng, 0.3);
+  Evaluator evaluator(&train, &test);
+  FactorModelRanker ranker(&model);
+  EvalSummary parallel = evaluator.EvaluateParallel(ranker, {3}, 16);
+  EvalSummary serial = evaluator.Evaluate(model, {3});
+  EXPECT_NEAR(parallel.map, serial.map, 1e-12);
+  EXPECT_EQ(parallel.users_evaluated, 2);
+}
+
+}  // namespace
+}  // namespace clapf

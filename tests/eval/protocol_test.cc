@@ -1,0 +1,80 @@
+#include "clapf/eval/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace clapf {
+namespace {
+
+EvalSummary MakeSummary(double base) {
+  EvalSummary s;
+  s.at_k.resize(2);
+  s.at_k[0].k = 5;
+  s.at_k[0].precision = base;
+  s.at_k[0].recall = base / 2;
+  s.at_k[0].f1 = base / 3;
+  s.at_k[0].one_call = base / 4;
+  s.at_k[0].ndcg = base / 5;
+  s.at_k[1].k = 10;
+  s.at_k[1].precision = base * 2;
+  s.map = base;
+  s.mrr = base * 3;
+  s.auc = 0.5 + base / 10;
+  s.users_evaluated = 10;
+  return s;
+}
+
+TEST(MeanStdTest, FormatsWithPlusMinus) {
+  MeanStd ms{0.4321, 0.0123};
+  EXPECT_EQ(ms.ToString(3), "0.432±0.012");
+  EXPECT_EQ(ms.ToString(2), "0.43±0.01");
+}
+
+TEST(AggregateTest, SingleRunHasZeroStd) {
+  auto agg = Aggregate({MakeSummary(0.3)});
+  EXPECT_EQ(agg.num_runs, 1);
+  EXPECT_DOUBLE_EQ(agg.map.mean, 0.3);
+  EXPECT_DOUBLE_EQ(agg.map.std, 0.0);
+}
+
+TEST(AggregateTest, MeanAndPopulationStd) {
+  auto agg = Aggregate({MakeSummary(0.2), MakeSummary(0.4)});
+  EXPECT_EQ(agg.num_runs, 2);
+  EXPECT_DOUBLE_EQ(agg.map.mean, 0.3);
+  EXPECT_NEAR(agg.map.std, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.mrr.mean, 0.9);
+  EXPECT_DOUBLE_EQ(agg.AtCut(5).precision.mean, 0.3);
+  EXPECT_DOUBLE_EQ(agg.AtCut(10).precision.mean, 0.6);
+}
+
+TEST(AggregateTest, TrainSecondsAggregated) {
+  auto agg = Aggregate({MakeSummary(0.1), MakeSummary(0.1)}, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(agg.train_seconds.mean, 15.0);
+  EXPECT_DOUBLE_EQ(agg.train_seconds.std, 5.0);
+}
+
+TEST(AggregateTest, EmptyRunsGiveEmptyAggregate) {
+  auto agg = Aggregate({});
+  EXPECT_EQ(agg.num_runs, 0);
+  EXPECT_TRUE(agg.at_k.empty());
+}
+
+TEST(AggregateTest, AllAtKFieldsAggregated) {
+  auto agg = Aggregate({MakeSummary(0.3), MakeSummary(0.5)});
+  const auto& at5 = agg.AtCut(5);
+  EXPECT_DOUBLE_EQ(at5.recall.mean, 0.2);
+  EXPECT_DOUBLE_EQ(at5.f1.mean, (0.1 + 0.5 / 3) / 2);
+  EXPECT_DOUBLE_EQ(at5.one_call.mean, 0.1);
+  EXPECT_DOUBLE_EQ(at5.ndcg.mean, 0.08);
+}
+
+TEST(AggregateDeathTest, MismatchedCutoffsAbort) {
+  EvalSummary a = MakeSummary(0.1);
+  EvalSummary b = MakeSummary(0.2);
+  b.at_k.pop_back();
+  EXPECT_DEATH(Aggregate({a, b}), "cutoff mismatch");
+}
+
+}  // namespace
+}  // namespace clapf

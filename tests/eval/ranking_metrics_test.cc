@@ -1,0 +1,184 @@
+#include "clapf/eval/ranking_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "clapf/util/random.h"
+
+namespace clapf {
+namespace {
+
+// Fixture data: ranking over 6 items, relevant = {2, 4}.
+// Ranking (best first): 2, 0, 4, 1, 5, 3 → relevant at ranks 1 and 3.
+struct Fixture {
+  std::vector<ItemId> ranking{2, 0, 4, 1, 5, 3};
+  std::vector<bool> relevant{false, false, true, false, true, false};
+  RankedList list{&ranking, &relevant, 2};
+};
+
+TEST(PrecisionAtKTest, HandComputed) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(PrecisionAtK(f.list, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(f.list, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(f.list, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(f.list, 6), 2.0 / 6.0);
+}
+
+TEST(PrecisionAtKTest, KBeyondListUsesKDenominator) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(PrecisionAtK(f.list, 12), 2.0 / 12.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(f.list, 0), 0.0);
+}
+
+TEST(RecallAtKTest, HandComputed) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(RecallAtK(f.list, 1), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(f.list, 3), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(f.list, 6), 1.0);
+}
+
+TEST(F1AtKTest, HarmonicMean) {
+  Fixture f;
+  const double p = PrecisionAtK(f.list, 3);
+  const double r = RecallAtK(f.list, 3);
+  EXPECT_DOUBLE_EQ(F1AtK(f.list, 3), 2 * p * r / (p + r));
+}
+
+TEST(F1AtKTest, ZeroWhenNoHits) {
+  std::vector<ItemId> ranking{0, 1};
+  std::vector<bool> relevant{false, false, true};
+  RankedList list{&ranking, &relevant, 1};
+  EXPECT_DOUBLE_EQ(F1AtK(list, 2), 0.0);
+}
+
+TEST(OneCallAtKTest, DetectsFirstHit) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(OneCallAtK(f.list, 1), 1.0);
+  std::vector<ItemId> ranking{0, 1, 2};
+  std::vector<bool> relevant{false, false, true};
+  RankedList list{&ranking, &relevant, 1};
+  EXPECT_DOUBLE_EQ(OneCallAtK(list, 2), 0.0);
+  EXPECT_DOUBLE_EQ(OneCallAtK(list, 3), 1.0);
+}
+
+TEST(NdcgAtKTest, PerfectRankingIsOne) {
+  std::vector<ItemId> ranking{1, 2, 0, 3};
+  std::vector<bool> relevant{false, true, true, false};
+  RankedList list{&ranking, &relevant, 2};
+  EXPECT_NEAR(NdcgAtK(list, 4), 1.0, 1e-12);
+}
+
+TEST(NdcgAtKTest, HandComputed) {
+  Fixture f;
+  // DCG@3 = 1/log2(2) + 1/log2(4) = 1 + 0.5; IDCG@3 = 1/log2(2) + 1/log2(3).
+  const double dcg = 1.0 + 1.0 / std::log2(4.0);
+  const double idcg = 1.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK(f.list, 3), dcg / idcg, 1e-12);
+}
+
+TEST(NdcgAtKTest, WorstRankingLowest) {
+  std::vector<ItemId> best{0, 1, 2, 3};
+  std::vector<ItemId> worst{3, 2, 1, 0};
+  std::vector<bool> relevant{true, false, false, false};
+  RankedList best_list{&best, &relevant, 1};
+  RankedList worst_list{&worst, &relevant, 1};
+  EXPECT_GT(NdcgAtK(best_list, 4), NdcgAtK(worst_list, 4));
+}
+
+TEST(AveragePrecisionTest, HandComputed) {
+  Fixture f;
+  // Hits at rank 1 (prec 1/1) and rank 3 (prec 2/3); AP = (1 + 2/3)/2.
+  EXPECT_NEAR(AveragePrecision(f.list), (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, PerfectIsOne) {
+  std::vector<ItemId> ranking{1, 0, 2};
+  std::vector<bool> relevant{false, true, false};
+  RankedList list{&ranking, &relevant, 1};
+  EXPECT_DOUBLE_EQ(AveragePrecision(list), 1.0);
+}
+
+TEST(ReciprocalRankTest, HandComputed) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(ReciprocalRank(f.list), 1.0);
+  std::vector<ItemId> ranking{0, 1, 2};
+  std::vector<bool> relevant{false, false, true};
+  RankedList list{&ranking, &relevant, 1};
+  EXPECT_DOUBLE_EQ(ReciprocalRank(list), 1.0 / 3.0);
+}
+
+TEST(AucTest, PerfectAndWorst) {
+  std::vector<ItemId> ranking{0, 1, 2, 3};
+  std::vector<bool> relevant{true, true, false, false};
+  RankedList perfect{&ranking, &relevant, 2};
+  EXPECT_DOUBLE_EQ(Auc(perfect), 1.0);
+
+  std::vector<ItemId> reversed{2, 3, 0, 1};
+  RankedList worst{&reversed, &relevant, 2};
+  EXPECT_DOUBLE_EQ(Auc(worst), 0.0);
+}
+
+TEST(AucTest, HandComputedMixed) {
+  // Ranking: rel, irr, rel, irr → pairs: (r1 beats both irr) + (r2 beats 1
+  // of 2) = 3 of 4.
+  std::vector<ItemId> ranking{0, 2, 1, 3};
+  std::vector<bool> relevant{true, true, false, false};
+  RankedList list{&ranking, &relevant, 2};
+  EXPECT_DOUBLE_EQ(Auc(list), 0.75);
+}
+
+TEST(MetricsTest, EmptyRelevantGivesZeros) {
+  std::vector<ItemId> ranking{0, 1};
+  std::vector<bool> relevant{false, false};
+  RankedList list{&ranking, &relevant, 0};
+  EXPECT_DOUBLE_EQ(RecallAtK(list, 2), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(list, 2), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision(list), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(list), 0.0);
+  EXPECT_DOUBLE_EQ(Auc(list), 0.0);
+}
+
+// Agreement between the list-based metrics and the paper's definitional
+// forms (Eqs. 5 and 8) on random rankings.
+class DefinitionAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DefinitionAgreementTest, ApAndRrMatchDefinitions) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const size_t m = 12;
+  std::vector<ItemId> ranking(m);
+  for (size_t i = 0; i < m; ++i) ranking[i] = static_cast<ItemId>(i);
+  rng.Shuffle(ranking);
+  std::vector<bool> relevant(m, false);
+  size_t num_rel = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      relevant[i] = true;
+      ++num_rel;
+    }
+  }
+  if (num_rel == 0) {
+    relevant[0] = true;
+    num_rel = 1;
+  }
+  RankedList list{&ranking, &relevant, num_rel};
+
+  // ranks[i] = 1-based position of item i in the ranking.
+  std::vector<int> ranks(m);
+  for (size_t pos = 0; pos < m; ++pos) {
+    ranks[static_cast<size_t>(ranking[pos])] = static_cast<int>(pos) + 1;
+  }
+
+  EXPECT_NEAR(ReciprocalRank(list),
+              ReciprocalRankFromDefinition(ranks, relevant), 1e-12);
+  EXPECT_NEAR(AveragePrecision(list),
+              AveragePrecisionFromDefinition(ranks, relevant), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefinitionAgreementTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,88 @@
+#include "clapf/eval/sampled_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(SampledEvaluatorTest, PerfectModelHitsTop1) {
+  // Model ranks the test positive above everything.
+  Dataset train = testing::MakeDataset(1, 20, {{0, 0}});
+  Dataset test = testing::MakeDataset(1, 20, {{0, 5}});
+  std::vector<std::vector<double>> scores(1, std::vector<double>(20, 0.0));
+  scores[0][5] = 100.0;
+  FactorModel model = testing::MakeExactModel(scores);
+  SampledEvaluator evaluator(&train, &test, /*num_negatives=*/10, 1);
+  FactorModelRanker ranker(&model);
+  EvalSummary summary = evaluator.Evaluate(ranker, {1, 5});
+  EXPECT_DOUBLE_EQ(summary.AtK(1).recall, 1.0);  // HitRate@1
+  EXPECT_DOUBLE_EQ(summary.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(summary.auc, 1.0);
+}
+
+TEST(SampledEvaluatorTest, InflatesMetricsVsFullRanking) {
+  // The key property the paper cites for not using this protocol: ranking
+  // against 100 sampled negatives is easier than ranking the full catalog.
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 500;
+  cfg.num_interactions = 2000;
+  cfg.seed = 3;
+  Dataset data = *GenerateSynthetic(cfg);
+  auto split = SplitRandom(data, 0.5, 4);
+
+  FactorModel model(data.num_users(), data.num_items(), 4);
+  Rng rng(5);
+  model.InitGaussian(rng, 0.3);
+
+  Evaluator full(&split.train, &split.test);
+  SampledEvaluator sampled(&split.train, &split.test, 20, 6);
+  FactorModelRanker ranker(&model);
+  EvalSummary full_summary = full.Evaluate(ranker, {5});
+  EvalSummary sampled_summary = sampled.Evaluate(ranker, {5});
+  EXPECT_GT(sampled_summary.mrr, full_summary.mrr);
+  EXPECT_GT(sampled_summary.AtK(5).one_call, full_summary.AtK(5).one_call);
+}
+
+TEST(SampledEvaluatorTest, DeterministicGivenSeed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 20;
+  cfg.num_items = 80;
+  cfg.num_interactions = 400;
+  cfg.seed = 11;
+  Dataset data = *GenerateSynthetic(cfg);
+  auto split = SplitRandom(data, 0.5, 12);
+  FactorModel model(data.num_users(), data.num_items(), 3);
+  Rng rng(7);
+  model.InitGaussian(rng, 0.3);
+  FactorModelRanker ranker(&model);
+
+  SampledEvaluator a(&split.train, &split.test, 15, 99);
+  SampledEvaluator b(&split.train, &split.test, 15, 99);
+  EXPECT_DOUBLE_EQ(a.Evaluate(ranker, {5}).mrr,
+                   b.Evaluate(ranker, {5}).mrr);
+}
+
+TEST(SampledEvaluatorTest, SkipsUsersWithoutEnoughNegatives) {
+  // 1 user, 5 items, 2 train + 2 test leaves 1 unobserved < 3 negatives.
+  Dataset train = testing::MakeDataset(1, 5, {{0, 0}, {0, 1}});
+  Dataset test = testing::MakeDataset(1, 5, {{0, 2}, {0, 3}});
+  FactorModel model(1, 5, 2);
+  SampledEvaluator evaluator(&train, &test, 3, 1);
+  FactorModelRanker ranker(&model);
+  EvalSummary summary = evaluator.Evaluate(ranker, {1});
+  EXPECT_EQ(summary.users_evaluated, 0);
+}
+
+TEST(SampledEvaluatorDeathTest, RejectsZeroNegatives) {
+  Dataset train = testing::MakeDataset(1, 5, {{0, 0}});
+  Dataset test = testing::MakeDataset(1, 5, {{0, 1}});
+  EXPECT_DEATH(SampledEvaluator(&train, &test, 0, 1), "Check failed");
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,91 @@
+#include "clapf/eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clapf/util/random.h"
+
+namespace clapf {
+namespace {
+
+TEST(NormalSurvivalTest, KnownValues) {
+  EXPECT_NEAR(NormalSurvival(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalSurvival(1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalSurvival(-1.96), 0.975, 1e-3);
+  EXPECT_LT(NormalSurvival(5.0), 1e-6);
+}
+
+TEST(PairedTTestTest, RejectsBadInput) {
+  EXPECT_FALSE(PairedTTest({1.0}, {2.0}).ok());
+  EXPECT_FALSE(PairedTTest({1.0, 2.0}, {1.0}).ok());
+}
+
+TEST(PairedTTestTest, ClearDifferenceIsSignificant) {
+  // Five paired runs, consistent ~+0.05 advantage with small noise.
+  std::vector<double> a{0.55, 0.56, 0.54, 0.55, 0.56};
+  std::vector<double> b{0.50, 0.51, 0.49, 0.50, 0.51};
+  auto result = PairedTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mean_difference, 0.05, 1e-9);
+  EXPECT_TRUE(result->significant_at_05);
+  EXPECT_GT(result->t_statistic, 2.776);  // critical t at df=4
+}
+
+TEST(PairedTTestTest, NoiseIsNotSignificant) {
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 10; ++i) {
+    double base = 0.5 + 0.05 * rng.NextGaussian();
+    a.push_back(base + 0.001 * rng.NextGaussian());
+    b.push_back(base + 0.001 * rng.NextGaussian());
+  }
+  auto result = PairedTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->significant_at_05);
+}
+
+TEST(PairedTTestTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a{0.4, 0.5, 0.6};
+  auto result = PairedTTest(a, a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->mean_difference, 0.0);
+  EXPECT_FALSE(result->significant_at_05);
+}
+
+TEST(PairedTTestTest, ConstantNonzeroDifferenceIsSignificant) {
+  std::vector<double> a{0.5, 0.6, 0.7};
+  std::vector<double> b{0.4, 0.5, 0.6};
+  auto result = PairedTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->significant_at_05);
+  EXPECT_NEAR(result->p_value, 0.0, 1e-12);
+}
+
+TEST(PairedTTestTest, LargeSampleUsesNormalApprox) {
+  std::vector<double> a, b;
+  Rng rng(13);
+  for (int i = 0; i < 64; ++i) {
+    double base = rng.NextGaussian();
+    a.push_back(base + 0.5 + 0.1 * rng.NextGaussian());
+    b.push_back(base);
+  }
+  auto result = PairedTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->degrees_of_freedom, 63);
+  EXPECT_TRUE(result->significant_at_05);
+  EXPECT_LT(result->p_value, 0.001);
+}
+
+TEST(PairedComparisonTest, ToStringMentionsSignificance) {
+  std::vector<double> a{0.55, 0.56, 0.54, 0.55, 0.56};
+  std::vector<double> b{0.50, 0.51, 0.49, 0.50, 0.51};
+  auto result = PairedTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  std::string s = result->ToString();
+  EXPECT_NE(s.find("significant"), std::string::npos);
+  EXPECT_NE(s.find("t("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clapf

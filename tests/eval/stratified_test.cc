@@ -1,0 +1,92 @@
+#include "clapf/eval/stratified.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(StratifiedTest, BucketsCoverAllEvaluableUsers) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 80;
+  cfg.num_interactions = 1500;
+  cfg.seed = 5;
+  Dataset data = *GenerateSynthetic(cfg);
+  auto split = SplitRandom(data, 0.5, 6);
+  FactorModel model(data.num_users(), data.num_items(), 4);
+  Rng rng(7);
+  model.InitGaussian(rng, 0.3);
+  FactorModelRanker ranker(&model);
+
+  auto strata = EvaluateByActivity(split.train, split.test, ranker, {5}, 3);
+  ASSERT_EQ(strata.size(), 3u);
+
+  Evaluator full(&split.train, &split.test);
+  int32_t total = 0;
+  for (const auto& s : strata) total += s.summary.users_evaluated;
+  EXPECT_EQ(total, full.Evaluate(ranker, {5}).users_evaluated);
+}
+
+TEST(StratifiedTest, ActivityRangesAscend) {
+  SyntheticConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 70;
+  cfg.num_interactions = 1200;
+  cfg.activity_sigma = 1.2;
+  cfg.seed = 9;
+  Dataset data = *GenerateSynthetic(cfg);
+  auto split = SplitRandom(data, 0.5, 10);
+  FactorModel model(data.num_users(), data.num_items(), 4);
+  Rng rng(11);
+  model.InitGaussian(rng, 0.3);
+  FactorModelRanker ranker(&model);
+
+  auto strata = EvaluateByActivity(split.train, split.test, ranker, {5}, 4);
+  for (size_t s = 1; s < strata.size(); ++s) {
+    EXPECT_GE(strata[s].min_activity, strata[s - 1].min_activity);
+    EXPECT_GE(strata[s].max_activity, strata[s - 1].max_activity);
+  }
+}
+
+TEST(StratifiedTest, SingleStratumEqualsFullEvaluation) {
+  Dataset train = testing::MakeDataset(3, 6, {{0, 0}, {1, 1}, {2, 2}});
+  Dataset test = testing::MakeDataset(3, 6, {{0, 3}, {1, 4}, {2, 5}});
+  FactorModel model(3, 6, 2);
+  Rng rng(13);
+  model.InitGaussian(rng, 0.3);
+  FactorModelRanker ranker(&model);
+
+  auto strata = EvaluateByActivity(train, test, ranker, {3}, 1);
+  ASSERT_EQ(strata.size(), 1u);
+  Evaluator full(&train, &test);
+  EvalSummary reference = full.Evaluate(ranker, {3});
+  EXPECT_DOUBLE_EQ(strata[0].summary.map, reference.map);
+  EXPECT_EQ(strata[0].summary.users_evaluated, reference.users_evaluated);
+}
+
+TEST(StratifiedTest, NoEvaluableUsersGivesEmpty) {
+  Dataset train = testing::MakeDataset(2, 4, {{0, 0}});
+  Dataset test = testing::MakeDataset(2, 4, {});
+  FactorModel model(2, 4, 2);
+  FactorModelRanker ranker(&model);
+  auto strata = EvaluateByActivity(train, test, ranker, {3}, 2);
+  EXPECT_TRUE(strata.empty());
+}
+
+TEST(StratifiedTest, LabelsCarryActivityBounds) {
+  Dataset train = testing::MakeDataset(2, 5, {{0, 0}, {1, 1}, {1, 2}});
+  Dataset test = testing::MakeDataset(2, 5, {{0, 3}, {1, 4}});
+  FactorModel model(2, 5, 2);
+  FactorModelRanker ranker(&model);
+  auto strata = EvaluateByActivity(train, test, ranker, {3}, 2);
+  ASSERT_EQ(strata.size(), 2u);
+  EXPECT_EQ(strata[0].label, "activity[1,1]");
+  EXPECT_EQ(strata[1].label, "activity[2,2]");
+}
+
+}  // namespace
+}  // namespace clapf

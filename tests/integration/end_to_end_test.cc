@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "clapf/clapf.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+// One learnable dataset shared across the pipeline tests (generated once).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticConfig cfg;
+    cfg.num_users = 80;
+    cfg.num_items = 120;
+    cfg.num_interactions = 3600;
+    cfg.affinity_sharpness = 8.0;
+    cfg.popularity_mix = 0.3;
+    cfg.seed = 2024;
+    split_ = new TrainTestSplit(
+        SplitRandom(*GenerateSynthetic(cfg), 0.5, 2025));
+  }
+  static void TearDownTestSuite() {
+    delete split_;
+    split_ = nullptr;
+  }
+
+  static TrainTestSplit* split_;
+};
+
+TrainTestSplit* EndToEndTest::split_ = nullptr;
+
+TEST_F(EndToEndTest, ClapfBeatsPopularityAndChance) {
+  ClapfOptions opts;
+  opts.sgd.num_factors = 8;
+  opts.sgd.iterations = 40000;
+  opts.sgd.learning_rate = 0.05;
+  opts.sgd.seed = 1;
+  opts.lambda = 0.4;
+  ClapfTrainer clapf(opts);
+  ASSERT_TRUE(clapf.Train(split_->train).ok());
+
+  PopRankTrainer pop;
+  ASSERT_TRUE(pop.Train(split_->train).ok());
+
+  Evaluator eval(&split_->train, &split_->test);
+  auto clapf_summary = eval.Evaluate(*clapf.model(), PaperCutoffs());
+  auto pop_summary = eval.Evaluate(pop, PaperCutoffs());
+
+  EXPECT_GT(clapf_summary.auc, 0.62);
+  EXPECT_GT(clapf_summary.map, pop_summary.map);
+  EXPECT_GT(clapf_summary.AtK(5).ndcg, pop_summary.AtK(5).ndcg);
+}
+
+TEST_F(EndToEndTest, ValidationSplitDrivesLambdaSelection) {
+  // Mimic the paper's protocol: pick λ by NDCG@5 on a held-out validation
+  // set, then confirm the chosen λ trains a usable model.
+  auto holdout = HoldOutOnePerUser(split_->train, 99);
+  Evaluator val_eval(&holdout.train, &holdout.validation);
+
+  double best_lambda = -1.0;
+  double best_ndcg = -1.0;
+  for (double lambda : {0.0, 0.4, 0.8}) {
+    ClapfOptions opts;
+    opts.sgd.num_factors = 8;
+    opts.sgd.iterations = 15000;
+    opts.sgd.seed = 7;
+    opts.lambda = lambda;
+    ClapfTrainer trainer(opts);
+    ASSERT_TRUE(trainer.Train(holdout.train).ok());
+    double ndcg = val_eval.Evaluate(*trainer.model(), {5}).AtK(5).ndcg;
+    if (ndcg > best_ndcg) {
+      best_ndcg = ndcg;
+      best_lambda = lambda;
+    }
+  }
+  EXPECT_GE(best_lambda, 0.0);
+  EXPECT_GT(best_ndcg, 0.0);
+}
+
+TEST_F(EndToEndTest, ModelRoundTripsThroughDiskWithIdenticalMetrics) {
+  ClapfOptions opts;
+  opts.sgd.num_factors = 8;
+  opts.sgd.iterations = 10000;
+  opts.sgd.seed = 3;
+  ClapfTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(split_->train).ok());
+
+  std::string path = ::testing::TempDir() + "e2e_model.clpf";
+  ASSERT_TRUE(SaveModel(*trainer.model(), path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+
+  Evaluator eval(&split_->train, &split_->test);
+  auto before = eval.Evaluate(*trainer.model(), {5});
+  auto after = eval.Evaluate(*loaded, {5});
+  EXPECT_DOUBLE_EQ(before.map, after.map);
+  EXPECT_DOUBLE_EQ(before.mrr, after.mrr);
+  EXPECT_DOUBLE_EQ(before.AtK(5).ndcg, after.AtK(5).ndcg);
+}
+
+TEST_F(EndToEndTest, FactoryMethodsTrainAndEvaluate) {
+  // Smoke every factory method end-to-end at tiny budgets.
+  MethodConfig config;
+  config.sgd.num_factors = 4;
+  config.sgd.iterations = 2000;
+  config.climf.sgd.num_factors = 4;
+  config.climf.epochs = 2;
+  config.wmf.num_factors = 4;
+  config.wmf.sweeps = 2;
+  config.neumf.embedding_dim = 4;
+  config.neumf.epochs = 1;
+  config.neupr.embedding_dim = 4;
+  config.neupr.iterations = 2000;
+  config.deepicf.embedding_dim = 4;
+  config.deepicf.epochs = 1;
+  config.random_walk.walk_length = 5;
+  config.random_walk.reachable_threshold = 1;
+
+  Evaluator eval(&split_->train, &split_->test);
+  for (MethodKind kind : AllMethods()) {
+    auto trainer = MakeTrainer(kind, config);
+    ASSERT_TRUE(trainer->Train(split_->train).ok()) << MethodName(kind);
+    auto summary = eval.Evaluate(*trainer, {5});
+    EXPECT_GT(summary.users_evaluated, 0) << MethodName(kind);
+    EXPECT_GE(summary.auc, 0.0) << MethodName(kind);
+    EXPECT_LE(summary.auc, 1.0) << MethodName(kind);
+  }
+}
+
+TEST_F(EndToEndTest, RepeatedProtocolAggregates) {
+  std::vector<EvalSummary> runs;
+  std::vector<double> times;
+  for (uint64_t rep = 0; rep < 3; ++rep) {
+    SyntheticConfig cfg;
+    cfg.num_users = 40;
+    cfg.num_items = 60;
+    cfg.num_interactions = 1200;
+    cfg.seed = 3000 + rep;
+    auto split = SplitRandom(*GenerateSynthetic(cfg), 0.5, 3100 + rep);
+
+    ClapfOptions opts;
+    opts.sgd.num_factors = 4;
+    opts.sgd.iterations = 8000;
+    opts.sgd.seed = rep;
+    ClapfTrainer trainer(opts);
+    Stopwatch watch;
+    ASSERT_TRUE(trainer.Train(split.train).ok());
+    times.push_back(watch.ElapsedSeconds());
+
+    Evaluator eval(&split.train, &split.test);
+    runs.push_back(eval.Evaluate(*trainer.model(), {5}));
+  }
+  auto agg = Aggregate(runs, times);
+  EXPECT_EQ(agg.num_runs, 3);
+  EXPECT_GT(agg.auc.mean, 0.5);
+  EXPECT_GE(agg.train_seconds.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,205 @@
+// Cross-module property tests: randomized inputs, invariants that must hold
+// regardless of the draw.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "clapf/clapf.h"
+#include "clapf/util/csv.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+// --- CSV round trip survives arbitrary printable content. -----------------
+
+class CsvFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsvFuzzTest, RoundTripsRandomFields) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 5);
+  const char alphabet[] = "abc,\"\n\r;| 123";
+  std::vector<std::vector<std::string>> rows;
+  for (int r = 0; r < 8; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < 4; ++c) {
+      std::string field;
+      const size_t len = rng.Uniform(10);
+      for (size_t i = 0; i < len; ++i) {
+        field += alphabet[rng.Uniform(sizeof(alphabet) - 1)];
+      }
+      row.push_back(field);
+    }
+    rows.push_back(row);
+  }
+
+  std::string path = ::testing::TempDir() + "csv_fuzz_" +
+                     std::to_string(GetParam()) + ".csv";
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (const auto& row : rows) ASSERT_TRUE(writer.WriteRow(row).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ((*read)[r], rows[r]) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest, ::testing::Range(0, 8));
+
+// --- Dataset builder: CSR reconstruction equals the input pair set. -------
+
+class DatasetBuilderFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetBuilderFuzzTest, CsrMatchesPairSet) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 7);
+  const int32_t n = 1 + static_cast<int32_t>(rng.Uniform(20));
+  const int32_t m = 1 + static_cast<int32_t>(rng.Uniform(30));
+  std::set<std::pair<UserId, ItemId>> truth;
+  DatasetBuilder builder(n, m);
+  const int draws = static_cast<int>(rng.Uniform(200));
+  for (int i = 0; i < draws; ++i) {
+    UserId u = static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(n)));
+    ItemId item = static_cast<ItemId>(rng.Uniform(static_cast<uint64_t>(m)));
+    truth.emplace(u, item);
+    ASSERT_TRUE(builder.Add(u, item).ok());
+  }
+  Dataset ds = builder.Build();
+
+  EXPECT_EQ(ds.num_interactions(), static_cast<int64_t>(truth.size()));
+  for (UserId u = 0; u < n; ++u) {
+    auto items = ds.ItemsOf(u);
+    EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+    for (ItemId i : items) EXPECT_TRUE(truth.count({u, i}));
+    for (ItemId i = 0; i < m; ++i) {
+      EXPECT_EQ(ds.IsObserved(u, i), truth.count({u, i}) > 0)
+          << "u=" << u << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetBuilderFuzzTest,
+                         ::testing::Range(0, 10));
+
+// --- Evaluator agrees with a brute-force reference implementation. --------
+
+class EvaluatorCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluatorCrossCheckTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 41 + 3);
+  const int32_t n = 6, m = 15;
+  DatasetBuilder train_builder(n, m), test_builder(n, m);
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId i = 0; i < m; ++i) {
+      double r = rng.NextDouble();
+      if (r < 0.2) {
+        CLAPF_CHECK_OK(train_builder.Add(u, i));
+      } else if (r < 0.4) {
+        CLAPF_CHECK_OK(test_builder.Add(u, i));
+      }
+    }
+  }
+  Dataset train = train_builder.Build();
+  Dataset test = test_builder.Build();
+
+  FactorModel model(n, m, 4);
+  model.InitGaussian(rng, 0.7);
+
+  Evaluator evaluator(&train, &test);
+  EvalSummary got = evaluator.Evaluate(model, {3});
+
+  // Brute force: per user, sort candidates, recompute Prec@3 and MRR.
+  double prec_sum = 0.0, mrr_sum = 0.0;
+  int users = 0;
+  for (UserId u = 0; u < n; ++u) {
+    if (test.NumItemsOf(u) == 0) continue;
+    std::vector<std::pair<double, ItemId>> cand;
+    for (ItemId i = 0; i < m; ++i) {
+      if (!train.IsObserved(u, i)) cand.emplace_back(model.Score(u, i), i);
+    }
+    std::sort(cand.begin(), cand.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    int hits3 = 0;
+    double rr = 0.0;
+    for (size_t pos = 0; pos < cand.size(); ++pos) {
+      const bool rel = test.IsObserved(u, cand[pos].second);
+      if (rel && pos < 3) ++hits3;
+      if (rel && rr == 0.0) rr = 1.0 / static_cast<double>(pos + 1);
+    }
+    prec_sum += hits3 / 3.0;
+    mrr_sum += rr;
+    ++users;
+  }
+  ASSERT_GT(users, 0);
+  EXPECT_EQ(got.users_evaluated, users);
+  EXPECT_NEAR(got.AtK(3).precision, prec_sum / users, 1e-12);
+  EXPECT_NEAR(got.mrr, mrr_sum / users, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorCrossCheckTest,
+                         ::testing::Range(0, 10));
+
+// --- Model persistence is lossless for random models. ---------------------
+
+class ModelIoFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelIoFuzzTest, RoundTripExact) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  const int32_t n = 1 + static_cast<int32_t>(rng.Uniform(12));
+  const int32_t m = 1 + static_cast<int32_t>(rng.Uniform(12));
+  const int32_t d = 1 + static_cast<int32_t>(rng.Uniform(8));
+  FactorModel model(n, m, d, rng.Bernoulli(0.5));
+  model.InitGaussian(rng, 1.0);
+  for (ItemId i = 0; i < m; ++i) model.ItemBias(i) = rng.NextGaussian();
+
+  std::string path = ::testing::TempDir() + "model_fuzz_" +
+                     std::to_string(GetParam()) + ".clpf";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId i = 0; i < m; ++i) {
+      EXPECT_DOUBLE_EQ(loaded->Score(u, i), model.Score(u, i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelIoFuzzTest, ::testing::Range(0, 8));
+
+// --- Splits: every observed pair lands in exactly one side. ---------------
+
+class SplitFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitFuzzTest, PartitionInvariant) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17 + 11);
+  SyntheticConfig cfg;
+  cfg.num_users = 10 + static_cast<int32_t>(rng.Uniform(30));
+  cfg.num_items = 10 + static_cast<int32_t>(rng.Uniform(50));
+  cfg.num_interactions =
+      std::min<int64_t>(static_cast<int64_t>(cfg.num_users) * cfg.num_items,
+                        100 + static_cast<int64_t>(rng.Uniform(400)));
+  cfg.seed = rng.Next();
+  Dataset data = *GenerateSynthetic(cfg);
+  double fraction = 0.1 + 0.8 * rng.NextDouble();
+  auto split = SplitRandom(data, fraction, rng.Next());
+
+  EXPECT_EQ(split.train.num_interactions() + split.test.num_interactions(),
+            data.num_interactions());
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    for (ItemId i : data.ItemsOf(u)) {
+      EXPECT_NE(split.train.IsObserved(u, i), split.test.IsObserved(u, i))
+          << "pair must be in exactly one side";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitFuzzTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,118 @@
+#include "clapf/model/factor_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(FactorModelTest, ZeroInitializedScoresAreZero) {
+  FactorModel model(3, 4, 2);
+  for (UserId u = 0; u < 3; ++u) {
+    for (ItemId i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ(model.Score(u, i), 0.0);
+    }
+  }
+}
+
+TEST(FactorModelTest, ScoreIsDotProductPlusBias) {
+  FactorModel model(1, 1, 2);
+  model.UserFactors(0)[0] = 2.0;
+  model.UserFactors(0)[1] = -1.0;
+  model.ItemFactors(0)[0] = 3.0;
+  model.ItemFactors(0)[1] = 4.0;
+  model.ItemBias(0) = 0.5;
+  EXPECT_DOUBLE_EQ(model.Score(0, 0), 2.0 * 3.0 + (-1.0) * 4.0 + 0.5);
+}
+
+TEST(FactorModelTest, BiasDisabledIgnoresBias) {
+  FactorModel model(1, 1, 1, /*use_item_bias=*/false);
+  model.UserFactors(0)[0] = 1.0;
+  model.ItemFactors(0)[0] = 1.0;
+  model.ItemBias(0) = 100.0;
+  EXPECT_DOUBLE_EQ(model.Score(0, 0), 1.0);
+}
+
+TEST(FactorModelTest, ScoreAllItemsMatchesScore) {
+  FactorModel model(2, 5, 3);
+  Rng rng(7);
+  model.InitGaussian(rng, 0.5);
+  std::vector<double> scores;
+  model.ScoreAllItems(1, &scores);
+  ASSERT_EQ(scores.size(), 5u);
+  for (ItemId i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(scores[static_cast<size_t>(i)], model.Score(1, i));
+  }
+}
+
+TEST(FactorModelTest, InitGaussianIsDeterministic) {
+  FactorModel a(4, 4, 3), b(4, 4, 3);
+  Rng ra(11), rb(11);
+  a.InitGaussian(ra, 0.1);
+  b.InitGaussian(rb, 0.1);
+  EXPECT_EQ(a.user_factor_data(), b.user_factor_data());
+  EXPECT_EQ(a.item_factor_data(), b.item_factor_data());
+}
+
+TEST(FactorModelTest, InitGaussianStddevScales) {
+  FactorModel model(50, 50, 10);
+  Rng rng(13);
+  model.InitGaussian(rng, 0.01);
+  double sum_sq = 0.0;
+  for (double x : model.user_factor_data()) sum_sq += x * x;
+  double std = std::sqrt(sum_sq / model.user_factor_data().size());
+  EXPECT_NEAR(std, 0.01, 0.002);
+}
+
+TEST(FactorModelTest, InitUniformStaysInRange) {
+  FactorModel model(10, 10, 5);
+  Rng rng(17);
+  model.InitUniform(rng, 0.2);
+  for (double x : model.user_factor_data()) {
+    EXPECT_GE(x, -0.2);
+    EXPECT_LE(x, 0.2);
+  }
+}
+
+TEST(FactorModelTest, TopKExcludesObservedItems) {
+  // Exact score control: user 0 scores items 0..3 as 4,3,2,1.
+  FactorModel model = testing::MakeExactModel({{4.0, 3.0, 2.0, 1.0}});
+  Dataset observed = testing::MakeDataset(1, 4, {{0, 0}});
+  auto top = model.TopKForUser(0, 2, &observed);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 1);  // item 0 excluded
+  EXPECT_EQ(top[1].item, 2);
+}
+
+TEST(FactorModelTest, TopKWithoutExclusion) {
+  FactorModel model = testing::MakeExactModel({{1.0, 9.0, 5.0}});
+  auto top = model.TopKForUser(0, 2, nullptr);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 1);
+  EXPECT_EQ(top[1].item, 2);
+}
+
+TEST(FactorModelTest, SquaredNormSumsAllParameters) {
+  FactorModel model(1, 1, 1);
+  model.UserFactors(0)[0] = 2.0;
+  model.ItemFactors(0)[0] = 3.0;
+  model.ItemBias(0) = 1.0;
+  EXPECT_DOUBLE_EQ(model.SquaredNorm(), 4.0 + 9.0 + 1.0);
+}
+
+TEST(FactorModelTest, ExactModelHelperReproducesScores) {
+  std::vector<std::vector<double>> scores{{0.5, -1.0, 2.0}, {3.0, 0.0, -0.5}};
+  FactorModel model = testing::MakeExactModel(scores);
+  for (UserId u = 0; u < 2; ++u) {
+    for (ItemId i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(model.Score(u, i),
+                       scores[static_cast<size_t>(u)][static_cast<size_t>(i)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clapf

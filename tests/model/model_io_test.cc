@@ -1,0 +1,83 @@
+#include "clapf/model/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "clapf/util/random.h"
+
+namespace clapf {
+namespace {
+
+TEST(ModelIoTest, RoundTripPreservesEverything) {
+  FactorModel model(7, 11, 4, /*use_item_bias=*/true);
+  Rng rng(3);
+  model.InitGaussian(rng, 0.3);
+  for (ItemId i = 0; i < 11; ++i) model.ItemBias(i) = 0.1 * i;
+
+  std::string path = ::testing::TempDir() + "model_roundtrip.clpf";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_users(), 7);
+  EXPECT_EQ(loaded->num_items(), 11);
+  EXPECT_EQ(loaded->num_factors(), 4);
+  EXPECT_TRUE(loaded->use_item_bias());
+  EXPECT_EQ(loaded->user_factor_data(), model.user_factor_data());
+  EXPECT_EQ(loaded->item_factor_data(), model.item_factor_data());
+  EXPECT_EQ(loaded->item_bias_data(), model.item_bias_data());
+}
+
+TEST(ModelIoTest, RoundTripWithoutBias) {
+  FactorModel model(2, 3, 2, /*use_item_bias=*/false);
+  Rng rng(5);
+  model.InitGaussian(rng, 0.1);
+  std::string path = ::testing::TempDir() + "model_nobias.clpf";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->use_item_bias());
+  for (UserId u = 0; u < 2; ++u) {
+    for (ItemId i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(loaded->Score(u, i), model.Score(u, i));
+    }
+  }
+}
+
+TEST(ModelIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadModel("/no/such/model.clpf").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(ModelIoTest, BadMagicIsCorruption) {
+  std::string path = ::testing::TempDir() + "bad_magic.clpf";
+  std::ofstream(path) << "NOTAMODELFILE____________";
+  EXPECT_EQ(LoadModel(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ModelIoTest, TruncatedFileIsCorruption) {
+  FactorModel model(5, 5, 3);
+  std::string full_path = ::testing::TempDir() + "full_model.clpf";
+  ASSERT_TRUE(SaveModel(model, full_path).ok());
+
+  // Copy only the first 40 bytes.
+  std::ifstream in(full_path, std::ios::binary);
+  std::vector<char> bytes(40);
+  in.read(bytes.data(), 40);
+  std::string trunc_path = ::testing::TempDir() + "trunc_model.clpf";
+  std::ofstream out(trunc_path, std::ios::binary);
+  out.write(bytes.data(), in.gcount());
+  out.close();
+
+  EXPECT_EQ(LoadModel(trunc_path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ModelIoTest, SaveToBadPathIsIoError) {
+  FactorModel model(1, 1, 1);
+  EXPECT_EQ(SaveModel(model, "/no-such-dir-xyz/m.clpf").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,61 @@
+#include "clapf/nn/activation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace clapf {
+namespace {
+
+TEST(ActivationTest, IdentityPassesThrough) {
+  EXPECT_DOUBLE_EQ(ApplyActivation(Activation::kIdentity, 3.7), 3.7);
+  EXPECT_DOUBLE_EQ(
+      ActivationDerivative(Activation::kIdentity, 3.7, 3.7), 1.0);
+}
+
+TEST(ActivationTest, ReluClampsNegatives) {
+  EXPECT_DOUBLE_EQ(ApplyActivation(Activation::kRelu, -2.0), 0.0);
+  EXPECT_DOUBLE_EQ(ApplyActivation(Activation::kRelu, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(ActivationDerivative(Activation::kRelu, -2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ActivationDerivative(Activation::kRelu, 2.0, 2.0), 1.0);
+}
+
+TEST(ActivationTest, SigmoidRange) {
+  EXPECT_DOUBLE_EQ(ApplyActivation(Activation::kSigmoid, 0.0), 0.5);
+  EXPECT_GT(ApplyActivation(Activation::kSigmoid, 5.0), 0.99);
+  EXPECT_LT(ApplyActivation(Activation::kSigmoid, -5.0), 0.01);
+}
+
+TEST(ActivationTest, TanhRange) {
+  EXPECT_DOUBLE_EQ(ApplyActivation(Activation::kTanh, 0.0), 0.0);
+  EXPECT_NEAR(ApplyActivation(Activation::kTanh, 100.0), 1.0, 1e-12);
+}
+
+// Property: analytic derivative matches a central difference for all smooth
+// activations across a range of points.
+class ActivationGradTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationGradTest, MatchesNumericDerivative) {
+  const Activation act = GetParam();
+  const double h = 1e-6;
+  for (double x : {-3.0, -1.0, -0.25, 0.1, 0.5, 2.0}) {
+    const double y = ApplyActivation(act, x);
+    const double numeric =
+        (ApplyActivation(act, x + h) - ApplyActivation(act, x - h)) / (2 * h);
+    EXPECT_NEAR(ActivationDerivative(act, x, y), numeric, 1e-5)
+        << ActivationName(act) << " at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Smooth, ActivationGradTest,
+                         ::testing::Values(Activation::kIdentity,
+                                           Activation::kSigmoid,
+                                           Activation::kTanh));
+
+TEST(ActivationTest, Names) {
+  EXPECT_STREQ(ActivationName(Activation::kRelu), "relu");
+  EXPECT_STREQ(ActivationName(Activation::kSigmoid), "sigmoid");
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,101 @@
+#include "clapf/nn/dense_layer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace clapf {
+namespace {
+
+TEST(DenseLayerTest, ForwardComputesAffineTransform) {
+  AdamConfig cfg;
+  DenseLayer layer(2, 1, Activation::kIdentity, cfg);
+  // Weights default to zero → output is the (zero) bias.
+  std::vector<double> x{1.0, 2.0};
+  auto y = layer.Forward(x);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+}
+
+TEST(DenseLayerTest, GlorotInitBounded) {
+  AdamConfig cfg;
+  DenseLayer layer(100, 50, Activation::kRelu, cfg);
+  Rng rng(5);
+  layer.Init(rng);
+  const double limit = std::sqrt(6.0 / 150.0);
+  for (double w : layer.weights()) {
+    EXPECT_GE(w, -limit);
+    EXPECT_LE(w, limit);
+  }
+  for (double b : layer.biases()) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+// Numeric gradient check: dLoss/dInput from Backward matches central
+// differences of the forward pass, for each activation.
+class DenseLayerGradCheck : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(DenseLayerGradCheck, InputGradientMatchesNumeric) {
+  const Activation act = GetParam();
+  // Use a no-op learning rate so BackwardAndStep doesn't perturb params
+  // before we finish the check.
+  AdamConfig cfg;
+  cfg.learning_rate = 0.0;
+  DenseLayer layer(3, 2, act, cfg);
+  Rng rng(11);
+  layer.Init(rng);
+
+  std::vector<double> x{0.3, -0.7, 1.1};
+  // Scalar loss L = Σ c_o * y_o with fixed coefficients.
+  std::vector<double> coeff{0.9, -1.3};
+
+  auto loss_at = [&](const std::vector<double>& input) {
+    auto y = layer.Forward(input);
+    double loss = 0.0;
+    for (size_t o = 0; o < y.size(); ++o) loss += coeff[o] * y[o];
+    return loss;
+  };
+
+  // Analytic gradient.
+  layer.Forward(x);
+  std::vector<double> grad_in = layer.BackwardAndStep(coeff);
+
+  const double h = 1e-6;
+  for (size_t i = 0; i < x.size(); ++i) {
+    auto xp = x;
+    xp[i] += h;
+    auto xm = x;
+    xm[i] -= h;
+    double numeric = (loss_at(xp) - loss_at(xm)) / (2 * h);
+    EXPECT_NEAR(grad_in[i], numeric, 1e-5)
+        << ActivationName(act) << " input " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, DenseLayerGradCheck,
+                         ::testing::Values(Activation::kIdentity,
+                                           Activation::kSigmoid,
+                                           Activation::kTanh,
+                                           Activation::kRelu));
+
+TEST(DenseLayerTest, LearnsLinearMap) {
+  // Teach y = 2*x0 - x1 with squared loss.
+  AdamConfig cfg;
+  cfg.learning_rate = 0.02;
+  DenseLayer layer(2, 1, Activation::kIdentity, cfg);
+  Rng rng(13);
+  layer.Init(rng);
+  Rng data_rng(17);
+  for (int step = 0; step < 4000; ++step) {
+    std::vector<double> x{data_rng.NextGaussian(), data_rng.NextGaussian()};
+    double target = 2.0 * x[0] - x[1];
+    double y = layer.Forward(x)[0];
+    double dloss = 2.0 * (y - target);
+    layer.BackwardAndStep(std::span<const double>(&dloss, 1));
+  }
+  EXPECT_NEAR(layer.weights()[0], 2.0, 0.1);
+  EXPECT_NEAR(layer.weights()[1], -1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,55 @@
+#include "clapf/nn/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace clapf {
+namespace {
+
+TEST(EmbeddingTest, InitFillsTable) {
+  Embedding emb(10, 4, AdamConfig{});
+  Rng rng(1);
+  emb.Init(rng, 0.1);
+  bool any_nonzero = false;
+  for (int32_t r = 0; r < 10; ++r) {
+    for (double x : emb.Row(r)) any_nonzero |= x != 0.0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(EmbeddingTest, RowsAreIndependent) {
+  Embedding emb(3, 2, AdamConfig{});
+  Rng rng(2);
+  emb.Init(rng, 0.1);
+  auto before_row1 = std::vector<double>(emb.Row(1).begin(), emb.Row(1).end());
+  std::vector<double> grad{1.0, 1.0};
+  emb.ApplyGradient(0, grad);
+  EXPECT_EQ(std::vector<double>(emb.Row(1).begin(), emb.Row(1).end()),
+            before_row1);
+}
+
+TEST(EmbeddingTest, GradientDescendsScalarObjective) {
+  // Drive row 0 toward target vector t by the gradient of ||row - t||^2.
+  Embedding emb(1, 3, AdamConfig{.learning_rate = 0.05});
+  Rng rng(3);
+  emb.Init(rng, 0.01);
+  const std::vector<double> target{1.0, -2.0, 0.5};
+  for (int step = 0; step < 1000; ++step) {
+    auto row = emb.Row(0);
+    std::vector<double> grad(3);
+    for (int f = 0; f < 3; ++f) grad[f] = 2.0 * (row[f] - target[f]);
+    emb.ApplyGradient(0, grad);
+  }
+  auto row = emb.Row(0);
+  for (int f = 0; f < 3; ++f) EXPECT_NEAR(row[f], target[f], 0.05) << f;
+}
+
+TEST(EmbeddingTest, MutableRowWritesThrough) {
+  Embedding emb(2, 2, AdamConfig{});
+  emb.MutableRow(1)[0] = 7.0;
+  EXPECT_DOUBLE_EQ(emb.Row(1)[0], 7.0);
+}
+
+}  // namespace
+}  // namespace clapf

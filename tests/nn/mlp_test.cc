@@ -1,0 +1,81 @@
+#include "clapf/nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace clapf {
+namespace {
+
+TEST(MlpTest, ShapesAreWired) {
+  Mlp mlp({8, 4, 2, 1}, Activation::kRelu, Activation::kIdentity,
+          AdamConfig{});
+  EXPECT_EQ(mlp.input_dim(), 8);
+  EXPECT_EQ(mlp.output_dim(), 1);
+  EXPECT_EQ(mlp.num_layers(), 3u);
+  EXPECT_EQ(mlp.layer(0).activation(), Activation::kRelu);
+  EXPECT_EQ(mlp.layer(2).activation(), Activation::kIdentity);
+}
+
+TEST(MlpTest, ForwardProducesOutput) {
+  Mlp mlp({3, 4, 2}, Activation::kTanh, Activation::kIdentity, AdamConfig{});
+  Rng rng(1);
+  mlp.Init(rng);
+  std::vector<double> x{0.1, -0.2, 0.3};
+  auto y = mlp.Forward(x);
+  EXPECT_EQ(y.size(), 2u);
+}
+
+TEST(MlpGradCheck, InputGradientMatchesNumeric) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.0;  // freeze params during the check
+  Mlp mlp({4, 5, 3, 1}, Activation::kTanh, Activation::kIdentity, cfg);
+  Rng rng(3);
+  mlp.Init(rng);
+
+  std::vector<double> x{0.5, -0.4, 0.2, 0.9};
+  auto loss_at = [&](const std::vector<double>& input) {
+    return mlp.Forward(input)[0];
+  };
+
+  mlp.Forward(x);
+  double one = 1.0;
+  auto grad_in = mlp.BackwardAndStep(std::span<const double>(&one, 1));
+
+  const double h = 1e-6;
+  for (size_t i = 0; i < x.size(); ++i) {
+    auto xp = x;
+    xp[i] += h;
+    auto xm = x;
+    xm[i] -= h;
+    double numeric = (loss_at(xp) - loss_at(xm)) / (2 * h);
+    EXPECT_NEAR(grad_in[i], numeric, 1e-5) << "input " << i;
+  }
+}
+
+TEST(MlpTest, LearnsXorWithTanhHidden) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  Mlp mlp({2, 8, 1}, Activation::kTanh, Activation::kIdentity, cfg);
+  Rng rng(7);
+  mlp.Init(rng);
+
+  const std::vector<std::pair<std::vector<double>, double>> data{
+      {{0.0, 0.0}, 0.0}, {{0.0, 1.0}, 1.0}, {{1.0, 0.0}, 1.0},
+      {{1.0, 1.0}, 0.0}};
+  for (int epoch = 0; epoch < 3000; ++epoch) {
+    for (const auto& [x, t] : data) {
+      double y = mlp.Forward(x)[0];
+      double dloss = 2.0 * (y - t);
+      mlp.BackwardAndStep(std::span<const double>(&dloss, 1));
+    }
+  }
+  for (const auto& [x, t] : data) {
+    EXPECT_NEAR(mlp.Forward(x)[0], t, 0.2)
+        << "(" << x[0] << "," << x[1] << ")";
+  }
+}
+
+}  // namespace
+}  // namespace clapf

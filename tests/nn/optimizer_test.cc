@@ -1,0 +1,77 @@
+#include "clapf/nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace clapf {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize f(x) = (x - 3)^2 from x = 0.
+  AdamConfig cfg;
+  cfg.learning_rate = 0.1;
+  AdamOptimizer opt(1, 1, cfg);
+  std::vector<double> x{0.0};
+  for (int step = 0; step < 500; ++step) {
+    std::vector<double> grad{2.0 * (x[0] - 3.0)};
+    opt.Update(0, grad, x);
+  }
+  EXPECT_NEAR(x[0], 3.0, 0.05);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  // With bias correction, the very first Adam step ≈ lr * sign(grad).
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  AdamOptimizer opt(1, 1, cfg);
+  std::vector<double> x{1.0};
+  std::vector<double> grad{123.0};
+  opt.Update(0, grad, x);
+  EXPECT_NEAR(x[0], 1.0 - 0.01, 1e-6);
+}
+
+TEST(AdamTest, SparseSlicesHaveIndependentState) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  AdamOptimizer opt(4, 2, cfg);  // two slices of size 2
+  std::vector<double> a{0.0, 0.0};
+  std::vector<double> g{1.0, 1.0};
+  // Update slice 0 many times; slice 1 never.
+  for (int i = 0; i < 10; ++i) opt.Update(0, g, a);
+  // A first update to slice 1 still behaves like a first Adam step.
+  std::vector<double> b{1.0, 1.0};
+  opt.Update(2, g, b);
+  EXPECT_NEAR(b[0], 1.0 - 0.01, 1e-6);
+  EXPECT_NEAR(b[1], 1.0 - 0.01, 1e-6);
+}
+
+TEST(AdamTest, WeightDecayShrinksParams) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  cfg.weight_decay = 1.0;
+  AdamOptimizer opt(1, 1, cfg);
+  std::vector<double> x{5.0};
+  std::vector<double> zero_grad{0.0};
+  for (int i = 0; i < 200; ++i) opt.Update(0, zero_grad, x);
+  EXPECT_LT(std::abs(x[0]), 5.0);
+}
+
+TEST(SgdStepTest, MovesAgainstGradient) {
+  std::vector<double> x{1.0, -1.0};
+  std::vector<double> g{0.5, -0.5};
+  SgdStep(0.1, 0.0, g, x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0 - 0.05);
+  EXPECT_DOUBLE_EQ(x[1], -1.0 + 0.05);
+}
+
+TEST(SgdStepTest, L2PullsTowardZero) {
+  std::vector<double> x{2.0};
+  std::vector<double> g{0.0};
+  SgdStep(0.1, 0.5, g, x);
+  EXPECT_DOUBLE_EQ(x[0], 2.0 - 0.1 * 0.5 * 2.0);
+}
+
+}  // namespace
+}  // namespace clapf

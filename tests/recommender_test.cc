@@ -1,0 +1,112 @@
+#include "clapf/recommender.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/model/model_io.h"
+#include "clapf/util/logging.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+// Scores: user 0 prefers item order 3 > 2 > 1 > 0; user 1 reversed. User 2
+// is cold (no history) in most tests.
+Recommender MakeRecommender(const Dataset& history) {
+  FactorModel model = testing::MakeExactModel({{0.0, 1.0, 2.0, 3.0},
+                                               {3.0, 2.0, 1.0, 0.0},
+                                               {0.5, 0.5, 0.5, 0.5}});
+  auto rec = Recommender::Create(std::move(model), history);
+  CLAPF_CHECK_OK(rec.status());
+  return *std::move(rec);
+}
+
+TEST(RecommenderTest, ExcludesHistory) {
+  Dataset history = testing::MakeDataset(3, 4, {{0, 3}, {1, 0}});
+  Recommender rec = MakeRecommender(history);
+  auto top = rec.Recommend(0, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].item, 2);  // item 3 is history
+  EXPECT_EQ((*top)[1].item, 1);
+}
+
+TEST(RecommenderTest, ExplicitExclusionList) {
+  Dataset history = testing::MakeDataset(3, 4, {{0, 3}});
+  Recommender rec = MakeRecommender(history);
+  auto top = rec.RecommendFiltered(0, 2, {2});
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)[0].item, 1);
+  // Out-of-range exclusions are ignored, not an error.
+  auto top2 = rec.RecommendFiltered(0, 1, {99, -5});
+  ASSERT_TRUE(top2.ok());
+  EXPECT_EQ((*top2)[0].item, 2);
+}
+
+TEST(RecommenderTest, ColdUserFallsBackToPopularity) {
+  // Item 1 is most popular in history; user 2 has no history.
+  Dataset history =
+      testing::MakeDataset(3, 4, {{0, 1}, {1, 1}, {0, 3}});
+  Recommender rec = MakeRecommender(history);
+  auto top = rec.Recommend(2, 1);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)[0].item, 1);  // by popularity, not the flat 0.5 scores
+}
+
+TEST(RecommenderTest, UnknownUserIsOutOfRange) {
+  Dataset history = testing::MakeDataset(3, 4, {{0, 0}});
+  Recommender rec = MakeRecommender(history);
+  EXPECT_EQ(rec.Recommend(7, 3).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(rec.Recommend(-1, 3).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RecommenderTest, ScoreChecksBothIds) {
+  Dataset history = testing::MakeDataset(3, 4, {{0, 0}});
+  Recommender rec = MakeRecommender(history);
+  auto s = rec.Score(0, 3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 3.0);
+  EXPECT_EQ(rec.Score(9, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(rec.Score(0, 9).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RecommenderTest, KZeroReturnsEmpty) {
+  Dataset history = testing::MakeDataset(3, 4, {});
+  Recommender rec = MakeRecommender(history);
+  auto top = rec.Recommend(0, 0);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->empty());
+}
+
+TEST(RecommenderTest, DimensionMismatchRejected) {
+  FactorModel model(2, 3, 1);
+  Dataset history = testing::MakeDataset(2, 4, {});
+  EXPECT_EQ(Recommender::Create(std::move(model), history).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RecommenderTest, SaveLoadRoundTrip) {
+  Dataset history = testing::MakeDataset(3, 4, {{0, 3}});
+  Recommender rec = MakeRecommender(history);
+  std::string path = ::testing::TempDir() + "recommender_model.clpf";
+  ASSERT_TRUE(rec.Save(path).ok());
+
+  auto loaded = Recommender::Load(path, history);
+  ASSERT_TRUE(loaded.ok());
+  auto a = rec.Recommend(0, 3);
+  auto b = loaded->Recommend(0, 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].item, (*b)[i].item);
+    EXPECT_DOUBLE_EQ((*a)[i].score, (*b)[i].score);
+  }
+}
+
+TEST(RecommenderTest, LoadMissingModelFails) {
+  Dataset history = testing::MakeDataset(1, 1, {});
+  EXPECT_EQ(Recommender::Load("/no/such/model.clpf", history).status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace clapf

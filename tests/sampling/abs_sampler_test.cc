@@ -1,0 +1,102 @@
+#include "clapf/sampling/abs_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/synthetic.h"
+#include "clapf/sampling/uniform_sampler.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+Dataset MediumData() {
+  SyntheticConfig cfg;
+  cfg.num_users = 25;
+  cfg.num_items = 100;
+  cfg.num_interactions = 500;
+  cfg.seed = 31;
+  return *GenerateSynthetic(cfg);
+}
+
+FactorModel WarmModel(const Dataset& ds, uint64_t seed) {
+  FactorModel model(ds.num_users(), ds.num_items(), 4);
+  Rng rng(seed);
+  model.InitGaussian(rng, 0.5);
+  return model;
+}
+
+TEST(AbsPairSamplerTest, PairsAreValid) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 1);
+  AbsPairSampler::Options opts;
+  AbsPairSampler sampler(&ds, &model, opts, 7);
+  for (int n = 0; n < 1000; ++n) {
+    PairSample p = sampler.Sample();
+    EXPECT_TRUE(ds.IsObserved(p.u, p.i));
+    EXPECT_FALSE(ds.IsObserved(p.u, p.j));
+  }
+}
+
+TEST(AbsPairSamplerTest, PureAlphaActsLikeDns) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 2);
+  AbsPairSampler::Options opts;
+  opts.alpha = 1.0;
+  opts.beta = 0.0;
+  AbsPairSampler abs(&ds, &model, opts, 11);
+  UniformPairSampler uniform(&ds, 11);
+  double abs_sum = 0.0, uni_sum = 0.0;
+  const int draws = 3000;
+  for (int n = 0; n < draws; ++n) {
+    PairSample pa = abs.Sample();
+    PairSample pu = uniform.Sample();
+    abs_sum += model.Score(pa.u, pa.j);
+    uni_sum += model.Score(pu.u, pu.j);
+  }
+  EXPECT_GT(abs_sum / draws, uni_sum / draws);
+}
+
+TEST(AbsPairSamplerTest, PureBetaFavorsPopularNegatives) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 3);
+  AbsPairSampler::Options opts;
+  opts.alpha = 0.0;
+  opts.beta = 1.0;
+  AbsPairSampler abs(&ds, &model, opts, 13);
+  UniformPairSampler uniform(&ds, 13);
+  auto pop = ds.ItemPopularity();
+  double abs_pop = 0.0, uni_pop = 0.0;
+  const int draws = 4000;
+  for (int n = 0; n < draws; ++n) {
+    abs_pop += static_cast<double>(pop[abs.Sample().j]);
+    uni_pop += static_cast<double>(pop[uniform.Sample().j]);
+  }
+  EXPECT_GT(abs_pop / draws, uni_pop / draws);
+}
+
+TEST(AbsPairSamplerTest, DeterministicGivenSeed) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 4);
+  AbsPairSampler::Options opts;
+  AbsPairSampler a(&ds, &model, opts, 17);
+  AbsPairSampler b(&ds, &model, opts, 17);
+  for (int n = 0; n < 200; ++n) {
+    PairSample pa = a.Sample();
+    PairSample pb = b.Sample();
+    EXPECT_EQ(pa.u, pb.u);
+    EXPECT_EQ(pa.i, pb.i);
+    EXPECT_EQ(pa.j, pb.j);
+  }
+}
+
+TEST(AbsPairSamplerDeathTest, RejectsBadMixture) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 5);
+  AbsPairSampler::Options opts;
+  opts.alpha = 0.8;
+  opts.beta = 0.5;  // sum > 1
+  EXPECT_DEATH(AbsPairSampler(&ds, &model, opts, 1), "Check failed");
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "clapf/data/synthetic.h"
+#include "clapf/sampling/aobpr_sampler.h"
+#include "clapf/sampling/dns_sampler.h"
+#include "clapf/sampling/uniform_sampler.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+Dataset MediumData() {
+  SyntheticConfig cfg;
+  cfg.num_users = 25;
+  cfg.num_items = 100;
+  cfg.num_interactions = 500;
+  cfg.seed = 31;
+  return *GenerateSynthetic(cfg);
+}
+
+FactorModel WarmModel(const Dataset& ds, uint64_t seed) {
+  FactorModel model(ds.num_users(), ds.num_items(), 4);
+  Rng rng(seed);
+  model.InitGaussian(rng, 0.5);
+  return model;
+}
+
+TEST(DnsPairSamplerTest, PairsAreValid) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 1);
+  DnsPairSampler sampler(&ds, &model, 5, 7);
+  for (int n = 0; n < 1000; ++n) {
+    PairSample p = sampler.Sample();
+    EXPECT_TRUE(ds.IsObserved(p.u, p.i));
+    EXPECT_FALSE(ds.IsObserved(p.u, p.j));
+  }
+}
+
+TEST(DnsPairSamplerTest, PicksHarderNegativesThanUniform) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 2);
+  DnsPairSampler dns(&ds, &model, 8, 11);
+  UniformPairSampler uniform(&ds, 11);
+  double dns_sum = 0.0, uni_sum = 0.0;
+  const int draws = 3000;
+  for (int n = 0; n < draws; ++n) {
+    PairSample pd = dns.Sample();
+    PairSample pu = uniform.Sample();
+    dns_sum += model.Score(pd.u, pd.j);
+    uni_sum += model.Score(pu.u, pu.j);
+  }
+  EXPECT_GT(dns_sum, uni_sum);
+}
+
+TEST(DnsPairSamplerTest, OneCandidateEqualsUniformBehaviour) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 3);
+  DnsPairSampler sampler(&ds, &model, 1, 13);
+  // With a single candidate there is no selection pressure; just validity.
+  for (int n = 0; n < 200; ++n) {
+    PairSample p = sampler.Sample();
+    EXPECT_FALSE(ds.IsObserved(p.u, p.j));
+  }
+}
+
+TEST(AobprPairSamplerTest, PairsAreValid) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 4);
+  AobprPairSampler::Options opts;
+  AobprPairSampler sampler(&ds, &model, opts, 17);
+  for (int n = 0; n < 1000; ++n) {
+    PairSample p = sampler.Sample();
+    EXPECT_TRUE(ds.IsObserved(p.u, p.i));
+    EXPECT_FALSE(ds.IsObserved(p.u, p.j));
+  }
+}
+
+TEST(AobprPairSamplerTest, OversamplesHighScoredNegatives) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 5);
+  AobprPairSampler::Options opts;
+  opts.tail_fraction = 0.03;
+  AobprPairSampler aobpr(&ds, &model, opts, 19);
+  UniformPairSampler uniform(&ds, 19);
+  double ao_sum = 0.0, uni_sum = 0.0;
+  const int draws = 4000;
+  for (int n = 0; n < draws; ++n) {
+    PairSample pa = aobpr.Sample();
+    PairSample pu = uniform.Sample();
+    ao_sum += model.Score(pa.u, pa.j);
+    uni_sum += model.Score(pu.u, pu.j);
+  }
+  EXPECT_GT(ao_sum / draws, uni_sum / draws);
+}
+
+TEST(AobprPairSamplerTest, DeterministicGivenSeed) {
+  Dataset ds = MediumData();
+  FactorModel model = WarmModel(ds, 6);
+  AobprPairSampler::Options opts;
+  AobprPairSampler a(&ds, &model, opts, 23);
+  AobprPairSampler b(&ds, &model, opts, 23);
+  for (int n = 0; n < 100; ++n) {
+    PairSample pa = a.Sample();
+    PairSample pb = b.Sample();
+    EXPECT_EQ(pa.u, pb.u);
+    EXPECT_EQ(pa.i, pb.i);
+    EXPECT_EQ(pa.j, pb.j);
+  }
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,61 @@
+#include "clapf/sampling/alias.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace clapf {
+namespace {
+
+TEST(AliasTableTest, UniformWeights) {
+  AliasTable table({1.0, 1.0, 1.0, 1.0});
+  Rng rng(1);
+  std::vector<int> hits(4, 0);
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) ++hits[table.Sample(rng)];
+  for (int h : hits) EXPECT_NEAR(h / static_cast<double>(draws), 0.25, 0.02);
+}
+
+TEST(AliasTableTest, SkewedWeightsMatchFrequencies) {
+  AliasTable table({1.0, 2.0, 7.0});
+  Rng rng(2);
+  std::vector<int> hits(3, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++hits[table.Sample(rng)];
+  EXPECT_NEAR(hits[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(draws), 0.2, 0.015);
+  EXPECT_NEAR(hits[2] / static_cast<double>(draws), 0.7, 0.02);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({1.0, 0.0, 1.0});
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, SingleElement) {
+  AliasTable table({42.0});
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ReconstructedProbabilitiesSumToOne) {
+  std::vector<double> weights{3.0, 0.5, 0.0, 2.5, 9.0, 1.0};
+  AliasTable table(weights);
+  double total = 0.0, wsum = 0.0;
+  for (double w : weights) wsum += w;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double p = table.ProbabilityOf(i);
+    EXPECT_NEAR(p, weights[i] / wsum, 1e-9) << i;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AliasTableDeathTest, RejectsInvalidWeights) {
+  EXPECT_DEATH(AliasTable({0.0, 0.0}), "zero");
+  EXPECT_DEATH(AliasTable({1.0, -0.5}), "negative");
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,155 @@
+#include "clapf/sampling/dss_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/data/synthetic.h"
+#include "clapf/sampling/uniform_sampler.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+// A model with informative structure so adaptivity is measurable.
+FactorModel MakeWarmModel(const Dataset& ds, uint64_t seed) {
+  FactorModel model(ds.num_users(), ds.num_items(), 4);
+  Rng rng(seed);
+  model.InitGaussian(rng, 0.5);
+  return model;
+}
+
+Dataset MediumData() {
+  SyntheticConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_items = 120;
+  cfg.num_interactions = 600;
+  cfg.seed = 21;
+  return *GenerateSynthetic(cfg);
+}
+
+TEST(DssSamplerTest, TriplesAreValid) {
+  Dataset ds = MediumData();
+  FactorModel model = MakeWarmModel(ds, 1);
+  DssOptions opts;
+  DssSampler sampler(&ds, &model, opts, 7);
+  for (int n = 0; n < 2000; ++n) {
+    Triple t = sampler.Sample();
+    EXPECT_TRUE(ds.IsObserved(t.u, t.i));
+    EXPECT_TRUE(ds.IsObserved(t.u, t.k));
+    EXPECT_FALSE(ds.IsObserved(t.u, t.j));
+  }
+}
+
+TEST(DssSamplerTest, DeterministicGivenSeed) {
+  Dataset ds = MediumData();
+  FactorModel model = MakeWarmModel(ds, 2);
+  DssOptions opts;
+  DssSampler a(&ds, &model, opts, 42);
+  DssSampler b(&ds, &model, opts, 42);
+  for (int n = 0; n < 200; ++n) {
+    Triple ta = a.Sample();
+    Triple tb = b.Sample();
+    EXPECT_EQ(ta.u, tb.u);
+    EXPECT_EQ(ta.i, tb.i);
+    EXPECT_EQ(ta.k, tb.k);
+    EXPECT_EQ(ta.j, tb.j);
+  }
+}
+
+TEST(DssSamplerTest, NegativeOversamplingPicksHigherScoredJ) {
+  // DSS draws j from the head of factor rankings, so the sampled negatives
+  // should score higher under the model than uniform negatives.
+  Dataset ds = MediumData();
+  FactorModel model = MakeWarmModel(ds, 3);
+  DssOptions opts;
+  opts.variant = ClapfVariant::kMrr;
+  DssSampler dss(&ds, &model, opts, 11);
+  UniformTripleSampler uniform(&ds, 11);
+
+  double dss_sum = 0.0, uni_sum = 0.0;
+  const int draws = 4000;
+  for (int n = 0; n < draws; ++n) {
+    Triple td = dss.Sample();
+    Triple tu = uniform.Sample();
+    dss_sum += model.Score(td.u, td.j);
+    uni_sum += model.Score(tu.u, tu.j);
+  }
+  EXPECT_GT(dss_sum / draws, uni_sum / draws);
+}
+
+TEST(DssSamplerTest, MapVariantPicksLowScoredCompanion) {
+  // CLAPF-MAP draws k from the bottom of the observed ranking; CLAPF-MRR
+  // from the top. Compare mean model scores of the sampled k.
+  Dataset ds = MediumData();
+  FactorModel model = MakeWarmModel(ds, 4);
+  DssOptions map_opts;
+  map_opts.variant = ClapfVariant::kMap;
+  DssOptions mrr_opts;
+  mrr_opts.variant = ClapfVariant::kMrr;
+  DssSampler map_sampler(&ds, &model, map_opts, 13);
+  DssSampler mrr_sampler(&ds, &model, mrr_opts, 13);
+
+  double map_sum = 0.0, mrr_sum = 0.0;
+  const int draws = 4000;
+  for (int n = 0; n < draws; ++n) {
+    Triple tm = map_sampler.Sample();
+    Triple tr = mrr_sampler.Sample();
+    map_sum += model.Score(tm.u, tm.k);
+    mrr_sum += model.Score(tr.u, tr.k);
+  }
+  EXPECT_LT(map_sum / draws, mrr_sum / draws);
+}
+
+TEST(DssSamplerTest, PartialModesDegradeGracefully) {
+  Dataset ds = MediumData();
+  FactorModel model = MakeWarmModel(ds, 5);
+
+  DssOptions pos_only;
+  pos_only.adaptive_negative = false;
+  DssSampler positive(&ds, &model, pos_only, 17);
+  EXPECT_STREQ(positive.name(), "PositiveSampling");
+
+  DssOptions neg_only;
+  neg_only.adaptive_positive = false;
+  DssSampler negative(&ds, &model, neg_only, 17);
+  EXPECT_STREQ(negative.name(), "NegativeSampling");
+
+  DssOptions full;
+  DssSampler dss(&ds, &model, full, 17);
+  EXPECT_STREQ(dss.name(), "DSS");
+
+  for (int n = 0; n < 500; ++n) {
+    for (DssSampler* s : {&positive, &negative, &dss}) {
+      Triple t = s->Sample();
+      EXPECT_TRUE(ds.IsObserved(t.u, t.i));
+      EXPECT_TRUE(ds.IsObserved(t.u, t.k));
+      EXPECT_FALSE(ds.IsObserved(t.u, t.j));
+    }
+  }
+}
+
+TEST(DssSamplerTest, RefreshHappensOnSchedule) {
+  Dataset ds = MediumData();
+  FactorModel model = MakeWarmModel(ds, 6);
+  DssOptions opts;
+  opts.refresh_interval = 100;
+  DssSampler sampler(&ds, &model, opts, 19);
+  const int64_t initial = sampler.refresh_count();
+  for (int n = 0; n < 350; ++n) sampler.Sample();
+  EXPECT_EQ(sampler.refresh_count(), initial + 3);
+}
+
+TEST(DssSamplerTest, SingleItemUserStillSamples) {
+  Dataset ds = testing::MakeDataset(1, 10, {{0, 4}});
+  FactorModel model = MakeWarmModel(ds, 7);
+  DssOptions opts;
+  DssSampler sampler(&ds, &model, opts, 23);
+  for (int n = 0; n < 100; ++n) {
+    Triple t = sampler.Sample();
+    EXPECT_EQ(t.i, 4);
+    EXPECT_EQ(t.k, 4);
+    EXPECT_NE(t.j, 4);
+  }
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,68 @@
+#include "clapf/sampling/geometric.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace clapf {
+namespace {
+
+TEST(GeometricRankSamplerTest, StaysInRange) {
+  GeometricRankSampler sampler(0.1);
+  Rng rng(1);
+  for (size_t size : {1ul, 2ul, 10ul, 1000ul}) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_LT(sampler.Sample(size, rng), size);
+    }
+  }
+}
+
+TEST(GeometricRankSamplerTest, SizeOneAlwaysZero) {
+  GeometricRankSampler sampler(0.5);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sampler.Sample(1, rng), 0u);
+}
+
+TEST(GeometricRankSamplerTest, HeadIsHeavierThanTail) {
+  GeometricRankSampler sampler(0.05);
+  Rng rng(3);
+  const size_t size = 1000;
+  size_t head = 0, tail = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    size_t pos = sampler.Sample(size, rng);
+    if (pos < 100) ++head;
+    if (pos >= 900) ++tail;
+  }
+  EXPECT_GT(head, 10 * std::max<size_t>(tail, 1));
+}
+
+TEST(GeometricRankSamplerTest, SmallerTailFractionConcentratesMore) {
+  Rng rng1(4), rng2(4);
+  GeometricRankSampler aggressive(0.01);
+  GeometricRankSampler mild(0.5);
+  const size_t size = 1000;
+  const int draws = 10000;
+  double mean_aggressive = 0.0, mean_mild = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    mean_aggressive += static_cast<double>(aggressive.Sample(size, rng1));
+    mean_mild += static_cast<double>(mild.Sample(size, rng2));
+  }
+  EXPECT_LT(mean_aggressive / draws, mean_mild / draws);
+}
+
+TEST(GeometricRankSamplerTest, EveryPositionReachableForSmallLists) {
+  GeometricRankSampler sampler(0.3);
+  Rng rng(5);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) ++hits[sampler.Sample(5, rng)];
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(GeometricRankSamplerDeathTest, RejectsBadTailFraction) {
+  EXPECT_DEATH(GeometricRankSampler(0.0), "Check failed");
+  EXPECT_DEATH(GeometricRankSampler(1.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace clapf

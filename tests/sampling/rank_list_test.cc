@@ -1,0 +1,70 @@
+#include "clapf/sampling/rank_list.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/util/random.h"
+
+namespace clapf {
+namespace {
+
+TEST(FactorRankListTest, RanksDescendingPerFactor) {
+  FactorModel model(1, 4, 2);
+  // Factor 0 values: item0=0.1, item1=0.9, item2=0.5, item3=-0.3.
+  model.ItemFactors(0)[0] = 0.1;
+  model.ItemFactors(1)[0] = 0.9;
+  model.ItemFactors(2)[0] = 0.5;
+  model.ItemFactors(3)[0] = -0.3;
+  FactorRankList list(&model);
+
+  EXPECT_EQ(list.ItemAt(0, 0, false), 1);
+  EXPECT_EQ(list.ItemAt(0, 1, false), 2);
+  EXPECT_EQ(list.ItemAt(0, 2, false), 0);
+  EXPECT_EQ(list.ItemAt(0, 3, false), 3);
+}
+
+TEST(FactorRankListTest, ReversedReadsBottomUp) {
+  FactorModel model(1, 3, 1);
+  model.ItemFactors(0)[0] = 1.0;
+  model.ItemFactors(1)[0] = 2.0;
+  model.ItemFactors(2)[0] = 3.0;
+  FactorRankList list(&model);
+  EXPECT_EQ(list.ItemAt(0, 0, true), 0);   // lowest value first
+  EXPECT_EQ(list.ItemAt(0, 2, true), 2);
+}
+
+TEST(FactorRankListTest, RefreshTracksModelChanges) {
+  FactorModel model(1, 2, 1);
+  model.ItemFactors(0)[0] = 1.0;
+  model.ItemFactors(1)[0] = 0.0;
+  FactorRankList list(&model);
+  EXPECT_EQ(list.ItemAt(0, 0, false), 0);
+
+  model.ItemFactors(1)[0] = 5.0;  // stale until refresh
+  EXPECT_EQ(list.ItemAt(0, 0, false), 0);
+  list.Refresh();
+  EXPECT_EQ(list.ItemAt(0, 0, false), 1);
+  EXPECT_EQ(list.refresh_count(), 2);  // constructor + explicit
+}
+
+TEST(FactorRankListTest, TiesBrokenByItemId) {
+  FactorModel model(1, 3, 1);
+  // All equal factor values.
+  FactorRankList list(&model);
+  EXPECT_EQ(list.ItemAt(0, 0, false), 0);
+  EXPECT_EQ(list.ItemAt(0, 1, false), 1);
+  EXPECT_EQ(list.ItemAt(0, 2, false), 2);
+}
+
+TEST(FactorRankListTest, EachFactorIndependentlyRanked) {
+  FactorModel model(1, 2, 2);
+  model.ItemFactors(0)[0] = 1.0;  // factor 0: item0 > item1
+  model.ItemFactors(1)[0] = 0.0;
+  model.ItemFactors(0)[1] = 0.0;  // factor 1: item1 > item0
+  model.ItemFactors(1)[1] = 1.0;
+  FactorRankList list(&model);
+  EXPECT_EQ(list.ItemAt(0, 0, false), 0);
+  EXPECT_EQ(list.ItemAt(1, 0, false), 1);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,114 @@
+#include "clapf/sampling/uniform_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+Dataset TinyData() {
+  // 3 users over 6 items, one user inactive.
+  return testing::MakeDataset(
+      3, 6, {{0, 0}, {0, 1}, {0, 2}, {2, 3}, {2, 5}});
+}
+
+TEST(TrainableUsersTest, SkipsInactiveAndSaturatedUsers) {
+  Dataset ds = testing::MakeDataset(3, 2, {{0, 0}, {1, 0}, {1, 1}});
+  auto users = TrainableUsers(ds);
+  // User 0 trainable; user 1 has all items observed; user 2 inactive.
+  ASSERT_EQ(users.size(), 1u);
+  EXPECT_EQ(users[0], 0);
+}
+
+TEST(SampleUnobservedUniformTest, NeverReturnsObserved) {
+  Dataset ds = TinyData();
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    ItemId j = SampleUnobservedUniform(ds, 0, rng);
+    EXPECT_FALSE(ds.IsObserved(0, j));
+  }
+}
+
+TEST(SampleUnobservedUniformTest, CoversAllUnobserved) {
+  Dataset ds = TinyData();
+  Rng rng(2);
+  std::set<ItemId> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(SampleUnobservedUniform(ds, 0, rng));
+  EXPECT_EQ(seen, (std::set<ItemId>{3, 4, 5}));
+}
+
+TEST(UniformTripleSamplerTest, TriplesAreValid) {
+  Dataset ds = TinyData();
+  UniformTripleSampler sampler(&ds, 7);
+  for (int n = 0; n < 1000; ++n) {
+    Triple t = sampler.Sample();
+    EXPECT_TRUE(ds.IsObserved(t.u, t.i));
+    EXPECT_TRUE(ds.IsObserved(t.u, t.k));
+    EXPECT_FALSE(ds.IsObserved(t.u, t.j));
+  }
+}
+
+TEST(UniformTripleSamplerTest, OnlyActiveUsersSampled) {
+  Dataset ds = TinyData();
+  UniformTripleSampler sampler(&ds, 8);
+  for (int n = 0; n < 200; ++n) {
+    Triple t = sampler.Sample();
+    EXPECT_NE(t.u, 1);  // user 1 has no items
+  }
+}
+
+TEST(UniformTripleSamplerTest, DeterministicGivenSeed) {
+  Dataset ds = TinyData();
+  UniformTripleSampler a(&ds, 42), b(&ds, 42);
+  for (int n = 0; n < 100; ++n) {
+    Triple ta = a.Sample();
+    Triple tb = b.Sample();
+    EXPECT_EQ(ta.u, tb.u);
+    EXPECT_EQ(ta.i, tb.i);
+    EXPECT_EQ(ta.k, tb.k);
+    EXPECT_EQ(ta.j, tb.j);
+  }
+}
+
+TEST(UniformTripleSamplerTest, SingleItemUserYieldsKEqualsI) {
+  Dataset ds = testing::MakeDataset(1, 3, {{0, 1}});
+  UniformTripleSampler sampler(&ds, 5);
+  for (int n = 0; n < 50; ++n) {
+    Triple t = sampler.Sample();
+    EXPECT_EQ(t.i, 1);
+    EXPECT_EQ(t.k, 1);
+    EXPECT_NE(t.j, 1);
+  }
+}
+
+TEST(UniformTripleSamplerDeathTest, EmptyDatasetAborts) {
+  Dataset ds = testing::MakeDataset(2, 2, {});
+  EXPECT_DEATH(UniformTripleSampler(&ds, 1), "Check failed");
+}
+
+TEST(UniformPairSamplerTest, PairsAreValid) {
+  Dataset ds = TinyData();
+  UniformPairSampler sampler(&ds, 9);
+  for (int n = 0; n < 1000; ++n) {
+    PairSample p = sampler.Sample();
+    EXPECT_TRUE(ds.IsObserved(p.u, p.i));
+    EXPECT_FALSE(ds.IsObserved(p.u, p.j));
+  }
+}
+
+TEST(UniformPairSamplerTest, EventuallyCoversAllPositives) {
+  Dataset ds = TinyData();
+  UniformPairSampler sampler(&ds, 10);
+  std::set<std::pair<UserId, ItemId>> seen;
+  for (int n = 0; n < 2000; ++n) {
+    PairSample p = sampler.Sample();
+    seen.emplace(p.u, p.i);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all observed pairs
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,37 @@
+#ifndef CLAPF_TESTS_TESTING_TEST_UTIL_H_
+#define CLAPF_TESTS_TESTING_TEST_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+
+namespace clapf {
+namespace testing {
+
+/// Builds a dataset from explicit pairs with the given dimensions.
+Dataset MakeDataset(int32_t num_users, int32_t num_items,
+                    const std::vector<std::pair<UserId, ItemId>>& pairs);
+
+/// A small but learnable synthetic dataset: `num_users` × `num_items` with a
+/// planted block structure (even users like low item ids, odd users like high
+/// item ids, plus noise). Pairwise rankers reach AUC well above 0.5 on the
+/// held-out half quickly.
+Dataset MakeLearnableDataset(int32_t num_users, int32_t num_items,
+                             int32_t items_per_user, uint64_t seed);
+
+/// A FactorModel whose scores equal `scores[u][i]` exactly (1 factor:
+/// U_u = 1, V_i = 0, b_i impossible per-user — so uses num_users factors).
+/// Only practical for tiny test matrices.
+FactorModel MakeExactModel(const std::vector<std::vector<double>>& scores);
+
+/// Writes `content` to a unique temp file and returns its path.
+std::string WriteTempFile(const std::string& name, const std::string& content);
+
+}  // namespace testing
+}  // namespace clapf
+
+#endif  // CLAPF_TESTS_TESTING_TEST_UTIL_H_

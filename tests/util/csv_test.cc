@@ -1,0 +1,80 @@
+#include "clapf/util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+TEST(ParseCsvLineTest, PlainFields) {
+  EXPECT_EQ(ParseCsvLine("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithDelimiter) {
+  EXPECT_EQ(ParseCsvLine("\"a,b\",c", ','),
+            (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ParseCsvLineTest, EscapedQuotes) {
+  EXPECT_EQ(ParseCsvLine("\"he said \"\"hi\"\"\",x", ','),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+}
+
+TEST(ParseCsvLineTest, StripsCarriageReturn) {
+  EXPECT_EQ(ParseCsvLine("a,b\r", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvRoundTripTest, WriterThenReader) {
+  std::string path = ::testing::TempDir() + "csv_roundtrip.csv";
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.WriteRow({"name", "value"}).ok());
+  ASSERT_TRUE(writer.WriteRow({"with,comma", "with\"quote"}).ok());
+  ASSERT_TRUE(writer.WriteRow({"multi\nline", "z"}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ((*rows)[1],
+            (std::vector<std::string>{"with,comma", "with\"quote"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"multi\nline", "z"}));
+}
+
+TEST(CsvWriterTest, WriteBeforeOpenFails) {
+  CsvWriter writer;
+  EXPECT_EQ(writer.WriteRow({"a"}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CsvWriterTest, OpenBadPathFails) {
+  CsvWriter writer;
+  EXPECT_EQ(writer.Open("/nonexistent-dir-xyz/file.csv").code(),
+            StatusCode::kIoError);
+}
+
+TEST(ReadCsvFileTest, MissingFileFails) {
+  EXPECT_EQ(ReadCsvFile("/no/such/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(ReadCsvFileTest, SkipsBlankLines) {
+  std::string path = testing::WriteTempFile("csv_blank.csv", "a,b\n\n\nc,d\n");
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(ReadCsvFileTest, TabDelimiter) {
+  std::string path = testing::WriteTempFile("csv_tab.tsv", "1\t2\t3\n");
+  auto rows = ReadCsvFile(path, '\t');
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+}  // namespace
+}  // namespace clapf

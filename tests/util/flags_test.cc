@@ -1,0 +1,122 @@
+#include "clapf/util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace clapf {
+namespace {
+
+// Builds an argv array from string literals (argv[0] is the program name).
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(FlagParserTest, ParsesAllTypesWithEquals) {
+  int64_t iters = 10;
+  double lr = 0.1;
+  std::string name = "none";
+  bool verbose = false;
+  FlagParser parser;
+  parser.AddInt("iters", &iters, "iterations");
+  parser.AddDouble("lr", &lr, "learning rate");
+  parser.AddString("name", &name, "run name");
+  parser.AddBool("verbose", &verbose, "chatty");
+
+  std::vector<std::string> storage{"prog", "--iters=500", "--lr=0.01",
+                                   "--name=bench", "--verbose=true"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(iters, 500);
+  EXPECT_DOUBLE_EQ(lr, 0.01);
+  EXPECT_EQ(name, "bench");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagParserTest, ParsesSpaceSeparatedValues) {
+  int64_t n = 0;
+  FlagParser parser;
+  parser.AddInt("n", &n, "count");
+  std::vector<std::string> storage{"prog", "--n", "7"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(n, 7);
+}
+
+TEST(FlagParserTest, BareBoolFlagSetsTrue) {
+  bool flag = false;
+  FlagParser parser;
+  parser.AddBool("fast", &flag, "go fast");
+  std::vector<std::string> storage{"prog", "--fast"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(flag);
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser parser;
+  std::vector<std::string> storage{"prog", "--mystery=1"};
+  auto argv = MakeArgv(storage);
+  auto status = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, BadIntValueIsError) {
+  int64_t n = 0;
+  FlagParser parser;
+  parser.AddInt("n", &n, "count");
+  std::vector<std::string> storage{"prog", "--n=abc"};
+  auto argv = MakeArgv(storage);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, MissingValueIsError) {
+  int64_t n = 0;
+  FlagParser parser;
+  parser.AddInt("n", &n, "count");
+  std::vector<std::string> storage{"prog", "--n"};
+  auto argv = MakeArgv(storage);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, CollectsPositionalArguments) {
+  FlagParser parser;
+  std::vector<std::string> storage{"prog", "input.csv", "output.csv"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(FlagParserTest, HelpReturnsFailedPrecondition) {
+  FlagParser parser;
+  std::vector<std::string> storage{"prog", "--help"};
+  auto argv = MakeArgv(storage);
+  EXPECT_EQ(parser.Parse(static_cast<int>(argv.size()), argv.data()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FlagParserTest, UsageListsFlagsAndDefaults) {
+  int64_t n = 42;
+  FlagParser parser;
+  parser.AddInt("iterations", &n, "number of SGD steps");
+  std::string usage = parser.Usage("prog");
+  EXPECT_NE(usage.find("--iterations"), std::string::npos);
+  EXPECT_NE(usage.find("42"), std::string::npos);
+  EXPECT_NE(usage.find("number of SGD steps"), std::string::npos);
+}
+
+TEST(FlagParserTest, BoolRejectsGarbage) {
+  bool b = false;
+  FlagParser parser;
+  parser.AddBool("b", &b, "flag");
+  std::vector<std::string> storage{"prog", "--b=maybe"};
+  auto argv = MakeArgv(storage);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+}  // namespace
+}  // namespace clapf

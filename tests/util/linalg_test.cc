@@ -1,0 +1,139 @@
+#include "clapf/util/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clapf/util/random.h"
+
+namespace clapf {
+namespace {
+
+TEST(CholeskySolveTest, Solves1x1) {
+  std::vector<double> a{4.0};
+  std::vector<double> b{8.0};
+  ASSERT_TRUE(CholeskySolveInPlace(a, b, 1).ok());
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, SolvesKnown2x2) {
+  // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5].
+  std::vector<double> a{4.0, 2.0, 2.0, 3.0};
+  std::vector<double> b{10.0, 8.0};
+  ASSERT_TRUE(CholeskySolveInPlace(a, b, 2).ok());
+  EXPECT_NEAR(b[0], 1.75, 1e-10);
+  EXPECT_NEAR(b[1], 1.5, 1e-10);
+}
+
+TEST(CholeskySolveTest, IdentitySolvesToRhs) {
+  const int n = 5;
+  std::vector<double> a(n * n, 0.0);
+  for (int i = 0; i < n; ++i) a[static_cast<size_t>(i) * n + i] = 1.0;
+  std::vector<double> b{1, 2, 3, 4, 5};
+  ASSERT_TRUE(CholeskySolveInPlace(a, b, n).ok());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[static_cast<size_t>(i)], i + 1, 1e-12);
+}
+
+TEST(CholeskySolveTest, RejectsNonPositiveDefinite) {
+  std::vector<double> a{1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+  std::vector<double> b{1.0, 1.0};
+  EXPECT_EQ(CholeskySolveInPlace(a, b, 2).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Property: for random SPD systems A = MᵀM + I, the residual ||Ax − b|| is
+// tiny.
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, ResidualIsSmall) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  std::vector<double> m(static_cast<size_t>(n) * n);
+  for (auto& x : m) x = rng.NextGaussian();
+  // A = MᵀM + I (SPD).
+  std::vector<double> a(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = i == j ? 1.0 : 0.0;
+      for (int k = 0; k < n; ++k) {
+        s += m[static_cast<size_t>(k) * n + i] * m[static_cast<size_t>(k) * n + j];
+      }
+      a[static_cast<size_t>(i) * n + j] = s;
+    }
+  }
+  std::vector<double> b(static_cast<size_t>(n));
+  for (auto& x : b) x = rng.NextGaussian();
+
+  std::vector<double> a_copy = a;
+  std::vector<double> x = b;
+  ASSERT_TRUE(CholeskySolveInPlace(a_copy, x, n).ok());
+
+  for (int i = 0; i < n; ++i) {
+    double r = -b[static_cast<size_t>(i)];
+    for (int j = 0; j < n; ++j) {
+      r += a[static_cast<size_t>(i) * n + j] * x[static_cast<size_t>(j)];
+    }
+    EXPECT_NEAR(r, 0.0, 1e-8) << "row " << i << " of n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 40));
+
+class CholeskyInvertPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyInvertPropertyTest, ProductWithInverseIsIdentity) {
+  const int n = GetParam();
+  Rng rng(2000 + n);
+  std::vector<double> m(static_cast<size_t>(n) * n);
+  for (auto& x : m) x = rng.NextGaussian();
+  // A = MᵀM + I (SPD).
+  std::vector<double> a(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = i == j ? 1.0 : 0.0;
+      for (int k = 0; k < n; ++k) {
+        s += m[static_cast<size_t>(k) * n + i] *
+             m[static_cast<size_t>(k) * n + j];
+      }
+      a[static_cast<size_t>(i) * n + j] = s;
+    }
+  }
+  std::vector<double> inv = a;
+  ASSERT_TRUE(CholeskyInvertInPlace(inv, n).ok());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < n; ++k) {
+        s += a[static_cast<size_t>(i) * n + k] *
+             inv[static_cast<size_t>(k) * n + j];
+      }
+      EXPECT_NEAR(s, i == j ? 1.0 : 0.0, 1e-8) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CholeskyInvertPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 15, 31));
+
+TEST(CholeskyInvertTest, RejectsIndefinite) {
+  std::vector<double> a{1.0, 2.0, 2.0, 1.0};
+  EXPECT_EQ(CholeskyInvertInPlace(a, 2).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AxpyTest, AddsScaledVector) {
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  Axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(DotTest, ComputesInnerProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,39 @@
+#include "clapf/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "clapf/util/status.h"
+
+namespace clapf {
+namespace {
+
+TEST(LoggingTest, LogLevelRoundTrips) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(prev);
+}
+
+TEST(LoggingTest, LogBelowThresholdDoesNotCrash) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  CLAPF_LOG(Info) << "suppressed message " << 123;
+  CLAPF_LOG(Warning) << "also suppressed";
+  SetLogLevel(prev);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ CLAPF_CHECK(1 == 2) << "math broke"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(CLAPF_CHECK_OK(Status::Internal("boom")), "boom");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  CLAPF_CHECK(2 + 2 == 4) << "never printed";
+  CLAPF_CHECK_OK(Status::OK());
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,62 @@
+#include "clapf/util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace clapf {
+namespace {
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-15);
+  EXPECT_NEAR(Sigmoid(-1.0), 1.0 - Sigmoid(1.0), 1e-15);
+}
+
+TEST(SigmoidTest, SymmetryIdentity) {
+  for (double x : {-5.0, -0.3, 0.0, 0.7, 2.5, 10.0}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0, 1e-12) << x;
+  }
+}
+
+TEST(SigmoidTest, StableForExtremeInputs) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(Sigmoid(710.0)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-710.0)));
+}
+
+TEST(LogSigmoidTest, MatchesLogOfSigmoid) {
+  for (double x : {-20.0, -3.0, -0.5, 0.0, 0.5, 3.0, 20.0}) {
+    EXPECT_NEAR(LogSigmoid(x), std::log(Sigmoid(x)), 1e-10) << x;
+  }
+}
+
+TEST(LogSigmoidTest, StableForExtremeNegatives) {
+  // log σ(-1000) ≈ -1000; naive log(sigmoid) underflows to -inf.
+  EXPECT_NEAR(LogSigmoid(-1000.0), -1000.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(LogSigmoid(-1e6)));
+}
+
+TEST(LogSigmoidGradTest, EqualsOneMinusSigmoid) {
+  for (double x : {-4.0, -1.0, 0.0, 1.0, 4.0}) {
+    EXPECT_NEAR(LogSigmoidGrad(x), 1.0 - Sigmoid(x), 1e-12) << x;
+  }
+}
+
+TEST(LogSigmoidGradTest, MatchesNumericalDerivative) {
+  const double h = 1e-6;
+  for (double x : {-2.0, -0.1, 0.0, 0.3, 1.7}) {
+    double numeric = (LogSigmoid(x + h) - LogSigmoid(x - h)) / (2 * h);
+    EXPECT_NEAR(LogSigmoidGrad(x), numeric, 1e-6) << x;
+  }
+}
+
+TEST(ClampTest, ClampsBothSides) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.3, 0.0, 1.0), 0.3);
+}
+
+}  // namespace
+}  // namespace clapf

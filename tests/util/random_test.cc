@@ -1,0 +1,166 @@
+#include "clapf/util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace clapf {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(3);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Uniform(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformRangeCoversAllValues) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformRange(-3, 4));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double mean = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    mean += x;
+  }
+  mean /= n;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(17);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) hits += rng.Bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02) << "p=" << p;
+  }
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  Rng rng(19);
+  const double p = 0.2;
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Geometric(p));
+  // Mean of failures-before-success geometric is (1-p)/p = 4.
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  auto orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // probability of identity ~ 1/100!
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(50, 10);
+    std::set<uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (uint64_t s : sample) EXPECT_LT(s, 50u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(8, 8);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+}
+
+// Property sweep: Uniform(bound) hits both extremes over many draws for a
+// range of bounds.
+class RngUniformSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngUniformSweep, HitsExtremes) {
+  const uint64_t bound = GetParam();
+  Rng rng(100 + bound);
+  bool saw_zero = false, saw_max = false;
+  for (int i = 0; i < 100000 && !(saw_zero && saw_max); ++i) {
+    uint64_t x = rng.Uniform(bound);
+    saw_zero |= x == 0;
+    saw_max |= x == bound - 1;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000));
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,72 @@
+#include "clapf/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace clapf {
+namespace {
+
+TEST(TablePrinterTest, EmptyTableRendersNothing) {
+  TablePrinter table;
+  EXPECT_EQ(table.ToString(), "");
+}
+
+TEST(TablePrinterTest, HeaderAndRowsAligned) {
+  TablePrinter table;
+  table.SetHeader({"Method", "MAP"});
+  table.AddRow({"BPR", "0.247"});
+  table.AddRow({"CLAPF-MAP", "0.294"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| Method    | MAP   |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| BPR       | 0.247 |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| CLAPF-MAP | 0.294 |"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::string out = table.ToString();
+  // Every rendered line (rules and rows) has the same number of '|' cells.
+  std::vector<size_t> pipe_counts;
+  size_t line_start = 0;
+  for (size_t i = 0; i <= out.size(); ++i) {
+    if (i == out.size() || out[i] == '\n') {
+      size_t pipes = 0;
+      for (size_t j = line_start; j < i; ++j) {
+        if (out[j] == '|') ++pipes;
+      }
+      if (pipes > 0) pipe_counts.push_back(pipes);
+      line_start = i + 1;
+    }
+  }
+  ASSERT_GE(pipe_counts.size(), 2u);
+  for (size_t c : pipe_counts) EXPECT_EQ(c, pipe_counts[0]);
+}
+
+TEST(TablePrinterTest, SeparatorInsertsRule) {
+  TablePrinter table;
+  table.SetHeader({"x"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string out = table.ToString();
+  // header rule + top rule + separator + bottom = 4 "+--+" lines.
+  size_t rules = 0;
+  for (size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos; ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter table;
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"a"});
+  table.AddRow({"b"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,114 @@
+#include "clapf/util/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "clapf/util/random.h"
+
+namespace clapf {
+namespace {
+
+TEST(TopKAccumulatorTest, ReturnsBestFirst) {
+  TopKAccumulator acc(3);
+  acc.Push(0, 1.0);
+  acc.Push(1, 5.0);
+  acc.Push(2, 3.0);
+  acc.Push(3, 4.0);
+  acc.Push(4, 2.0);
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].item, 1);
+  EXPECT_EQ(top[1].item, 3);
+  EXPECT_EQ(top[2].item, 2);
+}
+
+TEST(TopKAccumulatorTest, FewerThanKItems) {
+  TopKAccumulator acc(10);
+  acc.Push(7, 1.0);
+  acc.Push(3, 2.0);
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 3);
+  EXPECT_EQ(top[1].item, 7);
+}
+
+TEST(TopKAccumulatorTest, TiesBrokenBySmallerItemId) {
+  TopKAccumulator acc(2);
+  acc.Push(9, 1.0);
+  acc.Push(2, 1.0);
+  acc.Push(5, 1.0);
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 2);
+  EXPECT_EQ(top[1].item, 5);
+}
+
+TEST(TopKAccumulatorTest, TakeEmptiesAccumulator) {
+  TopKAccumulator acc(2);
+  acc.Push(0, 1.0);
+  acc.Take();
+  EXPECT_EQ(acc.size(), 0u);
+  auto again = acc.Take();
+  EXPECT_TRUE(again.empty());
+}
+
+TEST(SelectTopKTest, RespectsExclusions) {
+  std::vector<double> scores{0.9, 0.8, 0.7, 0.6};
+  std::vector<bool> exclude{true, false, true, false};
+  auto top = SelectTopK(scores, exclude, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 1);
+  EXPECT_EQ(top[1].item, 3);
+}
+
+TEST(SelectTopKTest, EmptyExcludeMeansNone) {
+  std::vector<double> scores{0.1, 0.9};
+  auto top = SelectTopK(scores, {}, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].item, 1);
+}
+
+// Property: for random inputs the accumulator matches a full sort.
+class TopKPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(TopKPropertyTest, MatchesFullSort) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 31 + k);
+  std::vector<double> scores(n);
+  for (auto& s : scores) s = rng.NextDouble();
+
+  TopKAccumulator acc(k);
+  for (size_t i = 0; i < n; ++i) {
+    acc.Push(static_cast<int32_t>(i), scores[i]);
+  }
+  auto got = acc.Take();
+
+  std::vector<int32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<int32_t>(i);
+  std::sort(ids.begin(), ids.end(), [&](int32_t a, int32_t b) {
+    if (scores[static_cast<size_t>(a)] != scores[static_cast<size_t>(b)]) {
+      return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+
+  ASSERT_EQ(got.size(), std::min(n, k));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].item, ids[i]) << "position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopKPropertyTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(1, 1),
+                      std::make_pair<size_t, size_t>(10, 3),
+                      std::make_pair<size_t, size_t>(100, 10),
+                      std::make_pair<size_t, size_t>(1000, 50),
+                      std::make_pair<size_t, size_t>(5, 10),
+                      std::make_pair<size_t, size_t>(257, 256)));
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,231 @@
+// clapf_cli — command-line workflow for the CLAPF library on real data.
+//
+//   clapf_cli train     --input u.data --format tab --method CLAPF-MAP
+//                       --model-out model.clpf --dataset-out data.clds
+//   clapf_cli evaluate  --model model.clpf --dataset data.clds
+//   clapf_cli recommend --model model.clpf --dataset data.clds --user 5 --k 10
+//   clapf_cli stats     --input u.data --format tab
+//
+// Formats: tab (MovieLens 100K), colons (ML1M), csv (ML20M), pairs.
+
+#include <cstdio>
+#include <string>
+
+#include "clapf/clapf.h"
+#include "clapf/data/dataset_io.h"
+#include "clapf/util/flags.h"
+#include "clapf/util/string_util.h"
+
+namespace {
+
+using namespace clapf;
+
+Result<FileFormat> ParseFormat(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (key == "tab") return FileFormat::kTabSeparated;
+  if (key == "colons") return FileFormat::kDoubleColon;
+  if (key == "csv") return FileFormat::kCsv;
+  if (key == "pairs") return FileFormat::kPairs;
+  return Status::InvalidArgument("unknown format: " + name +
+                                 " (want tab|colons|csv|pairs)");
+}
+
+Result<Dataset> LoadAnyDataset(const std::string& input,
+                               const std::string& format, bool has_header) {
+  if (EndsWith(input, ".clds")) return LoadDataset(input);
+  auto fmt = ParseFormat(format);
+  if (!fmt.ok()) return fmt.status();
+  LoadOptions options;
+  options.format = *fmt;
+  options.has_header = has_header;
+  return LoadInteractions(input, options);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunTrain(int argc, char** argv) {
+  std::string input, format = "tab", method_name = "CLAPF-MAP";
+  std::string model_out = "model.clpf", dataset_out;
+  int64_t iterations = 500000;
+  double lambda = 0.4;
+  bool has_header = false;
+  bool tune = false;
+  FlagParser flags;
+  flags.AddString("input", &input, "ratings file (.clds or text formats)");
+  flags.AddString("format", &format, "tab|colons|csv|pairs");
+  flags.AddBool("header", &has_header, "skip the first line of the input");
+  flags.AddString("method", &method_name, "any Table-2 or extension method");
+  flags.AddInt("iterations", &iterations, "SGD iterations");
+  flags.AddDouble("lambda", &lambda, "CLAPF tradeoff λ");
+  flags.AddBool("tune", &tune, "select λ on a validation split first");
+  flags.AddString("model-out", &model_out, "model output path");
+  flags.AddString("dataset-out", &dataset_out,
+                  "optional .clds cache of the parsed dataset");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
+  }
+  if (input.empty()) return Fail(Status::InvalidArgument("--input required"));
+
+  auto data = LoadAnyDataset(input, format, has_header);
+  if (!data.ok()) return Fail(data.status());
+  std::printf("loaded %s\n", data->Summary().c_str());
+  if (!dataset_out.empty()) {
+    if (Status s = SaveDataset(*data, dataset_out); !s.ok()) return Fail(s);
+    std::printf("dataset cached to %s\n", dataset_out.c_str());
+  }
+
+  auto method = ParseMethodName(method_name);
+  if (!method.ok()) return Fail(method.status());
+
+  MethodConfig config;
+  config.sgd.iterations = iterations;
+  config.sgd.learning_rate = 0.05;
+  config.sgd.final_learning_rate_fraction = 0.05;
+  config.clapf_lambda = lambda;
+
+  if (tune) {
+    ClapfOptions base;
+    base.sgd = config.sgd;
+    auto pick = SelectLambda(*data, base, {0.0, 0.1, 0.2, 0.4, 0.8},
+                             SelectionMetric::kNdcgAt5, /*seed=*/1);
+    if (!pick.ok()) return Fail(pick.status());
+    config.clapf_lambda = pick->best_options.lambda;
+    std::printf("validation-selected λ = %.1f\n", config.clapf_lambda);
+  }
+
+  auto trainer = MakeTrainer(*method, config);
+  Stopwatch watch;
+  if (Status s = trainer->Train(*data); !s.ok()) return Fail(s);
+  std::printf("trained %s in %s\n", trainer->name().c_str(),
+              FormatDuration(watch.ElapsedSeconds()).c_str());
+
+  // Only factor-model methods can be persisted.
+  auto* mf = dynamic_cast<FactorModelTrainer*>(trainer.get());
+  if (mf == nullptr) {
+    std::printf("note: %s has no persistable factor model; skipping save\n",
+                trainer->name().c_str());
+    return 0;
+  }
+  if (Status s = SaveModel(*mf->model(), model_out); !s.ok()) return Fail(s);
+  std::printf("model saved to %s\n", model_out.c_str());
+  return 0;
+}
+
+int RunEvaluate(int argc, char** argv) {
+  std::string model_path = "model.clpf", dataset_path, format = "tab";
+  double train_fraction = 0.5;
+  int64_t seed = 42;
+  bool has_header = false;
+  FlagParser flags;
+  flags.AddString("model", &model_path, "model path (.clpf)");
+  flags.AddString("dataset", &dataset_path, "dataset (.clds or text)");
+  flags.AddString("format", &format, "tab|colons|csv|pairs");
+  flags.AddBool("header", &has_header, "skip the first line of the input");
+  flags.AddDouble("train-fraction", &train_fraction,
+                  "fraction treated as (excluded) training history");
+  flags.AddInt("seed", &seed, "split seed — must match the training split");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
+  }
+  if (dataset_path.empty()) {
+    return Fail(Status::InvalidArgument("--dataset required"));
+  }
+
+  auto data = LoadAnyDataset(dataset_path, format, has_header);
+  if (!data.ok()) return Fail(data.status());
+  auto model = LoadModel(model_path);
+  if (!model.ok()) return Fail(model.status());
+  if (model->num_users() != data->num_users() ||
+      model->num_items() != data->num_items()) {
+    return Fail(Status::InvalidArgument(
+        "model and dataset dimensions disagree"));
+  }
+
+  auto split = SplitRandom(*data, train_fraction,
+                           static_cast<uint64_t>(seed));
+  Evaluator evaluator(&split.train, &split.test);
+  EvalSummary summary = evaluator.Evaluate(*model, PaperCutoffs());
+  std::printf("%s\n", summary.ToString().c_str());
+  return 0;
+}
+
+int RunRecommend(int argc, char** argv) {
+  std::string model_path = "model.clpf", dataset_path, format = "tab";
+  int64_t user = 0, k = 10;
+  bool has_header = false;
+  FlagParser flags;
+  flags.AddString("model", &model_path, "model path (.clpf)");
+  flags.AddString("dataset", &dataset_path,
+                  "interaction history (.clds or text)");
+  flags.AddString("format", &format, "tab|colons|csv|pairs");
+  flags.AddBool("header", &has_header, "skip the first line of the input");
+  flags.AddInt("user", &user, "dense user id");
+  flags.AddInt("k", &k, "list length");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
+  }
+  if (dataset_path.empty()) {
+    return Fail(Status::InvalidArgument("--dataset required"));
+  }
+
+  auto data = LoadAnyDataset(dataset_path, format, has_header);
+  if (!data.ok()) return Fail(data.status());
+  auto recommender = Recommender::Load(model_path, *std::move(data));
+  if (!recommender.ok()) return Fail(recommender.status());
+
+  auto top = recommender->Recommend(static_cast<UserId>(user),
+                                    static_cast<size_t>(k));
+  if (!top.ok()) return Fail(top.status());
+  std::printf("top-%lld for user %lld:\n", static_cast<long long>(k),
+              static_cast<long long>(user));
+  for (const ScoredItem& item : *top) {
+    std::printf("  item %-8d score %.4f\n", item.item, item.score);
+  }
+  return 0;
+}
+
+int RunStats(int argc, char** argv) {
+  std::string input, format = "tab";
+  bool has_header = false;
+  FlagParser flags;
+  flags.AddString("input", &input, "ratings file (.clds or text formats)");
+  flags.AddString("format", &format, "tab|colons|csv|pairs");
+  flags.AddBool("header", &has_header, "skip the first line of the input");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
+  }
+  if (input.empty()) return Fail(Status::InvalidArgument("--input required"));
+  auto data = LoadAnyDataset(input, format, has_header);
+  if (!data.ok()) return Fail(data.status());
+  std::printf("%s\n", ComputeStats(*data).ToString().c_str());
+  return 0;
+}
+
+void PrintUsage() {
+  std::fputs(
+      "usage: clapf_cli <train|evaluate|recommend|stats> [flags]\n"
+      "run a subcommand with --help for its flags\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so FlagParser sees the subcommand's flags.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (command == "train") return RunTrain(sub_argc, sub_argv);
+  if (command == "evaluate") return RunEvaluate(sub_argc, sub_argv);
+  if (command == "recommend") return RunRecommend(sub_argc, sub_argv);
+  if (command == "stats") return RunStats(sub_argc, sub_argv);
+  PrintUsage();
+  return 1;
+}
