@@ -6,7 +6,9 @@
 
 #include "clapf/util/logging.h"
 
+#include "clapf/baselines/bpr.h"
 #include "clapf/core/clapf_trainer.h"
+#include "clapf/core/divergence_guard.h"
 #include "clapf/core/smoothing.h"
 #include "clapf/data/split.h"
 #include "clapf/data/synthetic.h"
@@ -94,6 +96,28 @@ void BM_ClapfSgdIteration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_ClapfSgdIteration)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+// Divergence-guard overhead on the BPR hot loop: Arg(0) trains with the
+// guard off, Arg(1) with kHalt monitoring at the default check interval.
+// The acceptance bar is <5% per-iteration overhead between the two.
+void BM_BprSgdIterationGuard(benchmark::State& state) {
+  const bool guarded = state.range(0) != 0;
+  static Dataset data = BenchData(500, 2000, 25000);
+  BprOptions options;
+  options.sgd.num_factors = 20;
+  options.sgd.divergence.policy =
+      guarded ? DivergencePolicy::kHalt : DivergencePolicy::kOff;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BprOptions opts = options;
+    opts.sgd.iterations = 20000;
+    BprTrainer chunk(opts);
+    state.ResumeTiming();
+    CLAPF_CHECK_OK(chunk.Train(data));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_BprSgdIterationGuard)->Arg(0)->Arg(1);
 
 void BM_ScoreAllItems(benchmark::State& state) {
   const int32_t m = static_cast<int32_t>(state.range(0));

@@ -1,7 +1,9 @@
 // Serving workflow: tune CLAPF's hyper-parameters on validation data with
-// the model-selection API, train the winner, package it behind the
-// Recommender facade, persist it, and answer top-k queries — including a
-// cold-start user and an exclusion list.
+// the model-selection API, train the winner (with crash-safe checkpoints),
+// package it behind the Recommender facade, persist it, and answer top-k
+// queries — including a cold-start user, an exclusion list, and a resilience
+// drill: when the served model file is corrupt, degrade to popularity
+// ranking, then restore full service from the newest valid checkpoint.
 
 #include <cstdio>
 
@@ -52,8 +54,15 @@ int main(int argc, char** argv) {
               static_cast<long long>(
                   budget_pick->best_options.sgd.iterations));
 
-  // 2. Train the tuned configuration on the full data.
-  ClapfTrainer trainer(budget_pick->best_options);
+  // 2. Train the tuned configuration on the full data, snapshotting every
+  // 100k iterations so a crash (or, below, a corrupted model file) never
+  // costs the whole run. The divergence guard halts on numerical blow-up
+  // instead of serving a NaN-riddled model.
+  ClapfOptions serve_options = budget_pick->best_options;
+  serve_options.checkpoint.dir = "/tmp/clapf_serving_ckpt";
+  serve_options.checkpoint.interval = 100000;
+  serve_options.sgd.divergence.policy = DivergencePolicy::kHalt;
+  ClapfTrainer trainer(serve_options);
   CLAPF_CHECK_OK(trainer.Train(data));
 
   // 3. Package and persist.
@@ -103,5 +112,44 @@ int main(int argc, char** argv) {
   CLAPF_CHECK_OK(reloaded.status());
   std::printf("reload check: score(3, 5) %.6f == %.6f\n",
               *recommender->Score(3, 5), *reloaded->Score(3, 5));
+
+  // 6. Resilience drill: bit rot corrupts the served model file. The CRC in
+  // the model format turns silent corruption into a loud load failure...
+  {
+    auto bytes = ReadFileToString(model_path);
+    CLAPF_CHECK_OK(bytes.status());
+    std::string damaged = *bytes;
+    damaged[damaged.size() / 2] ^= 0x08;
+    CLAPF_CHECK_OK(WriteStringToFile(model_path, damaged));
+  }
+  auto broken = Recommender::Load(model_path, data);
+  std::printf("corrupted model load: %s\n", broken.status().ToString().c_str());
+
+  // ...so serving degrades to popularity ranking instead of silently
+  // returning garbage scores.
+  if (!broken.ok()) {
+    PopRankTrainer fallback;
+    CLAPF_CHECK_OK(fallback.Train(data));
+    std::vector<double> pop_scores;
+    fallback.ScoreItems(/*u=*/3, &pop_scores);
+    auto top = SelectTopK(pop_scores, /*exclude=*/{}, 5);
+    std::printf("degraded mode (PopRank) user 3:");
+    for (const ScoredItem& item : top) std::printf(" %d", item.item);
+    std::printf("\n");
+  }
+
+  // Full service comes back from the newest valid checkpoint: reload it,
+  // republish the model atomically, and serve factorization scores again.
+  CheckpointManager checkpoints(serve_options.checkpoint);
+  CLAPF_CHECK_OK(checkpoints.Init());
+  auto recovered = checkpoints.LoadLatest();
+  CLAPF_CHECK_OK(recovered.status());
+  std::printf("recovered checkpoint from iteration %lld\n",
+              static_cast<long long>(recovered->state.iteration));
+  CLAPF_CHECK_OK(SaveModelAtomic(recovered->model, model_path));
+  auto restored = Recommender::Load(model_path, data);
+  CLAPF_CHECK_OK(restored.status());
+  std::printf("restored service: score(3, 5) = %.6f\n",
+              *restored->Score(3, 5));
   return 0;
 }

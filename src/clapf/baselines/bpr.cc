@@ -1,8 +1,12 @@
 #include "clapf/baselines/bpr.h"
 
+#include <limits>
+
+#include "clapf/core/divergence_guard.h"
 #include "clapf/sampling/aobpr_sampler.h"
 #include "clapf/sampling/dns_sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/fault_injection.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/math.h"
 
@@ -70,11 +74,26 @@ Status BprTrainer::Train(const Dataset& train) {
   const int32_t d = options_.sgd.num_factors;
   const bool bias = options_.sgd.use_item_bias;
 
+  DivergenceGuard guard(options_.sgd.divergence, model_.get());
+  FaultInjector& faults = FaultInjector::Instance();
+
   for (int64_t it = 1; it <= options_.sgd.iterations; ++it) {
     const double lr =
-        lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total);
+        (lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total)) *
+        guard.lr_scale();
     const PairSample p = sampler->Sample();
-    const double margin = model_->Score(p.u, p.i) - model_->Score(p.u, p.j);
+    double margin = model_->Score(p.u, p.i) - model_->Score(p.u, p.j);
+    if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
+      margin = std::numeric_limits<double>::quiet_NaN();
+    }
+    switch (guard.Observe(it, margin)) {
+      case DivergenceGuard::Action::kHalt:
+        return guard.status();
+      case DivergenceGuard::Action::kSkipUpdate:
+        continue;
+      case DivergenceGuard::Action::kProceed:
+        break;
+    }
     const double g = Sigmoid(-margin);
 
     auto uu = model_->UserFactors(p.u);

@@ -1,7 +1,11 @@
 #include "clapf/baselines/climf.h"
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
+#include "clapf/core/divergence_guard.h"
+#include "clapf/util/fault_injection.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/math.h"
 
@@ -23,7 +27,7 @@ Status ClimfTrainer::Train(const Dataset& train) {
       options_.sgd.use_item_bias);
   model_->InitGaussian(init_rng, options_.sgd.init_stddev);
 
-  const double lr = options_.sgd.learning_rate;
+  const double base_lr = options_.sgd.learning_rate;
   const double reg_u = options_.sgd.reg_user;
   const double reg_v = options_.sgd.reg_item;
   const double reg_b = options_.sgd.reg_bias;
@@ -34,16 +38,39 @@ Status ClimfTrainer::Train(const Dataset& train) {
   std::vector<double> dL_df;       // per observed item: ∂L/∂f_ua
   std::vector<double> user_grad(static_cast<size_t>(d));
 
+  DivergenceGuard guard(options_.sgd.divergence, model_.get());
+  FaultInjector& faults = FaultInjector::Instance();
+
   int64_t iteration = 0;
   for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
     for (UserId u = 0; u < train.num_users(); ++u) {
       auto items = train.ItemsOf(u);
       if (items.empty()) continue;
       const size_t n_u = items.size();
+      ++iteration;
 
       scores.resize(n_u);
-      for (size_t a = 0; a < n_u; ++a) scores[a] = model_->Score(u, items[a]);
+      double worst_score = 0.0;
+      for (size_t a = 0; a < n_u; ++a) {
+        scores[a] = model_->Score(u, items[a]);
+        if (!(std::fabs(scores[a]) <= std::fabs(worst_score))) {
+          worst_score = scores[a];  // largest magnitude; NaN sticks
+        }
+      }
+      if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
+        worst_score = std::numeric_limits<double>::quiet_NaN();
+      }
+      // One health observation per user update (CLiMF's unit of SGD work).
+      switch (guard.Observe(iteration, worst_score)) {
+        case DivergenceGuard::Action::kHalt:
+          return guard.status();
+        case DivergenceGuard::Action::kSkipUpdate:
+          continue;
+        case DivergenceGuard::Action::kProceed:
+          break;
+      }
 
+      const double lr = base_lr * guard.lr_scale();
       // ∂L/∂f_ua = σ(−f_ua) + Σ_{k≠a} [σ(f_uk − f_ua) − σ(f_ua − f_uk)]
       // for the Eq. (7) lower bound — the listwise coupling among all of the
       // user's observed items. The whole per-user objective is scaled by
@@ -83,7 +110,7 @@ Status ClimfTrainer::Train(const Dataset& train) {
         uu[f] += lr * (user_grad[f] - reg_u * uu[f]);
       }
 
-      MaybeProbe(++iteration);
+      MaybeProbe(iteration);
     }
   }
   return Status::OK();

@@ -1,6 +1,10 @@
 #include "clapf/baselines/mpr.h"
 
+#include <limits>
+
+#include "clapf/core/divergence_guard.h"
 #include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/fault_injection.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/math.h"
 
@@ -41,9 +45,13 @@ Status MprTrainer::Train(const Dataset& train) {
 
   std::vector<double> user_snapshot(static_cast<size_t>(d));
 
+  DivergenceGuard guard(options_.sgd.divergence, model_.get());
+  FaultInjector& faults = FaultInjector::Instance();
+
   for (int64_t it = 1; it <= options_.sgd.iterations; ++it) {
     const double lr =
-        lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total);
+        (lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total)) *
+        guard.lr_scale();
     const PairSample p1 = sampler.Sample();
     // The second pairwise criterion is drawn for the same user so the two
     // margins fuse in one per-user objective.
@@ -55,7 +63,18 @@ Status MprTrainer::Train(const Dataset& train) {
 
     const double m1 = model_->Score(p1.u, p1.i) - model_->Score(p1.u, p1.j);
     const double m2 = model_->Score(p2.u, p2.i) - model_->Score(p2.u, p2.j);
-    const double margin = rho * m1 + (1.0 - rho) * m2;
+    double margin = rho * m1 + (1.0 - rho) * m2;
+    if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
+      margin = std::numeric_limits<double>::quiet_NaN();
+    }
+    switch (guard.Observe(it, margin)) {
+      case DivergenceGuard::Action::kHalt:
+        return guard.status();
+      case DivergenceGuard::Action::kSkipUpdate:
+        continue;
+      case DivergenceGuard::Action::kProceed:
+        break;
+    }
     const double g = Sigmoid(-margin);
 
     auto uu = model_->UserFactors(p1.u);

@@ -1,7 +1,11 @@
 #include "clapf/baselines/wmf.h"
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
+#include "clapf/core/divergence_guard.h"
+#include "clapf/util/fault_injection.h"
 #include "clapf/util/linalg.h"
 #include "clapf/util/logging.h"
 
@@ -64,20 +68,45 @@ Status WmfTrainer::Train(const Dataset& train) {
   }
 
   // Mutable copies of the factor blocks (FactorModel spans are per-row).
+  // `publish` pushes the working blocks into the model — the canonical
+  // storage the guard snapshots/restores — and `unpublish` pulls them back
+  // out after a restore or clamp.
   std::vector<double> uf(static_cast<size_t>(n) * d);
   std::vector<double> vf(static_cast<size_t>(m) * d);
-  for (UserId u = 0; u < n; ++u) {
-    auto span = model_->UserFactors(u);
-    std::copy(span.begin(), span.end(), &uf[static_cast<size_t>(u) * d]);
-  }
-  for (ItemId i = 0; i < m; ++i) {
-    auto span = model_->ItemFactors(i);
-    std::copy(span.begin(), span.end(), &vf[static_cast<size_t>(i) * d]);
-  }
+  auto publish = [&] {
+    for (UserId u = 0; u < n; ++u) {
+      auto span = model_->UserFactors(u);
+      std::copy(&uf[static_cast<size_t>(u) * d],
+                &uf[static_cast<size_t>(u) * d] + d, span.begin());
+    }
+    for (ItemId i = 0; i < m; ++i) {
+      auto span = model_->ItemFactors(i);
+      std::copy(&vf[static_cast<size_t>(i) * d],
+                &vf[static_cast<size_t>(i) * d] + d, span.begin());
+    }
+  };
+  auto unpublish = [&] {
+    for (UserId u = 0; u < n; ++u) {
+      auto span = model_->UserFactors(u);
+      std::copy(span.begin(), span.end(), &uf[static_cast<size_t>(u) * d]);
+    }
+    for (ItemId i = 0; i < m; ++i) {
+      auto span = model_->ItemFactors(i);
+      std::copy(span.begin(), span.end(), &vf[static_cast<size_t>(i) * d]);
+    }
+  };
+  unpublish();
 
   std::vector<double> gram;
   std::vector<double> a(static_cast<size_t>(d) * d);
   std::vector<double> b(static_cast<size_t>(d));
+
+  // Every sweep is a full-model update, so scan and (under kRollback)
+  // re-snapshot on every health check rather than on an iteration interval.
+  DivergenceOptions guard_options = options_.divergence;
+  guard_options.check_interval = 1;
+  DivergenceGuard guard(guard_options, model_.get());
+  FaultInjector& faults = FaultInjector::Instance();
 
   for (int32_t sweep = 0; sweep < options_.sweeps; ++sweep) {
     // User side: solve (VᵀV + α Σ v vᵀ + reg I) x = (1+α) Σ v.
@@ -126,20 +155,39 @@ Status WmfTrainer::Train(const Dataset& train) {
       std::copy(b.begin(), b.end(), &vf[static_cast<size_t>(i) * d]);
     }
 
+    // Publish the sweep's factors, then check numerical health. The value
+    // handed to the guard is the largest-magnitude entry (NaN sticks), so a
+    // blow-up trips the cheap check and the guard's full scan backs it up.
+    publish();
+    double health = 0.0;
+    for (const std::vector<double>* block : {&uf, &vf}) {
+      for (double v : *block) {
+        if (!(std::fabs(v) <= std::fabs(health))) health = v;
+      }
+    }
+    if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
+      health = std::numeric_limits<double>::quiet_NaN();
+    }
+    switch (guard.Observe(sweep + 1, health)) {
+      case DivergenceGuard::Action::kHalt:
+        return guard.status();
+      case DivergenceGuard::Action::kSkipUpdate:
+        if (options_.divergence.policy == DivergencePolicy::kRollback) {
+          // ALS is deterministic: re-solving the sweep would reproduce the
+          // same divergence, so keep the restored healthy factors and stop.
+          return Status::Internal(
+              "WMF diverged at sweep " + std::to_string(sweep + 1) +
+              "; model restored to last healthy factors");
+        }
+        unpublish();  // kClamp: continue sweeping from the clamped factors.
+        continue;
+      case DivergenceGuard::Action::kProceed:
+        break;
+    }
+
     MaybeProbe(sweep + 1);
   }
 
-  // Publish the solved factors back into the model.
-  for (UserId u = 0; u < n; ++u) {
-    auto span = model_->UserFactors(u);
-    std::copy(&uf[static_cast<size_t>(u) * d],
-              &uf[static_cast<size_t>(u) * d] + d, span.begin());
-  }
-  for (ItemId i = 0; i < m; ++i) {
-    auto span = model_->ItemFactors(i);
-    std::copy(&vf[static_cast<size_t>(i) * d],
-              &vf[static_cast<size_t>(i) * d] + d, span.begin());
-  }
   return Status::OK();
 }
 

@@ -20,6 +20,11 @@ struct WmfOptions {
   int32_t sweeps = 10;
   double init_stddev = 0.01;
   uint64_t seed = 1;
+  /// Numerical-health monitoring, checked once per ALS sweep. Because ALS is
+  /// deterministic (re-solving a sweep reproduces the same divergence),
+  /// kRollback restores the last healthy factors and then halts instead of
+  /// retrying; kClamp clamps and keeps sweeping.
+  DivergenceOptions divergence;
 };
 
 /// Weighted Matrix Factorization (Hu et al., ICDM 2008) — the paper's

@@ -26,7 +26,9 @@
 #include "clapf/baselines/pop_rank.h"
 #include "clapf/baselines/random_walk.h"
 #include "clapf/baselines/wmf.h"
+#include "clapf/core/checkpoint.h"
 #include "clapf/core/clapf_trainer.h"
+#include "clapf/core/divergence_guard.h"
 #include "clapf/core/model_selection.h"
 #include "clapf/core/smoothing.h"
 #include "clapf/core/trainer.h"
@@ -56,6 +58,9 @@
 #include "clapf/sampling/dss_sampler.h"
 #include "clapf/sampling/sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/crc32.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/fs.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/status.h"
 #include "clapf/util/stopwatch.h"

@@ -1,0 +1,180 @@
+#include "clapf/core/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "clapf/model/model_io.h"
+#include "clapf/util/crc32.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/fs.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/string_util.h"
+
+namespace clapf {
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'C', 'K', 'P', 'T'};
+constexpr uint32_t kCheckpointVersion = 1;
+constexpr char kManifestName[] = "MANIFEST";
+
+std::string CheckpointFileName(int64_t iteration) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%012lld.ckpt",
+                static_cast<long long>(iteration));
+  return buf;
+}
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value, uint32_t* crc) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  *crc = Crc32Update(*crc, &value, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value, uint32_t* crc) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!in) return false;
+  *crc = Crc32Update(*crc, value, sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(const CheckpointOptions& options)
+    : options_(options) {}
+
+Status CheckpointManager::Init() {
+  if (!enabled()) return Status::OK();
+  CLAPF_RETURN_IF_ERROR(CreateDirs(options_.dir));
+  entries_.clear();
+
+  const std::string manifest_path = options_.dir + "/" + kManifestName;
+  if (PathExists(manifest_path)) {
+    auto contents = ReadFileToString(manifest_path);
+    if (!contents.ok()) return contents.status();
+    for (const std::string& line : Split(*contents, '\n')) {
+      std::string name(Trim(line));
+      if (!name.empty()) entries_.push_back(std::move(name));
+    }
+    return Status::OK();
+  }
+
+  // No manifest (first run, or it was lost): fall back to scanning the
+  // directory so orphaned checkpoints are still discoverable.
+  auto names = ListDir(options_.dir);
+  if (!names.ok()) return names.status();
+  for (const std::string& name : *names) {
+    if (name.starts_with("ckpt-") && name.ends_with(".ckpt")) {
+      entries_.push_back(name);
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckpointManager::WriteManifest() const {
+  std::string contents;
+  for (const std::string& name : entries_) {
+    contents += name;
+    contents += '\n';
+  }
+  return WriteFileAtomic(options_.dir + "/" + kManifestName, contents);
+}
+
+void CheckpointManager::Prune() {
+  const int32_t keep = std::max(options_.keep_last, 1);
+  while (entries_.size() > static_cast<size_t>(keep)) {
+    const std::string victim = options_.dir + "/" + entries_.front();
+    if (Status s = RemoveFileIfExists(victim); !s.ok()) {
+      CLAPF_LOG(Warning) << "cannot prune checkpoint " << victim << ": "
+                         << s.ToString();
+    }
+    entries_.erase(entries_.begin());
+  }
+}
+
+Status CheckpointManager::Write(const FactorModel& model,
+                                const TrainerCheckpointState& state) {
+  if (!enabled()) {
+    return Status::FailedPrecondition("checkpointing is not configured");
+  }
+
+  std::ostringstream out(std::ios::binary);
+  uint32_t crc = Crc32Init();
+  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  WritePod(out, kCheckpointVersion, &crc);
+  WritePod(out, state.iteration, &crc);
+  WritePod(out, state.seed, &crc);
+  WritePod(out, state.lr_scale, &crc);
+  WritePod(out, state.guard_retries, &crc);
+  WritePod(out, state.loss_acc, &crc);
+  WritePod(out, state.loss_count, &crc);
+  const uint32_t state_crc = Crc32Finalize(crc);
+  out.write(reinterpret_cast<const char*>(&state_crc), sizeof(state_crc));
+  CLAPF_RETURN_IF_ERROR(SaveModelToStream(model, out));
+
+  std::string payload = std::move(out).str();
+  FaultInjector& faults = FaultInjector::Instance();
+  if (faults.armed()) faults.MutateModelPayload(&payload);
+
+  const std::string name = CheckpointFileName(state.iteration);
+  CLAPF_RETURN_IF_ERROR(WriteFileAtomic(options_.dir + "/" + name, payload,
+                                        FaultPoint::kModelRename));
+
+  // Re-writing the same iteration (e.g. resume overlap) must not duplicate.
+  entries_.erase(std::remove(entries_.begin(), entries_.end(), name),
+                 entries_.end());
+  entries_.push_back(name);
+  Prune();
+  return WriteManifest();
+}
+
+Result<LoadedCheckpoint> CheckpointManager::ReadCheckpointFile(
+    const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  std::istringstream in(*contents, std::ios::binary);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    return Status::Corruption("bad checkpoint magic in " + path);
+  }
+  uint32_t crc = Crc32Init();
+  uint32_t version = 0;
+  TrainerCheckpointState state;
+  if (!ReadPod(in, &version, &crc) || version != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version in " + path);
+  }
+  if (!ReadPod(in, &state.iteration, &crc) || !ReadPod(in, &state.seed, &crc) ||
+      !ReadPod(in, &state.lr_scale, &crc) ||
+      !ReadPod(in, &state.guard_retries, &crc) ||
+      !ReadPod(in, &state.loss_acc, &crc) ||
+      !ReadPod(in, &state.loss_count, &crc)) {
+    return Status::Corruption("truncated checkpoint state in " + path);
+  }
+  uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in || stored != Crc32Finalize(crc)) {
+    return Status::Corruption("checkpoint state checksum mismatch in " + path);
+  }
+
+  auto model = LoadModelFromStream(in, path);
+  if (!model.ok()) return model.status();
+  return LoadedCheckpoint{std::move(*model), state};
+}
+
+Result<LoadedCheckpoint> CheckpointManager::LoadLatest() const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const std::string path = options_.dir + "/" + *it;
+    auto loaded = ReadCheckpointFile(path);
+    if (loaded.ok()) return loaded;
+    CLAPF_LOG(Warning) << "skipping invalid checkpoint " << path << ": "
+                       << loaded.status().ToString();
+  }
+  return Status::NotFound("no valid checkpoint in " + options_.dir);
+}
+
+}  // namespace clapf

@@ -1,0 +1,93 @@
+#ifndef CLAPF_CORE_CHECKPOINT_H_
+#define CLAPF_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clapf/model/factor_model.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Periodic-snapshot configuration for SGD training runs.
+struct CheckpointOptions {
+  /// Directory that holds checkpoint files and the MANIFEST. Empty disables
+  /// checkpointing entirely.
+  std::string dir;
+  /// Iterations between snapshots; <= 0 disables checkpointing.
+  int64_t interval = 0;
+  /// Newest checkpoints retained on disk; older ones are pruned.
+  int32_t keep_last = 3;
+  /// When true, Train() restarts from the newest valid checkpoint in `dir`
+  /// (matching seed and dimensions) instead of from scratch.
+  bool resume = true;
+};
+
+/// Trainer state captured alongside the model so a resumed run continues the
+/// schedule exactly where the crashed run left off.
+struct TrainerCheckpointState {
+  /// SGD iterations completed when the snapshot was taken.
+  int64_t iteration = 0;
+  /// Seed of the run; a resume with a different seed ignores the checkpoint.
+  uint64_t seed = 0;
+  /// DivergenceGuard backoff state.
+  double lr_scale = 1.0;
+  int32_t guard_retries = 0;
+  /// Running loss accumulators (diagnostics continuity across resume).
+  double loss_acc = 0.0;
+  int64_t loss_count = 0;
+};
+
+/// A checkpoint read back from disk.
+struct LoadedCheckpoint {
+  FactorModel model;
+  TrainerCheckpointState state;
+};
+
+/// Writes and recovers training checkpoints, RocksDB-style: every snapshot
+/// is serialized with CRC protection, published via write-to-temp + fsync +
+/// atomic rename, and recorded in an atomically rewritten MANIFEST. Recovery
+/// walks the manifest newest-first and returns the first checkpoint that
+/// passes validation, so a torn or bit-flipped snapshot is skipped rather
+/// than trusted.
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(const CheckpointOptions& options);
+
+  /// True when both a directory and a positive interval are configured.
+  bool enabled() const {
+    return !options_.dir.empty() && options_.interval > 0;
+  }
+
+  /// Creates the directory if needed and loads the manifest. Must be called
+  /// before Write/LoadLatest. No-op when disabled.
+  Status Init();
+
+  /// Durably writes one checkpoint, appends it to the manifest, and prunes
+  /// checkpoints beyond `keep_last`.
+  Status Write(const FactorModel& model, const TrainerCheckpointState& state);
+
+  /// Newest checkpoint that deserializes cleanly and passes its CRCs.
+  /// Invalid entries are skipped with a warning. NotFound when none survive.
+  Result<LoadedCheckpoint> LoadLatest() const;
+
+  /// Parses one checkpoint file; Corruption when torn or checksum-damaged.
+  static Result<LoadedCheckpoint> ReadCheckpointFile(const std::string& path);
+
+  /// Manifest entries, oldest first (file names relative to `dir`).
+  const std::vector<std::string>& entries() const { return entries_; }
+
+  const CheckpointOptions& options() const { return options_; }
+
+ private:
+  Status WriteManifest() const;
+  void Prune();
+
+  CheckpointOptions options_;
+  std::vector<std::string> entries_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_CORE_CHECKPOINT_H_

@@ -1,9 +1,11 @@
 #include "clapf/core/clapf_trainer.h"
 
 #include <cmath>
+#include <limits>
 
 #include "clapf/core/smoothing.h"
 #include "clapf/sampling/uniform_sampler.h"
+#include "clapf/util/fault_injection.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/math.h"
 
@@ -69,7 +71,48 @@ Status ClapfTrainer::Train(const Dataset& train) {
       options_.sgd.use_item_bias);
   model_->InitGaussian(init_rng, options_.sgd.init_stddev);
 
+  // Crash recovery: restart from the newest valid checkpoint when one is
+  // compatible with this run (same seed, same dimensions).
+  TrainerCheckpointState ckpt_state;
+  ckpt_state.seed = options_.sgd.seed;
+  int64_t start_it = 1;
+  CheckpointManager checkpoints(options_.checkpoint);
+  if (checkpoints.enabled()) {
+    CLAPF_RETURN_IF_ERROR(checkpoints.Init());
+    if (options_.checkpoint.resume) {
+      auto latest = checkpoints.LoadLatest();
+      if (latest.ok()) {
+        const TrainerCheckpointState& st = latest->state;
+        const FactorModel& m = latest->model;
+        if (st.seed == options_.sgd.seed &&
+            m.num_users() == train.num_users() &&
+            m.num_items() == train.num_items() &&
+            m.num_factors() == options_.sgd.num_factors &&
+            m.use_item_bias() == options_.sgd.use_item_bias &&
+            st.iteration <= options_.sgd.iterations) {
+          *model_ = std::move(latest->model);
+          ckpt_state = st;
+          start_it = st.iteration + 1;
+          CLAPF_LOG(Info) << name() << ": resuming from checkpoint at iteration "
+                          << st.iteration;
+        } else {
+          CLAPF_LOG(Warning)
+              << name() << ": ignoring incompatible checkpoint in "
+              << options_.checkpoint.dir << " (seed/dimension mismatch)";
+        }
+      } else if (latest.status().code() != StatusCode::kNotFound) {
+        return latest.status();
+      }
+    }
+  }
+
   std::unique_ptr<TripleSampler> sampler = MakeSampler(train);
+  // Replay the draws the checkpointed run already consumed so the resumed
+  // sample stream continues exactly where the crashed run left off. With the
+  // uniform sampler this makes resumption bit-identical to an uninterrupted
+  // run; adaptive samplers re-draw against the restored model, which is
+  // correct but not bit-exact.
+  for (int64_t i = 1; i < start_it; ++i) sampler->Sample();
 
   const double lambda = options_.lambda;
   const bool is_map = options_.variant == ClapfVariant::kMap;
@@ -91,18 +134,33 @@ Status ClapfTrainer::Train(const Dataset& train) {
   const bool bias = options_.sgd.use_item_bias;
 
   std::vector<double> user_snapshot(static_cast<size_t>(d));
-  double loss_acc = 0.0;
-  int64_t loss_count = 0;
+  double loss_acc = ckpt_state.loss_acc;
+  int64_t loss_count = ckpt_state.loss_count;
 
-  for (int64_t it = 1; it <= options_.sgd.iterations; ++it) {
+  DivergenceGuard guard(options_.sgd.divergence, model_.get());
+  guard.RestoreBackoff(ckpt_state.lr_scale, ckpt_state.guard_retries);
+  FaultInjector& faults = FaultInjector::Instance();
+
+  for (int64_t it = start_it; it <= options_.sgd.iterations; ++it) {
     const double lr =
-        lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total);
+        (lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total)) *
+        guard.lr_scale();
     const Triple t = sampler->Sample();
     const double f_ui = model_->Score(t.u, t.i);
     const double f_uk = model_->Score(t.u, t.k);
     const double f_uj = model_->Score(t.u, t.j);
-    const double margin =
-        ClapfMargin(options_.variant, lambda, f_ui, f_uk, f_uj);
+    double margin = ClapfMargin(options_.variant, lambda, f_ui, f_uk, f_uj);
+    if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
+      margin = std::numeric_limits<double>::quiet_NaN();
+    }
+    switch (guard.Observe(it, margin)) {
+      case DivergenceGuard::Action::kHalt:
+        return guard.status();
+      case DivergenceGuard::Action::kSkipUpdate:
+        continue;
+      case DivergenceGuard::Action::kProceed:
+        break;
+    }
     // d/dR of ln σ(R) = σ(−R); ascend the log-likelihood.
     double g = Sigmoid(-margin);
     loss_acc += -LogSigmoid(margin);
@@ -163,6 +221,20 @@ Status ClapfTrainer::Train(const Dataset& train) {
     }
 
     MaybeProbe(it);
+
+    if (checkpoints.enabled() && it % options_.checkpoint.interval == 0) {
+      ckpt_state.iteration = it;
+      ckpt_state.lr_scale = guard.lr_scale();
+      ckpt_state.guard_retries = static_cast<int32_t>(guard.rollbacks());
+      ckpt_state.loss_acc = loss_acc;
+      ckpt_state.loss_count = loss_count;
+      // A failed snapshot degrades durability, not correctness: log and
+      // keep training rather than killing a multi-hour run.
+      if (Status s = checkpoints.Write(*model_, ckpt_state); !s.ok()) {
+        CLAPF_LOG(Warning) << name() << ": checkpoint write failed at iteration "
+                           << it << ": " << s.ToString();
+      }
+    }
   }
 
   last_average_loss_ =

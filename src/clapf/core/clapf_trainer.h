@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "clapf/core/checkpoint.h"
 #include "clapf/core/trainer.h"
 #include "clapf/sampling/dss_sampler.h"
 #include "clapf/sampling/sampler.h"
@@ -30,6 +31,12 @@ struct ClapfOptions {
   /// adaptive_{positive,negative} switches are set automatically).
   double dss_tail_fraction = 0.2;
   int64_t dss_refresh_interval = 0;
+  /// Periodic crash-safe snapshots + resume-from-newest-valid-checkpoint.
+  /// With the uniform sampler a resumed run is bit-identical to an
+  /// uninterrupted one (the sample stream is replayed deterministically);
+  /// adaptive samplers resume correctly but not bit-exactly, since their
+  /// draws depend on the evolving model.
+  CheckpointOptions checkpoint;
 };
 
 /// Collaborative List-and-Pairwise Filtering (paper §4): matrix factorization

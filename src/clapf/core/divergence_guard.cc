@@ -1,0 +1,127 @@
+#include "clapf/core/divergence_guard.h"
+
+#include <cmath>
+#include <string>
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+namespace {
+
+bool AllHealthy(const std::vector<double>& v, double bound) {
+  for (double x : v) {
+    // Negated comparison is NaN-safe: NaN fails <= and lands here.
+    if (!(std::fabs(x) <= bound)) return false;
+  }
+  return true;
+}
+
+void ClampVector(std::vector<double>* v, double bound) {
+  for (double& x : *v) {
+    if (!std::isfinite(x)) {
+      x = 0.0;
+    } else if (x > bound) {
+      x = bound;
+    } else if (x < -bound) {
+      x = -bound;
+    }
+  }
+}
+
+}  // namespace
+
+DivergenceGuard::DivergenceGuard(const DivergenceOptions& options,
+                                 FactorModel* model)
+    : options_(options), model_(model) {
+  if (options_.policy == DivergencePolicy::kRollback) TakeSnapshot();
+}
+
+bool DivergenceGuard::ValueUnhealthy(double v) const {
+  // True for NaN as well: NaN fails every comparison.
+  return !(std::fabs(v) <= options_.max_abs_margin);
+}
+
+bool DivergenceGuard::ModelHealthy() const {
+  const double bound = options_.max_abs_factor;
+  return AllHealthy(model_->user_factor_data(), bound) &&
+         AllHealthy(model_->item_factor_data(), bound) &&
+         AllHealthy(model_->item_bias_data(), bound);
+}
+
+void DivergenceGuard::TakeSnapshot() {
+  snap_user_ = model_->user_factor_data();
+  snap_item_ = model_->item_factor_data();
+  snap_bias_ = model_->item_bias_data();
+}
+
+void DivergenceGuard::RestoreSnapshot() {
+  model_->mutable_user_factor_data() = snap_user_;
+  model_->mutable_item_factor_data() = snap_item_;
+  model_->mutable_item_bias_data() = snap_bias_;
+}
+
+void DivergenceGuard::ClampModel() {
+  const double bound = options_.max_abs_factor;
+  ClampVector(&model_->mutable_user_factor_data(), bound);
+  ClampVector(&model_->mutable_item_factor_data(), bound);
+  ClampVector(&model_->mutable_item_bias_data(), bound);
+}
+
+DivergenceGuard::Action DivergenceGuard::HandleDivergence(int64_t iteration,
+                                                          const char* what) {
+  switch (options_.policy) {
+    case DivergencePolicy::kOff:
+      return Action::kProceed;
+    case DivergencePolicy::kHalt:
+      status_ = Status::Internal("divergence detected at iteration " +
+                                 std::to_string(iteration) + " (" + what + ")");
+      return Action::kHalt;
+    case DivergencePolicy::kClamp:
+      ++clamps_;
+      CLAPF_LOG(Warning) << "divergence at iteration " << iteration << " ("
+                         << what << "): clamping parameters";
+      ClampModel();
+      return Action::kSkipUpdate;
+    case DivergencePolicy::kRollback:
+      if (retries_ >= options_.max_retries) {
+        status_ = Status::Internal(
+            "divergence at iteration " + std::to_string(iteration) + " (" +
+            what + ") after " + std::to_string(retries_) +
+            " rollbacks; giving up");
+        return Action::kHalt;
+      }
+      ++retries_;
+      ++rollbacks_;
+      lr_scale_ *= options_.lr_backoff;
+      CLAPF_LOG(Warning) << "divergence at iteration " << iteration << " ("
+                         << what << "): rolling back, lr scale now "
+                         << lr_scale_ << " (retry " << retries_ << "/"
+                         << options_.max_retries << ")";
+      RestoreSnapshot();
+      return Action::kSkipUpdate;
+  }
+  return Action::kProceed;
+}
+
+DivergenceGuard::Action DivergenceGuard::Observe(int64_t iteration,
+                                                 double value) {
+  if (options_.policy == DivergencePolicy::kOff) return Action::kProceed;
+  if (ValueUnhealthy(value)) {
+    return HandleDivergence(iteration, "unhealthy update margin");
+  }
+  if (options_.check_interval > 0 &&
+      iteration % options_.check_interval == 0) {
+    if (!ModelHealthy()) return HandleDivergence(iteration, "factor scan");
+    // Only a verified-healthy model becomes the rollback target.
+    if (options_.policy == DivergencePolicy::kRollback) TakeSnapshot();
+  }
+  return Action::kProceed;
+}
+
+void DivergenceGuard::RestoreBackoff(double lr_scale, int32_t retries) {
+  lr_scale_ = lr_scale;
+  retries_ = retries;
+}
+
+}  // namespace clapf

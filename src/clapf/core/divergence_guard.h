@@ -1,0 +1,119 @@
+#ifndef CLAPF_CORE_DIVERGENCE_GUARD_H_
+#define CLAPF_CORE_DIVERGENCE_GUARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clapf/model/factor_model.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Reaction when the guard detects NaN/Inf or exploding parameters.
+enum class DivergencePolicy {
+  /// No monitoring; the guard's per-iteration cost is one branch.
+  kOff,
+  /// Stop training and surface Status::Internal to the caller.
+  kHalt,
+  /// Restore the last healthy parameter snapshot, multiply the learning rate
+  /// by `lr_backoff`, and keep training; after `max_retries` rollbacks, halt.
+  kRollback,
+  /// Replace non-finite parameters with zero, clamp the rest into
+  /// [-max_abs_factor, max_abs_factor], skip the poisoned update, continue.
+  kClamp,
+};
+
+/// Numerical-health monitoring knobs for the SGD trainers. The defaults keep
+/// the guard off so the hot loop is untouched unless a caller opts in.
+struct DivergenceOptions {
+  DivergencePolicy policy = DivergencePolicy::kOff;
+  /// A per-iteration health value (the SGD margin) with |value| above this —
+  /// or NaN — counts as divergence. Healthy BPR/CLAPF margins are O(10).
+  double max_abs_margin = 1e4;
+  /// Bound checked against every parameter during the periodic full scan.
+  double max_abs_factor = 1e3;
+  /// Every `check_interval` iterations the guard scans all parameters and,
+  /// under kRollback, refreshes its healthy snapshot. <= 0 disables the scan
+  /// (the per-iteration margin check still runs).
+  int64_t check_interval = 4096;
+  /// Multiplicative learning-rate backoff applied on each rollback.
+  double lr_backoff = 0.5;
+  /// Rollbacks allowed before the guard gives up and halts.
+  int32_t max_retries = 8;
+};
+
+/// Watches an SGD run for numerical divergence — NaN/Inf margins, exploding
+/// factors — and reacts per the configured policy. Designed for the hot
+/// loop: the per-iteration cost is one fabs + compare (plus one branch when
+/// off); the O(model) scan and snapshot run only every `check_interval`
+/// iterations.
+///
+/// Usage inside a trainer loop:
+///   DivergenceGuard guard(options.divergence, model.get());
+///   for (it = 1; it <= T; ++it) {
+///     double lr = schedule(it) * guard.lr_scale();
+///     double margin = ...;
+///     switch (guard.Observe(it, margin)) {
+///       case DivergenceGuard::Action::kHalt: return guard.status();
+///       case DivergenceGuard::Action::kSkipUpdate: continue;
+///       case DivergenceGuard::Action::kProceed: break;
+///     }
+///     ... apply the SGD update ...
+///   }
+class DivergenceGuard {
+ public:
+  /// What the trainer must do after an Observe call.
+  enum class Action {
+    kProceed,     // healthy: apply the update
+    kSkipUpdate,  // parameters were rolled back or clamped: resample
+    kHalt,        // unrecoverable: return status() from Train
+  };
+
+  /// `model` must outlive the guard. Under kRollback an initial snapshot is
+  /// taken immediately so divergence before the first periodic scan can
+  /// still roll back (to the initialization).
+  DivergenceGuard(const DivergenceOptions& options, FactorModel* model);
+
+  /// Reports the health value of iteration `iteration` (1-based). Call once
+  /// per SGD step, before applying the update derived from `value`.
+  Action Observe(int64_t iteration, double value);
+
+  /// Current learning-rate multiplier (1.0 until a rollback backs it off).
+  /// Trainers fold this into their per-iteration rate.
+  double lr_scale() const { return lr_scale_; }
+
+  /// The failure surfaced when Observe returns kHalt.
+  const Status& status() const { return status_; }
+
+  /// Counters for logging and tests.
+  int64_t rollbacks() const { return rollbacks_; }
+  int64_t clamps() const { return clamps_; }
+
+  /// Restores backoff state recovered from a checkpoint so a resumed run
+  /// continues with the same effective learning rate.
+  void RestoreBackoff(double lr_scale, int32_t retries);
+
+ private:
+  bool ValueUnhealthy(double v) const;
+  bool ModelHealthy() const;
+  void TakeSnapshot();
+  void RestoreSnapshot();
+  void ClampModel();
+  Action HandleDivergence(int64_t iteration, const char* what);
+
+  DivergenceOptions options_;
+  FactorModel* model_;
+  Status status_;
+  double lr_scale_ = 1.0;
+  int32_t retries_ = 0;
+  int64_t rollbacks_ = 0;
+  int64_t clamps_ = 0;
+  // Healthy parameter snapshot for kRollback.
+  std::vector<double> snap_user_;
+  std::vector<double> snap_item_;
+  std::vector<double> snap_bias_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_CORE_DIVERGENCE_GUARD_H_

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "clapf/core/divergence_guard.h"
 #include "clapf/data/dataset.h"
 #include "clapf/eval/evaluator.h"
 #include "clapf/model/factor_model.h"
@@ -36,6 +37,9 @@ struct SgdOptions {
   double init_stddev = 0.01;
   /// Seed for initialization and sampling.
   uint64_t seed = 1;
+  /// Numerical-health monitoring (NaN/Inf/exploding factors) for the SGD
+  /// loop; off by default so the hot path is unchanged.
+  DivergenceOptions divergence;
 };
 
 /// A recommendation method that can be fitted to a training dataset and then

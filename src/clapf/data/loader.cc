@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "clapf/data/dataset_builder.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/logging.h"
 #include "clapf/util/string_util.h"
 
 namespace clapf {
@@ -52,9 +54,28 @@ Result<Dataset> LoadInteractions(const std::string& path,
   std::unordered_map<int64_t, ItemId> item_map;
   std::vector<std::pair<UserId, ItemId>> pairs;
 
+  FaultInjector& faults = FaultInjector::Instance();
+
   std::string line;
   bool first = true;
   int64_t line_no = 0;
+  int64_t bad_lines = 0;
+  // Every malformed row funnels through here: tolerated rows (up to
+  // `max_bad_lines`) are skipped with a warning, the next one fails the
+  // whole load with a line-numbered Corruption status.
+  auto bad_line = [&](const std::string& what) -> Status {
+    Status corrupt = Status::Corruption("line " + std::to_string(line_no) +
+                                        " in " + path + ": " + what);
+    if (bad_lines < options.max_bad_lines) {
+      ++bad_lines;
+      CLAPF_LOG(Warning) << "skipping malformed row (" << bad_lines << "/"
+                         << options.max_bad_lines
+                         << " tolerated): " << corrupt.message();
+      return Status::OK();
+    }
+    return corrupt;
+  };
+
   while (std::getline(in, line)) {
     ++line_no;
     if (first && options.has_header) {
@@ -65,23 +86,40 @@ Result<Dataset> LoadInteractions(const std::string& path,
     std::string_view trimmed = Trim(line);
     if (trimmed.empty()) continue;
 
+    if (faults.armed() && faults.ShouldFire(FaultPoint::kLoaderBadLine)) {
+      CLAPF_RETURN_IF_ERROR(bad_line("injected malformed row"));
+      continue;
+    }
+
     auto fields = SplitRecord(std::string(trimmed), options.format);
     if (!fields.ok()) return fields.status();
     size_t required = options.format == FileFormat::kPairs ? 2 : 3;
     if (fields->size() < required) {
-      return Status::Corruption("line " + std::to_string(line_no) + " in " +
-                                path + ": expected at least " +
-                                std::to_string(required) + " fields");
+      CLAPF_RETURN_IF_ERROR(bad_line("expected at least " +
+                                     std::to_string(required) + " fields"));
+      continue;
     }
 
     auto raw_user = ParseInt64((*fields)[0]);
     auto raw_item = ParseInt64((*fields)[1]);
-    if (!raw_user.ok()) return raw_user.status();
-    if (!raw_item.ok()) return raw_item.status();
+    if (!raw_user.ok()) {
+      CLAPF_RETURN_IF_ERROR(
+          bad_line("bad user id: " + raw_user.status().message()));
+      continue;
+    }
+    if (!raw_item.ok()) {
+      CLAPF_RETURN_IF_ERROR(
+          bad_line("bad item id: " + raw_item.status().message()));
+      continue;
+    }
 
     if (options.format != FileFormat::kPairs) {
       auto rating = ParseDouble((*fields)[2]);
-      if (!rating.ok()) return rating.status();
+      if (!rating.ok()) {
+        CLAPF_RETURN_IF_ERROR(
+            bad_line("bad rating: " + rating.status().message()));
+        continue;
+      }
       // The paper keeps only ratings > threshold as positive feedback.
       if (*rating <= options.rating_threshold) continue;
     }

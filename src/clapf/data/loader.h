@@ -28,11 +28,19 @@ struct LoadOptions {
   double rating_threshold = 3.0;
   /// Skip the first line (CSV header).
   bool has_header = false;
+  /// Malformed rows tolerated before the load fails. Each tolerated row is
+  /// skipped with a warning; row `max_bad_lines + 1` turns the load into
+  /// `Status::Corruption` carrying the offending line number. 0 (the
+  /// default) fails on the first bad row.
+  int64_t max_bad_lines = 0;
 };
 
 /// Loads an interactions file and binarizes it per `options`. Raw user/item
 /// ids are remapped to dense indices in first-seen order; the mapping is not
-/// retained (ranking experiments only need the dense matrix).
+/// retained (ranking experiments only need the dense matrix). Malformed rows
+/// (wrong field count, unparsable ids or ratings) produce
+/// `Status::Corruption` with the 1-based line number unless covered by
+/// `options.max_bad_lines`.
 Result<Dataset> LoadInteractions(const std::string& path,
                                  const LoadOptions& options);
 

@@ -68,6 +68,12 @@ class FactorModel {
   const std::vector<double>& item_factor_data() const { return item_factors_; }
   const std::vector<double>& item_bias_data() const { return item_bias_; }
 
+  /// Mutable raw storage, exposed for checkpoint restore and the divergence
+  /// guard's rollback path. Callers must not resize these vectors.
+  std::vector<double>& mutable_user_factor_data() { return user_factors_; }
+  std::vector<double>& mutable_item_factor_data() { return item_factors_; }
+  std::vector<double>& mutable_item_bias_data() { return item_bias_; }
+
   /// Squared L2 norm of all parameters (regularization diagnostics).
   double SquaredNorm() const;
 

@@ -3,42 +3,68 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
 #include <vector>
+
+#include "clapf/util/crc32.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/fs.h"
 
 namespace clapf {
 
 namespace {
 
 constexpr char kMagic[4] = {'C', 'L', 'P', 'F'};
-constexpr uint32_t kVersion = 1;
+// v1: header + raw parameter arrays. v2 appends a CRC-32 over the parameter
+// bytes. Readers accept both.
+constexpr uint32_t kVersionNoCrc = 1;
+constexpr uint32_t kVersion = 2;
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
+void WritePod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
+bool ReadPod(std::istream& in, T* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(T));
   return static_cast<bool>(in);
 }
 
-void WriteDoubles(std::ofstream& out, const std::vector<double>& v) {
+// Writes the array and folds its bytes into the running CRC state.
+void WriteDoubles(std::ostream& out, const std::vector<double>& v,
+                  uint32_t* crc) {
+  const size_t nbytes = v.size() * sizeof(double);
   out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(double)));
+            static_cast<std::streamsize>(nbytes));
+  *crc = Crc32Update(*crc, v.data(), nbytes);
 }
 
-bool ReadDoubles(std::ifstream& in, size_t count, double* dst) {
+bool ReadDoubles(std::istream& in, size_t count, double* dst, uint32_t* crc) {
+  const size_t nbytes = count * sizeof(double);
   in.read(reinterpret_cast<char*>(dst),
-          static_cast<std::streamsize>(count * sizeof(double)));
-  return static_cast<bool>(in);
+          static_cast<std::streamsize>(nbytes));
+  if (!in) return false;
+  *crc = Crc32Update(*crc, dst, nbytes);
+  return true;
+}
+
+// Serializes to a string so payload-level fault injection (short write, bit
+// flip) can mutate the image before it reaches disk.
+Result<std::string> SerializeModel(const FactorModel& model) {
+  std::ostringstream out(std::ios::binary);
+  CLAPF_RETURN_IF_ERROR(SaveModelToStream(model, out));
+  std::string payload = std::move(out).str();
+  FaultInjector& faults = FaultInjector::Instance();
+  if (faults.armed()) faults.MutateModelPayload(&payload);
+  return payload;
 }
 
 }  // namespace
 
-Status SaveModel(const FactorModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+Status SaveModelToStream(const FactorModel& model, std::ostream& out) {
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
   WritePod(out, model.num_users());
@@ -46,42 +72,44 @@ Status SaveModel(const FactorModel& model, const std::string& path) {
   WritePod(out, model.num_factors());
   uint8_t bias = model.use_item_bias() ? 1 : 0;
   WritePod(out, bias);
-  WriteDoubles(out, model.user_factor_data());
-  WriteDoubles(out, model.item_factor_data());
-  WriteDoubles(out, model.item_bias_data());
-  if (!out) return Status::IoError("write failed: " + path);
+  uint32_t crc = Crc32Init();
+  WriteDoubles(out, model.user_factor_data(), &crc);
+  WriteDoubles(out, model.item_factor_data(), &crc);
+  WriteDoubles(out, model.item_bias_data(), &crc);
+  WritePod(out, Crc32Finalize(crc));
+  if (!out) return Status::IoError("model serialization failed");
   return Status::OK();
 }
 
-Result<FactorModel> LoadModel(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open: " + path);
-
+Result<FactorModel> LoadModelFromStream(std::istream& in,
+                                        const std::string& context) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad magic in " + path);
+    return Status::Corruption("bad magic in " + context);
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::Corruption("unsupported model version in " + path);
+  if (!ReadPod(in, &version) ||
+      (version != kVersion && version != kVersionNoCrc)) {
+    return Status::Corruption("unsupported model version in " + context);
   }
   int32_t num_users = 0, num_items = 0, num_factors = 0;
   uint8_t bias = 0;
   if (!ReadPod(in, &num_users) || !ReadPod(in, &num_items) ||
       !ReadPod(in, &num_factors) || !ReadPod(in, &bias)) {
-    return Status::Corruption("truncated header in " + path);
+    return Status::Corruption("truncated header in " + context);
   }
   if (num_users < 0 || num_items < 0 || num_factors <= 0) {
-    return Status::Corruption("invalid dimensions in " + path);
+    return Status::Corruption("invalid dimensions in " + context);
   }
 
   FactorModel model(num_users, num_items, num_factors, bias != 0);
   const size_t uf = static_cast<size_t>(num_users) * num_factors;
   const size_t vf = static_cast<size_t>(num_items) * num_factors;
+  uint32_t crc = Crc32Init();
   std::vector<double> buf(uf);
-  if (!ReadDoubles(in, uf, buf.data())) {
-    return Status::Corruption("truncated user factors in " + path);
+  if (!ReadDoubles(in, uf, buf.data(), &crc)) {
+    return Status::Corruption("truncated user factors in " + context);
   }
   for (int32_t u = 0; u < num_users; ++u) {
     auto dst = model.UserFactors(u);
@@ -89,8 +117,8 @@ Result<FactorModel> LoadModel(const std::string& path) {
                 sizeof(double) * static_cast<size_t>(num_factors));
   }
   buf.resize(vf);
-  if (!ReadDoubles(in, vf, buf.data())) {
-    return Status::Corruption("truncated item factors in " + path);
+  if (!ReadDoubles(in, vf, buf.data(), &crc)) {
+    return Status::Corruption("truncated item factors in " + context);
   }
   for (int32_t i = 0; i < num_items; ++i) {
     auto dst = model.ItemFactors(i);
@@ -98,11 +126,39 @@ Result<FactorModel> LoadModel(const std::string& path) {
                 sizeof(double) * static_cast<size_t>(num_factors));
   }
   buf.resize(static_cast<size_t>(num_items));
-  if (!ReadDoubles(in, static_cast<size_t>(num_items), buf.data())) {
-    return Status::Corruption("truncated item biases in " + path);
+  if (!ReadDoubles(in, static_cast<size_t>(num_items), buf.data(), &crc)) {
+    return Status::Corruption("truncated item biases in " + context);
   }
   for (int32_t i = 0; i < num_items; ++i) model.ItemBias(i) = buf[i];
+
+  if (version >= kVersion) {
+    uint32_t stored = 0;
+    if (!ReadPod(in, &stored)) {
+      return Status::Corruption("missing parameter checksum in " + context);
+    }
+    if (stored != Crc32Finalize(crc)) {
+      return Status::Corruption("parameter checksum mismatch in " + context);
+    }
+  }
   return model;
+}
+
+Status SaveModel(const FactorModel& model, const std::string& path) {
+  auto payload = SerializeModel(model);
+  if (!payload.ok()) return payload.status();
+  return WriteStringToFile(path, *payload);
+}
+
+Status SaveModelAtomic(const FactorModel& model, const std::string& path) {
+  auto payload = SerializeModel(model);
+  if (!payload.ok()) return payload.status();
+  return WriteFileAtomic(path, *payload, FaultPoint::kModelRename);
+}
+
+Result<FactorModel> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  return LoadModelFromStream(in, path);
 }
 
 }  // namespace clapf

@@ -1,6 +1,7 @@
 #ifndef CLAPF_MODEL_MODEL_IO_H_
 #define CLAPF_MODEL_MODEL_IO_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "clapf/model/factor_model.h"
@@ -8,12 +9,30 @@
 
 namespace clapf {
 
-/// Serializes `model` to `path` in a little-endian binary format:
-/// magic "CLPF", version, dims, then the raw parameter arrays.
+/// Model file format: magic "CLPF", little-endian version + dims header, raw
+/// parameter arrays, and (since v2) a trailing CRC-32 over the parameter
+/// bytes so torn writes and bit flips are detected at load time. v1 files
+/// (no CRC) are still readable.
+
+/// Serializes `model` to `out`; the stream should be binary.
+Status SaveModelToStream(const FactorModel& model, std::ostream& out);
+
+/// Deserializes a model from `in`. `context` names the source (e.g. a file
+/// path) for error messages. Returns Corruption on bad magic/version, a
+/// truncated stream, or a CRC mismatch.
+Result<FactorModel> LoadModelFromStream(std::istream& in,
+                                        const std::string& context);
+
+/// Serializes `model` to `path` (plain write; not crash-safe — a crash
+/// mid-write leaves a torn file, which LoadModel will reject via CRC).
 Status SaveModel(const FactorModel& model, const std::string& path);
 
-/// Loads a model previously written by SaveModel. Returns Corruption on a
-/// bad magic/version or a truncated file.
+/// Crash-safe save: writes to `path + ".tmp"`, fsyncs, and atomically renames
+/// over `path`, so readers never observe a partially written model.
+Status SaveModelAtomic(const FactorModel& model, const std::string& path);
+
+/// Loads a model previously written by SaveModel/SaveModelAtomic. Returns
+/// Corruption on a bad magic/version, a truncated file, or a CRC mismatch.
 Result<FactorModel> LoadModel(const std::string& path);
 
 }  // namespace clapf

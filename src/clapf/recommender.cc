@@ -74,7 +74,9 @@ Result<double> Recommender::Score(UserId u, ItemId i) const {
 }
 
 Status Recommender::Save(const std::string& model_path) const {
-  return SaveModel(model_, model_path);
+  // Atomic publish: a crash mid-save can never leave a torn model file where
+  // a serving process would pick it up.
+  return SaveModelAtomic(model_, model_path);
 }
 
 }  // namespace clapf

@@ -1,0 +1,41 @@
+#include "clapf/util/crc32.h"
+
+#include <array>
+
+namespace clapf {
+
+namespace {
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t len) {
+  const auto& table = Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state = table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Finalize(Crc32Update(Crc32Init(), data, len));
+}
+
+}  // namespace clapf

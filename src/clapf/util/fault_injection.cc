@@ -1,0 +1,85 @@
+#include "clapf/util/fault_injection.h"
+
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kModelWriteShort:
+      return "model-write-short";
+    case FaultPoint::kModelWriteBitFlip:
+      return "model-write-bit-flip";
+    case FaultPoint::kModelRename:
+      return "model-rename";
+    case FaultPoint::kLoaderBadLine:
+      return "loader-bad-line";
+    case FaultPoint::kSgdStepNan:
+      return "sgd-step-nan";
+    case FaultPoint::kNumFaultPoints:
+      break;
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(FaultPoint point, FaultSpec spec) {
+  PointState& s = state(point);
+  if (!s.armed) ++num_armed_;
+  s.armed = true;
+  s.spec = spec;
+  s.hits = 0;
+  s.fires = 0;
+}
+
+void FaultInjector::Disarm(FaultPoint point) {
+  PointState& s = state(point);
+  if (s.armed) --num_armed_;
+  s.armed = false;
+}
+
+void FaultInjector::Reset() {
+  for (PointState& s : points_) s = PointState{};
+  num_armed_ = 0;
+}
+
+bool FaultInjector::ShouldFire(FaultPoint point) {
+  PointState& s = state(point);
+  if (!s.armed) return false;
+  ++s.hits;
+  if (s.hits < s.spec.trigger_at_hit) return false;
+  if (s.spec.max_fires >= 0 &&
+      s.fires >= s.spec.max_fires) {
+    return false;
+  }
+  ++s.fires;
+  CLAPF_LOG(Warning) << "fault injected: " << FaultPointName(point)
+                     << " (hit " << s.hits << ")";
+  return true;
+}
+
+int64_t FaultInjector::hits(FaultPoint point) const {
+  return state(point).hits;
+}
+
+int64_t FaultInjector::fires(FaultPoint point) const {
+  return state(point).fires;
+}
+
+void FaultInjector::MutateModelPayload(std::string* payload) {
+  if (payload->empty()) return;
+  if (ShouldFire(FaultPoint::kModelWriteShort)) {
+    payload->resize(payload->size() / 2);
+  }
+  if (!payload->empty() && ShouldFire(FaultPoint::kModelWriteBitFlip)) {
+    // Flip one bit in the middle of the image — deep enough to land in the
+    // parameter arrays rather than the header.
+    (*payload)[payload->size() / 2] ^= 0x10;
+  }
+}
+
+}  // namespace clapf

@@ -1,0 +1,141 @@
+#include "clapf/util/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace clapf {
+
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+// fsyncs one path (file or directory). Directory fsync makes a completed
+// rename durable; some filesystems refuse O_RDONLY fsync on dirs, in which
+// case the rename is still atomic, just not yet durable — acceptable.
+Status SyncPath(const std::string& path, bool is_dir) {
+  int flags = is_dir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    if (is_dir) return Status::OK();
+    return Status::IoError(ErrnoMessage("cannot open for fsync:", path));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !is_dir) {
+    return Status::IoError(ErrnoMessage("fsync failed:", path));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return buf.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.close();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents,
+                       FaultPoint rename_fault) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("cannot open for write:", tmp));
+
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written,
+                        contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError(ErrnoMessage("write failed:", tmp));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("fsync failed:", tmp));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("close failed:", tmp));
+  }
+
+  if (rename_fault != FaultPoint::kNumFaultPoints &&
+      FaultInjector::Instance().armed() &&
+      FaultInjector::Instance().ShouldFire(rename_fault)) {
+    // Simulated crash between data write and publish: the temp file stays,
+    // the destination is never updated.
+    return Status::IoError("injected rename failure publishing " + path);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("rename failed:", path));
+  }
+
+  const stdfs::path parent = stdfs::path(path).parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  return SyncPath(dir, /*is_dir=*/true);
+}
+
+bool PathExists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(path, ec);
+}
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(path, ec);
+  if (ec) return Status::IoError("cannot create directory " + path + ": " +
+                                 ec.message());
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove(path, ec);
+  if (ec) return Status::IoError("cannot remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  std::error_code ec;
+  stdfs::directory_iterator it(path, ec);
+  if (ec) return Status::IoError("cannot list " + path + ": " + ec.message());
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace clapf

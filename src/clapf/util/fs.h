@@ -1,0 +1,48 @@
+#ifndef CLAPF_UTIL_FS_H_
+#define CLAPF_UTIL_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Small filesystem layer for the resilience subsystem. All operations
+/// return Status instead of throwing, per the repo-wide error convention.
+
+/// Reads an entire file into a string. IoError when unreadable.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path` non-atomically (plain open/write/close).
+Status WriteStringToFile(const std::string& path, const std::string& contents);
+
+/// Crash-safe publish: writes `contents` to `path + ".tmp"`, fsyncs the file,
+/// atomically renames it over `path`, and fsyncs the parent directory so the
+/// rename itself survives a crash. Readers therefore only ever observe the
+/// old complete file or the new complete file, never a torn prefix.
+///
+/// `rename_fault`, when not kNumFaultPoints, names the fault-injection point
+/// consulted before the rename — firing it simulates a crash after the data
+/// write but before the publish (the temp file is left behind, the
+/// destination untouched).
+Status WriteFileAtomic(const std::string& path, const std::string& contents,
+                       FaultPoint rename_fault = FaultPoint::kNumFaultPoints);
+
+/// True when `path` exists (file or directory).
+bool PathExists(const std::string& path);
+
+/// Recursively creates `path` as a directory; OK if it already exists.
+Status CreateDirs(const std::string& path);
+
+/// Removes a file if present; OK when it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Non-recursive listing of the file names (not full paths) in `path`,
+/// sorted lexicographically. IoError when `path` is not a readable directory.
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+}  // namespace clapf
+
+#endif  // CLAPF_UTIL_FS_H_

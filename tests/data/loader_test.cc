@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "clapf/util/fault_injection.h"
+#include "testing/fault_schedule.h"
 #include "testing/test_util.h"
 
 namespace clapf {
@@ -93,7 +95,72 @@ TEST(LoaderTest, TruncatedRecordIsCorruption) {
 TEST(LoaderTest, NonNumericFieldIsError) {
   std::string path = testing::WriteTempFile("nan.tsv", "a\tb\t5\t0\n");
   auto ds = LoadInteractions(path, LoadOptions{});
-  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoaderTest, CorruptionCarriesLineNumber) {
+  std::string path = testing::WriteTempFile("lineno.tsv",
+                                            "1\t10\t5\t0\n"
+                                            "2\t20\t4\t0\n"
+                                            "oops\n");
+  auto ds = LoadInteractions(path, LoadOptions{});
+  ASSERT_EQ(ds.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(ds.status().message().find("line 3"), std::string::npos)
+      << ds.status().ToString();
+}
+
+TEST(LoaderTest, MaxBadLinesToleratesAndSkips) {
+  std::string path = testing::WriteTempFile("tolerate.tsv",
+                                            "1\t10\t5\t0\n"
+                                            "garbage\n"
+                                            "2\t20\t4\t0\n"
+                                            "3\tnot-an-id\t4\t0\n"
+                                            "3\t30\t5\t0\n");
+  LoadOptions opts;
+  opts.max_bad_lines = 2;
+  auto ds = LoadInteractions(path, opts);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_interactions(), 3);
+  EXPECT_EQ(ds->num_users(), 3);
+}
+
+TEST(LoaderTest, BadLinesBeyondBudgetFailTheLoad) {
+  std::string path = testing::WriteTempFile("over_budget.tsv",
+                                            "garbage one\n"
+                                            "1\t10\t5\t0\n"
+                                            "garbage two\n");
+  LoadOptions opts;
+  opts.max_bad_lines = 1;
+  auto ds = LoadInteractions(path, opts);
+  ASSERT_EQ(ds.status().code(), StatusCode::kCorruption);
+  // The second bad row (line 3) is the one that breaks the budget.
+  EXPECT_NE(ds.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(LoaderTest, InjectedBadLineIsCaught) {
+  std::string path = testing::WriteTempFile("inject.tsv",
+                                            "1\t10\t5\t0\n"
+                                            "2\t20\t4\t0\n"
+                                            "3\t30\t5\t0\n");
+  clapf::testing::ScopedFaultSchedule faults(
+      {{FaultPoint::kLoaderBadLine, {.trigger_at_hit = 2}}});
+  auto ds = LoadInteractions(path, LoadOptions{});
+  ASSERT_EQ(ds.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(ds.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LoaderTest, InjectedBadLineToleratedByBudget) {
+  std::string path = testing::WriteTempFile("inject_ok.tsv",
+                                            "1\t10\t5\t0\n"
+                                            "2\t20\t4\t0\n"
+                                            "3\t30\t5\t0\n");
+  clapf::testing::ScopedFaultSchedule faults(
+      {{FaultPoint::kLoaderBadLine, {.trigger_at_hit = 2}}});
+  LoadOptions opts;
+  opts.max_bad_lines = 1;
+  auto ds = LoadInteractions(path, opts);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_interactions(), 2);  // the injected-bad row was skipped
 }
 
 TEST(LoaderTest, BlankLinesIgnored) {

@@ -16,7 +16,11 @@
 #include "clapf/baselines/pop_rank.h"     // NOLINT
 #include "clapf/baselines/random_walk.h"  // NOLINT
 #include "clapf/baselines/wmf.h"          // NOLINT
+#include "clapf/core/checkpoint.h"        // NOLINT
+#include "clapf/core/checkpoint.h"        // NOLINT
 #include "clapf/core/clapf_trainer.h"     // NOLINT
+#include "clapf/core/divergence_guard.h"  // NOLINT
+#include "clapf/core/divergence_guard.h"  // NOLINT
 #include "clapf/core/model_selection.h"   // NOLINT
 #include "clapf/core/smoothing.h"         // NOLINT
 #include "clapf/core/trainer.h"           // NOLINT
@@ -46,8 +50,14 @@
 #include "clapf/sampling/rank_list.h"     // NOLINT
 #include "clapf/sampling/sampler.h"       // NOLINT
 #include "clapf/sampling/uniform_sampler.h"  // NOLINT
+#include "clapf/util/crc32.h"             // NOLINT
+#include "clapf/util/crc32.h"             // NOLINT
 #include "clapf/util/csv.h"               // NOLINT
+#include "clapf/util/fault_injection.h"   // NOLINT
+#include "clapf/util/fault_injection.h"   // NOLINT
 #include "clapf/util/flags.h"             // NOLINT
+#include "clapf/util/fs.h"                // NOLINT
+#include "clapf/util/fs.h"                // NOLINT
 #include "clapf/util/linalg.h"            // NOLINT
 #include "clapf/util/logging.h"           // NOLINT
 #include "clapf/util/math.h"              // NOLINT

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <fstream>
 
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/fs.h"
 #include "clapf/util/random.h"
+#include "testing/fault_schedule.h"
 
 namespace clapf {
 namespace {
@@ -77,6 +81,114 @@ TEST(ModelIoTest, SaveToBadPathIsIoError) {
   FactorModel model(1, 1, 1);
   EXPECT_EQ(SaveModel(model, "/no-such-dir-xyz/m.clpf").code(),
             StatusCode::kIoError);
+}
+
+TEST(ModelIoTest, BitFlipInParametersIsCaughtByCrc) {
+  FactorModel model(6, 9, 3);
+  Rng rng(11);
+  model.InitGaussian(rng, 0.2);
+  std::string path = ::testing::TempDir() + "flipped_model.clpf";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  std::string damaged = *contents;
+  damaged[damaged.size() / 2] ^= 0x01;  // deep inside the parameter arrays
+  ASSERT_TRUE(WriteStringToFile(path, damaged).ok());
+
+  auto loaded = LoadModel(path);
+  ASSERT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos);
+}
+
+TEST(ModelIoTest, TruncationInsideParametersIsCorruption) {
+  FactorModel model(6, 9, 3);
+  std::string path = ::testing::TempDir() + "trunc_params.clpf";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  // Drop only the trailing CRC: the parameters are all there, but a v2 file
+  // without its checksum is a torn write.
+  std::string torn = contents->substr(0, contents->size() - 4);
+  ASSERT_TRUE(WriteStringToFile(path, torn).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("missing parameter checksum"),
+            std::string::npos);
+}
+
+TEST(ModelIoTest, Version1FileWithoutCrcStillLoads) {
+  FactorModel model(2, 3, 2, /*use_item_bias=*/true);
+  Rng rng(4);
+  model.InitGaussian(rng, 0.1);
+
+  // Hand-craft a v1 image: same header and parameter layout, no trailing CRC.
+  std::string path = ::testing::TempDir() + "v1_model.clpf";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write("CLPF", 4);
+  const uint32_t version = 1;
+  const int32_t users = 2, items = 3, factors = 2;
+  const uint8_t bias = 1;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&users), sizeof(users));
+  out.write(reinterpret_cast<const char*>(&items), sizeof(items));
+  out.write(reinterpret_cast<const char*>(&factors), sizeof(factors));
+  out.write(reinterpret_cast<const char*>(&bias), sizeof(bias));
+  auto write_doubles = [&out](const std::vector<double>& v) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(double)));
+  };
+  write_doubles(model.user_factor_data());
+  write_doubles(model.item_factor_data());
+  write_doubles(model.item_bias_data());
+  out.close();
+
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->user_factor_data(), model.user_factor_data());
+  EXPECT_EQ(loaded->item_factor_data(), model.item_factor_data());
+}
+
+TEST(ModelIoTest, AtomicSaveRoundTrips) {
+  FactorModel model(4, 5, 2);
+  Rng rng(8);
+  model.InitGaussian(rng, 0.3);
+  std::string path = ::testing::TempDir() + "atomic_model.clpf";
+  ASSERT_TRUE(SaveModelAtomic(model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->user_factor_data(), model.user_factor_data());
+}
+
+TEST(ModelIoTest, InjectedShortWriteIsDetectedAtLoad) {
+  FactorModel model(6, 9, 3);
+  std::string path = ::testing::TempDir() + "short_model.clpf";
+  {
+    clapf::testing::ScopedFaultSchedule faults(
+        {{FaultPoint::kModelWriteShort, {}}});
+    ASSERT_TRUE(SaveModel(model, path).ok());  // write "succeeds", torn
+  }
+  EXPECT_EQ(LoadModel(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ModelIoTest, InjectedRenameFailurePreservesOldModel) {
+  FactorModel old_model(3, 3, 2);
+  Rng rng(2);
+  old_model.InitGaussian(rng, 0.2);
+  std::string path = ::testing::TempDir() + "rename_model.clpf";
+  ASSERT_TRUE(SaveModelAtomic(old_model, path).ok());
+
+  FactorModel new_model(3, 3, 2);
+  {
+    clapf::testing::ScopedFaultSchedule faults(
+        {{FaultPoint::kModelRename, {}}});
+    EXPECT_EQ(SaveModelAtomic(new_model, path).code(), StatusCode::kIoError);
+  }
+  // The published file still holds the previous model.
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->user_factor_data(), old_model.user_factor_data());
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+#include "clapf/core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "clapf/util/fs.h"
+#include "clapf/util/random.h"
+#include "testing/fault_schedule.h"
+
+namespace clapf {
+namespace {
+
+using clapf::testing::ScopedFaultSchedule;
+
+// A fresh, empty checkpoint directory for one test.
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "ckpt_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+FactorModel ModelWithSeed(uint64_t seed) {
+  FactorModel model(5, 8, 3, /*use_item_bias=*/true);
+  Rng rng(seed);
+  model.InitGaussian(rng, 0.2);
+  return model;
+}
+
+TrainerCheckpointState StateAt(int64_t iteration) {
+  TrainerCheckpointState state;
+  state.iteration = iteration;
+  state.seed = 42;
+  state.lr_scale = 0.5;
+  state.guard_retries = 1;
+  state.loss_acc = 12.5;
+  state.loss_count = iteration;
+  return state;
+}
+
+TEST(CheckpointManagerTest, DisabledWithoutDirOrInterval) {
+  CheckpointManager no_dir(CheckpointOptions{});
+  EXPECT_FALSE(no_dir.enabled());
+  EXPECT_TRUE(no_dir.Init().ok());  // no-op
+
+  CheckpointOptions dir_only;
+  dir_only.dir = FreshDir("disabled");
+  CheckpointManager no_interval(dir_only);
+  EXPECT_FALSE(no_interval.enabled());
+  EXPECT_EQ(no_interval.Write(ModelWithSeed(1), StateAt(1)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointManagerTest, WriteThenLoadLatestRoundTrips) {
+  CheckpointOptions opts;
+  opts.dir = FreshDir("roundtrip");
+  opts.interval = 10;
+  CheckpointManager manager(opts);
+  ASSERT_TRUE(manager.Init().ok());
+
+  FactorModel model = ModelWithSeed(3);
+  ASSERT_TRUE(manager.Write(model, StateAt(10)).ok());
+
+  auto loaded = manager.LoadLatest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->state.iteration, 10);
+  EXPECT_EQ(loaded->state.seed, 42u);
+  EXPECT_DOUBLE_EQ(loaded->state.lr_scale, 0.5);
+  EXPECT_EQ(loaded->state.guard_retries, 1);
+  EXPECT_DOUBLE_EQ(loaded->state.loss_acc, 12.5);
+  EXPECT_EQ(loaded->state.loss_count, 10);
+  EXPECT_EQ(loaded->model.user_factor_data(), model.user_factor_data());
+  EXPECT_EQ(loaded->model.item_factor_data(), model.item_factor_data());
+  EXPECT_EQ(loaded->model.item_bias_data(), model.item_bias_data());
+}
+
+TEST(CheckpointManagerTest, RecoveryAcrossManagerInstances) {
+  CheckpointOptions opts;
+  opts.dir = FreshDir("recovery");
+  opts.interval = 10;
+  {
+    CheckpointManager writer(opts);
+    ASSERT_TRUE(writer.Init().ok());
+    ASSERT_TRUE(writer.Write(ModelWithSeed(1), StateAt(10)).ok());
+    ASSERT_TRUE(writer.Write(ModelWithSeed(2), StateAt(20)).ok());
+  }
+  CheckpointManager reader(opts);
+  ASSERT_TRUE(reader.Init().ok());
+  ASSERT_EQ(reader.entries().size(), 2u);
+  auto loaded = reader.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->state.iteration, 20);
+  EXPECT_EQ(loaded->model.user_factor_data(),
+            ModelWithSeed(2).user_factor_data());
+}
+
+TEST(CheckpointManagerTest, PrunesBeyondKeepLast) {
+  CheckpointOptions opts;
+  opts.dir = FreshDir("prune");
+  opts.interval = 1;
+  opts.keep_last = 2;
+  CheckpointManager manager(opts);
+  ASSERT_TRUE(manager.Init().ok());
+  for (int64_t it = 1; it <= 5; ++it) {
+    ASSERT_TRUE(manager.Write(ModelWithSeed(static_cast<uint64_t>(it)),
+                              StateAt(it)).ok());
+  }
+  EXPECT_EQ(manager.entries().size(), 2u);
+
+  // Only the two newest checkpoint files remain on disk.
+  auto names = ListDir(opts.dir);
+  ASSERT_TRUE(names.ok());
+  int ckpt_files = 0;
+  for (const std::string& name : *names) {
+    if (name.starts_with("ckpt-")) ++ckpt_files;
+  }
+  EXPECT_EQ(ckpt_files, 2);
+
+  auto loaded = manager.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->state.iteration, 5);
+}
+
+TEST(CheckpointManagerTest, LostManifestFallsBackToDirectoryScan) {
+  CheckpointOptions opts;
+  opts.dir = FreshDir("lost_manifest");
+  opts.interval = 10;
+  {
+    CheckpointManager writer(opts);
+    ASSERT_TRUE(writer.Init().ok());
+    ASSERT_TRUE(writer.Write(ModelWithSeed(1), StateAt(10)).ok());
+    ASSERT_TRUE(writer.Write(ModelWithSeed(2), StateAt(20)).ok());
+  }
+  ASSERT_TRUE(RemoveFileIfExists(opts.dir + "/MANIFEST").ok());
+
+  CheckpointManager reader(opts);
+  ASSERT_TRUE(reader.Init().ok());
+  ASSERT_EQ(reader.entries().size(), 2u);
+  auto loaded = reader.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->state.iteration, 20);
+}
+
+TEST(CheckpointManagerTest, LoadLatestSkipsByteCorruptedNewest) {
+  CheckpointOptions opts;
+  opts.dir = FreshDir("skip_corrupt");
+  opts.interval = 10;
+  CheckpointManager manager(opts);
+  ASSERT_TRUE(manager.Init().ok());
+  ASSERT_TRUE(manager.Write(ModelWithSeed(1), StateAt(10)).ok());
+  ASSERT_TRUE(manager.Write(ModelWithSeed(2), StateAt(20)).ok());
+
+  // Flip one byte in the middle of the newest checkpoint (lands in the
+  // parameter arrays; only the CRC can catch it).
+  const std::string newest = opts.dir + "/" + manager.entries().back();
+  auto contents = ReadFileToString(newest);
+  ASSERT_TRUE(contents.ok());
+  std::string damaged = *contents;
+  damaged[damaged.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteStringToFile(newest, damaged).ok());
+
+  auto loaded = manager.LoadLatest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->state.iteration, 10);
+  EXPECT_EQ(loaded->model.user_factor_data(),
+            ModelWithSeed(1).user_factor_data());
+}
+
+TEST(CheckpointManagerTest, ShortWriteCheckpointIsSkippedOnRecovery) {
+  CheckpointOptions opts;
+  opts.dir = FreshDir("short_write");
+  opts.interval = 10;
+  CheckpointManager manager(opts);
+  ASSERT_TRUE(manager.Init().ok());
+  ASSERT_TRUE(manager.Write(ModelWithSeed(1), StateAt(10)).ok());
+  {
+    // The second write is torn in half before it reaches disk.
+    ScopedFaultSchedule faults(
+        {{FaultPoint::kModelWriteShort, {.trigger_at_hit = 1}}});
+    ASSERT_TRUE(manager.Write(ModelWithSeed(2), StateAt(20)).ok());
+  }
+  auto loaded = manager.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->state.iteration, 10);
+}
+
+TEST(CheckpointManagerTest, RenameFailureLeavesPreviousCheckpointIntact) {
+  CheckpointOptions opts;
+  opts.dir = FreshDir("rename_fail");
+  opts.interval = 10;
+  CheckpointManager manager(opts);
+  ASSERT_TRUE(manager.Init().ok());
+  ASSERT_TRUE(manager.Write(ModelWithSeed(1), StateAt(10)).ok());
+  {
+    ScopedFaultSchedule faults({{FaultPoint::kModelRename, {}}});
+    Status s = manager.Write(ModelWithSeed(2), StateAt(20));
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+  }
+  // The failed write never made it into the manifest.
+  EXPECT_EQ(manager.entries().size(), 1u);
+  auto loaded = manager.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->state.iteration, 10);
+}
+
+TEST(CheckpointManagerTest, EmptyDirectoryIsNotFound) {
+  CheckpointOptions opts;
+  opts.dir = FreshDir("empty");
+  opts.interval = 10;
+  CheckpointManager manager(opts);
+  ASSERT_TRUE(manager.Init().ok());
+  EXPECT_EQ(manager.LoadLatest().status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointManagerTest, ReadCheckpointFileRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "garbage.ckpt";
+  std::ofstream(path) << "this is not a checkpoint";
+  EXPECT_EQ(CheckpointManager::ReadCheckpointFile(path).status().code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,257 @@
+#include "clapf/core/divergence_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "clapf/baselines/bpr.h"
+#include "clapf/baselines/climf.h"
+#include "clapf/baselines/mpr.h"
+#include "clapf/baselines/wmf.h"
+#include "clapf/util/random.h"
+#include "testing/fault_schedule.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+using clapf::testing::ScopedFaultSchedule;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+FactorModel SmallModel() {
+  FactorModel model(3, 4, 2, /*use_item_bias=*/true);
+  Rng rng(7);
+  model.InitGaussian(rng, 0.1);
+  return model;
+}
+
+TEST(DivergenceGuardTest, OffPolicyIgnoresEverything) {
+  FactorModel model = SmallModel();
+  DivergenceOptions opts;  // policy defaults to kOff
+  DivergenceGuard guard(opts, &model);
+  EXPECT_EQ(guard.Observe(1, kNaN), DivergenceGuard::Action::kProceed);
+  EXPECT_EQ(guard.Observe(2, 1e18), DivergenceGuard::Action::kProceed);
+}
+
+TEST(DivergenceGuardTest, HaltOnNaNMargin) {
+  FactorModel model = SmallModel();
+  DivergenceOptions opts;
+  opts.policy = DivergencePolicy::kHalt;
+  DivergenceGuard guard(opts, &model);
+  EXPECT_EQ(guard.Observe(1, 0.5), DivergenceGuard::Action::kProceed);
+  EXPECT_EQ(guard.Observe(2, kNaN), DivergenceGuard::Action::kHalt);
+  EXPECT_EQ(guard.status().code(), StatusCode::kInternal);
+  EXPECT_NE(guard.status().message().find("iteration 2"), std::string::npos);
+}
+
+TEST(DivergenceGuardTest, HaltOnExplodedMargin) {
+  FactorModel model = SmallModel();
+  DivergenceOptions opts;
+  opts.policy = DivergencePolicy::kHalt;
+  opts.max_abs_margin = 100.0;
+  DivergenceGuard guard(opts, &model);
+  EXPECT_EQ(guard.Observe(1, -99.0), DivergenceGuard::Action::kProceed);
+  EXPECT_EQ(guard.Observe(2, -101.0), DivergenceGuard::Action::kHalt);
+}
+
+TEST(DivergenceGuardTest, PeriodicScanCatchesPoisonedFactor) {
+  FactorModel model = SmallModel();
+  DivergenceOptions opts;
+  opts.policy = DivergencePolicy::kHalt;
+  opts.check_interval = 2;
+  opts.max_abs_factor = 10.0;
+  DivergenceGuard guard(opts, &model);
+  model.UserFactors(1)[0] = 1e9;  // silent corruption between margins
+  EXPECT_EQ(guard.Observe(1, 0.0), DivergenceGuard::Action::kProceed);
+  EXPECT_EQ(guard.Observe(2, 0.0), DivergenceGuard::Action::kHalt);
+  EXPECT_NE(guard.status().message().find("factor scan"), std::string::npos);
+}
+
+TEST(DivergenceGuardTest, RollbackRestoresSnapshotAndBacksOffLr) {
+  FactorModel model = SmallModel();
+  const std::vector<double> initial = model.user_factor_data();
+  DivergenceOptions opts;
+  opts.policy = DivergencePolicy::kRollback;
+  opts.lr_backoff = 0.5;
+  DivergenceGuard guard(opts, &model);  // snapshots the initial parameters
+
+  model.UserFactors(0)[0] = 42.0;  // the update that will be rolled back
+  EXPECT_EQ(guard.Observe(1, kNaN), DivergenceGuard::Action::kSkipUpdate);
+  EXPECT_EQ(model.user_factor_data(), initial);
+  EXPECT_DOUBLE_EQ(guard.lr_scale(), 0.5);
+  EXPECT_EQ(guard.rollbacks(), 1);
+
+  EXPECT_EQ(guard.Observe(2, kNaN), DivergenceGuard::Action::kSkipUpdate);
+  EXPECT_DOUBLE_EQ(guard.lr_scale(), 0.25);
+  EXPECT_EQ(guard.rollbacks(), 2);
+}
+
+TEST(DivergenceGuardTest, RollbackGivesUpAfterMaxRetries) {
+  FactorModel model = SmallModel();
+  DivergenceOptions opts;
+  opts.policy = DivergencePolicy::kRollback;
+  opts.max_retries = 2;
+  DivergenceGuard guard(opts, &model);
+  EXPECT_EQ(guard.Observe(1, kNaN), DivergenceGuard::Action::kSkipUpdate);
+  EXPECT_EQ(guard.Observe(2, kNaN), DivergenceGuard::Action::kSkipUpdate);
+  EXPECT_EQ(guard.Observe(3, kNaN), DivergenceGuard::Action::kHalt);
+  EXPECT_NE(guard.status().message().find("giving up"), std::string::npos);
+}
+
+TEST(DivergenceGuardTest, RollbackSnapshotRefreshesOnHealthyScan) {
+  FactorModel model = SmallModel();
+  DivergenceOptions opts;
+  opts.policy = DivergencePolicy::kRollback;
+  opts.check_interval = 1;  // refresh the snapshot every healthy iteration
+  DivergenceGuard guard(opts, &model);
+
+  model.UserFactors(0)[0] = 3.0;  // a healthy update
+  EXPECT_EQ(guard.Observe(1, 0.0), DivergenceGuard::Action::kProceed);
+  const std::vector<double> after_progress = model.user_factor_data();
+
+  model.UserFactors(0)[0] = kNaN;
+  EXPECT_EQ(guard.Observe(2, kNaN), DivergenceGuard::Action::kSkipUpdate);
+  // Rolled back to the refreshed snapshot, not all the way to initialization.
+  EXPECT_EQ(model.user_factor_data(), after_progress);
+}
+
+TEST(DivergenceGuardTest, ClampZeroesNonFiniteAndClampsRest) {
+  FactorModel model = SmallModel();
+  DivergenceOptions opts;
+  opts.policy = DivergencePolicy::kClamp;
+  opts.max_abs_factor = 1.0;
+  DivergenceGuard guard(opts, &model);
+  model.UserFactors(0)[0] = kNaN;
+  model.UserFactors(0)[1] = -7.0;
+  model.ItemBias(2) = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(guard.Observe(1, kNaN), DivergenceGuard::Action::kSkipUpdate);
+  EXPECT_EQ(guard.clamps(), 1);
+  EXPECT_DOUBLE_EQ(model.UserFactors(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(model.UserFactors(0)[1], -1.0);
+  EXPECT_DOUBLE_EQ(model.ItemBias(2), 0.0);
+  for (double v : model.user_factor_data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LE(std::fabs(v), 1.0);
+  }
+}
+
+TEST(DivergenceGuardTest, RestoreBackoffContinuesCheckpointedSchedule) {
+  FactorModel model = SmallModel();
+  DivergenceOptions opts;
+  opts.policy = DivergencePolicy::kRollback;
+  opts.max_retries = 3;
+  DivergenceGuard guard(opts, &model);
+  guard.RestoreBackoff(0.25, 2);
+  EXPECT_DOUBLE_EQ(guard.lr_scale(), 0.25);
+  // One retry left before the guard halts.
+  EXPECT_EQ(guard.Observe(1, kNaN), DivergenceGuard::Action::kSkipUpdate);
+  EXPECT_EQ(guard.Observe(2, kNaN), DivergenceGuard::Action::kHalt);
+}
+
+// --- Trainer integration -------------------------------------------------
+
+TEST(TrainerGuardTest, BprHaltsOnInjectedNan) {
+  Dataset train = testing::MakeLearnableDataset(20, 30, 6, 11);
+  BprOptions opts;
+  opts.sgd.iterations = 500;
+  opts.sgd.num_factors = 4;
+  opts.sgd.divergence.policy = DivergencePolicy::kHalt;
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kSgdStepNan, {.trigger_at_hit = 100}}});
+  BprTrainer trainer(opts);
+  Status s = trainer.Train(train);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("iteration 100"), std::string::npos);
+}
+
+TEST(TrainerGuardTest, MprHaltsOnInjectedNan) {
+  Dataset train = testing::MakeLearnableDataset(20, 30, 6, 11);
+  MprOptions opts;
+  opts.sgd.iterations = 500;
+  opts.sgd.num_factors = 4;
+  opts.sgd.divergence.policy = DivergencePolicy::kHalt;
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kSgdStepNan, {.trigger_at_hit = 50}}});
+  MprTrainer trainer(opts);
+  EXPECT_EQ(trainer.Train(train).code(), StatusCode::kInternal);
+}
+
+TEST(TrainerGuardTest, ClimfHaltsOnInjectedNan) {
+  Dataset train = testing::MakeLearnableDataset(20, 30, 6, 11);
+  ClimfOptions opts;
+  opts.epochs = 5;
+  opts.sgd.num_factors = 4;
+  opts.sgd.divergence.policy = DivergencePolicy::kHalt;
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kSgdStepNan, {.trigger_at_hit = 30}}});
+  ClimfTrainer trainer(opts);
+  EXPECT_EQ(trainer.Train(train).code(), StatusCode::kInternal);
+}
+
+TEST(TrainerGuardTest, WmfRollbackHaltsWithRestoredFiniteModel) {
+  Dataset train = testing::MakeLearnableDataset(15, 20, 5, 13);
+  WmfOptions opts;
+  opts.num_factors = 4;
+  opts.sweeps = 6;
+  opts.divergence.policy = DivergencePolicy::kRollback;
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kSgdStepNan, {.trigger_at_hit = 3}}});
+  WmfTrainer trainer(opts);
+  Status s = trainer.Train(train);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("sweep 3"), std::string::npos);
+  // The published model was restored to the last healthy sweep.
+  ASSERT_NE(trainer.model(), nullptr);
+  for (double v : trainer.model()->user_factor_data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(TrainerGuardTest, WmfClampKeepsSweeping) {
+  Dataset train = testing::MakeLearnableDataset(15, 20, 5, 13);
+  WmfOptions opts;
+  opts.num_factors = 4;
+  opts.sweeps = 6;
+  opts.divergence.policy = DivergencePolicy::kClamp;
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kSgdStepNan, {.trigger_at_hit = 3}}});
+  WmfTrainer trainer(opts);
+  ASSERT_TRUE(trainer.Train(train).ok());
+  for (double v : trainer.model()->user_factor_data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  for (double v : trainer.model()->item_factor_data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+// Acceptance scenario: a learning rate that destabilizes plain BPR recovers
+// to a finite model under the rollback policy.
+TEST(TrainerGuardTest, BprRecoversFromDestabilizingLearningRate) {
+  Dataset train = testing::MakeLearnableDataset(30, 40, 8, 17);
+  BprOptions opts;
+  opts.sgd.iterations = 4000;
+  opts.sgd.num_factors = 8;
+  opts.sgd.learning_rate = 5.0;  // wildly too large: factors explode
+  opts.sgd.divergence.policy = DivergencePolicy::kRollback;
+  opts.sgd.divergence.check_interval = 64;
+  opts.sgd.divergence.max_abs_factor = 5.0;
+  opts.sgd.divergence.lr_backoff = 0.5;
+  opts.sgd.divergence.max_retries = 20;
+  BprTrainer trainer(opts);
+  Status s = trainer.Train(train);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (double v : trainer.model()->user_factor_data()) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_LE(std::fabs(v), 5.0);
+  }
+  for (double v : trainer.model()->item_factor_data()) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_LE(std::fabs(v), 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace clapf

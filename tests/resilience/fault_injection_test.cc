@@ -1,0 +1,109 @@
+#include "clapf/util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testing/fault_schedule.h"
+
+namespace clapf {
+namespace {
+
+using clapf::testing::ScopedFaultSchedule;
+
+TEST(FaultInjectorTest, UnarmedPointNeverFires) {
+  ScopedFaultSchedule faults;  // nothing armed; destructor still resets
+  FaultInjector& fi = FaultInjector::Instance();
+  EXPECT_FALSE(fi.armed());
+  EXPECT_FALSE(fi.ShouldFire(FaultPoint::kSgdStepNan));
+  EXPECT_EQ(fi.hits(FaultPoint::kSgdStepNan), 0);
+  EXPECT_EQ(fi.fires(FaultPoint::kSgdStepNan), 0);
+}
+
+TEST(FaultInjectorTest, FiresExactlyAtTriggerHit) {
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kSgdStepNan, {.trigger_at_hit = 3, .max_fires = 1}}});
+  FaultInjector& fi = FaultInjector::Instance();
+  EXPECT_TRUE(fi.armed());
+  EXPECT_FALSE(fi.ShouldFire(FaultPoint::kSgdStepNan));  // hit 1
+  EXPECT_FALSE(fi.ShouldFire(FaultPoint::kSgdStepNan));  // hit 2
+  EXPECT_TRUE(fi.ShouldFire(FaultPoint::kSgdStepNan));   // hit 3: fires
+  EXPECT_FALSE(fi.ShouldFire(FaultPoint::kSgdStepNan));  // max_fires spent
+  EXPECT_EQ(faults.hits(FaultPoint::kSgdStepNan), 4);
+  EXPECT_EQ(faults.fires(FaultPoint::kSgdStepNan), 1);
+}
+
+TEST(FaultInjectorTest, NegativeMaxFiresMeansEveryHit) {
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kLoaderBadLine, {.trigger_at_hit = 2, .max_fires = -1}}});
+  FaultInjector& fi = FaultInjector::Instance();
+  EXPECT_FALSE(fi.ShouldFire(FaultPoint::kLoaderBadLine));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(fi.ShouldFire(FaultPoint::kLoaderBadLine));
+  }
+  EXPECT_EQ(faults.fires(FaultPoint::kLoaderBadLine), 5);
+}
+
+TEST(FaultInjectorTest, PointsAreIndependent) {
+  ScopedFaultSchedule faults({{FaultPoint::kModelRename, {}}});
+  FaultInjector& fi = FaultInjector::Instance();
+  // An armed injector still reports false for every unarmed point.
+  EXPECT_FALSE(fi.ShouldFire(FaultPoint::kSgdStepNan));
+  EXPECT_TRUE(fi.ShouldFire(FaultPoint::kModelRename));
+}
+
+TEST(FaultInjectorTest, DisarmStopsFiringButKeepsCounters) {
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kSgdStepNan, {.trigger_at_hit = 1, .max_fires = -1}}});
+  FaultInjector& fi = FaultInjector::Instance();
+  EXPECT_TRUE(fi.ShouldFire(FaultPoint::kSgdStepNan));
+  faults.Disarm(FaultPoint::kSgdStepNan);
+  EXPECT_FALSE(fi.armed());
+  EXPECT_FALSE(fi.ShouldFire(FaultPoint::kSgdStepNan));
+  // Counters survive disarm for post-mortem assertions.
+  EXPECT_EQ(faults.hits(FaultPoint::kSgdStepNan), 1);
+  EXPECT_EQ(faults.fires(FaultPoint::kSgdStepNan), 1);
+}
+
+TEST(FaultInjectorTest, ScopedScheduleResetsOnDestruction) {
+  {
+    ScopedFaultSchedule faults({{FaultPoint::kModelWriteShort, {}}});
+    EXPECT_TRUE(FaultInjector::Instance().armed());
+  }
+  FaultInjector& fi = FaultInjector::Instance();
+  EXPECT_FALSE(fi.armed());
+  EXPECT_EQ(fi.hits(FaultPoint::kModelWriteShort), 0);
+}
+
+TEST(FaultInjectorTest, ShortWriteTruncatesPayloadToHalf) {
+  ScopedFaultSchedule faults({{FaultPoint::kModelWriteShort, {}}});
+  std::string payload(100, 'x');
+  FaultInjector::Instance().MutateModelPayload(&payload);
+  EXPECT_EQ(payload.size(), 50u);
+}
+
+TEST(FaultInjectorTest, BitFlipChangesExactlyOneBit) {
+  ScopedFaultSchedule faults({{FaultPoint::kModelWriteBitFlip, {}}});
+  std::string payload(100, 'x');
+  const std::string original = payload;
+  FaultInjector::Instance().MutateModelPayload(&payload);
+  ASSERT_EQ(payload.size(), original.size());
+  int differing_bits = 0;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    unsigned char diff = static_cast<unsigned char>(payload[i] ^ original[i]);
+    while (diff != 0) {
+      differing_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(differing_bits, 1);
+}
+
+TEST(FaultInjectorTest, EveryPointHasAName) {
+  for (int p = 0; p < static_cast<int>(FaultPoint::kNumFaultPoints); ++p) {
+    EXPECT_STRNE(FaultPointName(static_cast<FaultPoint>(p)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,53 @@
+#ifndef CLAPF_TESTS_TESTING_FAULT_SCHEDULE_H_
+#define CLAPF_TESTS_TESTING_FAULT_SCHEDULE_H_
+
+#include <initializer_list>
+#include <utility>
+
+#include "clapf/util/fault_injection.h"
+
+namespace clapf {
+namespace testing {
+
+/// RAII fault schedule for tests: arms the listed fault points on
+/// construction and resets the process-wide injector on destruction, so a
+/// failing (or early-returning) test cannot leak an armed fault into the next
+/// one.
+///
+///   ScopedFaultSchedule faults({
+///       {FaultPoint::kSgdStepNan, {.trigger_at_hit = 100}},
+///       {FaultPoint::kModelWriteShort, {.trigger_at_hit = 2}},
+///   });
+class ScopedFaultSchedule {
+ public:
+  ScopedFaultSchedule() = default;
+  ScopedFaultSchedule(
+      std::initializer_list<std::pair<FaultPoint, FaultSpec>> faults) {
+    for (const auto& [point, spec] : faults) Arm(point, spec);
+  }
+  ~ScopedFaultSchedule() { FaultInjector::Instance().Reset(); }
+
+  ScopedFaultSchedule(const ScopedFaultSchedule&) = delete;
+  ScopedFaultSchedule& operator=(const ScopedFaultSchedule&) = delete;
+
+  /// Arms (or re-arms) one point mid-test.
+  void Arm(FaultPoint point, FaultSpec spec = {}) {
+    FaultInjector::Instance().Arm(point, spec);
+  }
+
+  /// Disarms one point, keeping its counters readable.
+  void Disarm(FaultPoint point) { FaultInjector::Instance().Disarm(point); }
+
+  /// Counter pass-throughs for assertions.
+  int64_t hits(FaultPoint point) const {
+    return FaultInjector::Instance().hits(point);
+  }
+  int64_t fires(FaultPoint point) const {
+    return FaultInjector::Instance().fires(point);
+  }
+};
+
+}  // namespace testing
+}  // namespace clapf
+
+#endif  // CLAPF_TESTS_TESTING_FAULT_SCHEDULE_H_

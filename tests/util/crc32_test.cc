@@ -1,0 +1,38 @@
+#include "clapf/util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace clapf {
+namespace {
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The canonical IEEE 802.3 check value.
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check.data(), check.size()), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t crc = Crc32Init();
+  crc = Crc32Update(crc, data.data(), 10);
+  crc = Crc32Update(crc, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(Crc32Finalize(crc), Crc32(data.data(), data.size()));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(256, 'a');
+  const uint32_t clean = Crc32(data.data(), data.size());
+  data[100] ^= 0x01;
+  EXPECT_NE(Crc32(data.data(), data.size()), clean);
+}
+
+TEST(Crc32Test, DetectsTruncation) {
+  const std::string data(256, 'b');
+  EXPECT_NE(Crc32(data.data(), data.size()), Crc32(data.data(), 128));
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,76 @@
+#include "clapf/util/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace clapf {
+namespace {
+
+TEST(FsTest, WriteAndReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fs_roundtrip.txt";
+  const std::string data("hello\0world", 11);  // embedded NUL survives
+  ASSERT_TRUE(WriteStringToFile(path, data).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, data);
+}
+
+TEST(FsTest, ReadMissingFileIsIoError) {
+  EXPECT_EQ(ReadFileToString("/no/such/fs_file").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(FsTest, AtomicWritePublishesAndCleansTemp) {
+  const std::string path = ::testing::TempDir() + "fs_atomic.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "payload").ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "payload");
+  EXPECT_FALSE(PathExists(path + ".tmp"));
+}
+
+TEST(FsTest, AtomicWriteReplacesExistingFile) {
+  const std::string path = ::testing::TempDir() + "fs_replace.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new").ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "new");
+}
+
+TEST(FsTest, CreateDirsIsIdempotent) {
+  const std::string dir = ::testing::TempDir() + "fs_dirs/a/b/c";
+  ASSERT_TRUE(CreateDirs(dir).ok());
+  ASSERT_TRUE(CreateDirs(dir).ok());
+  EXPECT_TRUE(PathExists(dir));
+}
+
+TEST(FsTest, RemoveFileIfExistsToleratesMissing) {
+  const std::string path = ::testing::TempDir() + "fs_remove.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "x").ok());
+  ASSERT_TRUE(RemoveFileIfExists(path).ok());
+  EXPECT_FALSE(PathExists(path));
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());  // already gone: still OK
+}
+
+TEST(FsTest, ListDirReturnsSortedNames) {
+  const std::string dir = ::testing::TempDir() + "fs_list";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(CreateDirs(dir).ok());
+  ASSERT_TRUE(WriteStringToFile(dir + "/b.txt", "").ok());
+  ASSERT_TRUE(WriteStringToFile(dir + "/a.txt", "").ok());
+  auto names = ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 2u);
+  EXPECT_EQ((*names)[0], "a.txt");
+  EXPECT_EQ((*names)[1], "b.txt");
+}
+
+TEST(FsTest, ListMissingDirIsIoError) {
+  EXPECT_EQ(ListDir("/no/such/fs_dir").status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace clapf
