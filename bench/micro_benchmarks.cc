@@ -13,6 +13,7 @@
 #include "clapf/data/split.h"
 #include "clapf/data/synthetic.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/recommender.h"
 #include "clapf/sampling/dss_sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
 #include "clapf/util/linalg.h"
@@ -118,6 +119,58 @@ void BM_BprSgdIterationGuard(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 20000);
 }
 BENCHMARK(BM_BprSgdIterationGuard)->Arg(0)->Arg(1);
+
+// HogWild scaling of the BPR hot loop: the same 20k-iteration training
+// chunk executed by 1/2/4/8 SGD workers. Real time is the comparable axis
+// (CPU time sums across workers). On a single-core host the >1-thread rows
+// mostly measure barrier overhead; on a multi-core host they are the 3×@8
+// speedup trajectory the parallel engine targets.
+void BM_BprSgdIterationParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  static Dataset data = BenchData(500, 2000, 25000);
+  BprOptions options;
+  options.sgd.num_factors = 20;
+  options.sgd.num_threads = threads;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BprOptions opts = options;
+    opts.sgd.iterations = 20000;
+    BprTrainer chunk(opts);
+    state.ResumeTiming();
+    CLAPF_CHECK_OK(chunk.Train(data));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_BprSgdIterationParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// Batched top-k serving over a whole user cohort, sharded across a pool.
+void BM_RecommendBatch(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  static Dataset data = BenchData(500, 2000, 25000);
+  static FactorModel model = [] {
+    FactorModel m(500, 2000, 20);
+    Rng rng(11);
+    m.InitGaussian(rng, 0.1);
+    return m;
+  }();
+  static Recommender rec = *Recommender::Create(model, data);
+  std::vector<UserId> users;
+  for (UserId u = 0; u < 500; ++u) users.push_back(u);
+  QueryOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    auto got = rec.RecommendBatch(users, 10, options);
+    CLAPF_CHECK_OK(got.status());
+    benchmark::DoNotOptimize(got->data());
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_RecommendBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_ScoreAllItems(benchmark::State& state) {
   const int32_t m = static_cast<int32_t>(state.range(0));

@@ -62,6 +62,9 @@ int main(int argc, char** argv) {
   serve_options.checkpoint.dir = "/tmp/clapf_serving_ckpt";
   serve_options.checkpoint.interval = 100000;
   serve_options.sgd.divergence.policy = DivergencePolicy::kHalt;
+  // HogWild the final fit: lock-free parallel SGD over the shared model.
+  // Checkpoints land at worker barriers, so crash recovery works unchanged.
+  serve_options.sgd.num_threads = 2;
   ClapfTrainer trainer(serve_options);
   CLAPF_CHECK_OK(trainer.Train(data));
 
@@ -71,8 +74,8 @@ int main(int argc, char** argv) {
   CLAPF_CHECK_OK(recommender->Save(model_path));
   std::printf("model saved to %s\n", model_path.c_str());
 
-  // 4. Serve queries.
-  auto warm = recommender->Recommend(/*u=*/3, 5);
+  // 4. Serve queries through the QueryOptions surface.
+  auto warm = recommender->Recommend(/*u=*/3, 5, QueryOptions{});
   CLAPF_CHECK_OK(warm.status());
   std::printf("warm user 3:");
   for (const ScoredItem& item : *warm) {
@@ -81,15 +84,16 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   // Business rule: items 0-9 are out of stock.
-  std::vector<ItemId> out_of_stock;
-  for (ItemId i = 0; i < 10; ++i) out_of_stock.push_back(i);
-  auto filtered = recommender->RecommendFiltered(3, 5, out_of_stock);
+  QueryOptions stock_filter;
+  for (ItemId i = 0; i < 10; ++i) stock_filter.exclude.push_back(i);
+  auto filtered = recommender->Recommend(3, 5, stock_filter);
   CLAPF_CHECK_OK(filtered.status());
   std::printf("warm user 3 (stock-filtered):");
   for (const ScoredItem& item : *filtered) std::printf(" %d", item.item);
   std::printf("\n");
 
-  // A cold user (one with no training history) gets popularity.
+  // A cold user (one with no training history) gets popularity — unless the
+  // caller opts out via cold_start_fallback = false.
   UserId cold_user = -1;
   for (UserId u = 0; u < data.num_users(); ++u) {
     if (data.NumItemsOf(u) == 0) {
@@ -98,7 +102,7 @@ int main(int argc, char** argv) {
     }
   }
   if (cold_user >= 0) {
-    auto cold = recommender->Recommend(cold_user, 5);
+    auto cold = recommender->Recommend(cold_user, 5, QueryOptions{});
     CLAPF_CHECK_OK(cold.status());
     std::printf("cold user %d (popularity fallback):", cold_user);
     for (const ScoredItem& item : *cold) std::printf(" %d", item.item);
@@ -106,6 +110,18 @@ int main(int argc, char** argv) {
   } else {
     std::printf("no cold user in this draw; skipping fallback demo\n");
   }
+
+  // Nightly-precompute shape: one batched call scores a whole cohort,
+  // sharded across a thread pool, with the same options applied to every
+  // user.
+  std::vector<UserId> cohort;
+  for (UserId u = 0; u < 32; ++u) cohort.push_back(u);
+  auto batch = recommender->RecommendBatch(cohort, 5, stock_filter);
+  CLAPF_CHECK_OK(batch.status());
+  size_t served = 0;
+  for (const auto& list : *batch) served += list.size();
+  std::printf("batch: served %zu items across %zu users\n", served,
+              batch->size());
 
   // 5. Reload from disk and confirm identical scoring.
   auto reloaded = Recommender::Load(model_path, data);

@@ -1,16 +1,74 @@
 #include "clapf/baselines/bpr.h"
 
-#include <limits>
+#include <memory>
+#include <utility>
 
-#include "clapf/core/divergence_guard.h"
+#include "clapf/core/sgd_executor.h"
 #include "clapf/sampling/aobpr_sampler.h"
 #include "clapf/sampling/dns_sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
-#include "clapf/util/fault_injection.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/math.h"
 
 namespace clapf {
+
+namespace {
+
+// One BPR SGD step under an access policy. The PlainAccess instantiation
+// reproduces the pre-executor serial loop bit-for-bit; RelaxedAccess is the
+// HogWild kernel.
+template <typename Access>
+class BprWorker final : public SgdWorker {
+ public:
+  BprWorker(FactorModel* model, const SgdOptions& sgd,
+            std::unique_ptr<PairSampler> sampler)
+      : model_(model),
+        sampler_(std::move(sampler)),
+        reg_u_(sgd.reg_user),
+        reg_v_(sgd.reg_item),
+        reg_b_(sgd.reg_bias),
+        d_(sgd.num_factors),
+        bias_(sgd.use_item_bias) {}
+
+  double PrepareStep() override {
+    p_ = sampler_->Sample();
+    return ScoreWith<Access>(*model_, p_.u, p_.i) -
+           ScoreWith<Access>(*model_, p_.u, p_.j);
+  }
+
+  void ApplyStep(double lr, double margin) override {
+    const double g = Sigmoid(-margin);
+    auto uu = model_->UserFactors(p_.u);
+    auto vi = model_->ItemFactors(p_.i);
+    auto vj = model_->ItemFactors(p_.j);
+    for (int32_t f = 0; f < d_; ++f) {
+      const double u_old = Access::Load(uu[f]);
+      const double vi_f = Access::Load(vi[f]);
+      const double vj_f = Access::Load(vj[f]);
+      Access::Store(uu[f], u_old + lr * (g * (vi_f - vj_f) - reg_u_ * u_old));
+      Access::Store(vi[f], vi_f + lr * (g * u_old - reg_v_ * vi_f));
+      Access::Store(vj[f], vj_f + lr * (-g * u_old - reg_v_ * vj_f));
+    }
+    if (bias_) {
+      double& bi = model_->ItemBias(p_.i);
+      double& bj = model_->ItemBias(p_.j);
+      const double bi_old = Access::Load(bi);
+      const double bj_old = Access::Load(bj);
+      Access::Store(bi, bi_old + lr * (g - reg_b_ * bi_old));
+      Access::Store(bj, bj_old + lr * (-g - reg_b_ * bj_old));
+    }
+  }
+
+ private:
+  FactorModel* model_;
+  std::unique_ptr<PairSampler> sampler_;
+  const double reg_u_, reg_v_, reg_b_;
+  const int32_t d_;
+  const bool bias_;
+  PairSample p_;
+};
+
+}  // namespace
 
 BprTrainer::BprTrainer(const BprOptions& options) : options_(options) {}
 
@@ -26,9 +84,8 @@ std::string BprTrainer::name() const {
   return "BPR";
 }
 
-std::unique_ptr<PairSampler> BprTrainer::MakeSampler(
-    const Dataset& train) const {
-  const uint64_t seed = options_.sgd.seed ^ 0x5eedu;
+std::unique_ptr<PairSampler> BprTrainer::MakeSampler(const Dataset& train,
+                                                     uint64_t seed) const {
   switch (options_.sampler) {
     case PairSamplerKind::kUniform:
       return std::make_unique<UniformPairSampler>(&train, seed);
@@ -63,57 +120,35 @@ Status BprTrainer::Train(const Dataset& train) {
       options_.sgd.use_item_bias);
   model_->InitGaussian(init_rng, options_.sgd.init_stddev);
 
-  std::unique_ptr<PairSampler> sampler = MakeSampler(train);
+  SgdExecutorConfig config;
+  config.num_threads = options_.sgd.num_threads;
+  config.iterations = options_.sgd.iterations;
+  config.learning_rate = options_.sgd.learning_rate;
+  config.final_learning_rate_fraction =
+      options_.sgd.final_learning_rate_fraction;
+  config.divergence = options_.sgd.divergence;
 
-  const double lr0 = options_.sgd.learning_rate;
-  const double lr1 = lr0 * options_.sgd.final_learning_rate_fraction;
-  const double total = static_cast<double>(options_.sgd.iterations);
-  const double reg_u = options_.sgd.reg_user;
-  const double reg_v = options_.sgd.reg_item;
-  const double reg_b = options_.sgd.reg_bias;
-  const int32_t d = options_.sgd.num_factors;
-  const bool bias = options_.sgd.use_item_bias;
+  const uint64_t base_seed = options_.sgd.seed ^ 0x5eedu;
+  auto factory = [&](int w, int n) -> std::unique_ptr<SgdWorker> {
+    // Per-worker sampler instance with an independent stream. The adaptive
+    // samplers (DNS/AoBPR) additionally read the evolving model on every
+    // draw; in parallel mode those reads are plain loads racing the HogWild
+    // stores — benign for sampling quality, but not TSan-clean, so the tsan
+    // preset exercises the uniform sampler.
+    auto sampler = MakeSampler(train, WorkerSeed(base_seed, w));
+    if (n == 1) {
+      return std::make_unique<BprWorker<PlainAccess>>(model_.get(),
+                                                      options_.sgd,
+                                                      std::move(sampler));
+    }
+    return std::make_unique<BprWorker<RelaxedAccess>>(model_.get(),
+                                                      options_.sgd,
+                                                      std::move(sampler));
+  };
 
-  DivergenceGuard guard(options_.sgd.divergence, model_.get());
-  FaultInjector& faults = FaultInjector::Instance();
-
-  for (int64_t it = 1; it <= options_.sgd.iterations; ++it) {
-    const double lr =
-        (lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total)) *
-        guard.lr_scale();
-    const PairSample p = sampler->Sample();
-    double margin = model_->Score(p.u, p.i) - model_->Score(p.u, p.j);
-    if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
-      margin = std::numeric_limits<double>::quiet_NaN();
-    }
-    switch (guard.Observe(it, margin)) {
-      case DivergenceGuard::Action::kHalt:
-        return guard.status();
-      case DivergenceGuard::Action::kSkipUpdate:
-        continue;
-      case DivergenceGuard::Action::kProceed:
-        break;
-    }
-    const double g = Sigmoid(-margin);
-
-    auto uu = model_->UserFactors(p.u);
-    auto vi = model_->ItemFactors(p.i);
-    auto vj = model_->ItemFactors(p.j);
-    for (int32_t f = 0; f < d; ++f) {
-      const double u_old = uu[f];
-      uu[f] += lr * (g * (vi[f] - vj[f]) - reg_u * uu[f]);
-      vi[f] += lr * (g * u_old - reg_v * vi[f]);
-      vj[f] += lr * (-g * u_old - reg_v * vj[f]);
-    }
-    if (bias) {
-      double& bi = model_->ItemBias(p.i);
-      double& bj = model_->ItemBias(p.j);
-      bi += lr * (g - reg_b * bi);
-      bj += lr * (-g - reg_b * bj);
-    }
-    MaybeProbe(it);
-  }
-  return Status::OK();
+  SgdExecutor::ProbeFn probe;
+  if (probe_installed()) probe = [this](int64_t it) { MaybeProbe(it); };
+  return SgdExecutor::Run(config, model_.get(), factory, probe);
 }
 
 }  // namespace clapf

@@ -35,7 +35,12 @@ class BprTrainer : public FactorModelTrainer {
   const BprOptions& options() const { return options_; }
 
  private:
-  std::unique_ptr<PairSampler> MakeSampler(const Dataset& train) const;
+  /// Builds one sampler instance seeded with `seed`. Parallel training calls
+  /// this once per worker so each worker owns an independent sample stream;
+  /// the adaptive samplers (DNS/AoBPR) then rank against the shared model
+  /// with unsynchronized reads (HogWild-benign, not TSan-clean).
+  std::unique_ptr<PairSampler> MakeSampler(const Dataset& train,
+                                           uint64_t seed) const;
 
   BprOptions options_;
 };

@@ -1,15 +1,131 @@
 #include "clapf/baselines/climf.h"
 
+#include <algorithm>
 #include <cmath>
-#include <limits>
+#include <memory>
 #include <vector>
 
-#include "clapf/core/divergence_guard.h"
-#include "clapf/util/fault_injection.h"
+#include "clapf/core/sgd_executor.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/math.h"
 
 namespace clapf {
+
+namespace {
+
+// One CLiMF per-user update under an access policy. Workers stride over the
+// shared list of active users (those with ≥ 1 observed item), so N workers
+// partition each epoch without coordination and the serial worker (stride 1)
+// visits users in exactly the original ascending order. PlainAccess
+// reproduces the pre-executor loop bit-for-bit.
+template <typename Access>
+class ClimfWorker final : public SgdWorker {
+ public:
+  ClimfWorker(FactorModel* model, const ClimfOptions& options,
+              const Dataset* train, const std::vector<UserId>* active,
+              int worker, int num_workers)
+      : model_(model),
+        train_(train),
+        active_(active),
+        cursor_(static_cast<size_t>(worker)),
+        stride_(static_cast<size_t>(num_workers)),
+        reg_u_(options.sgd.reg_user),
+        reg_v_(options.sgd.reg_item),
+        reg_b_(options.sgd.reg_bias),
+        d_(options.sgd.num_factors),
+        bias_(options.sgd.use_item_bias),
+        user_grad_(static_cast<size_t>(options.sgd.num_factors)) {}
+
+  double PrepareStep() override {
+    u_ = (*active_)[cursor_];
+    cursor_ += stride_;
+    if (cursor_ >= active_->size()) cursor_ -= active_->size();
+
+    auto items = train_->ItemsOf(u_);
+    const size_t n_u = items.size();
+    scores_.resize(n_u);
+    double worst_score = 0.0;
+    for (size_t a = 0; a < n_u; ++a) {
+      scores_[a] = ScoreWith<Access>(*model_, u_, items[a]);
+      if (!(std::fabs(scores_[a]) <= std::fabs(worst_score))) {
+        worst_score = scores_[a];  // largest magnitude; NaN sticks
+      }
+    }
+    // The largest-magnitude score is this step's health margin: one guard
+    // observation per user update (CLiMF's unit of SGD work).
+    return worst_score;
+  }
+
+  void ApplyStep(double lr, double /*margin*/) override {
+    auto items = train_->ItemsOf(u_);
+    const size_t n_u = items.size();
+    // ∂L/∂f_ua = σ(−f_ua) + Σ_{k≠a} [σ(f_uk − f_ua) − σ(f_ua − f_uk)]
+    // for the Eq. (7) lower bound — the listwise coupling among all of the
+    // user's observed items. The whole per-user objective is scaled by
+    // 1/n_u (the constant the paper's own derivation drops) so the
+    // gradient magnitude does not grow with the user's activity; without
+    // it the U↔V updates compound and the factors diverge.
+    const double inv_n = 1.0 / static_cast<double>(n_u);
+    dL_df_.assign(n_u, 0.0);
+    for (size_t a = 0; a < n_u; ++a) {
+      dL_df_[a] = Sigmoid(-scores_[a]);
+      for (size_t k = 0; k < n_u; ++k) {
+        if (k == a) continue;
+        dL_df_[a] += Sigmoid(scores_[k] - scores_[a]) -
+                     Sigmoid(scores_[a] - scores_[k]);
+      }
+      dL_df_[a] *= inv_n;
+    }
+
+    auto uu = model_->UserFactors(u_);
+    user_snapshot_.resize(static_cast<size_t>(d_));
+    for (int32_t f = 0; f < d_; ++f) {
+      user_snapshot_[f] = Access::Load(uu[f]);
+    }
+    std::fill(user_grad_.begin(), user_grad_.end(), 0.0);
+    for (size_t a = 0; a < n_u; ++a) {
+      auto va = model_->ItemFactors(items[a]);
+      for (int32_t f = 0; f < d_; ++f) {
+        user_grad_[f] += dL_df_[a] * Access::Load(va[f]);
+      }
+    }
+    // Item updates use the pre-update user vector.
+    for (size_t a = 0; a < n_u; ++a) {
+      auto va = model_->ItemFactors(items[a]);
+      for (int32_t f = 0; f < d_; ++f) {
+        const double va_f = Access::Load(va[f]);
+        Access::Store(va[f], va_f + lr * (dL_df_[a] * user_snapshot_[f] -
+                                          reg_v_ * va_f));
+      }
+      if (bias_) {
+        double& ba = model_->ItemBias(items[a]);
+        const double ba_old = Access::Load(ba);
+        Access::Store(ba, ba_old + lr * (dL_df_[a] - reg_b_ * ba_old));
+      }
+    }
+    for (int32_t f = 0; f < d_; ++f) {
+      const double u_f = user_snapshot_[f];
+      Access::Store(uu[f], u_f + lr * (user_grad_[f] - reg_u_ * u_f));
+    }
+  }
+
+ private:
+  FactorModel* model_;
+  const Dataset* train_;
+  const std::vector<UserId>* active_;
+  size_t cursor_;
+  const size_t stride_;
+  const double reg_u_, reg_v_, reg_b_;
+  const int32_t d_;
+  const bool bias_;
+  std::vector<double> scores_;
+  std::vector<double> dL_df_;  // per observed item: ∂L/∂f_ua
+  std::vector<double> user_grad_;
+  std::vector<double> user_snapshot_;
+  UserId u_ = 0;
+};
+
+}  // namespace
 
 ClimfTrainer::ClimfTrainer(const ClimfOptions& options) : options_(options) {}
 
@@ -27,93 +143,35 @@ Status ClimfTrainer::Train(const Dataset& train) {
       options_.sgd.use_item_bias);
   model_->InitGaussian(init_rng, options_.sgd.init_stddev);
 
-  const double base_lr = options_.sgd.learning_rate;
-  const double reg_u = options_.sgd.reg_user;
-  const double reg_v = options_.sgd.reg_item;
-  const double reg_b = options_.sgd.reg_bias;
-  const int32_t d = options_.sgd.num_factors;
-  const bool bias = options_.sgd.use_item_bias;
-
-  std::vector<double> scores;
-  std::vector<double> dL_df;       // per observed item: ∂L/∂f_ua
-  std::vector<double> user_grad(static_cast<size_t>(d));
-
-  DivergenceGuard guard(options_.sgd.divergence, model_.get());
-  FaultInjector& faults = FaultInjector::Instance();
-
-  int64_t iteration = 0;
-  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    for (UserId u = 0; u < train.num_users(); ++u) {
-      auto items = train.ItemsOf(u);
-      if (items.empty()) continue;
-      const size_t n_u = items.size();
-      ++iteration;
-
-      scores.resize(n_u);
-      double worst_score = 0.0;
-      for (size_t a = 0; a < n_u; ++a) {
-        scores[a] = model_->Score(u, items[a]);
-        if (!(std::fabs(scores[a]) <= std::fabs(worst_score))) {
-          worst_score = scores[a];  // largest magnitude; NaN sticks
-        }
-      }
-      if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
-        worst_score = std::numeric_limits<double>::quiet_NaN();
-      }
-      // One health observation per user update (CLiMF's unit of SGD work).
-      switch (guard.Observe(iteration, worst_score)) {
-        case DivergenceGuard::Action::kHalt:
-          return guard.status();
-        case DivergenceGuard::Action::kSkipUpdate:
-          continue;
-        case DivergenceGuard::Action::kProceed:
-          break;
-      }
-
-      const double lr = base_lr * guard.lr_scale();
-      // ∂L/∂f_ua = σ(−f_ua) + Σ_{k≠a} [σ(f_uk − f_ua) − σ(f_ua − f_uk)]
-      // for the Eq. (7) lower bound — the listwise coupling among all of the
-      // user's observed items. The whole per-user objective is scaled by
-      // 1/n_u (the constant the paper's own derivation drops) so the
-      // gradient magnitude does not grow with the user's activity; without
-      // it the U↔V updates compound and the factors diverge.
-      const double inv_n = 1.0 / static_cast<double>(n_u);
-      dL_df.assign(n_u, 0.0);
-      for (size_t a = 0; a < n_u; ++a) {
-        dL_df[a] = Sigmoid(-scores[a]);
-        for (size_t k = 0; k < n_u; ++k) {
-          if (k == a) continue;
-          dL_df[a] += Sigmoid(scores[k] - scores[a]) -
-                      Sigmoid(scores[a] - scores[k]);
-        }
-        dL_df[a] *= inv_n;
-      }
-
-      auto uu = model_->UserFactors(u);
-      std::fill(user_grad.begin(), user_grad.end(), 0.0);
-      for (size_t a = 0; a < n_u; ++a) {
-        auto va = model_->ItemFactors(items[a]);
-        for (int32_t f = 0; f < d; ++f) user_grad[f] += dL_df[a] * va[f];
-      }
-      // Item updates use the pre-update user vector.
-      for (size_t a = 0; a < n_u; ++a) {
-        auto va = model_->ItemFactors(items[a]);
-        for (int32_t f = 0; f < d; ++f) {
-          va[f] += lr * (dL_df[a] * uu[f] - reg_v * va[f]);
-        }
-        if (bias) {
-          double& ba = model_->ItemBias(items[a]);
-          ba += lr * (dL_df[a] - reg_b * ba);
-        }
-      }
-      for (int32_t f = 0; f < d; ++f) {
-        uu[f] += lr * (user_grad[f] - reg_u * uu[f]);
-      }
-
-      MaybeProbe(iteration);
-    }
+  std::vector<UserId> active;
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    if (train.NumItemsOf(u) > 0) active.push_back(u);
   }
-  return Status::OK();
+  if (active.empty()) return Status::OK();
+
+  SgdExecutorConfig config;
+  config.num_threads = options_.sgd.num_threads;
+  // CLiMF is epoch-based: one executor iteration = one per-user update.
+  config.iterations = static_cast<int64_t>(options_.epochs) *
+                      static_cast<int64_t>(active.size());
+  config.learning_rate = options_.sgd.learning_rate;
+  // CLiMF historically trains at a constant rate; keep the decay factor at
+  // exactly 1 so the serial path stays bit-identical.
+  config.final_learning_rate_fraction = 1.0;
+  config.divergence = options_.sgd.divergence;
+
+  auto factory = [&](int w, int n) -> std::unique_ptr<SgdWorker> {
+    if (n == 1) {
+      return std::make_unique<ClimfWorker<PlainAccess>>(
+          model_.get(), options_, &train, &active, w, n);
+    }
+    return std::make_unique<ClimfWorker<RelaxedAccess>>(
+        model_.get(), options_, &train, &active, w, n);
+  };
+
+  SgdExecutor::ProbeFn probe;
+  if (probe_installed()) probe = [this](int64_t it) { MaybeProbe(it); };
+  return SgdExecutor::Run(config, model_.get(), factory, probe);
 }
 
 }  // namespace clapf

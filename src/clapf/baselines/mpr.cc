@@ -1,14 +1,110 @@
 #include "clapf/baselines/mpr.h"
 
-#include <limits>
+#include <memory>
 
-#include "clapf/core/divergence_guard.h"
+#include "clapf/core/sgd_executor.h"
 #include "clapf/sampling/uniform_sampler.h"
-#include "clapf/util/fault_injection.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/math.h"
 
 namespace clapf {
+
+namespace {
+
+// One MPR SGD step under an access policy. PlainAccess reproduces the
+// pre-executor serial loop bit-for-bit.
+template <typename Access>
+class MprWorker final : public SgdWorker {
+ public:
+  MprWorker(FactorModel* model, const MprOptions& options,
+            const Dataset* train, uint64_t sampler_seed, uint64_t pair_seed)
+      : model_(model),
+        train_(train),
+        sampler_(train, sampler_seed),
+        pair_rng_(pair_seed),
+        rho_(options.rho),
+        reg_u_(options.sgd.reg_user),
+        reg_v_(options.sgd.reg_item),
+        reg_b_(options.sgd.reg_bias),
+        d_(options.sgd.num_factors),
+        bias_(options.sgd.use_item_bias),
+        user_snapshot_(static_cast<size_t>(options.sgd.num_factors)) {}
+
+  double PrepareStep() override {
+    p1_ = sampler_.Sample();
+    // The second pairwise criterion is drawn for the same user so the two
+    // margins fuse in one per-user objective.
+    p2_.u = p1_.u;
+    auto items = train_->ItemsOf(p1_.u);
+    p2_.i = items[pair_rng_.Uniform(items.size())];
+    p2_.j = SampleUnobservedUniform(*train_, p2_.u, pair_rng_);
+
+    const double m1 = ScoreWith<Access>(*model_, p1_.u, p1_.i) -
+                      ScoreWith<Access>(*model_, p1_.u, p1_.j);
+    const double m2 = ScoreWith<Access>(*model_, p2_.u, p2_.i) -
+                      ScoreWith<Access>(*model_, p2_.u, p2_.j);
+    return rho_ * m1 + (1.0 - rho_) * m2;
+  }
+
+  void ApplyStep(double lr, double margin) override {
+    const double g = Sigmoid(-margin);
+
+    auto uu = model_->UserFactors(p1_.u);
+    for (int32_t f = 0; f < d_; ++f) user_snapshot_[f] = Access::Load(uu[f]);
+
+    auto vi1 = model_->ItemFactors(p1_.i);
+    auto vj1 = model_->ItemFactors(p1_.j);
+    auto vi2 = model_->ItemFactors(p2_.i);
+    auto vj2 = model_->ItemFactors(p2_.j);
+    for (int32_t f = 0; f < d_; ++f) {
+      const double grad_u =
+          rho_ * (Access::Load(vi1[f]) - Access::Load(vj1[f])) +
+          (1.0 - rho_) * (Access::Load(vi2[f]) - Access::Load(vj2[f]));
+      const double u_f = user_snapshot_[f];
+      Access::Store(uu[f], u_f + lr * (g * grad_u - reg_u_ * u_f));
+    }
+    ApplyPair(p1_, rho_, lr, g);
+    ApplyPair(p2_, 1.0 - rho_, lr, g);
+  }
+
+ private:
+  void ApplyPair(const PairSample& p, double weight, double lr, double g) {
+    auto vi = model_->ItemFactors(p.i);
+    auto vj = model_->ItemFactors(p.j);
+    for (int32_t f = 0; f < d_; ++f) {
+      // Item factors are re-loaded here (not snapshotted) so the p1/p2
+      // collision semantics match the original loop: when the two pairs
+      // share an item, the second application sees the first one's update.
+      const double vi_f = Access::Load(vi[f]);
+      const double vj_f = Access::Load(vj[f]);
+      Access::Store(vi[f], vi_f + lr * (g * weight * user_snapshot_[f] -
+                                        reg_v_ * vi_f));
+      Access::Store(vj[f], vj_f + lr * (-g * weight * user_snapshot_[f] -
+                                        reg_v_ * vj_f));
+    }
+    if (bias_) {
+      double& bi = model_->ItemBias(p.i);
+      double& bj = model_->ItemBias(p.j);
+      const double bi_old = Access::Load(bi);
+      const double bj_old = Access::Load(bj);
+      Access::Store(bi, bi_old + lr * (g * weight - reg_b_ * bi_old));
+      Access::Store(bj, bj_old + lr * (-g * weight - reg_b_ * bj_old));
+    }
+  }
+
+  FactorModel* model_;
+  const Dataset* train_;
+  UniformPairSampler sampler_;
+  Rng pair_rng_;
+  const double rho_;
+  const double reg_u_, reg_v_, reg_b_;
+  const int32_t d_;
+  const bool bias_;
+  std::vector<double> user_snapshot_;
+  PairSample p1_, p2_;
+};
+
+}  // namespace
 
 MprTrainer::MprTrainer(const MprOptions& options) : options_(options) {}
 
@@ -30,84 +126,30 @@ Status MprTrainer::Train(const Dataset& train) {
       options_.sgd.use_item_bias);
   model_->InitGaussian(init_rng, options_.sgd.init_stddev);
 
-  UniformPairSampler sampler(&train, options_.sgd.seed ^ 0x5eedu);
-  Rng pair_rng(options_.sgd.seed ^ 0xa11ce5u);
+  SgdExecutorConfig config;
+  config.num_threads = options_.sgd.num_threads;
+  config.iterations = options_.sgd.iterations;
+  config.learning_rate = options_.sgd.learning_rate;
+  config.final_learning_rate_fraction =
+      options_.sgd.final_learning_rate_fraction;
+  config.divergence = options_.sgd.divergence;
 
-  const double rho = options_.rho;
-  const double lr0 = options_.sgd.learning_rate;
-  const double lr1 = lr0 * options_.sgd.final_learning_rate_fraction;
-  const double total = static_cast<double>(options_.sgd.iterations);
-  const double reg_u = options_.sgd.reg_user;
-  const double reg_v = options_.sgd.reg_item;
-  const double reg_b = options_.sgd.reg_bias;
-  const int32_t d = options_.sgd.num_factors;
-  const bool bias = options_.sgd.use_item_bias;
-
-  std::vector<double> user_snapshot(static_cast<size_t>(d));
-
-  DivergenceGuard guard(options_.sgd.divergence, model_.get());
-  FaultInjector& faults = FaultInjector::Instance();
-
-  for (int64_t it = 1; it <= options_.sgd.iterations; ++it) {
-    const double lr =
-        (lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total)) *
-        guard.lr_scale();
-    const PairSample p1 = sampler.Sample();
-    // The second pairwise criterion is drawn for the same user so the two
-    // margins fuse in one per-user objective.
-    PairSample p2;
-    p2.u = p1.u;
-    auto items = train.ItemsOf(p1.u);
-    p2.i = items[pair_rng.Uniform(items.size())];
-    p2.j = SampleUnobservedUniform(train, p2.u, pair_rng);
-
-    const double m1 = model_->Score(p1.u, p1.i) - model_->Score(p1.u, p1.j);
-    const double m2 = model_->Score(p2.u, p2.i) - model_->Score(p2.u, p2.j);
-    double margin = rho * m1 + (1.0 - rho) * m2;
-    if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
-      margin = std::numeric_limits<double>::quiet_NaN();
+  const uint64_t sampler_base = options_.sgd.seed ^ 0x5eedu;
+  const uint64_t pair_base = options_.sgd.seed ^ 0xa11ce5u;
+  auto factory = [&](int w, int n) -> std::unique_ptr<SgdWorker> {
+    if (n == 1) {
+      return std::make_unique<MprWorker<PlainAccess>>(
+          model_.get(), options_, &train, WorkerSeed(sampler_base, w),
+          WorkerSeed(pair_base, w));
     }
-    switch (guard.Observe(it, margin)) {
-      case DivergenceGuard::Action::kHalt:
-        return guard.status();
-      case DivergenceGuard::Action::kSkipUpdate:
-        continue;
-      case DivergenceGuard::Action::kProceed:
-        break;
-    }
-    const double g = Sigmoid(-margin);
+    return std::make_unique<MprWorker<RelaxedAccess>>(
+        model_.get(), options_, &train, WorkerSeed(sampler_base, w),
+        WorkerSeed(pair_base, w));
+  };
 
-    auto uu = model_->UserFactors(p1.u);
-    for (int32_t f = 0; f < d; ++f) user_snapshot[f] = uu[f];
-
-    auto apply_pair = [&](const PairSample& p, double weight) {
-      auto vi = model_->ItemFactors(p.i);
-      auto vj = model_->ItemFactors(p.j);
-      for (int32_t f = 0; f < d; ++f) {
-        vi[f] += lr * (g * weight * user_snapshot[f] - reg_v * vi[f]);
-        vj[f] += lr * (-g * weight * user_snapshot[f] - reg_v * vj[f]);
-      }
-      if (bias) {
-        double& bi = model_->ItemBias(p.i);
-        double& bj = model_->ItemBias(p.j);
-        bi += lr * (g * weight - reg_b * bi);
-        bj += lr * (-g * weight - reg_b * bj);
-      }
-    };
-
-    for (int32_t f = 0; f < d; ++f) {
-      const double grad_u =
-          rho * (model_->ItemFactors(p1.i)[f] - model_->ItemFactors(p1.j)[f]) +
-          (1.0 - rho) *
-              (model_->ItemFactors(p2.i)[f] - model_->ItemFactors(p2.j)[f]);
-      uu[f] += lr * (g * grad_u - reg_u * uu[f]);
-    }
-    apply_pair(p1, rho);
-    apply_pair(p2, 1.0 - rho);
-
-    MaybeProbe(it);
-  }
-  return Status::OK();
+  SgdExecutor::ProbeFn probe;
+  if (probe_installed()) probe = [this](int64_t it) { MaybeProbe(it); };
+  return SgdExecutor::Run(config, model_.get(), factory, probe);
 }
 
 }  // namespace clapf

@@ -30,6 +30,8 @@
 #include "clapf/core/clapf_trainer.h"
 #include "clapf/core/divergence_guard.h"
 #include "clapf/core/model_selection.h"
+#include "clapf/core/ranker.h"
+#include "clapf/core/sgd_executor.h"
 #include "clapf/core/smoothing.h"
 #include "clapf/core/trainer.h"
 #include "clapf/core/trainer_factory.h"

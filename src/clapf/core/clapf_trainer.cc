@@ -1,15 +1,154 @@
 #include "clapf/core/clapf_trainer.h"
 
 #include <cmath>
-#include <limits>
+#include <utility>
 
+#include "clapf/core/sgd_executor.h"
 #include "clapf/core/smoothing.h"
 #include "clapf/sampling/uniform_sampler.h"
-#include "clapf/util/fault_injection.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/math.h"
 
 namespace clapf {
+
+namespace {
+
+// Per-worker loss accumulator. Owned by Train() (not the worker) so the
+// checkpoint callback and the post-run summary can read it after the
+// executor has destroyed the workers. In parallel mode each worker writes
+// only its own slot and the executor's barriers order those writes before
+// any checkpoint/summary read.
+struct ClapfLossAcc {
+  double acc = 0.0;
+  int64_t count = 0;
+};
+
+// One CLAPF SGD step under an access policy. PlainAccess reproduces the
+// pre-executor serial loop bit-for-bit.
+template <typename Access>
+class ClapfWorker final : public SgdWorker {
+ public:
+  ClapfWorker(FactorModel* model, const ClapfOptions& options,
+              const Dataset* train, std::unique_ptr<TripleSampler> sampler,
+              ClapfLossAcc* loss)
+      : model_(model),
+        train_(train),
+        sampler_(std::move(sampler)),
+        loss_(loss),
+        lambda_(options.lambda),
+        variant_(options.variant),
+        is_map_(options.variant == ClapfVariant::kMap),
+        is_ndcg_(options.variant == ClapfVariant::kNdcg),
+        ci_(is_map_ ? 1.0 - 2.0 * options.lambda : 1.0),
+        ck_(is_map_ ? options.lambda : -options.lambda),
+        cj_(-(1.0 - options.lambda)),
+        reg_u_(options.sgd.reg_user),
+        reg_v_(options.sgd.reg_item),
+        reg_b_(options.sgd.reg_bias),
+        d_(options.sgd.num_factors),
+        bias_(options.sgd.use_item_bias),
+        user_snapshot_(static_cast<size_t>(options.sgd.num_factors)) {}
+
+  double PrepareStep() override {
+    t_ = sampler_->Sample();
+    f_ui_ = ScoreWith<Access>(*model_, t_.u, t_.i);
+    const double f_uk = ScoreWith<Access>(*model_, t_.u, t_.k);
+    const double f_uj = ScoreWith<Access>(*model_, t_.u, t_.j);
+    return ClapfMargin(variant_, lambda_, f_ui_, f_uk, f_uj);
+  }
+
+  void ApplyStep(double lr, double margin) override {
+    // d/dR of ln σ(R) = σ(−R); ascend the log-likelihood.
+    double g = Sigmoid(-margin);
+    loss_->acc += -LogSigmoid(margin);
+    ++loss_->count;
+
+    if (is_ndcg_) {
+      // CLAPF-NDCG (library extension): weight the triple by the DCG
+      // discount at item i's current rank among the user's observed items,
+      // so gradient mass concentrates on the head of the list the way
+      // NDCG's gain does. rank_i = 1 + |{t ∈ I_u⁺ : f_ut > f_ui}|.
+      auto observed = train_->ItemsOf(t_.u);
+      int32_t rank = 1;
+      for (ItemId o : observed) {
+        if (o != t_.i && ScoreWith<Access>(*model_, t_.u, o) > f_ui_) ++rank;
+      }
+      g *= 1.0 / std::log2(1.0 + static_cast<double>(rank));
+    }
+
+    auto uu = model_->UserFactors(t_.u);
+    auto vi = model_->ItemFactors(t_.i);
+    auto vk = model_->ItemFactors(t_.k);
+    auto vj = model_->ItemFactors(t_.j);
+    for (int32_t f = 0; f < d_; ++f) user_snapshot_[f] = Access::Load(uu[f]);
+
+    if (t_.i == t_.k) {
+      // Single-item users sample k == i; fold the coefficients so the item
+      // vector receives one consistent update.
+      const double c = ci_ + ck_;
+      for (int32_t f = 0; f < d_; ++f) {
+        const double u_old = user_snapshot_[f];
+        const double vi_f = Access::Load(vi[f]);
+        const double vj_f = Access::Load(vj[f]);
+        Access::Store(uu[f], u_old + lr * (g * (c * vi_f + cj_ * vj_f) -
+                                           reg_u_ * u_old));
+        Access::Store(vi[f], vi_f + lr * (g * c * u_old - reg_v_ * vi_f));
+        Access::Store(vj[f], vj_f + lr * (g * cj_ * u_old - reg_v_ * vj_f));
+      }
+      if (bias_) {
+        double& bi = model_->ItemBias(t_.i);
+        double& bj = model_->ItemBias(t_.j);
+        const double bi_old = Access::Load(bi);
+        const double bj_old = Access::Load(bj);
+        Access::Store(bi, bi_old + lr * (g * c - reg_b_ * bi_old));
+        Access::Store(bj, bj_old + lr * (g * cj_ - reg_b_ * bj_old));
+      }
+    } else {
+      for (int32_t f = 0; f < d_; ++f) {
+        const double u_old = user_snapshot_[f];
+        const double vi_f = Access::Load(vi[f]);
+        const double vk_f = Access::Load(vk[f]);
+        const double vj_f = Access::Load(vj[f]);
+        Access::Store(uu[f],
+                      u_old + lr * (g * (ci_ * vi_f + ck_ * vk_f +
+                                         cj_ * vj_f) -
+                                    reg_u_ * u_old));
+        Access::Store(vi[f], vi_f + lr * (g * ci_ * u_old - reg_v_ * vi_f));
+        Access::Store(vk[f], vk_f + lr * (g * ck_ * u_old - reg_v_ * vk_f));
+        Access::Store(vj[f], vj_f + lr * (g * cj_ * u_old - reg_v_ * vj_f));
+      }
+      if (bias_) {
+        double& bi = model_->ItemBias(t_.i);
+        double& bk = model_->ItemBias(t_.k);
+        double& bj = model_->ItemBias(t_.j);
+        const double bi_old = Access::Load(bi);
+        const double bk_old = Access::Load(bk);
+        const double bj_old = Access::Load(bj);
+        Access::Store(bi, bi_old + lr * (g * ci_ - reg_b_ * bi_old));
+        Access::Store(bk, bk_old + lr * (g * ck_ - reg_b_ * bk_old));
+        Access::Store(bj, bj_old + lr * (g * cj_ - reg_b_ * bj_old));
+      }
+    }
+  }
+
+ private:
+  FactorModel* model_;
+  const Dataset* train_;
+  std::unique_ptr<TripleSampler> sampler_;
+  ClapfLossAcc* loss_;
+  const double lambda_;
+  const ClapfVariant variant_;
+  const bool is_map_, is_ndcg_;
+  const double ci_, ck_, cj_;
+  const double reg_u_, reg_v_, reg_b_;
+  const int32_t d_;
+  const bool bias_;
+  std::vector<double> user_snapshot_;
+  Triple t_;
+  double f_ui_ = 0.0;
+};
+
+}  // namespace
 
 ClapfTrainer::ClapfTrainer(const ClapfOptions& options) : options_(options) {}
 
@@ -33,10 +172,9 @@ std::string ClapfTrainer::name() const {
 }
 
 std::unique_ptr<TripleSampler> ClapfTrainer::MakeSampler(
-    const Dataset& train) const {
-  const uint64_t sampler_seed = options_.sgd.seed ^ 0x5eedu;
+    const Dataset& train, uint64_t seed) const {
   if (options_.sampler == ClapfSamplerKind::kUniform) {
-    return std::make_unique<UniformTripleSampler>(&train, sampler_seed);
+    return std::make_unique<UniformTripleSampler>(&train, seed);
   }
   DssOptions dss;
   dss.variant = options_.variant;
@@ -44,7 +182,7 @@ std::unique_ptr<TripleSampler> ClapfTrainer::MakeSampler(
   dss.refresh_interval = options_.dss_refresh_interval;
   dss.adaptive_positive = options_.sampler != ClapfSamplerKind::kNegativeOnly;
   dss.adaptive_negative = options_.sampler != ClapfSamplerKind::kPositiveOnly;
-  return std::make_unique<DssSampler>(&train, model_.get(), dss, sampler_seed);
+  return std::make_unique<DssSampler>(&train, model_.get(), dss, seed);
 }
 
 Status ClapfTrainer::Train(const Dataset& train) {
@@ -106,139 +244,84 @@ Status ClapfTrainer::Train(const Dataset& train) {
     }
   }
 
-  std::unique_ptr<TripleSampler> sampler = MakeSampler(train);
-  // Replay the draws the checkpointed run already consumed so the resumed
-  // sample stream continues exactly where the crashed run left off. With the
-  // uniform sampler this makes resumption bit-identical to an uninterrupted
-  // run; adaptive samplers re-draw against the restored model, which is
-  // correct but not bit-exact.
-  for (int64_t i = 1; i < start_it; ++i) sampler->Sample();
+  const int num_threads = options_.sgd.num_threads;
+  std::vector<ClapfLossAcc> loss_slots(
+      static_cast<size_t>(num_threads < 1 ? 1 : num_threads));
+  // The resumed run continues the crashed run's running loss average.
+  loss_slots[0].acc = ckpt_state.loss_acc;
+  loss_slots[0].count = ckpt_state.loss_count;
 
-  const double lambda = options_.lambda;
-  const bool is_map = options_.variant == ClapfVariant::kMap;
-  const bool is_ndcg = options_.variant == ClapfVariant::kNdcg;
-  // Margin coefficients: R = ci*f_ui + ck*f_uk + cj*f_uj. The NDCG
-  // instantiation shares the MRR margin; its rank bias comes from the
-  // per-triple discount weight below.
-  const double ci = is_map ? 1.0 - 2.0 * lambda : 1.0;
-  const double ck = is_map ? lambda : -lambda;
-  const double cj = -(1.0 - lambda);
-
-  const double lr0 = options_.sgd.learning_rate;
-  const double lr1 = lr0 * options_.sgd.final_learning_rate_fraction;
-  const double total = static_cast<double>(options_.sgd.iterations);
-  const double reg_u = options_.sgd.reg_user;
-  const double reg_v = options_.sgd.reg_item;
-  const double reg_b = options_.sgd.reg_bias;
-  const int32_t d = options_.sgd.num_factors;
-  const bool bias = options_.sgd.use_item_bias;
-
-  std::vector<double> user_snapshot(static_cast<size_t>(d));
-  double loss_acc = ckpt_state.loss_acc;
-  int64_t loss_count = ckpt_state.loss_count;
-
-  DivergenceGuard guard(options_.sgd.divergence, model_.get());
-  guard.RestoreBackoff(ckpt_state.lr_scale, ckpt_state.guard_retries);
-  FaultInjector& faults = FaultInjector::Instance();
-
-  for (int64_t it = start_it; it <= options_.sgd.iterations; ++it) {
-    const double lr =
-        (lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total)) *
-        guard.lr_scale();
-    const Triple t = sampler->Sample();
-    const double f_ui = model_->Score(t.u, t.i);
-    const double f_uk = model_->Score(t.u, t.k);
-    const double f_uj = model_->Score(t.u, t.j);
-    double margin = ClapfMargin(options_.variant, lambda, f_ui, f_uk, f_uj);
-    if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
-      margin = std::numeric_limits<double>::quiet_NaN();
+  const uint64_t base_seed = options_.sgd.seed ^ 0x5eedu;
+  auto factory = [&](int w, int n) -> std::unique_ptr<SgdWorker> {
+    auto sampler = MakeSampler(train, WorkerSeed(base_seed, w));
+    if (n == 1) {
+      // Replay the draws the checkpointed run already consumed so the
+      // resumed sample stream continues exactly where the crashed run left
+      // off. With the uniform sampler this makes resumption bit-identical
+      // to an uninterrupted run; adaptive samplers re-draw against the
+      // restored model, which is correct but not bit-exact. Parallel
+      // workers skip the replay: their streams are independent of the
+      // iteration counter.
+      for (int64_t i = 1; i < start_it; ++i) sampler->Sample();
+      return std::make_unique<ClapfWorker<PlainAccess>>(
+          model_.get(), options_, &train, std::move(sampler), &loss_slots[0]);
     }
-    switch (guard.Observe(it, margin)) {
-      case DivergenceGuard::Action::kHalt:
-        return guard.status();
-      case DivergenceGuard::Action::kSkipUpdate:
-        continue;
-      case DivergenceGuard::Action::kProceed:
-        break;
-    }
-    // d/dR of ln σ(R) = σ(−R); ascend the log-likelihood.
-    double g = Sigmoid(-margin);
-    loss_acc += -LogSigmoid(margin);
-    ++loss_count;
+    return std::make_unique<ClapfWorker<RelaxedAccess>>(
+        model_.get(), options_, &train, std::move(sampler),
+        &loss_slots[static_cast<size_t>(w)]);
+  };
 
-    if (is_ndcg) {
-      // CLAPF-NDCG (library extension): weight the triple by the DCG
-      // discount at item i's current rank among the user's observed items,
-      // so gradient mass concentrates on the head of the list the way
-      // NDCG's gain does. rank_i = 1 + |{t ∈ I_u⁺ : f_ut > f_ui}|.
-      auto observed = train.ItemsOf(t.u);
-      int32_t rank = 1;
-      for (ItemId o : observed) {
-        if (o != t.i && model_->Score(t.u, o) > f_ui) ++rank;
-      }
-      g *= 1.0 / std::log2(1.0 + static_cast<double>(rank));
-    }
+  SgdExecutorConfig config;
+  config.num_threads = options_.sgd.num_threads;
+  config.start_iteration = start_it;
+  config.iterations = options_.sgd.iterations;
+  config.learning_rate = options_.sgd.learning_rate;
+  config.final_learning_rate_fraction =
+      options_.sgd.final_learning_rate_fraction;
+  config.divergence = options_.sgd.divergence;
+  config.initial_lr_scale = ckpt_state.lr_scale;
+  config.initial_guard_retries = ckpt_state.guard_retries;
+  if (checkpoints.enabled()) {
+    config.checkpoint_interval = options_.checkpoint.interval;
+  }
 
-    auto uu = model_->UserFactors(t.u);
-    auto vi = model_->ItemFactors(t.i);
-    auto vk = model_->ItemFactors(t.k);
-    auto vj = model_->ItemFactors(t.j);
-    for (int32_t f = 0; f < d; ++f) user_snapshot[f] = uu[f];
+  SgdExecutor::ProbeFn probe;
+  if (probe_installed()) probe = [this](int64_t it) { MaybeProbe(it); };
 
-    if (t.i == t.k) {
-      // Single-item users sample k == i; fold the coefficients so the item
-      // vector receives one consistent update.
-      const double c = ci + ck;
-      for (int32_t f = 0; f < d; ++f) {
-        const double u_old = user_snapshot[f];
-        uu[f] += lr * (g * (c * vi[f] + cj * vj[f]) - reg_u * uu[f]);
-        vi[f] += lr * (g * c * u_old - reg_v * vi[f]);
-        vj[f] += lr * (g * cj * u_old - reg_v * vj[f]);
-      }
-      if (bias) {
-        double& bi = model_->ItemBias(t.i);
-        double& bj = model_->ItemBias(t.j);
-        bi += lr * (g * c - reg_b * bi);
-        bj += lr * (g * cj - reg_b * bj);
-      }
-    } else {
-      for (int32_t f = 0; f < d; ++f) {
-        const double u_old = user_snapshot[f];
-        uu[f] += lr * (g * (ci * vi[f] + ck * vk[f] + cj * vj[f]) -
-                       reg_u * uu[f]);
-        vi[f] += lr * (g * ci * u_old - reg_v * vi[f]);
-        vk[f] += lr * (g * ck * u_old - reg_v * vk[f]);
-        vj[f] += lr * (g * cj * u_old - reg_v * vj[f]);
-      }
-      if (bias) {
-        double& bi = model_->ItemBias(t.i);
-        double& bk = model_->ItemBias(t.k);
-        double& bj = model_->ItemBias(t.j);
-        bi += lr * (g * ci - reg_b * bi);
-        bk += lr * (g * ck - reg_b * bk);
-        bj += lr * (g * cj - reg_b * bj);
-      }
-    }
-
-    MaybeProbe(it);
-
-    if (checkpoints.enabled() && it % options_.checkpoint.interval == 0) {
+  SgdExecutor::CheckpointFn checkpoint;
+  if (checkpoints.enabled()) {
+    checkpoint = [&](int64_t it, const DivergenceGuard& guard) {
       ckpt_state.iteration = it;
       ckpt_state.lr_scale = guard.lr_scale();
       ckpt_state.guard_retries = static_cast<int32_t>(guard.rollbacks());
-      ckpt_state.loss_acc = loss_acc;
-      ckpt_state.loss_count = loss_count;
+      double acc = 0.0;
+      int64_t count = 0;
+      for (const ClapfLossAcc& slot : loss_slots) {
+        acc += slot.acc;
+        count += slot.count;
+      }
+      ckpt_state.loss_acc = acc;
+      ckpt_state.loss_count = count;
       // A failed snapshot degrades durability, not correctness: log and
       // keep training rather than killing a multi-hour run.
       if (Status s = checkpoints.Write(*model_, ckpt_state); !s.ok()) {
         CLAPF_LOG(Warning) << name() << ": checkpoint write failed at iteration "
                            << it << ": " << s.ToString();
       }
-    }
+    };
   }
 
-  last_average_loss_ =
-      loss_count > 0 ? loss_acc / static_cast<double>(loss_count) : 0.0;
+  Status run = SgdExecutor::Run(config, model_.get(), factory, probe,
+                                checkpoint);
+  if (!run.ok()) return run;
+
+  double acc = 0.0;
+  int64_t count = 0;
+  for (const ClapfLossAcc& slot : loss_slots) {
+    acc += slot.acc;
+    count += slot.count;
+  }
+  last_average_loss_ = count > 0 ? acc / static_cast<double>(count) : 0.0;
   return Status::OK();
 }
 

@@ -63,7 +63,10 @@ class ClapfTrainer : public FactorModelTrainer {
   double last_average_loss() const { return last_average_loss_; }
 
  private:
-  std::unique_ptr<TripleSampler> MakeSampler(const Dataset& train) const;
+  /// Builds one sampler instance seeded with `seed`; parallel training calls
+  /// this once per worker for independent streams.
+  std::unique_ptr<TripleSampler> MakeSampler(const Dataset& train,
+                                             uint64_t seed) const;
 
   ClapfOptions options_;
   double last_average_loss_ = 0.0;

@@ -119,6 +119,22 @@ DivergenceGuard::Action DivergenceGuard::Observe(int64_t iteration,
   return Action::kProceed;
 }
 
+DivergenceGuard::Action DivergenceGuard::ObserveBarrier(int64_t iteration,
+                                                        bool saw_bad_value) {
+  if (options_.policy == DivergencePolicy::kOff) return Action::kProceed;
+  if (saw_bad_value) {
+    Action action = HandleDivergence(iteration, "unhealthy update margin");
+    // Clamp/rollback already repaired the model; the run continues.
+    return action == Action::kHalt ? action : Action::kProceed;
+  }
+  if (!ModelHealthy()) {
+    Action action = HandleDivergence(iteration, "factor scan");
+    return action == Action::kHalt ? action : Action::kProceed;
+  }
+  if (options_.policy == DivergencePolicy::kRollback) TakeSnapshot();
+  return Action::kProceed;
+}
+
 void DivergenceGuard::RestoreBackoff(double lr_scale, int32_t retries) {
   lr_scale_ = lr_scale;
   retries_ = retries;

@@ -78,6 +78,16 @@ class DivergenceGuard {
   /// per SGD step, before applying the update derived from `value`.
   Action Observe(int64_t iteration, double value);
 
+  /// Barrier-mode observation for parallel SGD: workers only run the cheap
+  /// local margin check (skipping poisoned updates and flagging them), and
+  /// the policy machinery — clamp, rollback, snapshot refresh, halt — runs
+  /// here once per synchronization round while every worker is parked, so it
+  /// can touch the whole model race-free. `saw_bad_value` is the OR of the
+  /// workers' margin flags since the previous barrier. Never returns
+  /// kSkipUpdate: recovery already happened, the round either proceeds or
+  /// halts.
+  Action ObserveBarrier(int64_t iteration, bool saw_bad_value);
+
   /// Current learning-rate multiplier (1.0 until a rollback backs it off).
   /// Trainers fold this into their per-iteration rate.
   double lr_scale() const { return lr_scale_; }

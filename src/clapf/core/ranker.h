@@ -1,0 +1,40 @@
+#ifndef CLAPF_CORE_RANKER_H_
+#define CLAPF_CORE_RANKER_H_
+
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+
+namespace clapf {
+
+/// Anything that can score every item for a user. Trainers and models
+/// implement this so the Evaluator can rank them uniformly. Lives in core/
+/// (not eval/) because it is the seam between the two layers: trainers
+/// produce Rankers, the evaluator consumes them.
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+
+  /// Fills `scores` (resized to the item count) with the predicted relevance
+  /// of every item for user `u`. Higher is better.
+  virtual void ScoreItems(UserId u, std::vector<double>* scores) const = 0;
+};
+
+/// Adapts a FactorModel to the Ranker interface.
+class FactorModelRanker : public Ranker {
+ public:
+  /// `model` must outlive the ranker.
+  explicit FactorModelRanker(const FactorModel* model) : model_(model) {}
+
+  void ScoreItems(UserId u, std::vector<double>* scores) const override {
+    model_->ScoreAllItems(u, scores);
+  }
+
+ private:
+  const FactorModel* model_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_CORE_RANKER_H_

@@ -1,0 +1,202 @@
+#include "clapf/core/sgd_executor.h"
+
+#include <algorithm>
+#include <barrier>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+namespace {
+
+// Iterations a worker claims from the shared counter at a time. Large enough
+// that the fetch_add is negligible against ~100ns SGD steps, small enough
+// that workers finish a round within a chunk of each other.
+constexpr int64_t kClaimChunk = 64;
+
+// The exact legacy trainer loop: schedule, sample, fault injection, guard
+// observation, update, probe, checkpoint. Every expression matches the
+// pre-executor trainers so serial training is bit-identical.
+Status RunSerial(const SgdExecutorConfig& config, FactorModel* model,
+                 const SgdExecutor::WorkerFactory& make_worker,
+                 const SgdExecutor::ProbeFn& probe,
+                 const SgdExecutor::CheckpointFn& checkpoint) {
+  std::unique_ptr<SgdWorker> worker = make_worker(0, 1);
+  CLAPF_CHECK(worker != nullptr);
+
+  DivergenceGuard guard(config.divergence, model);
+  guard.RestoreBackoff(config.initial_lr_scale, config.initial_guard_retries);
+  FaultInjector& faults = FaultInjector::Instance();
+
+  const double lr0 = config.learning_rate;
+  const double lr1 = lr0 * config.final_learning_rate_fraction;
+  const double total = static_cast<double>(config.iterations);
+
+  for (int64_t it = config.start_iteration; it <= config.iterations; ++it) {
+    const double lr =
+        (lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total)) *
+        guard.lr_scale();
+    double margin = worker->PrepareStep();
+    if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
+      margin = std::numeric_limits<double>::quiet_NaN();
+    }
+    switch (guard.Observe(it, margin)) {
+      case DivergenceGuard::Action::kHalt:
+        return guard.status();
+      case DivergenceGuard::Action::kSkipUpdate:
+        continue;
+      case DivergenceGuard::Action::kProceed:
+        break;
+    }
+    worker->ApplyStep(lr, margin);
+    if (probe) probe(it);
+    if (checkpoint && config.checkpoint_interval > 0 &&
+        it % config.checkpoint_interval == 0) {
+      checkpoint(it, guard);
+    }
+  }
+  return Status::OK();
+}
+
+int64_t DefaultSyncInterval(const SgdExecutorConfig& config, int64_t span) {
+  if (config.sync_interval > 0) return config.sync_interval;
+  if (config.checkpoint_interval > 0) return config.checkpoint_interval;
+  if (config.divergence.policy != DivergencePolicy::kOff &&
+      config.divergence.check_interval > 0) {
+    return config.divergence.check_interval;
+  }
+  return span;  // one round: a pure HogWild run with no periodic work
+}
+
+// HogWild rounds: workers claim iteration chunks from a shared counter and
+// update the model lock-free; each round ends at a std::barrier whose
+// completion step (one thread, everyone else parked, so it may touch the
+// whole model race-free) runs the divergence policy, checkpoints, probes,
+// and re-arms the counter for the next round.
+Status RunParallel(const SgdExecutorConfig& config, FactorModel* model,
+                   const SgdExecutor::WorkerFactory& make_worker,
+                   const SgdExecutor::ProbeFn& probe,
+                   const SgdExecutor::CheckpointFn& checkpoint) {
+  const int n = config.num_threads;
+  const int64_t first = config.start_iteration;
+  const int64_t last = config.iterations;
+  if (first > last) return Status::OK();
+
+  std::vector<std::unique_ptr<SgdWorker>> workers;
+  workers.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    workers.push_back(make_worker(w, n));
+    CLAPF_CHECK(workers.back() != nullptr);
+  }
+
+  DivergenceGuard guard(config.divergence, model);
+  guard.RestoreBackoff(config.initial_lr_scale, config.initial_guard_retries);
+  const bool guard_on = config.divergence.policy != DivergencePolicy::kOff;
+  const double max_abs_margin = config.divergence.max_abs_margin;
+  const int64_t sync = DefaultSyncInterval(config, last - first + 1);
+
+  // Round state. Written only by the barrier completion (or before the
+  // threads start); workers read it between barriers, which the barrier's
+  // synchronization makes race-free.
+  std::atomic<int64_t> next_it{first};
+  std::atomic<bool> saw_bad{false};
+  std::atomic<bool> stop{false};
+  int64_t round_end = std::min(last, first + sync - 1);
+  double lr_scale = guard.lr_scale();
+  int64_t next_ckpt =
+      config.checkpoint_interval > 0
+          ? ((first - 1) / config.checkpoint_interval + 1) *
+                config.checkpoint_interval
+          : 0;
+  Status final_status;
+
+  auto on_round_complete = [&]() noexcept {
+    const int64_t completed = round_end;
+    const bool bad = saw_bad.exchange(false, std::memory_order_relaxed);
+    if (guard_on) {
+      if (guard.ObserveBarrier(completed, bad) ==
+          DivergenceGuard::Action::kHalt) {
+        final_status = guard.status();
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      lr_scale = guard.lr_scale();
+    }
+    if (checkpoint && next_ckpt > 0 && completed >= next_ckpt) {
+      checkpoint(completed, guard);
+      next_ckpt = (completed / config.checkpoint_interval + 1) *
+                  config.checkpoint_interval;
+    }
+    if (probe) probe(completed);
+    if (completed >= last) {
+      stop.store(true, std::memory_order_relaxed);
+    } else {
+      round_end = std::min(last, completed + sync);
+      next_it.store(completed + 1, std::memory_order_relaxed);
+    }
+  };
+  std::barrier barrier(n, on_round_complete);
+
+  auto worker_loop = [&](int w) {
+    SgdWorker* worker = workers[static_cast<size_t>(w)].get();
+    FaultInjector& faults = FaultInjector::Instance();
+    const double lr0 = config.learning_rate;
+    const double lr1 = lr0 * config.final_learning_rate_fraction;
+    const double total = static_cast<double>(config.iterations);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int64_t end = round_end;
+      const double scale = lr_scale;
+      while (true) {
+        const int64_t base =
+            next_it.fetch_add(kClaimChunk, std::memory_order_relaxed);
+        if (base > end) break;
+        const int64_t hi = std::min(end, base + kClaimChunk - 1);
+        for (int64_t it = base; it <= hi; ++it) {
+          const double lr =
+              (lr0 + (lr1 - lr0) * (static_cast<double>(it - 1) / total)) *
+              scale;
+          double margin = worker->PrepareStep();
+          if (faults.armed() && faults.ShouldFire(FaultPoint::kSgdStepNan)) {
+            margin = std::numeric_limits<double>::quiet_NaN();
+          }
+          // Cheap local health check; the policy reaction runs at the
+          // barrier. NaN-safe: NaN fails <= and lands in the bad branch.
+          if (guard_on && !(std::fabs(margin) <= max_abs_margin)) {
+            saw_bad.store(true, std::memory_order_relaxed);
+            continue;
+          }
+          worker->ApplyStep(lr, margin);
+        }
+      }
+      barrier.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) threads.emplace_back(worker_loop, w);
+  for (auto& t : threads) t.join();
+  return final_status;
+}
+
+}  // namespace
+
+Status SgdExecutor::Run(const SgdExecutorConfig& config, FactorModel* model,
+                        const WorkerFactory& make_worker, const ProbeFn& probe,
+                        const CheckpointFn& checkpoint) {
+  CLAPF_CHECK(model != nullptr);
+  if (config.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (config.num_threads == 1) {
+    return RunSerial(config, model, make_worker, probe, checkpoint);
+  }
+  return RunParallel(config, model, make_worker, probe, checkpoint);
+}
+
+}  // namespace clapf

@@ -1,0 +1,153 @@
+#ifndef CLAPF_CORE_SGD_EXECUTOR_H_
+#define CLAPF_CORE_SGD_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "clapf/core/divergence_guard.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/util/random.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Parameter-access policy for the SGD update kernels. Each trainer writes
+/// its gradient step once, templated on one of these, and instantiates it
+/// twice: PlainAccess for the serial path (ordinary loads/stores — compiles
+/// to exactly the pre-executor code, so serial training stays bit-identical)
+/// and RelaxedAccess for HogWild workers. Relaxed atomics on doubles compile
+/// to plain movs on x86-64, so the parallel kernel pays nothing for being
+/// data-race-free (and TSan-clean) under concurrent updates.
+struct PlainAccess {
+  static double Load(const double& x) { return x; }
+  static void Store(double& x, double v) { x = v; }
+};
+
+struct RelaxedAccess {
+  static double Load(const double& x) {
+    // atomic_ref requires a non-const referent even for loads.
+    return std::atomic_ref<double>(const_cast<double&>(x))
+        .load(std::memory_order_relaxed);
+  }
+  static void Store(double& x, double v) {
+    std::atomic_ref<double>(x).store(v, std::memory_order_relaxed);
+  }
+};
+
+/// f_ui under an access policy. Replicates FactorModel::Score's exact
+/// summation order (bias first, then factors ascending) so the PlainAccess
+/// instantiation is bit-identical to calling Score().
+template <typename Access>
+double ScoreWith(const FactorModel& m, UserId u, ItemId i) {
+  auto uf = m.UserFactors(u);
+  auto vf = m.ItemFactors(i);
+  double s = m.use_item_bias()
+                 ? Access::Load(m.item_bias_data()[static_cast<size_t>(i)])
+                 : 0.0;
+  const int32_t d = m.num_factors();
+  for (int32_t f = 0; f < d; ++f) {
+    s += Access::Load(uf[f]) * Access::Load(vf[f]);
+  }
+  return s;
+}
+
+/// Seed for worker `w`'s sampler stream. Worker 0 keeps `base` so the serial
+/// path (one worker) reproduces the legacy stream bit-for-bit; workers > 0
+/// get independent SplitMix64-derived streams.
+inline uint64_t WorkerSeed(uint64_t base, int worker) {
+  if (worker == 0) return base;
+  uint64_t state =
+      base + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(worker);
+  return SplitMix64(state);
+}
+
+/// One worker's view of a trainer's SGD step, split at the point where the
+/// executor injects faults and health checks: PrepareStep draws the next
+/// sample and returns the health value (the margin) derived from the current
+/// model; ApplyStep applies the gradient update for that sample. The margin
+/// handed back may differ from what PrepareStep returned (fault injection
+/// poisons it with NaN), so ApplyStep must derive its gradient from the
+/// argument, not from cached state. Workers are single-threaded objects;
+/// concurrency comes from running several of them against the shared model.
+class SgdWorker {
+ public:
+  virtual ~SgdWorker() = default;
+
+  /// Draws the next training sample and returns its health value.
+  virtual double PrepareStep() = 0;
+
+  /// Applies the update for the sample drawn by the last PrepareStep, at
+  /// learning rate `lr` (schedule × guard backoff already folded in).
+  virtual void ApplyStep(double lr, double margin) = 0;
+};
+
+/// Configuration of one executor run. The schedule fields mirror SgdOptions;
+/// the initial_* fields restore DivergenceGuard backoff recovered from a
+/// checkpoint.
+struct SgdExecutorConfig {
+  int num_threads = 1;
+  /// First iteration to run, 1-based (> 1 when resuming from a checkpoint).
+  int64_t start_iteration = 1;
+  /// Last iteration, inclusive (the T of the O(T·d) analysis).
+  int64_t iterations = 0;
+  /// Linear learning-rate schedule, evaluated per iteration exactly as the
+  /// legacy trainer loops did.
+  double learning_rate = 0.05;
+  double final_learning_rate_fraction = 1.0;
+  DivergenceOptions divergence;
+  double initial_lr_scale = 1.0;
+  int32_t initial_guard_retries = 0;
+  /// Iterations between checkpoint callbacks; <= 0 disables them. In serial
+  /// mode checkpoints fire exactly at multiples of the interval (legacy
+  /// behavior); in parallel mode they fire at the first worker barrier at or
+  /// after each multiple.
+  int64_t checkpoint_interval = 0;
+  /// Iterations per parallel synchronization round (worker barrier). <= 0
+  /// picks a default: the checkpoint interval if set, else the guard's
+  /// check_interval if monitoring is on, else the whole run in one round.
+  /// Ignored in serial mode.
+  int64_t sync_interval = 0;
+};
+
+/// Shared SGD execution engine for the sampled-gradient trainers (CLAPF,
+/// BPR, MPR, CLiMF). One thread runs the exact legacy loop: schedule, sample,
+/// fault injection, DivergenceGuard::Observe, update, probe, checkpoint —
+/// bit-identical to the pre-executor trainers. Several threads run HogWild:
+/// workers claim iteration chunks from a shared counter and update the model
+/// lock-free, synchronizing at round barriers where a single thread runs the
+/// guard's policy machinery, checkpoints, and probes while the others are
+/// parked.
+///
+/// Determinism contract: num_threads == 1 is bit-identical given the seed;
+/// num_threads > 1 is statistically equivalent (same converged quality, not
+/// the same bits).
+class SgdExecutor {
+ public:
+  /// Builds worker `worker_index` of `num_workers`. Called on the calling
+  /// thread for every worker before any SGD step runs, so factories may
+  /// touch shared state freely.
+  using WorkerFactory =
+      std::function<std::unique_ptr<SgdWorker>(int worker_index,
+                                               int num_workers)>;
+  /// Training probe, invoked with the 1-based iteration count: after every
+  /// iteration in serial mode, at round barriers in parallel mode.
+  using ProbeFn = std::function<void(int64_t iteration)>;
+  /// Checkpoint hook; see SgdExecutorConfig::checkpoint_interval for when it
+  /// fires. The guard argument carries lr_scale/rollbacks for the state
+  /// block.
+  using CheckpointFn =
+      std::function<void(int64_t iteration, const DivergenceGuard& guard)>;
+
+  /// Runs the configured iteration range to completion. Returns the guard's
+  /// failure when divergence halts the run, OK otherwise.
+  static Status Run(const SgdExecutorConfig& config, FactorModel* model,
+                    const WorkerFactory& make_worker,
+                    const ProbeFn& probe = nullptr,
+                    const CheckpointFn& checkpoint = nullptr);
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_CORE_SGD_EXECUTOR_H_

@@ -7,8 +7,8 @@
 #include <string>
 
 #include "clapf/core/divergence_guard.h"
+#include "clapf/core/ranker.h"
 #include "clapf/data/dataset.h"
-#include "clapf/eval/evaluator.h"
 #include "clapf/model/factor_model.h"
 #include "clapf/util/status.h"
 
@@ -37,6 +37,14 @@ struct SgdOptions {
   double init_stddev = 0.01;
   /// Seed for initialization and sampling.
   uint64_t seed = 1;
+  /// SGD worker threads. 1 (default) runs the original serial loop —
+  /// bit-identical results given the seed, including checkpoint resume.
+  /// > 1 runs HogWild-style lock-free parallel SGD (Niu et al., 2011): each
+  /// worker owns an independent sampler stream derived from `seed` and
+  /// applies updates to the shared model without locks, so the result is
+  /// statistically equivalent but not bit-reproducible across runs or
+  /// thread counts.
+  int num_threads = 1;
   /// Numerical-health monitoring (NaN/Inf/exploding factors) for the SGD
   /// loop; off by default so the hot path is unchanged.
   DivergenceOptions divergence;
@@ -73,6 +81,13 @@ class Trainer : public Ranker {
     if (probe_ && probe_interval_ > 0 && iteration % probe_interval_ == 0) {
       probe_(iteration, *this);
     }
+  }
+
+  /// True when SetProbe installed an active probe. Trainers skip wiring the
+  /// executor's probe callback otherwise, so the unprobed hot loop never
+  /// pays for an std::function call.
+  bool probe_installed() const {
+    return static_cast<bool>(probe_) && probe_interval_ > 0;
   }
 
  private:

@@ -144,10 +144,17 @@ EvalSummary Evaluator::EvaluateParallel(const Ranker& ranker,
   CLAPF_CHECK(std::is_sorted(ks.begin(), ks.end()));
   CLAPF_CHECK(num_threads >= 1);
 
+  // Users are cut into fixed-size blocks (NOT num_threads-sized shards), one
+  // partial summary per block, reduced below in block order. The partition
+  // and the reduction order are therefore functions of the dataset alone, so
+  // the result is identical — to the last bit — for every num_threads. (It
+  // may still differ from serial Evaluate() in the last ulp, since that one
+  // accumulates everything into a single partial.)
   const int32_t num_users = train_->num_users();
-  const int shards = std::max(
-      1, std::min(num_threads, num_users > 0 ? num_users : 1));
-  std::vector<EvalSummary> partials(static_cast<size_t>(shards));
+  constexpr int32_t kBlockUsers = 256;
+  const int32_t num_blocks =
+      num_users > 0 ? (num_users + kBlockUsers - 1) / kBlockUsers : 0;
+  std::vector<EvalSummary> partials(static_cast<size_t>(num_blocks));
   for (auto& partial : partials) {
     partial.at_k.resize(ks.size());
     for (size_t i = 0; i < ks.size(); ++i) partial.at_k[i].k = ks[i];
@@ -155,13 +162,10 @@ EvalSummary Evaluator::EvaluateParallel(const Ranker& ranker,
 
   {
     ThreadPool pool(num_threads);
-    const int32_t chunk = (num_users + shards - 1) / shards;
-    for (int s = 0; s < shards; ++s) {
-      const UserId lo = static_cast<UserId>(s * chunk);
-      const UserId hi =
-          std::min<UserId>(num_users, static_cast<UserId>((s + 1) * chunk));
-      if (lo >= hi) break;
-      EvalSummary* partial = &partials[static_cast<size_t>(s)];
+    for (int32_t b = 0; b < num_blocks; ++b) {
+      const UserId lo = static_cast<UserId>(b) * kBlockUsers;
+      const UserId hi = std::min<UserId>(num_users, lo + kBlockUsers);
+      EvalSummary* partial = &partials[static_cast<size_t>(b)];
       pool.Submit([this, &ranker, &ks, lo, hi, partial] {
         AccumulateRange(ranker, ks, lo, hi, partial);
       });

@@ -5,35 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "clapf/core/ranker.h"
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
 
 namespace clapf {
-
-/// Anything that can score every item for a user. Trainers and models
-/// implement this so the Evaluator can rank them uniformly.
-class Ranker {
- public:
-  virtual ~Ranker() = default;
-
-  /// Fills `scores` (resized to the item count) with the predicted relevance
-  /// of every item for user `u`. Higher is better.
-  virtual void ScoreItems(UserId u, std::vector<double>* scores) const = 0;
-};
-
-/// Adapts a FactorModel to the Ranker interface.
-class FactorModelRanker : public Ranker {
- public:
-  /// `model` must outlive the ranker.
-  explicit FactorModelRanker(const FactorModel* model) : model_(model) {}
-
-  void ScoreItems(UserId u, std::vector<double>* scores) const override {
-    model_->ScoreAllItems(u, scores);
-  }
-
- private:
-  const FactorModel* model_;
-};
 
 /// Top-k metric bundle at one cutoff.
 struct MetricsAtK {
@@ -79,7 +55,10 @@ class Evaluator {
   /// Multi-threaded evaluation, sharded over users. The ranker's ScoreItems
   /// must be safe to call concurrently from several threads (FactorModel
   /// qualifies; the neural trainers use per-instance scratch and do not).
-  /// Matches Evaluate() up to floating-point summation order.
+  /// Deterministic: users are split into fixed-size blocks whose partial
+  /// sums are reduced in block order, so the summary is identical for every
+  /// `num_threads` (it may still differ from Evaluate() in the last ulp,
+  /// since the block-wise grouping reorders the floating-point adds).
   EvalSummary EvaluateParallel(const Ranker& ranker,
                                const std::vector<int>& ks,
                                int num_threads) const;

@@ -1,9 +1,12 @@
 #include "clapf/recommender.h"
 
+#include <algorithm>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "clapf/model/model_io.h"
+#include "clapf/util/thread_pool.h"
 
 namespace clapf {
 
@@ -33,34 +36,101 @@ Result<Recommender> Recommender::Load(const std::string& model_path,
   return Create(*std::move(model), std::move(history));
 }
 
-Result<std::vector<ScoredItem>> Recommender::Recommend(UserId u,
-                                                       size_t k) const {
-  return RecommendFiltered(u, k, {});
-}
+std::vector<ScoredItem> Recommender::RecommendOne(
+    UserId u, size_t k, const QueryOptions& options,
+    std::vector<double>* score_buf, std::vector<bool>* excluded) const {
+  if (k == 0) return {};
 
-Result<std::vector<ScoredItem>> Recommender::RecommendFiltered(
-    UserId u, size_t k, const std::vector<ItemId>& exclude) const {
-  if (u < 0 || u >= model_.num_users()) {
-    return Status::OutOfRange("unknown user id " + std::to_string(u));
+  const bool cold = history_.NumItemsOf(u) == 0;
+  if (cold && !options.cold_start_fallback) return {};
+
+  excluded->assign(static_cast<size_t>(model_.num_items()), false);
+  for (ItemId i : history_.ItemsOf(u)) {
+    (*excluded)[static_cast<size_t>(i)] = true;
   }
-  if (k == 0) return std::vector<ScoredItem>{};
-
-  std::vector<bool> excluded(static_cast<size_t>(model_.num_items()), false);
-  for (ItemId i : history_.ItemsOf(u)) excluded[static_cast<size_t>(i)] = true;
-  for (ItemId i : exclude) {
+  for (ItemId i : options.exclude) {
     if (i >= 0 && i < model_.num_items()) {
-      excluded[static_cast<size_t>(i)] = true;
+      (*excluded)[static_cast<size_t>(i)] = true;
     }
   }
 
-  const bool cold = history_.NumItemsOf(u) == 0;
-  std::vector<double> scores;
-  if (cold) {
-    scores = popularity_;  // cold-start: popularity fallback
-  } else {
-    model_.ScoreAllItems(u, &scores);
+  // Cold-start: rank by popularity straight from the shared table, no copy.
+  const std::vector<double>* scores = &popularity_;
+  if (!cold) {
+    model_.ScoreAllItems(u, score_buf);
+    scores = score_buf;
   }
-  return SelectTopK(scores, excluded, k);
+  std::vector<ScoredItem> top = SelectTopK(*scores, *excluded, k);
+  if (options.min_score) {
+    // Results are sorted best-to-worst, so the floor cuts a suffix.
+    auto first_below = std::find_if(
+        top.begin(), top.end(),
+        [&](const ScoredItem& s) { return s.score < *options.min_score; });
+    top.erase(first_below, top.end());
+  }
+  return top;
+}
+
+Result<std::vector<ScoredItem>> Recommender::Recommend(
+    UserId u, size_t k, const QueryOptions& options) const {
+  if (u < 0 || u >= model_.num_users()) {
+    return Status::OutOfRange("unknown user id " + std::to_string(u));
+  }
+  std::vector<double> score_buf;
+  std::vector<bool> excluded;
+  return RecommendOne(u, k, options, &score_buf, &excluded);
+}
+
+Result<std::vector<std::vector<ScoredItem>>> Recommender::RecommendBatch(
+    std::span<const UserId> users, size_t k,
+    const QueryOptions& options) const {
+  // Validate the whole batch before doing any scoring work so a bad id
+  // cannot leave a half-filled result.
+  for (UserId u : users) {
+    if (u < 0 || u >= model_.num_users()) {
+      return Status::OutOfRange("unknown user id " + std::to_string(u));
+    }
+  }
+  std::vector<std::vector<ScoredItem>> results(users.size());
+  if (users.empty()) return results;
+
+  int threads = options.num_threads > 0
+                    ? options.num_threads
+                    : static_cast<int>(
+                          std::max(1u, std::thread::hardware_concurrency()));
+  threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), users.size()));
+
+  if (threads == 1) {
+    std::vector<double> score_buf;
+    std::vector<bool> excluded;
+    for (size_t i = 0; i < users.size(); ++i) {
+      results[i] = RecommendOne(users[i], k, options, &score_buf, &excluded);
+    }
+    return results;
+  }
+
+  // Contiguous shards, one task per thread; each task owns its scratch
+  // buffers and writes disjoint result slots, so no synchronization beyond
+  // the pool's completion barrier is needed.
+  ThreadPool pool(threads);
+  const size_t shard =
+      (users.size() + static_cast<size_t>(threads) - 1) /
+      static_cast<size_t>(threads);
+  for (int t = 0; t < threads; ++t) {
+    const size_t lo = static_cast<size_t>(t) * shard;
+    const size_t hi = std::min(users.size(), lo + shard);
+    if (lo >= hi) break;
+    pool.Submit([this, &users, &results, &options, k, lo, hi] {
+      std::vector<double> score_buf;
+      std::vector<bool> excluded;
+      for (size_t i = lo; i < hi; ++i) {
+        results[i] = RecommendOne(users[i], k, options, &score_buf, &excluded);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
 }
 
 Result<double> Recommender::Score(UserId u, ItemId i) const {

@@ -2,6 +2,8 @@
 #define CLAPF_RECOMMENDER_H_
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,10 +14,31 @@
 
 namespace clapf {
 
+/// Per-query knobs for Recommender::Recommend / RecommendBatch. The default
+/// constructed value reproduces the classic behaviour: exclude nothing
+/// beyond the user's history, fall back to popularity for cold users, no
+/// score floor.
+struct QueryOptions {
+  /// Items to skip in addition to the user's history (out-of-range ids are
+  /// ignored).
+  std::vector<ItemId> exclude;
+  /// When true (default), users without history are served the popularity
+  /// ranking. When false, cold users get an empty result instead — callers
+  /// that have their own cold-start strategy opt out here.
+  bool cold_start_fallback = true;
+  /// Drop results scoring below this floor; the result may then hold fewer
+  /// than k items.
+  std::optional<double> min_score;
+  /// Worker threads for RecommendBatch. 0 (default) = hardware concurrency;
+  /// single-user Recommend ignores this.
+  int num_threads = 0;
+};
+
 /// Serving facade: a trained FactorModel plus the interaction history it was
 /// trained on, packaged for answering top-k queries. Covers the gaps a raw
 /// model leaves for production use: history exclusion, explicit exclusion
-/// lists, popularity fallback for cold users, and model persistence.
+/// lists, popularity fallback for cold users, batched multi-user queries,
+/// and model persistence.
 class Recommender {
  public:
   /// Builds from a trained model and its training data; both are copied so
@@ -27,14 +50,31 @@ class Recommender {
   static Result<Recommender> Load(const std::string& model_path,
                                   Dataset history);
 
-  /// Top-k unseen items for `u`. Cold users (no history) fall back to
-  /// popularity ranking. Returns OutOfRange for an unknown user id.
-  Result<std::vector<ScoredItem>> Recommend(UserId u, size_t k) const;
+  /// Top-k unseen items for `u` under `options`. Returns OutOfRange for an
+  /// unknown user id. `Recommend(u, k, {})` is the classic query: history
+  /// excluded, cold users served by popularity.
+  Result<std::vector<ScoredItem>> Recommend(UserId u, size_t k,
+                                            const QueryOptions& options) const;
 
-  /// Like Recommend but additionally skips every item in `exclude`
-  /// (out-of-range ids are ignored).
+  /// Top-k for every user in `users`, sharded over a thread pool; result[i]
+  /// answers users[i]. All ids are validated up front: one bad id fails the
+  /// whole batch with OutOfRange before any scoring work runs.
+  Result<std::vector<std::vector<ScoredItem>>> RecommendBatch(
+      std::span<const UserId> users, size_t k,
+      const QueryOptions& options = {}) const;
+
+  [[deprecated("use Recommend(u, k, QueryOptions{})")]]
+  Result<std::vector<ScoredItem>> Recommend(UserId u, size_t k) const {
+    return Recommend(u, k, QueryOptions{});
+  }
+
+  [[deprecated("use Recommend(u, k, QueryOptions{.exclude = ...})")]]
   Result<std::vector<ScoredItem>> RecommendFiltered(
-      UserId u, size_t k, const std::vector<ItemId>& exclude) const;
+      UserId u, size_t k, const std::vector<ItemId>& exclude) const {
+    QueryOptions options;
+    options.exclude = exclude;
+    return Recommend(u, k, options);
+  }
 
   /// Predicted relevance score for one (user, item); OutOfRange on bad ids.
   Result<double> Score(UserId u, ItemId i) const;
@@ -49,6 +89,14 @@ class Recommender {
 
  private:
   Recommender(FactorModel model, Dataset history);
+
+  /// Single-user kernel behind both query entry points. `score_buf` and
+  /// `excluded` are caller-provided scratch so batch queries reuse their
+  /// per-thread buffers across users.
+  std::vector<ScoredItem> RecommendOne(UserId u, size_t k,
+                                       const QueryOptions& options,
+                                       std::vector<double>* score_buf,
+                                       std::vector<bool>* excluded) const;
 
   FactorModel model_;
   Dataset history_;

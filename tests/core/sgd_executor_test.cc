@@ -1,0 +1,252 @@
+// Tests for the shared SGD execution engine.
+//
+// The serial golden tests pin the exact doubles the pre-executor trainer
+// loops produced on a fixed synthetic dataset: the num_threads=1 path is a
+// compatibility contract, not an approximation, so these use EXPECT_EQ on
+// bit-exact values. The parallel tests assert statistical equivalence
+// (HogWild runs are not bit-reproducible) plus the executor's coordination
+// behaviour: barrier checkpoints and guard halts.
+
+#include "clapf/core/sgd_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <vector>
+
+#include "clapf/baselines/bpr.h"
+#include "clapf/baselines/climf.h"
+#include "clapf/baselines/mpr.h"
+#include "clapf/core/clapf_trainer.h"
+#include "clapf/data/split.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "clapf/util/fs.h"
+
+namespace clapf {
+namespace {
+
+Dataset GoldenData() {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 100;
+  cfg.num_interactions = 2400;
+  cfg.affinity_sharpness = 8.0;
+  cfg.popularity_mix = 0.2;
+  cfg.seed = 42;
+  return *GenerateSynthetic(cfg);
+}
+
+SgdOptions GoldenSgd() {
+  SgdOptions sgd;
+  sgd.num_factors = 8;
+  sgd.iterations = 20000;
+  sgd.learning_rate = 0.05;
+  sgd.seed = 7;
+  return sgd;
+}
+
+struct ModelDigest {
+  double u00, v00, b0, sum_u, sum_v, sum_b;
+};
+
+ModelDigest Digest(const FactorModel& m) {
+  ModelDigest d{m.UserFactors(0)[0], m.ItemFactors(0)[0], m.ItemBias(0),
+                0.0, 0.0, 0.0};
+  for (double x : m.user_factor_data()) d.sum_u += x;
+  for (double x : m.item_factor_data()) d.sum_v += x;
+  for (double x : m.item_bias_data()) d.sum_b += x;
+  return d;
+}
+
+// --- Serial bit-identity against pre-executor golden values -----------------
+
+TEST(SgdExecutorGolden, BprSerialMatchesPreRefactorBitForBit) {
+  Dataset data = GoldenData();
+  BprOptions o;
+  o.sgd = GoldenSgd();
+  BprTrainer t(o);
+  ASSERT_TRUE(t.Train(data).ok());
+  ModelDigest d = Digest(*t.model());
+  EXPECT_EQ(d.u00, 0.028710839393284324);
+  EXPECT_EQ(d.v00, -0.0031423750526448847);
+  EXPECT_EQ(d.b0, -0.79234736590742849);
+  EXPECT_EQ(d.sum_u, 0.41332834917795014);
+  EXPECT_EQ(d.sum_v, -0.32214138322982161);
+  EXPECT_EQ(d.sum_b, -2.2660173649485786);
+}
+
+TEST(SgdExecutorGolden, ClapfSerialMatchesPreRefactorBitForBit) {
+  Dataset data = GoldenData();
+  ClapfOptions o;
+  o.sgd = GoldenSgd();
+  o.lambda = 0.4;
+  ClapfTrainer t(o);
+  ASSERT_TRUE(t.Train(data).ok());
+  ModelDigest d = Digest(*t.model());
+  EXPECT_EQ(d.u00, -0.0035764114004317236);
+  EXPECT_EQ(d.v00, 0.0089574420802860568);
+  EXPECT_EQ(d.b0, -0.83158194913875472);
+  EXPECT_EQ(d.sum_u, 0.42840595466144343);
+  EXPECT_EQ(d.sum_v, -0.32177632962122543);
+  EXPECT_EQ(d.sum_b, -7.4608538712410226);
+}
+
+TEST(SgdExecutorGolden, MprSerialMatchesPreRefactorBitForBit) {
+  Dataset data = GoldenData();
+  MprOptions o;
+  o.sgd = GoldenSgd();
+  MprTrainer t(o);
+  ASSERT_TRUE(t.Train(data).ok());
+  ModelDigest d = Digest(*t.model());
+  EXPECT_EQ(d.u00, 0.0050980262260215169);
+  EXPECT_EQ(d.v00, 0.0070860456378481511);
+  EXPECT_EQ(d.b0, -0.98240011244226089);
+  EXPECT_EQ(d.sum_u, 0.5311565869638728);
+  EXPECT_EQ(d.sum_v, -0.29503488267151734);
+  EXPECT_EQ(d.sum_b, -5.2140470032189681);
+}
+
+TEST(SgdExecutorGolden, ClimfSerialMatchesPreRefactorBitForBit) {
+  Dataset data = GoldenData();
+  ClimfOptions o;
+  o.sgd = GoldenSgd();
+  o.epochs = 10;
+  ClimfTrainer t(o);
+  ASSERT_TRUE(t.Train(data).ok());
+  ModelDigest d = Digest(*t.model());
+  EXPECT_EQ(d.u00, -0.0011495436407867397);
+  EXPECT_EQ(d.v00, 0.0061774143027270439);
+  EXPECT_EQ(d.b0, 0.123023382731365);
+  EXPECT_EQ(d.sum_u, -0.21985533100780746);
+  EXPECT_EQ(d.sum_v, -0.36405899841737993);
+  EXPECT_EQ(d.sum_b, 13.517989602256419);
+}
+
+// --- Parallel statistical equivalence ---------------------------------------
+
+TEST(SgdExecutorParallel, BprFourThreadsReachesSerialQuality) {
+  Dataset data = GoldenData();
+  TrainTestSplit split = SplitRandom(data, 0.5, 13);
+  Evaluator eval(&split.train, &split.test);
+
+  BprOptions serial;
+  serial.sgd = GoldenSgd();
+  BprTrainer st(serial);
+  ASSERT_TRUE(st.Train(split.train).ok());
+  const double serial_auc = eval.Evaluate(*st.model(), {5}).auc;
+
+  BprOptions par = serial;
+  par.sgd.num_threads = 4;
+  BprTrainer pt(par);
+  ASSERT_TRUE(pt.Train(split.train).ok());
+  const double par_auc = eval.Evaluate(*pt.model(), {5}).auc;
+
+  // HogWild with a handful of threads on this tiny problem should land
+  // within noise of the serial optimum, and both must have actually learned.
+  EXPECT_GT(serial_auc, 0.55);
+  EXPECT_GT(par_auc, 0.55);
+  EXPECT_NEAR(par_auc, serial_auc, 0.05);
+}
+
+TEST(SgdExecutorParallel, ClapfTwoThreadsTrainsAndReportsLoss) {
+  Dataset data = GoldenData();
+  ClapfOptions o;
+  o.sgd = GoldenSgd();
+  o.sgd.iterations = 5000;
+  o.sgd.num_threads = 2;
+  ClapfTrainer t(o);
+  ASSERT_TRUE(t.Train(data).ok());
+  // Both workers' loss slots must contribute: 5000 steps of -ln σ(·) give a
+  // strictly positive finite average.
+  EXPECT_GT(t.last_average_loss(), 0.0);
+  EXPECT_TRUE(std::isfinite(t.last_average_loss()));
+}
+
+TEST(SgdExecutorParallel, InvalidThreadCountIsRejected) {
+  Dataset data = GoldenData();
+  BprOptions o;
+  o.sgd = GoldenSgd();
+  o.sgd.num_threads = 0;
+  BprTrainer t(o);
+  Status s = t.Train(data);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// --- Parallel checkpointing --------------------------------------------------
+
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(SgdExecutorParallel, CheckpointsAtBarriersAndResumes) {
+  ScopedTempDir dir("clapf_parallel_ckpt_test");
+  Dataset data = GoldenData();
+
+  ClapfOptions o;
+  o.sgd = GoldenSgd();
+  o.sgd.iterations = 10000;
+  o.sgd.num_threads = 2;
+  o.checkpoint.dir = dir.path();
+  o.checkpoint.interval = 5000;
+  o.checkpoint.keep_last = 3;
+
+  {
+    ClapfTrainer t(o);
+    ASSERT_TRUE(t.Train(data).ok());
+  }
+  CheckpointManager mgr(o.checkpoint);
+  ASSERT_TRUE(mgr.Init().ok());
+  auto latest = mgr.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  // Parallel mode checkpoints at worker barriers, which the executor aligns
+  // with the checkpoint interval, so the final snapshot lands exactly on T.
+  EXPECT_EQ(latest->state.iteration, 10000);
+
+  // A longer run resumes from that snapshot instead of restarting.
+  o.sgd.iterations = 20000;
+  o.checkpoint.resume = true;
+  {
+    ClapfTrainer t(o);
+    ASSERT_TRUE(t.Train(data).ok());
+    EXPECT_GT(t.last_average_loss(), 0.0);
+  }
+  // LoadLatest walks the entry list cached at Init(); re-scan to see the
+  // snapshots the resumed run appended (and its pruning of the oldest).
+  ASSERT_TRUE(mgr.Init().ok());
+  auto resumed = mgr.LoadLatest();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->state.iteration, 20000);
+  // The resumed run continued the crashed run's loss statistics.
+  EXPECT_GE(resumed->state.loss_count, 20000);
+}
+
+// --- Divergence guard through the parallel path ------------------------------
+
+TEST(SgdExecutorParallel, GuardHaltStopsAllWorkersAtBarrier) {
+  Dataset data = GoldenData();
+  BprOptions o;
+  o.sgd = GoldenSgd();
+  o.sgd.num_threads = 2;
+  o.sgd.divergence.policy = DivergencePolicy::kHalt;
+  // Every finite margin exceeds this floor, so each worker flags its very
+  // first step and the run must halt at the first barrier.
+  o.sgd.divergence.max_abs_margin = 1e-300;
+  BprTrainer t(o);
+  Status s = t.Train(data);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace clapf

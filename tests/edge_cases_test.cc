@@ -127,7 +127,7 @@ TEST(EdgeCaseTest, RecommenderOnFullyColdDataset) {
   FactorModel model(2, 3, 2);
   auto rec = Recommender::Create(std::move(model), history);
   ASSERT_TRUE(rec.ok());
-  auto top = rec->Recommend(0, 2);
+  auto top = rec->Recommend(0, 2, QueryOptions{});
   ASSERT_TRUE(top.ok());
   EXPECT_EQ(top->size(), 2u);  // popularity fallback over all-zero counts
 }

@@ -22,6 +22,10 @@
 #include "clapf/core/divergence_guard.h"  // NOLINT
 #include "clapf/core/divergence_guard.h"  // NOLINT
 #include "clapf/core/model_selection.h"   // NOLINT
+#include "clapf/core/ranker.h"            // NOLINT
+#include "clapf/core/ranker.h"            // NOLINT
+#include "clapf/core/sgd_executor.h"      // NOLINT
+#include "clapf/core/sgd_executor.h"      // NOLINT
 #include "clapf/core/smoothing.h"         // NOLINT
 #include "clapf/core/trainer.h"           // NOLINT
 #include "clapf/core/trainer_factory.h"   // NOLINT

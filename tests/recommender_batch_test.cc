@@ -1,0 +1,168 @@
+// Tests for the redesigned query surface: Recommend(u, k, QueryOptions),
+// RecommendBatch, and the deterministic parallel evaluator that backs the
+// serving-quality reports.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clapf/baselines/bpr.h"
+#include "clapf/data/dataset_builder.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/eval/evaluator.h"
+#include "clapf/recommender.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+using testing::MakeDataset;
+using testing::MakeExactModel;
+
+Recommender MakeExactRecommender() {
+  // Scores: user 0 prefers ascending ids, user 1 descending, user 2 flat.
+  FactorModel model = MakeExactModel(
+      {{0.0, 1.0, 2.0, 3.0}, {3.0, 2.0, 1.0, 0.0}, {0.5, 0.5, 0.5, 0.5}});
+  // User 0 has seen item 0; user 2 is cold.
+  Dataset history = MakeDataset(3, 4, {{0, 0}, {1, 3}});
+  return *Recommender::Create(std::move(model), std::move(history));
+}
+
+TEST(QueryOptionsTest, DefaultOptionsMatchClassicQuery) {
+  Recommender rec = MakeExactRecommender();
+  auto got = rec.Recommend(0, 2, QueryOptions{});
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ((*got)[0].item, 3);
+  EXPECT_EQ((*got)[1].item, 2);
+}
+
+TEST(QueryOptionsTest, ExcludeListSkipsItems) {
+  Recommender rec = MakeExactRecommender();
+  QueryOptions opts;
+  opts.exclude = {3, 99, -1};  // out-of-range ids ignored
+  auto got = rec.Recommend(0, 2, opts);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ((*got)[0].item, 2);
+  EXPECT_EQ((*got)[1].item, 1);
+}
+
+TEST(QueryOptionsTest, MinScoreCutsTheTail) {
+  Recommender rec = MakeExactRecommender();
+  QueryOptions opts;
+  opts.min_score = 2.5;
+  auto got = rec.Recommend(0, 3, opts);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 1u);  // only item 3 (score 3.0) clears the floor
+  EXPECT_EQ((*got)[0].item, 3);
+}
+
+TEST(QueryOptionsTest, ColdStartFallbackCanBeDisabled) {
+  Recommender rec = MakeExactRecommender();
+  // User 2 is cold: default options serve popularity...
+  auto with = rec.Recommend(2, 2, QueryOptions{});
+  ASSERT_TRUE(with.ok());
+  EXPECT_FALSE(with->empty());
+  // ...opting out returns empty instead.
+  QueryOptions opts;
+  opts.cold_start_fallback = false;
+  auto without = rec.Recommend(2, 2, opts);
+  ASSERT_TRUE(without.ok());
+  EXPECT_TRUE(without->empty());
+}
+
+TEST(QueryOptionsTest, UnknownUserIsRejected) {
+  Recommender rec = MakeExactRecommender();
+  EXPECT_EQ(rec.Recommend(17, 2, QueryOptions{}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RecommendBatchTest, MatchesPerUserQueriesExactly) {
+  SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 60;
+  cfg.num_interactions = 800;
+  cfg.seed = 11;
+  Dataset data = *GenerateSynthetic(cfg);
+
+  BprOptions o;
+  o.sgd.num_factors = 6;
+  o.sgd.iterations = 4000;
+  o.sgd.seed = 3;
+  BprTrainer t(o);
+  ASSERT_TRUE(t.Train(data).ok());
+  Recommender rec =
+      *Recommender::Create(FactorModel(*t.model()), std::move(data));
+
+  std::vector<UserId> users;
+  for (UserId u = 0; u < rec.num_users(); ++u) users.push_back(u);
+  QueryOptions opts;
+  opts.num_threads = 4;
+  auto batch = rec.RecommendBatch(users, 5, opts);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    auto single = rec.Recommend(users[i], 5, opts);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*batch)[i].size(), single->size()) << "user " << users[i];
+    for (size_t r = 0; r < single->size(); ++r) {
+      EXPECT_EQ((*batch)[i][r].item, (*single)[r].item);
+      EXPECT_EQ((*batch)[i][r].score, (*single)[r].score);
+    }
+  }
+}
+
+TEST(RecommendBatchTest, OneBadIdFailsTheWholeBatchUpFront) {
+  Recommender rec = MakeExactRecommender();
+  std::vector<UserId> users = {0, 1, 42};
+  auto got = rec.RecommendBatch(users, 2);
+  EXPECT_EQ(got.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RecommendBatchTest, EmptyBatchIsFine) {
+  Recommender rec = MakeExactRecommender();
+  auto got = rec.RecommendBatch(std::vector<UserId>{}, 2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(EvaluatorDeterminismTest, ParallelResultIndependentOfThreadCount) {
+  SyntheticConfig cfg;
+  cfg.num_users = 300;  // > one 256-user block, so the reduction really runs
+  cfg.num_items = 80;
+  cfg.num_interactions = 3000;
+  cfg.seed = 5;
+  Dataset data = *GenerateSynthetic(cfg);
+
+  BprOptions o;
+  o.sgd.num_factors = 4;
+  o.sgd.iterations = 2000;
+  o.sgd.seed = 9;
+  BprTrainer t(o);
+  ASSERT_TRUE(t.Train(data).ok());
+
+  Evaluator eval(&data, &data);
+  FactorModelRanker ranker(t.model());
+  const std::vector<int> ks = {3, 5, 10};
+  EvalSummary one = eval.EvaluateParallel(ranker, ks, 1);
+  EvalSummary eight = eval.EvaluateParallel(ranker, ks, 8);
+
+  // The block partition and reduction order are fixed, so every accumulated
+  // double must agree to the last bit across thread counts.
+  EXPECT_EQ(one.users_evaluated, eight.users_evaluated);
+  EXPECT_EQ(one.map, eight.map);
+  EXPECT_EQ(one.mrr, eight.mrr);
+  EXPECT_EQ(one.auc, eight.auc);
+  ASSERT_EQ(one.at_k.size(), eight.at_k.size());
+  for (size_t i = 0; i < one.at_k.size(); ++i) {
+    EXPECT_EQ(one.at_k[i].precision, eight.at_k[i].precision);
+    EXPECT_EQ(one.at_k[i].recall, eight.at_k[i].recall);
+    EXPECT_EQ(one.at_k[i].f1, eight.at_k[i].f1);
+    EXPECT_EQ(one.at_k[i].one_call, eight.at_k[i].one_call);
+    EXPECT_EQ(one.at_k[i].ndcg, eight.at_k[i].ndcg);
+  }
+}
+
+}  // namespace
+}  // namespace clapf

@@ -6,6 +6,11 @@
 #include "clapf/util/logging.h"
 #include "testing/test_util.h"
 
+// This suite deliberately exercises the deprecated Recommend(u, k) /
+// RecommendFiltered wrappers: they must keep answering exactly like the
+// QueryOptions surface until they are removed.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace clapf {
 namespace {
 

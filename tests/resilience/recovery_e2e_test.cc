@@ -205,7 +205,7 @@ TEST(RecoveryE2eTest, CorruptModelFileFailsLoadButCheckpointRecovers) {
 
   auto serving = Recommender::Create(std::move(recovered->model), TrainData());
   ASSERT_TRUE(serving.ok());
-  auto recs = serving->Recommend(0, 5);
+  auto recs = serving->Recommend(0, 5, QueryOptions{});
   ASSERT_TRUE(recs.ok());
   EXPECT_EQ(recs->size(), 5u);
 }

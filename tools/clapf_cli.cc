@@ -50,6 +50,7 @@ int RunTrain(int argc, char** argv) {
   std::string input, format = "tab", method_name = "CLAPF-MAP";
   std::string model_out = "model.clpf", dataset_out;
   int64_t iterations = 500000;
+  int64_t threads = 1;
   double lambda = 0.4;
   bool has_header = false;
   bool tune = false;
@@ -59,6 +60,8 @@ int RunTrain(int argc, char** argv) {
   flags.AddBool("header", &has_header, "skip the first line of the input");
   flags.AddString("method", &method_name, "any Table-2 or extension method");
   flags.AddInt("iterations", &iterations, "SGD iterations");
+  flags.AddInt("threads", &threads,
+               "SGD workers (1 = serial/reproducible, >1 = HogWild)");
   flags.AddDouble("lambda", &lambda, "CLAPF tradeoff λ");
   flags.AddBool("tune", &tune, "select λ on a validation split first");
   flags.AddString("model-out", &model_out, "model output path");
@@ -84,6 +87,7 @@ int RunTrain(int argc, char** argv) {
   config.sgd.iterations = iterations;
   config.sgd.learning_rate = 0.05;
   config.sgd.final_learning_rate_fraction = 0.05;
+  config.sgd.num_threads = static_cast<int>(threads);
   config.clapf_lambda = lambda;
 
   if (tune) {
@@ -154,16 +158,23 @@ int RunEvaluate(int argc, char** argv) {
 
 int RunRecommend(int argc, char** argv) {
   std::string model_path = "model.clpf", dataset_path, format = "tab";
-  int64_t user = 0, k = 10;
-  bool has_header = false;
+  std::string users_csv = "0", exclude_csv;
+  int64_t k = 10, threads = 0;
+  bool has_header = false, no_cold_fallback = false;
   FlagParser flags;
   flags.AddString("model", &model_path, "model path (.clpf)");
   flags.AddString("dataset", &dataset_path,
                   "interaction history (.clds or text)");
   flags.AddString("format", &format, "tab|colons|csv|pairs");
   flags.AddBool("header", &has_header, "skip the first line of the input");
-  flags.AddInt("user", &user, "dense user id");
+  flags.AddString("users", &users_csv,
+                  "comma-separated dense user ids (a batched query)");
   flags.AddInt("k", &k, "list length");
+  flags.AddString("exclude", &exclude_csv,
+                  "comma-separated item ids to skip (business rules)");
+  flags.AddBool("no-cold-fallback", &no_cold_fallback,
+                "return empty lists for cold users instead of popularity");
+  flags.AddInt("threads", &threads, "batch worker threads (0 = all cores)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
   }
@@ -176,13 +187,32 @@ int RunRecommend(int argc, char** argv) {
   auto recommender = Recommender::Load(model_path, *std::move(data));
   if (!recommender.ok()) return Fail(recommender.status());
 
-  auto top = recommender->Recommend(static_cast<UserId>(user),
-                                    static_cast<size_t>(k));
-  if (!top.ok()) return Fail(top.status());
-  std::printf("top-%lld for user %lld:\n", static_cast<long long>(k),
-              static_cast<long long>(user));
-  for (const ScoredItem& item : *top) {
-    std::printf("  item %-8d score %.4f\n", item.item, item.score);
+  std::vector<UserId> users;
+  for (const std::string& tok : Split(users_csv, ',')) {
+    auto id = ParseInt64(Trim(tok));
+    if (!id.ok()) return Fail(id.status());
+    users.push_back(static_cast<UserId>(*id));
+  }
+  QueryOptions options;
+  options.cold_start_fallback = !no_cold_fallback;
+  options.num_threads = static_cast<int>(threads);
+  if (!exclude_csv.empty()) {
+    for (const std::string& tok : Split(exclude_csv, ',')) {
+      auto id = ParseInt64(Trim(tok));
+      if (!id.ok()) return Fail(id.status());
+      options.exclude.push_back(static_cast<ItemId>(*id));
+    }
+  }
+
+  auto batch = recommender->RecommendBatch(users, static_cast<size_t>(k),
+                                           options);
+  if (!batch.ok()) return Fail(batch.status());
+  for (size_t i = 0; i < users.size(); ++i) {
+    std::printf("top-%lld for user %d:\n", static_cast<long long>(k),
+                users[i]);
+    for (const ScoredItem& item : (*batch)[i]) {
+      std::printf("  item %-8d score %.4f\n", item.item, item.score);
+    }
   }
   return 0;
 }
