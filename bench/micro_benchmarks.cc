@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "clapf/util/logging.h"
 
 #include "clapf/baselines/bpr.h"
@@ -16,6 +20,7 @@
 #include "clapf/recommender.h"
 #include "clapf/sampling/dss_sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
+#include "clapf/serving/model_server.h"
 #include "clapf/util/linalg.h"
 #include "clapf/util/math.h"
 #include "clapf/util/top_k.h"
@@ -171,6 +176,70 @@ void BM_RecommendBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 500);
 }
 BENCHMARK(BM_RecommendBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Deadline-machinery overhead on the single-query path: Arg(0) serves with
+// no deadline (one unbounded catalog scan), Arg(1) with a generous budget
+// that never fires but makes the scorer poll the clock every
+// kRankerBlockItems items. The gap between the two rows is the price of
+// deadline enforcement — it should be a few percent at most.
+void BM_RecommendDeadline(benchmark::State& state) {
+  const bool with_deadline = state.range(0) != 0;
+  static Dataset data = BenchData(500, 20000, 25000);
+  static FactorModel model = [] {
+    FactorModel m(500, 20000, 20);
+    Rng rng(13);
+    m.InitGaussian(rng, 0.1);
+    return m;
+  }();
+  static Recommender rec = *Recommender::Create(model, data);
+  QueryOptions options;
+  if (with_deadline) options.deadline = std::chrono::seconds(60);
+  UserId u = 0;
+  for (auto _ : state) {
+    auto got = rec.Recommend(u, 10, options);
+    CLAPF_CHECK_OK(got.status());
+    benchmark::DoNotOptimize(got->data());
+    u = (u + 1) % 500;
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_RecommendDeadline)->Arg(0)->Arg(1);
+
+// Query latency while a writer hot-swaps models through the full canary
+// gate as fast as it can. Measures the RCU read path under publish churn:
+// the snapshot copy is a mutex held for nanoseconds, so per-query cost
+// should sit on top of BM_RecommendBatch's per-user cost, not spike.
+void BM_ModelSwapUnderLoad(benchmark::State& state) {
+  static Dataset data = BenchData(500, 2000, 25000);
+  ServerOptions options;
+  options.num_threads = 2;
+  options.max_queue_depth = 1 << 20;  // never shed: this measures latency
+  ModelServer server(data, options);
+  FactorModel candidate(500, 2000, 20);
+  Rng rng(17);
+  candidate.InitGaussian(rng, 0.1);
+  CLAPF_CHECK_OK(server.Publish(candidate));
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&server, &candidate, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      CLAPF_CHECK_OK(server.Publish(candidate));
+    }
+  });
+  UserId u = 0;
+  for (auto _ : state) {
+    auto got = server.Recommend(u, 10);
+    CLAPF_CHECK_OK(got.status());
+    benchmark::DoNotOptimize(got->data());
+    u = (u + 1) % 500;
+  }
+  stop.store(true);
+  publisher.join();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["publishes"] =
+      static_cast<double>(server.stats().publishes);
+}
+BENCHMARK(BM_ModelSwapUnderLoad)->UseRealTime();
 
 void BM_ScoreAllItems(benchmark::State& state) {
   const int32_t m = static_cast<int32_t>(state.range(0));

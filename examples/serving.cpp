@@ -4,8 +4,14 @@
 // queries — including a cold-start user, an exclusion list, and a resilience
 // drill: when the served model file is corrupt, degrade to popularity
 // ranking, then restore full service from the newest valid checkpoint.
+// Finishes with the always-on serving layer: a ModelServer overload drill
+// (bounded admission queue shedding a burst) and a validated hot reload
+// (canary gate rejecting a corrupt candidate, then swapping in a good one
+// while queries run).
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include "clapf/clapf.h"
 #include "clapf/util/flags.h"
@@ -167,5 +173,72 @@ int main(int argc, char** argv) {
   CLAPF_CHECK_OK(restored.status());
   std::printf("restored service: score(3, 5) = %.6f\n",
               *restored->Score(3, 5));
+
+  // 7. The always-on serving layer. A ModelServer owns the admission queue,
+  // the canary-gated hot swap, and the popularity fallback; everything above
+  // becomes "publish a candidate" + "answer queries".
+  ServerOptions server_options;
+  server_options.num_threads = 2;
+  server_options.max_queue_depth = 2;  // tiny on purpose: we want shedding
+  ModelServer server(data, server_options);
+  CLAPF_CHECK_OK(server.Publish(*trainer.model()));
+  std::printf("model server: published v%lld\n",
+              static_cast<long long>(server.version()));
+
+  // Overload drill: every admitted request is stalled by an injected fault,
+  // so a burst of clients piles past the depth-2 admission bound. Excess
+  // requests come back Unavailable ("shed") instead of queuing without
+  // bound — and the server keeps answering what it admitted.
+  FaultInjector::Instance().Arm(FaultPoint::kServeQueueStall,
+                                {.trigger_at_hit = 1, .max_fires = -1});
+  std::atomic<int> ok_count{0}, shed_count{0};
+  {
+    std::vector<std::thread> burst;
+    for (int c = 0; c < 4; ++c) {
+      burst.emplace_back([&server, &ok_count, &shed_count, c] {
+        for (int r = 0; r < 4; ++r) {
+          auto got = server.Recommend(c, 5);
+          if (got.ok()) {
+            ok_count.fetch_add(1);
+          } else if (got.status().code() == StatusCode::kUnavailable) {
+            shed_count.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : burst) t.join();
+  }
+  FaultInjector::Instance().Reset();
+  std::printf("overload drill: %d served, %d shed (typed Unavailable)\n",
+              ok_count.load(), shed_count.load());
+
+  // Hot-reload drill, part 1: a corrupt candidate. The injected fault
+  // poisons the candidate's factors in flight; the canary gate's finite
+  // scan rejects it before the swap, and v1 keeps serving untouched.
+  FaultInjector::Instance().Arm(FaultPoint::kServeCorruptCandidate, {});
+  Status rejected = server.Publish(recovered->model);
+  FaultInjector::Instance().Reset();
+  std::printf("corrupt candidate: %s (still serving v%lld)\n",
+              rejected.ToString().c_str(),
+              static_cast<long long>(server.version()));
+
+  // Part 2: a clean candidate hot-swaps while a reader hammers the server.
+  // Readers copy the snapshot pointer and score lock-free, so in-flight
+  // queries finish on the old model and new ones pick up the new version.
+  std::atomic<bool> stop{false};
+  std::atomic<int> swap_served{0};
+  std::thread reader([&server, &stop, &swap_served] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (server.Recommend(3, 5).ok()) swap_served.fetch_add(1);
+    }
+  });
+  CLAPF_CHECK_OK(server.Publish(recovered->model));
+  while (swap_served.load() < 10) std::this_thread::yield();
+  stop.store(true);
+  reader.join();
+  std::printf("hot reload: now serving v%lld; %d queries answered during "
+              "the swap window\n",
+              static_cast<long long>(server.version()), swap_served.load());
+  std::printf("serving stats: %s\n", server.stats().ToString().c_str());
   return 0;
 }

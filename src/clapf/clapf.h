@@ -60,6 +60,9 @@
 #include "clapf/sampling/dss_sampler.h"
 #include "clapf/sampling/sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
+#include "clapf/serving/admission_queue.h"
+#include "clapf/serving/model_server.h"
+#include "clapf/serving/serving_stats.h"
 #include "clapf/util/crc32.h"
 #include "clapf/util/fault_injection.h"
 #include "clapf/util/fs.h"

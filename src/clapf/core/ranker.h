@@ -1,12 +1,26 @@
 #ifndef CLAPF_CORE_RANKER_H_
 #define CLAPF_CORE_RANKER_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
 
 namespace clapf {
+
+/// Items scored per block in serving scans. Deadline-aware queries poll the
+/// clock (and the fault injector) between blocks, so a query can overrun its
+/// budget by at most one block's scoring cost.
+inline constexpr int32_t kRankerBlockItems = 1024;
+
+/// Serving-safe list length: a request for more items than the catalog holds
+/// returns the full ranked catalog instead of relying on every caller to
+/// bound k themselves.
+inline size_t ClampK(size_t k, int32_t num_items) {
+  return std::min(k, static_cast<size_t>(std::max<int32_t>(num_items, 0)));
+}
 
 /// Anything that can score every item for a user. Trainers and models
 /// implement this so the Evaluator can rank them uniformly. Lives in core/
@@ -19,6 +33,15 @@ class Ranker {
   /// Fills `scores` (resized to the item count) with the predicted relevance
   /// of every item for user `u`. Higher is better.
   virtual void ScoreItems(UserId u, std::vector<double>* scores) const = 0;
+
+  /// Scores only items [begin, end) into (*scores)[begin..end); `scores`
+  /// must already be sized to the item count. The base implementation
+  /// rescans everything (correct, but defeats block-granular deadline
+  /// polling); rankers with a true range kernel override it.
+  virtual void ScoreItemRange(UserId u, ItemId /*begin*/, ItemId /*end*/,
+                              std::vector<double>* scores) const {
+    ScoreItems(u, scores);
+  }
 };
 
 /// Adapts a FactorModel to the Ranker interface.
@@ -29,6 +52,11 @@ class FactorModelRanker : public Ranker {
 
   void ScoreItems(UserId u, std::vector<double>* scores) const override {
     model_->ScoreAllItems(u, scores);
+  }
+
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const override {
+    model_->ScoreItemRange(u, begin, end, scores);
   }
 
  private:

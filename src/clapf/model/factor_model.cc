@@ -1,6 +1,7 @@
 #include "clapf/model/factor_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "clapf/util/logging.h"
 
@@ -49,6 +50,32 @@ void FactorModel::ScoreAllItems(UserId u, std::vector<double>* scores) const {
     for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
     (*scores)[static_cast<size_t>(i)] = s;
   }
+}
+
+void FactorModel::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                                 std::vector<double>* scores) const {
+  CLAPF_CHECK(scores->size() == static_cast<size_t>(num_items_));
+  CLAPF_CHECK(begin >= 0 && begin <= end && end <= num_items_);
+  const double* uf = &user_factors_[static_cast<size_t>(u) * num_factors_];
+  for (int32_t i = begin; i < end; ++i) {
+    const double* vf = &item_factors_[static_cast<size_t>(i) * num_factors_];
+    double s = use_item_bias_ ? item_bias_[static_cast<size_t>(i)] : 0.0;
+    for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
+    (*scores)[static_cast<size_t>(i)] = s;
+  }
+}
+
+bool FactorModel::AllFinite() const {
+  for (double x : user_factors_) {
+    if (!std::isfinite(x)) return false;
+  }
+  for (double x : item_factors_) {
+    if (!std::isfinite(x)) return false;
+  }
+  for (double x : item_bias_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
 }
 
 std::vector<ScoredItem> FactorModel::TopKForUser(UserId u, size_t k,

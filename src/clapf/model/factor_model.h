@@ -38,6 +38,17 @@ class FactorModel {
   /// Fills `scores` (resized to num_items) with f_ui for every item.
   void ScoreAllItems(UserId u, std::vector<double>* scores) const;
 
+  /// Scores only the half-open item range [begin, end) into
+  /// (*scores)[begin..end); `scores` must already be sized to num_items.
+  /// Serving uses this to poll deadlines between blocks instead of running
+  /// one unbounded full-catalog scan.
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const;
+
+  /// True iff every parameter (factors and biases) is finite — the cheap
+  /// half of the serving canary gate.
+  bool AllFinite() const;
+
   /// Top-k items for `u` by score, excluding the user's observed items in
   /// `exclude` (pass nullptr to rank everything).
   std::vector<ScoredItem> TopKForUser(UserId u, size_t k,

@@ -161,4 +161,23 @@ Result<FactorModel> LoadModel(const std::string& path) {
   return LoadModelFromStream(in, path);
 }
 
+Status VerifyModelIntegrity(const FactorModel& model,
+                            const std::string& context) {
+  if (!model.AllFinite()) {
+    return Status::Corruption("non-finite parameter in " + context);
+  }
+  // Deliberately bypasses SerializeModel: fault injection targets the disk
+  // path, not the gate that is supposed to catch its damage.
+  std::stringstream image(std::ios::in | std::ios::out | std::ios::binary);
+  CLAPF_RETURN_IF_ERROR(SaveModelToStream(model, image));
+  auto reloaded = LoadModelFromStream(image, context);
+  if (!reloaded.ok()) return reloaded.status();
+  if (reloaded->num_users() != model.num_users() ||
+      reloaded->num_items() != model.num_items() ||
+      reloaded->num_factors() != model.num_factors()) {
+    return Status::Corruption("round-trip dimension mismatch in " + context);
+  }
+  return Status::OK();
+}
+
 }  // namespace clapf

@@ -35,6 +35,14 @@ Status SaveModelAtomic(const FactorModel& model, const std::string& path);
 /// Corruption on a bad magic/version, a truncated file, or a CRC mismatch.
 Result<FactorModel> LoadModel(const std::string& path);
 
+/// Integrity check for an in-memory candidate model, used by the serving
+/// canary gate before a hot swap: rejects non-finite parameters
+/// (Corruption), then round-trips the model through the v2 wire format —
+/// serialize, reparse, CRC verify — so the exact bytes a publish would pin
+/// are proven readable. `context` names the candidate for error messages.
+Status VerifyModelIntegrity(const FactorModel& model,
+                            const std::string& context);
+
 }  // namespace clapf
 
 #endif  // CLAPF_MODEL_MODEL_IO_H_

@@ -1,14 +1,34 @@
 #include "clapf/recommender.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "clapf/core/ranker.h"
 #include "clapf/model/model_io.h"
+#include "clapf/util/fault_injection.h"
 #include "clapf/util/thread_pool.h"
 
 namespace clapf {
+
+namespace {
+
+// How long an injected kServeSlowBlock stall parks the scoring loop. Long
+// enough that a sub-millisecond test deadline deterministically expires.
+constexpr std::chrono::milliseconds kSlowBlockStall(2);
+
+using Clock = std::chrono::steady_clock;
+
+std::optional<Clock::time_point> DeadlineFrom(const QueryOptions& options) {
+  if (options.deadline <= std::chrono::microseconds::zero()) {
+    return std::nullopt;
+  }
+  return Clock::now() + options.deadline;
+}
+
+}  // namespace
 
 Recommender::Recommender(FactorModel model, Dataset history)
     : model_(std::move(model)), history_(std::move(history)) {
@@ -36,13 +56,15 @@ Result<Recommender> Recommender::Load(const std::string& model_path,
   return Create(*std::move(model), std::move(history));
 }
 
-std::vector<ScoredItem> Recommender::RecommendOne(
+Result<std::vector<ScoredItem>> Recommender::RecommendOne(
     UserId u, size_t k, const QueryOptions& options,
+    const std::optional<Clock::time_point>& deadline,
     std::vector<double>* score_buf, std::vector<bool>* excluded) const {
-  if (k == 0) return {};
+  k = ClampK(k, model_.num_items());
+  if (k == 0) return std::vector<ScoredItem>{};
 
   const bool cold = history_.NumItemsOf(u) == 0;
-  if (cold && !options.cold_start_fallback) return {};
+  if (cold && !options.cold_start_fallback) return std::vector<ScoredItem>{};
 
   excluded->assign(static_cast<size_t>(model_.num_items()), false);
   for (ItemId i : history_.ItemsOf(u)) {
@@ -54,10 +76,27 @@ std::vector<ScoredItem> Recommender::RecommendOne(
     }
   }
 
-  // Cold-start: rank by popularity straight from the shared table, no copy.
+  // Cold-start: rank by popularity straight from the shared table, no copy
+  // (and no per-block deadline polling — there is no scoring work to bound).
   const std::vector<double>* scores = &popularity_;
   if (!cold) {
-    model_.ScoreAllItems(u, score_buf);
+    score_buf->resize(static_cast<size_t>(model_.num_items()));
+    FaultInjector& faults = FaultInjector::Instance();
+    for (ItemId lo = 0; lo < model_.num_items(); lo += kRankerBlockItems) {
+      const ItemId hi =
+          std::min<ItemId>(model_.num_items(), lo + kRankerBlockItems);
+      if (faults.armed() &&
+          faults.ShouldFire(FaultPoint::kServeSlowBlock)) {
+        std::this_thread::sleep_for(kSlowBlockStall);
+      }
+      model_.ScoreItemRange(u, lo, hi, score_buf);
+      if (deadline && Clock::now() > *deadline) {
+        return Status::DeadlineExceeded(
+            "query for user " + std::to_string(u) + " expired after scoring " +
+            std::to_string(hi) + "/" + std::to_string(model_.num_items()) +
+            " items");
+      }
+    }
     scores = score_buf;
   }
   std::vector<ScoredItem> top = SelectTopK(*scores, *excluded, k);
@@ -78,10 +117,11 @@ Result<std::vector<ScoredItem>> Recommender::Recommend(
   }
   std::vector<double> score_buf;
   std::vector<bool> excluded;
-  return RecommendOne(u, k, options, &score_buf, &excluded);
+  return RecommendOne(u, k, options, DeadlineFrom(options), &score_buf,
+                      &excluded);
 }
 
-Result<std::vector<std::vector<ScoredItem>>> Recommender::RecommendBatch(
+Result<BatchReply> Recommender::RecommendBatchPartial(
     std::span<const UserId> users, size_t k,
     const QueryOptions& options) const {
   // Validate the whole batch before doing any scoring work so a bad id
@@ -91,8 +131,30 @@ Result<std::vector<std::vector<ScoredItem>>> Recommender::RecommendBatch(
       return Status::OutOfRange("unknown user id " + std::to_string(u));
     }
   }
-  std::vector<std::vector<ScoredItem>> results(users.size());
-  if (users.empty()) return results;
+  BatchReply reply;
+  reply.results.resize(users.size());
+  reply.complete.assign(users.size(), 0);
+  if (users.empty()) return reply;
+
+  // One absolute deadline for the whole batch; an expiry seen by any shard
+  // stops the others at their next user boundary.
+  const std::optional<Clock::time_point> deadline = DeadlineFrom(options);
+  std::atomic<bool> expired{false};
+
+  auto run_range = [&](size_t lo, size_t hi, std::vector<double>* score_buf,
+                       std::vector<bool>* excluded) {
+    for (size_t i = lo; i < hi; ++i) {
+      if (expired.load(std::memory_order_relaxed)) return;
+      auto one =
+          RecommendOne(users[i], k, options, deadline, score_buf, excluded);
+      if (!one.ok()) {
+        expired.store(true, std::memory_order_relaxed);
+        return;
+      }
+      reply.results[i] = *std::move(one);
+      reply.complete[i] = 1;
+    }
+  };
 
   int threads = options.num_threads > 0
                     ? options.num_threads
@@ -104,33 +166,43 @@ Result<std::vector<std::vector<ScoredItem>>> Recommender::RecommendBatch(
   if (threads == 1) {
     std::vector<double> score_buf;
     std::vector<bool> excluded;
-    for (size_t i = 0; i < users.size(); ++i) {
-      results[i] = RecommendOne(users[i], k, options, &score_buf, &excluded);
+    run_range(0, users.size(), &score_buf, &excluded);
+  } else {
+    // Contiguous shards, one task per thread; each task owns its scratch
+    // buffers and writes disjoint result slots, so no synchronization beyond
+    // the pool's completion barrier (and the shared expiry flag) is needed.
+    ThreadPool pool(threads);
+    const size_t shard = (users.size() + static_cast<size_t>(threads) - 1) /
+                         static_cast<size_t>(threads);
+    for (int t = 0; t < threads; ++t) {
+      const size_t lo = static_cast<size_t>(t) * shard;
+      const size_t hi = std::min(users.size(), lo + shard);
+      if (lo >= hi) break;
+      pool.Submit([&run_range, lo, hi] {
+        std::vector<double> score_buf;
+        std::vector<bool> excluded;
+        run_range(lo, hi, &score_buf, &excluded);
+      });
     }
-    return results;
+    pool.Wait();
   }
 
-  // Contiguous shards, one task per thread; each task owns its scratch
-  // buffers and writes disjoint result slots, so no synchronization beyond
-  // the pool's completion barrier is needed.
-  ThreadPool pool(threads);
-  const size_t shard =
-      (users.size() + static_cast<size_t>(threads) - 1) /
-      static_cast<size_t>(threads);
-  for (int t = 0; t < threads; ++t) {
-    const size_t lo = static_cast<size_t>(t) * shard;
-    const size_t hi = std::min(users.size(), lo + shard);
-    if (lo >= hi) break;
-    pool.Submit([this, &users, &results, &options, k, lo, hi] {
-      std::vector<double> score_buf;
-      std::vector<bool> excluded;
-      for (size_t i = lo; i < hi; ++i) {
-        results[i] = RecommendOne(users[i], k, options, &score_buf, &excluded);
-      }
-    });
+  for (uint8_t c : reply.complete) reply.num_complete += c;
+  reply.deadline_exceeded = reply.num_complete < users.size();
+  return reply;
+}
+
+Result<std::vector<std::vector<ScoredItem>>> Recommender::RecommendBatch(
+    std::span<const UserId> users, size_t k,
+    const QueryOptions& options) const {
+  auto reply = RecommendBatchPartial(users, k, options);
+  if (!reply.ok()) return reply.status();
+  if (reply->deadline_exceeded) {
+    return Status::DeadlineExceeded(
+        "batch expired after " + std::to_string(reply->num_complete) + "/" +
+        std::to_string(users.size()) + " users");
   }
-  pool.Wait();
-  return results;
+  return std::move(reply->results);
 }
 
 Result<double> Recommender::Score(UserId u, ItemId i) const {

@@ -1,6 +1,7 @@
 #ifndef CLAPF_RECOMMENDER_H_
 #define CLAPF_RECOMMENDER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -17,7 +18,7 @@ namespace clapf {
 /// Per-query knobs for Recommender::Recommend / RecommendBatch. The default
 /// constructed value reproduces the classic behaviour: exclude nothing
 /// beyond the user's history, fall back to popularity for cold users, no
-/// score floor.
+/// score floor, no deadline.
 struct QueryOptions {
   /// Items to skip in addition to the user's history (out-of-range ids are
   /// ignored).
@@ -32,6 +33,28 @@ struct QueryOptions {
   /// Worker threads for RecommendBatch. 0 (default) = hardware concurrency;
   /// single-user Recommend ignores this.
   int num_threads = 0;
+  /// Wall-clock budget for the whole call (single query or entire batch).
+  /// <= 0 (default) means unbounded. The scoring loop polls the clock every
+  /// kRankerBlockItems items, so overrun is bounded by one block's cost;
+  /// an expired budget yields Status DeadlineExceeded instead of running
+  /// unbounded — batches additionally hand back the completed prefix via
+  /// RecommendBatchPartial.
+  std::chrono::microseconds deadline{0};
+};
+
+/// Reply from Recommender::RecommendBatchPartial: results[i] answers
+/// users[i]. When the batch deadline expires mid-flight the work already
+/// done is returned rather than discarded; `complete` flags which users
+/// finished (an unfinished user's list is empty, never a half-scored
+/// ranking).
+struct BatchReply {
+  std::vector<std::vector<ScoredItem>> results;
+  /// complete[i] != 0 iff results[i] holds the finished answer for users[i].
+  std::vector<uint8_t> complete;
+  /// Number of set flags in `complete`.
+  size_t num_complete = 0;
+  /// True when the deadline expired before every user finished.
+  bool deadline_exceeded = false;
 };
 
 /// Serving facade: a trained FactorModel plus the interaction history it was
@@ -51,17 +74,30 @@ class Recommender {
                                   Dataset history);
 
   /// Top-k unseen items for `u` under `options`. Returns OutOfRange for an
-  /// unknown user id. `Recommend(u, k, {})` is the classic query: history
-  /// excluded, cold users served by popularity.
+  /// unknown user id and DeadlineExceeded when `options.deadline` expires
+  /// mid-scan. A `k` beyond the catalog is clamped to the full ranked
+  /// catalog. `Recommend(u, k, {})` is the classic query: history excluded,
+  /// cold users served by popularity.
   Result<std::vector<ScoredItem>> Recommend(UserId u, size_t k,
                                             const QueryOptions& options) const;
 
   /// Top-k for every user in `users`, sharded over a thread pool; result[i]
   /// answers users[i]. All ids are validated up front: one bad id fails the
-  /// whole batch with OutOfRange before any scoring work runs.
+  /// whole batch with OutOfRange before any scoring work runs. When
+  /// `options.deadline` expires mid-batch the call returns DeadlineExceeded;
+  /// use RecommendBatchPartial to keep the completed prefix instead.
   Result<std::vector<std::vector<ScoredItem>>> RecommendBatch(
       std::span<const UserId> users, size_t k,
       const QueryOptions& options = {}) const;
+
+  /// Deadline-tolerant batch: identical to RecommendBatch except that an
+  /// expired deadline is not an error — the reply carries every completed
+  /// user with the rest flagged incomplete. Id validation still fails the
+  /// whole call with OutOfRange.
+  Result<BatchReply> RecommendBatchPartial(std::span<const UserId> users,
+                                           size_t k,
+                                           const QueryOptions& options = {})
+      const;
 
   [[deprecated("use Recommend(u, k, QueryOptions{})")]]
   Result<std::vector<ScoredItem>> Recommend(UserId u, size_t k) const {
@@ -90,13 +126,15 @@ class Recommender {
  private:
   Recommender(FactorModel model, Dataset history);
 
-  /// Single-user kernel behind both query entry points. `score_buf` and
+  /// Single-user kernel behind every query entry point. `score_buf` and
   /// `excluded` are caller-provided scratch so batch queries reuse their
-  /// per-thread buffers across users.
-  std::vector<ScoredItem> RecommendOne(UserId u, size_t k,
-                                       const QueryOptions& options,
-                                       std::vector<double>* score_buf,
-                                       std::vector<bool>* excluded) const;
+  /// per-thread buffers across users. `deadline` is an absolute wall-clock
+  /// point (nullopt = unbounded) polled between scoring blocks; expiry
+  /// yields DeadlineExceeded.
+  Result<std::vector<ScoredItem>> RecommendOne(
+      UserId u, size_t k, const QueryOptions& options,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      std::vector<double>* score_buf, std::vector<bool>* excluded) const;
 
   FactorModel model_;
   Dataset history_;

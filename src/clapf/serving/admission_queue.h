@@ -1,0 +1,51 @@
+#ifndef CLAPF_SERVING_ADMISSION_QUEUE_H_
+#define CLAPF_SERVING_ADMISSION_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "clapf/util/status.h"
+#include "clapf/util/thread_pool.h"
+
+namespace clapf {
+
+/// Bounded admission gate in front of a worker pool. Work past
+/// `max_depth` pending-or-running tasks is refused with Unavailable
+/// instead of queueing — under overload the server sheds requests with a
+/// typed error while memory stays bounded, rather than growing an
+/// unbounded backlog whose every entry will miss its deadline anyway
+/// (classic admission control, cf. SRE load-shedding practice).
+class AdmissionQueue {
+ public:
+  /// Pool of `num_threads` workers admitting at most `max_depth` tasks.
+  AdmissionQueue(int num_threads, int64_t max_depth);
+
+  /// Admits `task` unless the queue is at `max_depth`. On admission the task
+  /// will run on a pool worker; on refusal returns Unavailable and `task` is
+  /// dropped untouched. Thread-safe.
+  Status Submit(std::function<void()> task);
+
+  /// Blocks until every admitted task has finished.
+  void Wait();
+
+  /// Tasks admitted but not yet finished.
+  int64_t depth() const { return pool_.InFlight(); }
+  int64_t max_depth() const { return max_depth_; }
+
+  /// Lifetime counters for observability.
+  int64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  int64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+ private:
+  ThreadPool pool_;
+  int64_t max_depth_;
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> shed_{0};
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SERVING_ADMISSION_QUEUE_H_

@@ -1,0 +1,336 @@
+#include "clapf/serving/model_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <utility>
+
+#include "clapf/core/ranker.h"
+#include "clapf/data/split.h"
+#include "clapf/eval/sampled_evaluator.h"
+#include "clapf/model/model_io.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/top_k.h"
+
+namespace clapf {
+
+ModelServer::ModelServer(Dataset history, const ServerOptions& options)
+    : history_(std::move(history)),
+      options_(options),
+      queue_(std::max(1, options.num_threads), options.max_queue_depth) {
+  auto counts = history_.ItemPopularity();
+  popularity_.assign(counts.begin(), counts.end());
+  if (options_.canary.enabled && options_.canary.min_auc > 0.0) {
+    // Re-hold a slice of the history out as the canary probe: a healthy
+    // model (trained on data containing the probe) ranks it far above
+    // sampled negatives, while a corrupt or mistrained candidate scores
+    // ~0.5. The gate detects gross degradation, not overfitting.
+    TrainTestSplit split =
+        SplitRandom(history_, 1.0 - options_.canary.probe_fraction,
+                    options_.canary.seed);
+    probe_train_ = std::move(split.train);
+    probe_test_ = std::move(split.test);
+  }
+}
+
+std::shared_ptr<const ModelServer::Snapshot> ModelServer::Acquire() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return current_;
+}
+
+Status ModelServer::GateCandidate(const FactorModel& candidate,
+                                  const std::string& context) const {
+  if (candidate.num_users() != history_.num_users() ||
+      candidate.num_items() != history_.num_items()) {
+    return Status::InvalidArgument(
+        context + " dimensions (" + std::to_string(candidate.num_users()) +
+        "x" + std::to_string(candidate.num_items()) +
+        ") disagree with serving history (" +
+        std::to_string(history_.num_users()) + "x" +
+        std::to_string(history_.num_items()) + ")");
+  }
+  if (!options_.canary.enabled) return Status::OK();
+  CLAPF_RETURN_IF_ERROR(VerifyModelIntegrity(candidate, context));
+  if (options_.canary.min_auc > 0.0 && probe_test_.num_interactions() > 0) {
+    SampledEvaluator eval(&probe_train_, &probe_test_,
+                          options_.canary.probe_negatives,
+                          options_.canary.seed);
+    FactorModelRanker ranker(&candidate);
+    const double auc = eval.Evaluate(ranker, {5}).auc;
+    if (auc < options_.canary.min_auc) {
+      return Status::FailedPrecondition(
+          context + " failed canary: sampled AUC " + std::to_string(auc) +
+          " below floor " + std::to_string(options_.canary.min_auc));
+    }
+  }
+  return Status::OK();
+}
+
+Status ModelServer::Publish(FactorModel candidate) {
+  FaultInjector& faults = FaultInjector::Instance();
+  if (faults.armed() &&
+      faults.ShouldFire(FaultPoint::kServeCorruptCandidate) &&
+      !candidate.mutable_user_factor_data().empty()) {
+    candidate.mutable_user_factor_data()[0] =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+
+  Status gate = GateCandidate(candidate, "serving candidate");
+  if (!gate.ok()) {
+    stats_.RecordCanaryReject();
+    CLAPF_LOG(Warning) << "canary gate rejected candidate, prior snapshot "
+                          "keeps serving: "
+                       << gate.ToString();
+    return gate;
+  }
+  auto rec = Recommender::Create(std::move(candidate), history_);
+  if (!rec.ok()) {
+    stats_.RecordCanaryReject();
+    return rec.status();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    auto snap = std::make_shared<Snapshot>(
+        Snapshot{next_version_++, *std::move(rec)});
+    previous_ = current_;
+    current_ = std::move(snap);
+  }
+  stats_.RecordPublish();
+  {
+    // A fresh model gets a fresh breaker window: errors charged to the old
+    // snapshot must not trip the breaker on the new one.
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    window_queries_ = 0;
+    window_errors_ = 0;
+  }
+  return Status::OK();
+}
+
+Status ModelServer::PublishFromFile(const std::string& path) {
+  auto model = LoadModel(path);  // CRC-verified by the wire format
+  if (!model.ok()) {
+    stats_.RecordCanaryReject();
+    CLAPF_LOG(Warning) << "candidate file rejected, prior snapshot keeps "
+                          "serving: "
+                       << model.status().ToString();
+    return model.status();
+  }
+  return Publish(*std::move(model));
+}
+
+Result<std::vector<ScoredItem>> ModelServer::ServeDegraded(
+    UserId u, size_t k, const QueryOptions& options) const {
+  if (u < 0 || u >= history_.num_users()) {
+    return Status::OutOfRange("unknown user id " + std::to_string(u));
+  }
+  k = ClampK(k, history_.num_items());
+  if (k == 0) return std::vector<ScoredItem>{};
+  std::vector<bool> excluded(static_cast<size_t>(history_.num_items()),
+                             false);
+  for (ItemId i : history_.ItemsOf(u)) {
+    excluded[static_cast<size_t>(i)] = true;
+  }
+  for (ItemId i : options.exclude) {
+    if (i >= 0 && i < history_.num_items()) {
+      excluded[static_cast<size_t>(i)] = true;
+    }
+  }
+  std::vector<ScoredItem> top = SelectTopK(popularity_, excluded, k);
+  if (options.min_score) {
+    auto first_below = std::find_if(
+        top.begin(), top.end(),
+        [&](const ScoredItem& s) { return s.score < *options.min_score; });
+    top.erase(first_below, top.end());
+  }
+  return top;
+}
+
+Result<std::vector<ScoredItem>> ModelServer::ServeOne(
+    UserId u, size_t k, const QueryOptions& options) {
+  auto snapshot = Acquire();
+  if (snapshot == nullptr) {
+    stats_.RecordDegraded();
+    return ServeDegraded(u, k, options);
+  }
+  auto got = snapshot->recommender.Recommend(u, k, options);
+  if (!got.ok()) return got;
+
+  FaultInjector& faults = FaultInjector::Instance();
+  if (faults.armed() && !got->empty() &&
+      faults.ShouldFire(FaultPoint::kServeScoreNan)) {
+    (*got)[0].score = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Serve-time integrity: a snapshot that passed the gate can still rot
+  // (or a gate-bypassing bug can ship garbage); non-finite scores become a
+  // typed Internal error that feeds the circuit breaker instead of leaking
+  // NaN rankings to clients.
+  for (const ScoredItem& item : *got) {
+    if (!std::isfinite(item.score)) {
+      return Status::Internal("non-finite score served for user " +
+                              std::to_string(u) + " by model v" +
+                              std::to_string(snapshot->version));
+    }
+  }
+  return got;
+}
+
+Result<BatchReply> ModelServer::ServeBatch(std::span<const UserId> users,
+                                           size_t k,
+                                           const QueryOptions& options) {
+  auto snapshot = Acquire();
+  if (snapshot == nullptr) {
+    for (UserId u : users) {
+      if (u < 0 || u >= history_.num_users()) {
+        return Status::OutOfRange("unknown user id " + std::to_string(u));
+      }
+    }
+    BatchReply reply;
+    reply.results.resize(users.size());
+    reply.complete.assign(users.size(), 1);
+    reply.num_complete = users.size();
+    for (size_t i = 0; i < users.size(); ++i) {
+      stats_.RecordDegraded();
+      auto one = ServeDegraded(users[i], k, options);
+      if (!one.ok()) return one.status();
+      reply.results[i] = *std::move(one);
+    }
+    return reply;
+  }
+
+  // Parallelism is across requests, not within one: the batch runs serially
+  // on its worker so a single request cannot monopolize the pool.
+  QueryOptions serial = options;
+  serial.num_threads = 1;
+  auto reply = snapshot->recommender.RecommendBatchPartial(users, k, serial);
+  if (!reply.ok()) return reply;
+
+  FaultInjector& faults = FaultInjector::Instance();
+  for (auto& list : reply->results) {
+    if (faults.armed() && !list.empty() &&
+        faults.ShouldFire(FaultPoint::kServeScoreNan)) {
+      list[0].score = std::numeric_limits<double>::quiet_NaN();
+    }
+    for (const ScoredItem& item : list) {
+      if (!std::isfinite(item.score)) {
+        return Status::Internal("non-finite score in batch served by model v" +
+                                std::to_string(snapshot->version));
+      }
+    }
+  }
+  return reply;
+}
+
+Result<std::vector<ScoredItem>> ModelServer::Recommend(
+    UserId u, size_t k, const QueryOptions& options) {
+  stats_.RecordQuery();
+  std::promise<Result<std::vector<ScoredItem>>> promise;
+  auto future = promise.get_future();
+  Status admitted = queue_.Submit(
+      [this, u, k, &options, &promise] {
+        promise.set_value(ServeOne(u, k, options));
+      });
+  if (!admitted.ok()) {
+    stats_.RecordShed();
+    return admitted;
+  }
+  auto out = future.get();
+  RecordOutcome(out.status());
+  return out;
+}
+
+Result<BatchReply> ModelServer::RecommendBatch(std::span<const UserId> users,
+                                               size_t k,
+                                               const QueryOptions& options) {
+  stats_.RecordQuery();
+  std::promise<Result<BatchReply>> promise;
+  auto future = promise.get_future();
+  Status admitted = queue_.Submit(
+      [this, users, k, &options, &promise] {
+        promise.set_value(ServeBatch(users, k, options));
+      });
+  if (!admitted.ok()) {
+    stats_.RecordShed();
+    return admitted;
+  }
+  auto out = future.get();
+  if (out.ok() && out->deadline_exceeded) {
+    RecordOutcome(Status::DeadlineExceeded("partial batch"));
+  } else {
+    RecordOutcome(out.status());
+  }
+  return out;
+}
+
+void ModelServer::RecordOutcome(const Status& status) {
+  bool breaker_error = false;
+  switch (status.code()) {
+    case StatusCode::kOk:
+      stats_.RecordOk();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      // A capacity signal, not a model-health signal: deadlines feed the
+      // stats (and capacity planning), never the breaker.
+      stats_.RecordDeadlineExceeded();
+      break;
+    case StatusCode::kOutOfRange:
+    case StatusCode::kInvalidArgument:
+      stats_.RecordClientError();
+      break;
+    default:
+      stats_.RecordInternalError();
+      breaker_error = true;
+      break;
+  }
+  if (!options_.breaker.enabled) return;
+
+  bool trip = false;
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    ++window_queries_;
+    if (breaker_error) ++window_errors_;
+    if (window_queries_ >= options_.breaker.min_samples) {
+      const double rate = static_cast<double>(window_errors_) /
+                          static_cast<double>(window_queries_);
+      if (rate >= options_.breaker.error_threshold) {
+        trip = true;
+        window_queries_ = 0;
+        window_errors_ = 0;
+      } else if (window_queries_ >= options_.breaker.window) {
+        window_queries_ = 0;
+        window_errors_ = 0;
+      }
+    }
+  }
+  if (trip) TripBreaker();
+}
+
+void ModelServer::TripBreaker() {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  stats_.RecordBreakerTrip();
+  if (previous_ != nullptr) {
+    CLAPF_LOG(Warning) << "circuit breaker tripped on model v"
+                       << (current_ != nullptr ? current_->version : 0)
+                       << ": rolling back to v" << previous_->version;
+    current_ = previous_;
+    previous_.reset();
+    stats_.RecordRollback();
+  } else {
+    CLAPF_LOG(Warning) << "circuit breaker tripped with no rollback target: "
+                          "degrading to popularity fallback";
+    current_.reset();
+  }
+}
+
+int64_t ModelServer::version() const {
+  auto snapshot = Acquire();
+  return snapshot != nullptr ? snapshot->version : 0;
+}
+
+bool ModelServer::degraded() const { return Acquire() == nullptr; }
+
+ServingStatsSnapshot ModelServer::stats() const { return stats_.Snapshot(); }
+
+}  // namespace clapf

@@ -1,0 +1,174 @@
+#ifndef CLAPF_SERVING_MODEL_SERVER_H_
+#define CLAPF_SERVING_MODEL_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/recommender.h"
+#include "clapf/serving/admission_queue.h"
+#include "clapf/serving/serving_stats.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Validation gate a candidate model must clear before a hot swap.
+struct CanaryOptions {
+  /// Master switch; disabling skips every pre-publish check except the
+  /// dimension match (which is a hard invariant of the serving history).
+  bool enabled = true;
+  /// Sampled-AUC floor on the held-out probe set; <= 0 skips the probe.
+  /// A structurally broken model (corrupt factors, wrong training run)
+  /// scores ~0.5 here while any healthy model clears 0.6 comfortably.
+  double min_auc = 0.0;
+  /// Negatives sampled per probe case (SampledEvaluator protocol).
+  int32_t probe_negatives = 20;
+  /// Fraction of the serving history re-held-out as the probe set.
+  double probe_fraction = 0.1;
+  /// Seed for the probe split and negative sampling (deterministic gate).
+  uint64_t seed = 1;
+};
+
+/// Post-publish error-rate circuit breaker. Queries are grouped into
+/// tumbling windows; when a full-enough window's internal-error rate
+/// crosses the threshold, the server rolls back to the previous snapshot
+/// (or degrades to the popularity fallback when none exists).
+struct BreakerOptions {
+  bool enabled = true;
+  /// Queries per evaluation window.
+  int64_t window = 64;
+  /// Smallest window the breaker will judge — avoids tripping on one
+  /// unlucky error at low traffic.
+  int64_t min_samples = 16;
+  /// Internal-error fraction at which the breaker trips.
+  double error_threshold = 0.5;
+};
+
+/// ModelServer construction knobs.
+struct ServerOptions {
+  /// Query worker threads.
+  int num_threads = 2;
+  /// Admission bound: requests past this many pending-or-running tasks are
+  /// shed with Unavailable.
+  int64_t max_queue_depth = 64;
+  CanaryOptions canary;
+  BreakerOptions breaker;
+};
+
+/// Always-on serving front end: owns the interaction history, a worker pool
+/// behind a bounded admission queue, and an RCU-style snapshot of the
+/// currently served model that training can hot-swap while queries run.
+///
+/// Lifecycle of a model version:
+///   Publish(candidate) → canary gate (finite scan + wire-format/CRC
+///   round-trip + optional sampled-AUC floor) → atomic snapshot swap.
+/// A failed gate leaves the prior snapshot serving untouched. After a
+/// publish, a serve-time integrity check (non-finite top-k scores surface
+/// as Internal) feeds the circuit breaker; a tripped breaker rolls back to
+/// the previous snapshot, or — when no valid snapshot exists — degrades to
+/// the popularity fallback rather than going dark.
+///
+/// Readers copy a shared_ptr under a mutex held for nanoseconds, then score
+/// entirely lock-free on their private snapshot; publishes swap the pointer
+/// under the same mutex, so an in-flight query keeps its model alive until
+/// it finishes (grace period by refcount — the RCU pattern).
+///
+/// Thread-safe: queries, publishes, and stats reads may run concurrently.
+class ModelServer {
+ public:
+  /// Serves against `history` (copied); starts with no model published, so
+  /// queries are answered by the popularity fallback until the first
+  /// successful Publish.
+  ModelServer(Dataset history, const ServerOptions& options);
+
+  /// Gates `candidate` and, on success, atomically publishes it as the new
+  /// serving snapshot. On gate failure (InvalidArgument / Corruption /
+  /// FailedPrecondition) the previous snapshot keeps serving.
+  Status Publish(FactorModel candidate);
+
+  /// Loads `path` (CRC-verified by the model format) and publishes it
+  /// through the same gate.
+  Status PublishFromFile(const std::string& path);
+
+  /// Top-k for one user through admission control on the serving pool.
+  /// Outcomes: the ranked list, DeadlineExceeded (options.deadline expired),
+  /// Unavailable (shed at admission), OutOfRange (bad id), or Internal
+  /// (served-model integrity failure — breaker food).
+  Result<std::vector<ScoredItem>> Recommend(UserId u, size_t k,
+                                            const QueryOptions& options = {});
+
+  /// Batched query as one admitted unit of work; parallelism is across
+  /// requests (the pool), not within a batch. An expired deadline returns
+  /// the completed prefix with the rest flagged, per RecommendBatchPartial.
+  Result<BatchReply> RecommendBatch(std::span<const UserId> users, size_t k,
+                                    const QueryOptions& options = {});
+
+  /// Version of the snapshot currently serving; 0 when none (degraded).
+  int64_t version() const;
+
+  /// True while queries are answered by the popularity fallback because no
+  /// valid model snapshot exists.
+  bool degraded() const;
+
+  /// Point-in-time copy of all serving counters.
+  ServingStatsSnapshot stats() const;
+
+  const Dataset& history() const { return history_; }
+
+ private:
+  struct Snapshot {
+    int64_t version;
+    Recommender recommender;
+  };
+
+  /// Pre-publish validation; `context` names the candidate in errors.
+  Status GateCandidate(const FactorModel& candidate,
+                       const std::string& context) const;
+
+  /// The RCU read: copy the current snapshot pointer (may be null).
+  std::shared_ptr<const Snapshot> Acquire() const;
+
+  /// Runs on a pool worker: snapshot read + query + serve-time checks.
+  Result<std::vector<ScoredItem>> ServeOne(UserId u, size_t k,
+                                           const QueryOptions& options);
+  Result<BatchReply> ServeBatch(std::span<const UserId> users, size_t k,
+                                const QueryOptions& options);
+
+  /// Popularity ranking with history/option exclusions — the no-snapshot
+  /// fallback path.
+  Result<std::vector<ScoredItem>> ServeDegraded(
+      UserId u, size_t k, const QueryOptions& options) const;
+
+  /// Stats + breaker accounting for one finished query.
+  void RecordOutcome(const Status& status);
+
+  /// Breaker action: revert to the previous snapshot or degrade.
+  void TripBreaker();
+
+  Dataset history_;
+  std::vector<double> popularity_;  // fallback scores, index = item id
+  ServerOptions options_;
+  Dataset probe_train_;  // canary probe split of the history
+  Dataset probe_test_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> current_;   // null until first publish
+  std::shared_ptr<const Snapshot> previous_;  // breaker rollback target
+  int64_t next_version_ = 1;
+
+  std::mutex breaker_mu_;
+  int64_t window_queries_ = 0;
+  int64_t window_errors_ = 0;
+
+  AdmissionQueue queue_;
+  ServingStats stats_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SERVING_MODEL_SERVER_H_

@@ -1,0 +1,43 @@
+#include "clapf/serving/serving_stats.h"
+
+namespace clapf {
+
+std::string ServingStatsSnapshot::ToString() const {
+  std::string out;
+  auto field = [&out](const char* name, int64_t value) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  };
+  field("queries", queries);
+  field("ok", ok);
+  field("deadline_exceeded", deadline_exceeded);
+  field("shed", shed);
+  field("internal_errors", internal_errors);
+  field("client_errors", client_errors);
+  field("degraded", degraded);
+  field("publishes", publishes);
+  field("canary_rejects", canary_rejects);
+  field("rollbacks", rollbacks);
+  field("breaker_trips", breaker_trips);
+  return out;
+}
+
+ServingStatsSnapshot ServingStats::Snapshot() const {
+  ServingStatsSnapshot s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  s.client_errors = client_errors_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.canary_rejects = canary_rejects_.load(std::memory_order_relaxed);
+  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace clapf

@@ -1,0 +1,70 @@
+#ifndef CLAPF_SERVING_SERVING_STATS_H_
+#define CLAPF_SERVING_SERVING_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace clapf {
+
+/// Point-in-time copy of the serving counters, safe to read field-by-field.
+struct ServingStatsSnapshot {
+  // Per-query outcomes.
+  int64_t queries = 0;            ///< every query that reached the server
+  int64_t ok = 0;                 ///< answered within budget
+  int64_t deadline_exceeded = 0;  ///< expired mid-scan (DeadlineExceeded)
+  int64_t shed = 0;               ///< refused at admission (Unavailable)
+  int64_t internal_errors = 0;    ///< served-model integrity failures
+  int64_t client_errors = 0;      ///< bad request (unknown user id, ...)
+  int64_t degraded = 0;           ///< answered by the popularity fallback
+  // Model lifecycle.
+  int64_t publishes = 0;          ///< candidates that cleared the canary gate
+  int64_t canary_rejects = 0;     ///< candidates the gate refused
+  int64_t rollbacks = 0;          ///< breaker-driven reverts to the previous snapshot
+  int64_t breaker_trips = 0;      ///< circuit-breaker activations
+
+  /// One-line counter dump for logs: "queries=12 ok=9 shed=2 ...".
+  std::string ToString() const;
+};
+
+/// Lock-free per-outcome counters for the serving layer. All increments are
+/// relaxed atomics: the counters are observability, not synchronization, so
+/// a snapshot taken mid-burst may be internally skewed by in-flight queries
+/// but every count is eventually exact.
+class ServingStats {
+ public:
+  void RecordQuery() { Bump(&queries_); }
+  void RecordOk() { Bump(&ok_); }
+  void RecordDeadlineExceeded() { Bump(&deadline_exceeded_); }
+  void RecordShed() { Bump(&shed_); }
+  void RecordInternalError() { Bump(&internal_errors_); }
+  void RecordClientError() { Bump(&client_errors_); }
+  void RecordDegraded() { Bump(&degraded_); }
+  void RecordPublish() { Bump(&publishes_); }
+  void RecordCanaryReject() { Bump(&canary_rejects_); }
+  void RecordRollback() { Bump(&rollbacks_); }
+  void RecordBreakerTrip() { Bump(&breaker_trips_); }
+
+  ServingStatsSnapshot Snapshot() const;
+
+ private:
+  static void Bump(std::atomic<int64_t>* counter) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<int64_t> queries_{0};
+  std::atomic<int64_t> ok_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> internal_errors_{0};
+  std::atomic<int64_t> client_errors_{0};
+  std::atomic<int64_t> degraded_{0};
+  std::atomic<int64_t> publishes_{0};
+  std::atomic<int64_t> canary_rejects_{0};
+  std::atomic<int64_t> rollbacks_{0};
+  std::atomic<int64_t> breaker_trips_{0};
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SERVING_SERVING_STATS_H_

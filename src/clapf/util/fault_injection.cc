@@ -16,6 +16,14 @@ const char* FaultPointName(FaultPoint point) {
       return "loader-bad-line";
     case FaultPoint::kSgdStepNan:
       return "sgd-step-nan";
+    case FaultPoint::kServeSlowBlock:
+      return "serve-slow-block";
+    case FaultPoint::kServeCorruptCandidate:
+      return "serve-corrupt-candidate";
+    case FaultPoint::kServeScoreNan:
+      return "serve-score-nan";
+    case FaultPoint::kServeQueueStall:
+      return "serve-queue-stall";
     case FaultPoint::kNumFaultPoints:
       break;
   }
@@ -28,8 +36,9 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::Arm(FaultPoint point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
   PointState& s = state(point);
-  if (!s.armed) ++num_armed_;
+  if (!s.armed) num_armed_.fetch_add(1, std::memory_order_relaxed);
   s.armed = true;
   s.spec = spec;
   s.hits = 0;
@@ -37,36 +46,44 @@ void FaultInjector::Arm(FaultPoint point, FaultSpec spec) {
 }
 
 void FaultInjector::Disarm(FaultPoint point) {
+  std::lock_guard<std::mutex> lock(mutex_);
   PointState& s = state(point);
-  if (s.armed) --num_armed_;
+  if (s.armed) num_armed_.fetch_sub(1, std::memory_order_relaxed);
   s.armed = false;
 }
 
 void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (PointState& s : points_) s = PointState{};
-  num_armed_ = 0;
+  num_armed_.store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjector::ShouldFire(FaultPoint point) {
-  PointState& s = state(point);
-  if (!s.armed) return false;
-  ++s.hits;
-  if (s.hits < s.spec.trigger_at_hit) return false;
-  if (s.spec.max_fires >= 0 &&
-      s.fires >= s.spec.max_fires) {
-    return false;
+  int64_t hit_number = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PointState& s = state(point);
+    if (!s.armed) return false;
+    ++s.hits;
+    if (s.hits < s.spec.trigger_at_hit) return false;
+    if (s.spec.max_fires >= 0 && s.fires >= s.spec.max_fires) {
+      return false;
+    }
+    ++s.fires;
+    hit_number = s.hits;
   }
-  ++s.fires;
   CLAPF_LOG(Warning) << "fault injected: " << FaultPointName(point)
-                     << " (hit " << s.hits << ")";
+                     << " (hit " << hit_number << ")";
   return true;
 }
 
 int64_t FaultInjector::hits(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return state(point).hits;
 }
 
 int64_t FaultInjector::fires(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return state(point).fires;
 }
 

@@ -2,7 +2,9 @@
 #define CLAPF_UTIL_FAULT_INJECTION_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace clapf {
@@ -25,6 +27,18 @@ enum class FaultPoint : int {
   /// The SGD hot loop's margin becomes NaN for one iteration (a poisoned
   /// gradient), exercising the DivergenceGuard reaction paths.
   kSgdStepNan,
+  /// One ranker scoring block in the serving path stalls (sleeps), so a
+  /// per-query deadline deterministically expires mid-scan.
+  kServeSlowBlock,
+  /// A candidate model handed to ModelServer::Publish is poisoned (one factor
+  /// becomes NaN) before the canary gate runs — the gate must reject it.
+  kServeCorruptCandidate,
+  /// One served top-k score is rewritten to NaN after ranking, so the
+  /// post-publish serve-time integrity check fails and feeds the breaker.
+  kServeScoreNan,
+  /// A serving worker stalls before running its task, backing the admission
+  /// queue up to its bound so overload shedding kicks in.
+  kServeQueueStall,
   kNumFaultPoints,  // sentinel, keep last
 };
 
@@ -41,8 +55,10 @@ struct FaultSpec {
 
 /// Process-wide fault-injection registry, RocksDB FaultInjectionTestFS style:
 /// compiled into every build, and a handful of branch-predictable no-op
-/// checks unless a test arms it. Not thread-safe — fault schedules are a
-/// single-threaded test-harness facility.
+/// checks unless a test arms it. Thread-safe: the serving drills hit armed
+/// points from concurrent pool workers, so hit/fire accounting is mutex
+/// guarded (only ever taken while a point is armed) and the hot-path
+/// `armed()` check is a relaxed atomic load.
 class FaultInjector {
  public:
   static FaultInjector& Instance();
@@ -58,7 +74,9 @@ class FaultInjector {
 
   /// True when at least one point is armed. Hot loops hoist this check so an
   /// unarmed build pays nothing per iteration.
-  bool armed() const { return num_armed_ > 0; }
+  bool armed() const {
+    return num_armed_.load(std::memory_order_relaxed) > 0;
+  }
 
   /// Records a hit of `point` and returns true when the armed schedule says
   /// this hit fires. Always false for an unarmed point.
@@ -92,9 +110,10 @@ class FaultInjector {
     return points_[static_cast<size_t>(point)];
   }
 
+  mutable std::mutex mutex_;
   std::array<PointState, static_cast<size_t>(FaultPoint::kNumFaultPoints)>
       points_{};
-  int num_armed_ = 0;
+  std::atomic<int> num_armed_{0};
 };
 
 }  // namespace clapf

@@ -127,6 +127,53 @@ TEST(RecommendBatchTest, EmptyBatchIsFine) {
   EXPECT_TRUE(got->empty());
 }
 
+TEST(RecommendBatchTest, KBeyondCatalogIsClampedPerUser) {
+  Recommender rec = MakeExactRecommender();
+  std::vector<UserId> users = {0, 1, 2};
+  auto got = rec.RecommendBatch(users, 1000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[0].size(), 3u);  // user 0 has 1 history item of 4
+  EXPECT_EQ((*got)[1].size(), 3u);
+  EXPECT_EQ((*got)[2].size(), 4u);  // cold user ranks the whole catalog
+}
+
+TEST(RecommendBatchPartialTest, NoDeadlineMatchesRecommendBatch) {
+  Recommender rec = MakeExactRecommender();
+  std::vector<UserId> users = {0, 1, 2};
+  auto full = rec.RecommendBatch(users, 2);
+  auto partial = rec.RecommendBatchPartial(users, 2);
+  ASSERT_TRUE(full.ok() && partial.ok());
+  EXPECT_FALSE(partial->deadline_exceeded);
+  EXPECT_EQ(partial->num_complete, users.size());
+  ASSERT_EQ(partial->results.size(), full->size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    EXPECT_NE(partial->complete[i], 0);
+    ASSERT_EQ(partial->results[i].size(), (*full)[i].size());
+    for (size_t r = 0; r < (*full)[i].size(); ++r) {
+      EXPECT_EQ(partial->results[i][r].item, (*full)[i][r].item);
+      EXPECT_EQ(partial->results[i][r].score, (*full)[i][r].score);
+    }
+  }
+}
+
+TEST(RecommendBatchPartialTest, BadIdStillFailsTheWholeCall) {
+  Recommender rec = MakeExactRecommender();
+  std::vector<UserId> users = {0, 42};
+  EXPECT_EQ(rec.RecommendBatchPartial(users, 2).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RecommendBatchPartialTest, GenerousDeadlineCompletesEveryUser) {
+  Recommender rec = MakeExactRecommender();
+  std::vector<UserId> users = {0, 1, 2};
+  QueryOptions opts;
+  opts.deadline = std::chrono::seconds(30);
+  auto got = rec.RecommendBatchPartial(users, 2, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->deadline_exceeded);
+  EXPECT_EQ(got->num_complete, users.size());
+}
+
 TEST(EvaluatorDeterminismTest, ParallelResultIndependentOfThreadCount) {
   SyntheticConfig cfg;
   cfg.num_users = 300;  // > one 256-user block, so the reduction really runs

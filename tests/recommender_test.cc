@@ -113,5 +113,87 @@ TEST(RecommenderTest, LoadMissingModelFails) {
             StatusCode::kIoError);
 }
 
+TEST(RecommenderTest, KBeyondCatalogIsClampedNotError) {
+  Dataset history = testing::MakeDataset(3, 4, {{0, 3}});
+  Recommender rec = MakeRecommender(history);
+  // Warm user: the full rankable catalog is 4 items minus 1 history entry.
+  auto warm = rec.Recommend(0, 1000, QueryOptions{});
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->size(), 3u);
+  // Cold user on the popularity fallback clamps the same way.
+  auto cold = rec.Recommend(2, 1000, QueryOptions{});
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->size(), 4u);
+}
+
+TEST(RecommenderTest, AllItemsExcludedYieldsEmptyNotError) {
+  Dataset history = testing::MakeDataset(3, 4, {{0, 0}, {0, 1}});
+  Recommender rec = MakeRecommender(history);
+  QueryOptions options;
+  options.exclude = {2, 3};  // history covers 0 and 1 — nothing rankable
+  auto top = rec.Recommend(0, 2, options);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_TRUE(top->empty());
+}
+
+TEST(RecommenderTest, ColdUserWithEverythingExcludedYieldsEmptyNotError) {
+  Dataset history = testing::MakeDataset(3, 4, {{0, 1}});
+  Recommender rec = MakeRecommender(history);
+  QueryOptions options;
+  options.exclude = {0, 1, 2, 3};
+  // User 2 is cold: the popularity fallback also has nothing left to rank.
+  auto top = rec.Recommend(2, 2, options);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_TRUE(top->empty());
+}
+
+TEST(RecommenderTest, MinScoreFilteringEverythingYieldsEmptyNotError) {
+  Dataset history = testing::MakeDataset(3, 4, {});
+  Recommender rec = MakeRecommender(history);
+  QueryOptions options;
+  options.min_score = 1000.0;  // above every score in the model
+  auto warm = rec.Recommend(0, 3, options);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->empty());
+  auto cold = rec.Recommend(2, 3, options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_TRUE(cold->empty());
+}
+
+// The [[deprecated]] wrappers must forward to the QueryOptions surface
+// exactly — same items, same scores, same errors — until removal.
+TEST(RecommenderTest, DeprecatedRecommendShimForwardsExactly) {
+  Dataset history = testing::MakeDataset(3, 4, {{0, 3}, {1, 0}});
+  Recommender rec = MakeRecommender(history);
+  for (UserId u = 0; u < 3; ++u) {
+    auto shim = rec.Recommend(u, 3);
+    auto direct = rec.Recommend(u, 3, QueryOptions{});
+    ASSERT_TRUE(shim.ok() && direct.ok());
+    ASSERT_EQ(shim->size(), direct->size());
+    for (size_t i = 0; i < shim->size(); ++i) {
+      EXPECT_EQ((*shim)[i].item, (*direct)[i].item);
+      EXPECT_DOUBLE_EQ((*shim)[i].score, (*direct)[i].score);
+    }
+  }
+  EXPECT_EQ(rec.Recommend(9, 3).status().code(),
+            rec.Recommend(9, 3, QueryOptions{}).status().code());
+}
+
+TEST(RecommenderTest, DeprecatedRecommendFilteredShimForwardsExactly) {
+  Dataset history = testing::MakeDataset(3, 4, {{0, 3}});
+  Recommender rec = MakeRecommender(history);
+  const std::vector<ItemId> exclude = {2, 99, -1};
+  auto shim = rec.RecommendFiltered(0, 3, exclude);
+  QueryOptions options;
+  options.exclude = exclude;
+  auto direct = rec.Recommend(0, 3, options);
+  ASSERT_TRUE(shim.ok() && direct.ok());
+  ASSERT_EQ(shim->size(), direct->size());
+  for (size_t i = 0; i < shim->size(); ++i) {
+    EXPECT_EQ((*shim)[i].item, (*direct)[i].item);
+    EXPECT_DOUBLE_EQ((*shim)[i].score, (*direct)[i].score);
+  }
+}
+
 }  // namespace
 }  // namespace clapf

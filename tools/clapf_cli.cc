@@ -4,6 +4,8 @@
 //                       --model-out model.clpf --dataset-out data.clds
 //   clapf_cli evaluate  --model model.clpf --dataset data.clds
 //   clapf_cli recommend --model model.clpf --dataset data.clds --user 5 --k 10
+//   clapf_cli serve     --model model.clpf --dataset data.clds --users 1,5
+//                       --deadline-us 5000 --queue-depth 32 --min-auc 0.6
 //   clapf_cli stats     --input u.data --format tab
 //
 // Formats: tab (MovieLens 100K), colons (ML1M), csv (ML20M), pairs.
@@ -217,6 +219,81 @@ int RunRecommend(int argc, char** argv) {
   return 0;
 }
 
+int RunServe(int argc, char** argv) {
+  std::string model_path = "model.clpf", dataset_path, format = "tab";
+  std::string users_csv = "0";
+  int64_t k = 10, threads = 2, queue_depth = 64, repeat = 1;
+  int64_t deadline_us = 0;
+  double min_auc = 0.0;
+  bool has_header = false;
+  FlagParser flags;
+  flags.AddString("model", &model_path, "candidate model path (.clpf)");
+  flags.AddString("dataset", &dataset_path,
+                  "interaction history (.clds or text)");
+  flags.AddString("format", &format, "tab|colons|csv|pairs");
+  flags.AddBool("header", &has_header, "skip the first line of the input");
+  flags.AddString("users", &users_csv, "comma-separated dense user ids");
+  flags.AddInt("k", &k, "list length");
+  flags.AddInt("threads", &threads, "serving worker threads");
+  flags.AddInt("queue-depth", &queue_depth,
+               "admission bound: requests past this are shed (Unavailable)");
+  flags.AddInt("deadline-us", &deadline_us,
+               "per-query budget in microseconds (0 = unbounded)");
+  flags.AddDouble("min-auc", &min_auc,
+                  "canary sampled-AUC floor for the publish gate (0 = off)");
+  flags.AddInt("repeat", &repeat, "times to replay the query set");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
+  }
+  if (dataset_path.empty()) {
+    return Fail(Status::InvalidArgument("--dataset required"));
+  }
+
+  auto data = LoadAnyDataset(dataset_path, format, has_header);
+  if (!data.ok()) return Fail(data.status());
+
+  ServerOptions server_options;
+  server_options.num_threads = static_cast<int>(threads);
+  server_options.max_queue_depth = queue_depth;
+  server_options.canary.min_auc = min_auc;
+  ModelServer server(*std::move(data), server_options);
+
+  // The candidate goes through the full canary gate; a rejection leaves the
+  // server in degraded (popularity) mode rather than exiting.
+  if (Status s = server.PublishFromFile(model_path); !s.ok()) {
+    std::printf("publish rejected (%s); serving popularity fallback\n",
+                s.ToString().c_str());
+  } else {
+    std::printf("published model v%lld\n",
+                static_cast<long long>(server.version()));
+  }
+
+  std::vector<UserId> users;
+  for (const std::string& tok : Split(users_csv, ',')) {
+    auto id = ParseInt64(Trim(tok));
+    if (!id.ok()) return Fail(id.status());
+    users.push_back(static_cast<UserId>(*id));
+  }
+  QueryOptions options;
+  options.deadline = std::chrono::microseconds(deadline_us);
+
+  for (int64_t round = 0; round < repeat; ++round) {
+    for (UserId u : users) {
+      auto got = server.Recommend(u, static_cast<size_t>(k), options);
+      if (!got.ok()) {
+        std::printf("user %d: %s\n", u, got.status().ToString().c_str());
+        continue;
+      }
+      std::printf("top-%lld for user %d:\n", static_cast<long long>(k), u);
+      for (const ScoredItem& item : *got) {
+        std::printf("  item %-8d score %.4f\n", item.item, item.score);
+      }
+    }
+  }
+  std::printf("serving stats: %s\n", server.stats().ToString().c_str());
+  return 0;
+}
+
 int RunStats(int argc, char** argv) {
   std::string input, format = "tab";
   bool has_header = false;
@@ -236,7 +313,7 @@ int RunStats(int argc, char** argv) {
 
 void PrintUsage() {
   std::fputs(
-      "usage: clapf_cli <train|evaluate|recommend|stats> [flags]\n"
+      "usage: clapf_cli <train|evaluate|recommend|serve|stats> [flags]\n"
       "run a subcommand with --help for its flags\n",
       stderr);
 }
@@ -255,6 +332,7 @@ int main(int argc, char** argv) {
   if (command == "train") return RunTrain(sub_argc, sub_argv);
   if (command == "evaluate") return RunEvaluate(sub_argc, sub_argv);
   if (command == "recommend") return RunRecommend(sub_argc, sub_argv);
+  if (command == "serve") return RunServe(sub_argc, sub_argv);
   if (command == "stats") return RunStats(sub_argc, sub_argv);
   PrintUsage();
   return 1;

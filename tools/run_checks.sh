@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Full verification ladder for the repo, from cheapest to most expensive:
+#
+#   1. default preset  — build everything, run the whole ctest suite
+#   2. sanitize preset — ASan+UBSan on the fault-injection + serving drills
+#   3. tsan preset     — ThreadSanitizer on the parallel + serving drills
+#
+# Usage:
+#   tools/run_checks.sh            # the full ladder
+#   tools/run_checks.sh default    # just one rung
+#   tools/run_checks.sh sanitize
+#   tools/run_checks.sh tsan
+#
+# Exits non-zero on the first failing rung. Each rung configures its own
+# build directory (build/, build-sanitize/, build-tsan/) via CMake presets,
+# so rungs never contaminate each other.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+STAGE="${1:-all}"
+
+run_default() {
+  echo "=== [1/3] default preset: full build + full test suite ==="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "${JOBS}"
+  ctest --preset default
+}
+
+run_sanitize() {
+  echo "=== [2/3] sanitize preset: ASan+UBSan fault-injection + serving ==="
+  cmake --preset sanitize >/dev/null
+  cmake --build --preset sanitize -j "${JOBS}"
+  ctest --preset sanitize-faultinjection
+  ctest --preset sanitize-serving
+}
+
+run_tsan() {
+  echo "=== [3/3] tsan preset: ThreadSanitizer parallel + serving ==="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "${JOBS}"
+  ctest --preset tsan-parallel
+  ctest --preset tsan-serving
+}
+
+case "${STAGE}" in
+  default)  run_default ;;
+  sanitize) run_sanitize ;;
+  tsan)     run_tsan ;;
+  all)      run_default; run_sanitize; run_tsan ;;
+  *)
+    echo "unknown stage '${STAGE}' (want default|sanitize|tsan|all)" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== all requested checks passed ==="
