@@ -17,6 +17,8 @@
 #include "clapf/data/split.h"
 #include "clapf/data/synthetic.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/obs/metrics.h"
+#include "clapf/obs/trace_span.h"
 #include "clapf/recommender.h"
 #include "clapf/sampling/dss_sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
@@ -125,6 +127,30 @@ void BM_BprSgdIterationGuard(benchmark::State& state) {
 }
 BENCHMARK(BM_BprSgdIterationGuard)->Arg(0)->Arg(1);
 
+// Observability overhead on the BPR hot loop: Arg(0) trains with metrics
+// off (null registry — the instrumentation branches are present but dead),
+// Arg(1) with a live MetricsRegistry receiving update counts, sampled epoch
+// loss, and epoch gauges. The acceptance bar is <=2% per-iteration overhead
+// between the two rows (recorded in results/BENCH_obs.json).
+void BM_BprSgdIterationObs(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  static Dataset data = BenchData(500, 2000, 25000);
+  MetricsRegistry registry;
+  BprOptions options;
+  options.sgd.num_factors = 20;
+  options.sgd.metrics = instrumented ? &registry : nullptr;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BprOptions opts = options;
+    opts.sgd.iterations = 20000;
+    BprTrainer chunk(opts);
+    state.ResumeTiming();
+    CLAPF_CHECK_OK(chunk.Train(data));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_BprSgdIterationObs)->Arg(0)->Arg(1);
+
 // HogWild scaling of the BPR hot loop: the same 20k-iteration training
 // chunk executed by 1/2/4/8 SGD workers. Real time is the comparable axis
 // (CPU time sums across workers). On a single-core host the >1-thread rows
@@ -183,7 +209,11 @@ BENCHMARK(BM_RecommendBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 // kRankerBlockItems items. The gap between the two rows is the price of
 // deadline enforcement — it should be a few percent at most.
 void BM_RecommendDeadline(benchmark::State& state) {
-  const bool with_deadline = state.range(0) != 0;
+  // Arg: 0 = no deadline, 1 = deadline armed, 2 = deadline armed + query
+  // telemetry (per-query counter, latency TraceSpan). The 1→2 gap is the
+  // observability cost on the serving path; the budget is <=2% (recorded in
+  // results/BENCH_obs.json).
+  const int mode = static_cast<int>(state.range(0));
   static Dataset data = BenchData(500, 20000, 25000);
   static FactorModel model = [] {
     FactorModel m(500, 20000, 20);
@@ -192,18 +222,25 @@ void BM_RecommendDeadline(benchmark::State& state) {
     return m;
   }();
   static Recommender rec = *Recommender::Create(model, data);
+  static MetricsRegistry obs_registry;
+  static Recommender obs_rec = [] {
+    Recommender r = *Recommender::Create(model, data);
+    r.SetMetrics(&obs_registry);
+    return r;
+  }();
+  Recommender& target = mode == 2 ? obs_rec : rec;
   QueryOptions options;
-  if (with_deadline) options.deadline = std::chrono::seconds(60);
+  if (mode != 0) options.deadline = std::chrono::seconds(60);
   UserId u = 0;
   for (auto _ : state) {
-    auto got = rec.Recommend(u, 10, options);
+    auto got = target.Recommend(u, 10, options);
     CLAPF_CHECK_OK(got.status());
     benchmark::DoNotOptimize(got->data());
     u = (u + 1) % 500;
   }
   state.SetItemsProcessed(state.iterations() * 20000);
 }
-BENCHMARK(BM_RecommendDeadline)->Arg(0)->Arg(1);
+BENCHMARK(BM_RecommendDeadline)->Arg(0)->Arg(1)->Arg(2);
 
 // Query latency while a writer hot-swaps models through the full canary
 // gate as fast as it can. Measures the RCU read path under publish churn:
@@ -292,6 +329,49 @@ void BM_CholeskySolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CholeskySolve)->Arg(10)->Arg(20)->Arg(40);
+
+// Raw cost of one sharded counter increment — the observability primitive
+// every hot-path tally compiles down to.
+void BM_MetricsCounterInc(benchmark::State& state) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("bench.ops_total");
+  for (auto _ : state) {
+    c->Inc();
+  }
+  benchmark::DoNotOptimize(c->Value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+// Raw cost of one histogram recording: bucket walk + sharded count + CAS add
+// of the sum.
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("bench.latency_us", LatencyBucketsUs());
+  double v = 1.0;
+  for (auto _ : state) {
+    h->Record(v);
+    v = v < 4.0e6 ? v * 1.7 : 1.0;  // sweep the buckets
+  }
+  benchmark::DoNotOptimize(h->Snapshot().count);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+// Full TraceSpan lifecycle: stopwatch construction + clock read + histogram
+// record at destruction. This is the per-query serving cost of latency
+// tracing.
+void BM_TraceSpanRoundTrip(benchmark::State& state) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("bench.span_us", LatencyBucketsUs());
+  for (auto _ : state) {
+    TraceSpan span(h);
+    benchmark::DoNotOptimize(&span);
+  }
+  benchmark::DoNotOptimize(h->Snapshot().count);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanRoundTrip);
 
 void BM_SmoothedApPerUser(benchmark::State& state) {
   static Dataset data = BenchData(100, 500, 5000);

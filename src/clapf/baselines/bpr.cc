@@ -95,6 +95,7 @@ std::unique_ptr<PairSampler> BprTrainer::MakeSampler(const Dataset& train,
     case PairSamplerKind::kAobpr: {
       AobprPairSampler::Options opts;
       opts.tail_fraction = options_.aobpr_tail_fraction;
+      opts.metrics = options_.sgd.metrics;
       return std::make_unique<AobprPairSampler>(&train, model_.get(), opts,
                                                 seed);
     }
@@ -127,6 +128,8 @@ Status BprTrainer::Train(const Dataset& train) {
   config.final_learning_rate_fraction =
       options_.sgd.final_learning_rate_fraction;
   config.divergence = options_.sgd.divergence;
+  config.metrics = options_.sgd.metrics;
+  config.epoch_iterations = static_cast<int64_t>(train.num_interactions());
 
   const uint64_t base_seed = options_.sgd.seed ^ 0x5eedu;
   auto factory = [&](int w, int n) -> std::unique_ptr<SgdWorker> {

@@ -159,6 +159,9 @@ Status ClimfTrainer::Train(const Dataset& train) {
   // exactly 1 so the serial path stays bit-identical.
   config.final_learning_rate_fraction = 1.0;
   config.divergence = options_.sgd.divergence;
+  config.metrics = options_.sgd.metrics;
+  // CLiMF's natural epoch is one sweep over the active users.
+  config.epoch_iterations = static_cast<int64_t>(active.size());
 
   auto factory = [&](int w, int n) -> std::unique_ptr<SgdWorker> {
     if (n == 1) {

@@ -133,6 +133,8 @@ Status MprTrainer::Train(const Dataset& train) {
   config.final_learning_rate_fraction =
       options_.sgd.final_learning_rate_fraction;
   config.divergence = options_.sgd.divergence;
+  config.metrics = options_.sgd.metrics;
+  config.epoch_iterations = static_cast<int64_t>(train.num_interactions());
 
   const uint64_t sampler_base = options_.sgd.seed ^ 0x5eedu;
   const uint64_t pair_base = options_.sgd.seed ^ 0xa11ce5u;

@@ -52,6 +52,9 @@
 #include "clapf/eval/ranking_metrics.h"
 #include "clapf/model/factor_model.h"
 #include "clapf/model/model_io.h"
+#include "clapf/obs/exporter.h"
+#include "clapf/obs/metrics.h"
+#include "clapf/obs/trace_span.h"
 #include "clapf/recommender.h"
 #include "clapf/sampling/abs_sampler.h"
 #include "clapf/sampling/alias.h"

@@ -182,6 +182,7 @@ std::unique_ptr<TripleSampler> ClapfTrainer::MakeSampler(
   dss.refresh_interval = options_.dss_refresh_interval;
   dss.adaptive_positive = options_.sampler != ClapfSamplerKind::kNegativeOnly;
   dss.adaptive_negative = options_.sampler != ClapfSamplerKind::kPositiveOnly;
+  dss.metrics = options_.sgd.metrics;
   return std::make_unique<DssSampler>(&train, model_.get(), dss, seed);
 }
 
@@ -281,6 +282,8 @@ Status ClapfTrainer::Train(const Dataset& train) {
   config.divergence = options_.sgd.divergence;
   config.initial_lr_scale = ckpt_state.lr_scale;
   config.initial_guard_retries = ckpt_state.guard_retries;
+  config.metrics = options_.sgd.metrics;
+  config.epoch_iterations = static_cast<int64_t>(train.num_interactions());
   if (checkpoints.enabled()) {
     config.checkpoint_interval = options_.checkpoint.interval;
   }

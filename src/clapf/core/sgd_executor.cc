@@ -9,6 +9,7 @@
 
 #include "clapf/util/fault_injection.h"
 #include "clapf/util/logging.h"
+#include "clapf/util/math.h"
 
 namespace clapf {
 
@@ -19,9 +20,55 @@ namespace {
 // that workers finish a round within a chunk of each other.
 constexpr int64_t kClaimChunk = 64;
 
+// Margin-loss sampling stride for the sgd.epoch_loss gauge: the loss
+// −ln σ(margin) costs an exp+log (~100ns), so paying it on every ~220ns SGD
+// step would blow the executor's ≤2% telemetry budget. Sampling every 64th
+// iteration amortizes the transcendentals to <1ns/step, keeps the estimate
+// statistically faithful over epoch-sized windows, and stays deterministic
+// (the stride is on the global iteration index).
+constexpr int64_t kLossSampleStride = 64;
+
+// Resolved handles for the executor's telemetry. Null handles (metrics off)
+// are never dereferenced: the hot loops tally into worker-local integers and
+// only the flush points consult the handles.
+struct SgdMetrics {
+  Counter* updates = nullptr;
+  Counter* skipped = nullptr;
+  Counter* halts = nullptr;
+  Counter* epochs = nullptr;
+  Gauge* epoch_loss = nullptr;
+  Gauge* epoch_updates = nullptr;
+  Gauge* guard_rollbacks = nullptr;
+  Gauge* guard_clamps = nullptr;
+  Gauge* lr_scale = nullptr;
+
+  static SgdMetrics Resolve(MetricsRegistry* registry) {
+    SgdMetrics m;
+    if (registry == nullptr) return m;
+    m.updates = registry->GetCounter("sgd.updates_total");
+    m.skipped = registry->GetCounter("sgd.skipped_updates_total");
+    m.halts = registry->GetCounter("sgd.halts_total");
+    m.epochs = registry->GetCounter("sgd.epochs_total");
+    m.epoch_loss = registry->GetGauge("sgd.epoch_loss");
+    m.epoch_updates = registry->GetGauge("sgd.epoch_updates");
+    m.guard_rollbacks = registry->GetGauge("sgd.guard_rollbacks");
+    m.guard_clamps = registry->GetGauge("sgd.guard_clamps");
+    m.lr_scale = registry->GetGauge("sgd.lr_scale");
+    return m;
+  }
+
+  void SetGuardGauges(const DivergenceGuard& guard) const {
+    guard_rollbacks->Set(static_cast<double>(guard.rollbacks()));
+    guard_clamps->Set(static_cast<double>(guard.clamps()));
+    lr_scale->Set(guard.lr_scale());
+  }
+};
+
 // The exact legacy trainer loop: schedule, sample, fault injection, guard
 // observation, update, probe, checkpoint. Every expression matches the
-// pre-executor trainers so serial training is bit-identical.
+// pre-executor trainers so serial training is bit-identical; the telemetry
+// tallies are pure observers (local integer adds, flushed at epoch
+// boundaries) and never perturb the training math.
 Status RunSerial(const SgdExecutorConfig& config, FactorModel* model,
                  const SgdExecutor::WorkerFactory& make_worker,
                  const SgdExecutor::ProbeFn& probe,
@@ -32,6 +79,27 @@ Status RunSerial(const SgdExecutorConfig& config, FactorModel* model,
   DivergenceGuard guard(config.divergence, model);
   guard.RestoreBackoff(config.initial_lr_scale, config.initial_guard_retries);
   FaultInjector& faults = FaultInjector::Instance();
+
+  const bool metered = config.metrics != nullptr;
+  const bool epoch_metered = metered && config.epoch_iterations > 0;
+  const SgdMetrics mx = SgdMetrics::Resolve(config.metrics);
+  int64_t pending_updates = 0;  // tallies not yet flushed to the registry
+  int64_t pending_skipped = 0;
+  double epoch_loss_acc = 0.0;
+  int64_t epoch_loss_n = 0;
+  int64_t next_epoch_end =
+      epoch_metered ? ((config.start_iteration - 1) / config.epoch_iterations +
+                       1) *
+                          config.epoch_iterations
+                    : std::numeric_limits<int64_t>::max();
+  auto flush_counters = [&] {
+    if (!metered) return;
+    if (pending_updates > 0) mx.updates->Inc(pending_updates);
+    if (pending_skipped > 0) mx.skipped->Inc(pending_skipped);
+    pending_updates = 0;
+    pending_skipped = 0;
+    mx.SetGuardGauges(guard);
+  };
 
   const double lr0 = config.learning_rate;
   const double lr1 = lr0 * config.final_learning_rate_fraction;
@@ -47,19 +115,44 @@ Status RunSerial(const SgdExecutorConfig& config, FactorModel* model,
     }
     switch (guard.Observe(it, margin)) {
       case DivergenceGuard::Action::kHalt:
+        flush_counters();
+        if (metered) mx.halts->Inc();
         return guard.status();
       case DivergenceGuard::Action::kSkipUpdate:
+        ++pending_skipped;
         continue;
       case DivergenceGuard::Action::kProceed:
         break;
     }
     worker->ApplyStep(lr, margin);
+    ++pending_updates;
+    if (epoch_metered) {
+      if (it % kLossSampleStride == 0) {
+        epoch_loss_acc += -LogSigmoid(margin);
+        ++epoch_loss_n;
+      }
+      if (it == next_epoch_end) {
+        mx.epochs->Inc();
+        mx.epoch_loss->Set(epoch_loss_n > 0
+                               ? epoch_loss_acc /
+                                     static_cast<double>(epoch_loss_n)
+                               : 0.0);
+        // Counters flush exactly at epoch boundaries, so the unflushed
+        // update tally IS this epoch's applied-update count.
+        mx.epoch_updates->Set(static_cast<double>(pending_updates));
+        epoch_loss_acc = 0.0;
+        epoch_loss_n = 0;
+        next_epoch_end += config.epoch_iterations;
+        flush_counters();
+      }
+    }
     if (probe) probe(it);
     if (checkpoint && config.checkpoint_interval > 0 &&
         it % config.checkpoint_interval == 0) {
       checkpoint(it, guard);
     }
   }
+  flush_counters();
   return Status::OK();
 }
 
@@ -77,7 +170,9 @@ int64_t DefaultSyncInterval(const SgdExecutorConfig& config, int64_t span) {
 // update the model lock-free; each round ends at a std::barrier whose
 // completion step (one thread, everyone else parked, so it may touch the
 // whole model race-free) runs the divergence policy, checkpoints, probes,
-// and re-arms the counter for the next round.
+// and re-arms the counter for the next round. Telemetry: workers tally
+// locally and flush to the sharded registry counters just before arriving at
+// the barrier; the completion step owns the gauges.
 Status RunParallel(const SgdExecutorConfig& config, FactorModel* model,
                    const SgdExecutor::WorkerFactory& make_worker,
                    const SgdExecutor::ProbeFn& probe,
@@ -100,6 +195,17 @@ Status RunParallel(const SgdExecutorConfig& config, FactorModel* model,
   const double max_abs_margin = config.divergence.max_abs_margin;
   const int64_t sync = DefaultSyncInterval(config, last - first + 1);
 
+  const bool metered = config.metrics != nullptr;
+  const bool epoch_metered = metered && config.epoch_iterations > 0;
+  const SgdMetrics mx = SgdMetrics::Resolve(config.metrics);
+  // Sampled-loss accumulator for the current round; workers add their local
+  // sums just before the barrier, the completion step reads and re-zeroes it
+  // while everyone is parked.
+  std::atomic<double> round_loss_acc{0.0};
+  std::atomic<int64_t> round_loss_n{0};
+  int64_t epochs_reported = (first - 1) / std::max<int64_t>(
+                                              config.epoch_iterations, 1);
+
   // Round state. Written only by the barrier completion (or before the
   // threads start); workers read it between barriers, which the barrier's
   // synchronization makes race-free.
@@ -118,10 +224,33 @@ Status RunParallel(const SgdExecutorConfig& config, FactorModel* model,
   auto on_round_complete = [&]() noexcept {
     const int64_t completed = round_end;
     const bool bad = saw_bad.exchange(false, std::memory_order_relaxed);
+    if (metered) {
+      mx.SetGuardGauges(guard);
+      if (epoch_metered) {
+        const double acc =
+            round_loss_acc.exchange(0.0, std::memory_order_relaxed);
+        const int64_t cnt =
+            round_loss_n.exchange(0, std::memory_order_relaxed);
+        if (cnt > 0) {
+          // In parallel mode the gauge tracks per-round sampled loss — the
+          // barrier cadence is the natural "epoch" of a HogWild run.
+          mx.epoch_loss->Set(acc / static_cast<double>(cnt));
+        }
+        const int64_t epochs_done = completed / config.epoch_iterations;
+        if (epochs_done > epochs_reported) {
+          mx.epochs->Inc(epochs_done - epochs_reported);
+          epochs_reported = epochs_done;
+        }
+      }
+    }
     if (guard_on) {
       if (guard.ObserveBarrier(completed, bad) ==
           DivergenceGuard::Action::kHalt) {
         final_status = guard.status();
+        if (metered) {
+          mx.halts->Inc();
+          mx.SetGuardGauges(guard);
+        }
         stop.store(true, std::memory_order_relaxed);
         return;
       }
@@ -151,6 +280,10 @@ Status RunParallel(const SgdExecutorConfig& config, FactorModel* model,
     while (!stop.load(std::memory_order_relaxed)) {
       const int64_t end = round_end;
       const double scale = lr_scale;
+      int64_t local_updates = 0;
+      int64_t local_skipped = 0;
+      double local_loss_acc = 0.0;
+      int64_t local_loss_n = 0;
       while (true) {
         const int64_t base =
             next_it.fetch_add(kClaimChunk, std::memory_order_relaxed);
@@ -168,9 +301,23 @@ Status RunParallel(const SgdExecutorConfig& config, FactorModel* model,
           // barrier. NaN-safe: NaN fails <= and lands in the bad branch.
           if (guard_on && !(std::fabs(margin) <= max_abs_margin)) {
             saw_bad.store(true, std::memory_order_relaxed);
+            ++local_skipped;
             continue;
           }
           worker->ApplyStep(lr, margin);
+          ++local_updates;
+          if (epoch_metered && it % kLossSampleStride == 0) {
+            local_loss_acc += -LogSigmoid(margin);
+            ++local_loss_n;
+          }
+        }
+      }
+      if (metered) {
+        if (local_updates > 0) mx.updates->Inc(local_updates);
+        if (local_skipped > 0) mx.skipped->Inc(local_skipped);
+        if (local_loss_n > 0) {
+          obs_internal::AtomicAddDouble(round_loss_acc, local_loss_acc);
+          round_loss_n.fetch_add(local_loss_n, std::memory_order_relaxed);
         }
       }
       barrier.arrive_and_wait();

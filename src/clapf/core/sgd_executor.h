@@ -8,6 +8,7 @@
 
 #include "clapf/core/divergence_guard.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/obs/metrics.h"
 #include "clapf/util/random.h"
 #include "clapf/util/status.h"
 
@@ -109,6 +110,21 @@ struct SgdExecutorConfig {
   /// check_interval if monitoring is on, else the whole run in one round.
   /// Ignored in serial mode.
   int64_t sync_interval = 0;
+  /// Telemetry sink; null (default) disables all executor metrics at the
+  /// cost of one branch per flush point. When set, the executor emits (see
+  /// DESIGN.md "Observability" for the full inventory):
+  ///   sgd.updates_total / sgd.skipped_updates_total / sgd.halts_total
+  ///   sgd.epochs_total, sgd.epoch_loss, sgd.epoch_updates
+  ///   sgd.guard_rollbacks, sgd.guard_clamps, sgd.lr_scale
+  /// Counters are tallied in worker-local integers and flushed to the
+  /// registry at epoch/barrier boundaries and at run end, so the per-step
+  /// hot-path cost is one local add — the registry's sharded atomics are
+  /// only touched at flush cadence.
+  MetricsRegistry* metrics = nullptr;
+  /// Iterations per "epoch" for the epoch metrics (typically the training
+  /// set size, so one epoch ≈ one pass). <= 0 records no epoch metrics.
+  /// Requires `metrics`.
+  int64_t epoch_iterations = 0;
 };
 
 /// Shared SGD execution engine for the sampled-gradient trainers (CLAPF,

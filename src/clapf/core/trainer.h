@@ -10,6 +10,7 @@
 #include "clapf/core/ranker.h"
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/obs/metrics.h"
 #include "clapf/util/status.h"
 
 namespace clapf {
@@ -48,6 +49,11 @@ struct SgdOptions {
   /// Numerical-health monitoring (NaN/Inf/exploding factors) for the SGD
   /// loop; off by default so the hot path is unchanged.
   DivergenceOptions divergence;
+  /// Telemetry sink for training metrics (epoch loss, update counts, guard
+  /// events, sampler stats). Null (default) disables instrumentation; the
+  /// trainer and its sampler then pay nothing on the hot path. Not owned;
+  /// must outlive Train().
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// A recommendation method that can be fitted to a training dataset and then

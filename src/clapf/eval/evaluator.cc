@@ -6,6 +6,7 @@
 
 #include "clapf/eval/ranking_metrics.h"
 #include "clapf/util/logging.h"
+#include "clapf/util/stopwatch.h"
 #include "clapf/util/string_util.h"
 #include "clapf/util/thread_pool.h"
 
@@ -124,16 +125,39 @@ void Finalize(EvalSummary* summary) {
 
 }  // namespace
 
+void Evaluator::SetMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    runs_metric_ = nullptr;
+    users_metric_ = nullptr;
+    latency_metric_ = nullptr;
+    return;
+  }
+  runs_metric_ = registry->GetCounter("eval.runs_total");
+  users_metric_ = registry->GetGauge("eval.users_evaluated");
+  latency_metric_ =
+      registry->GetHistogram("eval.run.latency_us", LatencyBucketsUs());
+}
+
+void Evaluator::RecordRun(const EvalSummary& summary,
+                          double elapsed_us) const {
+  if (runs_metric_ == nullptr) return;
+  runs_metric_->Inc();
+  users_metric_->Set(static_cast<double>(summary.users_evaluated));
+  latency_metric_->Record(elapsed_us);
+}
+
 EvalSummary Evaluator::Evaluate(const Ranker& ranker,
                                 const std::vector<int>& ks) const {
   CLAPF_CHECK(!ks.empty());
   CLAPF_CHECK(std::is_sorted(ks.begin(), ks.end()));
 
+  Stopwatch watch;
   EvalSummary summary;
   summary.at_k.resize(ks.size());
   for (size_t i = 0; i < ks.size(); ++i) summary.at_k[i].k = ks[i];
   AccumulateRange(ranker, ks, 0, train_->num_users(), &summary);
   Finalize(&summary);
+  RecordRun(summary, watch.ElapsedMicros());
   return summary;
 }
 
@@ -143,6 +167,7 @@ EvalSummary Evaluator::EvaluateParallel(const Ranker& ranker,
   CLAPF_CHECK(!ks.empty());
   CLAPF_CHECK(std::is_sorted(ks.begin(), ks.end()));
   CLAPF_CHECK(num_threads >= 1);
+  Stopwatch watch;
 
   // Users are cut into fixed-size blocks (NOT num_threads-sized shards), one
   // partial summary per block, reduced below in block order. The partition
@@ -190,6 +215,7 @@ EvalSummary Evaluator::EvaluateParallel(const Ranker& ranker,
     summary.users_evaluated += partial.users_evaluated;
   }
   Finalize(&summary);
+  RecordRun(summary, watch.ElapsedMicros());
   return summary;
 }
 

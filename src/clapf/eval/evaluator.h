@@ -8,6 +8,7 @@
 #include "clapf/core/ranker.h"
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/obs/metrics.h"
 
 namespace clapf {
 
@@ -63,14 +64,26 @@ class Evaluator {
                                const std::vector<int>& ks,
                                int num_threads) const;
 
+  /// Routes evaluation telemetry into `registry`: eval.runs_total, the
+  /// eval.run.latency_us histogram, and the eval.users_evaluated gauge
+  /// (users counted by the most recent run). Null disables. Not owned.
+  void SetMetrics(MetricsRegistry* registry);
+
  private:
   // Adds the *sums* (not averages) of every metric over users in
   // [u_begin, u_end) into `sums`; `sums->at_k` must be pre-sized to `ks`.
   void AccumulateRange(const Ranker& ranker, const std::vector<int>& ks,
                        UserId u_begin, UserId u_end, EvalSummary* sums) const;
 
+  // Records one finished run into the telemetry handles (no-op when off).
+  void RecordRun(const EvalSummary& summary, double elapsed_us) const;
+
   const Dataset* train_;
   const Dataset* test_;
+  // Telemetry handles (null = off); see SetMetrics.
+  Counter* runs_metric_ = nullptr;
+  Gauge* users_metric_ = nullptr;
+  Histogram* latency_metric_ = nullptr;
 };
 
 /// The cutoffs used throughout the paper's figures: {3, 5, 10, 15, 20}.

@@ -1,0 +1,130 @@
+#include "clapf/obs/exporter.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+
+#include "clapf/util/fs.h"
+
+namespace clapf {
+
+namespace {
+
+// `sgd.epoch_loss` → `clapf_sgd_epoch_loss`. Prometheus metric names admit
+// [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "clapf_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendInt(std::string* out, int64_t v) { *out += std::to_string(v); }
+
+}  // namespace
+
+std::string FormatMetricValue(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;  // a 64-byte buffer always fits the shortest double form
+  return std::string(buf, ptr);
+}
+
+std::string ExportPrometheusText(
+    const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& m : snapshot) {
+    const std::string name = PrometheusName(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " ";
+        AppendInt(&out, m.counter);
+        out += '\n';
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + FormatMetricValue(m.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        int64_t cumulative = 0;
+        for (size_t b = 0; b < m.histogram.bounds.size(); ++b) {
+          cumulative += m.histogram.counts[b];
+          out += name + "_bucket{le=\"" +
+                 FormatMetricValue(m.histogram.bounds[b]) + "\"} ";
+          AppendInt(&out, cumulative);
+          out += '\n';
+        }
+        out += name + "_bucket{le=\"+Inf\"} ";
+        AppendInt(&out, m.histogram.count);
+        out += '\n';
+        out += name + "_sum " + FormatMetricValue(m.histogram.sum) + "\n";
+        out += name + "_count ";
+        AppendInt(&out, m.histogram.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExportPrometheusText(const MetricsRegistry& registry) {
+  return ExportPrometheusText(registry.Snapshot());
+}
+
+std::string ExportJson(const std::vector<MetricSnapshot>& snapshot) {
+  // Metric names are dotted lowercase identifiers (no quotes/backslashes/
+  // control characters), so plain quoting is already valid JSON.
+  std::string counters, gauges, histograms;
+  for (const MetricSnapshot& m : snapshot) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        if (!counters.empty()) counters += ',';
+        counters += "\"" + m.name + "\":";
+        AppendInt(&counters, m.counter);
+        break;
+      case MetricKind::kGauge:
+        if (!gauges.empty()) gauges += ',';
+        gauges += "\"" + m.name + "\":" + FormatMetricValue(m.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        if (!histograms.empty()) histograms += ',';
+        histograms += "\"" + m.name + "\":{\"buckets\":[";
+        for (size_t b = 0; b < m.histogram.counts.size(); ++b) {
+          if (b > 0) histograms += ',';
+          histograms += "{\"le\":";
+          histograms += b < m.histogram.bounds.size()
+                            ? FormatMetricValue(m.histogram.bounds[b])
+                            : std::string("\"+Inf\"");
+          histograms += ",\"count\":";
+          AppendInt(&histograms, m.histogram.counts[b]);
+          histograms += '}';
+        }
+        histograms += "],\"count\":";
+        AppendInt(&histograms, m.histogram.count);
+        histograms += ",\"sum\":" + FormatMetricValue(m.histogram.sum) + "}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  return ExportJson(registry.Snapshot());
+}
+
+Status WriteMetricsJsonFile(const MetricsRegistry& registry,
+                            const std::string& path) {
+  return WriteFileAtomic(path, ExportJson(registry) + "\n");
+}
+
+}  // namespace clapf

@@ -1,0 +1,41 @@
+#ifndef CLAPF_OBS_EXPORTER_H_
+#define CLAPF_OBS_EXPORTER_H_
+
+#include <string>
+#include <vector>
+
+#include "clapf/obs/metrics.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Renders `value` with the shortest round-trip decimal representation
+/// (std::to_chars), so exports are bit-deterministic for identical values
+/// and never lose precision. "nan"/"inf"/"-inf" for non-finite values.
+std::string FormatMetricValue(double value);
+
+/// Prometheus text-exposition rendering of every metric in `snapshot`.
+/// Metric names are prefixed with `clapf_` and dots become underscores
+/// (`sgd.updates_total` → `clapf_sgd_updates_total`); histograms expand to
+/// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`, ending
+/// with the `le="+Inf"` bucket, exactly as Prometheus expects. Input order
+/// is preserved; pass a MetricsRegistry::Snapshot() for sorted-by-name
+/// (deterministic) output.
+std::string ExportPrometheusText(const std::vector<MetricSnapshot>& snapshot);
+std::string ExportPrometheusText(const MetricsRegistry& registry);
+
+/// JSON rendering: one object with "counters", "gauges", and "histograms"
+/// members keyed by the raw (dotted) metric names. Histograms carry their
+/// non-cumulative per-bucket counts alongside `count` and `sum`. Key order
+/// follows the snapshot order, so registry exports are deterministic.
+std::string ExportJson(const std::vector<MetricSnapshot>& snapshot);
+std::string ExportJson(const MetricsRegistry& registry);
+
+/// Dumps ExportJson(registry) to `path` atomically (temp file + rename), so
+/// a scraper never reads a half-written dump.
+Status WriteMetricsJsonFile(const MetricsRegistry& registry,
+                            const std::string& path);
+
+}  // namespace clapf
+
+#endif  // CLAPF_OBS_EXPORTER_H_

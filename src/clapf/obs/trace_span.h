@@ -1,0 +1,53 @@
+#ifndef CLAPF_OBS_TRACE_SPAN_H_
+#define CLAPF_OBS_TRACE_SPAN_H_
+
+#include "clapf/obs/metrics.h"
+#include "clapf/util/stopwatch.h"
+
+namespace clapf {
+
+/// RAII scoped timer: measures from construction to destruction (or an
+/// explicit Stop()) on the monotonic clock and records the elapsed
+/// microseconds into a latency histogram.
+///
+///   Histogram* lat = registry.GetHistogram("serving.query.latency_us",
+///                                          LatencyBucketsUs());
+///   {
+///     TraceSpan span(lat);
+///     ... serve the query ...
+///   }  // elapsed us recorded here
+///
+/// A null histogram makes the span inert (one branch at destruction), so
+/// call sites need no "is observability on?" conditional of their own.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Histogram* histogram) : histogram_(histogram) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { Stop(); }
+
+  /// Records the elapsed time now instead of at scope exit; the destructor
+  /// then does nothing. Idempotent.
+  void Stop() {
+    if (histogram_ == nullptr) return;
+    histogram_->Record(watch_.ElapsedMicros());
+    histogram_ = nullptr;
+  }
+
+  /// Abandons the span: nothing is recorded. For outcomes whose latency
+  /// would pollute the distribution (e.g. requests shed at admission).
+  void Cancel() { histogram_ = nullptr; }
+
+  /// Elapsed microseconds so far, whether or not the span is still live.
+  double ElapsedMicros() const { return watch_.ElapsedMicros(); }
+
+ private:
+  Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_OBS_TRACE_SPAN_H_

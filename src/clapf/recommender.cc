@@ -8,6 +8,7 @@
 
 #include "clapf/core/ranker.h"
 #include "clapf/model/model_io.h"
+#include "clapf/obs/trace_span.h"
 #include "clapf/util/fault_injection.h"
 #include "clapf/util/thread_pool.h"
 
@@ -110,15 +111,36 @@ Result<std::vector<ScoredItem>> Recommender::RecommendOne(
   return top;
 }
 
+void Recommender::SetMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    queries_metric_ = nullptr;
+    deadline_metric_ = nullptr;
+    latency_metric_ = nullptr;
+    return;
+  }
+  queries_metric_ = registry->GetCounter("ranker.queries_total");
+  deadline_metric_ = registry->GetCounter("ranker.deadline_exceeded_total");
+  latency_metric_ =
+      registry->GetHistogram("ranker.query.latency_us", LatencyBucketsUs());
+}
+
 Result<std::vector<ScoredItem>> Recommender::Recommend(
     UserId u, size_t k, const QueryOptions& options) const {
   if (u < 0 || u >= model_.num_users()) {
     return Status::OutOfRange("unknown user id " + std::to_string(u));
   }
+  if (queries_metric_ != nullptr) queries_metric_->Inc();
+  TraceSpan span(latency_metric_);
   std::vector<double> score_buf;
   std::vector<bool> excluded;
-  return RecommendOne(u, k, options, DeadlineFrom(options), &score_buf,
-                      &excluded);
+  auto out = RecommendOne(u, k, options, DeadlineFrom(options), &score_buf,
+                          &excluded);
+  span.Stop();
+  if (deadline_metric_ != nullptr &&
+      out.status().code() == StatusCode::kDeadlineExceeded) {
+    deadline_metric_->Inc();
+  }
+  return out;
 }
 
 Result<BatchReply> Recommender::RecommendBatchPartial(
@@ -189,6 +211,12 @@ Result<BatchReply> Recommender::RecommendBatchPartial(
 
   for (uint8_t c : reply.complete) reply.num_complete += c;
   reply.deadline_exceeded = reply.num_complete < users.size();
+  if (queries_metric_ != nullptr) {
+    queries_metric_->Inc(static_cast<int64_t>(users.size()));
+    if (reply.deadline_exceeded && deadline_metric_ != nullptr) {
+      deadline_metric_->Inc();
+    }
+  }
   return reply;
 }
 

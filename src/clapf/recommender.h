@@ -10,6 +10,7 @@
 
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/obs/metrics.h"
 #include "clapf/util/status.h"
 #include "clapf/util/top_k.h"
 
@@ -118,6 +119,13 @@ class Recommender {
   /// Persists the underlying model.
   Status Save(const std::string& model_path) const;
 
+  /// Routes ranker telemetry into `registry`: ranker.queries_total, the
+  /// ranker.query.latency_us histogram, and ranker.deadline_exceeded_total.
+  /// Null (default state) disables instrumentation. The registry is not
+  /// owned and must outlive every query; copies of the recommender share
+  /// the same handles.
+  void SetMetrics(MetricsRegistry* registry);
+
   int32_t num_users() const { return model_.num_users(); }
   int32_t num_items() const { return model_.num_items(); }
   const FactorModel& model() const { return model_; }
@@ -139,6 +147,10 @@ class Recommender {
   FactorModel model_;
   Dataset history_;
   std::vector<double> popularity_;  // cold-start fallback scores
+  // Telemetry handles (null = off); see SetMetrics.
+  Counter* queries_metric_ = nullptr;
+  Counter* deadline_metric_ = nullptr;
+  Histogram* latency_metric_ = nullptr;
 };
 
 }  // namespace clapf

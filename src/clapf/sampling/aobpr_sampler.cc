@@ -27,13 +27,24 @@ AobprPairSampler::AobprPairSampler(const Dataset* dataset,
     refresh_interval_ = static_cast<int64_t>(
         std::max(256.0, m * std::ceil(std::log2(m)) / 8.0));
   }
+  if (options_.metrics != nullptr) {
+    draws_metric_ = options_.metrics->GetCounter("sampler.aobpr.draws_total");
+    rebuilds_metric_ =
+        options_.metrics->GetCounter("sampler.aobpr.rebuilds_total");
+    fallbacks_metric_ =
+        options_.metrics->GetCounter("sampler.aobpr.uniform_fallbacks_total");
+    depth_metric_ = options_.metrics->GetHistogram(
+        "sampler.aobpr.negative_draw_depth", DrawDepthBuckets());
+  }
 }
 
 PairSample AobprPairSampler::Sample() {
   if (++draws_since_refresh_ >= refresh_interval_) {
     rank_list_.Refresh();
     draws_since_refresh_ = 0;
+    if (rebuilds_metric_ != nullptr) rebuilds_metric_->Inc();
   }
+  if (draws_metric_ != nullptr) draws_metric_->Inc();
 
   PairSample p;
   p.u = active_users_[rng_.Uniform(active_users_.size())];
@@ -49,10 +60,14 @@ PairSample AobprPairSampler::Sample() {
     size_t pos = geometric_.Sample(m, rng_);
     ItemId j = rank_list_.ItemAt(q, pos, reversed);
     if (!dataset_->IsObserved(p.u, j)) {
+      if (depth_metric_ != nullptr) {
+        depth_metric_->Record(static_cast<double>(pos + 1));
+      }
       p.j = j;
       return p;
     }
   }
+  if (fallbacks_metric_ != nullptr) fallbacks_metric_->Inc();
   p.j = SampleUnobservedUniform(*dataset_, p.u, rng_);
   return p;
 }

@@ -6,6 +6,7 @@
 
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/obs/metrics.h"
 #include "clapf/sampling/geometric.h"
 #include "clapf/sampling/rank_list.h"
 #include "clapf/sampling/sampler.h"
@@ -22,6 +23,11 @@ class AobprPairSampler : public PairSampler {
     double tail_fraction = 0.2;
     /// Draws between rank-list rebuilds; 0 = auto (same rule as DSS).
     int64_t refresh_interval = 0;
+    /// Telemetry sink; null disables sampler metrics. Emits
+    /// sampler.aobpr.draws_total, sampler.aobpr.rebuilds_total,
+    /// sampler.aobpr.uniform_fallbacks_total, and the
+    /// sampler.aobpr.negative_draw_depth histogram. Not owned.
+    MetricsRegistry* metrics = nullptr;
   };
 
   AobprPairSampler(const Dataset* dataset, const FactorModel* model,
@@ -40,6 +46,11 @@ class AobprPairSampler : public PairSampler {
   GeometricRankSampler geometric_;
   int64_t draws_since_refresh_ = 0;
   int64_t refresh_interval_ = 0;
+  // Telemetry handles (null when options_.metrics is null).
+  Counter* draws_metric_ = nullptr;
+  Counter* rebuilds_metric_ = nullptr;
+  Counter* fallbacks_metric_ = nullptr;
+  Histogram* depth_metric_ = nullptr;
 };
 
 }  // namespace clapf

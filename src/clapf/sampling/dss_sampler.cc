@@ -27,6 +27,15 @@ DssSampler::DssSampler(const Dataset* dataset, const FactorModel* model,
     refresh_interval_ = static_cast<int64_t>(
         std::max(256.0, m * std::ceil(std::log2(m)) / 8.0));
   }
+  if (options_.metrics != nullptr) {
+    draws_metric_ = options_.metrics->GetCounter("sampler.dss.draws_total");
+    rebuilds_metric_ =
+        options_.metrics->GetCounter("sampler.dss.rebuilds_total");
+    fallbacks_metric_ =
+        options_.metrics->GetCounter("sampler.dss.uniform_fallbacks_total");
+    depth_metric_ = options_.metrics->GetHistogram(
+        "sampler.dss.negative_draw_depth", DrawDepthBuckets());
+  }
 }
 
 const char* DssSampler::name() const {
@@ -40,6 +49,7 @@ void DssSampler::MaybeRefresh() {
   if (++draws_since_refresh_ >= refresh_interval_) {
     rank_list_.Refresh();
     draws_since_refresh_ = 0;
+    if (rebuilds_metric_ != nullptr) rebuilds_metric_->Inc();
   }
 }
 
@@ -72,13 +82,20 @@ ItemId DssSampler::SampleUnobservedAdaptive(UserId u, int32_t q,
   for (int attempt = 0; attempt < 64; ++attempt) {
     size_t pos = geometric_.Sample(m, rng_);
     ItemId j = rank_list_.ItemAt(q, pos, reversed);
-    if (!dataset_->IsObserved(u, j)) return j;
+    if (!dataset_->IsObserved(u, j)) {
+      if (depth_metric_ != nullptr) {
+        depth_metric_->Record(static_cast<double>(pos + 1));
+      }
+      return j;
+    }
   }
+  if (fallbacks_metric_ != nullptr) fallbacks_metric_->Inc();
   return SampleUnobservedUniform(*dataset_, u, rng_);
 }
 
 Triple DssSampler::Sample() {
   MaybeRefresh();
+  if (draws_metric_ != nullptr) draws_metric_->Inc();
 
   Triple t;
   t.u = active_users_[rng_.Uniform(active_users_.size())];

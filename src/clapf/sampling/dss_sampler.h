@@ -6,6 +6,7 @@
 
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/obs/metrics.h"
 #include "clapf/sampling/geometric.h"
 #include "clapf/sampling/rank_list.h"
 #include "clapf/sampling/sampler.h"
@@ -31,6 +32,12 @@ struct DssOptions {
   /// Draws between rank-list rebuilds; 0 = auto (m * ceil(log2(m)) / 8,
   /// echoing the paper's log(m)-scaled reset rule at single-draw granularity).
   int64_t refresh_interval = 0;
+  /// Telemetry sink; null disables sampler metrics. When set, the sampler
+  /// emits sampler.dss.draws_total, sampler.dss.rebuilds_total,
+  /// sampler.dss.uniform_fallbacks_total, and the
+  /// sampler.dss.negative_draw_depth histogram (geometric rank position of
+  /// each accepted adaptive negative). Not owned; must outlive the sampler.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Double Sampling Strategy (paper §5.2): item i is uniform over I_u^+; the
@@ -75,6 +82,11 @@ class DssSampler : public TripleSampler {
   GeometricRankSampler geometric_;
   int64_t draws_since_refresh_ = 0;
   int64_t refresh_interval_ = 0;
+  // Telemetry handles (null when options_.metrics is null).
+  Counter* draws_metric_ = nullptr;
+  Counter* rebuilds_metric_ = nullptr;
+  Counter* fallbacks_metric_ = nullptr;
+  Histogram* depth_metric_ = nullptr;
   // Scratch for per-user observed-item selection.
   std::vector<std::pair<double, ItemId>> scratch_;
 };

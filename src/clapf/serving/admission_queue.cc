@@ -15,9 +15,16 @@ namespace {
 constexpr std::chrono::milliseconds kQueueStallSleep(20);
 }  // namespace
 
-AdmissionQueue::AdmissionQueue(int num_threads, int64_t max_depth)
+AdmissionQueue::AdmissionQueue(int num_threads, int64_t max_depth,
+                               MetricsRegistry* metrics)
     : pool_(num_threads), max_depth_(max_depth) {
   CLAPF_CHECK(max_depth >= 1);
+  if (metrics == nullptr) {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_registry_.get();
+  }
+  admitted_ = metrics->GetCounter("serving.admission.admitted_total");
+  shed_ = metrics->GetCounter("serving.admission.shed_total");
 }
 
 Status AdmissionQueue::Submit(std::function<void()> task) {
@@ -29,12 +36,12 @@ Status AdmissionQueue::Submit(std::function<void()> task) {
     task();
   };
   if (!pool_.TrySubmit(std::move(wrapped), max_depth_)) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_->Inc();
     return Status::Unavailable(
         "admission queue full (" + std::to_string(max_depth_) +
         " in flight); request shed");
   }
-  admitted_.fetch_add(1, std::memory_order_relaxed);
+  admitted_->Inc();
   return Status::OK();
 }
 

@@ -1,10 +1,11 @@
 #ifndef CLAPF_SERVING_ADMISSION_QUEUE_H_
 #define CLAPF_SERVING_ADMISSION_QUEUE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
+#include "clapf/obs/metrics.h"
 #include "clapf/util/status.h"
 #include "clapf/util/thread_pool.h"
 
@@ -19,7 +20,11 @@ namespace clapf {
 class AdmissionQueue {
  public:
   /// Pool of `num_threads` workers admitting at most `max_depth` tasks.
-  AdmissionQueue(int num_threads, int64_t max_depth);
+  /// Lifetime counters land in `metrics` (`serving.admission.admitted_total`
+  /// / `serving.admission.shed_total`); pass null to use a private registry,
+  /// which keeps the admitted()/shed() accessors working standalone.
+  AdmissionQueue(int num_threads, int64_t max_depth,
+                 MetricsRegistry* metrics = nullptr);
 
   /// Admits `task` unless the queue is at `max_depth`. On admission the task
   /// will run on a pool worker; on refusal returns Unavailable and `task` is
@@ -34,16 +39,15 @@ class AdmissionQueue {
   int64_t max_depth() const { return max_depth_; }
 
   /// Lifetime counters for observability.
-  int64_t admitted() const {
-    return admitted_.load(std::memory_order_relaxed);
-  }
-  int64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  int64_t admitted() const { return admitted_->Value(); }
+  int64_t shed() const { return shed_->Value(); }
 
  private:
   ThreadPool pool_;
   int64_t max_depth_;
-  std::atomic<int64_t> admitted_{0};
-  std::atomic<int64_t> shed_{0};
+  std::unique_ptr<MetricsRegistry> owned_registry_;  // null when shared
+  Counter* admitted_;
+  Counter* shed_;
 };
 
 }  // namespace clapf

@@ -10,6 +10,7 @@
 #include "clapf/data/split.h"
 #include "clapf/eval/sampled_evaluator.h"
 #include "clapf/model/model_io.h"
+#include "clapf/obs/trace_span.h"
 #include "clapf/util/fault_injection.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/top_k.h"
@@ -19,7 +20,13 @@ namespace clapf {
 ModelServer::ModelServer(Dataset history, const ServerOptions& options)
     : history_(std::move(history)),
       options_(options),
-      queue_(std::max(1, options.num_threads), options.max_queue_depth) {
+      query_latency_(metrics_.GetHistogram("serving.query.latency_us",
+                                           LatencyBucketsUs())),
+      batch_latency_(metrics_.GetHistogram("serving.batch.latency_us",
+                                           LatencyBucketsUs())),
+      queue_(std::max(1, options.num_threads), options.max_queue_depth,
+             &metrics_),
+      stats_(&metrics_) {
   auto counts = history_.ItemPopularity();
   popularity_.assign(counts.begin(), counts.end());
   if (options_.canary.enabled && options_.canary.min_auc > 0.0) {
@@ -90,6 +97,7 @@ Status ModelServer::Publish(FactorModel candidate) {
     stats_.RecordCanaryReject();
     return rec.status();
   }
+  rec->SetMetrics(&metrics_);
 
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
@@ -226,6 +234,7 @@ Result<BatchReply> ModelServer::ServeBatch(std::span<const UserId> users,
 Result<std::vector<ScoredItem>> ModelServer::Recommend(
     UserId u, size_t k, const QueryOptions& options) {
   stats_.RecordQuery();
+  TraceSpan span(query_latency_);
   std::promise<Result<std::vector<ScoredItem>>> promise;
   auto future = promise.get_future();
   Status admitted = queue_.Submit(
@@ -233,10 +242,14 @@ Result<std::vector<ScoredItem>> ModelServer::Recommend(
         promise.set_value(ServeOne(u, k, options));
       });
   if (!admitted.ok()) {
+    // Shed requests never ran; their (near-zero) latency would only skew
+    // the serving distribution, so the span is abandoned, not recorded.
+    span.Cancel();
     stats_.RecordShed();
     return admitted;
   }
   auto out = future.get();
+  span.Stop();
   RecordOutcome(out.status());
   return out;
 }
@@ -245,6 +258,7 @@ Result<BatchReply> ModelServer::RecommendBatch(std::span<const UserId> users,
                                                size_t k,
                                                const QueryOptions& options) {
   stats_.RecordQuery();
+  TraceSpan span(batch_latency_);
   std::promise<Result<BatchReply>> promise;
   auto future = promise.get_future();
   Status admitted = queue_.Submit(
@@ -252,10 +266,12 @@ Result<BatchReply> ModelServer::RecommendBatch(std::span<const UserId> users,
         promise.set_value(ServeBatch(users, k, options));
       });
   if (!admitted.ok()) {
+    span.Cancel();
     stats_.RecordShed();
     return admitted;
   }
   auto out = future.get();
+  span.Stop();
   if (out.ok() && out->deadline_exceeded) {
     RecordOutcome(Status::DeadlineExceeded("partial batch"));
   } else {

@@ -10,6 +10,7 @@
 
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/obs/metrics.h"
 #include "clapf/recommender.h"
 #include "clapf/serving/admission_queue.h"
 #include "clapf/serving/serving_stats.h"
@@ -118,6 +119,13 @@ class ModelServer {
   /// Point-in-time copy of all serving counters.
   ServingStatsSnapshot stats() const;
 
+  /// The server's metrics registry: every serving counter plus the
+  /// serving.query.latency_us / serving.batch.latency_us histograms and the
+  /// admission/ranker instrumentation. Snapshot or export it to scrape the
+  /// server (see ExportPrometheusText / WriteMetricsJsonFile).
+  const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry* mutable_metrics() { return &metrics_; }
+
   const Dataset& history() const { return history_; }
 
  private:
@@ -165,6 +173,11 @@ class ModelServer {
   int64_t window_queries_ = 0;
   int64_t window_errors_ = 0;
 
+  // Declared before queue_/stats_/the latency handles: they are all views
+  // into this registry and member construction follows declaration order.
+  MetricsRegistry metrics_;
+  Histogram* query_latency_;  // serving.query.latency_us
+  Histogram* batch_latency_;  // serving.batch.latency_us
   AdmissionQueue queue_;
   ServingStats stats_;
 };

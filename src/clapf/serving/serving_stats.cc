@@ -1,5 +1,7 @@
 #include "clapf/serving/serving_stats.h"
 
+#include "clapf/util/logging.h"
+
 namespace clapf {
 
 std::string ServingStatsSnapshot::ToString() const {
@@ -24,19 +26,34 @@ std::string ServingStatsSnapshot::ToString() const {
   return out;
 }
 
+ServingStats::ServingStats(MetricsRegistry* registry) {
+  CLAPF_CHECK(registry != nullptr);
+  queries_ = registry->GetCounter("serving.queries_total");
+  ok_ = registry->GetCounter("serving.ok_total");
+  deadline_exceeded_ = registry->GetCounter("serving.deadline_exceeded_total");
+  shed_ = registry->GetCounter("serving.shed_total");
+  internal_errors_ = registry->GetCounter("serving.internal_errors_total");
+  client_errors_ = registry->GetCounter("serving.client_errors_total");
+  degraded_ = registry->GetCounter("serving.degraded_total");
+  publishes_ = registry->GetCounter("serving.publishes_total");
+  canary_rejects_ = registry->GetCounter("serving.canary_rejects_total");
+  rollbacks_ = registry->GetCounter("serving.rollbacks_total");
+  breaker_trips_ = registry->GetCounter("serving.breaker_trips_total");
+}
+
 ServingStatsSnapshot ServingStats::Snapshot() const {
   ServingStatsSnapshot s;
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.ok = ok_.load(std::memory_order_relaxed);
-  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
-  s.client_errors = client_errors_.load(std::memory_order_relaxed);
-  s.degraded = degraded_.load(std::memory_order_relaxed);
-  s.publishes = publishes_.load(std::memory_order_relaxed);
-  s.canary_rejects = canary_rejects_.load(std::memory_order_relaxed);
-  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
-  s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  s.queries = queries_->Value();
+  s.ok = ok_->Value();
+  s.deadline_exceeded = deadline_exceeded_->Value();
+  s.shed = shed_->Value();
+  s.internal_errors = internal_errors_->Value();
+  s.client_errors = client_errors_->Value();
+  s.degraded = degraded_->Value();
+  s.publishes = publishes_->Value();
+  s.canary_rejects = canary_rejects_->Value();
+  s.rollbacks = rollbacks_->Value();
+  s.breaker_trips = breaker_trips_->Value();
   return s;
 }
 

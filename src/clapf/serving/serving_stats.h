@@ -1,9 +1,10 @@
 #ifndef CLAPF_SERVING_SERVING_STATS_H_
 #define CLAPF_SERVING_SERVING_STATS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "clapf/obs/metrics.h"
 
 namespace clapf {
 
@@ -27,42 +28,44 @@ struct ServingStatsSnapshot {
   std::string ToString() const;
 };
 
-/// Lock-free per-outcome counters for the serving layer. All increments are
-/// relaxed atomics: the counters are observability, not synchronization, so
+/// Thin view over the serving-outcome counters in a MetricsRegistry
+/// (`serving.queries_total`, `serving.ok_total`, ...). The Record* methods
+/// are relaxed sharded increments — observability, not synchronization — so
 /// a snapshot taken mid-burst may be internally skewed by in-flight queries
-/// but every count is eventually exact.
+/// but every count is eventually exact. Keeping this class (rather than
+/// having callers hit the registry by name) preserves the stats() API and
+/// gives serving outcomes a typo-proof, compile-checked vocabulary.
 class ServingStats {
  public:
-  void RecordQuery() { Bump(&queries_); }
-  void RecordOk() { Bump(&ok_); }
-  void RecordDeadlineExceeded() { Bump(&deadline_exceeded_); }
-  void RecordShed() { Bump(&shed_); }
-  void RecordInternalError() { Bump(&internal_errors_); }
-  void RecordClientError() { Bump(&client_errors_); }
-  void RecordDegraded() { Bump(&degraded_); }
-  void RecordPublish() { Bump(&publishes_); }
-  void RecordCanaryReject() { Bump(&canary_rejects_); }
-  void RecordRollback() { Bump(&rollbacks_); }
-  void RecordBreakerTrip() { Bump(&breaker_trips_); }
+  /// `registry` must be non-null and outlive the stats object.
+  explicit ServingStats(MetricsRegistry* registry);
+
+  void RecordQuery() { queries_->Inc(); }
+  void RecordOk() { ok_->Inc(); }
+  void RecordDeadlineExceeded() { deadline_exceeded_->Inc(); }
+  void RecordShed() { shed_->Inc(); }
+  void RecordInternalError() { internal_errors_->Inc(); }
+  void RecordClientError() { client_errors_->Inc(); }
+  void RecordDegraded() { degraded_->Inc(); }
+  void RecordPublish() { publishes_->Inc(); }
+  void RecordCanaryReject() { canary_rejects_->Inc(); }
+  void RecordRollback() { rollbacks_->Inc(); }
+  void RecordBreakerTrip() { breaker_trips_->Inc(); }
 
   ServingStatsSnapshot Snapshot() const;
 
  private:
-  static void Bump(std::atomic<int64_t>* counter) {
-    counter->fetch_add(1, std::memory_order_relaxed);
-  }
-
-  std::atomic<int64_t> queries_{0};
-  std::atomic<int64_t> ok_{0};
-  std::atomic<int64_t> deadline_exceeded_{0};
-  std::atomic<int64_t> shed_{0};
-  std::atomic<int64_t> internal_errors_{0};
-  std::atomic<int64_t> client_errors_{0};
-  std::atomic<int64_t> degraded_{0};
-  std::atomic<int64_t> publishes_{0};
-  std::atomic<int64_t> canary_rejects_{0};
-  std::atomic<int64_t> rollbacks_{0};
-  std::atomic<int64_t> breaker_trips_{0};
+  Counter* queries_;
+  Counter* ok_;
+  Counter* deadline_exceeded_;
+  Counter* shed_;
+  Counter* internal_errors_;
+  Counter* client_errors_;
+  Counter* degraded_;
+  Counter* publishes_;
+  Counter* canary_rejects_;
+  Counter* rollbacks_;
+  Counter* breaker_trips_;
 };
 
 }  // namespace clapf

@@ -14,4 +14,6 @@ double Stopwatch::ElapsedSeconds() const {
 
 double Stopwatch::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+double Stopwatch::ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
 }  // namespace clapf

@@ -5,7 +5,10 @@
 
 namespace clapf {
 
-/// Wall-clock stopwatch. Starts running on construction.
+/// Monotonic elapsed-time stopwatch. Starts running on construction.
+/// Backed by std::chrono::steady_clock — measured intervals never jump when
+/// the system (wall) clock is adjusted, which is what makes readings safe to
+/// feed into latency histograms.
 class Stopwatch {
  public:
   Stopwatch();
@@ -18,6 +21,10 @@ class Stopwatch {
 
   /// Milliseconds elapsed.
   double ElapsedMillis() const;
+
+  /// Microseconds elapsed — the unit the observability latency histograms
+  /// record in (see clapf/obs/).
+  double ElapsedMicros() const;
 
  private:
   std::chrono::steady_clock::time_point start_;

@@ -1,0 +1,113 @@
+// Golden tests pinning the exact exporter output byte-for-byte. If one of
+// these fails, the export format changed — that is a breaking change for
+// anything scraping the files, so update the goldens deliberately.
+
+#include "clapf/obs/exporter.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clapf/obs/metrics.h"
+
+namespace clapf {
+namespace {
+
+TEST(FormatMetricValueTest, ShortestRoundTrip) {
+  EXPECT_EQ(FormatMetricValue(0.0), "0");
+  EXPECT_EQ(FormatMetricValue(1.0), "1");
+  EXPECT_EQ(FormatMetricValue(42.0), "42");
+  EXPECT_EQ(FormatMetricValue(0.5), "0.5");
+  EXPECT_EQ(FormatMetricValue(0.1), "0.1");
+  EXPECT_EQ(FormatMetricValue(-1.25), "-1.25");
+  EXPECT_EQ(FormatMetricValue(1e6), "1e+06");
+}
+
+TEST(FormatMetricValueTest, NonFinite) {
+  EXPECT_EQ(FormatMetricValue(std::numeric_limits<double>::quiet_NaN()),
+            "nan");
+  EXPECT_EQ(FormatMetricValue(std::numeric_limits<double>::infinity()),
+            "inf");
+  EXPECT_EQ(FormatMetricValue(-std::numeric_limits<double>::infinity()),
+            "-inf");
+}
+
+// One registry covering all three metric kinds, with values chosen so every
+// formatting path (integer counter, fractional gauge, fractional bucket
+// bound, cumulative bucket counts, overflow bucket) appears in the output.
+void PopulateRegistry(MetricsRegistry* registry) {
+  registry->GetCounter("sgd.updates_total")->Inc(42);
+  registry->GetGauge("sgd.epoch_loss")->Set(0.5);
+  const std::vector<double> bounds = {1.0, 2.5, 10.0};
+  Histogram* h = registry->GetHistogram("serving.query.latency_us", bounds);
+  h->Record(0.5);    // bucket le="1"
+  h->Record(2.5);    // bucket le="2.5" (inclusive)
+  h->Record(100.0);  // overflow
+}
+
+// Snapshot order is sorted by raw name: "serving..." < "sgd..." ('e' < 'g').
+constexpr char kGoldenPrometheus[] =
+    "# TYPE clapf_serving_query_latency_us histogram\n"
+    "clapf_serving_query_latency_us_bucket{le=\"1\"} 1\n"
+    "clapf_serving_query_latency_us_bucket{le=\"2.5\"} 2\n"
+    "clapf_serving_query_latency_us_bucket{le=\"10\"} 2\n"
+    "clapf_serving_query_latency_us_bucket{le=\"+Inf\"} 3\n"
+    "clapf_serving_query_latency_us_sum 103\n"
+    "clapf_serving_query_latency_us_count 3\n"
+    "# TYPE clapf_sgd_epoch_loss gauge\n"
+    "clapf_sgd_epoch_loss 0.5\n"
+    "# TYPE clapf_sgd_updates_total counter\n"
+    "clapf_sgd_updates_total 42\n";
+
+constexpr char kGoldenJson[] =
+    "{\"counters\":{\"sgd.updates_total\":42},"
+    "\"gauges\":{\"sgd.epoch_loss\":0.5},"
+    "\"histograms\":{\"serving.query.latency_us\":{"
+    "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":2.5,\"count\":1},"
+    "{\"le\":10,\"count\":0},{\"le\":\"+Inf\",\"count\":1}],"
+    "\"count\":3,\"sum\":103}}}";
+
+TEST(ExporterGoldenTest, PrometheusTextMatchesExactly) {
+  MetricsRegistry registry;
+  PopulateRegistry(&registry);
+  EXPECT_EQ(ExportPrometheusText(registry), kGoldenPrometheus);
+}
+
+TEST(ExporterGoldenTest, JsonMatchesExactly) {
+  MetricsRegistry registry;
+  PopulateRegistry(&registry);
+  EXPECT_EQ(ExportJson(registry), kGoldenJson);
+}
+
+TEST(ExporterGoldenTest, ExportIsDeterministicAcrossCalls) {
+  MetricsRegistry registry;
+  PopulateRegistry(&registry);
+  EXPECT_EQ(ExportPrometheusText(registry), ExportPrometheusText(registry));
+  EXPECT_EQ(ExportJson(registry), ExportJson(registry));
+}
+
+TEST(ExporterGoldenTest, EmptyRegistryExports) {
+  MetricsRegistry registry;
+  EXPECT_EQ(ExportPrometheusText(registry), "");
+  EXPECT_EQ(ExportJson(registry),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ExporterGoldenTest, WriteMetricsJsonFileRoundTrips) {
+  MetricsRegistry registry;
+  PopulateRegistry(&registry);
+  const std::string path = ::testing::TempDir() + "/metrics_dump.json";
+  ASSERT_TRUE(WriteMetricsJsonFile(registry, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), std::string(kGoldenJson) + "\n");
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,207 @@
+// MetricsRegistry unit + property tests: counter/gauge/histogram semantics,
+// handle identity, snapshot determinism, and the shard-merge invariants the
+// exporters and golden tests rely on.
+
+#include "clapf/obs/metrics.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clapf/util/random.h"
+
+namespace clapf {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter_total");
+  EXPECT_EQ(c->Value(), 0);
+  c->Inc();
+  c->Inc(41);
+  EXPECT_EQ(c->Value(), 42);
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0);
+}
+
+TEST(CounterTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.counter_total");
+  Counter* b = registry.GetCounter("test.counter_total");
+  EXPECT_EQ(a, b);
+  a->Inc(7);
+  EXPECT_EQ(b->Value(), 7);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.gauge");
+  EXPECT_EQ(g->Value(), 0.0);
+  g->Set(3.5);
+  g->Set(-1.25);
+  EXPECT_EQ(g->Value(), -1.25);
+  g->Reset();
+  EXPECT_EQ(g->Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketSemanticsAreLeInclusive) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0, 2.0, 5.0};
+  Histogram* h = registry.GetHistogram("test.hist", bounds);
+  h->Record(0.5);  // <= 1       -> bucket 0
+  h->Record(1.0);  // == bound 0 -> bucket 0 (le-inclusive)
+  h->Record(1.5);  // <= 2       -> bucket 1
+  h->Record(5.0);  // == bound 2 -> bucket 2
+  h->Record(9.0);  // > 5        -> overflow
+  HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_EQ(snap.counts[3], 1);
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 5.0 + 9.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0, 2.0};
+  Histogram* h = registry.GetHistogram("test.hist", bounds);
+  h->Record(0.5);
+  h->Record(10.0);
+  h->Reset();
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.sum, 0.0);
+  for (int64_t c : snap.counts) EXPECT_EQ(c, 0);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0};
+  registry.GetCounter("zebra.count_total");
+  registry.GetGauge("alpha.gauge");
+  registry.GetHistogram("middle.hist", bounds);
+  std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha.gauge");
+  EXPECT_EQ(snap[1].name, "middle.hist");
+  EXPECT_EQ(snap[2].name, "zebra.count_total");
+}
+
+TEST(RegistryTest, ResetValuesKeepsRegistrations) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0};
+  registry.GetCounter("a_total")->Inc(5);
+  registry.GetGauge("b")->Set(2.0);
+  registry.GetHistogram("c", bounds)->Record(0.5);
+  registry.ResetValues();
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.GetCounter("a_total")->Value(), 0);
+  EXPECT_EQ(registry.GetGauge("b")->Value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("c", bounds)->Snapshot().count, 0);
+}
+
+TEST(RegistryTest, DefaultIsASingleton) {
+  MetricsRegistry* a = &MetricsRegistry::Default();
+  MetricsRegistry* b = &MetricsRegistry::Default();
+  EXPECT_EQ(a, b);
+}
+
+// Property: for any sequence of recorded values, per-bucket counts sum to
+// the total count, and the bucket assignment matches a reference
+// implementation computed directly from the bounds.
+TEST(HistogramPropertyTest, BucketCountsSumToTotalAndMatchReference) {
+  MetricsRegistry registry;
+  const std::span<const double> bounds = LatencyBucketsUs();
+  Histogram* h = registry.GetHistogram("prop.hist", bounds);
+
+  Rng rng(20260805);
+  constexpr int kSamples = 20000;
+  std::vector<int64_t> reference(bounds.size() + 1, 0);
+  double ref_sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    // Log-uniform over ~7 decades so every bucket (and the overflow) is hit.
+    const double v = std::exp(rng.NextDouble() * 16.0);
+    h->Record(v);
+    ref_sum += v;
+    size_t b = 0;
+    while (b < bounds.size() && v > bounds[b]) ++b;
+    ++reference[b];
+  }
+
+  HistogramSnapshot snap = h->Snapshot();
+  int64_t bucket_total = 0;
+  for (size_t b = 0; b < snap.counts.size(); ++b) {
+    EXPECT_EQ(snap.counts[b], reference[b]) << "bucket " << b;
+    bucket_total += snap.counts[b];
+  }
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_EQ(snap.count, kSamples);
+  EXPECT_NEAR(snap.sum, ref_sum, std::abs(ref_sum) * 1e-12);
+}
+
+// Property: recording a value set sharded across 8 threads yields exactly
+// the per-bucket counts of recording it serially — the shard merge loses
+// nothing. (The sum is compared with a tolerance: atomic adds from
+// different threads reassociate the floating-point accumulation.)
+TEST(HistogramPropertyTest, ShardedRecordingEqualsSerial) {
+  const std::vector<double> bounds = {1.0, 10.0, 100.0, 1000.0};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+
+  // Pre-generate one deterministic value set.
+  std::vector<double> values;
+  values.reserve(kThreads * kPerThread);
+  Rng rng(77);
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    values.push_back(std::exp(rng.NextDouble() * 8.0));
+  }
+
+  MetricsRegistry serial_registry;
+  Histogram* serial = serial_registry.GetHistogram("h", bounds);
+  for (double v : values) serial->Record(v);
+
+  MetricsRegistry sharded_registry;
+  Histogram* sharded = sharded_registry.GetHistogram("h", bounds);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&values, sharded, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sharded->Record(values[static_cast<size_t>(t * kPerThread + i)]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  HistogramSnapshot a = serial->Snapshot();
+  HistogramSnapshot b = sharded->Snapshot();
+  ASSERT_EQ(a.counts.size(), b.counts.size());
+  for (size_t i = 0; i < a.counts.size(); ++i) {
+    EXPECT_EQ(a.counts[i], b.counts[i]) << "bucket " << i;
+  }
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_NEAR(a.sum, b.sum, std::abs(a.sum) * 1e-9);
+}
+
+// Property: counters sharded across threads merge to the exact serial total.
+TEST(CounterPropertyTest, ShardedIncrementsMergeExactly) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("prop.counter_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(), static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace clapf

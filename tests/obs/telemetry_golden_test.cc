@@ -1,0 +1,153 @@
+// End-to-end telemetry regression: trains BPR and CLAPF-MAP for exactly
+// three epochs on a fixed synthetic dataset with num_threads = 1 (the
+// bit-reproducible serial path) and requires the emitted training metrics —
+// epoch loss, update counts, sampler rebuild/draw statistics — to match a
+// checked-in snapshot byte-for-byte.
+//
+// If an intentional change shifts the telemetry (new metric, changed loss
+// sampling, different sampler draw sequence), regenerate the goldens with
+//
+//   CLAPF_UPDATE_GOLDEN=1 ctest -R TelemetryGolden
+//
+// and review the diff like any other behavioral change.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "clapf/baselines/bpr.h"
+#include "clapf/core/clapf_trainer.h"
+#include "clapf/data/synthetic.h"
+#include "clapf/obs/exporter.h"
+#include "clapf/obs/metrics.h"
+
+#ifndef CLAPF_TEST_GOLDEN_DIR
+#error "CLAPF_TEST_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace clapf {
+namespace {
+
+// The fixed training workload: small enough to train in milliseconds, big
+// enough that every instrumented path (epoch boundaries, loss sampling, DSS
+// rebuilds) fires many times.
+Dataset MakeGoldenDataset() {
+  SyntheticConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 40;
+  cfg.num_interactions = 600;
+  cfg.seed = 42;
+  return *GenerateSynthetic(cfg);
+}
+
+// Keeps only the training-telemetry series (sgd.* and sampler.*) from a
+// Prometheus export; serving/eval metrics are absent here anyway, but the
+// filter makes the goldens robust to unrelated registry additions.
+std::string FilterTrainingMetrics(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string name = line;
+    if (name.rfind("# TYPE ", 0) == 0) name = name.substr(7);
+    if (name.rfind("clapf_sgd_", 0) == 0 ||
+        name.rfind("clapf_sampler_", 0) == 0) {
+      out << line << '\n';
+    }
+  }
+  return out.str();
+}
+
+bool UpdateGoldenRequested() {
+  const char* env = std::getenv("CLAPF_UPDATE_GOLDEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+void CompareOrBless(const std::string& golden_name,
+                    const std::string& actual) {
+  const std::string path =
+      std::string(CLAPF_TEST_GOLDEN_DIR) + "/" + golden_name;
+  if (UpdateGoldenRequested()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — generate it with CLAPF_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "telemetry drifted from " << path
+      << " — if intentional, regenerate with CLAPF_UPDATE_GOLDEN=1";
+}
+
+TEST(TelemetryGoldenTest, BprUniformThreeEpochs) {
+  Dataset train = MakeGoldenDataset();
+  MetricsRegistry registry;
+
+  BprOptions options;
+  options.sgd.iterations = 3 * train.num_interactions();  // 3 exact epochs
+  options.sgd.num_threads = 1;
+  options.sgd.seed = 7;
+  options.sgd.metrics = &registry;
+  BprTrainer trainer(options);
+  ASSERT_TRUE(trainer.Train(train).ok());
+
+  const std::string actual =
+      FilterTrainingMetrics(ExportPrometheusText(registry));
+  ASSERT_FALSE(actual.empty());
+  EXPECT_NE(actual.find("clapf_sgd_epochs_total 3\n"), std::string::npos);
+  CompareOrBless("telemetry_bpr.txt", actual);
+}
+
+TEST(TelemetryGoldenTest, ClapfMapDssThreeEpochs) {
+  Dataset train = MakeGoldenDataset();
+  MetricsRegistry registry;
+
+  ClapfOptions options;  // defaults: CLAPF-MAP variant
+  options.sampler = ClapfSamplerKind::kDss;
+  options.sgd.iterations = 3 * train.num_interactions();  // 3 exact epochs
+  options.sgd.num_threads = 1;
+  options.sgd.seed = 7;
+  options.sgd.metrics = &registry;
+  ClapfTrainer trainer(options);
+  ASSERT_TRUE(trainer.Train(train).ok());
+
+  const std::string actual =
+      FilterTrainingMetrics(ExportPrometheusText(registry));
+  ASSERT_FALSE(actual.empty());
+  EXPECT_NE(actual.find("clapf_sgd_epochs_total 3\n"), std::string::npos);
+  // The DSS sampler must have reported draws and at least one rebuild.
+  EXPECT_NE(actual.find("clapf_sampler_dss_draws_total"), std::string::npos);
+  EXPECT_NE(actual.find("clapf_sampler_dss_rebuilds_total"),
+            std::string::npos);
+  CompareOrBless("telemetry_clapf_map.txt", actual);
+}
+
+// The same workload run twice in one process must produce byte-identical
+// telemetry — the determinism claim the goldens rest on.
+TEST(TelemetryGoldenTest, TelemetryIsDeterministicWithinProcess) {
+  Dataset train = MakeGoldenDataset();
+  std::string exports[2];
+  for (int run = 0; run < 2; ++run) {
+    MetricsRegistry registry;
+    BprOptions options;
+    options.sgd.iterations = 3 * train.num_interactions();
+    options.sgd.num_threads = 1;
+    options.sgd.seed = 7;
+    options.sgd.metrics = &registry;
+    BprTrainer trainer(options);
+    ASSERT_TRUE(trainer.Train(train).ok());
+    exports[run] = FilterTrainingMetrics(ExportPrometheusText(registry));
+  }
+  EXPECT_EQ(exports[0], exports[1]);
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,77 @@
+// TraceSpan semantics: records exactly once, Stop is idempotent, Cancel
+// suppresses the recording, and a null histogram is inert.
+
+#include "clapf/obs/trace_span.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clapf/obs/metrics.h"
+
+namespace clapf {
+namespace {
+
+TEST(TraceSpanTest, RecordsOnceAtScopeExit) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("span.latency_us", LatencyBucketsUs());
+  {
+    TraceSpan span(h);
+  }
+  EXPECT_EQ(h->Snapshot().count, 1);
+}
+
+TEST(TraceSpanTest, StopIsIdempotentAndDisarmsDestructor) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("span.latency_us", LatencyBucketsUs());
+  {
+    TraceSpan span(h);
+    span.Stop();
+    span.Stop();  // second Stop must not record again
+  }  // neither must the destructor
+  EXPECT_EQ(h->Snapshot().count, 1);
+}
+
+TEST(TraceSpanTest, CancelSuppressesRecording) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("span.latency_us", LatencyBucketsUs());
+  {
+    TraceSpan span(h);
+    span.Cancel();
+    span.Stop();  // Stop after Cancel is a no-op too
+  }
+  EXPECT_EQ(h->Snapshot().count, 0);
+}
+
+TEST(TraceSpanTest, NullHistogramIsInert) {
+  TraceSpan span(nullptr);
+  span.Stop();
+  span.Cancel();
+  EXPECT_GE(span.ElapsedMicros(), 0.0);
+  // Destructor must not crash; nothing else to assert.
+}
+
+TEST(TraceSpanTest, MeasuresElapsedTime) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("span.latency_us", LatencyBucketsUs());
+  {
+    TraceSpan span(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 1);
+  // Slept >= 2ms, so the recorded value must be >= 2000us.
+  EXPECT_GE(snap.sum, 2000.0);
+}
+
+TEST(TraceSpanTest, ElapsedMicrosIsMonotone) {
+  TraceSpan span(nullptr);
+  const double a = span.ElapsedMicros();
+  const double b = span.ElapsedMicros();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace clapf

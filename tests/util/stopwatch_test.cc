@@ -1,0 +1,55 @@
+// Stopwatch contract: monotone non-negative readings, consistent units, and
+// Reset() restarting from zero.
+
+#include "clapf/util/stopwatch.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace clapf {
+namespace {
+
+TEST(StopwatchTest, ReadingsAreNonNegativeAndMonotone) {
+  Stopwatch watch;
+  const double a = watch.ElapsedSeconds();
+  const double b = watch.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, UnitsAreConsistent) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Take the three readings as close together as possible; they can only
+  // drift forward between calls, so each coarser unit bounds the finer one
+  // from below.
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  const double micros = watch.ElapsedMicros();
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_GE(micros, millis);  // micros read later and is 1000x larger
+  EXPECT_GE(seconds, 0.005);  // slept at least 5ms
+  EXPECT_GE(micros, 5000.0);
+}
+
+TEST(StopwatchTest, MeasuresSleptInterval) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // steady_clock guarantees at least the requested sleep has elapsed; there
+  // is no meaningful upper bound on a loaded machine.
+  EXPECT_GE(watch.ElapsedMillis(), 10.0);
+}
+
+TEST(StopwatchTest, ResetRestartsFromZero) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Reset();
+  // Immediately after Reset the elapsed time must be far below the 10ms
+  // that accumulated before it.
+  EXPECT_LT(watch.ElapsedMillis(), 10.0);
+}
+
+}  // namespace
+}  // namespace clapf

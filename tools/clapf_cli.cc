@@ -6,7 +6,11 @@
 //   clapf_cli recommend --model model.clpf --dataset data.clds --user 5 --k 10
 //   clapf_cli serve     --model model.clpf --dataset data.clds --users 1,5
 //                       --deadline-us 5000 --queue-depth 32 --min-auc 0.6
+//                       --metrics-out metrics.json --metrics-every 10
 //   clapf_cli stats     --input u.data --format tab
+//
+// train/evaluate/recommend/serve accept --metrics-out <path> to dump their
+// telemetry (counters, gauges, latency histograms) as JSON.
 //
 // Formats: tab (MovieLens 100K), colons (ML1M), csv (ML20M), pairs.
 
@@ -48,9 +52,22 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Dumps `registry` as JSON to `path` when --metrics-out was given. A failed
+// dump is reported but never fails the command: telemetry is best-effort.
+void MaybeDumpMetrics(const MetricsRegistry& registry,
+                      const std::string& path) {
+  if (path.empty()) return;
+  if (Status s = WriteMetricsJsonFile(registry, path); !s.ok()) {
+    std::fprintf(stderr, "warning: metrics dump failed: %s\n",
+                 s.ToString().c_str());
+  } else {
+    std::printf("metrics written to %s\n", path.c_str());
+  }
+}
+
 int RunTrain(int argc, char** argv) {
   std::string input, format = "tab", method_name = "CLAPF-MAP";
-  std::string model_out = "model.clpf", dataset_out;
+  std::string model_out = "model.clpf", dataset_out, metrics_out;
   int64_t iterations = 500000;
   int64_t threads = 1;
   double lambda = 0.4;
@@ -69,6 +86,9 @@ int RunTrain(int argc, char** argv) {
   flags.AddString("model-out", &model_out, "model output path");
   flags.AddString("dataset-out", &dataset_out,
                   "optional .clds cache of the parsed dataset");
+  flags.AddString("metrics-out", &metrics_out,
+                  "dump training metrics (epoch loss, update counts, sampler "
+                  "stats) as JSON to this path");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
   }
@@ -85,11 +105,13 @@ int RunTrain(int argc, char** argv) {
   auto method = ParseMethodName(method_name);
   if (!method.ok()) return Fail(method.status());
 
+  MetricsRegistry metrics;
   MethodConfig config;
   config.sgd.iterations = iterations;
   config.sgd.learning_rate = 0.05;
   config.sgd.final_learning_rate_fraction = 0.05;
   config.sgd.num_threads = static_cast<int>(threads);
+  if (!metrics_out.empty()) config.sgd.metrics = &metrics;
   config.clapf_lambda = lambda;
 
   if (tune) {
@@ -107,6 +129,7 @@ int RunTrain(int argc, char** argv) {
   if (Status s = trainer->Train(*data); !s.ok()) return Fail(s);
   std::printf("trained %s in %s\n", trainer->name().c_str(),
               FormatDuration(watch.ElapsedSeconds()).c_str());
+  MaybeDumpMetrics(metrics, metrics_out);
 
   // Only factor-model methods can be persisted.
   auto* mf = dynamic_cast<FactorModelTrainer*>(trainer.get());
@@ -122,6 +145,7 @@ int RunTrain(int argc, char** argv) {
 
 int RunEvaluate(int argc, char** argv) {
   std::string model_path = "model.clpf", dataset_path, format = "tab";
+  std::string metrics_out;
   double train_fraction = 0.5;
   int64_t seed = 42;
   bool has_header = false;
@@ -133,6 +157,8 @@ int RunEvaluate(int argc, char** argv) {
   flags.AddDouble("train-fraction", &train_fraction,
                   "fraction treated as (excluded) training history");
   flags.AddInt("seed", &seed, "split seed — must match the training split");
+  flags.AddString("metrics-out", &metrics_out,
+                  "dump evaluation metrics as JSON to this path");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
   }
@@ -152,15 +178,18 @@ int RunEvaluate(int argc, char** argv) {
 
   auto split = SplitRandom(*data, train_fraction,
                            static_cast<uint64_t>(seed));
+  MetricsRegistry metrics;
   Evaluator evaluator(&split.train, &split.test);
+  if (!metrics_out.empty()) evaluator.SetMetrics(&metrics);
   EvalSummary summary = evaluator.Evaluate(*model, PaperCutoffs());
   std::printf("%s\n", summary.ToString().c_str());
+  MaybeDumpMetrics(metrics, metrics_out);
   return 0;
 }
 
 int RunRecommend(int argc, char** argv) {
   std::string model_path = "model.clpf", dataset_path, format = "tab";
-  std::string users_csv = "0", exclude_csv;
+  std::string users_csv = "0", exclude_csv, metrics_out;
   int64_t k = 10, threads = 0;
   bool has_header = false, no_cold_fallback = false;
   FlagParser flags;
@@ -177,6 +206,9 @@ int RunRecommend(int argc, char** argv) {
   flags.AddBool("no-cold-fallback", &no_cold_fallback,
                 "return empty lists for cold users instead of popularity");
   flags.AddInt("threads", &threads, "batch worker threads (0 = all cores)");
+  flags.AddString("metrics-out", &metrics_out,
+                  "dump query metrics (latency histogram, counts) as JSON to "
+                  "this path");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
   }
@@ -188,6 +220,8 @@ int RunRecommend(int argc, char** argv) {
   if (!data.ok()) return Fail(data.status());
   auto recommender = Recommender::Load(model_path, *std::move(data));
   if (!recommender.ok()) return Fail(recommender.status());
+  MetricsRegistry metrics;
+  if (!metrics_out.empty()) recommender->SetMetrics(&metrics);
 
   std::vector<UserId> users;
   for (const std::string& tok : Split(users_csv, ',')) {
@@ -216,14 +250,15 @@ int RunRecommend(int argc, char** argv) {
       std::printf("  item %-8d score %.4f\n", item.item, item.score);
     }
   }
+  MaybeDumpMetrics(metrics, metrics_out);
   return 0;
 }
 
 int RunServe(int argc, char** argv) {
   std::string model_path = "model.clpf", dataset_path, format = "tab";
-  std::string users_csv = "0";
+  std::string users_csv = "0", metrics_out;
   int64_t k = 10, threads = 2, queue_depth = 64, repeat = 1;
-  int64_t deadline_us = 0;
+  int64_t deadline_us = 0, metrics_every = 0;
   double min_auc = 0.0;
   bool has_header = false;
   FlagParser flags;
@@ -242,6 +277,12 @@ int RunServe(int argc, char** argv) {
   flags.AddDouble("min-auc", &min_auc,
                   "canary sampled-AUC floor for the publish gate (0 = off)");
   flags.AddInt("repeat", &repeat, "times to replay the query set");
+  flags.AddString("metrics-out", &metrics_out,
+                  "dump serving metrics (latency histograms, outcome "
+                  "counters) as JSON to this path");
+  flags.AddInt("metrics-every", &metrics_every,
+               "refresh --metrics-out every N replay rounds as well as at "
+               "exit (0 = exit only)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
   }
@@ -289,8 +330,14 @@ int RunServe(int argc, char** argv) {
         std::printf("  item %-8d score %.4f\n", item.item, item.score);
       }
     }
+    // Periodic scrape point: each dump atomically replaces the file, so a
+    // concurrent reader always sees a complete JSON document.
+    if (metrics_every > 0 && (round + 1) % metrics_every == 0) {
+      MaybeDumpMetrics(server.metrics(), metrics_out);
+    }
   }
   std::printf("serving stats: %s\n", server.stats().ToString().c_str());
+  MaybeDumpMetrics(server.metrics(), metrics_out);
   return 0;
 }
 

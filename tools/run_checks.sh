@@ -2,8 +2,10 @@
 # Full verification ladder for the repo, from cheapest to most expensive:
 #
 #   1. default preset  — build everything, run the whole ctest suite
-#   2. sanitize preset — ASan+UBSan on the fault-injection + serving drills
-#   3. tsan preset     — ThreadSanitizer on the parallel + serving drills
+#   2. sanitize preset — ASan+UBSan on the fault-injection + serving + obs
+#                        drills
+#   3. tsan preset     — ThreadSanitizer on the parallel + serving + obs
+#                        drills
 #
 # Usage:
 #   tools/run_checks.sh            # the full ladder
@@ -14,12 +16,40 @@
 # Exits non-zero on the first failing rung. Each rung configures its own
 # build directory (build/, build-sanitize/, build-tsan/) via CMake presets,
 # so rungs never contaminate each other.
+#
+# Before any rung runs, the script cross-checks the ctest labels declared in
+# tests/CMakeLists.txt against the list the ladder knows to run, and fails if
+# a label exists that no rung would exercise — so a new test suite cannot be
+# added and silently skipped by CI.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 STAGE="${1:-all}"
+
+# Every ctest label the ladder exercises. The default rung runs the entire
+# unfiltered suite; the sanitizer rungs run the labels listed in their
+# functions below. Add a new suite's label here AND to the right rung(s).
+COVERED_LABELS="faultinjection parallel serving obs"
+
+check_label_coverage() {
+  local declared missing=""
+  declared="$(sed -n 's/.*LABELS \([a-zA-Z0-9_-]*\).*/\1/p' \
+      tests/CMakeLists.txt | sort -u)"
+  for label in ${declared}; do
+    case " ${COVERED_LABELS} " in
+      *" ${label} "*) ;;
+      *) missing="${missing} ${label}" ;;
+    esac
+  done
+  if [[ -n "${missing}" ]]; then
+    echo "error: ctest label(s) declared in tests/CMakeLists.txt but not" >&2
+    echo "covered by the run_checks.sh ladder:${missing}" >&2
+    echo "add them to COVERED_LABELS and to the appropriate rung(s)" >&2
+    exit 1
+  fi
+}
 
 run_default() {
   echo "=== [1/3] default preset: full build + full test suite ==="
@@ -29,20 +59,24 @@ run_default() {
 }
 
 run_sanitize() {
-  echo "=== [2/3] sanitize preset: ASan+UBSan fault-injection + serving ==="
+  echo "=== [2/3] sanitize preset: ASan+UBSan fault-injection + serving + obs ==="
   cmake --preset sanitize >/dev/null
   cmake --build --preset sanitize -j "${JOBS}"
   ctest --preset sanitize-faultinjection
   ctest --preset sanitize-serving
+  ctest --preset sanitize-obs
 }
 
 run_tsan() {
-  echo "=== [3/3] tsan preset: ThreadSanitizer parallel + serving ==="
+  echo "=== [3/3] tsan preset: ThreadSanitizer parallel + serving + obs ==="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan-parallel
   ctest --preset tsan-serving
+  ctest --preset tsan-obs
 }
+
+check_label_coverage
 
 case "${STAGE}" in
   default)  run_default ;;
