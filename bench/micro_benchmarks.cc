@@ -17,6 +17,8 @@
 #include "clapf/data/split.h"
 #include "clapf/data/synthetic.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/model/packed_snapshot.h"
+#include "clapf/model/score_kernel.h"
 #include "clapf/obs/metrics.h"
 #include "clapf/obs/trace_span.h"
 #include "clapf/recommender.h"
@@ -180,8 +182,13 @@ BENCHMARK(BM_BprSgdIterationParallel)
     ->UseRealTime();
 
 // Batched top-k serving over a whole user cohort, sharded across a pool.
+// Second arg selects the scoring path: 0 = exact double scan, 1 = packed
+// float32 fused kernel (the serving default). The packed/exact gap at equal
+// thread count is the end-to-end speedup the packed snapshot buys
+// (recorded in results/BENCH_scoring.json; target >=2x).
 void BM_RecommendBatch(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  const bool packed = state.range(1) != 0;
   static Dataset data = BenchData(500, 2000, 25000);
   static FactorModel model = [] {
     FactorModel m(500, 2000, 20);
@@ -189,11 +196,16 @@ void BM_RecommendBatch(benchmark::State& state) {
     m.InitGaussian(rng, 0.1);
     return m;
   }();
-  static Recommender rec = *Recommender::Create(model, data);
+  static Recommender rec = [] {
+    Recommender r = *Recommender::Create(model, data);
+    CLAPF_CHECK_OK(r.EnablePacked());
+    return r;
+  }();
   std::vector<UserId> users;
   for (UserId u = 0; u < 500; ++u) users.push_back(u);
   QueryOptions options;
   options.num_threads = threads;
+  options.use_packed = packed;
   for (auto _ : state) {
     auto got = rec.RecommendBatch(users, 10, options);
     CLAPF_CHECK_OK(got.status());
@@ -201,7 +213,14 @@ void BM_RecommendBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 500);
 }
-BENCHMARK(BM_RecommendBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_RecommendBatch)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->UseRealTime();
 
 // Deadline-machinery overhead on the single-query path: Arg(0) serves with
 // no deadline (one unbounded catalog scan), Arg(1) with a generous budget
@@ -210,9 +229,11 @@ BENCHMARK(BM_RecommendBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 // deadline enforcement — it should be a few percent at most.
 void BM_RecommendDeadline(benchmark::State& state) {
   // Arg: 0 = no deadline, 1 = deadline armed, 2 = deadline armed + query
-  // telemetry (per-query counter, latency TraceSpan). The 1→2 gap is the
-  // observability cost on the serving path; the budget is <=2% (recorded in
-  // results/BENCH_obs.json).
+  // telemetry (per-query counter, latency TraceSpan), 3 = deadline armed +
+  // packed fused kernel. The 1→2 gap is the observability cost on the
+  // serving path; the budget is <=2% (recorded in results/BENCH_obs.json).
+  // The 1→3 gap is the packed speedup on the deadline-polled single-query
+  // path (recorded in results/BENCH_scoring.json).
   const int mode = static_cast<int>(state.range(0));
   static Dataset data = BenchData(500, 20000, 25000);
   static FactorModel model = [] {
@@ -228,7 +249,13 @@ void BM_RecommendDeadline(benchmark::State& state) {
     r.SetMetrics(&obs_registry);
     return r;
   }();
-  Recommender& target = mode == 2 ? obs_rec : rec;
+  static Recommender packed_rec = [] {
+    Recommender r = *Recommender::Create(model, data);
+    CLAPF_CHECK_OK(r.EnablePacked());
+    return r;
+  }();
+  Recommender& target =
+      mode == 3 ? packed_rec : (mode == 2 ? obs_rec : rec);
   QueryOptions options;
   if (mode != 0) options.deadline = std::chrono::seconds(60);
   UserId u = 0;
@@ -240,7 +267,7 @@ void BM_RecommendDeadline(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 20000);
 }
-BENCHMARK(BM_RecommendDeadline)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_RecommendDeadline)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 // Query latency while a writer hot-swaps models through the full canary
 // gate as fast as it can. Measures the RCU read path under publish churn:
@@ -291,6 +318,79 @@ void BM_ScoreAllItems(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m);
 }
 BENCHMARK(BM_ScoreAllItems)->Arg(1000)->Arg(10000)->Arg(50000);
+
+// Full-catalog scoring for one user over 20k items, exact double path, at
+// the small and large latent dimensions the packed speedup target is set
+// for. Baseline row for the packed kernels below — items/s is the
+// comparable axis (recorded in results/BENCH_scoring.json; target: packed
+// >= 2x exact at both dims).
+void BM_ScoreAllItemsExact(benchmark::State& state) {
+  const int32_t d = static_cast<int32_t>(state.range(0));
+  FactorModel model(10, 20000, d);
+  Rng rng(3);
+  model.InitGaussian(rng, 0.1);
+  std::vector<double> scores;
+  for (auto _ : state) {
+    model.ScoreAllItems(0, &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_ScoreAllItemsExact)->Arg(16)->Arg(64);
+
+// Same full-catalog scan over the packed float32 snapshot with the kernel
+// pinned (portable blocked loop vs the AVX2/FMA specialization), so the two
+// rows isolate what auto-vectorization gets for free vs what explicit
+// intrinsics add on top.
+void PackedScoreAllItems(benchmark::State& state, ScoreKernel kernel) {
+  if (!ScoreKernelSupported(kernel)) {
+    state.SkipWithError("score kernel unsupported on this CPU");
+    return;
+  }
+  const int32_t d = static_cast<int32_t>(state.range(0));
+  FactorModel model(10, 20000, d);
+  Rng rng(3);
+  model.InitGaussian(rng, 0.1);
+  const PackedSnapshot snap = PackedSnapshot::Build(model);
+  ForceScoreKernel(kernel);
+  std::vector<double> scores(20000);
+  for (auto _ : state) {
+    snap.ScoreItemRange(0, 0, 20000, &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  ClearScoreKernelOverride();
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+
+void BM_ScoreAllItemsPackedPortable(benchmark::State& state) {
+  PackedScoreAllItems(state, ScoreKernel::kPortable);
+}
+BENCHMARK(BM_ScoreAllItemsPackedPortable)->Arg(16)->Arg(64);
+
+void BM_ScoreAllItemsPackedAVX2(benchmark::State& state) {
+  PackedScoreAllItems(state, ScoreKernel::kAvx2);
+}
+BENCHMARK(BM_ScoreAllItemsPackedAVX2)->Arg(16)->Arg(64);
+
+// Fused packed score + top-k over the full catalog: one pass, no
+// materialized score vector, threshold early-reject feeding the
+// accumulator. Compare against BM_ScoreAllItemsExact + BM_TopKSelection
+// (the two-phase exact pipeline it replaces on the serving hot path).
+void BM_TopKFused(benchmark::State& state) {
+  const int32_t d = static_cast<int32_t>(state.range(0));
+  FactorModel model(10, 20000, d);
+  Rng rng(3);
+  model.InitGaussian(rng, 0.1);
+  const PackedSnapshot snap = PackedSnapshot::Build(model);
+  for (auto _ : state) {
+    TopKAccumulator acc(10);
+    ScoreBlocksTopK(snap, 0, 0, 20000, nullptr, &acc);
+    auto top = acc.Take();
+    benchmark::DoNotOptimize(top.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_TopKFused)->Arg(16)->Arg(64);
 
 void BM_TopKSelection(benchmark::State& state) {
   const size_t m = static_cast<size_t>(state.range(0));

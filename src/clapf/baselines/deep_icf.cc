@@ -106,13 +106,19 @@ Status DeepIcfTrainer::Train(const Dataset& train) {
 
 void DeepIcfTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
   CLAPF_CHECK(train_ != nullptr) << "Train() must run before ScoreItems()";
+  scores->assign(static_cast<size_t>(target_emb_->rows()), 0.0);
+  ScoreItemRange(u, 0, target_emb_->rows(), scores);
+}
+
+void DeepIcfTrainer::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                                    std::vector<double>* scores) const {
+  CLAPF_CHECK(train_ != nullptr) << "Train() must run before ScoreItemRange()";
   const int32_t e = options_.embedding_dim;
-  const int32_t m = target_emb_->rows();
-  scores->assign(static_cast<size_t>(m), 0.0);
 
   auto items = train_->ItemsOf(u);
-  // Precompute the user's full history sum once; per candidate we subtract
-  // the target's own embedding when it is part of the history.
+  // Precompute the user's history sum; per candidate we subtract the
+  // target's own embedding when it is part of the history. O(|history|·e),
+  // noise next to the per-candidate tower forward even for one block.
   std::vector<double> hist_sum(static_cast<size_t>(e), 0.0);
   for (ItemId k : items) {
     auto pk = history_emb_->Row(k);
@@ -122,7 +128,7 @@ void DeepIcfTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
   }
   pooled_.resize(static_cast<size_t>(e));
 
-  for (ItemId i = 0; i < m; ++i) {
+  for (ItemId i = begin; i < end; ++i) {
     const bool in_history = train_->IsObserved(u, i);
     const int32_t hist_count =
         static_cast<int32_t>(items.size()) - (in_history ? 1 : 0);

@@ -38,6 +38,9 @@ class DeepIcfTrainer : public Trainer {
 
   void ScoreItems(UserId u, std::vector<double>* scores) const override;
 
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const override;
+
  private:
   DeepIcfOptions options_;
   const Dataset* train_ = nullptr;  // borrowed; must outlive the trainer

@@ -1,5 +1,6 @@
 #include "clapf/baselines/ease.h"
 
+#include <algorithm>
 #include <string>
 
 #include "clapf/util/linalg.h"
@@ -62,6 +63,18 @@ void EaseTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
   for (ItemId i : train_->ItemsOf(u)) {
     const double* row = &b_[static_cast<size_t>(i) * num_items_];
     for (int32_t j = 0; j < num_items_; ++j) {
+      (*scores)[static_cast<size_t>(j)] += row[j];
+    }
+  }
+}
+
+void EaseTrainer::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                                 std::vector<double>* scores) const {
+  CLAPF_CHECK(train_ != nullptr) << "Train() must run before ScoreItemRange()";
+  std::fill(scores->begin() + begin, scores->begin() + end, 0.0);
+  for (ItemId i : train_->ItemsOf(u)) {
+    const double* row = &b_[static_cast<size_t>(i) * num_items_];
+    for (int32_t j = begin; j < end; ++j) {
       (*scores)[static_cast<size_t>(j)] += row[j];
     }
   }

@@ -33,6 +33,9 @@ class EaseTrainer : public Trainer {
 
   void ScoreItems(UserId u, std::vector<double>* scores) const override;
 
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const override;
+
   /// Learned item-item weight B[i*m + j], for tests.
   double Weight(ItemId i, ItemId j) const {
     return b_[static_cast<size_t>(i) * num_items_ + j];

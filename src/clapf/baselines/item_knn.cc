@@ -79,4 +79,18 @@ void ItemKnnTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
   }
 }
 
+void ItemKnnTrainer::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                                    std::vector<double>* scores) const {
+  CLAPF_CHECK(train_ != nullptr) << "Train() must run before ScoreItemRange()";
+  std::fill(scores->begin() + begin, scores->begin() + end, 0.0);
+  // Same scatter as the full scan, restricted to targets inside the range.
+  for (ItemId j : train_->ItemsOf(u)) {
+    for (const auto& [i, sim] : neighbors_[static_cast<size_t>(j)]) {
+      if (i >= begin && i < end) {
+        (*scores)[static_cast<size_t>(i)] += sim;
+      }
+    }
+  }
+}
+
 }  // namespace clapf

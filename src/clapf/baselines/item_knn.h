@@ -35,6 +35,9 @@ class ItemKnnTrainer : public Trainer {
 
   void ScoreItems(UserId u, std::vector<double>* scores) const override;
 
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const override;
+
   /// The kept neighbours of `i` (sorted by similarity desc), for tests.
   const std::vector<std::pair<ItemId, double>>& NeighborsOf(ItemId i) const {
     return neighbors_[static_cast<size_t>(i)];

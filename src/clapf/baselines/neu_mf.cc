@@ -122,11 +122,17 @@ Status NeuMfTrainer::Train(const Dataset& train) {
 
 void NeuMfTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
   CLAPF_CHECK(gmf_user_ != nullptr) << "Train() must run before ScoreItems()";
-  const int32_t m = gmf_item_->rows();
-  scores->resize(static_cast<size_t>(m));
+  scores->resize(static_cast<size_t>(gmf_item_->rows()));
+  ScoreItemRange(u, 0, gmf_item_->rows(), scores);
+}
+
+void NeuMfTrainer::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                                  std::vector<double>* scores) const {
+  CLAPF_CHECK(gmf_user_ != nullptr)
+      << "Train() must run before ScoreItemRange()";
   // const_cast-free: unique_ptr gives non-const access to the pointee, and
   // Forward only mutates scratch caches, not learned parameters.
-  for (ItemId i = 0; i < m; ++i) {
+  for (ItemId i = begin; i < end; ++i) {
     const int32_t e = options_.embedding_dim;
     auto pu = gmf_user_->Row(u);
     auto qi = gmf_item_->Row(i);

@@ -38,6 +38,9 @@ class NeuMfTrainer : public Trainer {
 
   void ScoreItems(UserId u, std::vector<double>* scores) const override;
 
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const override;
+
  private:
   /// Forward pass for one (u, i); fills the concat buffer used by backprop.
   double ForwardLogit(UserId u, ItemId i);

@@ -77,9 +77,15 @@ Status NeuPrTrainer::Train(const Dataset& train) {
 
 void NeuPrTrainer::ScoreItems(UserId u, std::vector<double>* scores) const {
   CLAPF_CHECK(user_emb_ != nullptr) << "Train() must run before ScoreItems()";
-  const int32_t m = item_emb_->rows();
-  scores->resize(static_cast<size_t>(m));
-  for (ItemId i = 0; i < m; ++i) {
+  scores->resize(static_cast<size_t>(item_emb_->rows()));
+  ScoreItemRange(u, 0, item_emb_->rows(), scores);
+}
+
+void NeuPrTrainer::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                                  std::vector<double>* scores) const {
+  CLAPF_CHECK(user_emb_ != nullptr)
+      << "Train() must run before ScoreItemRange()";
+  for (ItemId i = begin; i < end; ++i) {
     (*scores)[static_cast<size_t>(i)] = ForwardScore(u, i);
   }
 }

@@ -34,6 +34,9 @@ class NeuPrTrainer : public Trainer {
 
   void ScoreItems(UserId u, std::vector<double>* scores) const override;
 
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const override;
+
  private:
   double ForwardScore(UserId u, ItemId i) const;
   /// Re-runs the forward for (u, i) and backprops d(loss)/d(score) = dscore.

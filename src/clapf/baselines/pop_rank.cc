@@ -1,5 +1,7 @@
 #include "clapf/baselines/pop_rank.h"
 
+#include <algorithm>
+
 namespace clapf {
 
 Status PopRankTrainer::Train(const Dataset& train) {
@@ -11,6 +13,12 @@ Status PopRankTrainer::Train(const Dataset& train) {
 void PopRankTrainer::ScoreItems(UserId /*u*/,
                                 std::vector<double>* scores) const {
   *scores = popularity_;
+}
+
+void PopRankTrainer::ScoreItemRange(UserId /*u*/, ItemId begin, ItemId end,
+                                    std::vector<double>* scores) const {
+  std::copy(popularity_.begin() + begin, popularity_.begin() + end,
+            scores->begin() + begin);
 }
 
 }  // namespace clapf

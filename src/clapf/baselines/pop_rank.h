@@ -19,6 +19,9 @@ class PopRankTrainer : public Trainer {
 
   void ScoreItems(UserId u, std::vector<double>* scores) const override;
 
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const override;
+
   /// Item popularity counts learned from training data.
   const std::vector<double>& popularity() const { return popularity_; }
 

@@ -95,4 +95,13 @@ void RandomWalkTrainer::ScoreItems(UserId u,
   }
 }
 
+void RandomWalkTrainer::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                                       std::vector<double>* scores) const {
+  // One propagation yields the whole catalog; run it into scratch and copy
+  // the requested slice (see header comment).
+  std::vector<double> full;
+  ScoreItems(u, &full);
+  std::copy(full.begin() + begin, full.begin() + end, scores->begin() + begin);
+}
+
 }  // namespace clapf

@@ -31,6 +31,13 @@ class RandomWalkTrainer : public Trainer {
 
   void ScoreItems(UserId u, std::vector<double>* scores) const override;
 
+  /// The walk is inherently whole-catalog (one propagation yields every
+  /// item's mass at once), so the range form runs the full walk into a
+  /// scratch vector and copies out [begin, end). Still worth overriding: it
+  /// keeps the fallback counter meaningful and the copy is O(end − begin).
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const override;
+
  private:
   RandomWalkOptions options_;
   const Dataset* train_ = nullptr;  // borrowed during/after Train

@@ -52,6 +52,8 @@
 #include "clapf/eval/ranking_metrics.h"
 #include "clapf/model/factor_model.h"
 #include "clapf/model/model_io.h"
+#include "clapf/model/packed_snapshot.h"
+#include "clapf/model/score_kernel.h"
 #include "clapf/obs/exporter.h"
 #include "clapf/obs/metrics.h"
 #include "clapf/obs/trace_span.h"

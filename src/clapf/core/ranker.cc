@@ -1,0 +1,28 @@
+#include "clapf/core/ranker.h"
+
+#include <atomic>
+
+#include "clapf/obs/metrics.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+void NoteRankerRangeFallback() {
+  // The counter is maintained in every build type (the fallback path is
+  // already a full rescan, so one registry lookup is noise); the log line is
+  // debug-only and fires once per process to avoid flooding.
+  MetricsRegistry::Default()
+      .GetCounter("ranker.range_fallback_total")
+      ->Inc();
+#ifndef NDEBUG
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    CLAPF_LOG(Warning)
+        << "Ranker::ScoreItemRange base fallback fired: a ranker without a "
+           "range override rescans the whole catalog per block, defeating "
+           "deadline polling (see ranker.range_fallback_total)";
+  }
+#endif
+}
+
+}  // namespace clapf

@@ -112,6 +112,11 @@ class FactorModelTrainer : public Trainer {
     model_->ScoreAllItems(u, scores);
   }
 
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const override {
+    model_->ScoreItemRange(u, begin, end, scores);
+  }
+
  protected:
   std::unique_ptr<FactorModel> model_;
 };

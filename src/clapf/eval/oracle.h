@@ -26,6 +26,13 @@ class OracleRanker : public Ranker {
     }
   }
 
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const override {
+    for (ItemId i = begin; i < end; ++i) {
+      (*scores)[static_cast<size_t>(i)] = truth_->Affinity(u, i);
+    }
+  }
+
  private:
   const SyntheticGroundTruth* truth_;
 };

@@ -43,13 +43,7 @@ double FactorModel::Score(UserId u, ItemId i) const {
 
 void FactorModel::ScoreAllItems(UserId u, std::vector<double>* scores) const {
   scores->resize(static_cast<size_t>(num_items_));
-  const double* uf = &user_factors_[static_cast<size_t>(u) * num_factors_];
-  for (int32_t i = 0; i < num_items_; ++i) {
-    const double* vf = &item_factors_[static_cast<size_t>(i) * num_factors_];
-    double s = use_item_bias_ ? item_bias_[static_cast<size_t>(i)] : 0.0;
-    for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
-    (*scores)[static_cast<size_t>(i)] = s;
-  }
+  ScoreItemRange(u, 0, num_items_, scores);
 }
 
 void FactorModel::ScoreItemRange(UserId u, ItemId begin, ItemId end,
@@ -57,11 +51,24 @@ void FactorModel::ScoreItemRange(UserId u, ItemId begin, ItemId end,
   CLAPF_CHECK(scores->size() == static_cast<size_t>(num_items_));
   CLAPF_CHECK(begin >= 0 && begin <= end && end <= num_items_);
   const double* uf = &user_factors_[static_cast<size_t>(u) * num_factors_];
-  for (int32_t i = begin; i < end; ++i) {
-    const double* vf = &item_factors_[static_cast<size_t>(i) * num_factors_];
-    double s = use_item_bias_ ? item_bias_[static_cast<size_t>(i)] : 0.0;
-    for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
-    (*scores)[static_cast<size_t>(i)] = s;
+  // The bias test is hoisted out of the scan: one branch selects a loop
+  // body instead of every item paying it, so both bodies auto-vectorize.
+  // The arithmetic (bias first, then factor products in order) is unchanged,
+  // keeping scores bit-identical to the pre-hoist loop.
+  if (use_item_bias_) {
+    for (int32_t i = begin; i < end; ++i) {
+      const double* vf = &item_factors_[static_cast<size_t>(i) * num_factors_];
+      double s = item_bias_[static_cast<size_t>(i)];
+      for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
+      (*scores)[static_cast<size_t>(i)] = s;
+    }
+  } else {
+    for (int32_t i = begin; i < end; ++i) {
+      const double* vf = &item_factors_[static_cast<size_t>(i) * num_factors_];
+      double s = 0.0;
+      for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
+      (*scores)[static_cast<size_t>(i)] = s;
+    }
   }
 }
 
@@ -84,17 +91,27 @@ std::vector<ScoredItem> FactorModel::TopKForUser(UserId u, size_t k,
   const double* uf = &user_factors_[static_cast<size_t>(u) * num_factors_];
   auto observed = exclude != nullptr ? exclude->ItemsOf(u)
                                      : std::span<const ItemId>();
-  size_t next_observed = 0;
-  for (int32_t i = 0; i < num_items_; ++i) {
-    // `observed` is sorted, so a single forward cursor skips exclusions.
-    if (next_observed < observed.size() && observed[next_observed] == i) {
-      ++next_observed;
-      continue;
+  // The bias branch is hoisted out of the scan (one instantiation per case)
+  // so the inner product auto-vectorizes; scores are bit-identical to the
+  // pre-hoist per-item-branch loop.
+  auto scan = [&](const auto& bias_of) {
+    size_t next_observed = 0;
+    for (int32_t i = 0; i < num_items_; ++i) {
+      // `observed` is sorted, so a single forward cursor skips exclusions.
+      if (next_observed < observed.size() && observed[next_observed] == i) {
+        ++next_observed;
+        continue;
+      }
+      const double* vf = &item_factors_[static_cast<size_t>(i) * num_factors_];
+      double s = bias_of(i);
+      for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
+      acc.Push(i, s);
     }
-    const double* vf = &item_factors_[static_cast<size_t>(i) * num_factors_];
-    double s = use_item_bias_ ? item_bias_[static_cast<size_t>(i)] : 0.0;
-    for (int32_t f = 0; f < num_factors_; ++f) s += uf[f] * vf[f];
-    acc.Push(i, s);
+  };
+  if (use_item_bias_) {
+    scan([&](int32_t i) { return item_bias_[static_cast<size_t>(i)]; });
+  } else {
+    scan([](int32_t) { return 0.0; });
   }
   return acc.Take();
 }

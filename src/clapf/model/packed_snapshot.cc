@@ -1,0 +1,143 @@
+#include "clapf/model/packed_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "clapf/model/score_kernel.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+PackedSnapshot::AlignedFloats PackedSnapshot::AllocAligned(std::size_t n) {
+  // Never allocate zero bytes: a model with no users/items still gets a
+  // valid (unused) pointer so the accessors stay branch-free.
+  const std::size_t bytes = std::max<std::size_t>(n, 1) * sizeof(float);
+  return AlignedFloats(static_cast<float*>(
+      ::operator new[](bytes, std::align_val_t(kPackedAlignment))));
+}
+
+PackedSnapshot PackedSnapshot::Build(const FactorModel& model) {
+  PackedSnapshot snap;
+  snap.num_users_ = model.num_users();
+  snap.num_items_ = model.num_items();
+  snap.num_factors_ = model.num_factors();
+  snap.use_item_bias_ = model.use_item_bias();
+  snap.num_blocks_ =
+      (model.num_items() + kPackedBlockItems - 1) / kPackedBlockItems;
+  snap.block_stride_ =
+      static_cast<std::size_t>(model.num_factors() + 1) * kPackedBlockItems;
+
+  snap.blocks_ = AllocAligned(static_cast<std::size_t>(snap.num_blocks_) *
+                              snap.block_stride_);
+  snap.users_ = AllocAligned(static_cast<std::size_t>(snap.num_users_) *
+                             snap.num_factors_);
+
+  // Zero everything first so tail-block pad lanes score exactly 0.0 and the
+  // bias lane is correct when the model has biases disabled.
+  std::memset(snap.blocks_.get(), 0,
+              static_cast<std::size_t>(snap.num_blocks_) * snap.block_stride_ *
+                  sizeof(float));
+
+  const int32_t d = snap.num_factors_;
+  for (ItemId i = 0; i < snap.num_items_; ++i) {
+    const int32_t block = i / kPackedBlockItems;
+    const int32_t lane = i % kPackedBlockItems;
+    float* blk = snap.blocks_.get() +
+                 static_cast<std::size_t>(block) * snap.block_stride_;
+    if (snap.use_item_bias_) {
+      blk[lane] = static_cast<float>(model.ItemBias(i));
+    }
+    auto vf = model.ItemFactors(i);
+    for (int32_t f = 0; f < d; ++f) {
+      blk[static_cast<std::size_t>(f + 1) * kPackedBlockItems + lane] =
+          static_cast<float>(vf[static_cast<std::size_t>(f)]);
+    }
+  }
+
+  const std::vector<double>& uf = model.user_factor_data();
+  float* users = snap.users_.get();
+  for (std::size_t x = 0; x < uf.size(); ++x) {
+    users[x] = static_cast<float>(uf[x]);
+  }
+  return snap;
+}
+
+void PackedSnapshot::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                                    std::vector<double>* scores) const {
+  CLAPF_CHECK(scores->size() == static_cast<std::size_t>(num_items_));
+  CLAPF_CHECK(begin >= 0 && begin <= end && end <= num_items_);
+  if (begin == end) return;
+
+  // Score whole covering blocks into a bounded stack buffer, then widen just
+  // the requested sub-range. Chunking keeps the buffer cache-resident for
+  // arbitrarily large ranges.
+  constexpr int32_t kChunkBlocks = 64;
+  float buf[kChunkBlocks * kPackedBlockItems];
+
+  const int32_t first_block = begin / kPackedBlockItems;
+  const int32_t last_block = (end - 1) / kPackedBlockItems;
+  for (int32_t b = first_block; b <= last_block; b += kChunkBlocks) {
+    const int32_t nblocks = std::min(kChunkBlocks, last_block - b + 1);
+    ScoreBlocks(*this, u, b, nblocks, buf);
+    const ItemId chunk_begin =
+        std::max(begin, b * kPackedBlockItems);
+    const ItemId chunk_end =
+        std::min(end, (b + nblocks) * kPackedBlockItems);
+    for (ItemId i = chunk_begin; i < chunk_end; ++i) {
+      (*scores)[static_cast<std::size_t>(i)] =
+          static_cast<double>(buf[i - b * kPackedBlockItems]);
+    }
+  }
+}
+
+Status VerifyPackedAgreement(const FactorModel& model,
+                             const PackedSnapshot& packed,
+                             int32_t sample_users,
+                             const std::string& context) {
+  if (model.num_users() != packed.num_users() ||
+      model.num_items() != packed.num_items() ||
+      model.num_factors() != packed.num_factors()) {
+    return Status::FailedPrecondition(
+        context + ": packed snapshot dimensions disagree with the model");
+  }
+  if (model.num_users() == 0 || model.num_items() == 0 || sample_users <= 0) {
+    return Status::OK();
+  }
+
+  const int32_t d = model.num_factors();
+  const int32_t stride =
+      std::max(1, model.num_users() / std::min(sample_users,
+                                               model.num_users()));
+  std::vector<double> exact(static_cast<std::size_t>(model.num_items()));
+  std::vector<double> approx(static_cast<std::size_t>(model.num_items()));
+  for (UserId u = 0; u < model.num_users(); u += stride) {
+    model.ScoreAllItems(u, &exact);
+    packed.ScoreItemRange(u, 0, model.num_items(), &approx);
+    auto uf = model.UserFactors(u);
+    for (ItemId i = 0; i < model.num_items(); ++i) {
+      const double delta =
+          std::abs(exact[static_cast<std::size_t>(i)] -
+                   approx[static_cast<std::size_t>(i)]);
+      // The bound needs the L1 term mass, one extra pass over the factors;
+      // only pay it for scores that look suspicious at all.
+      if (delta == 0.0) continue;
+      auto vf = model.ItemFactors(i);
+      double l1 = model.use_item_bias() ? std::abs(model.ItemBias(i)) : 0.0;
+      for (int32_t f = 0; f < d; ++f) {
+        l1 += std::abs(uf[static_cast<std::size_t>(f)] *
+                       vf[static_cast<std::size_t>(f)]);
+      }
+      if (delta > PackedScoreBound(d, l1)) {
+        return Status::FailedPrecondition(
+            context + ": packed score for user " + std::to_string(u) +
+            " item " + std::to_string(i) + " off by " +
+            std::to_string(delta) + " (bound " +
+            std::to_string(PackedScoreBound(d, l1)) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace clapf

@@ -1,0 +1,135 @@
+#ifndef CLAPF_MODEL_PACKED_SNAPSHOT_H_
+#define CLAPF_MODEL_PACKED_SNAPSHOT_H_
+
+#include <cfloat>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "clapf/model/factor_model.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Items per packed block. Eight float32 lanes fill one AVX2 register, and a
+/// (bias + factor) strip of 8 floats is exactly half a cache line, so block
+/// rows never straddle lines once the base pointer is 64-byte aligned.
+inline constexpr int32_t kPackedBlockItems = 8;
+
+/// Alignment of the packed factor storage: one cache line, which also
+/// satisfies the 32-byte alignment the AVX2 kernel's aligned loads want.
+inline constexpr std::size_t kPackedAlignment = 64;
+
+/// Worst-case |packed − exact| score gap for one (user, item) prediction,
+/// given the L1 mass of its terms `l1 = Σ_f |u_f·v_f| + |b_i|`. Derivation:
+/// converting each double input to float32 loses ≤ ε₃₂ relative per factor
+/// (2ε₃₂ per product), and the blocked kernel accumulates the d+1 terms
+/// sequentially per lane, losing ≤ (d+1)·ε₃₂·l1 more; the +1.0 floor absorbs
+/// denormal/underflow noise near zero. This is the *documented exactness
+/// contract* for the packed path: agreement tests and the serving canary
+/// gate both enforce it.
+inline double PackedScoreBound(int32_t num_factors, double l1_terms) {
+  return (static_cast<double>(num_factors) + 8.0) *
+         static_cast<double>(FLT_EPSILON) * (l1_terms + 1.0);
+}
+
+/// Immutable float32 repack of a FactorModel's parameters for the serving
+/// hot path. Item parameters are laid out in 64-byte-aligned blocks of
+/// kPackedBlockItems items in SoA (factor-major) order with the bias folded
+/// in as lane 0 of every block:
+///
+///   block b  (items [8b, 8b+8), stride (d+1)·8 floats):
+///     [ b_i .. 8 biases .. ][ f0 .. 8 lanes .. ][ f1 ... ] ... [ f_{d-1} ]
+///
+/// so the kernel scores 8 items with d fused multiply-adds on contiguous
+/// strips — no per-item branch, no gather, no double→float conversion at
+/// query time. The tail block is zero-padded: a pad lane scores 0.0 and is
+/// never emitted because every entry point bounds-checks against
+/// num_items(). User factors are stored as a row-major float32 matrix.
+///
+/// The snapshot is a point-in-time copy: it does NOT observe later training
+/// updates to the source model, and it is safe to share read-only across any
+/// number of query threads (serving rebuilds one per publish). Scores served
+/// from it are approximate within PackedScoreBound(); the exact double path
+/// in FactorModel is untouched.
+class PackedSnapshot {
+ public:
+  /// Repacks `model` (one full pass over its parameters, no allocation on
+  /// any later query).
+  static PackedSnapshot Build(const FactorModel& model);
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+  int32_t num_factors() const { return num_factors_; }
+  bool use_item_bias() const { return use_item_bias_; }
+
+  /// Number of item blocks, i.e. ceil(num_items / kPackedBlockItems).
+  int32_t num_blocks() const { return num_blocks_; }
+
+  /// Floats per block: (num_factors + 1) * kPackedBlockItems.
+  std::size_t block_stride() const { return block_stride_; }
+
+  /// The aligned block array, num_blocks() * block_stride() floats.
+  const float* block_data() const { return blocks_.get(); }
+
+  /// Row of `num_factors` float32 user factors for `u`.
+  const float* user_factors(UserId u) const {
+    return users_.get() + static_cast<std::size_t>(u) * num_factors_;
+  }
+
+  /// Total packed parameter bytes (capacity planning / logging).
+  std::size_t memory_bytes() const {
+    return (static_cast<std::size_t>(num_blocks_) * block_stride_ +
+            static_cast<std::size_t>(num_users_) * num_factors_) *
+           sizeof(float);
+  }
+
+  /// Scores items [begin, end) into (*scores)[begin..end) (widened to
+  /// double); `scores` must already be sized to num_items(). Drop-in for
+  /// FactorModel::ScoreItemRange on the packed data — used by the packed
+  /// FactorModelRanker mode (canary probe, evaluators).
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      std::vector<double>* scores) const;
+
+  /// Mutable view of the block array, exposed so tests and fault drills can
+  /// corrupt a packed snapshot deliberately. Never use on a snapshot that is
+  /// concurrently served.
+  float* mutable_block_data() { return blocks_.get(); }
+
+ private:
+  struct AlignedDeleter {
+    void operator()(float* p) const {
+      ::operator delete[](p, std::align_val_t(kPackedAlignment));
+    }
+  };
+  using AlignedFloats = std::unique_ptr<float[], AlignedDeleter>;
+
+  static AlignedFloats AllocAligned(std::size_t n);
+
+  PackedSnapshot() = default;
+
+  int32_t num_users_ = 0;
+  int32_t num_items_ = 0;
+  int32_t num_factors_ = 0;
+  bool use_item_bias_ = false;
+  int32_t num_blocks_ = 0;
+  std::size_t block_stride_ = 0;
+  AlignedFloats blocks_;
+  AlignedFloats users_;
+};
+
+/// Verifies the packed repack against the exact double model on up to
+/// `sample_users` evenly spaced users (every item, every sampled user):
+/// each |Δscore| must stay within PackedScoreBound(). Returns
+/// FailedPrecondition naming the worst (user, item) on violation. This is
+/// the packed half of the serving canary gate; `context` names the
+/// candidate in errors.
+Status VerifyPackedAgreement(const FactorModel& model,
+                             const PackedSnapshot& packed,
+                             int32_t sample_users, const std::string& context);
+
+}  // namespace clapf
+
+#endif  // CLAPF_MODEL_PACKED_SNAPSHOT_H_

@@ -1,0 +1,190 @@
+#include "clapf/model/score_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+
+#include "clapf/util/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define CLAPF_SCORE_KERNEL_X86 1
+#endif
+
+namespace clapf {
+namespace {
+
+using KernelFn = void (*)(const float* user, int32_t num_factors,
+                          const float* blocks, std::size_t stride,
+                          int32_t num_blocks, float* out);
+
+// Branch-free blocked kernel: each block's accumulators start from the bias
+// lane (zeros when the model has no bias — layout, not a branch, handles it)
+// and the factor loop walks contiguous 8-float strips. The 8 lanes are
+// split into two 4-wide halves so SSE2-level auto-vectorization maps each
+// half onto one vector register without peeling.
+void ScoreBlocksPortable(const float* user, int32_t num_factors,
+                         const float* blocks, std::size_t stride,
+                         int32_t num_blocks, float* out) {
+  for (int32_t b = 0; b < num_blocks; ++b) {
+    const float* blk = blocks + static_cast<std::size_t>(b) * stride;
+    float lo[4], hi[4];
+    for (int l = 0; l < 4; ++l) {
+      lo[l] = blk[l];
+      hi[l] = blk[4 + l];
+    }
+    for (int32_t f = 0; f < num_factors; ++f) {
+      const float uf = user[f];
+      const float* strip =
+          blk + static_cast<std::size_t>(f + 1) * kPackedBlockItems;
+      for (int l = 0; l < 4; ++l) lo[l] += uf * strip[l];
+      for (int l = 0; l < 4; ++l) hi[l] += uf * strip[4 + l];
+    }
+    float* dst = out + static_cast<std::size_t>(b) * kPackedBlockItems;
+    for (int l = 0; l < 4; ++l) {
+      dst[l] = lo[l];
+      dst[4 + l] = hi[l];
+    }
+  }
+}
+
+#ifdef CLAPF_SCORE_KERNEL_X86
+// AVX2/FMA specialization: one 256-bit register scores a whole block, and
+// two blocks run interleaved so the FMA chains of one hide the latency of
+// the other. Compiled with a target attribute so the rest of the binary
+// stays baseline x86-64; only runtime dispatch can reach it.
+__attribute__((target("avx2,fma"))) void ScoreBlocksAvx2(
+    const float* user, int32_t num_factors, const float* blocks,
+    std::size_t stride, int32_t num_blocks, float* out) {
+  int32_t b = 0;
+  for (; b + 1 < num_blocks; b += 2) {
+    const float* b0 = blocks + static_cast<std::size_t>(b) * stride;
+    const float* b1 = b0 + stride;
+    __m256 acc0 = _mm256_load_ps(b0);  // bias lanes
+    __m256 acc1 = _mm256_load_ps(b1);
+    for (int32_t f = 0; f < num_factors; ++f) {
+      const __m256 uf = _mm256_set1_ps(user[f]);
+      const std::size_t off = static_cast<std::size_t>(f + 1) *
+                              kPackedBlockItems;
+      acc0 = _mm256_fmadd_ps(uf, _mm256_load_ps(b0 + off), acc0);
+      acc1 = _mm256_fmadd_ps(uf, _mm256_load_ps(b1 + off), acc1);
+    }
+    _mm256_storeu_ps(out + static_cast<std::size_t>(b) * kPackedBlockItems,
+                     acc0);
+    _mm256_storeu_ps(
+        out + static_cast<std::size_t>(b + 1) * kPackedBlockItems, acc1);
+  }
+  if (b < num_blocks) {
+    const float* blk = blocks + static_cast<std::size_t>(b) * stride;
+    __m256 acc = _mm256_load_ps(blk);
+    for (int32_t f = 0; f < num_factors; ++f) {
+      acc = _mm256_fmadd_ps(
+          _mm256_set1_ps(user[f]),
+          _mm256_load_ps(blk + static_cast<std::size_t>(f + 1) *
+                                   kPackedBlockItems),
+          acc);
+    }
+    _mm256_storeu_ps(out + static_cast<std::size_t>(b) * kPackedBlockItems,
+                     acc);
+  }
+}
+#endif  // CLAPF_SCORE_KERNEL_X86
+
+bool CpuHasAvx2Fma() {
+#ifdef CLAPF_SCORE_KERNEL_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// -1 = auto dispatch; otherwise the forced ScoreKernel value.
+std::atomic<int> g_forced_kernel{-1};
+
+KernelFn KernelFor(ScoreKernel kernel) {
+#ifdef CLAPF_SCORE_KERNEL_X86
+  if (kernel == ScoreKernel::kAvx2) return ScoreBlocksAvx2;
+#else
+  CLAPF_CHECK(kernel != ScoreKernel::kAvx2);
+#endif
+  return ScoreBlocksPortable;
+}
+
+}  // namespace
+
+const char* ScoreKernelName(ScoreKernel kernel) {
+  switch (kernel) {
+    case ScoreKernel::kPortable:
+      return "portable";
+    case ScoreKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ScoreKernelSupported(ScoreKernel kernel) {
+  return kernel == ScoreKernel::kPortable || CpuHasAvx2Fma();
+}
+
+ScoreKernel ActiveScoreKernel() {
+  const int forced = g_forced_kernel.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<ScoreKernel>(forced);
+  return CpuHasAvx2Fma() ? ScoreKernel::kAvx2 : ScoreKernel::kPortable;
+}
+
+void ForceScoreKernel(ScoreKernel kernel) {
+  CLAPF_CHECK(ScoreKernelSupported(kernel))
+      << "cannot force unsupported score kernel " << ScoreKernelName(kernel);
+  g_forced_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
+}
+
+void ClearScoreKernelOverride() {
+  g_forced_kernel.store(-1, std::memory_order_relaxed);
+}
+
+void ScoreBlocks(const PackedSnapshot& snap, UserId u, int32_t first_block,
+                 int32_t num_blocks, float* out) {
+  CLAPF_CHECK(first_block >= 0 && num_blocks >= 0 &&
+              first_block + num_blocks <= snap.num_blocks());
+  const float* user = snap.user_factors(u);
+  const float* blocks =
+      snap.block_data() +
+      static_cast<std::size_t>(first_block) * snap.block_stride();
+  KernelFor(ActiveScoreKernel())(user, snap.num_factors(), blocks,
+                                 snap.block_stride(), num_blocks, out);
+}
+
+void ScoreBlocksTopK(const PackedSnapshot& snap, UserId u, ItemId begin,
+                     ItemId end, const std::vector<bool>* excluded,
+                     TopKAccumulator* acc) {
+  CLAPF_CHECK(begin >= 0 && begin <= end && end <= snap.num_items());
+  CLAPF_CHECK(begin % kPackedBlockItems == 0);
+  if (begin == end) return;
+
+  // Score a cache-resident chunk of blocks, then run the scalar filter
+  // (exclusions + threshold early-reject) over it. The reject test uses
+  // strict less-than: a score tying the current threshold must still go
+  // through Push so the smaller-item-id tie-break is applied exactly.
+  constexpr int32_t kChunkBlocks = 64;
+  float buf[kChunkBlocks * kPackedBlockItems];
+
+  const int32_t last_block = (end - 1) / kPackedBlockItems;
+  for (int32_t b = begin / kPackedBlockItems; b <= last_block;
+       b += kChunkBlocks) {
+    const int32_t nblocks = std::min(kChunkBlocks, last_block - b + 1);
+    ScoreBlocks(snap, u, b, nblocks, buf);
+    const ItemId lo = b * kPackedBlockItems;
+    const ItemId hi =
+        std::min<ItemId>(end, lo + nblocks * kPackedBlockItems);
+    for (ItemId i = lo; i < hi; ++i) {
+      if (excluded != nullptr && (*excluded)[static_cast<std::size_t>(i)]) {
+        continue;
+      }
+      const double s = static_cast<double>(buf[i - lo]);
+      if (acc->full() && s < acc->threshold_score()) continue;
+      acc->Push(i, s);
+    }
+  }
+}
+
+}  // namespace clapf

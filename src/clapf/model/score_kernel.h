@@ -1,0 +1,59 @@
+#ifndef CLAPF_MODEL_SCORE_KERNEL_H_
+#define CLAPF_MODEL_SCORE_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clapf/model/packed_snapshot.h"
+#include "clapf/util/top_k.h"
+
+namespace clapf {
+
+/// The scoring kernels a PackedSnapshot can be scanned with. kPortable is a
+/// branch-free blocked loop every compiler auto-vectorizes; kAvx2 is an
+/// explicit AVX2/FMA specialization selected by runtime CPU dispatch (with
+/// kPortable as the fallback, so the same binary runs on any x86-64 and on
+/// non-x86 hosts).
+enum class ScoreKernel : int {
+  kPortable = 0,
+  kAvx2 = 1,
+};
+
+/// Printable kernel name ("portable" / "avx2") for logs and bench rows.
+const char* ScoreKernelName(ScoreKernel kernel);
+
+/// True when this CPU can execute `kernel`.
+bool ScoreKernelSupported(ScoreKernel kernel);
+
+/// The kernel the next ScoreBlocks call will run: the forced override when
+/// one is set, else the best supported kernel for this CPU.
+ScoreKernel ActiveScoreKernel();
+
+/// Forces every subsequent kernel call onto `kernel` (tests and the
+/// portable-vs-AVX2 bench rows). Forcing an unsupported kernel aborts.
+void ForceScoreKernel(ScoreKernel kernel);
+
+/// Returns to runtime CPU dispatch.
+void ClearScoreKernelOverride();
+
+/// Scores `num_blocks` consecutive item blocks of `snap` starting at
+/// `first_block` for user `u`, writing kPackedBlockItems floats per block to
+/// `out` (no alignment requirement on `out`). Pad lanes of the tail block
+/// score 0.0; callers bound what they consume by snap.num_items().
+void ScoreBlocks(const PackedSnapshot& snap, UserId u, int32_t first_block,
+                 int32_t num_blocks, float* out);
+
+/// Fused score + top-k over items [begin, end): scores one block at a time
+/// and feeds `acc`, skipping items flagged in `excluded` (pass nullptr to
+/// exclude nothing) and early-rejecting any score strictly below the
+/// accumulator's current threshold so most items never touch the heap.
+/// Ties with the threshold still go through Push, preserving the
+/// smaller-item-id tie-break exactly. `begin` must be block-aligned
+/// (begin % kPackedBlockItems == 0); serving's kRankerBlockItems chunks are.
+void ScoreBlocksTopK(const PackedSnapshot& snap, UserId u, ItemId begin,
+                     ItemId end, const std::vector<bool>* excluded,
+                     TopKAccumulator* acc);
+
+}  // namespace clapf
+
+#endif  // CLAPF_MODEL_SCORE_KERNEL_H_

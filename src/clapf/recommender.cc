@@ -8,6 +8,7 @@
 
 #include "clapf/core/ranker.h"
 #include "clapf/model/model_io.h"
+#include "clapf/model/score_kernel.h"
 #include "clapf/obs/trace_span.h"
 #include "clapf/util/fault_injection.h"
 #include "clapf/util/thread_pool.h"
@@ -27,6 +28,30 @@ std::optional<Clock::time_point> DeadlineFrom(const QueryOptions& options) {
     return std::nullopt;
   }
   return Clock::now() + options.deadline;
+}
+
+// Per-thread query scratch. Reusing the buffers across queries (and across
+// users within a batch shard) removes the per-query resize allocation from
+// the serving hot path; after the first query on a thread the only O(m) work
+// left outside scoring is the excluded-bitmap reset.
+struct QueryArena {
+  std::vector<double> scores;
+  std::vector<bool> excluded;
+};
+
+QueryArena& LocalArena() {
+  thread_local QueryArena arena;
+  return arena;
+}
+
+// Results are sorted best-to-worst, so the floor cuts a suffix.
+void ApplyMinScore(const std::optional<double>& floor,
+                   std::vector<ScoredItem>* top) {
+  if (!floor) return;
+  auto first_below =
+      std::find_if(top->begin(), top->end(),
+                   [&](const ScoredItem& s) { return s.score < *floor; });
+  top->erase(first_below, top->end());
 }
 
 }  // namespace
@@ -77,6 +102,34 @@ Result<std::vector<ScoredItem>> Recommender::RecommendOne(
     }
   }
 
+  // Packed fast path: fused score + top-k over the SIMD snapshot. Never
+  // materializes the score vector — each kRankerBlockItems chunk is scored
+  // blockwise into the accumulator with threshold early-reject. Mirrors the
+  // exact path's fault-injection and deadline polling per chunk, so serving
+  // resilience behaves identically in both modes.
+  if (!cold && options.use_packed && packed_ != nullptr) {
+    const PackedSnapshot& packed = *packed_;
+    FaultInjector& faults = FaultInjector::Instance();
+    TopKAccumulator acc(k);
+    for (ItemId lo = 0; lo < packed.num_items(); lo += kRankerBlockItems) {
+      const ItemId hi =
+          std::min<ItemId>(packed.num_items(), lo + kRankerBlockItems);
+      if (faults.armed() && faults.ShouldFire(FaultPoint::kServeSlowBlock)) {
+        std::this_thread::sleep_for(kSlowBlockStall);
+      }
+      ScoreBlocksTopK(packed, u, lo, hi, excluded, &acc);
+      if (deadline && Clock::now() > *deadline) {
+        return Status::DeadlineExceeded(
+            "query for user " + std::to_string(u) + " expired after scoring " +
+            std::to_string(hi) + "/" + std::to_string(packed.num_items()) +
+            " items");
+      }
+    }
+    std::vector<ScoredItem> top = acc.Take();
+    ApplyMinScore(options.min_score, &top);
+    return top;
+  }
+
   // Cold-start: rank by popularity straight from the shared table, no copy
   // (and no per-block deadline polling — there is no scoring work to bound).
   const std::vector<double>* scores = &popularity_;
@@ -101,14 +154,23 @@ Result<std::vector<ScoredItem>> Recommender::RecommendOne(
     scores = score_buf;
   }
   std::vector<ScoredItem> top = SelectTopK(*scores, *excluded, k);
-  if (options.min_score) {
-    // Results are sorted best-to-worst, so the floor cuts a suffix.
-    auto first_below = std::find_if(
-        top.begin(), top.end(),
-        [&](const ScoredItem& s) { return s.score < *options.min_score; });
-    top.erase(first_below, top.end());
-  }
+  ApplyMinScore(options.min_score, &top);
   return top;
+}
+
+Status Recommender::EnablePacked(int32_t verify_sample_users) {
+  auto packed = std::make_shared<PackedSnapshot>(PackedSnapshot::Build(model_));
+  if (verify_sample_users > 0) {
+    Status agree = VerifyPackedAgreement(model_, *packed, verify_sample_users,
+                                         "EnablePacked");
+    if (!agree.ok()) return agree;
+  }
+  packed_ = std::move(packed);
+  return Status::OK();
+}
+
+void Recommender::AdoptPacked(std::shared_ptr<const PackedSnapshot> packed) {
+  packed_ = std::move(packed);
 }
 
 void Recommender::SetMetrics(MetricsRegistry* registry) {
@@ -131,10 +193,9 @@ Result<std::vector<ScoredItem>> Recommender::Recommend(
   }
   if (queries_metric_ != nullptr) queries_metric_->Inc();
   TraceSpan span(latency_metric_);
-  std::vector<double> score_buf;
-  std::vector<bool> excluded;
-  auto out = RecommendOne(u, k, options, DeadlineFrom(options), &score_buf,
-                          &excluded);
+  QueryArena& arena = LocalArena();
+  auto out = RecommendOne(u, k, options, DeadlineFrom(options), &arena.scores,
+                          &arena.excluded);
   span.Stop();
   if (deadline_metric_ != nullptr &&
       out.status().code() == StatusCode::kDeadlineExceeded) {
@@ -186,12 +247,11 @@ Result<BatchReply> Recommender::RecommendBatchPartial(
       std::min<size_t>(static_cast<size_t>(threads), users.size()));
 
   if (threads == 1) {
-    std::vector<double> score_buf;
-    std::vector<bool> excluded;
-    run_range(0, users.size(), &score_buf, &excluded);
+    QueryArena& arena = LocalArena();
+    run_range(0, users.size(), &arena.scores, &arena.excluded);
   } else {
-    // Contiguous shards, one task per thread; each task owns its scratch
-    // buffers and writes disjoint result slots, so no synchronization beyond
+    // Contiguous shards, one task per thread; each task uses its thread's
+    // arena and writes disjoint result slots, so no synchronization beyond
     // the pool's completion barrier (and the shared expiry flag) is needed.
     ThreadPool pool(threads);
     const size_t shard = (users.size() + static_cast<size_t>(threads) - 1) /
@@ -201,9 +261,8 @@ Result<BatchReply> Recommender::RecommendBatchPartial(
       const size_t hi = std::min(users.size(), lo + shard);
       if (lo >= hi) break;
       pool.Submit([&run_range, lo, hi] {
-        std::vector<double> score_buf;
-        std::vector<bool> excluded;
-        run_range(lo, hi, &score_buf, &excluded);
+        QueryArena& arena = LocalArena();
+        run_range(lo, hi, &arena.scores, &arena.excluded);
       });
     }
     pool.Wait();

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -10,6 +11,7 @@
 
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/model/packed_snapshot.h"
 #include "clapf/obs/metrics.h"
 #include "clapf/util/status.h"
 #include "clapf/util/top_k.h"
@@ -41,6 +43,14 @@ struct QueryOptions {
   /// unbounded — batches additionally hand back the completed prefix via
   /// RecommendBatchPartial.
   std::chrono::microseconds deadline{0};
+  /// Serve from the packed SIMD snapshot when the recommender carries one:
+  /// the fused score+top-k kernel, approximate within PackedScoreBound().
+  /// Default true — but a snapshot exists only where one was built
+  /// (ModelServer::Publish does it at swap time; EnablePacked opts in
+  /// manually), so training and offline-eval paths stay on the exact double
+  /// scan and their goldens stay bit-identical. Set false to force the exact
+  /// path even when a snapshot is present.
+  bool use_packed = true;
 };
 
 /// Reply from Recommender::RecommendBatchPartial: results[i] answers
@@ -113,7 +123,24 @@ class Recommender {
     return Recommend(u, k, options);
   }
 
+  /// Builds and adopts a packed SIMD snapshot of the current model so
+  /// queries with QueryOptions::use_packed take the fused fast path. When
+  /// `verify_sample_users` > 0 the repack is first checked against the exact
+  /// model (VerifyPackedAgreement); a violation is returned and the
+  /// recommender stays exact. Convenience for CLI / standalone use —
+  /// ModelServer::Publish instead builds and gates the snapshot itself and
+  /// hands it over via AdoptPacked.
+  Status EnablePacked(int32_t verify_sample_users = 0);
+
+  /// Adopts a pre-built snapshot (shared with e.g. the serving canary
+  /// probe); pass nullptr to drop back to exact-only queries.
+  void AdoptPacked(std::shared_ptr<const PackedSnapshot> packed);
+
+  /// The snapshot packed queries run on, or null when none was built.
+  const PackedSnapshot* packed_snapshot() const { return packed_.get(); }
+
   /// Predicted relevance score for one (user, item); OutOfRange on bad ids.
+  /// Always exact (double path), independent of any packed snapshot.
   Result<double> Score(UserId u, ItemId i) const;
 
   /// Persists the underlying model.
@@ -147,6 +174,9 @@ class Recommender {
   FactorModel model_;
   Dataset history_;
   std::vector<double> popularity_;  // cold-start fallback scores
+  // Immutable SIMD repack shared read-only across query threads; null until
+  // EnablePacked/AdoptPacked. Copies of the recommender share it.
+  std::shared_ptr<const PackedSnapshot> packed_;
   // Telemetry handles (null = off); see SetMetrics.
   Counter* queries_metric_ = nullptr;
   Counter* deadline_metric_ = nullptr;

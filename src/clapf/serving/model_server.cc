@@ -48,6 +48,7 @@ std::shared_ptr<const ModelServer::Snapshot> ModelServer::Acquire() const {
 }
 
 Status ModelServer::GateCandidate(const FactorModel& candidate,
+                                  const PackedSnapshot* packed,
                                   const std::string& context) const {
   if (candidate.num_users() != history_.num_users() ||
       candidate.num_items() != history_.num_items()) {
@@ -60,11 +61,19 @@ Status ModelServer::GateCandidate(const FactorModel& candidate,
   }
   if (!options_.canary.enabled) return Status::OK();
   CLAPF_RETURN_IF_ERROR(VerifyModelIntegrity(candidate, context));
+  if (packed != nullptr && options_.canary.packed_agreement_users > 0) {
+    // Packed half of the gate: the SIMD repack that will serve must agree
+    // with the exact model within the documented bound before it swaps in.
+    CLAPF_RETURN_IF_ERROR(VerifyPackedAgreement(
+        candidate, *packed, options_.canary.packed_agreement_users, context));
+  }
   if (options_.canary.min_auc > 0.0 && probe_test_.num_interactions() > 0) {
     SampledEvaluator eval(&probe_train_, &probe_test_,
                           options_.canary.probe_negatives,
                           options_.canary.seed);
-    FactorModelRanker ranker(&candidate);
+    // Probe through the packed kernels when they will serve — the gate then
+    // vets the exact code path production queries take.
+    FactorModelRanker ranker(&candidate, packed);
     const double auc = eval.Evaluate(ranker, {5}).auc;
     if (auc < options_.canary.min_auc) {
       return Status::FailedPrecondition(
@@ -84,7 +93,15 @@ Status ModelServer::Publish(FactorModel candidate) {
         std::numeric_limits<double>::quiet_NaN();
   }
 
-  Status gate = GateCandidate(candidate, "serving candidate");
+  // Repack for SIMD serving before the gate so the canary can vet the very
+  // snapshot that will answer queries (agreement check + packed AUC probe).
+  std::shared_ptr<const PackedSnapshot> packed;
+  if (options_.packed) {
+    packed =
+        std::make_shared<PackedSnapshot>(PackedSnapshot::Build(candidate));
+  }
+
+  Status gate = GateCandidate(candidate, packed.get(), "serving candidate");
   if (!gate.ok()) {
     stats_.RecordCanaryReject();
     CLAPF_LOG(Warning) << "canary gate rejected candidate, prior snapshot "
@@ -98,6 +115,7 @@ Status ModelServer::Publish(FactorModel candidate) {
     return rec.status();
   }
   rec->SetMetrics(&metrics_);
+  rec->AdoptPacked(std::move(packed));  // null when packed serving is off
 
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);

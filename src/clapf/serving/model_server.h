@@ -33,6 +33,11 @@ struct CanaryOptions {
   double probe_fraction = 0.1;
   /// Seed for the probe split and negative sampling (deterministic gate).
   uint64_t seed = 1;
+  /// Users sampled by the packed-vs-exact agreement check when a packed
+  /// snapshot is published (ServerOptions::packed): every item of every
+  /// sampled user must agree within PackedScoreBound(). <= 0 skips the
+  /// check.
+  int32_t packed_agreement_users = 64;
 };
 
 /// Post-publish error-rate circuit breaker. Queries are grouped into
@@ -57,6 +62,13 @@ struct ServerOptions {
   /// Admission bound: requests past this many pending-or-running tasks are
   /// shed with Unavailable.
   int64_t max_queue_depth = 64;
+  /// Build a packed SIMD snapshot of each published model and serve queries
+  /// through the fused score+top-k fast path. The canary gate then also
+  /// verifies packed-vs-exact agreement (CanaryOptions::
+  /// packed_agreement_users) and runs its AUC probe through the packed
+  /// kernels, so what is vetted is what serves. Disable to serve the exact
+  /// double path only.
+  bool packed = true;
   CanaryOptions canary;
   BreakerOptions breaker;
 };
@@ -135,7 +147,11 @@ class ModelServer {
   };
 
   /// Pre-publish validation; `context` names the candidate in errors.
+  /// `packed` is the candidate's freshly built snapshot (null when packed
+  /// serving is off): the gate verifies its agreement with the exact model
+  /// and routes the AUC probe through it.
   Status GateCandidate(const FactorModel& candidate,
+                       const PackedSnapshot* packed,
                        const std::string& context) const;
 
   /// The RCU read: copy the current snapshot pointer (may be null).

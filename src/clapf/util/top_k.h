@@ -30,6 +30,15 @@ class TopKAccumulator {
   size_t size() const { return heap_.size(); }
   size_t k() const { return k_; }
 
+  /// True once k items are held; from then on Push evicts the worst.
+  bool full() const { return heap_.size() >= k_; }
+
+  /// Score of the worst kept item — the bar a candidate must meet to enter.
+  /// Only meaningful when full(). Fused scan kernels early-reject candidates
+  /// strictly below this without paying for Push; a candidate *tying* the
+  /// threshold must still be offered so the item-id tie-break applies.
+  double threshold_score() const { return heap_.front().score; }
+
  private:
   bool Less(const ScoredItem& a, const ScoredItem& b) const;
 

@@ -45,6 +45,8 @@
 #include "clapf/eval/stratified.h"        // NOLINT
 #include "clapf/model/factor_model.h"     // NOLINT
 #include "clapf/model/model_io.h"         // NOLINT
+#include "clapf/model/packed_snapshot.h"  // NOLINT
+#include "clapf/model/score_kernel.h"     // NOLINT
 #include "clapf/recommender.h"            // NOLINT
 #include "clapf/sampling/abs_sampler.h"   // NOLINT
 #include "clapf/sampling/aobpr_sampler.h" // NOLINT

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "clapf/core/ranker.h"
 #include "clapf/util/random.h"
 
 namespace clapf {
@@ -109,6 +110,59 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair<size_t, size_t>(1000, 50),
                       std::make_pair<size_t, size_t>(5, 10),
                       std::make_pair<size_t, size_t>(257, 256)));
+
+TEST(TopKAccumulatorTest, EqualScoresKeepSmallerIds) {
+  // Five candidates share one score; with k = 3 the three smallest ids must
+  // survive regardless of arrival order.
+  TopKAccumulator acc(3);
+  for (int32_t item : {4, 0, 3, 1, 2}) acc.Push(item, 7.0);
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].item, 0);
+  EXPECT_EQ(top[1].item, 1);
+  EXPECT_EQ(top[2].item, 2);
+}
+
+TEST(TopKAccumulatorTest, TieWithWorstKeptEvictsLargerId) {
+  // The heap is full of score-1.0 items; a later candidate tying that score
+  // with a *smaller* id must evict the largest kept id, while a larger id
+  // must bounce off.
+  TopKAccumulator acc(2);
+  acc.Push(5, 1.0);
+  acc.Push(7, 1.0);
+  acc.Push(9, 1.0);  // larger id, same score: rejected
+  acc.Push(2, 1.0);  // smaller id, same score: evicts 7
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 2);
+  EXPECT_EQ(top[1].item, 5);
+}
+
+TEST(TopKAccumulatorTest, ThresholdTracksWorstKeptItem) {
+  TopKAccumulator acc(2);
+  EXPECT_FALSE(acc.full());
+  acc.Push(0, 3.0);
+  EXPECT_FALSE(acc.full());
+  acc.Push(1, 5.0);
+  ASSERT_TRUE(acc.full());
+  EXPECT_DOUBLE_EQ(acc.threshold_score(), 3.0);
+  acc.Push(2, 4.0);  // evicts the 3.0
+  EXPECT_DOUBLE_EQ(acc.threshold_score(), 4.0);
+}
+
+TEST(ClampKTest, Edges) {
+  EXPECT_EQ(ClampK(0, 100), 0u);         // k = 0 stays 0
+  EXPECT_EQ(ClampK(500, 100), 100u);     // k beyond the catalog clamps
+  EXPECT_EQ(ClampK(5, 0), 0u);           // empty catalog
+  EXPECT_EQ(ClampK(5, -3), 0u);          // negative item count is not UB
+  EXPECT_EQ(ClampK(5, 100), 5u);         // in-range k untouched
+}
+
+TEST(SelectTopKTest, AllExcludedYieldsEmpty) {
+  std::vector<double> scores = {3.0, 1.0, 2.0};
+  std::vector<bool> exclude(scores.size(), true);
+  EXPECT_TRUE(SelectTopK(scores, exclude, 2).empty());
+}
 
 }  // namespace
 }  // namespace clapf

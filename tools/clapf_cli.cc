@@ -191,7 +191,7 @@ int RunRecommend(int argc, char** argv) {
   std::string model_path = "model.clpf", dataset_path, format = "tab";
   std::string users_csv = "0", exclude_csv, metrics_out;
   int64_t k = 10, threads = 0;
-  bool has_header = false, no_cold_fallback = false;
+  bool has_header = false, no_cold_fallback = false, packed = false;
   FlagParser flags;
   flags.AddString("model", &model_path, "model path (.clpf)");
   flags.AddString("dataset", &dataset_path,
@@ -206,6 +206,9 @@ int RunRecommend(int argc, char** argv) {
   flags.AddBool("no-cold-fallback", &no_cold_fallback,
                 "return empty lists for cold users instead of popularity");
   flags.AddInt("threads", &threads, "batch worker threads (0 = all cores)");
+  flags.AddBool("packed", &packed,
+                "score through the packed SIMD snapshot (verified against "
+                "the exact model first); default is the exact double path");
   flags.AddString("metrics-out", &metrics_out,
                   "dump query metrics (latency histogram, counts) as JSON to "
                   "this path");
@@ -220,6 +223,14 @@ int RunRecommend(int argc, char** argv) {
   if (!data.ok()) return Fail(data.status());
   auto recommender = Recommender::Load(model_path, *std::move(data));
   if (!recommender.ok()) return Fail(recommender.status());
+  if (packed) {
+    if (Status s = recommender->EnablePacked(/*verify_sample_users=*/16);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("packed scoring enabled (%s kernel)\n",
+                ScoreKernelName(ActiveScoreKernel()));
+  }
   MetricsRegistry metrics;
   if (!metrics_out.empty()) recommender->SetMetrics(&metrics);
 
@@ -260,7 +271,7 @@ int RunServe(int argc, char** argv) {
   int64_t k = 10, threads = 2, queue_depth = 64, repeat = 1;
   int64_t deadline_us = 0, metrics_every = 0;
   double min_auc = 0.0;
-  bool has_header = false;
+  bool has_header = false, packed = true;
   FlagParser flags;
   flags.AddString("model", &model_path, "candidate model path (.clpf)");
   flags.AddString("dataset", &dataset_path,
@@ -276,6 +287,10 @@ int RunServe(int argc, char** argv) {
                "per-query budget in microseconds (0 = unbounded)");
   flags.AddDouble("min-auc", &min_auc,
                   "canary sampled-AUC floor for the publish gate (0 = off)");
+  flags.AddBool("packed", &packed,
+                "serve through the packed SIMD fast path, gated by the "
+                "canary agreement check (--packed=false for the exact "
+                "double path)");
   flags.AddInt("repeat", &repeat, "times to replay the query set");
   flags.AddString("metrics-out", &metrics_out,
                   "dump serving metrics (latency histograms, outcome "
@@ -297,6 +312,7 @@ int RunServe(int argc, char** argv) {
   server_options.num_threads = static_cast<int>(threads);
   server_options.max_queue_depth = queue_depth;
   server_options.canary.min_auc = min_auc;
+  server_options.packed = packed;
   ModelServer server(*std::move(data), server_options);
 
   // The candidate goes through the full canary gate; a rejection leaves the
