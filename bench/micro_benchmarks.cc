@@ -25,6 +25,7 @@
 #include "clapf/sampling/dss_sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
 #include "clapf/serving/model_server.h"
+#include "clapf/util/fault_injection.h"
 #include "clapf/util/linalg.h"
 #include "clapf/util/math.h"
 #include "clapf/util/top_k.h"
@@ -304,6 +305,104 @@ void BM_ModelSwapUnderLoad(benchmark::State& state) {
       static_cast<double>(server.stats().publishes);
 }
 BENCHMARK(BM_ModelSwapUnderLoad)->UseRealTime();
+
+// Cost of one governor control step (read metric deltas + p99 estimate +
+// policy decision). This is what the ticker thread pays every interval_us —
+// it must be microseconds, i.e. invisible next to a single query. Arg is
+// the policy: 0 = performance, 1 = ondemand, 2 = schedutil.
+void BM_GovernorTick(benchmark::State& state) {
+  static Dataset data = BenchData(500, 2000, 25000);
+  ServerOptions options;
+  options.num_threads = 2;
+  options.governor.policy = static_cast<GovernorPolicy>(state.range(0));
+  options.governor.interval_us = 0;  // manual ticks: the benchmark drives
+  ModelServer server(data, options);
+  FactorModel candidate(500, 2000, 20);
+  Rng rng(17);
+  candidate.InitGaussian(rng, 0.1);
+  CLAPF_CHECK_OK(server.Publish(candidate));
+  // Seed the latency histogram so the p99 estimate has real buckets to walk.
+  for (int i = 0; i < 64; ++i) {
+    CLAPF_CHECK_OK(server.Recommend(i % 500, 10).status());
+  }
+  for (auto _ : state) {
+    server.TickGovernor();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GovernorTick)->Arg(0)->Arg(1)->Arg(2);
+
+// The acceptance comparison as a benchmark row: the governor test's overload
+// drill, timed. Every admitted query is stalled past its deadline by an
+// injected fault (kServeSlowBlock), served static (Arg 0, performance) vs
+// adaptive (Arg 1, ondemand with a fast ticker). Throughput is not the
+// point — the exported counters are: the adaptive policy clamps the
+// admission bound and converts doomed queries into cheap typed sheds, so
+// its miss_rate counter must sit below the static row's ~1.0 (recorded in
+// results/BENCH_serving.json).
+void BM_GovernorOverload(benchmark::State& state) {
+  const bool adaptive = state.range(0) == 1;
+  static Dataset data = BenchData(500, 2000, 25000);
+  ServerOptions options;
+  options.num_threads = 2;
+  options.max_queue_depth = 64;
+  options.governor.policy =
+      adaptive ? GovernorPolicy::kOndemand : GovernorPolicy::kPerformance;
+  options.governor.interval_us = 500;
+  options.governor.bounds.min_queue_depth = 2;
+  ModelServer server(data, options);
+  FactorModel candidate(500, 2000, 20);
+  Rng rng(17);
+  candidate.InitGaussian(rng, 0.1);
+  CLAPF_CHECK_OK(server.Publish(candidate));
+
+  // Every served query blocks 2ms against a 500us budget: a guaranteed
+  // miss. The only way to a lower miss rate is shedding at admission. The
+  // injector logs one warning per fire — thousands here — so mute it.
+  const LogLevel saved_log_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  FaultInjector::Instance().Arm(FaultPoint::kServeSlowBlock,
+                                {.trigger_at_hit = 1, .max_fires = -1});
+  QueryOptions query;
+  query.deadline = std::chrono::microseconds(500);
+  std::atomic<bool> stop{false};
+  // A background burst keeps the queue deeper than the clamped bound so the
+  // governor has pressure to react to while the timed thread measures
+  // per-call cost (admitted: ~2ms stall; shed: immediate Unavailable).
+  std::vector<std::thread> burst;
+  for (int c = 0; c < 4; ++c) {
+    burst.emplace_back([&server, &stop, &query, c] {
+      UserId u = 100 * (c + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)server.Recommend(u, 10, query);
+        u = 100 * (c + 1) + (u + 1) % 100;
+      }
+    });
+  }
+  UserId u = 0;
+  for (auto _ : state) {
+    auto got = server.Recommend(u, 10, query);
+    benchmark::DoNotOptimize(got.status());
+    u = (u + 1) % 100;
+  }
+  stop.store(true);
+  for (auto& t : burst) t.join();
+  FaultInjector::Instance().Reset();
+  SetLogLevel(saved_log_level);
+  state.SetItemsProcessed(state.iterations());
+  const ServingStatsSnapshot stats = server.stats();
+  state.counters["miss_rate"] =
+      stats.queries > 0 ? static_cast<double>(stats.deadline_exceeded) /
+                              static_cast<double>(stats.queries)
+                        : 0.0;
+  state.counters["shed_rate"] =
+      stats.queries > 0 ? static_cast<double>(stats.shed) /
+                              static_cast<double>(stats.queries)
+                        : 0.0;
+  state.counters["governor_adjustments"] =
+      static_cast<double>(server.governor().adjustments());
+}
+BENCHMARK(BM_GovernorOverload)->Arg(0)->Arg(1)->UseRealTime();
 
 void BM_ScoreAllItems(benchmark::State& state) {
   const int32_t m = static_cast<int32_t>(state.range(0));

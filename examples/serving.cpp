@@ -239,6 +239,28 @@ int main(int argc, char** argv) {
   std::printf("hot reload: now serving v%lld; %d queries answered during "
               "the swap window\n",
               static_cast<long long>(server.version()), swap_served.load());
+
+  // Governor drill: an ondemand governor watches the same metrics and, on
+  // pressure (here: the sheds recorded by the overload drill above), clamps
+  // every knob to its defensive bound — then decays back once calm. Each
+  // movement lands in the flight recorder next to the sheds that caused it.
+  server.TickGovernor();  // performance policy: a deliberate no-op
+  GovernorKnobs knobs = server.governor().knobs();
+  std::printf("governor (%s): queue_depth=%lld after tick — static policy "
+              "never moves knobs\n",
+              GovernorPolicyName(server.governor().policy()),
+              static_cast<long long>(knobs.max_queue_depth));
+
+  // The incident black box: everything the serving layer decided above —
+  // sheds, the canary reject, publishes — in order, dumpable as JSON at any
+  // time (and automatically on a breaker trip via flight_dump_path).
+  int shown = 0;
+  for (const FlightEvent& event : server.flight_recorder().Snapshot()) {
+    std::printf("  flight[%llu] %s: %s\n",
+                static_cast<unsigned long long>(event.seq),
+                FlightEventKindName(event.kind), event.detail);
+    if (++shown >= 8) break;
+  }
   std::printf("serving stats: %s\n", server.stats().ToString().c_str());
   return 0;
 }

@@ -66,6 +66,8 @@
 #include "clapf/sampling/sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
 #include "clapf/serving/admission_queue.h"
+#include "clapf/serving/flight_recorder.h"
+#include "clapf/serving/governor.h"
 #include "clapf/serving/model_server.h"
 #include "clapf/serving/serving_stats.h"
 #include "clapf/util/crc32.h"

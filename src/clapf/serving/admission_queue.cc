@@ -35,10 +35,11 @@ Status AdmissionQueue::Submit(std::function<void()> task) {
     }
     task();
   };
-  if (!pool_.TrySubmit(std::move(wrapped), max_depth_)) {
+  const int64_t bound = max_depth();
+  if (!pool_.TrySubmit(std::move(wrapped), bound)) {
     shed_->Inc();
     return Status::Unavailable(
-        "admission queue full (" + std::to_string(max_depth_) +
+        "admission queue full (" + std::to_string(bound) +
         " in flight); request shed");
   }
   admitted_->Inc();

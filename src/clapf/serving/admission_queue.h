@@ -1,6 +1,7 @@
 #ifndef CLAPF_SERVING_ADMISSION_QUEUE_H_
 #define CLAPF_SERVING_ADMISSION_QUEUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -36,7 +37,17 @@ class AdmissionQueue {
 
   /// Tasks admitted but not yet finished.
   int64_t depth() const { return pool_.InFlight(); }
-  int64_t max_depth() const { return max_depth_; }
+  int64_t max_depth() const {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
+
+  /// Moves the admission bound at runtime (clamped to >= 1) — the serving
+  /// governor's lever. Already-admitted tasks are unaffected; the new bound
+  /// applies from the next Submit. Thread-safe.
+  void set_max_depth(int64_t max_depth) {
+    max_depth_.store(std::max<int64_t>(1, max_depth),
+                     std::memory_order_relaxed);
+  }
 
   /// Lifetime counters for observability.
   int64_t admitted() const { return admitted_->Value(); }
@@ -44,7 +55,7 @@ class AdmissionQueue {
 
  private:
   ThreadPool pool_;
-  int64_t max_depth_;
+  std::atomic<int64_t> max_depth_;
   std::unique_ptr<MetricsRegistry> owned_registry_;  // null when shared
   Counter* admitted_;
   Counter* shed_;

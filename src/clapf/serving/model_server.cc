@@ -24,6 +24,8 @@ ModelServer::ModelServer(Dataset history, const ServerOptions& options)
                                            LatencyBucketsUs())),
       batch_latency_(metrics_.GetHistogram("serving.batch.latency_us",
                                            LatencyBucketsUs())),
+      recorder_(static_cast<size_t>(
+          std::max<int64_t>(1, options.flight_recorder_capacity))),
       queue_(std::max(1, options.num_threads), options.max_queue_depth,
              &metrics_),
       stats_(&metrics_) {
@@ -40,6 +42,15 @@ ModelServer::ModelServer(Dataset history, const ServerOptions& options)
     probe_train_ = std::move(split.train);
     probe_test_ = std::move(split.test);
   }
+  governor_ = std::make_unique<ServingGovernor>(
+      options_.governor, options_.max_queue_depth, &metrics_, &queue_,
+      &recorder_);
+  governor_->Start();
+}
+
+ModelServer::~ModelServer() {
+  governor_->Stop();
+  queue_.Wait();
 }
 
 std::shared_ptr<const ModelServer::Snapshot> ModelServer::Acquire() const {
@@ -104,6 +115,7 @@ Status ModelServer::Publish(FactorModel candidate) {
   Status gate = GateCandidate(candidate, packed.get(), "serving candidate");
   if (!gate.ok()) {
     stats_.RecordCanaryReject();
+    recorder_.Record(FlightEventKind::kCanaryReject, gate.message());
     CLAPF_LOG(Warning) << "canary gate rejected candidate, prior snapshot "
                           "keeps serving: "
                        << gate.ToString();
@@ -112,25 +124,40 @@ Status ModelServer::Publish(FactorModel candidate) {
   auto rec = Recommender::Create(std::move(candidate), history_);
   if (!rec.ok()) {
     stats_.RecordCanaryReject();
+    recorder_.Record(FlightEventKind::kCanaryReject, rec.status().message());
     return rec.status();
   }
   rec->SetMetrics(&metrics_);
   rec->AdoptPacked(std::move(packed));  // null when packed serving is off
 
+  int64_t published_version = 0;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     auto snap = std::make_shared<Snapshot>(
         Snapshot{next_version_++, *std::move(rec)});
+    published_version = snap->version;
     previous_ = current_;
     current_ = std::move(snap);
+    // A publish supersedes any pending half-open recovery: the operator has
+    // explicitly shipped a replacement, so the stashed tripped snapshot is
+    // no longer a probe candidate.
+    tripped_.reset();
+    probe_fallback_.reset();
   }
   stats_.RecordPublish();
+  recorder_.Record(FlightEventKind::kPublish,
+                   "candidate cleared the canary gate", published_version);
   {
     // A fresh model gets a fresh breaker window: errors charged to the old
-    // snapshot must not trip the breaker on the new one.
+    // snapshot must not trip the breaker on the new one. Any cooldown or
+    // probe in flight is canceled for the same reason.
     std::lock_guard<std::mutex> lock(breaker_mu_);
     window_queries_ = 0;
     window_errors_ = 0;
+    breaker_state_ = BreakerState::kClosed;
+    cooldown_left_ = 0;
+    probe_left_ = 0;
+    probe_errors_ = 0;
   }
   return Status::OK();
 }
@@ -139,6 +166,8 @@ Status ModelServer::PublishFromFile(const std::string& path) {
   auto model = LoadModel(path);  // CRC-verified by the wire format
   if (!model.ok()) {
     stats_.RecordCanaryReject();
+    recorder_.Record(FlightEventKind::kCanaryReject,
+                     model.status().message());
     CLAPF_LOG(Warning) << "candidate file rejected, prior snapshot keeps "
                           "serving: "
                        << model.status().ToString();
@@ -252,22 +281,34 @@ Result<BatchReply> ModelServer::ServeBatch(std::span<const UserId> users,
 Result<std::vector<ScoredItem>> ModelServer::Recommend(
     UserId u, size_t k, const QueryOptions& options) {
   stats_.RecordQuery();
+  // The governor's current knobs shape this query: a degraded serving mode
+  // may force the packed path or cap the deadline budget.
+  QueryOptions effective = options;
+  governor_->ApplyToQuery(&effective);
   TraceSpan span(query_latency_);
   std::promise<Result<std::vector<ScoredItem>>> promise;
   auto future = promise.get_future();
   Status admitted = queue_.Submit(
-      [this, u, k, &options, &promise] {
-        promise.set_value(ServeOne(u, k, options));
+      [this, u, k, &effective, &promise] {
+        promise.set_value(ServeOne(u, k, effective));
       });
   if (!admitted.ok()) {
     // Shed requests never ran; their (near-zero) latency would only skew
     // the serving distribution, so the span is abandoned, not recorded.
     span.Cancel();
     stats_.RecordShed();
+    recorder_.Record(FlightEventKind::kShed, "query shed at admission",
+                     queue_.depth(), queue_.max_depth());
     return admitted;
   }
   auto out = future.get();
   span.Stop();
+  const double elapsed_us = span.ElapsedMicros();
+  if (options_.slow_query_us > 0 &&
+      elapsed_us >= static_cast<double>(options_.slow_query_us)) {
+    recorder_.Record(FlightEventKind::kSlowQuery,
+                     "query served above slow threshold", u, 0, elapsed_us);
+  }
   RecordOutcome(out.status());
   return out;
 }
@@ -276,20 +317,31 @@ Result<BatchReply> ModelServer::RecommendBatch(std::span<const UserId> users,
                                                size_t k,
                                                const QueryOptions& options) {
   stats_.RecordQuery();
+  QueryOptions effective = options;
+  governor_->ApplyToQuery(&effective);
   TraceSpan span(batch_latency_);
   std::promise<Result<BatchReply>> promise;
   auto future = promise.get_future();
   Status admitted = queue_.Submit(
-      [this, users, k, &options, &promise] {
-        promise.set_value(ServeBatch(users, k, options));
+      [this, users, k, &effective, &promise] {
+        promise.set_value(ServeBatch(users, k, effective));
       });
   if (!admitted.ok()) {
     span.Cancel();
     stats_.RecordShed();
+    recorder_.Record(FlightEventKind::kShed, "batch shed at admission",
+                     queue_.depth(), queue_.max_depth());
     return admitted;
   }
   auto out = future.get();
   span.Stop();
+  const double elapsed_us = span.ElapsedMicros();
+  if (options_.slow_query_us > 0 &&
+      elapsed_us >= static_cast<double>(options_.slow_query_us)) {
+    recorder_.Record(FlightEventKind::kSlowQuery,
+                     "batch served above slow threshold",
+                     static_cast<int64_t>(users.size()), 0, elapsed_us);
+  }
   if (out.ok() && out->deadline_exceeded) {
     RecordOutcome(Status::DeadlineExceeded("partial batch"));
   } else {
@@ -300,14 +352,20 @@ Result<BatchReply> ModelServer::RecommendBatch(std::span<const UserId> users,
 
 void ModelServer::RecordOutcome(const Status& status) {
   bool breaker_error = false;
+  // Outcomes that actually exercised the served model and can therefore
+  // judge its health — what the half-open probe window counts. Deadline
+  // misses and client errors say nothing about the snapshot under probe.
+  bool judges_model = false;
   switch (status.code()) {
     case StatusCode::kOk:
       stats_.RecordOk();
+      judges_model = true;
       break;
     case StatusCode::kDeadlineExceeded:
       // A capacity signal, not a model-health signal: deadlines feed the
       // stats (and capacity planning), never the breaker.
       stats_.RecordDeadlineExceeded();
+      recorder_.Record(FlightEventKind::kDeadlineMiss, status.message());
       break;
     case StatusCode::kOutOfRange:
     case StatusCode::kInvalidArgument:
@@ -315,47 +373,206 @@ void ModelServer::RecordOutcome(const Status& status) {
       break;
     default:
       stats_.RecordInternalError();
+      recorder_.Record(FlightEventKind::kInternalError, status.message());
       breaker_error = true;
+      judges_model = true;
       break;
   }
   if (!options_.breaker.enabled) return;
 
-  bool trip = false;
+  // Decide under breaker_mu_, act after releasing it: the actions take
+  // snapshot_mu_, and the two locks are never held together.
+  enum class Action { kNone, kTrip, kBeginProbe, kResolveProbe };
+  Action action = Action::kNone;
+  bool probe_recovered = false;
+  double probe_rate = 0.0;
   {
     std::lock_guard<std::mutex> lock(breaker_mu_);
-    ++window_queries_;
-    if (breaker_error) ++window_errors_;
-    if (window_queries_ >= options_.breaker.min_samples) {
-      const double rate = static_cast<double>(window_errors_) /
-                          static_cast<double>(window_queries_);
-      if (rate >= options_.breaker.error_threshold) {
-        trip = true;
-        window_queries_ = 0;
-        window_errors_ = 0;
-      } else if (window_queries_ >= options_.breaker.window) {
-        window_queries_ = 0;
-        window_errors_ = 0;
+    if (breaker_state_ == BreakerState::kHalfOpen) {
+      // The probe window judges the re-admitted snapshot alone; the tumbling
+      // window is suspended so the probe's verdict cannot double-trip.
+      if (judges_model) {
+        if (breaker_error) ++probe_errors_;
+        if (--probe_left_ <= 0) {
+          probe_rate =
+              static_cast<double>(probe_errors_) /
+              static_cast<double>(std::max<int64_t>(
+                  1, options_.breaker.probe_window));
+          probe_recovered = probe_rate < options_.breaker.error_threshold;
+          action = Action::kResolveProbe;
+          breaker_state_ = BreakerState::kClosed;
+          window_queries_ = 0;
+          window_errors_ = 0;
+        }
+      }
+    } else {
+      ++window_queries_;
+      if (breaker_error) ++window_errors_;
+      if (window_queries_ >= options_.breaker.min_samples) {
+        const double rate = static_cast<double>(window_errors_) /
+                            static_cast<double>(window_queries_);
+        if (rate >= options_.breaker.error_threshold) {
+          action = Action::kTrip;
+          window_queries_ = 0;
+          window_errors_ = 0;
+        } else if (window_queries_ >= options_.breaker.window) {
+          window_queries_ = 0;
+          window_errors_ = 0;
+        }
+      }
+      if (action == Action::kNone &&
+          breaker_state_ == BreakerState::kCooldown) {
+        if (--cooldown_left_ <= 0) {
+          action = Action::kBeginProbe;
+          breaker_state_ = BreakerState::kHalfOpen;
+          probe_left_ = std::max<int64_t>(1, options_.breaker.probe_window);
+          probe_errors_ = 0;
+        }
       }
     }
   }
-  if (trip) TripBreaker();
+  switch (action) {
+    case Action::kTrip:
+      TripBreaker();
+      break;
+    case Action::kBeginProbe:
+      BeginProbe();
+      break;
+    case Action::kResolveProbe:
+      ResolveProbe(probe_recovered, probe_rate);
+      break;
+    case Action::kNone:
+      break;
+  }
 }
 
 void ModelServer::TripBreaker() {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  stats_.RecordBreakerTrip();
-  if (previous_ != nullptr) {
-    CLAPF_LOG(Warning) << "circuit breaker tripped on model v"
-                       << (current_ != nullptr ? current_->version : 0)
-                       << ": rolling back to v" << previous_->version;
-    current_ = previous_;
-    previous_.reset();
-    stats_.RecordRollback();
-  } else {
-    CLAPF_LOG(Warning) << "circuit breaker tripped with no rollback target: "
-                          "degrading to popularity fallback";
-    current_.reset();
+  bool have_probe_candidate = false;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    stats_.RecordBreakerTrip();
+    const int64_t from_version =
+        current_ != nullptr ? current_->version : 0;
+    recorder_.Record(FlightEventKind::kBreakerTrip,
+                     "error-rate breaker fired", from_version);
+    // Stash the failing snapshot for a later half-open probe; a newer trip
+    // replaces any older, never-probed candidate.
+    if (options_.breaker.half_open && current_ != nullptr) {
+      tripped_ = current_;
+      have_probe_candidate = true;
+    } else {
+      tripped_.reset();
+    }
+    probe_fallback_.reset();
+    if (previous_ != nullptr) {
+      CLAPF_LOG(Warning) << "circuit breaker tripped on model v"
+                         << from_version << ": rolling back to v"
+                         << previous_->version;
+      recorder_.Record(FlightEventKind::kRollback,
+                       "rolled back to previous snapshot", from_version,
+                       previous_->version);
+      current_ = previous_;
+      previous_.reset();
+      stats_.RecordRollback();
+    } else {
+      CLAPF_LOG(Warning) << "circuit breaker tripped with no rollback "
+                            "target: degrading to popularity fallback";
+      recorder_.Record(FlightEventKind::kDegrade,
+                       "no rollback target; degraded to popularity fallback",
+                       from_version);
+      current_.reset();
+    }
   }
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    if (have_probe_candidate && options_.breaker.cooldown_queries > 0) {
+      breaker_state_ = BreakerState::kCooldown;
+      cooldown_left_ = options_.breaker.cooldown_queries;
+    } else {
+      breaker_state_ = BreakerState::kClosed;
+    }
+    probe_left_ = 0;
+    probe_errors_ = 0;
+    window_queries_ = 0;
+    window_errors_ = 0;
+  }
+  if (!options_.flight_dump_path.empty()) {
+    // Incident black box: the dump is on disk before anyone asks for it.
+    Status dumped = recorder_.DumpJsonFile(options_.flight_dump_path);
+    if (!dumped.ok()) {
+      CLAPF_LOG(Warning) << "flight-recorder dump to "
+                         << options_.flight_dump_path
+                         << " failed: " << dumped.ToString();
+    }
+  }
+}
+
+void ModelServer::BeginProbe() {
+  bool started = false;
+  int64_t probe_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (tripped_ != nullptr) {
+      probe_fallback_ = current_;
+      probe_version = tripped_->version;
+      current_ = tripped_;
+      started = true;
+    }
+  }
+  if (!started) {
+    // A publish raced the probe open and superseded the stashed snapshot;
+    // nothing to probe.
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    breaker_state_ = BreakerState::kClosed;
+    probe_left_ = 0;
+    probe_errors_ = 0;
+    return;
+  }
+  stats_.RecordProbe();
+  recorder_.Record(FlightEventKind::kProbeStart,
+                   "half-open probe re-admitted tripped snapshot",
+                   probe_version);
+  CLAPF_LOG(Info) << "half-open probe: re-admitting tripped model v"
+                  << probe_version << " for "
+                  << options_.breaker.probe_window << " queries";
+}
+
+void ModelServer::ResolveProbe(bool recovered, double error_rate) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (tripped_ == nullptr || current_ != tripped_) {
+    // A publish replaced the probe snapshot mid-window; its verdict is moot.
+    tripped_.reset();
+    probe_fallback_.reset();
+    return;
+  }
+  const int64_t probe_version = current_->version;
+  if (recovered) {
+    // The probed snapshot stays serving and the fallback it displaced
+    // becomes the rollback target again — the pre-incident chain restored.
+    previous_ = probe_fallback_;
+    stats_.RecordProbeRecovery();
+    recorder_.Record(FlightEventKind::kProbeRecovered,
+                     "probe passed; snapshot reinstated", probe_version,
+                     previous_ != nullptr ? previous_->version : 0,
+                     error_rate);
+    CLAPF_LOG(Info) << "half-open probe passed: model v" << probe_version
+                    << " reinstated (error rate " << error_rate << ")";
+  } else {
+    current_ = probe_fallback_;
+    stats_.RecordProbeFailure();
+    recorder_.Record(FlightEventKind::kProbeFailed,
+                     "probe failed; reverted to fallback", probe_version,
+                     current_ != nullptr ? current_->version : 0, error_rate);
+    CLAPF_LOG(Warning) << "half-open probe failed: model v" << probe_version
+                       << " discarded (error rate " << error_rate << ")";
+  }
+  tripped_.reset();
+  probe_fallback_.reset();
+}
+
+Status ModelServer::DumpFlightRecorder(const std::string& path,
+                                       const FlightDumpOptions& options) const {
+  return recorder_.DumpJsonFile(path, options);
 }
 
 int64_t ModelServer::version() const {

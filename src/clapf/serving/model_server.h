@@ -13,6 +13,8 @@
 #include "clapf/obs/metrics.h"
 #include "clapf/recommender.h"
 #include "clapf/serving/admission_queue.h"
+#include "clapf/serving/flight_recorder.h"
+#include "clapf/serving/governor.h"
 #include "clapf/serving/serving_stats.h"
 #include "clapf/util/status.h"
 
@@ -53,6 +55,20 @@ struct BreakerOptions {
   int64_t min_samples = 16;
   /// Internal-error fraction at which the breaker trips.
   double error_threshold = 0.5;
+
+  // Half-open recovery. After a trip the rolled-back-from snapshot is kept
+  // aside; once `cooldown_queries` further queries have been answered by the
+  // fallback, it is re-admitted for a `probe_window`-query probe. A probe
+  // whose internal-error rate stays below `error_threshold` reinstates the
+  // snapshot (no republish needed); a failed probe reverts to the fallback
+  // and discards the snapshot for good. Every transition lands in the
+  // flight recorder.
+  /// Master switch for half-open recovery.
+  bool half_open = true;
+  /// Queries served by the fallback before a probe window opens.
+  int64_t cooldown_queries = 64;
+  /// Queries the probe window admits against the tripped snapshot.
+  int64_t probe_window = 16;
 };
 
 /// ModelServer construction knobs.
@@ -71,6 +87,19 @@ struct ServerOptions {
   bool packed = true;
   CanaryOptions canary;
   BreakerOptions breaker;
+  /// Adaptive knob control (policy, bounds, tick cadence); the default
+  /// `performance` policy reproduces the static pre-governor behavior.
+  GovernorOptions governor;
+  /// Events retained by the incident flight recorder (rounded up to a power
+  /// of two).
+  int64_t flight_recorder_capacity = 256;
+  /// When non-empty, the flight recorder is dumped (JSON, atomic write) to
+  /// this path every time the circuit breaker trips — the post-incident
+  /// black box is on disk before anyone asks for it.
+  std::string flight_dump_path;
+  /// Queries served slower than this many microseconds are recorded in the
+  /// flight recorder as slow-query events; 0 disables.
+  int64_t slow_query_us = 0;
 };
 
 /// Always-on serving front end: owns the interaction history, a worker pool
@@ -98,6 +127,9 @@ class ModelServer {
   /// queries are answered by the popularity fallback until the first
   /// successful Publish.
   ModelServer(Dataset history, const ServerOptions& options);
+
+  /// Stops the governor ticker thread and drains in-flight queries.
+  ~ModelServer();
 
   /// Gates `candidate` and, on success, atomically publishes it as the new
   /// serving snapshot. On gate failure (InvalidArgument / Corruption /
@@ -138,6 +170,23 @@ class ModelServer {
   const MetricsRegistry& metrics() const { return metrics_; }
   MetricsRegistry* mutable_metrics() { return &metrics_; }
 
+  /// The incident flight recorder: every degradation decision (governor
+  /// adjustments, sheds, deadline misses, breaker trips, probes) lands here
+  /// and can be dumped at any time — automatically on a breaker trip when
+  /// ServerOptions::flight_dump_path is set.
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+
+  /// Dumps the flight recorder as JSON to `path` (atomic write).
+  Status DumpFlightRecorder(const std::string& path,
+                            const FlightDumpOptions& options = {}) const;
+
+  /// The serving governor (never null). Its knobs() are the live values; in
+  /// drills, drive the control loop deterministically with TickGovernor().
+  const ServingGovernor& governor() const { return *governor_; }
+
+  /// One manual governor control step (see ServingGovernor::Tick).
+  void TickGovernor() { governor_->Tick(); }
+
   const Dataset& history() const { return history_; }
 
  private:
@@ -168,11 +217,18 @@ class ModelServer {
   Result<std::vector<ScoredItem>> ServeDegraded(
       UserId u, size_t k, const QueryOptions& options) const;
 
-  /// Stats + breaker accounting for one finished query.
+  /// Stats + breaker accounting for one finished query, including the
+  /// half-open recovery state machine (closed → cooldown → half-open).
   void RecordOutcome(const Status& status);
 
-  /// Breaker action: revert to the previous snapshot or degrade.
+  /// Breaker action: revert to the previous snapshot or degrade, keep the
+  /// rolled-back-from snapshot aside for a later probe, and auto-dump the
+  /// flight recorder when configured.
   void TripBreaker();
+
+  /// Half-open transitions (called off the breaker lock, take snapshot_mu_).
+  void BeginProbe();
+  void ResolveProbe(bool recovered, double error_rate);
 
   Dataset history_;
   std::vector<double> popularity_;  // fallback scores, index = item id
@@ -185,17 +241,37 @@ class ModelServer {
   std::shared_ptr<const Snapshot> previous_;  // breaker rollback target
   int64_t next_version_ = 1;
 
+  // Kept aside for half-open recovery, guarded by snapshot_mu_ like the
+  // serving chain itself. `tripped_` is the snapshot the breaker rolled back
+  // from (probe candidate); `probe_fallback_` is what `current_` pointed at
+  // before the probe swapped the candidate back in (revert target).
+  std::shared_ptr<const Snapshot> tripped_;
+  std::shared_ptr<const Snapshot> probe_fallback_;
+
+  /// Tumbling-window breaker phase. kClosed judges full windows and trips;
+  /// kCooldown counts queries toward the probe; kHalfOpen judges the probe
+  /// window against the re-admitted snapshot.
+  enum class BreakerState { kClosed, kCooldown, kHalfOpen };
+
   std::mutex breaker_mu_;
   int64_t window_queries_ = 0;
   int64_t window_errors_ = 0;
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  int64_t cooldown_left_ = 0;    // queries until the probe opens
+  int64_t probe_left_ = 0;       // queries left in the probe window
+  int64_t probe_errors_ = 0;     // internal errors seen during the probe
 
   // Declared before queue_/stats_/the latency handles: they are all views
   // into this registry and member construction follows declaration order.
   MetricsRegistry metrics_;
   Histogram* query_latency_;  // serving.query.latency_us
   Histogram* batch_latency_;  // serving.batch.latency_us
+  FlightRecorder recorder_;   // before queue_: workers record into it
   AdmissionQueue queue_;
   ServingStats stats_;
+  // Last: observes metrics_/queue_/recorder_, so it must die first and the
+  // ticker thread it owns must never outlive them.
+  std::unique_ptr<ServingGovernor> governor_;
 };
 
 }  // namespace clapf

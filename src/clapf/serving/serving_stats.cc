@@ -23,6 +23,9 @@ std::string ServingStatsSnapshot::ToString() const {
   field("canary_rejects", canary_rejects);
   field("rollbacks", rollbacks);
   field("breaker_trips", breaker_trips);
+  field("probes", probes);
+  field("probe_recoveries", probe_recoveries);
+  field("probe_failures", probe_failures);
   return out;
 }
 
@@ -39,6 +42,11 @@ ServingStats::ServingStats(MetricsRegistry* registry) {
   canary_rejects_ = registry->GetCounter("serving.canary_rejects_total");
   rollbacks_ = registry->GetCounter("serving.rollbacks_total");
   breaker_trips_ = registry->GetCounter("serving.breaker_trips_total");
+  probes_ = registry->GetCounter("serving.halfopen.probes_total");
+  probe_recoveries_ =
+      registry->GetCounter("serving.halfopen.probe_recoveries_total");
+  probe_failures_ =
+      registry->GetCounter("serving.halfopen.probe_failures_total");
 }
 
 ServingStatsSnapshot ServingStats::Snapshot() const {
@@ -54,6 +62,9 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
   s.canary_rejects = canary_rejects_->Value();
   s.rollbacks = rollbacks_->Value();
   s.breaker_trips = breaker_trips_->Value();
+  s.probes = probes_->Value();
+  s.probe_recoveries = probe_recoveries_->Value();
+  s.probe_failures = probe_failures_->Value();
   return s;
 }
 

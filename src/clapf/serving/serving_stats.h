@@ -23,6 +23,9 @@ struct ServingStatsSnapshot {
   int64_t canary_rejects = 0;     ///< candidates the gate refused
   int64_t rollbacks = 0;          ///< breaker-driven reverts to the previous snapshot
   int64_t breaker_trips = 0;      ///< circuit-breaker activations
+  int64_t probes = 0;             ///< half-open probe windows opened
+  int64_t probe_recoveries = 0;   ///< probes that reinstated the tripped snapshot
+  int64_t probe_failures = 0;     ///< probes that reverted to the rollback target
 
   /// One-line counter dump for logs: "queries=12 ok=9 shed=2 ...".
   std::string ToString() const;
@@ -51,6 +54,9 @@ class ServingStats {
   void RecordCanaryReject() { canary_rejects_->Inc(); }
   void RecordRollback() { rollbacks_->Inc(); }
   void RecordBreakerTrip() { breaker_trips_->Inc(); }
+  void RecordProbe() { probes_->Inc(); }
+  void RecordProbeRecovery() { probe_recoveries_->Inc(); }
+  void RecordProbeFailure() { probe_failures_->Inc(); }
 
   ServingStatsSnapshot Snapshot() const;
 
@@ -66,6 +72,9 @@ class ServingStats {
   Counter* canary_rejects_;
   Counter* rollbacks_;
   Counter* breaker_trips_;
+  Counter* probes_;
+  Counter* probe_recoveries_;
+  Counter* probe_failures_;
 };
 
 }  // namespace clapf

@@ -268,9 +268,10 @@ int RunRecommend(int argc, char** argv) {
 int RunServe(int argc, char** argv) {
   std::string model_path = "model.clpf", dataset_path, format = "tab";
   std::string users_csv = "0", metrics_out;
+  std::string governor_name = "performance", flight_dump;
   int64_t k = 10, threads = 2, queue_depth = 64, repeat = 1;
-  int64_t deadline_us = 0, metrics_every = 0;
-  double min_auc = 0.0;
+  int64_t deadline_us = 0, metrics_every = 0, governor_interval_ms = 50;
+  double min_auc = 0.0, latency_target_ms = 5.0;
   bool has_header = false, packed = true;
   FlagParser flags;
   flags.AddString("model", &model_path, "candidate model path (.clpf)");
@@ -298,6 +299,17 @@ int RunServe(int argc, char** argv) {
   flags.AddInt("metrics-every", &metrics_every,
                "refresh --metrics-out every N replay rounds as well as at "
                "exit (0 = exit only)");
+  flags.AddString("governor", &governor_name,
+                  "serving governor policy: performance (static, default), "
+                  "ondemand (step on pressure, decay slowly), or schedutil "
+                  "(track --latency-target-ms)");
+  flags.AddInt("governor-interval-ms", &governor_interval_ms,
+               "governor tick cadence in milliseconds");
+  flags.AddDouble("latency-target-ms", &latency_target_ms,
+                  "schedutil: p99 query-latency target in milliseconds");
+  flags.AddString("flight-dump", &flight_dump,
+                  "dump the incident flight recorder (JSON) to this path at "
+                  "exit and on every breaker trip");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
   }
@@ -308,12 +320,24 @@ int RunServe(int argc, char** argv) {
   auto data = LoadAnyDataset(dataset_path, format, has_header);
   if (!data.ok()) return Fail(data.status());
 
+  auto policy = ParseGovernorPolicy(governor_name);
+  if (!policy.ok()) return Fail(policy.status());
+
   ServerOptions server_options;
   server_options.num_threads = static_cast<int>(threads);
   server_options.max_queue_depth = queue_depth;
   server_options.canary.min_auc = min_auc;
   server_options.packed = packed;
+  server_options.governor.policy = *policy;
+  server_options.governor.interval_us = governor_interval_ms * 1000;
+  server_options.governor.latency_target_ms = latency_target_ms;
+  server_options.flight_dump_path = flight_dump;
   ModelServer server(*std::move(data), server_options);
+  if (*policy != GovernorPolicy::kPerformance) {
+    std::printf("governor %s active (tick every %lld ms)\n",
+                GovernorPolicyName(*policy),
+                static_cast<long long>(governor_interval_ms));
+  }
 
   // The candidate goes through the full canary gate; a rejection leaves the
   // server in degraded (popularity) mode rather than exiting.
@@ -353,6 +377,26 @@ int RunServe(int argc, char** argv) {
     }
   }
   std::printf("serving stats: %s\n", server.stats().ToString().c_str());
+  if (*policy != GovernorPolicy::kPerformance) {
+    const GovernorKnobs knobs = server.governor().knobs();
+    std::printf("governor: policy=%s ticks=%lld adjustments=%lld "
+                "queue_depth=%lld deadline_budget_us=%lld force_packed=%d\n",
+                GovernorPolicyName(*policy),
+                static_cast<long long>(server.governor().ticks()),
+                static_cast<long long>(server.governor().adjustments()),
+                static_cast<long long>(knobs.max_queue_depth),
+                static_cast<long long>(knobs.deadline_budget_us),
+                knobs.force_packed ? 1 : 0);
+  }
+  if (!flight_dump.empty()) {
+    // Exit dump complements the automatic on-trip dumps: the recorder's
+    // final state lands on disk even for incident-free runs.
+    if (Status s = server.DumpFlightRecorder(flight_dump); !s.ok()) {
+      std::printf("flight-recorder dump failed: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("flight recorder dumped to %s\n", flight_dump.c_str());
+    }
+  }
   MaybeDumpMetrics(server.metrics(), metrics_out);
   return 0;
 }
