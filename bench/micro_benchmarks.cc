@@ -25,6 +25,7 @@
 #include "clapf/sampling/dss_sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
 #include "clapf/serving/model_server.h"
+#include "clapf/serving/sharded_server.h"
 #include "clapf/util/fault_injection.h"
 #include "clapf/util/linalg.h"
 #include "clapf/util/math.h"
@@ -283,12 +284,12 @@ void BM_ModelSwapUnderLoad(benchmark::State& state) {
   FactorModel candidate(500, 2000, 20);
   Rng rng(17);
   candidate.InitGaussian(rng, 0.1);
-  CLAPF_CHECK_OK(server.Publish(candidate));
+  CLAPF_CHECK_OK(server.PublishModel(candidate));
 
   std::atomic<bool> stop{false};
   std::thread publisher([&server, &candidate, &stop] {
     while (!stop.load(std::memory_order_relaxed)) {
-      CLAPF_CHECK_OK(server.Publish(candidate));
+      CLAPF_CHECK_OK(server.PublishModel(candidate));
     }
   });
   UserId u = 0;
@@ -306,6 +307,65 @@ void BM_ModelSwapUnderLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelSwapUnderLoad)->UseRealTime();
 
+// Scatter-gather query cost as the shard count grows. Arg is the shard
+// count (1 = monolithic layout inside the sharded server, scored inline).
+// Answers are bit-identical across rows — the drill suite proves it — so
+// this row isolates the pure fan-out overhead: per-shard heaps, the
+// threshold broadcast, and the latch join against the scatter pool.
+void BM_RecommendSharded(benchmark::State& state) {
+  static Dataset data = BenchData(500, 2000, 25000);
+  ServerOptions options;
+  options.num_threads = 2;
+  options.max_queue_depth = 1 << 20;
+  options.num_shards = static_cast<int32_t>(state.range(0));
+  options.scatter_threads = 2;
+  ShardedModelServer server(data, options);
+  FactorModel candidate(500, 2000, 20);
+  Rng rng(17);
+  candidate.InitGaussian(rng, 0.1);
+  CLAPF_CHECK_OK(server.PublishModel(candidate));
+  UserId u = 0;
+  for (auto _ : state) {
+    auto got = server.RecommendOne(u, 10);
+    CLAPF_CHECK_OK(got.status());
+    benchmark::DoNotOptimize(got->data());
+    u = (u + 1) % 500;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["shards"] =
+      static_cast<double>(server.num_shards());
+}
+BENCHMARK(BM_RecommendSharded)->Arg(1)->Arg(4)->Arg(8);
+
+// Incremental hot reload: the cost of publishing into ONE shard of an
+// 8-shard catalog versus regating and repacking all of them. The per-shard
+// row slices, gates, and repacks 1/8th of the items, so it should land
+// near an 8th of the all-shard row — that gap is what makes targeted
+// reloads cheap enough to run under load. Arg: 0 = one shard, 1 = all.
+void BM_ShardPublish(benchmark::State& state) {
+  static Dataset data = BenchData(500, 2000, 25000);
+  ServerOptions options;
+  options.num_threads = 2;
+  options.num_shards = 8;
+  ShardedModelServer server(data, options);
+  FactorModel candidate(500, 2000, 20);
+  Rng rng(17);
+  candidate.InitGaussian(rng, 0.1);
+  CLAPF_CHECK_OK(server.PublishModel(candidate));
+  const bool all_shards = state.range(0) == 1;
+  int32_t shard = 0;
+  for (auto _ : state) {
+    PublishRequest request(candidate);
+    if (!all_shards) {
+      request.shard = shard;
+      shard = (shard + 1) % server.num_shards();
+    }
+    CLAPF_CHECK_OK(server.PublishModel(std::move(request)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardPublish)->Arg(0)->Arg(1);
+
 // Cost of one governor control step (read metric deltas + p99 estimate +
 // policy decision). This is what the ticker thread pays every interval_us —
 // it must be microseconds, i.e. invisible next to a single query. Arg is
@@ -320,7 +380,7 @@ void BM_GovernorTick(benchmark::State& state) {
   FactorModel candidate(500, 2000, 20);
   Rng rng(17);
   candidate.InitGaussian(rng, 0.1);
-  CLAPF_CHECK_OK(server.Publish(candidate));
+  CLAPF_CHECK_OK(server.PublishModel(candidate));
   // Seed the latency histogram so the p99 estimate has real buckets to walk.
   for (int i = 0; i < 64; ++i) {
     CLAPF_CHECK_OK(server.Recommend(i % 500, 10).status());
@@ -354,7 +414,7 @@ void BM_GovernorOverload(benchmark::State& state) {
   FactorModel candidate(500, 2000, 20);
   Rng rng(17);
   candidate.InitGaussian(rng, 0.1);
-  CLAPF_CHECK_OK(server.Publish(candidate));
+  CLAPF_CHECK_OK(server.PublishModel(candidate));
 
   // Every served query blocks 2ms against a 500us budget: a guaranteed
   // miss. The only way to a lower miss rate is shedding at admission. The

@@ -69,7 +69,11 @@
 #include "clapf/serving/flight_recorder.h"
 #include "clapf/serving/governor.h"
 #include "clapf/serving/model_server.h"
+#include "clapf/serving/model_shard.h"
+#include "clapf/serving/publish_request.h"
 #include "clapf/serving/serving_stats.h"
+#include "clapf/serving/shard_map.h"
+#include "clapf/serving/sharded_server.h"
 #include "clapf/util/crc32.h"
 #include "clapf/util/fault_injection.h"
 #include "clapf/util/fs.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "clapf/util/logging.h"
 #include "clapf/util/string_util.h"
 
 namespace clapf {
@@ -30,6 +31,27 @@ std::vector<int64_t> Dataset::ItemPopularity() const {
   std::vector<int64_t> pop(num_items_, 0);
   for (ItemId i : items_) ++pop[i];
   return pop;
+}
+
+Dataset Dataset::SliceItemRange(const Dataset& data, ItemId begin,
+                                ItemId end) {
+  CLAPF_CHECK(begin >= 0 && begin <= end && end <= data.num_items_);
+  Dataset out;
+  out.num_users_ = data.num_users_;
+  out.num_items_ = end - begin;
+  out.offsets_.assign(1, 0);
+  out.offsets_.reserve(static_cast<size_t>(data.num_users_) + 1);
+  for (UserId u = 0; u < data.num_users_; ++u) {
+    auto items = data.ItemsOf(u);
+    // Items are sorted per user, so the slice is one contiguous subrange.
+    auto lo = std::lower_bound(items.begin(), items.end(), begin);
+    auto hi = std::lower_bound(items.begin(), items.end(), end);
+    for (auto it = lo; it != hi; ++it) {
+      out.items_.push_back(*it - begin);
+    }
+    out.offsets_.push_back(static_cast<int64_t>(out.items_.size()));
+  }
+  return out;
 }
 
 std::string Dataset::Summary() const {

@@ -63,6 +63,14 @@ class Dataset {
   /// One-line summary for logs: "Dataset(n=..., m=..., |P|=..., density=..)".
   std::string Summary() const;
 
+  /// Copy of `data` restricted to the item range [begin, end): every user is
+  /// kept, items outside the range are dropped, and surviving item ids are
+  /// renumbered to [0, end - begin). Because each user's items are stored
+  /// sorted, slicing preserves per-user order, so a contiguous catalog
+  /// partition reassembles to exactly the original dataset. This is the
+  /// history projection behind per-shard serving state.
+  static Dataset SliceItemRange(const Dataset& data, ItemId begin, ItemId end);
+
  private:
   friend class DatasetBuilder;
 

@@ -124,4 +124,18 @@ double FactorModel::SquaredNorm() const {
   return total;
 }
 
+FactorModel FactorModel::SliceItems(ItemId begin, ItemId end) const {
+  CLAPF_CHECK(begin >= 0 && begin <= end && end <= num_items_);
+  FactorModel out(num_users_, end - begin, num_factors_, use_item_bias_);
+  out.user_factors_ = user_factors_;
+  std::copy(item_factors_.begin() +
+                static_cast<size_t>(begin) * num_factors_,
+            item_factors_.begin() + static_cast<size_t>(end) * num_factors_,
+            out.item_factors_.begin());
+  std::copy(item_bias_.begin() + static_cast<size_t>(begin),
+            item_bias_.begin() + static_cast<size_t>(end),
+            out.item_bias_.begin());
+  return out;
+}
+
 }  // namespace clapf

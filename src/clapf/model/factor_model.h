@@ -88,6 +88,13 @@ class FactorModel {
   /// Squared L2 norm of all parameters (regularization diagnostics).
   double SquaredNorm() const;
 
+  /// Copy of this model restricted to items [begin, end): user factors are
+  /// kept whole, item factors/biases are copied for the range and renumbered
+  /// to [0, end - begin). A score f_ui depends only on u's and i's own
+  /// parameters, so the slice predicts bit-identical doubles for its items —
+  /// the invariant per-shard serving snapshots are built on.
+  FactorModel SliceItems(ItemId begin, ItemId end) const;
+
  private:
   int32_t num_users_;
   int32_t num_items_;

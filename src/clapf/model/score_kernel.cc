@@ -156,7 +156,7 @@ void ScoreBlocks(const PackedSnapshot& snap, UserId u, int32_t first_block,
 
 void ScoreBlocksTopK(const PackedSnapshot& snap, UserId u, ItemId begin,
                      ItemId end, const std::vector<bool>* excluded,
-                     TopKAccumulator* acc) {
+                     TopKAccumulator* acc, double reject_below) {
   CLAPF_CHECK(begin >= 0 && begin <= end && end <= snap.num_items());
   CLAPF_CHECK(begin % kPackedBlockItems == 0);
   if (begin == end) return;
@@ -181,6 +181,7 @@ void ScoreBlocksTopK(const PackedSnapshot& snap, UserId u, ItemId begin,
         continue;
       }
       const double s = static_cast<double>(buf[i - lo]);
+      if (s < reject_below) continue;
       if (acc->full() && s < acc->threshold_score()) continue;
       acc->Push(i, s);
     }

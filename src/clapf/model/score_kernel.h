@@ -2,6 +2,7 @@
 #define CLAPF_MODEL_SCORE_KERNEL_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "clapf/model/packed_snapshot.h"
@@ -50,9 +51,19 @@ void ScoreBlocks(const PackedSnapshot& snap, UserId u, int32_t first_block,
 /// Ties with the threshold still go through Push, preserving the
 /// smaller-item-id tie-break exactly. `begin` must be block-aligned
 /// (begin % kPackedBlockItems == 0); serving's kRankerBlockItems chunks are.
+///
+/// `reject_below` extends the early-reject bar beyond the local heap: any
+/// score strictly below it is also skipped. Sharded scatter-gather passes
+/// the broadcast threshold here — the max of every shard's full-heap
+/// threshold, which can only ever be <= the global k-th best score, so
+/// cross-shard rejection never drops a true global top-k item and ties at
+/// the bar still reach Push for the id tie-break. The default (-inf)
+/// disables it.
 void ScoreBlocksTopK(const PackedSnapshot& snap, UserId u, ItemId begin,
                      ItemId end, const std::vector<bool>* excluded,
-                     TopKAccumulator* acc);
+                     TopKAccumulator* acc,
+                     double reject_below =
+                         -std::numeric_limits<double>::infinity());
 
 }  // namespace clapf
 

@@ -46,7 +46,7 @@ struct QueryOptions {
   /// Serve from the packed SIMD snapshot when the recommender carries one:
   /// the fused score+top-k kernel, approximate within PackedScoreBound().
   /// Default true — but a snapshot exists only where one was built
-  /// (ModelServer::Publish does it at swap time; EnablePacked opts in
+  /// (ModelServer::PublishModel does it at swap time; EnablePacked opts in
   /// manually), so training and offline-eval paths stay on the exact double
   /// scan and their goldens stay bit-identical. Set false to force the exact
   /// path even when a snapshot is present.
@@ -110,25 +110,12 @@ class Recommender {
                                            const QueryOptions& options = {})
       const;
 
-  [[deprecated("use Recommend(u, k, QueryOptions{})")]]
-  Result<std::vector<ScoredItem>> Recommend(UserId u, size_t k) const {
-    return Recommend(u, k, QueryOptions{});
-  }
-
-  [[deprecated("use Recommend(u, k, QueryOptions{.exclude = ...})")]]
-  Result<std::vector<ScoredItem>> RecommendFiltered(
-      UserId u, size_t k, const std::vector<ItemId>& exclude) const {
-    QueryOptions options;
-    options.exclude = exclude;
-    return Recommend(u, k, options);
-  }
-
   /// Builds and adopts a packed SIMD snapshot of the current model so
   /// queries with QueryOptions::use_packed take the fused fast path. When
   /// `verify_sample_users` > 0 the repack is first checked against the exact
   /// model (VerifyPackedAgreement); a violation is returned and the
   /// recommender stays exact. Convenience for CLI / standalone use —
-  /// ModelServer::Publish instead builds and gates the snapshot itself and
+  /// ModelServer::PublishModel instead builds and gates the snapshot itself and
   /// hands it over via AdoptPacked.
   Status EnablePacked(int32_t verify_sample_users = 0);
 

@@ -95,7 +95,42 @@ Status ModelServer::GateCandidate(const FactorModel& candidate,
   return Status::OK();
 }
 
-Status ModelServer::Publish(FactorModel candidate) {
+Status ModelServer::PublishModel(PublishRequest request) {
+  if (request.model.has_value() && !request.path.empty()) {
+    return Status::InvalidArgument(
+        "publish request carries both an in-memory model and a file path");
+  }
+  if (request.shard != kAllShards && request.shard != 0) {
+    return Status::InvalidArgument(
+        "publish targets shard " + std::to_string(request.shard) +
+        " but this server is single-shard; use ShardedModelServer");
+  }
+  if (request.tenant != kDefaultTenant) {
+    return Status::InvalidArgument(
+        "publish targets tenant \"" + request.tenant +
+        "\" but this server is single-tenant; use ShardedModelServer");
+  }
+  if (request.model.has_value()) {
+    return PublishCandidate(*std::move(request.model));
+  }
+  if (request.path.empty()) {
+    return Status::InvalidArgument(
+        "publish request carries neither a model nor a file path");
+  }
+  auto model = LoadModel(request.path);  // CRC-verified by the wire format
+  if (!model.ok()) {
+    stats_.RecordCanaryReject();
+    recorder_.Record(FlightEventKind::kCanaryReject,
+                     model.status().message());
+    CLAPF_LOG(Warning) << "candidate file rejected, prior snapshot keeps "
+                          "serving: "
+                       << model.status().ToString();
+    return model.status();
+  }
+  return PublishCandidate(*std::move(model));
+}
+
+Status ModelServer::PublishCandidate(FactorModel candidate) {
   FaultInjector& faults = FaultInjector::Instance();
   if (faults.armed() &&
       faults.ShouldFire(FaultPoint::kServeCorruptCandidate) &&
@@ -160,20 +195,6 @@ Status ModelServer::Publish(FactorModel candidate) {
     probe_errors_ = 0;
   }
   return Status::OK();
-}
-
-Status ModelServer::PublishFromFile(const std::string& path) {
-  auto model = LoadModel(path);  // CRC-verified by the wire format
-  if (!model.ok()) {
-    stats_.RecordCanaryReject();
-    recorder_.Record(FlightEventKind::kCanaryReject,
-                     model.status().message());
-    CLAPF_LOG(Warning) << "candidate file rejected, prior snapshot keeps "
-                          "serving: "
-                       << model.status().ToString();
-    return model.status();
-  }
-  return Publish(*std::move(model));
 }
 
 Result<std::vector<ScoredItem>> ModelServer::ServeDegraded(

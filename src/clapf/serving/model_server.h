@@ -6,6 +6,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "clapf/data/dataset.h"
@@ -15,6 +16,7 @@
 #include "clapf/serving/admission_queue.h"
 #include "clapf/serving/flight_recorder.h"
 #include "clapf/serving/governor.h"
+#include "clapf/serving/publish_request.h"
 #include "clapf/serving/serving_stats.h"
 #include "clapf/util/status.h"
 
@@ -100,6 +102,17 @@ struct ServerOptions {
   /// Queries served slower than this many microseconds are recorded in the
   /// flight recorder as slow-query events; 0 disables.
   int64_t slow_query_us = 0;
+
+  // Sharded serving (ShardedModelServer only; ModelServer ignores these).
+  /// Contiguous catalog shards, each with its own slice, packed snapshot,
+  /// breaker, and flight recorder. Clamped to [1, ceil(num_items / 8)].
+  int32_t num_shards = 1;
+  /// Scatter worker threads fanning one query across shards; 0 picks
+  /// min(num_shards, 4). Irrelevant when num_shards == 1 (inline scoring).
+  int scatter_threads = 0;
+  /// Per-tenant in-flight admission budget; <= 0 disables tenant quotas
+  /// (the global max_queue_depth bound always applies).
+  int64_t per_tenant_quota = 0;
 };
 
 /// Always-on serving front end: owns the interaction history, a worker pool
@@ -131,14 +144,27 @@ class ModelServer {
   /// Stops the governor ticker thread and drains in-flight queries.
   ~ModelServer();
 
-  /// Gates `candidate` and, on success, atomically publishes it as the new
-  /// serving snapshot. On gate failure (InvalidArgument / Corruption /
-  /// FailedPrecondition) the previous snapshot keeps serving.
-  Status Publish(FactorModel candidate);
+  /// The unified publish entry point: resolves `request` (an in-memory
+  /// candidate or a CRC-verified model file — the implicit PublishRequest
+  /// conversions make `PublishModel(model)` and `PublishModel(path)` read
+  /// like the calls they replaced), gates it, and on success atomically
+  /// swaps it in as the new serving snapshot. On gate failure
+  /// (InvalidArgument / Corruption / FailedPrecondition) the previous
+  /// snapshot keeps serving. This server is single-shard and
+  /// single-tenant: a request targeting any shard but kAllShards/0 or any
+  /// tenant but kDefaultTenant is refused — route those to
+  /// ShardedModelServer.
+  Status PublishModel(PublishRequest request);
 
-  /// Loads `path` (CRC-verified by the model format) and publishes it
-  /// through the same gate.
-  Status PublishFromFile(const std::string& path);
+  [[deprecated("use PublishModel(candidate)")]]
+  Status Publish(FactorModel candidate) {
+    return PublishModel(PublishRequest(std::move(candidate)));
+  }
+
+  [[deprecated("use PublishModel(path)")]]
+  Status PublishFromFile(const std::string& path) {
+    return PublishModel(PublishRequest(path));
+  }
 
   /// Top-k for one user through admission control on the serving pool.
   /// Outcomes: the ranked list, DeadlineExceeded (options.deadline expired),
@@ -194,6 +220,10 @@ class ModelServer {
     int64_t version;
     Recommender recommender;
   };
+
+  /// Gate + swap for a resolved in-memory candidate (the tail of every
+  /// PublishModel call).
+  Status PublishCandidate(FactorModel candidate);
 
   /// Pre-publish validation; `context` names the candidate in errors.
   /// `packed` is the candidate's freshly built snapshot (null when packed

@@ -1,0 +1,166 @@
+#include "clapf/serving/model_shard.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "clapf/core/ranker.h"
+#include "clapf/model/model_io.h"
+#include "clapf/model/score_kernel.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Matches the monolithic ranker's injected kServeSlowBlock stall so sharded
+// deadline drills exercise the same timing fault.
+constexpr std::chrono::milliseconds kSlowBlockStall(2);
+
+// Per-thread scatter scratch, mirroring the recommender's QueryArena: one
+// scatter worker reuses its buffers across shards and queries, so after
+// warm-up the only O(shard) work outside scoring is the bitmap reset.
+struct ShardArena {
+  std::vector<double> scores;
+  std::vector<bool> excluded;
+};
+
+ShardArena& LocalArena() {
+  thread_local ShardArena arena;
+  return arena;
+}
+
+}  // namespace
+
+ModelShard::ModelShard(int32_t id, ItemId begin, ItemId end,
+                       const Dataset& full_history,
+                       const std::vector<double>& full_popularity)
+    : id_(id),
+      begin_(begin),
+      end_(end),
+      history_(Dataset::SliceItemRange(full_history, begin, end)),
+      popularity_(full_popularity.begin() + begin,
+                  full_popularity.begin() + end) {
+  CLAPF_CHECK(id >= 0);
+}
+
+Result<std::shared_ptr<ShardSlice>> ModelShard::BuildSlice(
+    const FactorModel& candidate, bool packed, bool verify_integrity,
+    int32_t packed_agreement_users, const std::string& context) const {
+  auto slice =
+      std::make_shared<ShardSlice>(candidate.SliceItems(begin_, end_));
+  if (verify_integrity) {
+    // The slice carries the full user matrix plus this shard's items, so
+    // the finite scan + CRC round-trip covers exactly the parameters this
+    // shard will serve — a corrupt user factor is caught by every shard's
+    // gate, a corrupt item factor by its owner's.
+    CLAPF_RETURN_IF_ERROR(VerifyModelIntegrity(slice->model, context));
+  }
+  if (packed) {
+    auto snap =
+        std::make_shared<PackedSnapshot>(PackedSnapshot::Build(slice->model));
+    if (packed_agreement_users > 0) {
+      CLAPF_RETURN_IF_ERROR(VerifyPackedAgreement(
+          slice->model, *snap, packed_agreement_users, context));
+    }
+    slice->packed = std::move(snap);
+  }
+  return slice;
+}
+
+std::vector<bool>* ModelShard::BuildExcluded(
+    UserId u, const QueryOptions& options) const {
+  std::vector<bool>* excluded = &LocalArena().excluded;
+  excluded->assign(static_cast<size_t>(num_local_items()), false);
+  for (ItemId i : history_.ItemsOf(u)) {
+    (*excluded)[static_cast<size_t>(i)] = true;
+  }
+  for (ItemId i : options.exclude) {
+    if (i >= begin_ && i < end_) {
+      (*excluded)[static_cast<size_t>(i - begin_)] = true;
+    }
+  }
+  return excluded;
+}
+
+Result<std::vector<ScoredItem>> ModelShard::ScoreTopK(
+    const ShardSlice& slice, UserId u, size_t k, const QueryOptions& options,
+    const std::optional<Clock::time_point>& deadline,
+    ThresholdBroadcast* broadcast) const {
+  const ItemId local_items = num_local_items();
+  const size_t local_k = std::min(k, static_cast<size_t>(local_items));
+  if (local_k == 0) return std::vector<ScoredItem>{};
+
+  std::vector<bool>* excluded = BuildExcluded(u, options);
+  FaultInjector& faults = FaultInjector::Instance();
+  std::vector<ScoredItem> top;
+
+  if (options.use_packed && slice.packed != nullptr) {
+    // Packed fast path: fused score + top-k over the shard's SIMD repack,
+    // chunked like the monolithic ranker (fault + deadline poll per chunk).
+    // Each chunk ends by raising the cross-shard bar to this heap's
+    // threshold; the next chunk starts by reading the bar, so concurrent
+    // shards prune each other mid-query.
+    const PackedSnapshot& packed = *slice.packed;
+    TopKAccumulator acc(local_k);
+    for (ItemId lo = 0; lo < local_items; lo += kRankerBlockItems) {
+      const ItemId hi = std::min<ItemId>(local_items, lo + kRankerBlockItems);
+      if (faults.armed() && faults.ShouldFire(FaultPoint::kServeSlowBlock)) {
+        std::this_thread::sleep_for(kSlowBlockStall);
+      }
+      const double bar =
+          broadcast != nullptr
+              ? broadcast->Get()
+              : -std::numeric_limits<double>::infinity();
+      ScoreBlocksTopK(packed, u, lo, hi, excluded, &acc, bar);
+      if (broadcast != nullptr && acc.full()) {
+        broadcast->Raise(acc.threshold_score());
+      }
+      if (deadline && Clock::now() > *deadline) {
+        return Status::DeadlineExceeded(
+            "query for user " + std::to_string(u) + " expired in shard " +
+            std::to_string(id_) + " after scoring " + std::to_string(hi) +
+            "/" + std::to_string(local_items) + " items");
+      }
+    }
+    top = acc.Take();
+  } else {
+    // Exact double scan over the sliced model; scores are bit-identical to
+    // the monolithic scan of the same items, so the gathered merge is too.
+    std::vector<double>* scores = &LocalArena().scores;
+    scores->resize(static_cast<size_t>(local_items));
+    for (ItemId lo = 0; lo < local_items; lo += kRankerBlockItems) {
+      const ItemId hi = std::min<ItemId>(local_items, lo + kRankerBlockItems);
+      if (faults.armed() && faults.ShouldFire(FaultPoint::kServeSlowBlock)) {
+        std::this_thread::sleep_for(kSlowBlockStall);
+      }
+      slice.model.ScoreItemRange(u, lo, hi, scores);
+      if (deadline && Clock::now() > *deadline) {
+        return Status::DeadlineExceeded(
+            "query for user " + std::to_string(u) + " expired in shard " +
+            std::to_string(id_) + " after scoring " + std::to_string(hi) +
+            "/" + std::to_string(local_items) + " items");
+      }
+    }
+    top = SelectTopK(*scores, *excluded, local_k);
+  }
+
+  for (ScoredItem& item : top) item.item += begin_;
+  return top;
+}
+
+std::vector<ScoredItem> ModelShard::PopularityTopK(
+    UserId u, size_t k, const QueryOptions& options) const {
+  const size_t local_k =
+      std::min(k, static_cast<size_t>(num_local_items()));
+  if (local_k == 0) return {};
+  std::vector<bool>* excluded = BuildExcluded(u, options);
+  std::vector<ScoredItem> top = SelectTopK(popularity_, *excluded, local_k);
+  for (ScoredItem& item : top) item.item += begin_;
+  return top;
+}
+
+}  // namespace clapf

@@ -1,0 +1,135 @@
+#ifndef CLAPF_SERVING_MODEL_SHARD_H_
+#define CLAPF_SERVING_MODEL_SHARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/model/packed_snapshot.h"
+#include "clapf/recommender.h"
+#include "clapf/util/status.h"
+#include "clapf/util/top_k.h"
+
+namespace clapf {
+
+/// One published model version restricted to a shard's item range: the
+/// sliced exact model plus (when packed serving is on) its SIMD repack.
+/// Immutable once published; query workers share it read-only via
+/// shared_ptr, exactly like the monolithic server's Snapshot.
+struct ShardSlice {
+  explicit ShardSlice(FactorModel sliced_model)
+      : model(std::move(sliced_model)) {}
+
+  int64_t version = 0;
+  FactorModel model;  // items renumbered to [0, shard size)
+  std::shared_ptr<const PackedSnapshot> packed;  // null when packed is off
+};
+
+/// Cross-shard early-reject bar for one scatter-gather query. Each shard
+/// publishes its full-heap threshold after every scoring chunk; every shard
+/// reads the running maximum and skips scores strictly below it. Any one
+/// shard's k-th-best is a lower bound on the global k-th-best, and the
+/// rejection test is strict (ties still reach Push for the smaller-id
+/// tie-break), so the broadcast can only skip items that cannot be in the
+/// global top-k — merged results stay bit-identical to a monolithic scan.
+///
+/// Relaxed atomics are sufficient: the bar is monotone and a stale read is
+/// merely a weaker (always-correct) bound.
+class ThresholdBroadcast {
+ public:
+  ThresholdBroadcast()
+      : floor_(-std::numeric_limits<double>::infinity()) {}
+
+  /// Raises the bar to at least `threshold` (monotone max).
+  void Raise(double threshold) {
+    double cur = floor_.load(std::memory_order_relaxed);
+    while (threshold > cur &&
+           !floor_.compare_exchange_weak(cur, threshold,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Get() const { return floor_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> floor_;
+};
+
+/// Immutable identity of one catalog shard — its item range, the serving
+/// history and popularity table restricted to it — plus the two operations
+/// the sharded server fans out: building a gated slice of a candidate model
+/// and answering a local top-k scatter query.
+///
+/// All ids crossing this class's boundary are global: queries hand in global
+/// exclusion lists and get back global item ids; the local renumbering
+/// ([0, size) = [begin, end) - begin) is an internal layout detail.
+///
+/// Thread-safe: const methods only, and the per-thread scratch they use is
+/// thread_local.
+class ModelShard {
+ public:
+  /// Shard `id` owning items [begin, end) of `full_history`'s catalog.
+  /// `full_popularity` is the server's popularity table (one count per
+  /// item); both are sliced and copied, so the shard is self-contained.
+  ModelShard(int32_t id, ItemId begin, ItemId end,
+             const Dataset& full_history,
+             const std::vector<double>& full_popularity);
+
+  int32_t id() const { return id_; }
+  ItemId begin() const { return begin_; }
+  ItemId end() const { return end_; }
+  int32_t num_local_items() const { return end_ - begin_; }
+
+  /// Builds this shard's ShardSlice of full-catalog `candidate` (version
+  /// left 0 for the server to assign at swap time). When `verify_integrity`
+  /// is set the sliced model must pass VerifyModelIntegrity (finite scan +
+  /// wire-format/CRC round-trip); when `packed` is set a PackedSnapshot is
+  /// built and, if `packed_agreement_users` > 0, verified against the slice
+  /// within PackedScoreBound. Gate failures leave nothing published.
+  Result<std::shared_ptr<ShardSlice>> BuildSlice(
+      const FactorModel& candidate, bool packed, bool verify_integrity,
+      int32_t packed_agreement_users, const std::string& context) const;
+
+  /// Scatter kernel: top-k of this shard's items for user `u`, through the
+  /// packed fast path when the slice carries a snapshot and
+  /// `options.use_packed` allows it, else the exact double scan. Applies
+  /// history and options.exclude exclusions; does NOT apply min_score or
+  /// cold-start policy — those are gather-side (router) decisions so they
+  /// act exactly once per query, as in the monolithic path. Returns at most
+  /// min(k, shard size) items with GLOBAL ids, DeadlineExceeded when
+  /// `deadline` expires mid-scan. `broadcast` (may be null) is the
+  /// cross-shard early-reject bar.
+  Result<std::vector<ScoredItem>> ScoreTopK(
+      const ShardSlice& slice, UserId u, size_t k,
+      const QueryOptions& options,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      ThresholdBroadcast* broadcast) const;
+
+  /// Degraded scatter kernel: local popularity top-k with the same
+  /// exclusion rules, for shards whose serving chain has no valid slice.
+  /// Global ids, never fails.
+  std::vector<ScoredItem> PopularityTopK(UserId u, size_t k,
+                                         const QueryOptions& options) const;
+
+ private:
+  /// Fills the thread-local excluded bitmap (local ids) for `u`.
+  std::vector<bool>* BuildExcluded(UserId u,
+                                   const QueryOptions& options) const;
+
+  int32_t id_;
+  ItemId begin_;
+  ItemId end_;
+  Dataset history_;                 // sliced, local item ids
+  std::vector<double> popularity_;  // sliced fallback scores
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SERVING_MODEL_SHARD_H_

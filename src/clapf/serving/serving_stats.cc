@@ -29,6 +29,65 @@ std::string ServingStatsSnapshot::ToString() const {
   return out;
 }
 
+std::string ShardStatsSnapshot::ToString() const {
+  std::string out;
+  auto field = [&out](const char* name, int64_t value) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  };
+  field("shard", shard);
+  field("queries", queries);
+  field("internal_errors", internal_errors);
+  field("deadline_exceeded", deadline_exceeded);
+  field("degraded", degraded);
+  field("publishes", publishes);
+  field("canary_rejects", canary_rejects);
+  field("rollbacks", rollbacks);
+  field("breaker_trips", breaker_trips);
+  return out;
+}
+
+std::string ShardedStatsSnapshot::ToString() const {
+  std::string out = total.ToString();
+  for (const ShardStatsSnapshot& s : shards) {
+    out += '\n';
+    out += s.ToString();
+  }
+  return out;
+}
+
+ShardServingStats::ShardServingStats(MetricsRegistry* registry, int32_t shard)
+    : shard_(shard) {
+  CLAPF_CHECK(registry != nullptr);
+  CLAPF_CHECK(shard >= 0);
+  const std::string prefix = "serving.shard." + std::to_string(shard) + ".";
+  queries_ = registry->GetCounter(prefix + "queries_total");
+  internal_errors_ = registry->GetCounter(prefix + "internal_errors_total");
+  deadline_exceeded_ =
+      registry->GetCounter(prefix + "deadline_exceeded_total");
+  degraded_ = registry->GetCounter(prefix + "degraded_total");
+  publishes_ = registry->GetCounter(prefix + "publishes_total");
+  canary_rejects_ = registry->GetCounter(prefix + "canary_rejects_total");
+  rollbacks_ = registry->GetCounter(prefix + "rollbacks_total");
+  breaker_trips_ = registry->GetCounter(prefix + "breaker_trips_total");
+}
+
+ShardStatsSnapshot ShardServingStats::Snapshot() const {
+  ShardStatsSnapshot s;
+  s.shard = shard_;
+  s.queries = queries_->Value();
+  s.internal_errors = internal_errors_->Value();
+  s.deadline_exceeded = deadline_exceeded_->Value();
+  s.degraded = degraded_->Value();
+  s.publishes = publishes_->Value();
+  s.canary_rejects = canary_rejects_->Value();
+  s.rollbacks = rollbacks_->Value();
+  s.breaker_trips = breaker_trips_->Value();
+  return s;
+}
+
 ServingStats::ServingStats(MetricsRegistry* registry) {
   CLAPF_CHECK(registry != nullptr);
   queries_ = registry->GetCounter("serving.queries_total");

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "clapf/obs/metrics.h"
 
@@ -75,6 +76,65 @@ class ServingStats {
   Counter* probes_;
   Counter* probe_recoveries_;
   Counter* probe_failures_;
+};
+
+/// Point-in-time copy of one shard's serving counters.
+struct ShardStatsSnapshot {
+  int32_t shard = 0;
+  int64_t queries = 0;            ///< queries that consulted this shard
+  int64_t internal_errors = 0;    ///< integrity failures attributed here
+  int64_t deadline_exceeded = 0;  ///< expiries attributed here
+  int64_t degraded = 0;           ///< queries this shard answered by popularity
+  int64_t publishes = 0;          ///< slices swapped into this shard
+  int64_t canary_rejects = 0;     ///< slices the per-shard gate refused
+  int64_t rollbacks = 0;          ///< breaker-driven reverts of this shard
+  int64_t breaker_trips = 0;      ///< per-shard breaker activations
+
+  /// "shard=0 queries=12 internal_errors=0 ..." — one line, stable order.
+  std::string ToString() const;
+};
+
+/// Server-wide counters plus the per-shard breakdown. The `shards` vector is
+/// always in ascending shard-id order regardless of which thread, tenant, or
+/// registry iteration produced the counts — two snapshots of the same quiet
+/// server render byte-identically, which is what the drill goldens assert.
+struct ShardedStatsSnapshot {
+  ServingStatsSnapshot total;
+  std::vector<ShardStatsSnapshot> shards;  // ascending shard id
+
+  /// total.ToString() followed by one line per shard, '\n'-joined.
+  std::string ToString() const;
+};
+
+/// Per-shard counter bundle in a shared registry, named
+/// `serving.shard.<id>.*_total`. Same relaxed-increment semantics as
+/// ServingStats.
+class ShardServingStats {
+ public:
+  /// `registry` must be non-null and outlive the stats object.
+  ShardServingStats(MetricsRegistry* registry, int32_t shard);
+
+  void RecordQuery() { queries_->Inc(); }
+  void RecordInternalError() { internal_errors_->Inc(); }
+  void RecordDeadlineExceeded() { deadline_exceeded_->Inc(); }
+  void RecordDegraded() { degraded_->Inc(); }
+  void RecordPublish() { publishes_->Inc(); }
+  void RecordCanaryReject() { canary_rejects_->Inc(); }
+  void RecordRollback() { rollbacks_->Inc(); }
+  void RecordBreakerTrip() { breaker_trips_->Inc(); }
+
+  ShardStatsSnapshot Snapshot() const;
+
+ private:
+  int32_t shard_;
+  Counter* queries_;
+  Counter* internal_errors_;
+  Counter* deadline_exceeded_;
+  Counter* degraded_;
+  Counter* publishes_;
+  Counter* canary_rejects_;
+  Counter* rollbacks_;
+  Counter* breaker_trips_;
 };
 
 }  // namespace clapf

@@ -1,0 +1,51 @@
+#include "clapf/serving/shard_map.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "clapf/model/packed_snapshot.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+ShardMap ShardMap::Create(int32_t num_items, int32_t num_shards) {
+  CLAPF_CHECK(num_items >= 0);
+  const int32_t blocks =
+      std::max<int32_t>(1, (num_items + kPackedBlockItems - 1) /
+                               kPackedBlockItems);
+  const int32_t shards = std::min(std::max(num_shards, 1), blocks);
+
+  ShardMap map;
+  map.num_items_ = num_items;
+  map.bounds_.assign(1, 0);
+  map.bounds_.reserve(static_cast<size_t>(shards) + 1);
+  const int32_t base = blocks / shards;
+  const int32_t extra = blocks % shards;
+  int32_t block_bound = 0;
+  for (int32_t s = 0; s < shards; ++s) {
+    block_bound += base + (s < extra ? 1 : 0);
+    map.bounds_.push_back(
+        std::min<ItemId>(num_items, block_bound * kPackedBlockItems));
+  }
+  map.bounds_.back() = num_items;
+  return map;
+}
+
+int32_t ShardMap::ShardOfItem(ItemId item) const {
+  CLAPF_CHECK(item >= 0 && item < num_items_);
+  // First bound strictly greater than `item`, minus the leading zero bound.
+  auto it = std::upper_bound(bounds_.begin() + 1, bounds_.end(), item);
+  return static_cast<int32_t>(it - (bounds_.begin() + 1));
+}
+
+std::string ShardMap::ToString() const {
+  std::ostringstream os;
+  os << "ShardMap(items=" << num_items_ << ", shards=" << num_shards() << ":";
+  for (int32_t s = 0; s < num_shards(); ++s) {
+    os << " [" << begin(s) << "," << end(s) << ")";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace clapf

@@ -1,0 +1,86 @@
+#ifndef CLAPF_SERVING_SHARD_MAP_H_
+#define CLAPF_SERVING_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+
+namespace clapf {
+
+/// Static partition of the item catalog into contiguous shards. Boundaries
+/// are aligned to kPackedBlockItems (8) so every shard's packed snapshot
+/// repacks whole SIMD blocks, and blocks are spread as evenly as possible
+/// (the first `blocks % shards` shards get one extra block). The requested
+/// shard count is clamped to [1, number of blocks] so no shard is ever
+/// empty on a non-empty catalog.
+///
+/// The map is immutable after Create: scatter-gather serving, per-shard
+/// publishes, and error attribution all key off the same boundaries.
+class ShardMap {
+ public:
+  /// Single shard covering an empty catalog.
+  ShardMap() : num_items_(0), bounds_{0, 0} {}
+
+  /// Partitions `num_items` (>= 0) into `num_shards` contiguous ranges;
+  /// `num_shards` is clamped to [1, ceil(num_items / 8)] (and to 1 on an
+  /// empty catalog).
+  static ShardMap Create(int32_t num_items, int32_t num_shards);
+
+  int32_t num_shards() const {
+    return static_cast<int32_t>(bounds_.size()) - 1;
+  }
+  int32_t num_items() const { return num_items_; }
+
+  /// Half-open item range [begin(s), end(s)) owned by shard `s`.
+  ItemId begin(int32_t shard) const {
+    return bounds_[static_cast<size_t>(shard)];
+  }
+  ItemId end(int32_t shard) const {
+    return bounds_[static_cast<size_t>(shard) + 1];
+  }
+  int32_t size(int32_t shard) const { return end(shard) - begin(shard); }
+
+  /// The shard owning `item`; item must be in [0, num_items).
+  int32_t ShardOfItem(ItemId item) const;
+
+  /// "ShardMap(items=100, shards=3: [0,40) [40,72) [72,100))" for logs.
+  std::string ToString() const;
+
+ private:
+  int32_t num_items_;
+  std::vector<ItemId> bounds_;  // num_shards + 1 entries, bounds_[0] == 0
+};
+
+/// Pluggable scatter-breadth policy: which shards a top-k query for `u`
+/// must consult. The default BroadcastRouter consults every shard, which is
+/// the only policy that preserves exact full-catalog top-k; narrower routers
+/// (e.g. probing only shards a learned index nominates) trade recall for
+/// fan-out and are the extension point this interface exists for.
+///
+/// Implementations must be thread-safe: Route runs concurrently on query
+/// workers. The returned ids are sanitized by the server (clamped to valid
+/// shards, sorted, deduplicated); an empty route falls back to broadcast.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  /// Appends the shards to consult for user `u` into `shards` (cleared
+  /// first by the caller).
+  virtual void Route(UserId u, const ShardMap& map,
+                     std::vector<int32_t>* shards) const = 0;
+};
+
+/// Consults every shard — exact scatter-gather.
+class BroadcastRouter final : public ShardRouter {
+ public:
+  void Route(UserId /*u*/, const ShardMap& map,
+             std::vector<int32_t>* shards) const override {
+    for (int32_t s = 0; s < map.num_shards(); ++s) shards->push_back(s);
+  }
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SERVING_SHARD_MAP_H_

@@ -1,0 +1,747 @@
+#include "clapf/serving/sharded_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <latch>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "clapf/core/ranker.h"
+#include "clapf/data/split.h"
+#include "clapf/eval/sampled_evaluator.h"
+#include "clapf/model/model_io.h"
+#include "clapf/obs/trace_span.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/top_k.h"
+
+namespace clapf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::optional<Clock::time_point> DeadlineFrom(const QueryOptions& options) {
+  if (options.deadline <= std::chrono::microseconds::zero()) {
+    return std::nullopt;
+  }
+  return Clock::now() + options.deadline;
+}
+
+// Results are sorted best-to-worst, so the floor cuts a suffix (identical
+// to the monolithic ranker's ApplyMinScore).
+void ApplyMinScore(const std::optional<double>& floor,
+                   std::vector<ScoredItem>* top) {
+  if (!floor) return;
+  auto first_below =
+      std::find_if(top->begin(), top->end(),
+                   [&](const ScoredItem& s) { return s.score < *floor; });
+  top->erase(first_below, top->end());
+}
+
+}  // namespace
+
+ShardedModelServer::ShardedModelServer(
+    Dataset history, const ServerOptions& options,
+    std::shared_ptr<const ShardRouter> router)
+    : history_(std::move(history)),
+      options_(options),
+      shard_map_(ShardMap::Create(history_.num_items(), options.num_shards)),
+      router_(router != nullptr
+                  ? std::move(router)
+                  : std::make_shared<const BroadcastRouter>()),
+      query_latency_(metrics_.GetHistogram("serving.query.latency_us",
+                                           LatencyBucketsUs())),
+      batch_latency_(metrics_.GetHistogram("serving.batch.latency_us",
+                                           LatencyBucketsUs())),
+      recorder_(static_cast<size_t>(
+          std::max<int64_t>(1, options.flight_recorder_capacity))),
+      queue_(std::max(1, options.num_threads), options.max_queue_depth,
+             &metrics_),
+      stats_(&metrics_) {
+  auto counts = history_.ItemPopularity();
+  popularity_.assign(counts.begin(), counts.end());
+  shards_.reserve(static_cast<size_t>(num_shards()));
+  for (int32_t s = 0; s < num_shards(); ++s) {
+    shards_.emplace_back(s, shard_map_.begin(s), shard_map_.end(s), history_,
+                         popularity_);
+    shard_recorders_.push_back(std::make_unique<FlightRecorder>(
+        static_cast<size_t>(
+            std::max<int64_t>(1, options.flight_recorder_capacity))));
+    shard_stats_.push_back(
+        std::make_unique<ShardServingStats>(&metrics_, s));
+  }
+  if (options_.canary.enabled && options_.canary.min_auc > 0.0) {
+    TrainTestSplit split =
+        SplitRandom(history_, 1.0 - options_.canary.probe_fraction,
+                    options_.canary.seed);
+    probe_train_ = std::move(split.train);
+    probe_test_ = std::move(split.test);
+  }
+  if (num_shards() > 1) {
+    const int threads = options_.scatter_threads > 0
+                            ? options_.scatter_threads
+                            : std::min(num_shards(), 4);
+    scatter_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  governor_ = std::make_unique<ServingGovernor>(
+      options_.governor, options_.max_queue_depth, &metrics_, &queue_,
+      &recorder_);
+  governor_->Start();
+}
+
+ShardedModelServer::~ShardedModelServer() {
+  governor_->Stop();
+  queue_.Wait();
+}
+
+void ShardedModelServer::RecordShardEvent(int32_t shard,
+                                          FlightEventKind kind,
+                                          const std::string& detail,
+                                          int64_t a, int64_t b, double x) {
+  recorder_.Record(kind, detail, a, b, x);
+  shard_recorders_[static_cast<size_t>(shard)]->Record(kind, detail, a, b, x);
+}
+
+Result<FactorModel> ShardedModelServer::ResolveCandidate(
+    PublishRequest* request) {
+  if (request->model.has_value() && !request->path.empty()) {
+    return Status::InvalidArgument(
+        "publish request carries both an in-memory model and a file path");
+  }
+  if (request->model.has_value()) return *std::move(request->model);
+  if (request->path.empty()) {
+    return Status::InvalidArgument(
+        "publish request carries neither a model nor a file path");
+  }
+  auto model = LoadModel(request->path);  // CRC-verified by the wire format
+  if (!model.ok()) {
+    stats_.RecordCanaryReject();
+    recorder_.Record(FlightEventKind::kCanaryReject,
+                     model.status().message());
+    CLAPF_LOG(Warning) << "candidate file rejected, prior slices keep "
+                          "serving: "
+                       << model.status().ToString();
+  }
+  return model;
+}
+
+Status ShardedModelServer::PublishModel(PublishRequest request) {
+  const int32_t target = request.shard;
+  const std::string tenant = request.tenant;
+  if (tenant.empty()) {
+    return Status::InvalidArgument("publish tenant must be non-empty");
+  }
+  if (target != kAllShards && (target < 0 || target >= num_shards())) {
+    return Status::InvalidArgument(
+        "publish targets shard " + std::to_string(target) +
+        " outside [0, " + std::to_string(num_shards()) + ")");
+  }
+  auto resolved = ResolveCandidate(&request);
+  if (!resolved.ok()) return resolved.status();
+  FactorModel candidate = *std::move(resolved);
+
+  FaultInjector& faults = FaultInjector::Instance();
+  if (faults.armed() &&
+      faults.ShouldFire(FaultPoint::kServeCorruptCandidate) &&
+      !candidate.mutable_user_factor_data().empty()) {
+    candidate.mutable_user_factor_data()[0] =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+
+  const std::string context = "serving candidate";
+  if (candidate.num_users() != history_.num_users() ||
+      candidate.num_items() != history_.num_items()) {
+    // A shard publish still ships a FULL-catalog candidate; the server does
+    // the slicing. Anything else is a routing bug worth failing loudly.
+    Status bad = Status::InvalidArgument(
+        context + " dimensions (" + std::to_string(candidate.num_users()) +
+        "x" + std::to_string(candidate.num_items()) +
+        ") disagree with serving history (" +
+        std::to_string(history_.num_users()) + "x" +
+        std::to_string(history_.num_items()) + ")");
+    stats_.RecordCanaryReject();
+    recorder_.Record(FlightEventKind::kCanaryReject, bad.message());
+    return bad;
+  }
+
+  std::vector<int32_t> targets;
+  if (target == kAllShards) {
+    targets.resize(static_cast<size_t>(num_shards()));
+    std::iota(targets.begin(), targets.end(), 0);
+  } else {
+    targets.push_back(target);
+  }
+
+  const bool canary = options_.canary.enabled;
+  if (canary && target == kAllShards) {
+    // Full-catalog gate, once: integrity scan + (optional) sampled-AUC
+    // probe on the exact model. The packed kernels are vetted per shard
+    // below via the agreement check, so what serves is still what was
+    // vetted.
+    Status whole = VerifyModelIntegrity(candidate, context);
+    if (whole.ok() && options_.canary.min_auc > 0.0 &&
+        probe_test_.num_interactions() > 0) {
+      SampledEvaluator eval(&probe_train_, &probe_test_,
+                            options_.canary.probe_negatives,
+                            options_.canary.seed);
+      FactorModelRanker ranker(&candidate);
+      const double auc = eval.Evaluate(ranker, {5}).auc;
+      if (auc < options_.canary.min_auc) {
+        whole = Status::FailedPrecondition(
+            context + " failed canary: sampled AUC " + std::to_string(auc) +
+            " below floor " + std::to_string(options_.canary.min_auc));
+      }
+    }
+    if (!whole.ok()) {
+      stats_.RecordCanaryReject();
+      recorder_.Record(FlightEventKind::kCanaryReject, whole.message());
+      CLAPF_LOG(Warning) << "canary gate rejected candidate, prior slices "
+                            "keep serving: "
+                         << whole.ToString();
+      return whole;
+    }
+  }
+
+  // Build (and gate) every target slice BEFORE swapping any: an all-shard
+  // publish is all-or-nothing, and a failed one-shard publish leaves that
+  // shard's prior slice serving.
+  std::vector<std::shared_ptr<ShardSlice>> built(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const int32_t s = targets[i];
+    auto slice = shards_[static_cast<size_t>(s)].BuildSlice(
+        candidate, options_.packed,
+        /*verify_integrity=*/canary && target != kAllShards,
+        canary ? options_.canary.packed_agreement_users : 0,
+        context + " (shard " + std::to_string(s) + ")");
+    if (!slice.ok()) {
+      stats_.RecordCanaryReject();
+      shard_stats_[static_cast<size_t>(s)]->RecordCanaryReject();
+      RecordShardEvent(s, FlightEventKind::kCanaryReject,
+                       slice.status().message(), 0, s);
+      CLAPF_LOG(Warning) << "shard " << s
+                         << " canary gate rejected candidate, prior slice "
+                            "keeps serving: "
+                         << slice.status().ToString();
+      return slice.status();
+    }
+    built[i] = *std::move(slice);
+  }
+
+  int64_t published_version = 0;
+  {
+    // One mutex hold swaps every target: readers cut either the old model
+    // or the new one, never a mix of the two from one publish.
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    published_version = next_version_++;
+    TenantState& state = tenants_[tenant];
+    if (state.chains.empty()) {
+      state.chains.resize(static_cast<size_t>(num_shards()));
+    }
+    for (size_t i = 0; i < targets.size(); ++i) {
+      built[i]->version = published_version;
+      ShardChain& chain = state.chains[static_cast<size_t>(targets[i])];
+      chain.previous = chain.current;
+      chain.current = std::move(built[i]);
+    }
+  }
+  stats_.RecordPublish();
+  for (int32_t s : targets) {
+    shard_stats_[static_cast<size_t>(s)]->RecordPublish();
+    RecordShardEvent(s, FlightEventKind::kPublish,
+                     "tenant \"" + tenant +
+                         "\" slice cleared the canary gate",
+                     published_version, s);
+  }
+  {
+    // The swapped shards get fresh breaker windows: errors charged to their
+    // old slices must not trip the breaker on the new ones. Untouched
+    // shards keep their windows — their slices did not change.
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    for (int32_t s : targets) {
+      breaker_windows_[{tenant, s}] = BreakerWindow{};
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::shared_ptr<const ShardSlice>>
+ShardedModelServer::AcquireCut(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.chains.empty()) return {};
+  std::vector<std::shared_ptr<const ShardSlice>> cut(
+      it->second.chains.size());
+  for (size_t s = 0; s < cut.size(); ++s) {
+    cut[s] = it->second.chains[s].current;
+  }
+  return cut;
+}
+
+Result<std::vector<ScoredItem>> ShardedModelServer::ServeDegraded(
+    UserId u, size_t k, const QueryOptions& options) const {
+  if (u < 0 || u >= history_.num_users()) {
+    return Status::OutOfRange("unknown user id " + std::to_string(u));
+  }
+  k = ClampK(k, history_.num_items());
+  if (k == 0) return std::vector<ScoredItem>{};
+  std::vector<bool> excluded(static_cast<size_t>(history_.num_items()),
+                             false);
+  for (ItemId i : history_.ItemsOf(u)) {
+    excluded[static_cast<size_t>(i)] = true;
+  }
+  for (ItemId i : options.exclude) {
+    if (i >= 0 && i < history_.num_items()) {
+      excluded[static_cast<size_t>(i)] = true;
+    }
+  }
+  std::vector<ScoredItem> top = SelectTopK(popularity_, excluded, k);
+  ApplyMinScore(options.min_score, &top);
+  return top;
+}
+
+Result<std::vector<ScoredItem>> ShardedModelServer::ServeUser(
+    UserId u, size_t k, const QueryOptions& options,
+    const std::optional<Clock::time_point>& deadline,
+    const std::vector<std::shared_ptr<const ShardSlice>>& cut,
+    QueryAttribution* attr) {
+  k = ClampK(k, history_.num_items());
+  if (k == 0) return std::vector<ScoredItem>{};
+
+  std::vector<ScoredItem> top;
+  const bool cold = history_.NumItemsOf(u) == 0;
+  if (cold) {
+    // Cold-start is a GLOBAL decision made here at the gather side: per-
+    // shard history slices would make a globally-warm user look cold in
+    // every shard where they happen to own no interactions, and a sharded
+    // server must answer exactly like a monolithic one.
+    if (!options.cold_start_fallback) return std::vector<ScoredItem>{};
+    std::vector<bool> excluded(static_cast<size_t>(history_.num_items()),
+                               false);
+    for (ItemId i : options.exclude) {
+      if (i >= 0 && i < history_.num_items()) {
+        excluded[static_cast<size_t>(i)] = true;
+      }
+    }
+    top = SelectTopK(popularity_, excluded, k);
+    ApplyMinScore(options.min_score, &top);
+  } else {
+    std::vector<int32_t> routed;
+    router_->Route(u, shard_map_, &routed);
+    // Sanitize the router's answer: in-range, ascending, unique; an empty
+    // route falls back to broadcast (the exact policy).
+    routed.erase(std::remove_if(routed.begin(), routed.end(),
+                                [this](int32_t s) {
+                                  return s < 0 || s >= num_shards();
+                                }),
+                 routed.end());
+    std::sort(routed.begin(), routed.end());
+    routed.erase(std::unique(routed.begin(), routed.end()), routed.end());
+    if (routed.empty()) {
+      routed.resize(static_cast<size_t>(num_shards()));
+      std::iota(routed.begin(), routed.end(), 0);
+    }
+    attr->consulted = routed;
+
+    const size_t n = routed.size();
+    std::vector<std::vector<ScoredItem>> lists(n);
+    std::vector<Status> statuses(n, Status::OK());
+    ThresholdBroadcast broadcast;
+
+    auto score_one = [&](size_t i) {
+      const int32_t s = routed[i];
+      const ShardSlice* slice = cut[static_cast<size_t>(s)].get();
+      if (slice == nullptr) {
+        // This shard's chain has no valid slice (breaker degraded it or it
+        // was never published): it answers from its popularity slice while
+        // the healthy shards keep serving the model — availability per
+        // failure domain instead of a server-wide fallback.
+        shard_stats_[static_cast<size_t>(s)]->RecordDegraded();
+        lists[i] = shards_[static_cast<size_t>(s)].PopularityTopK(u, k,
+                                                                  options);
+        return;
+      }
+      auto got = shards_[static_cast<size_t>(s)].ScoreTopK(
+          *slice, u, k, options, deadline, &broadcast);
+      if (got.ok()) {
+        lists[i] = *std::move(got);
+      } else {
+        statuses[i] = got.status();
+      }
+    };
+
+    if (n == 1 || scatter_pool_ == nullptr) {
+      for (size_t i = 0; i < n; ++i) score_one(i);
+    } else {
+      // Scatter over the dedicated pool and wait on a latch. The scatter
+      // tasks never block on anything, so the admitted worker parked here
+      // cannot deadlock against the admission pool.
+      std::latch done(static_cast<std::ptrdiff_t>(n));
+      for (size_t i = 0; i < n; ++i) {
+        scatter_pool_->Submit([&score_one, &done, i] {
+          score_one(i);
+          done.count_down();
+        });
+      }
+      done.wait();
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+      if (!statuses[i].ok()) {
+        attr->blame = routed[i];
+        return statuses[i];
+      }
+    }
+
+    // Gather: every per-shard heap feeds one global accumulator. Its total
+    // order (score desc, item id asc) is insertion-order independent, so
+    // the merge is deterministic and bit-identical to a monolithic scan.
+    TopKAccumulator acc(k);
+    for (const std::vector<ScoredItem>& list : lists) {
+      for (const ScoredItem& item : list) acc.Push(item.item, item.score);
+    }
+    top = acc.Take();
+    ApplyMinScore(options.min_score, &top);
+  }
+
+  FaultInjector& faults = FaultInjector::Instance();
+  if (faults.armed() && !top.empty() &&
+      faults.ShouldFire(FaultPoint::kServeScoreNan)) {
+    top[0].score = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Serve-time integrity, attributed to the failure domain: a non-finite
+  // score is charged to the shard that owns the item, and only that
+  // (tenant, shard) breaker window eats the error.
+  for (const ScoredItem& item : top) {
+    if (!std::isfinite(item.score)) {
+      const int32_t s = shard_map_.ShardOfItem(item.item);
+      attr->blame = s;
+      if (attr->consulted.empty()) attr->consulted.push_back(s);
+      const ShardSlice* slice = cut[static_cast<size_t>(s)].get();
+      return Status::Internal(
+          "non-finite score served for user " + std::to_string(u) +
+          " by shard " + std::to_string(s) + " slice v" +
+          std::to_string(slice != nullptr ? slice->version : 0));
+    }
+  }
+  return top;
+}
+
+Result<std::vector<ScoredItem>> ShardedModelServer::ServeOne(
+    UserId u, size_t k, const QueryOptions& options,
+    const std::string& tenant, QueryAttribution* attr) {
+  if (u < 0 || u >= history_.num_users()) {
+    return Status::OutOfRange("unknown user id " + std::to_string(u));
+  }
+  auto cut = AcquireCut(tenant);
+  const bool any_live =
+      std::any_of(cut.begin(), cut.end(),
+                  [](const std::shared_ptr<const ShardSlice>& s) {
+                    return s != nullptr;
+                  });
+  if (!any_live) {
+    // Never-published (or unknown) tenant, or every shard tripped dark:
+    // the whole answer comes from popularity, exactly like the monolithic
+    // degraded path.
+    stats_.RecordDegraded();
+    return ServeDegraded(u, k, options);
+  }
+  return ServeUser(u, k, options, DeadlineFrom(options), cut, attr);
+}
+
+Result<BatchReply> ShardedModelServer::ServeBatch(
+    std::span<const UserId> users, size_t k, const QueryOptions& options,
+    const std::string& tenant, QueryAttribution* attr) {
+  for (UserId u : users) {
+    if (u < 0 || u >= history_.num_users()) {
+      return Status::OutOfRange("unknown user id " + std::to_string(u));
+    }
+  }
+  BatchReply reply;
+  reply.results.resize(users.size());
+  reply.complete.assign(users.size(), 0);
+  if (users.empty()) return reply;
+
+  auto cut = AcquireCut(tenant);
+  const bool any_live =
+      std::any_of(cut.begin(), cut.end(),
+                  [](const std::shared_ptr<const ShardSlice>& s) {
+                    return s != nullptr;
+                  });
+  if (!any_live) {
+    for (size_t i = 0; i < users.size(); ++i) {
+      stats_.RecordDegraded();
+      auto one = ServeDegraded(users[i], k, options);
+      if (!one.ok()) return one.status();
+      reply.results[i] = *std::move(one);
+      reply.complete[i] = 1;
+    }
+    reply.num_complete = users.size();
+    return reply;
+  }
+
+  // One absolute deadline for the whole batch; users run serially on this
+  // worker (parallelism is across requests and across shards within one
+  // user), and an expiry hands back the completed prefix.
+  const std::optional<Clock::time_point> deadline = DeadlineFrom(options);
+  for (size_t i = 0; i < users.size(); ++i) {
+    auto one = ServeUser(users[i], k, options, deadline, cut, attr);
+    if (!one.ok()) {
+      if (one.status().code() == StatusCode::kDeadlineExceeded) break;
+      return one.status();  // integrity failures fail the whole batch
+    }
+    reply.results[i] = *std::move(one);
+    reply.complete[i] = 1;
+  }
+  for (uint8_t c : reply.complete) reply.num_complete += c;
+  reply.deadline_exceeded = reply.num_complete < users.size();
+  return reply;
+}
+
+Result<std::vector<ScoredItem>> ShardedModelServer::RecommendOne(
+    UserId u, size_t k, const QueryOptions& options,
+    const std::string& tenant) {
+  stats_.RecordQuery();
+  QueryOptions effective = options;
+  governor_->ApplyToQuery(&effective);
+  TraceSpan span(query_latency_);
+  std::promise<Result<std::vector<ScoredItem>>> promise;
+  auto future = promise.get_future();
+  QueryAttribution attr;
+  auto task = [this, u, k, &effective, &tenant, &promise, &attr] {
+    promise.set_value(ServeOne(u, k, effective, tenant, &attr));
+  };
+  Status admitted =
+      options_.per_tenant_quota > 0
+          ? queue_.SubmitForTenant(tenant, options_.per_tenant_quota, task)
+          : queue_.Submit(task);
+  if (!admitted.ok()) {
+    span.Cancel();
+    stats_.RecordShed();
+    recorder_.Record(FlightEventKind::kShed, "query shed at admission",
+                     queue_.depth(), queue_.max_depth());
+    return admitted;
+  }
+  auto out = future.get();
+  span.Stop();
+  const double elapsed_us = span.ElapsedMicros();
+  if (options_.slow_query_us > 0 &&
+      elapsed_us >= static_cast<double>(options_.slow_query_us)) {
+    recorder_.Record(FlightEventKind::kSlowQuery,
+                     "query served above slow threshold", u, 0, elapsed_us);
+  }
+  RecordOutcome(out.status(), tenant, attr);
+  return out;
+}
+
+Result<BatchReply> ShardedModelServer::RecommendBatch(
+    std::span<const UserId> users, size_t k, const QueryOptions& options,
+    const std::string& tenant) {
+  stats_.RecordQuery();
+  QueryOptions effective = options;
+  governor_->ApplyToQuery(&effective);
+  TraceSpan span(batch_latency_);
+  std::promise<Result<BatchReply>> promise;
+  auto future = promise.get_future();
+  QueryAttribution attr;
+  auto task = [this, users, k, &effective, &tenant, &promise, &attr] {
+    promise.set_value(ServeBatch(users, k, effective, tenant, &attr));
+  };
+  Status admitted =
+      options_.per_tenant_quota > 0
+          ? queue_.SubmitForTenant(tenant, options_.per_tenant_quota, task)
+          : queue_.Submit(task);
+  if (!admitted.ok()) {
+    span.Cancel();
+    stats_.RecordShed();
+    recorder_.Record(FlightEventKind::kShed, "batch shed at admission",
+                     queue_.depth(), queue_.max_depth());
+    return admitted;
+  }
+  auto out = future.get();
+  span.Stop();
+  const double elapsed_us = span.ElapsedMicros();
+  if (options_.slow_query_us > 0 &&
+      elapsed_us >= static_cast<double>(options_.slow_query_us)) {
+    recorder_.Record(FlightEventKind::kSlowQuery,
+                     "batch served above slow threshold",
+                     static_cast<int64_t>(users.size()), 0, elapsed_us);
+  }
+  if (out.ok() && out->deadline_exceeded) {
+    RecordOutcome(Status::DeadlineExceeded("partial batch"), tenant, attr);
+  } else {
+    RecordOutcome(out.status(), tenant, attr);
+  }
+  return out;
+}
+
+void ShardedModelServer::RecordOutcome(const Status& status,
+                                       const std::string& tenant,
+                                       const QueryAttribution& attr) {
+  bool breaker_error = false;
+  switch (status.code()) {
+    case StatusCode::kOk:
+      stats_.RecordOk();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      stats_.RecordDeadlineExceeded();
+      recorder_.Record(FlightEventKind::kDeadlineMiss, status.message());
+      if (attr.blame >= 0) {
+        shard_stats_[static_cast<size_t>(attr.blame)]
+            ->RecordDeadlineExceeded();
+        shard_recorders_[static_cast<size_t>(attr.blame)]->Record(
+            FlightEventKind::kDeadlineMiss, status.message());
+      }
+      break;
+    case StatusCode::kOutOfRange:
+    case StatusCode::kInvalidArgument:
+      stats_.RecordClientError();
+      break;
+    default:
+      stats_.RecordInternalError();
+      recorder_.Record(FlightEventKind::kInternalError, status.message());
+      if (attr.blame >= 0) {
+        shard_stats_[static_cast<size_t>(attr.blame)]->RecordInternalError();
+        shard_recorders_[static_cast<size_t>(attr.blame)]->Record(
+            FlightEventKind::kInternalError, status.message());
+      }
+      breaker_error = true;
+      break;
+  }
+  for (int32_t s : attr.consulted) {
+    shard_stats_[static_cast<size_t>(s)]->RecordQuery();
+  }
+  if (!options_.breaker.enabled) return;
+
+  // Each consulted shard's (tenant, shard) window counts this query; only
+  // the blamed shard's window eats the error. Decide under breaker_mu_,
+  // act (TripShardBreaker takes snapshot_mu_) after releasing it.
+  std::vector<int32_t> judged = attr.consulted;
+  if (attr.blame >= 0 &&
+      std::find(judged.begin(), judged.end(), attr.blame) == judged.end()) {
+    judged.push_back(attr.blame);
+  }
+  if (judged.empty()) return;
+  std::vector<int32_t> to_trip;
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    for (int32_t s : judged) {
+      BreakerWindow& w = breaker_windows_[{tenant, s}];
+      ++w.queries;
+      if (breaker_error && s == attr.blame) ++w.errors;
+      if (w.queries >= options_.breaker.min_samples) {
+        const double rate = static_cast<double>(w.errors) /
+                            static_cast<double>(w.queries);
+        if (rate >= options_.breaker.error_threshold) {
+          to_trip.push_back(s);
+          w = BreakerWindow{};
+        } else if (w.queries >= options_.breaker.window) {
+          w = BreakerWindow{};
+        }
+      }
+    }
+  }
+  for (int32_t s : to_trip) TripShardBreaker(tenant, s);
+}
+
+void ShardedModelServer::TripShardBreaker(const std::string& tenant,
+                                          int32_t shard) {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end() || it->second.chains.empty()) return;
+    stats_.RecordBreakerTrip();
+    shard_stats_[static_cast<size_t>(shard)]->RecordBreakerTrip();
+    ShardChain& chain = it->second.chains[static_cast<size_t>(shard)];
+    const int64_t from_version =
+        chain.current != nullptr ? chain.current->version : 0;
+    RecordShardEvent(shard, FlightEventKind::kBreakerTrip,
+                     "error-rate breaker fired on tenant \"" + tenant +
+                         "\" shard " + std::to_string(shard),
+                     from_version, shard);
+    if (chain.previous != nullptr) {
+      CLAPF_LOG(Warning) << "circuit breaker tripped on tenant \"" << tenant
+                         << "\" shard " << shard << " slice v"
+                         << from_version << ": rolling back to v"
+                         << chain.previous->version;
+      RecordShardEvent(shard, FlightEventKind::kRollback,
+                       "shard rolled back to previous slice", from_version,
+                       chain.previous->version);
+      chain.current = chain.previous;
+      chain.previous.reset();
+      stats_.RecordRollback();
+      shard_stats_[static_cast<size_t>(shard)]->RecordRollback();
+    } else {
+      CLAPF_LOG(Warning) << "circuit breaker tripped on tenant \"" << tenant
+                         << "\" shard " << shard
+                         << " with no rollback target: shard degrades to "
+                            "popularity fallback";
+      RecordShardEvent(shard, FlightEventKind::kDegrade,
+                       "no rollback target; shard degraded to popularity "
+                       "fallback",
+                       from_version, shard);
+      chain.current.reset();
+    }
+  }
+  if (!options_.flight_dump_path.empty()) {
+    Status dumped = recorder_.DumpJsonFile(options_.flight_dump_path);
+    if (!dumped.ok()) {
+      CLAPF_LOG(Warning) << "flight-recorder dump to "
+                         << options_.flight_dump_path
+                         << " failed: " << dumped.ToString();
+    }
+  }
+}
+
+std::vector<std::string> ShardedModelServer::tenants() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+std::vector<int64_t> ShardedModelServer::shard_versions(
+    const std::string& tenant) const {
+  std::vector<int64_t> versions(static_cast<size_t>(num_shards()), 0);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return versions;
+  for (size_t s = 0; s < it->second.chains.size(); ++s) {
+    const auto& current = it->second.chains[s].current;
+    versions[s] = current != nullptr ? current->version : 0;
+  }
+  return versions;
+}
+
+bool ShardedModelServer::degraded(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.chains.empty()) return true;
+  for (const ShardChain& chain : it->second.chains) {
+    if (chain.current == nullptr) return true;
+  }
+  return false;
+}
+
+ShardedStatsSnapshot ShardedModelServer::stats() const {
+  ShardedStatsSnapshot snapshot;
+  snapshot.total = stats_.Snapshot();
+  snapshot.shards.reserve(shard_stats_.size());
+  // Ascending shard id by construction — NOT registry iteration order —
+  // so two snapshots of the same counters always render identically.
+  for (const auto& stats : shard_stats_) {
+    snapshot.shards.push_back(stats->Snapshot());
+  }
+  return snapshot;
+}
+
+Status ShardedModelServer::DumpFlightRecorder(
+    const std::string& path, const FlightDumpOptions& options) const {
+  return recorder_.DumpJsonFile(path, options);
+}
+
+}  // namespace clapf

@@ -1,0 +1,248 @@
+#ifndef CLAPF_SERVING_SHARDED_SERVER_H_
+#define CLAPF_SERVING_SHARDED_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/obs/metrics.h"
+#include "clapf/recommender.h"
+#include "clapf/serving/admission_queue.h"
+#include "clapf/serving/flight_recorder.h"
+#include "clapf/serving/governor.h"
+#include "clapf/serving/model_server.h"
+#include "clapf/serving/model_shard.h"
+#include "clapf/serving/publish_request.h"
+#include "clapf/serving/serving_stats.h"
+#include "clapf/serving/shard_map.h"
+#include "clapf/util/status.h"
+#include "clapf/util/thread_pool.h"
+
+namespace clapf {
+
+/// Sharded, multi-tenant serving front end: the catalog is partitioned into
+/// ServerOptions::num_shards contiguous item ranges (ShardMap), each shard
+/// holding its own packed SIMD slice, canary gate, circuit breaker, flight
+/// recorder, and counters, behind the same unified PublishModel /
+/// RecommendOne / RecommendBatch surface as the monolithic ModelServer.
+///
+/// Query path (scatter-gather): one admission decision at the front (global
+/// bound plus the per-tenant quota), then the admitted worker takes a
+/// consistent cut of every shard's current slice under one mutex
+/// acquisition and fans the routed shards out over a dedicated scatter pool.
+/// Each shard runs the fused score+top-k kernel over its local items,
+/// raising a shared ThresholdBroadcast bar so shards early-reject against
+/// each other's k-th-best; the gathered per-shard heaps merge through one
+/// TopKAccumulator whose (score desc, item asc) total order makes the result
+/// BIT-IDENTICAL to a monolithic scan of the same model — same scores, same
+/// order, same smaller-id tie-break (see tests/resilience's determinism
+/// drill). Cold-start and min_score are decided once at the gather side, so
+/// a user who is warm globally is never mistaken for cold in a shard where
+/// they happen to have no history.
+///
+/// Publish path: a PublishRequest targets one shard or all of them, always
+/// with a full-catalog candidate. Each target shard slices the candidate
+/// (FactorModel::SliceItems — bit-identical doubles by construction),
+/// repacks it, and runs its own canary gate (integrity + packed agreement;
+/// the sampled-AUC probe runs once per all-shard publish on the exact
+/// model). All built slices swap in under one mutex acquisition, so readers
+/// never observe a half-published model; a one-shard publish reloads that
+/// shard while the others keep serving untouched — incremental hot reload.
+///
+/// Tenancy: serving chains are keyed by tenant name, created on first
+/// publish. Tenants share the catalog, history, and worker pools but have
+/// independent slices, breaker windows, and (when
+/// ServerOptions::per_tenant_quota is set) admission budgets.
+///
+/// Failure domains: the serve-time integrity check attributes a non-finite
+/// score to the shard owning the item, and only that (tenant, shard)
+/// breaker window is charged; a tripped shard rolls back to its previous
+/// slice or degrades to its popularity slice alone while the other shards
+/// keep serving the model. Per-shard breakers are trip-and-rollback only —
+/// half-open probing remains a monolithic-server feature. The governor is
+/// deliberately global: its levers (admission depth, deadline budget,
+/// packed forcing) are shared resources, so per-shard governors would fight
+/// over one knob.
+class ShardedModelServer {
+ public:
+  /// Serves `history` (copied) across ServerOptions::num_shards shards.
+  /// `router` chooses scatter breadth per query (null = BroadcastRouter,
+  /// the exact policy). No model is published yet, so every tenant starts
+  /// degraded to popularity.
+  ShardedModelServer(Dataset history, const ServerOptions& options,
+                     std::shared_ptr<const ShardRouter> router = nullptr);
+
+  /// Stops the governor ticker and drains in-flight queries.
+  ~ShardedModelServer();
+
+  /// The unified publish entry point: gates and swaps `request` (in-memory
+  /// model or CRC-verified file; one shard or all; any tenant). On any gate
+  /// failure nothing swaps and the prior slices keep serving.
+  Status PublishModel(PublishRequest request);
+
+  /// Scatter-gather top-k for one user of `tenant`. Outcomes match the
+  /// monolithic server: the ranked list, DeadlineExceeded, Unavailable
+  /// (global bound or tenant quota), OutOfRange, or Internal (shard-
+  /// attributed integrity failure — that shard's breaker food).
+  Result<std::vector<ScoredItem>> RecommendOne(
+      UserId u, size_t k, const QueryOptions& options = {},
+      const std::string& tenant = kDefaultTenant);
+
+  /// Batched scatter-gather as one admitted unit of work; an expired
+  /// deadline returns the completed prefix with the rest flagged.
+  Result<BatchReply> RecommendBatch(std::span<const UserId> users, size_t k,
+                                    const QueryOptions& options = {},
+                                    const std::string& tenant =
+                                        kDefaultTenant);
+
+  const ShardMap& shard_map() const { return shard_map_; }
+  int32_t num_shards() const { return shard_map_.num_shards(); }
+
+  /// Tenants with a serving chain (publish creates one), sorted by name.
+  std::vector<std::string> tenants() const;
+
+  /// Per-shard serving versions for `tenant`, ascending shard order; 0 for
+  /// a shard with no valid slice. An unknown tenant gets all zeros.
+  std::vector<int64_t> shard_versions(
+      const std::string& tenant = kDefaultTenant) const;
+
+  /// True while ANY shard of `tenant` answers from the popularity fallback
+  /// (no valid slice) — including the never-published and unknown-tenant
+  /// cases.
+  bool degraded(const std::string& tenant = kDefaultTenant) const;
+
+  /// Global counters plus the per-shard breakdown, shards in ascending id
+  /// order (deterministic aggregation).
+  ShardedStatsSnapshot stats() const;
+
+  const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry* mutable_metrics() { return &metrics_; }
+
+  /// The server-wide flight recorder (every event, all shards).
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+
+  /// Shard-scoped stream: only shard `s`'s lifecycle and failures, so a
+  /// one-shard incident reads without grepping the global stream.
+  const FlightRecorder& shard_flight_recorder(int32_t shard) const {
+    return *shard_recorders_[static_cast<size_t>(shard)];
+  }
+
+  /// Dumps the global flight recorder as JSON to `path` (atomic write).
+  Status DumpFlightRecorder(const std::string& path,
+                            const FlightDumpOptions& options = {}) const;
+
+  const ServingGovernor& governor() const { return *governor_; }
+  void TickGovernor() { governor_->Tick(); }
+
+  const Dataset& history() const { return history_; }
+
+ private:
+  /// One (tenant, shard) serving chain. current/previous are guarded by
+  /// snapshot_mu_ (the RCU pattern, per shard).
+  struct ShardChain {
+    std::shared_ptr<const ShardSlice> current;
+    std::shared_ptr<const ShardSlice> previous;  // breaker rollback target
+  };
+  struct TenantState {
+    std::vector<ShardChain> chains;  // one per shard
+  };
+  /// Per-(tenant, shard) tumbling breaker window, guarded by breaker_mu_.
+  struct BreakerWindow {
+    int64_t queries = 0;
+    int64_t errors = 0;
+  };
+  /// What a finished query pins on the shards it touched, for stats and
+  /// breaker attribution.
+  struct QueryAttribution {
+    std::vector<int32_t> consulted;  // shards scored, ascending
+    int32_t blame = -1;              // shard charged with the error, or -1
+  };
+
+  /// Resolves the request's candidate (in-memory vs file) and validates
+  /// routing. Gate-style failures are recorded as canary rejects.
+  Result<FactorModel> ResolveCandidate(PublishRequest* request);
+
+  /// Consistent cut of `tenant`'s chains (one mutex hold). Empty when the
+  /// tenant has never been published to.
+  std::vector<std::shared_ptr<const ShardSlice>> AcquireCut(
+      const std::string& tenant) const;
+
+  /// Pool-worker entries.
+  Result<std::vector<ScoredItem>> ServeOne(UserId u, size_t k,
+                                           const QueryOptions& options,
+                                           const std::string& tenant,
+                                           QueryAttribution* attr);
+  Result<BatchReply> ServeBatch(std::span<const UserId> users, size_t k,
+                                const QueryOptions& options,
+                                const std::string& tenant,
+                                QueryAttribution* attr);
+
+  /// The scatter-gather core for one (validated) user against one cut.
+  Result<std::vector<ScoredItem>> ServeUser(
+      UserId u, size_t k, const QueryOptions& options,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      const std::vector<std::shared_ptr<const ShardSlice>>& cut,
+      QueryAttribution* attr);
+
+  /// Global popularity fallback (identical to the monolithic degraded
+  /// path).
+  Result<std::vector<ScoredItem>> ServeDegraded(
+      UserId u, size_t k, const QueryOptions& options) const;
+
+  /// Stats + per-shard breaker accounting for one finished query.
+  void RecordOutcome(const Status& status, const std::string& tenant,
+                     const QueryAttribution& attr);
+
+  /// Breaker action for one (tenant, shard): roll the shard back to its
+  /// previous slice or degrade it to popularity; the other shards are
+  /// untouched.
+  void TripShardBreaker(const std::string& tenant, int32_t shard);
+
+  /// Records one shard-scoped event into both the global and the shard's
+  /// own recorder.
+  void RecordShardEvent(int32_t shard, FlightEventKind kind,
+                        const std::string& detail, int64_t a = 0,
+                        int64_t b = 0, double x = 0.0);
+
+  Dataset history_;
+  std::vector<double> popularity_;  // full-catalog fallback scores
+  ServerOptions options_;
+  Dataset probe_train_;  // canary probe split (all-shard publishes)
+  Dataset probe_test_;
+  ShardMap shard_map_;
+  std::shared_ptr<const ShardRouter> router_;
+  std::vector<ModelShard> shards_;
+
+  mutable std::mutex snapshot_mu_;
+  std::map<std::string, TenantState> tenants_;  // created on first publish
+  int64_t next_version_ = 1;  // one ticket per publish, all tenants
+
+  std::mutex breaker_mu_;
+  std::map<std::pair<std::string, int32_t>, BreakerWindow> breaker_windows_;
+
+  // Declaration order mirrors ModelServer: the registry precedes every view
+  // into it, the recorders precede the pools whose workers write them, and
+  // the governor comes last so its ticker never outlives what it observes.
+  MetricsRegistry metrics_;
+  Histogram* query_latency_;  // serving.query.latency_us
+  Histogram* batch_latency_;  // serving.batch.latency_us
+  FlightRecorder recorder_;
+  std::vector<std::unique_ptr<FlightRecorder>> shard_recorders_;
+  AdmissionQueue queue_;
+  std::unique_ptr<ThreadPool> scatter_pool_;  // null when num_shards == 1
+  ServingStats stats_;
+  std::vector<std::unique_ptr<ShardServingStats>> shard_stats_;
+  std::unique_ptr<ServingGovernor> governor_;
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_SERVING_SHARDED_SERVER_H_

@@ -63,7 +63,7 @@ TEST(PackedConcurrencyTest, QueriesRaceHotSwapsOnPackedPath) {
   options.num_threads = 2;
   options.canary.packed_agreement_users = 4;
   ModelServer server(history, options);
-  ASSERT_TRUE(server.Publish(MakeRandomModel(16, 64, 12, 100)).ok());
+  ASSERT_TRUE(server.PublishModel(MakeRandomModel(16, 64, 12, 100)).ok());
 
   std::atomic<bool> stop{false};
   std::atomic<int> failures{0};
@@ -89,7 +89,7 @@ TEST(PackedConcurrencyTest, QueriesRaceHotSwapsOnPackedPath) {
   // collected, not asserted, so the readers always get their stop signal.
   std::vector<Status> published;
   for (uint64_t version = 0; version < 6; ++version) {
-    published.push_back(server.Publish(MakeRandomModel(16, 64, 12, 200 + version)));
+    published.push_back(server.PublishModel(MakeRandomModel(16, 64, 12, 200 + version)));
   }
   stop.store(true, std::memory_order_relaxed);
   for (auto& r : readers) r.join();

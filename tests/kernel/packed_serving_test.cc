@@ -115,7 +115,7 @@ TEST(PackedServerTest, PublishBuildsGatesAndServesPackedSnapshot) {
   ModelServer server(history, options);
 
   auto model = MakeRandomModel(20, 50, 16, 33);
-  ASSERT_TRUE(server.Publish(model).ok());
+  ASSERT_TRUE(server.PublishModel(model).ok());
   EXPECT_EQ(server.version(), 1);
   EXPECT_FALSE(server.degraded());
 
@@ -143,7 +143,7 @@ TEST(PackedServerTest, PackedOffServesExactPath) {
   options.num_threads = 1;
   options.packed = false;
   ModelServer server(history, options);
-  ASSERT_TRUE(server.Publish(MakeRandomModel(10, 30, 8, 41)).ok());
+  ASSERT_TRUE(server.PublishModel(MakeRandomModel(10, 30, 8, 41)).ok());
   auto got = server.Recommend(2, 5);
   ASSERT_TRUE(got.ok());
   EXPECT_FALSE(got->empty());
@@ -156,7 +156,7 @@ TEST(PackedServerTest, CanaryStillRejectsCorruptCandidateWithPackedOn) {
   ModelServer server(history, options);
   auto bad = MakeRandomModel(10, 30, 8, 43);
   bad.mutable_user_factor_data()[3] = std::nan("");
-  EXPECT_FALSE(server.Publish(std::move(bad)).ok());
+  EXPECT_FALSE(server.PublishModel(std::move(bad)).ok());
   EXPECT_TRUE(server.degraded());
 }
 

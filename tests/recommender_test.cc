@@ -6,11 +6,6 @@
 #include "clapf/util/logging.h"
 #include "testing/test_util.h"
 
-// This suite deliberately exercises the deprecated Recommend(u, k) /
-// RecommendFiltered wrappers: they must keep answering exactly like the
-// QueryOptions surface until they are removed.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace clapf {
 namespace {
 
@@ -28,7 +23,7 @@ Recommender MakeRecommender(const Dataset& history) {
 TEST(RecommenderTest, ExcludesHistory) {
   Dataset history = testing::MakeDataset(3, 4, {{0, 3}, {1, 0}});
   Recommender rec = MakeRecommender(history);
-  auto top = rec.Recommend(0, 2);
+  auto top = rec.Recommend(0, 2, {});
   ASSERT_TRUE(top.ok());
   ASSERT_EQ(top->size(), 2u);
   EXPECT_EQ((*top)[0].item, 2);  // item 3 is history
@@ -38,11 +33,14 @@ TEST(RecommenderTest, ExcludesHistory) {
 TEST(RecommenderTest, ExplicitExclusionList) {
   Dataset history = testing::MakeDataset(3, 4, {{0, 3}});
   Recommender rec = MakeRecommender(history);
-  auto top = rec.RecommendFiltered(0, 2, {2});
+  QueryOptions options;
+  options.exclude = {2};
+  auto top = rec.Recommend(0, 2, options);
   ASSERT_TRUE(top.ok());
   EXPECT_EQ((*top)[0].item, 1);
   // Out-of-range exclusions are ignored, not an error.
-  auto top2 = rec.RecommendFiltered(0, 1, {99, -5});
+  options.exclude = {99, -5};
+  auto top2 = rec.Recommend(0, 1, options);
   ASSERT_TRUE(top2.ok());
   EXPECT_EQ((*top2)[0].item, 2);
 }
@@ -52,7 +50,7 @@ TEST(RecommenderTest, ColdUserFallsBackToPopularity) {
   Dataset history =
       testing::MakeDataset(3, 4, {{0, 1}, {1, 1}, {0, 3}});
   Recommender rec = MakeRecommender(history);
-  auto top = rec.Recommend(2, 1);
+  auto top = rec.Recommend(2, 1, {});
   ASSERT_TRUE(top.ok());
   EXPECT_EQ((*top)[0].item, 1);  // by popularity, not the flat 0.5 scores
 }
@@ -60,8 +58,8 @@ TEST(RecommenderTest, ColdUserFallsBackToPopularity) {
 TEST(RecommenderTest, UnknownUserIsOutOfRange) {
   Dataset history = testing::MakeDataset(3, 4, {{0, 0}});
   Recommender rec = MakeRecommender(history);
-  EXPECT_EQ(rec.Recommend(7, 3).status().code(), StatusCode::kOutOfRange);
-  EXPECT_EQ(rec.Recommend(-1, 3).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(rec.Recommend(7, 3, {}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(rec.Recommend(-1, 3, {}).status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(RecommenderTest, ScoreChecksBothIds) {
@@ -77,7 +75,7 @@ TEST(RecommenderTest, ScoreChecksBothIds) {
 TEST(RecommenderTest, KZeroReturnsEmpty) {
   Dataset history = testing::MakeDataset(3, 4, {});
   Recommender rec = MakeRecommender(history);
-  auto top = rec.Recommend(0, 0);
+  auto top = rec.Recommend(0, 0, {});
   ASSERT_TRUE(top.ok());
   EXPECT_TRUE(top->empty());
 }
@@ -97,8 +95,8 @@ TEST(RecommenderTest, SaveLoadRoundTrip) {
 
   auto loaded = Recommender::Load(path, history);
   ASSERT_TRUE(loaded.ok());
-  auto a = rec.Recommend(0, 3);
-  auto b = loaded->Recommend(0, 3);
+  auto a = rec.Recommend(0, 3, {});
+  auto b = loaded->Recommend(0, 3, {});
   ASSERT_TRUE(a.ok() && b.ok());
   ASSERT_EQ(a->size(), b->size());
   for (size_t i = 0; i < a->size(); ++i) {
@@ -158,41 +156,6 @@ TEST(RecommenderTest, MinScoreFilteringEverythingYieldsEmptyNotError) {
   auto cold = rec.Recommend(2, 3, options);
   ASSERT_TRUE(cold.ok()) << cold.status().ToString();
   EXPECT_TRUE(cold->empty());
-}
-
-// The [[deprecated]] wrappers must forward to the QueryOptions surface
-// exactly — same items, same scores, same errors — until removal.
-TEST(RecommenderTest, DeprecatedRecommendShimForwardsExactly) {
-  Dataset history = testing::MakeDataset(3, 4, {{0, 3}, {1, 0}});
-  Recommender rec = MakeRecommender(history);
-  for (UserId u = 0; u < 3; ++u) {
-    auto shim = rec.Recommend(u, 3);
-    auto direct = rec.Recommend(u, 3, QueryOptions{});
-    ASSERT_TRUE(shim.ok() && direct.ok());
-    ASSERT_EQ(shim->size(), direct->size());
-    for (size_t i = 0; i < shim->size(); ++i) {
-      EXPECT_EQ((*shim)[i].item, (*direct)[i].item);
-      EXPECT_DOUBLE_EQ((*shim)[i].score, (*direct)[i].score);
-    }
-  }
-  EXPECT_EQ(rec.Recommend(9, 3).status().code(),
-            rec.Recommend(9, 3, QueryOptions{}).status().code());
-}
-
-TEST(RecommenderTest, DeprecatedRecommendFilteredShimForwardsExactly) {
-  Dataset history = testing::MakeDataset(3, 4, {{0, 3}});
-  Recommender rec = MakeRecommender(history);
-  const std::vector<ItemId> exclude = {2, 99, -1};
-  auto shim = rec.RecommendFiltered(0, 3, exclude);
-  QueryOptions options;
-  options.exclude = exclude;
-  auto direct = rec.Recommend(0, 3, options);
-  ASSERT_TRUE(shim.ok() && direct.ok());
-  ASSERT_EQ(shim->size(), direct->size());
-  for (size_t i = 0; i < shim->size(); ++i) {
-    EXPECT_EQ((*shim)[i].item, (*direct)[i].item);
-    EXPECT_DOUBLE_EQ((*shim)[i].score, (*direct)[i].score);
-  }
 }
 
 }  // namespace

@@ -319,7 +319,7 @@ ServerOptions GovernorDrillOptions(GovernorPolicy policy) {
 TEST(ModelServerGovernorTest, PerformancePolicyNeverMovesKnobs) {
   ModelServer server(History(), GovernorDrillOptions(
                                     GovernorPolicy::kPerformance));
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
   // Even under recorded pressure, the static policy holds every knob at
   // rest — it is byte-for-byte the pre-governor configuration.
   server.mutable_metrics()->GetCounter("serving.shed_total")->Inc();
@@ -339,7 +339,7 @@ TEST(ModelServerGovernorTest, PerformancePolicyNeverMovesKnobs) {
 TEST(ModelServerGovernorTest, KnobGaugesAreExported) {
   ModelServer server(History(),
                      GovernorDrillOptions(GovernorPolicy::kOndemand));
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
   server.mutable_metrics()->GetCounter("serving.shed_total")->Inc();
   server.TickGovernor();
 
@@ -363,7 +363,7 @@ TEST(ModelServerGovernorTest, OndemandKeepsMissRateBelowStaticBaseline) {
 
   auto drill = [](GovernorPolicy policy, bool tick) {
     ModelServer server(History(), GovernorDrillOptions(policy));
-    CLAPF_CHECK_OK(server.Publish(RandomModel(1)));
+    CLAPF_CHECK_OK(server.PublishModel(RandomModel(1)));
     // Every scoring block stalls 2ms; a 500us budget cannot survive one.
     ScopedFaultSchedule faults({{FaultPoint::kServeSlowBlock,
                                  {.trigger_at_hit = 1, .max_fires = -1}}});
@@ -456,8 +456,8 @@ TEST(ModelServerGovernorTest, BreakerTripAutoDumpsFlightRecorder) {
   ServerOptions options = BreakerDrillOptions();
   options.flight_dump_path = dump_path;
   ModelServer server(History(), options);
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
-  ASSERT_TRUE(server.Publish(RandomModel(2)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(2)).ok());
 
   {
     ScopedFaultSchedule faults({{FaultPoint::kServeScoreNan,
@@ -491,8 +491,8 @@ TEST(ModelServerGovernorTest, BreakerTripAutoDumpsFlightRecorder) {
 
 TEST(ModelServerGovernorTest, HalfOpenProbeReinstatesRecoveredSnapshot) {
   ModelServer server(History(), BreakerDrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
-  ASSERT_TRUE(server.Publish(RandomModel(2)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(2)).ok());
   ASSERT_EQ(server.version(), 2);
 
   {
@@ -532,8 +532,8 @@ TEST(ModelServerGovernorTest, HalfOpenProbeReinstatesRecoveredSnapshot) {
 
 TEST(ModelServerGovernorTest, HalfOpenProbeFailureRevertsToFallback) {
   ModelServer server(History(), BreakerDrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
-  ASSERT_TRUE(server.Publish(RandomModel(2)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(2)).ok());
 
   ScopedFaultSchedule faults({{FaultPoint::kServeScoreNan,
                                {.trigger_at_hit = 1, .max_fires = -1}}});
@@ -573,8 +573,8 @@ TEST(ModelServerGovernorTest, HalfOpenProbeFailureRevertsToFallback) {
 
 TEST(ModelServerGovernorTest, PublishCancelsPendingProbe) {
   ModelServer server(History(), BreakerDrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
-  ASSERT_TRUE(server.Publish(RandomModel(2)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(2)).ok());
   {
     ScopedFaultSchedule faults({{FaultPoint::kServeScoreNan,
                                  {.trigger_at_hit = 1, .max_fires = -1}}});
@@ -584,7 +584,7 @@ TEST(ModelServerGovernorTest, PublishCancelsPendingProbe) {
 
   // The operator ships a fix mid-cooldown: the stashed v2 is superseded and
   // no probe ever opens for it.
-  ASSERT_TRUE(server.Publish(RandomModel(3)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(3)).ok());
   EXPECT_EQ(server.version(), 3);
   RunHealthyQueries(&server, 16);
   EXPECT_EQ(server.stats().probes, 0);
@@ -598,7 +598,7 @@ TEST(ModelServerGovernorTest, TickerThreadRacesQueriesPublishesAndReaders) {
   options.governor.interval_us = 200;  // aggressive ticker
   options.slow_query_us = 1;           // exercise the slow-query hook too
   ModelServer server(History(), options);
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
 
   // Stalled workers keep the queue visibly deep so the ticker has real
   // pressure to react to while clients, a publisher, and metric readers all
@@ -609,7 +609,7 @@ TEST(ModelServerGovernorTest, TickerThreadRacesQueriesPublishesAndReaders) {
   std::atomic<bool> stop{false};
   std::thread publisher([&] {
     for (int i = 0; i < 3; ++i) {
-      (void)server.Publish(RandomModel(10 + i));
+      (void)server.PublishModel(RandomModel(10 + i));
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
   });

@@ -86,7 +86,7 @@ TEST(ModelServerTest, ServesPopularityFallbackBeforeFirstPublish) {
 
 TEST(ModelServerTest, PublishThenServe) {
   ModelServer server(History(), DrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
   EXPECT_FALSE(server.degraded());
   EXPECT_EQ(server.version(), 1);
 
@@ -109,7 +109,7 @@ TEST(ModelServerTest, PublishThenServe) {
 
 TEST(ModelServerTest, BadUserIdIsClientErrorNotBreakerFood) {
   ModelServer server(History(), DrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
   for (int i = 0; i < 8; ++i) {
     auto got = server.Recommend(kUsers + 100, 5);
     EXPECT_EQ(got.status().code(), StatusCode::kOutOfRange);
@@ -125,7 +125,7 @@ TEST(ModelServerTest, BadUserIdIsClientErrorNotBreakerFood) {
 
 TEST(ModelServerTest, DeadlineExpiryIsTypedNotUnbounded) {
   ModelServer server(History(), DrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
 
   // Every scoring block stalls 2ms; a 50us budget cannot survive even one.
   ScopedFaultSchedule faults(
@@ -147,7 +147,7 @@ TEST(ModelServerTest, DeadlineExpiryIsTypedNotUnbounded) {
 
 TEST(ModelServerTest, ExpiredBatchReturnsCompletedPrefixFlagged) {
   ModelServer server(History(), DrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
 
   ScopedFaultSchedule faults(
       {{FaultPoint::kServeSlowBlock, {.trigger_at_hit = 1, .max_fires = -1}}});
@@ -183,7 +183,7 @@ TEST(ModelServerTest, OverloadShedsWithTypedErrorsNotCrash) {
   options.num_threads = 2;
   options.max_queue_depth = 2;
   ModelServer server(History(), options);
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
 
   // Every admitted task parks 20ms before serving, so a burst of clients
   // piles up against the depth-2 admission bound.
@@ -225,14 +225,14 @@ TEST(ModelServerTest, OverloadShedsWithTypedErrorsNotCrash) {
 
 TEST(ModelServerTest, CorruptCandidateRejectedPrePublish) {
   ModelServer server(History(), DrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
   ASSERT_EQ(server.version(), 1);
 
   // The injected fault poisons the candidate's factors in flight; the
   // canary's finite scan must catch it before the swap.
   {
     ScopedFaultSchedule faults({{FaultPoint::kServeCorruptCandidate, {}}});
-    Status published = server.Publish(RandomModel(2));
+    Status published = server.PublishModel(RandomModel(2));
     EXPECT_EQ(published.code(), StatusCode::kCorruption)
         << published.ToString();
   }
@@ -245,13 +245,13 @@ TEST(ModelServerTest, CorruptCandidateRejectedPrePublish) {
   EXPECT_EQ(server.stats().canary_rejects, 1);
 
   // With the fault gone the same candidate publishes cleanly.
-  EXPECT_TRUE(server.Publish(RandomModel(2)).ok());
+  EXPECT_TRUE(server.PublishModel(RandomModel(2)).ok());
   EXPECT_EQ(server.version(), 2);
 }
 
 TEST(ModelServerTest, CorruptCandidateFileRejectedByCrc) {
   ModelServer server(History(), DrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
 
   const std::string path =
       ::testing::TempDir() + "serving_candidate_corrupt.clapf";
@@ -266,7 +266,7 @@ TEST(ModelServerTest, CorruptCandidateFileRejectedByCrc) {
     byte = static_cast<char>(byte ^ 0x40);
     file.write(&byte, 1);
   }
-  Status published = server.PublishFromFile(path);
+  Status published = server.PublishModel(path);
   EXPECT_FALSE(published.ok());
   EXPECT_EQ(server.version(), 1);  // prior snapshot kept serving
   EXPECT_EQ(server.stats().canary_rejects, 1);
@@ -278,14 +278,14 @@ TEST(ModelServerTest, AucFloorRejectsUntrainedModelAcceptsTrained) {
   ModelServer server(History(), options);
 
   // A random model ranks the probe at ~0.5 AUC: below the floor, rejected.
-  Status rejected = server.Publish(RandomModel(1));
+  Status rejected = server.PublishModel(RandomModel(1));
   EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition)
       << rejected.ToString();
   EXPECT_TRUE(server.degraded());
   EXPECT_EQ(server.stats().canary_rejects, 1);
 
   // A genuinely trained model clears it.
-  Status accepted = server.Publish(TrainedModel(11));
+  Status accepted = server.PublishModel(TrainedModel(11));
   EXPECT_TRUE(accepted.ok()) << accepted.ToString();
   EXPECT_EQ(server.version(), 1);
 }
@@ -295,7 +295,7 @@ TEST(ModelServerTest, DimensionMismatchRejectedEvenWithCanaryDisabled) {
   options.canary.enabled = false;
   ModelServer server(History(), options);
   FactorModel wrong(kUsers + 1, kItems, 8);
-  EXPECT_EQ(server.Publish(std::move(wrong)).code(),
+  EXPECT_EQ(server.PublishModel(std::move(wrong)).code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -303,8 +303,8 @@ TEST(ModelServerTest, DimensionMismatchRejectedEvenWithCanaryDisabled) {
 
 TEST(ModelServerTest, BreakerTripRollsBackThenRecovers) {
   ModelServer server(History(), DrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
-  ASSERT_TRUE(server.Publish(RandomModel(2)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(2)).ok());
   ASSERT_EQ(server.version(), 2);
 
   // Every serve poisons a score; the serve-time finite check turns each
@@ -330,13 +330,13 @@ TEST(ModelServerTest, BreakerTripRollsBackThenRecovers) {
   EXPECT_TRUE(got.ok()) << got.status().ToString();
 
   // And a fresh publish moves forward normally.
-  ASSERT_TRUE(server.Publish(RandomModel(3)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(3)).ok());
   EXPECT_EQ(server.version(), 3);
 }
 
 TEST(ModelServerTest, BreakerDegradesWhenNoRollbackTargetExists) {
   ModelServer server(History(), DrillOptions());
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());  // v1, no previous
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());  // v1, no previous
 
   ScopedFaultSchedule faults(
       {{FaultPoint::kServeScoreNan, {.trigger_at_hit = 1, .max_fires = -1}}});
@@ -361,7 +361,7 @@ TEST(ModelServerTest, HotSwapDuringConcurrentQueriesIsRaceFree) {
   ServerOptions options = DrillOptions();
   options.max_queue_depth = 64;  // no shedding: this drill is about races
   ModelServer server(History(), options);
-  ASSERT_TRUE(server.Publish(RandomModel(1)).ok());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
 
   constexpr int kPublishes = 8;
   std::atomic<bool> stop{false};
@@ -386,7 +386,7 @@ TEST(ModelServerTest, HotSwapDuringConcurrentQueriesIsRaceFree) {
 
   // The writer hot-swaps through the full gate while readers hammer away.
   for (int v = 2; v <= 1 + kPublishes; ++v) {
-    ASSERT_TRUE(server.Publish(RandomModel(static_cast<uint64_t>(v))).ok());
+    ASSERT_TRUE(server.PublishModel(RandomModel(static_cast<uint64_t>(v))).ok());
   }
   // Let the readers overlap the final snapshot too, then stop them.
   while (served.load() < 5) std::this_thread::yield();

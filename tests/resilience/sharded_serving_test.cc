@@ -1,0 +1,630 @@
+// Sharded scatter-gather serving drills. The load-bearing property is
+// BIT-IDENTITY: a ShardedModelServer must answer every query exactly like
+// the monolithic path — same scores, same order, same smaller-id tie-break
+// — for any shard count, on both the packed and the exact kernels. On top
+// of that, the per-shard failure domains: targeted hot reload, per-shard
+// canary gates, shard-attributed breaker trips and rollbacks, tenant
+// isolation and quotas, and deterministic stats aggregation.
+//
+// This suite is the Tsan acceptance gate for the sharded serving layer: the
+// hot-reload-under-load drill publishes into single shards while query
+// threads scatter across all of them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clapf/serving/model_server.h"
+#include "clapf/serving/sharded_server.h"
+#include "clapf/serving/shard_map.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/random.h"
+#include "testing/fault_schedule.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+using clapf::testing::ScopedFaultSchedule;
+
+constexpr int32_t kUsers = 20;
+constexpr int32_t kItems = 56;  // 7 packed blocks: uneven across 2/3/5 shards
+
+Dataset History() {
+  return testing::MakeLearnableDataset(kUsers, kItems, 9, 11);
+}
+
+// A structurally valid but untrained model — finite factors, deterministic.
+FactorModel RandomModel(uint64_t seed) {
+  FactorModel model(kUsers, kItems, 8);
+  Rng rng(seed);
+  model.InitGaussian(rng);
+  return model;
+}
+
+// Tie-heavy exact model: every score is one of three values, so almost every
+// adjacent pair in a ranking is a tie the smaller-id rule must break.
+FactorModel TieModel() {
+  std::vector<std::vector<double>> scores(
+      kUsers, std::vector<double>(kItems, 0.0));
+  for (int32_t u = 0; u < kUsers; ++u) {
+    for (int32_t i = 0; i < kItems; ++i) {
+      scores[static_cast<size_t>(u)][static_cast<size_t>(i)] =
+          static_cast<double>((u + i) % 3);
+    }
+  }
+  return testing::MakeExactModel(scores);
+}
+
+ServerOptions DrillOptions(int32_t num_shards) {
+  ServerOptions options;
+  options.num_threads = 2;
+  options.max_queue_depth = 16;
+  options.num_shards = num_shards;
+  options.scatter_threads = 2;
+  options.breaker.min_samples = 4;
+  options.breaker.window = 8;
+  options.breaker.error_threshold = 0.5;
+  return options;
+}
+
+void ExpectSameRanking(const std::vector<ScoredItem>& got,
+                       const std::vector<ScoredItem>& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].item, want[i].item)
+        << context << " diverges at rank " << i;
+    // EXPECT_EQ, not NEAR: sharded serving promises bit-identical scores.
+    EXPECT_EQ(got[i].score, want[i].score)
+        << context << " score differs at rank " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardMap
+
+TEST(ShardMapTest, AlignsBoundariesToPackedBlocksAndCoversCatalog) {
+  ShardMap map = ShardMap::Create(kItems, 3);
+  ASSERT_EQ(map.num_shards(), 3);
+  EXPECT_EQ(map.begin(0), 0);
+  EXPECT_EQ(map.end(map.num_shards() - 1), kItems);
+  for (int32_t s = 0; s < map.num_shards(); ++s) {
+    EXPECT_GT(map.size(s), 0);
+    if (s + 1 < map.num_shards()) {
+      EXPECT_EQ(map.end(s), map.begin(s + 1));    // contiguous
+      EXPECT_EQ(map.end(s) % 8, 0) << map.ToString();  // block-aligned
+    }
+  }
+  for (ItemId i = 0; i < kItems; ++i) {
+    const int32_t s = map.ShardOfItem(i);
+    EXPECT_GE(i, map.begin(s));
+    EXPECT_LT(i, map.end(s));
+  }
+}
+
+TEST(ShardMapTest, ClampsShardCountToBlockCount) {
+  // 10 items = 2 packed blocks: asking for 50 shards yields 2.
+  EXPECT_EQ(ShardMap::Create(10, 50).num_shards(), 2);
+  EXPECT_EQ(ShardMap::Create(10, 0).num_shards(), 1);
+  ShardMap empty = ShardMap::Create(0, 4);
+  EXPECT_EQ(empty.num_shards(), 1);
+  EXPECT_EQ(empty.num_items(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Unified publish API
+
+TEST(ShardedServerTest, PublishRequestRoutingIsValidated) {
+  ShardedModelServer server(History(), DrillOptions(3));
+  EXPECT_EQ(server
+                .PublishModel(PublishRequest(RandomModel(1)).WithShard(7))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server
+                .PublishModel(PublishRequest(RandomModel(1)).WithTenant(""))
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Both a model and a path, or neither, is a malformed request.
+  PublishRequest both(RandomModel(1));
+  both.path = "/tmp/nonexistent.clapf";
+  EXPECT_EQ(server.PublishModel(std::move(both)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.PublishModel(PublishRequest()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedServerTest, MonolithicServerRefusesShardAndTenantRouting) {
+  ModelServer server(History(), DrillOptions(1));
+  EXPECT_EQ(server
+                .PublishModel(PublishRequest(RandomModel(1)).WithShard(1))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server
+                .PublishModel(
+                    PublishRequest(RandomModel(1)).WithTenant("alpha"))
+                .code(),
+            StatusCode::kInvalidArgument);
+  // The default routing is the classic publish.
+  EXPECT_TRUE(server.PublishModel(RandomModel(1)).ok());
+  EXPECT_EQ(server.version(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard merge determinism: the drill ISSUE calls for. Sharded answers
+// must be bit-identical to the monolithic server for every user, shard
+// count, and kernel, including the smaller-id tie-break.
+
+TEST(ShardedDeterminismTest, PackedShardedMatchesMonolithicBitForBit) {
+  Dataset history = History();
+  for (int32_t shards : {1, 2, 3, 5}) {
+    ModelServer mono(history, DrillOptions(1));
+    ASSERT_TRUE(mono.PublishModel(RandomModel(3)).ok());
+    ShardedModelServer sharded(history, DrillOptions(shards));
+    ASSERT_TRUE(sharded.PublishModel(RandomModel(3)).ok());
+    for (UserId u = 0; u < kUsers; ++u) {
+      auto want = mono.Recommend(u, 10);
+      auto got = sharded.RecommendOne(u, 10);
+      ASSERT_TRUE(want.ok() && got.ok());
+      ExpectSameRanking(*got, *want,
+                        "packed shards=" + std::to_string(shards) +
+                            " user=" + std::to_string(u));
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, ExactShardedMatchesMonolithicBitForBit) {
+  Dataset history = History();
+  for (int32_t shards : {2, 3, 5}) {
+    ServerOptions exact = DrillOptions(shards);
+    exact.packed = false;
+    ServerOptions mono_exact = DrillOptions(1);
+    mono_exact.packed = false;
+    ModelServer mono(history, mono_exact);
+    ASSERT_TRUE(mono.PublishModel(RandomModel(5)).ok());
+    ShardedModelServer sharded(history, exact);
+    ASSERT_TRUE(sharded.PublishModel(RandomModel(5)).ok());
+    for (UserId u = 0; u < kUsers; ++u) {
+      auto want = mono.Recommend(u, 12);
+      auto got = sharded.RecommendOne(u, 12);
+      ASSERT_TRUE(want.ok() && got.ok());
+      ExpectSameRanking(*got, *want,
+                        "exact shards=" + std::to_string(shards) +
+                            " user=" + std::to_string(u));
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, TieBreakIsSmallerIdAcrossShardBoundaries) {
+  Dataset history = History();
+  for (int32_t shards : {3, 5}) {
+    ModelServer mono(history, DrillOptions(1));
+    ASSERT_TRUE(mono.PublishModel(TieModel()).ok());
+    ShardedModelServer sharded(history, DrillOptions(shards));
+    ASSERT_TRUE(sharded.PublishModel(TieModel()).ok());
+    for (UserId u = 0; u < kUsers; ++u) {
+      auto want = mono.Recommend(u, kItems);
+      auto got = sharded.RecommendOne(u, kItems);
+      ASSERT_TRUE(want.ok() && got.ok());
+      ExpectSameRanking(*got, *want,
+                        "ties shards=" + std::to_string(shards) +
+                            " user=" + std::to_string(u));
+      // The merged ranking itself must break ties by ascending item id even
+      // where the tied items live in different shards.
+      for (size_t i = 1; i < got->size(); ++i) {
+        if ((*got)[i - 1].score == (*got)[i].score) {
+          EXPECT_LT((*got)[i - 1].item, (*got)[i].item);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, ExclusionsMinScoreAndColdStartMatchMonolithic) {
+  Dataset history = History();
+  ModelServer mono(history, DrillOptions(1));
+  ASSERT_TRUE(mono.PublishModel(RandomModel(7)).ok());
+  ShardedModelServer sharded(history, DrillOptions(3));
+  ASSERT_TRUE(sharded.PublishModel(RandomModel(7)).ok());
+
+  QueryOptions options;
+  options.exclude = {0, 9, 23, 55, 999, -4};  // spans shards; bad ids ignored
+  options.min_score = 0.0;
+  for (UserId u = 0; u < kUsers; ++u) {
+    auto want = mono.Recommend(u, 10, options);
+    auto got = sharded.RecommendOne(u, 10, options);
+    ASSERT_TRUE(want.ok() && got.ok());
+    ExpectSameRanking(*got, *want, "filtered user=" + std::to_string(u));
+  }
+
+  // Batch surface, same contract.
+  std::vector<UserId> users = {0, 3, 7, 12};
+  auto want_batch = mono.RecommendBatch(users, 8);
+  auto got_batch = sharded.RecommendBatch(users, 8);
+  ASSERT_TRUE(want_batch.ok() && got_batch.ok());
+  ASSERT_EQ(got_batch->num_complete, users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    ExpectSameRanking(got_batch->results[i], want_batch->results[i],
+                      "batch user=" + std::to_string(users[i]));
+  }
+}
+
+TEST(ShardedDeterminismTest, ColdStartIsAGlobalDecision) {
+  // User kUsers-1 owns no interactions: globally cold, so it must get the
+  // popularity ranking — not a per-shard mix where warm shards answer from
+  // the model. Every warm user must be served by the model in EVERY shard
+  // even where that user has no local history.
+  std::vector<std::pair<UserId, ItemId>> pairs;
+  for (ItemId i = 0; i < 8; ++i) pairs.push_back({0, i});  // shard 0 only
+  for (ItemId i = 1; i < 6; ++i) pairs.push_back({1, i});  // shard 0 only
+  Dataset history = testing::MakeDataset(3, kItems, pairs);
+  ModelServer mono(history, DrillOptions(1));
+  ShardedModelServer sharded(history, DrillOptions(3));
+  FactorModel model(3, kItems, 4);
+  Rng rng(9);
+  model.InitGaussian(rng);
+  ASSERT_TRUE(mono.PublishModel(model).ok());
+  ASSERT_TRUE(sharded.PublishModel(model).ok());
+  for (UserId u = 0; u < 3; ++u) {
+    auto want = mono.Recommend(u, 10);
+    auto got = sharded.RecommendOne(u, 10);
+    ASSERT_TRUE(want.ok() && got.ok());
+    ExpectSameRanking(*got, *want, "cold drill user=" + std::to_string(u));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+
+TEST(ShardedServerTest, BatchDeadlineReturnsCompletedPrefix) {
+  ShardedModelServer server(History(), DrillOptions(3));
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
+  // Every scoring block stalls 2ms; with a 1ms budget the batch cannot
+  // finish, and the reply must carry the completed prefix, not an error.
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kServeSlowBlock, {.trigger_at_hit = 1, .max_fires = -1}}});
+  std::vector<UserId> users = {0, 1, 2, 3, 4, 5, 6, 7};
+  QueryOptions options;
+  options.deadline = std::chrono::microseconds(1000);
+  auto reply = server.RecommendBatch(users, 5, options);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->deadline_exceeded);
+  EXPECT_LT(reply->num_complete, users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (!reply->complete[i]) {
+      EXPECT_TRUE(reply->results[i].empty());
+    }
+  }
+  auto stats = server.stats();
+  EXPECT_EQ(stats.total.deadline_exceeded, 1);
+  // The expiry is attributed to the shard whose scan hit the wall.
+  int64_t attributed = 0;
+  for (const auto& shard : stats.shards) attributed += shard.deadline_exceeded;
+  EXPECT_EQ(attributed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard hot reload
+
+TEST(ShardedServerTest, TargetedPublishReloadsOnlyThatShard) {
+  Dataset history = History();
+  ServerOptions options = DrillOptions(3);
+  options.packed = false;  // exact doubles make the hybrid check trivial
+  ShardedModelServer server(history, options);
+  FactorModel a = RandomModel(21);
+  FactorModel b = RandomModel(22);
+  ASSERT_TRUE(server.PublishModel(a).ok());
+  ASSERT_TRUE(
+      server.PublishModel(PublishRequest(b).WithShard(1)).ok());
+  EXPECT_EQ(server.shard_versions(), (std::vector<int64_t>{1, 2, 1}));
+  EXPECT_FALSE(server.degraded());
+
+  // The served catalog is now a stitch: shard 1's items score under model b,
+  // the rest under model a. Verify against a brute-force stitched ranking.
+  const ShardMap& map = server.shard_map();
+  for (UserId u = 0; u < kUsers; ++u) {
+    std::vector<bool> seen(static_cast<size_t>(kItems), false);
+    for (ItemId i : history.ItemsOf(u)) seen[static_cast<size_t>(i)] = true;
+    std::vector<ScoredItem> expected;
+    for (ItemId i = 0; i < kItems; ++i) {
+      if (seen[static_cast<size_t>(i)]) continue;
+      const FactorModel& src = map.ShardOfItem(i) == 1 ? b : a;
+      expected.push_back({i, src.Score(u, i)});
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const ScoredItem& lhs, const ScoredItem& rhs) {
+                       if (lhs.score != rhs.score) return lhs.score > rhs.score;
+                       return lhs.item < rhs.item;
+                     });
+    expected.resize(std::min<size_t>(expected.size(), 10));
+    auto got = server.RecommendOne(u, 10);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectSameRanking(*got, expected, "stitched user=" + std::to_string(u));
+  }
+
+  auto stats = server.stats();
+  EXPECT_EQ(stats.shards[0].publishes, 1);
+  EXPECT_EQ(stats.shards[1].publishes, 2);
+  EXPECT_EQ(stats.shards[2].publishes, 1);
+}
+
+TEST(ShardedServerTest, PerShardCanaryRejectsOnlyTheCorruptSlice) {
+  ShardedModelServer server(History(), DrillOptions(3));
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
+
+  // Poison one item factor owned by shard 1: shard 1's gate must refuse the
+  // slice while shard 0's gate (whose slice excludes that item) clears it.
+  FactorModel poisoned = RandomModel(2);
+  const ItemId victim = server.shard_map().begin(1);
+  poisoned.mutable_item_factor_data()[static_cast<size_t>(victim) *
+                                      poisoned.num_factors()] =
+      std::numeric_limits<double>::quiet_NaN();
+
+  Status refused =
+      server.PublishModel(PublishRequest(poisoned).WithShard(1));
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(server.shard_versions(), (std::vector<int64_t>{1, 1, 1}));
+  EXPECT_TRUE(
+      server.PublishModel(PublishRequest(poisoned).WithShard(0)).ok());
+  EXPECT_EQ(server.shard_versions(), (std::vector<int64_t>{2, 1, 1}));
+
+  auto stats = server.stats();
+  EXPECT_EQ(stats.total.canary_rejects, 1);
+  EXPECT_EQ(stats.shards[1].canary_rejects, 1);
+  EXPECT_EQ(stats.shards[0].canary_rejects, 0);
+  // The reject is visible in shard 1's scoped flight stream, not shard 2's.
+  bool shard1_saw_reject = false;
+  for (const FlightEvent& e : server.shard_flight_recorder(1).Snapshot()) {
+    if (e.kind == FlightEventKind::kCanaryReject) shard1_saw_reject = true;
+  }
+  EXPECT_TRUE(shard1_saw_reject);
+  for (const FlightEvent& e : server.shard_flight_recorder(2).Snapshot()) {
+    EXPECT_NE(e.kind, FlightEventKind::kCanaryReject);
+  }
+}
+
+TEST(ShardedServerTest, PartiallyPublishedTenantServesHealthyShardsFromModel) {
+  // A fresh tenant published into shard 0 only: shard 0 answers from the
+  // model, shards 1-2 from their popularity slices — degraded but alive.
+  ShardedModelServer server(History(), DrillOptions(3));
+  ASSERT_TRUE(server
+                  .PublishModel(PublishRequest(RandomModel(1))
+                                    .WithShard(0)
+                                    .WithTenant("canary-tenant"))
+                  .ok());
+  EXPECT_TRUE(server.degraded("canary-tenant"));
+  EXPECT_EQ(server.shard_versions("canary-tenant"),
+            (std::vector<int64_t>{1, 0, 0}));
+  auto got = server.RecommendOne(0, 10, {}, "canary-tenant");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->size(), 10u);
+  auto stats = server.stats();
+  EXPECT_GT(stats.shards[1].degraded + stats.shards[2].degraded, 0);
+  EXPECT_EQ(stats.shards[0].degraded, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-attributed breaker
+
+TEST(ShardedServerTest, BreakerTripsAndRollsBackOnlyTheBlamedShard) {
+  ShardedModelServer server(History(), DrillOptions(3));
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());  // v1
+  ASSERT_TRUE(server.PublishModel(RandomModel(2)).ok());  // v2, rollback to v1
+
+  // Every query's merged top score goes NaN; the same user always blames the
+  // same shard (the one owning their deterministic top item).
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kServeScoreNan, {.trigger_at_hit = 1, .max_fires = -1}}});
+  int32_t blamed = -1;
+  for (int i = 0; i < 4; ++i) {
+    auto got = server.RecommendOne(0, 5);
+    ASSERT_EQ(got.status().code(), StatusCode::kInternal);
+  }
+  faults.Disarm(FaultPoint::kServeScoreNan);
+
+  auto stats = server.stats();
+  EXPECT_EQ(stats.total.internal_errors, 4);
+  EXPECT_EQ(stats.total.breaker_trips, 1);
+  EXPECT_EQ(stats.total.rollbacks, 1);
+  for (const auto& shard : stats.shards) {
+    if (shard.breaker_trips > 0) {
+      ASSERT_EQ(blamed, -1) << "two shards tripped";
+      blamed = shard.shard;
+      EXPECT_EQ(shard.internal_errors, 4);
+      EXPECT_EQ(shard.rollbacks, 1);
+    } else {
+      EXPECT_EQ(shard.internal_errors, 0);
+      EXPECT_EQ(shard.rollbacks, 0);
+    }
+  }
+  ASSERT_NE(blamed, -1);
+
+  // Only the blamed shard rolled back to v1; the others still serve v2.
+  std::vector<int64_t> versions = server.shard_versions();
+  for (int32_t s = 0; s < server.num_shards(); ++s) {
+    EXPECT_EQ(versions[static_cast<size_t>(s)], s == blamed ? 1 : 2);
+  }
+  EXPECT_FALSE(server.degraded());
+  // And with the fault gone the server answers cleanly again.
+  auto recovered = server.RecommendOne(0, 5);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+}
+
+TEST(ShardedServerTest, BreakerDegradesShardWithoutRollbackTarget) {
+  ShardedModelServer server(History(), DrillOptions(2));
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());  // v1, no previous
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kServeScoreNan, {.trigger_at_hit = 1, .max_fires = -1}}});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(server.RecommendOne(0, 5).status().code(),
+              StatusCode::kInternal);
+  }
+  faults.Disarm(FaultPoint::kServeScoreNan);
+  // One shard went dark (no previous slice → popularity); the tenant is
+  // degraded but queries still answer, with the healthy shard on the model.
+  EXPECT_TRUE(server.degraded());
+  auto got = server.RecommendOne(0, 5);
+  EXPECT_TRUE(got.ok()) << got.status().ToString();
+  auto stats = server.stats();
+  EXPECT_EQ(stats.total.breaker_trips, 1);
+  EXPECT_EQ(stats.total.rollbacks, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Tenancy
+
+TEST(ShardedServerTest, TenantsServeIndependentModels) {
+  Dataset history = History();
+  ShardedModelServer server(history, DrillOptions(3));
+  FactorModel alpha = RandomModel(31);
+  FactorModel beta = RandomModel(32);
+  ASSERT_TRUE(
+      server.PublishModel(PublishRequest(alpha).WithTenant("alpha")).ok());
+  ASSERT_TRUE(
+      server.PublishModel(PublishRequest(beta).WithTenant("beta")).ok());
+  EXPECT_EQ(server.tenants(), (std::vector<std::string>{"alpha", "beta"}));
+
+  // Each tenant's answers match a monolithic server of its own model.
+  ModelServer mono_alpha(history, DrillOptions(1));
+  ModelServer mono_beta(history, DrillOptions(1));
+  ASSERT_TRUE(mono_alpha.PublishModel(alpha).ok());
+  ASSERT_TRUE(mono_beta.PublishModel(beta).ok());
+  for (UserId u : {0, 5, 11}) {
+    auto got_a = server.RecommendOne(u, 8, {}, "alpha");
+    auto got_b = server.RecommendOne(u, 8, {}, "beta");
+    auto want_a = mono_alpha.Recommend(u, 8);
+    auto want_b = mono_beta.Recommend(u, 8);
+    ASSERT_TRUE(got_a.ok() && got_b.ok() && want_a.ok() && want_b.ok());
+    ExpectSameRanking(*got_a, *want_a, "tenant alpha");
+    ExpectSameRanking(*got_b, *want_b, "tenant beta");
+  }
+
+  // An unknown tenant is degraded (popularity), never an error.
+  EXPECT_TRUE(server.degraded("ghost"));
+  auto ghost = server.RecommendOne(0, 5, {}, "ghost");
+  ASSERT_TRUE(ghost.ok());
+  EXPECT_GT(server.stats().total.degraded, 0);
+}
+
+TEST(ShardedServerTest, TenantQuotaShedsTheNoisyTenantOnly) {
+  ServerOptions options = DrillOptions(2);
+  options.num_threads = 1;
+  options.per_tenant_quota = 1;
+  ShardedModelServer server(History(), options);
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
+
+  // Park the single worker 20ms per admitted task so tenant "noisy"'s first
+  // query is still in flight when its second arrives.
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kServeQueueStall, {.trigger_at_hit = 1, .max_fires = -1}}});
+  std::thread first([&server] {
+    auto got = server.RecommendOne(0, 5, {}, "noisy");
+    EXPECT_TRUE(got.ok()) << got.status().ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  auto second = server.RecommendOne(1, 5, {}, "noisy");
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  first.join();
+  EXPECT_EQ(server.stats().total.shed, 1);
+
+  // A quiet tenant is admitted even while the noisy one is over quota.
+  faults.Disarm(FaultPoint::kServeQueueStall);
+  auto quiet = server.RecommendOne(0, 5, {}, "quiet");
+  EXPECT_TRUE(quiet.ok()) << quiet.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic stats aggregation
+
+TEST(ShardedServerTest, StatsSnapshotRendersDeterministically) {
+  ShardedModelServer server(History(), DrillOptions(3));
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
+  for (UserId u = 0; u < 6; ++u) {
+    ASSERT_TRUE(server.RecommendOne(u, 5).ok());
+  }
+  ShardedStatsSnapshot a = server.stats();
+  ShardedStatsSnapshot b = server.stats();
+  EXPECT_EQ(a.ToString(), b.ToString());
+  ASSERT_EQ(a.shards.size(), 3u);
+  for (size_t s = 0; s < a.shards.size(); ++s) {
+    EXPECT_EQ(a.shards[s].shard, static_cast<int32_t>(s));  // ascending ids
+    EXPECT_EQ(a.shards[s].queries, 6);  // broadcast: every shard consulted
+  }
+  // The rendering carries the total line plus one line per shard.
+  const std::string text = a.ToString();
+  EXPECT_NE(text.find("queries=6"), std::string::npos);
+  EXPECT_NE(text.find("shard=0"), std::string::npos);
+  EXPECT_NE(text.find("shard=2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hot reload under load: the Tsan drill. Query threads scatter across every
+// shard while a publisher hot-swaps single shards; every query must come
+// back typed (ok or shed), the server must never crash or serve garbage,
+// and under -DCMAKE_CXX_FLAGS=-fsanitize=thread the interleavings must be
+// race-free.
+
+TEST(ShardedServerTest, PerShardHotReloadUnderLoadStaysConsistent) {
+  ServerOptions options = DrillOptions(3);
+  options.max_queue_depth = 32;
+  ShardedModelServer server(History(), options);
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> ok{0}, shed{0}, unexpected{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&server, &stop, &ok, &shed, &unexpected, c] {
+      UserId u = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto got = server.RecommendOne(u, 5);
+        if (got.ok()) {
+          ok.fetch_add(1);
+          // A consistent cut never serves a half-published catalog: scores
+          // are finite and the ranking is sorted with the id tie-break.
+          for (size_t i = 1; i < got->size(); ++i) {
+            const ScoredItem& prev = (*got)[i - 1];
+            const ScoredItem& cur = (*got)[i];
+            if (prev.score < cur.score ||
+                (prev.score == cur.score && prev.item >= cur.item)) {
+              unexpected.fetch_add(1);
+            }
+          }
+        } else if (got.status().code() == StatusCode::kUnavailable) {
+          shed.fetch_add(1);
+        } else {
+          unexpected.fetch_add(1);
+        }
+        u = (u + 3) % kUsers;
+      }
+    });
+  }
+
+  // 30 targeted publishes, round-robin across shards, alternating models.
+  for (int p = 0; p < 30; ++p) {
+    FactorModel next = RandomModel(static_cast<uint64_t>(100 + (p % 2)));
+    ASSERT_TRUE(server
+                    .PublishModel(PublishRequest(std::move(next))
+                                      .WithShard(p % server.num_shards()))
+                    .ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_FALSE(server.degraded());
+  // 1 all-shard + 30 targeted publishes all cleared their gates.
+  EXPECT_EQ(server.stats().total.publishes, 31);
+  std::vector<int64_t> versions = server.shard_versions();
+  for (int64_t v : versions) EXPECT_GT(v, 0);
+}
+
+}  // namespace
+}  // namespace clapf

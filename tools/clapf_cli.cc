@@ -7,6 +7,7 @@
 //   clapf_cli serve     --model model.clpf --dataset data.clds --users 1,5
 //                       --deadline-us 5000 --queue-depth 32 --min-auc 0.6
 //                       --metrics-out metrics.json --metrics-every 10
+//                       --shards 4 --tenant acme --per-tenant-quota 8
 //   clapf_cli stats     --input u.data --format tab
 //
 // train/evaluate/recommend/serve accept --metrics-out <path> to dump their
@@ -269,8 +270,10 @@ int RunServe(int argc, char** argv) {
   std::string model_path = "model.clpf", dataset_path, format = "tab";
   std::string users_csv = "0", metrics_out;
   std::string governor_name = "performance", flight_dump;
+  std::string tenant = std::string(kDefaultTenant);
   int64_t k = 10, threads = 2, queue_depth = 64, repeat = 1;
   int64_t deadline_us = 0, metrics_every = 0, governor_interval_ms = 50;
+  int64_t shards = 1, per_tenant_quota = 0;
   double min_auc = 0.0, latency_target_ms = 5.0;
   bool has_header = false, packed = true;
   FlagParser flags;
@@ -310,6 +313,15 @@ int RunServe(int argc, char** argv) {
   flags.AddString("flight-dump", &flight_dump,
                   "dump the incident flight recorder (JSON) to this path at "
                   "exit and on every breaker trip");
+  flags.AddInt("shards", &shards,
+               "catalog shards for scatter-gather serving (1 = monolithic "
+               "server; answers are bit-identical either way)");
+  flags.AddString("tenant", &tenant,
+                  "tenant whose serving chain receives the publish and "
+                  "answers the queries (implies the sharded server)");
+  flags.AddInt("per-tenant-quota", &per_tenant_quota,
+               "per-tenant in-flight admission budget (0 = global "
+               "--queue-depth bound only; implies the sharded server)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
   }
@@ -332,6 +344,64 @@ int RunServe(int argc, char** argv) {
   server_options.governor.interval_us = governor_interval_ms * 1000;
   server_options.governor.latency_target_ms = latency_target_ms;
   server_options.flight_dump_path = flight_dump;
+  server_options.num_shards = static_cast<int32_t>(shards);
+  server_options.per_tenant_quota = per_tenant_quota;
+
+  std::vector<UserId> user_ids;
+  for (const std::string& tok : Split(users_csv, ',')) {
+    auto id = ParseInt64(Trim(tok));
+    if (!id.ok()) return Fail(id.status());
+    user_ids.push_back(static_cast<UserId>(*id));
+  }
+  QueryOptions query_options;
+  query_options.deadline = std::chrono::microseconds(deadline_us);
+
+  // Sharded scatter-gather front end: same publish gate, same answers
+  // (bit-identical to the monolithic path), plus per-shard hot reload,
+  // tenant chains, and admission quotas.
+  if (shards > 1 || tenant != kDefaultTenant || per_tenant_quota > 0) {
+    ShardedModelServer server(*std::move(data), server_options);
+    std::printf("sharded serving: %s tenant \"%s\"\n",
+                server.shard_map().ToString().c_str(), tenant.c_str());
+    if (Status s = server.PublishModel(
+            PublishRequest(model_path).WithTenant(tenant));
+        !s.ok()) {
+      std::printf("publish rejected (%s); serving popularity fallback\n",
+                  s.ToString().c_str());
+    } else {
+      std::printf("published model to %d shard(s) of tenant \"%s\"\n",
+                  server.num_shards(), tenant.c_str());
+    }
+    for (int64_t round = 0; round < repeat; ++round) {
+      for (UserId u : user_ids) {
+        auto got = server.RecommendOne(u, static_cast<size_t>(k),
+                                       query_options, tenant);
+        if (!got.ok()) {
+          std::printf("user %d: %s\n", u, got.status().ToString().c_str());
+          continue;
+        }
+        std::printf("top-%lld for user %d:\n", static_cast<long long>(k), u);
+        for (const ScoredItem& item : *got) {
+          std::printf("  item %-8d score %.4f\n", item.item, item.score);
+        }
+      }
+      if (metrics_every > 0 && (round + 1) % metrics_every == 0) {
+        MaybeDumpMetrics(server.metrics(), metrics_out);
+      }
+    }
+    std::printf("serving stats:\n%s\n", server.stats().ToString().c_str());
+    if (!flight_dump.empty()) {
+      if (Status s = server.DumpFlightRecorder(flight_dump); !s.ok()) {
+        std::printf("flight-recorder dump failed: %s\n",
+                    s.ToString().c_str());
+      } else {
+        std::printf("flight recorder dumped to %s\n", flight_dump.c_str());
+      }
+    }
+    MaybeDumpMetrics(server.metrics(), metrics_out);
+    return 0;
+  }
+
   ModelServer server(*std::move(data), server_options);
   if (*policy != GovernorPolicy::kPerformance) {
     std::printf("governor %s active (tick every %lld ms)\n",
@@ -341,7 +411,7 @@ int RunServe(int argc, char** argv) {
 
   // The candidate goes through the full canary gate; a rejection leaves the
   // server in degraded (popularity) mode rather than exiting.
-  if (Status s = server.PublishFromFile(model_path); !s.ok()) {
+  if (Status s = server.PublishModel(model_path); !s.ok()) {
     std::printf("publish rejected (%s); serving popularity fallback\n",
                 s.ToString().c_str());
   } else {
@@ -349,18 +419,9 @@ int RunServe(int argc, char** argv) {
                 static_cast<long long>(server.version()));
   }
 
-  std::vector<UserId> users;
-  for (const std::string& tok : Split(users_csv, ',')) {
-    auto id = ParseInt64(Trim(tok));
-    if (!id.ok()) return Fail(id.status());
-    users.push_back(static_cast<UserId>(*id));
-  }
-  QueryOptions options;
-  options.deadline = std::chrono::microseconds(deadline_us);
-
   for (int64_t round = 0; round < repeat; ++round) {
-    for (UserId u : users) {
-      auto got = server.Recommend(u, static_cast<size_t>(k), options);
+    for (UserId u : user_ids) {
+      auto got = server.Recommend(u, static_cast<size_t>(k), query_options);
       if (!got.ok()) {
         std::printf("user %d: %s\n", u, got.status().ToString().c_str());
         continue;
