@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <string>
 #include <thread>
 
 #include "clapf/util/logging.h"
@@ -21,6 +23,8 @@
 #include "clapf/model/score_kernel.h"
 #include "clapf/obs/metrics.h"
 #include "clapf/obs/trace_span.h"
+#include "clapf/online/online_trainer.h"
+#include "clapf/online/wal.h"
 #include "clapf/recommender.h"
 #include "clapf/sampling/dss_sampler.h"
 #include "clapf/sampling/uniform_sampler.h"
@@ -647,6 +651,87 @@ void BM_SmoothedApPerUser(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SmoothedApPerUser);
+
+// --- Online lifecycle -------------------------------------------------------
+// The ingest hot path: one CRC-framed WAL append, per fsync policy. Arg(0)
+// never fsyncs (pure frame cost), Arg(1) fsyncs every append (the durable
+// default — dominated by the disk), Arg(64) batches durability.
+void BM_WalAppend(benchmark::State& state) {
+  const std::string dir =
+      "/tmp/clapf-bench-wal-append-" + std::to_string(state.range(0));
+  std::filesystem::remove_all(dir);
+  WalOptions options;
+  options.dir = dir;
+  options.fsync_every = state.range(0);
+  auto wal = InteractionWal::Open(options);
+  CLAPF_CHECK_OK(wal.status());
+  int64_t p = 0;
+  for (auto _ : state) {
+    CLAPF_CHECK_OK((*wal)->Append(
+        WalRecord{static_cast<UserId>(p % 100),
+                  static_cast<ItemId>(p % 500)}));
+    ++p;
+  }
+  state.SetItemsProcessed(state.iterations());
+  (*wal).reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->Arg(64);
+
+// Crash-recovery replay throughput over a multi-segment log: the startup
+// cost of re-ingesting a day's records (CRC re-verified frame by frame).
+void BM_WalReplay(benchmark::State& state) {
+  const std::string dir = "/tmp/clapf-bench-wal-replay";
+  std::filesystem::remove_all(dir);
+  WalOptions options;
+  options.dir = dir;
+  options.fsync_every = 0;
+  options.segment_bytes = 64 << 10;
+  auto wal = InteractionWal::Open(options);
+  CLAPF_CHECK_OK(wal.status());
+  const int64_t records = state.range(0);
+  for (int64_t p = 0; p < records; ++p) {
+    CLAPF_CHECK_OK((*wal)->Append(
+        WalRecord{static_cast<UserId>(p % 100),
+                  static_cast<ItemId>(p % 500)}));
+  }
+  for (auto _ : state) {
+    int64_t sum = 0;
+    auto stats = (*wal)->Replay(0, [&](int64_t, const WalRecord& r) {
+      sum += r.user + r.item;
+    });
+    CLAPF_CHECK_OK(stats.status());
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+  (*wal).reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalReplay)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// One guarded online training increment (tail + reservoir mix) — the cost a
+// deployment cycle pays before its canary-gated publish.
+void BM_OnlineTrainIncrement(benchmark::State& state) {
+  static Dataset bootstrap = BenchData(100, 500, 5000);
+  OnlineTrainerOptions options;
+  options.sgd.num_factors = 16;
+  options.sgd.divergence.policy = DivergencePolicy::kHalt;
+  options.reservoir_capacity = state.range(0);
+  OnlineTrainer trainer(bootstrap, options);
+  int64_t p = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 64; ++i, ++p) {
+      trainer.Ingest(static_cast<UserId>(p % 100),
+                     static_cast<ItemId>(p % 500));
+    }
+    state.ResumeTiming();
+    CLAPF_CHECK_OK(trainer.TrainIncrement(seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_OnlineTrainIncrement)->Arg(256)->Arg(1024);
 
 }  // namespace
 }  // namespace clapf

@@ -57,6 +57,9 @@
 #include "clapf/obs/exporter.h"
 #include "clapf/obs/metrics.h"
 #include "clapf/obs/trace_span.h"
+#include "clapf/online/continuous_deployer.h"
+#include "clapf/online/online_trainer.h"
+#include "clapf/online/wal.h"
 #include "clapf/recommender.h"
 #include "clapf/sampling/abs_sampler.h"
 #include "clapf/sampling/alias.h"

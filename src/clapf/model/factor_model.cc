@@ -21,6 +21,28 @@ FactorModel::FactorModel(int32_t num_users, int32_t num_items,
   CLAPF_CHECK(num_factors > 0);
 }
 
+void FactorModel::ExpandTo(int32_t new_users, int32_t new_items, Rng& rng,
+                           double stddev) {
+  CLAPF_CHECK(new_users >= num_users_);
+  CLAPF_CHECK(new_items >= num_items_);
+  const size_t d = static_cast<size_t>(num_factors_);
+  const size_t old_user_doubles = user_factors_.size();
+  const size_t old_item_doubles = item_factors_.size();
+  user_factors_.resize(static_cast<size_t>(new_users) * d, 0.0);
+  item_factors_.resize(static_cast<size_t>(new_items) * d, 0.0);
+  item_bias_.resize(static_cast<size_t>(new_items), 0.0);
+  if (stddev > 0.0) {
+    for (size_t i = old_user_doubles; i < user_factors_.size(); ++i) {
+      user_factors_[i] = rng.NextGaussian() * stddev;
+    }
+    for (size_t i = old_item_doubles; i < item_factors_.size(); ++i) {
+      item_factors_[i] = rng.NextGaussian() * stddev;
+    }
+  }
+  num_users_ = new_users;
+  num_items_ = new_items;
+}
+
 void FactorModel::InitGaussian(Rng& rng, double stddev) {
   for (double& x : user_factors_) x = rng.NextGaussian() * stddev;
   for (double& x : item_factors_) x = rng.NextGaussian() * stddev;

@@ -88,6 +88,17 @@ class FactorModel {
   /// Squared L2 norm of all parameters (regularization diagnostics).
   double SquaredNorm() const;
 
+  /// Grows the model in place to `new_users` x `new_items` (each must be >=
+  /// the current dimension). Existing parameters are bit-preserved; the new
+  /// user rows are drawn first, then the new item rows (factor order within
+  /// a row), from N(0, stddev²) — zeros when stddev <= 0, consuming no rng
+  /// draws. New item biases start at zero. This is the online-ingest path's
+  /// on-the-fly allocation of unseen user/item ids: given the same rng state
+  /// and target dimensions the expansion is bit-deterministic, which the
+  /// crash-resume handshake relies on.
+  void ExpandTo(int32_t new_users, int32_t new_items, Rng& rng,
+                double stddev = 0.01);
+
   /// Copy of this model restricted to items [begin, end): user factors are
   /// kept whole, item factors/biases are copied for the range and renumbered
   /// to [0, end - begin). A score f_ui depends only on u's and i's own

@@ -1,0 +1,105 @@
+#ifndef CLAPF_ONLINE_ONLINE_TRAINER_H_
+#define CLAPF_ONLINE_ONLINE_TRAINER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "clapf/core/trainer.h"
+#include "clapf/data/dataset.h"
+#include "clapf/model/factor_model.h"
+#include "clapf/obs/metrics.h"
+#include "clapf/util/random.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// OnlineTrainer construction knobs.
+struct OnlineTrainerOptions {
+  /// Warm-start SGD hyper-parameters. `seed` drives everything deterministic
+  /// here: the initial Gaussian model, the reservoir stream, and (mixed with
+  /// the per-increment seed) the growth initialization and pair sampling.
+  /// `num_threads` = 1 keeps increments bit-reproducible; > 1 runs HogWild.
+  SgdOptions sgd;
+  /// Passes over each increment's pair set (iterations = epochs x pairs).
+  int64_t epochs_per_increment = 2;
+  /// Historical interactions retained (uniform reservoir over the whole
+  /// ingest stream) and mixed into every increment so fresh-tail SGD cannot
+  /// catastrophically forget the catalog.
+  int64_t reservoir_capacity = 1024;
+};
+
+/// Warm-start incremental SGD over a live interaction stream. Interactions
+/// are Ingest()ed one at a time (new user/item ids grow the model on the
+/// fly); TrainIncrement() then runs a few BPR-style epochs on SgdExecutor
+/// over the fresh tail mixed with reservoir-sampled history, every step
+/// watched by DivergenceGuard, with rollback-to-last-good when an increment
+/// halts.
+///
+/// Determinism contract (what the crash-resume handshake is built on): all
+/// internal state — model bits, reservoir contents, dimensions — is a pure
+/// function of (options, the ingested record sequence, the increment seeds
+/// and boundaries). Re-ingesting the same WAL prefix after RestoreModel()
+/// reproduces the exact pre-crash state, bit for bit, when run serially.
+///
+/// Not thread-safe: the deployer serializes ingest and training; serving
+/// concurrency lives behind the ModelServer snapshot swap, not here.
+class OnlineTrainer {
+ public:
+  /// Starts from `bootstrap` (the offline batch history): its dimensions
+  /// seed the model (Gaussian init from sgd.seed) and its interactions are
+  /// streamed through the reservoir so history mixing works from the first
+  /// increment.
+  OnlineTrainer(const Dataset& bootstrap, const OnlineTrainerOptions& options);
+
+  /// Feeds one interaction: grows the declared dimensions past unseen ids,
+  /// appends to the fresh tail, and advances the history reservoir. Called
+  /// for live arrivals and WAL replay alike — both must evolve the state
+  /// identically.
+  void Ingest(UserId u, ItemId i);
+
+  /// Drops the fresh tail without training — used on resume for the WAL
+  /// prefix a recovered checkpoint has already consumed.
+  void DiscardTail();
+
+  /// Incremental training over tail + reservoir. `increment_seed` must be a
+  /// deterministic function of the WAL position so a re-run increment is
+  /// bit-identical. On success the tail is consumed. On a DivergenceGuard
+  /// halt the model is restored to its pre-increment bits, the tail is
+  /// KEPT (the caller decides whether to retry or discard), and the halt
+  /// status is returned.
+  Status TrainIncrement(uint64_t increment_seed);
+
+  /// Adopts `model` as the current parameters (checkpoint resume); declared
+  /// dimensions grow to cover it. The caller then replays the WAL through
+  /// Ingest to rebuild the reservoir/tail state.
+  void RestoreModel(FactorModel model);
+
+  const FactorModel& model() const { return model_; }
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+  int64_t tail_size() const { return static_cast<int64_t>(tail_.size()); }
+  int64_t increments() const { return increments_; }
+  int64_t ingested() const { return ingested_; }
+
+ private:
+  OnlineTrainerOptions options_;
+  int32_t num_users_;  // declared dims; model_ catches up at TrainIncrement
+  int32_t num_items_;
+  FactorModel model_;
+  std::vector<std::pair<UserId, ItemId>> tail_;       // since last increment
+  std::vector<std::pair<UserId, ItemId>> reservoir_;  // uniform over stream
+  Rng reservoir_rng_;   // advanced once per post-fill ingest — replayable
+  int64_t ingested_ = 0;    // reservoir stream length (bootstrap + online)
+  int64_t increments_ = 0;
+
+  // Telemetry (null when sgd.metrics is null).
+  Counter* increments_total_ = nullptr;  // online.trainer.increments_total
+  Counter* rollbacks_total_ = nullptr;   // online.trainer.rollbacks_total
+  Gauge* users_gauge_ = nullptr;         // online.trainer.users
+  Gauge* items_gauge_ = nullptr;         // online.trainer.items
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_ONLINE_ONLINE_TRAINER_H_

@@ -1,0 +1,402 @@
+#include "clapf/online/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "clapf/util/crc32.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/fs.h"
+#include "clapf/util/logging.h"
+
+namespace clapf {
+
+namespace {
+
+constexpr char kSegmentMagic[4] = {'C', 'W', 'A', 'L'};
+constexpr uint32_t kSegmentVersion = 1;
+// magic(4) + version(4) + base_index(8) + crc(4).
+constexpr int64_t kSegmentHeaderBytes = 20;
+// crc(4) + len(4).
+constexpr int64_t kFrameHeaderBytes = 8;
+constexpr uint32_t kRecordPayloadBytes = sizeof(int32_t) * 2;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+void EncodeU32(uint32_t v, char* out) { std::memcpy(out, &v, sizeof(v)); }
+void EncodeU64(uint64_t v, char* out) { std::memcpy(out, &v, sizeof(v)); }
+uint32_t DecodeU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t DecodeU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::string EncodeSegmentHeader(int64_t base_index) {
+  std::string h(kSegmentHeaderBytes, '\0');
+  std::memcpy(h.data(), kSegmentMagic, sizeof(kSegmentMagic));
+  EncodeU32(kSegmentVersion, h.data() + 4);
+  EncodeU64(static_cast<uint64_t>(base_index), h.data() + 8);
+  EncodeU32(Crc32(h.data(), 16), h.data() + 16);
+  return h;
+}
+
+std::string EncodeFrame(const WalRecord& record) {
+  char payload[kRecordPayloadBytes];
+  std::memcpy(payload, &record.user, sizeof(int32_t));
+  std::memcpy(payload + sizeof(int32_t), &record.item, sizeof(int32_t));
+  std::string frame(kFrameHeaderBytes + kRecordPayloadBytes, '\0');
+  EncodeU32(Crc32(payload, sizeof(payload)), frame.data());
+  EncodeU32(kRecordPayloadBytes, frame.data() + 4);
+  std::memcpy(frame.data() + kFrameHeaderBytes, payload, sizeof(payload));
+  return frame;
+}
+
+/// Parses the segment names ("wal-<12 digits>.log") out of a directory
+/// listing; ListDir's lexicographic order equals numeric order because the
+/// sequence number is zero-padded.
+std::vector<int64_t> SegmentSequences(const std::vector<std::string>& names) {
+  std::vector<int64_t> seqs;
+  for (const std::string& name : names) {
+    int64_t seq = 0;
+    if (std::sscanf(name.c_str(), "wal-%12ld.log", &seq) == 1 &&
+        name == InteractionWal::SegmentFileName(seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  return seqs;
+}
+
+/// One segment scanned from disk. `valid_bytes` is the offset just past the
+/// last intact frame — the truncation point for torn-tail recovery.
+struct SegmentScan {
+  bool header_ok = false;
+  int64_t base_index = 0;
+  int64_t records = 0;      // intact records, from the start of the segment
+  int64_t valid_bytes = 0;  // header + intact frames
+  int64_t file_bytes = 0;
+  bool corrupt = false;     // a frame failed its CRC (not merely torn)
+  bool torn = false;        // an incomplete frame at the end
+};
+
+Result<SegmentScan> ScanSegment(const std::string& path, bool inject_faults) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& data = *contents;
+  SegmentScan scan;
+  scan.file_bytes = static_cast<int64_t>(data.size());
+  if (scan.file_bytes < kSegmentHeaderBytes) return scan;  // header torn off
+  if (std::memcmp(data.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0 ||
+      DecodeU32(data.data() + 4) != kSegmentVersion ||
+      DecodeU32(data.data() + 16) != Crc32(data.data(), 16)) {
+    return scan;  // header corrupt: the whole segment is unreadable
+  }
+  scan.header_ok = true;
+  scan.base_index = static_cast<int64_t>(DecodeU64(data.data() + 8));
+  scan.valid_bytes = kSegmentHeaderBytes;
+
+  FaultInjector& faults = FaultInjector::Instance();
+  int64_t off = kSegmentHeaderBytes;
+  while (off < scan.file_bytes) {
+    if (scan.file_bytes - off < kFrameHeaderBytes) {
+      scan.torn = true;
+      break;
+    }
+    const uint32_t crc = DecodeU32(data.data() + off);
+    const uint32_t len = DecodeU32(data.data() + off + 4);
+    if (len != kRecordPayloadBytes) {
+      // A frame length that isn't the (fixed) record size is corruption,
+      // not a torn tail: the length word itself was damaged.
+      scan.corrupt = true;
+      break;
+    }
+    if (scan.file_bytes - off < kFrameHeaderBytes + len) {
+      scan.torn = true;
+      break;
+    }
+    const char* payload = data.data() + off + kFrameHeaderBytes;
+    bool crc_ok = Crc32(payload, len) == crc;
+    if (inject_faults && faults.armed() &&
+        faults.ShouldFire(FaultPoint::kWalReplayCorrupt)) {
+      crc_ok = false;
+    }
+    if (!crc_ok) {
+      scan.corrupt = true;
+      break;
+    }
+    off += kFrameHeaderBytes + len;
+    ++scan.records;
+    scan.valid_bytes = off;
+  }
+  return scan;
+}
+
+}  // namespace
+
+std::string InteractionWal::SegmentFileName(int64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%012lld.log",
+                static_cast<long long>(seq));
+  return buf;
+}
+
+InteractionWal::InteractionWal(const WalOptions& options) : options_(options) {
+  if (options_.metrics != nullptr) {
+    appends_ = options_.metrics->GetCounter("online.wal.appends_total");
+    fsyncs_ = options_.metrics->GetCounter("online.wal.fsyncs_total");
+    rotations_ = options_.metrics->GetCounter("online.wal.rotations_total");
+  }
+}
+
+InteractionWal::~InteractionWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<InteractionWal>> InteractionWal::Open(
+    const WalOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("wal dir must be non-empty");
+  }
+  if (options.segment_bytes <= kSegmentHeaderBytes) {
+    return Status::InvalidArgument("wal segment_bytes too small");
+  }
+  CLAPF_RETURN_IF_ERROR(CreateDirs(options.dir));
+  auto names = ListDir(options.dir);
+  if (!names.ok()) return names.status();
+  std::vector<int64_t> seqs = SegmentSequences(*names);
+
+  std::unique_ptr<InteractionWal> wal(new InteractionWal(options));
+  int64_t open_seq = 0;
+  int64_t base_index = 0;
+  int64_t segment_bytes = 0;
+  if (!seqs.empty()) {
+    // The append position comes from the LAST segment alone: its header
+    // names the base index and its intact-frame count extends it. A torn
+    // frame at its tail (the mid-append crash) is truncated away so the
+    // next append starts on a clean frame boundary; earlier segments are
+    // recovery territory (Replay), not append territory.
+    const int64_t last = seqs.back();
+    const std::string path = JoinPath(options.dir, SegmentFileName(last));
+    auto scan = ScanSegment(path, /*inject_faults=*/false);
+    if (!scan.ok()) return scan.status();
+    if (!scan->header_ok) {
+      return Status::Corruption("wal segment " + path +
+                                " has a corrupt header; refusing to append "
+                                "after it");
+    }
+    if (scan->valid_bytes < scan->file_bytes) {
+      CLAPF_LOG(Warning)
+          << "wal recovery: truncating " << path << " from "
+          << scan->file_bytes << " to " << scan->valid_bytes << " bytes ("
+          << (scan->torn ? "torn tail" : "corrupt record") << ")";
+      if (::truncate(path.c_str(), scan->valid_bytes) != 0) {
+        return Status::IoError(ErrnoMessage("cannot truncate", path));
+      }
+    }
+    open_seq = last;
+    base_index = scan->base_index + scan->records;
+    segment_bytes = scan->valid_bytes;
+  }
+
+  const std::string path =
+      JoinPath(options.dir, SegmentFileName(open_seq));
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open wal segment", path));
+  }
+  wal->fd_ = fd;
+  wal->segment_seq_ = open_seq;
+  wal->next_index_ = base_index;
+  if (segment_bytes == 0) {
+    // Fresh segment: write its header now so the base index is durable
+    // before any record lands.
+    const std::string header = EncodeSegmentHeader(base_index);
+    if (::write(fd, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size())) {
+      return Status::IoError(ErrnoMessage("cannot write wal header", path));
+    }
+    segment_bytes = kSegmentHeaderBytes;
+  }
+  wal->segment_bytes_ = segment_bytes;
+  return wal;
+}
+
+int64_t InteractionWal::next_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_index_;
+}
+
+Status InteractionWal::SyncLocked() {
+  FaultInjector& faults = FaultInjector::Instance();
+  if (faults.armed() && faults.ShouldFire(FaultPoint::kWalFsyncFail)) {
+    return Status::IoError("injected wal fsync failure");
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(ErrnoMessage("wal fsync failed", options_.dir));
+  }
+  appends_since_sync_ = 0;
+  if (fsyncs_ != nullptr) fsyncs_->Inc();
+  return Status::OK();
+}
+
+Status InteractionWal::RotateLocked() {
+  FaultInjector& faults = FaultInjector::Instance();
+  if (faults.armed() && faults.ShouldFire(FaultPoint::kWalRotateFail)) {
+    // The old segment stays open and writable: a failed rotation degrades
+    // to an oversized segment, never to data loss. The next append retries.
+    return Status::IoError("injected wal rotate failure");
+  }
+  // The finished segment must be durable before the new one exists —
+  // otherwise a crash could leave a successor whose base index references
+  // records the predecessor never persisted.
+  CLAPF_RETURN_IF_ERROR(SyncLocked());
+  const int64_t next_seq = segment_seq_ + 1;
+  const std::string path =
+      JoinPath(options_.dir, SegmentFileName(next_seq));
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open wal segment", path));
+  }
+  const std::string header = EncodeSegmentHeader(next_index_);
+  if (::write(fd, header.data(), header.size()) !=
+      static_cast<ssize_t>(header.size())) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return Status::IoError(ErrnoMessage("cannot write wal header", path));
+  }
+  ::close(fd_);
+  fd_ = fd;
+  segment_seq_ = next_seq;
+  segment_bytes_ = kSegmentHeaderBytes;
+  if (rotations_ != nullptr) rotations_->Inc();
+  return Status::OK();
+}
+
+Status InteractionWal::Append(const WalRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_ || fd_ < 0) {
+    return Status::FailedPrecondition(
+        "wal writer is poisoned after a failed append; reopen to recover");
+  }
+  if (segment_bytes_ >= options_.segment_bytes) {
+    CLAPF_RETURN_IF_ERROR(RotateLocked());
+  }
+  const std::string frame = EncodeFrame(record);
+
+  FaultInjector& faults = FaultInjector::Instance();
+  if (faults.armed() && faults.ShouldFire(FaultPoint::kWalAppendTorn)) {
+    // The simulated crash mid-append: half a frame reaches the file and the
+    // process is gone. Poisoning the writer forces the recovery path (a
+    // reopen truncates the torn bytes) instead of letting a test keep
+    // appending garbage after its own "crash".
+    const size_t half = frame.size() / 2;
+    ssize_t ignored = ::write(fd_, frame.data(), half);
+    (void)ignored;
+    ::fsync(fd_);
+    poisoned_ = true;
+    return Status::IoError("injected torn wal append");
+  }
+
+  size_t written = 0;
+  while (written < frame.size()) {
+    ssize_t n = ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      poisoned_ = true;
+      return Status::IoError(ErrnoMessage("wal append failed", options_.dir));
+    }
+    written += static_cast<size_t>(n);
+  }
+  segment_bytes_ += static_cast<int64_t>(frame.size());
+  ++next_index_;
+  if (appends_ != nullptr) appends_->Inc();
+  if (options_.fsync_every > 0 &&
+      ++appends_since_sync_ >= options_.fsync_every) {
+    CLAPF_RETURN_IF_ERROR(SyncLocked());
+  }
+  return Status::OK();
+}
+
+Status InteractionWal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_ || fd_ < 0) {
+    return Status::FailedPrecondition("wal writer is poisoned; reopen");
+  }
+  return SyncLocked();
+}
+
+Result<WalReplayStats> InteractionWal::Replay(
+    int64_t from_index,
+    const std::function<void(int64_t, const WalRecord&)>& fn) const {
+  auto names = ListDir(options_.dir);
+  if (!names.ok()) return names.status();
+  const std::vector<int64_t> seqs = SegmentSequences(*names);
+
+  WalReplayStats stats;
+  int64_t reached = 0;  // exclusive upper bound of positions seen so far
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    const std::string path =
+        JoinPath(options_.dir, SegmentFileName(seqs[i]));
+    auto scan = ScanSegment(path, /*inject_faults=*/true);
+    if (!scan.ok()) return scan.status();
+    ++stats.segments_scanned;
+    if (!scan->header_ok) {
+      // An unreadable header loses the whole segment; positions resume at
+      // the next segment's header (the gap is counted below).
+      ++stats.corrupt_segments;
+      continue;
+    }
+    if (scan->base_index > reached && reached > 0) {
+      stats.dropped_records += scan->base_index - reached;
+    }
+    if (scan->corrupt) ++stats.corrupt_segments;
+    if (scan->torn) {
+      stats.torn_tail_bytes += scan->file_bytes - scan->valid_bytes;
+    }
+    if (scan->records > 0) {
+      auto contents = ReadFileToString(path);
+      if (!contents.ok()) return contents.status();
+      const char* data = contents->data();
+      int64_t off = kSegmentHeaderBytes;
+      for (int64_t r = 0; r < scan->records; ++r) {
+        const int64_t position = scan->base_index + r;
+        WalRecord record;
+        std::memcpy(&record.user, data + off + kFrameHeaderBytes,
+                    sizeof(int32_t));
+        std::memcpy(&record.item,
+                    data + off + kFrameHeaderBytes + sizeof(int32_t),
+                    sizeof(int32_t));
+        off += kFrameHeaderBytes + kRecordPayloadBytes;
+        if (position >= from_index) {
+          fn(position, record);
+          ++stats.records_delivered;
+        }
+      }
+    }
+    reached = scan->base_index + scan->records;
+  }
+  return stats;
+}
+
+}  // namespace clapf

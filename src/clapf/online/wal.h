@@ -1,0 +1,138 @@
+#ifndef CLAPF_ONLINE_WAL_H_
+#define CLAPF_ONLINE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "clapf/data/dataset.h"
+#include "clapf/obs/metrics.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// One logged interaction: the unit of the online ingest stream.
+struct WalRecord {
+  UserId user = 0;
+  ItemId item = 0;
+};
+
+/// InteractionWal construction knobs.
+struct WalOptions {
+  /// Directory holding the segment files (`wal-<seq>.log`). Created on Open.
+  std::string dir;
+  /// Rotation threshold: a segment at or past this many bytes is closed and
+  /// a new one opened before the next append.
+  int64_t segment_bytes = 1 << 20;
+  /// Durability cadence: 0 never fsyncs (the OS flushes when it pleases),
+  /// 1 (default) fsyncs after every append, N fsyncs after every N appends.
+  /// Rotation always fsyncs the finished segment regardless.
+  int64_t fsync_every = 1;
+  /// Optional telemetry sink for the online.wal.* counters. Not owned; must
+  /// outlive the WAL.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// What a Replay pass observed, for recovery telemetry and test assertions.
+struct WalReplayStats {
+  int64_t segments_scanned = 0;   ///< segment files visited
+  int64_t records_delivered = 0;  ///< records handed to the callback
+  int64_t torn_tail_bytes = 0;    ///< incomplete frame bytes dropped at a tail
+  int64_t corrupt_segments = 0;   ///< segments cut short by a CRC/frame error
+  int64_t dropped_records = 0;    ///< records lost to corruption (index gaps)
+};
+
+/// Append-only segmented write-ahead log of interactions, RocksDB log style:
+/// every record is CRC32-framed, segments rotate at a size threshold, and
+/// recovery tolerates exactly the failure modes a crash leaves behind — a
+/// torn frame at the tail of the last segment (truncated and forgotten) and
+/// a CRC-corrupt record mid-segment (the rest of that segment is dropped,
+/// replay continues with the next one).
+///
+/// On-disk format. Each segment starts with a CRC-protected header
+///   "CWAL" | u32 version | u64 base_index | u32 crc(header)
+/// followed by frames
+///   u32 crc(payload) | u32 len | payload
+/// where the payload is one WalRecord (user, item as int32). A record's
+/// position is `base_index + ordinal within its segment`: positions are
+/// assigned by the headers, not by what happens to be readable, so they stay
+/// stable across corruption — which is what lets a checkpoint reference a
+/// WAL position and mean the same record forever.
+///
+/// Fault injection (always compiled, armed only by tests): kWalAppendTorn
+/// writes half a frame and poisons the writer (the simulated crash),
+/// kWalFsyncFail fails the durability fsync, kWalRotateFail fails opening
+/// the next segment, and kWalReplayCorrupt corrupts a record at read time.
+///
+/// Thread-safe: appends are serialized by an internal mutex; Replay opens
+/// its own read handles and may run concurrently with appends (it sees a
+/// prefix of the log).
+class InteractionWal {
+ public:
+  /// Scans `options.dir` (created if missing), validates the existing
+  /// segments, truncates any torn frame at the tail of the last segment so
+  /// appends land on a clean boundary, and positions the writer after the
+  /// last durable record.
+  static Result<std::unique_ptr<InteractionWal>> Open(
+      const WalOptions& options);
+
+  ~InteractionWal();
+
+  InteractionWal(const InteractionWal&) = delete;
+  InteractionWal& operator=(const InteractionWal&) = delete;
+
+  /// Durably appends one record per the fsync policy. IoError on a torn or
+  /// failed write — the writer is then poisoned (FailedPrecondition on
+  /// further appends) and must be reopened, exactly like the crashed
+  /// process it simulates.
+  Status Append(const WalRecord& record);
+
+  /// Forces an fsync of the current segment regardless of policy.
+  Status Sync();
+
+  /// Position the next Append will get: total records ever assigned, i.e.
+  /// the exclusive upper bound of replayable positions.
+  int64_t next_index() const;
+
+  /// Delivers every readable record with position >= `from_index` in
+  /// position order to `fn(position, record)`. Torn tails and corrupt
+  /// segments are recovered per the class contract and reported in the
+  /// returned stats; they are never errors.
+  Result<WalReplayStats> Replay(
+      int64_t from_index,
+      const std::function<void(int64_t, const WalRecord&)>& fn) const;
+
+  /// Segment file name for sequence number `seq` ("wal-000000000000.log"),
+  /// exposed so drills can corrupt specific segments.
+  static std::string SegmentFileName(int64_t seq);
+
+  const WalOptions& options() const { return options_; }
+
+ private:
+  explicit InteractionWal(const WalOptions& options);
+
+  /// Closes the current segment (with a final fsync) and opens the next.
+  Status RotateLocked();
+  Status SyncLocked();
+
+  WalOptions options_;
+  mutable std::mutex mu_;
+  int fd_ = -1;               // current segment, -1 before Open/after poison
+  int64_t segment_seq_ = 0;   // sequence number of the open segment
+  int64_t segment_bytes_ = 0; // bytes written to the open segment
+  int64_t next_index_ = 0;    // position of the next append
+  int64_t appends_since_sync_ = 0;
+  bool poisoned_ = false;     // a torn write happened; reopen required
+
+  // Telemetry (null when options_.metrics is null).
+  Counter* appends_ = nullptr;    // online.wal.appends_total
+  Counter* fsyncs_ = nullptr;     // online.wal.fsyncs_total
+  Counter* rotations_ = nullptr;  // online.wal.rotations_total
+};
+
+}  // namespace clapf
+
+#endif  // CLAPF_ONLINE_WAL_H_

@@ -58,6 +58,10 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kDeadlineMiss: return "deadline-miss";
     case FlightEventKind::kSlowQuery: return "slow-query";
     case FlightEventKind::kInternalError: return "internal-error";
+    case FlightEventKind::kWalRecovery: return "wal-recovery";
+    case FlightEventKind::kOnlinePublish: return "online-publish";
+    case FlightEventKind::kAucRegressionRollback:
+      return "auc-regression-rollback";
     case FlightEventKind::kNumFlightEventKinds: break;
   }
   return "unknown";

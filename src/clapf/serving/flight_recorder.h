@@ -31,6 +31,9 @@ enum class FlightEventKind : uint8_t {
   kDeadlineMiss,        ///< query expired mid-scan
   kSlowQuery,           ///< served above ServerOptions::slow_query_us (x=us)
   kInternalError,       ///< serve-time integrity failure (breaker food)
+  kWalRecovery,         ///< online WAL replayed on startup (a=position, b=trained)
+  kOnlinePublish,       ///< online snapshot cleared the gate (a=version, b=position)
+  kAucRegressionRollback,  ///< online publish refused; trainer rolled back
   kNumFlightEventKinds,  // sentinel, keep last
 };
 

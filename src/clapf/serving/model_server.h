@@ -156,16 +156,6 @@ class ModelServer {
   /// ShardedModelServer.
   Status PublishModel(PublishRequest request);
 
-  [[deprecated("use PublishModel(candidate)")]]
-  Status Publish(FactorModel candidate) {
-    return PublishModel(PublishRequest(std::move(candidate)));
-  }
-
-  [[deprecated("use PublishModel(path)")]]
-  Status PublishFromFile(const std::string& path) {
-    return PublishModel(PublishRequest(path));
-  }
-
   /// Top-k for one user through admission control on the serving pool.
   /// Outcomes: the ranked list, DeadlineExceeded (options.deadline expired),
   /// Unavailable (shed at admission), OutOfRange (bad id), or Internal

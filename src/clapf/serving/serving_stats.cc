@@ -46,6 +46,9 @@ std::string ShardStatsSnapshot::ToString() const {
   field("canary_rejects", canary_rejects);
   field("rollbacks", rollbacks);
   field("breaker_trips", breaker_trips);
+  field("probes", probes);
+  field("probe_recoveries", probe_recoveries);
+  field("probe_failures", probe_failures);
   return out;
 }
 
@@ -72,6 +75,11 @@ ShardServingStats::ShardServingStats(MetricsRegistry* registry, int32_t shard)
   canary_rejects_ = registry->GetCounter(prefix + "canary_rejects_total");
   rollbacks_ = registry->GetCounter(prefix + "rollbacks_total");
   breaker_trips_ = registry->GetCounter(prefix + "breaker_trips_total");
+  probes_ = registry->GetCounter(prefix + "halfopen.probes_total");
+  probe_recoveries_ =
+      registry->GetCounter(prefix + "halfopen.probe_recoveries_total");
+  probe_failures_ =
+      registry->GetCounter(prefix + "halfopen.probe_failures_total");
 }
 
 ShardStatsSnapshot ShardServingStats::Snapshot() const {
@@ -85,6 +93,9 @@ ShardStatsSnapshot ShardServingStats::Snapshot() const {
   s.canary_rejects = canary_rejects_->Value();
   s.rollbacks = rollbacks_->Value();
   s.breaker_trips = breaker_trips_->Value();
+  s.probes = probes_->Value();
+  s.probe_recoveries = probe_recoveries_->Value();
+  s.probe_failures = probe_failures_->Value();
   return s;
 }
 

@@ -89,6 +89,9 @@ struct ShardStatsSnapshot {
   int64_t canary_rejects = 0;     ///< slices the per-shard gate refused
   int64_t rollbacks = 0;          ///< breaker-driven reverts of this shard
   int64_t breaker_trips = 0;      ///< per-shard breaker activations
+  int64_t probes = 0;             ///< half-open probe windows opened here
+  int64_t probe_recoveries = 0;   ///< probes that reinstated this shard's slice
+  int64_t probe_failures = 0;     ///< probes that reverted this shard's slice
 
   /// "shard=0 queries=12 internal_errors=0 ..." — one line, stable order.
   std::string ToString() const;
@@ -122,6 +125,9 @@ class ShardServingStats {
   void RecordCanaryReject() { canary_rejects_->Inc(); }
   void RecordRollback() { rollbacks_->Inc(); }
   void RecordBreakerTrip() { breaker_trips_->Inc(); }
+  void RecordProbe() { probes_->Inc(); }
+  void RecordProbeRecovery() { probe_recoveries_->Inc(); }
+  void RecordProbeFailure() { probe_failures_->Inc(); }
 
   ShardStatsSnapshot Snapshot() const;
 
@@ -135,6 +141,9 @@ class ShardServingStats {
   Counter* canary_rejects_;
   Counter* rollbacks_;
   Counter* breaker_trips_;
+  Counter* probes_;
+  Counter* probe_recoveries_;
+  Counter* probe_failures_;
 };
 
 }  // namespace clapf

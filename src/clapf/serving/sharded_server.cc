@@ -246,6 +246,10 @@ Status ShardedModelServer::PublishModel(PublishRequest request) {
       ShardChain& chain = state.chains[static_cast<size_t>(targets[i])];
       chain.previous = chain.current;
       chain.current = std::move(built[i]);
+      // A fresh slice supersedes any pending half-open probe of this shard:
+      // the stashed slice is obsolete and its verdict would be moot.
+      chain.tripped.reset();
+      chain.probe_fallback.reset();
     }
   }
   stats_.RecordPublish();
@@ -616,43 +620,104 @@ void ShardedModelServer::RecordOutcome(const Status& status,
   }
   if (!options_.breaker.enabled) return;
 
+  // Outcomes that exercised the served slices and can judge their health —
+  // what a shard's half-open probe window counts. Deadline misses and
+  // client errors say nothing about the slice under probe.
+  const bool judges_model = status.code() == StatusCode::kOk || breaker_error;
+
   // Each consulted shard's (tenant, shard) window counts this query; only
-  // the blamed shard's window eats the error. Decide under breaker_mu_,
-  // act (TripShardBreaker takes snapshot_mu_) after releasing it.
+  // the blamed shard's window eats the error. Every state transition is
+  // decided under breaker_mu_ and acted on after releasing it — the
+  // actions take snapshot_mu_, and the two locks are never held together.
   std::vector<int32_t> judged = attr.consulted;
   if (attr.blame >= 0 &&
       std::find(judged.begin(), judged.end(), attr.blame) == judged.end()) {
     judged.push_back(attr.blame);
   }
   if (judged.empty()) return;
-  std::vector<int32_t> to_trip;
+  struct ShardAction {
+    enum class Kind { kTrip, kBeginProbe, kResolveProbe };
+    int32_t shard;
+    Kind kind;
+    bool recovered = false;
+    double rate = 0.0;
+  };
+  std::vector<ShardAction> actions;
   {
     std::lock_guard<std::mutex> lock(breaker_mu_);
     for (int32_t s : judged) {
       BreakerWindow& w = breaker_windows_[{tenant, s}];
+      const bool shard_error = breaker_error && s == attr.blame;
+      if (w.state == ShardBreakerState::kHalfOpen) {
+        // The probe window judges this shard's re-admitted slice alone;
+        // its tumbling window is suspended so the verdict cannot
+        // double-trip.
+        if (!judges_model) continue;
+        if (shard_error) ++w.probe_errors;
+        if (--w.probe_left <= 0) {
+          const double rate =
+              static_cast<double>(w.probe_errors) /
+              static_cast<double>(
+                  std::max<int64_t>(1, options_.breaker.probe_window));
+          actions.push_back(
+              {s, ShardAction::Kind::kResolveProbe,
+               rate < options_.breaker.error_threshold, rate});
+          w.state = ShardBreakerState::kClosed;
+          w.queries = 0;
+          w.errors = 0;
+        }
+        continue;
+      }
       ++w.queries;
-      if (breaker_error && s == attr.blame) ++w.errors;
+      if (shard_error) ++w.errors;
+      bool tripped = false;
       if (w.queries >= options_.breaker.min_samples) {
         const double rate = static_cast<double>(w.errors) /
                             static_cast<double>(w.queries);
         if (rate >= options_.breaker.error_threshold) {
-          to_trip.push_back(s);
+          actions.push_back({s, ShardAction::Kind::kTrip});
           w = BreakerWindow{};
+          tripped = true;
         } else if (w.queries >= options_.breaker.window) {
-          w = BreakerWindow{};
+          // Only the tumbling counters reset; a cooldown in flight keeps
+          // ticking toward its probe.
+          w.queries = 0;
+          w.errors = 0;
+        }
+      }
+      if (!tripped && w.state == ShardBreakerState::kCooldown) {
+        if (--w.cooldown_left <= 0) {
+          actions.push_back({s, ShardAction::Kind::kBeginProbe});
+          w.state = ShardBreakerState::kHalfOpen;
+          w.probe_left = std::max<int64_t>(1, options_.breaker.probe_window);
+          w.probe_errors = 0;
         }
       }
     }
   }
-  for (int32_t s : to_trip) TripShardBreaker(tenant, s);
+  for (const ShardAction& action : actions) {
+    switch (action.kind) {
+      case ShardAction::Kind::kTrip:
+        TripShardBreaker(tenant, action.shard);
+        break;
+      case ShardAction::Kind::kBeginProbe:
+        BeginShardProbe(tenant, action.shard);
+        break;
+      case ShardAction::Kind::kResolveProbe:
+        ResolveShardProbe(tenant, action.shard, action.recovered,
+                          action.rate);
+        break;
+    }
+  }
 }
 
-void ShardedModelServer::TripShardBreaker(const std::string& tenant,
+bool ShardedModelServer::TripShardBreaker(const std::string& tenant,
                                           int32_t shard) {
+  bool have_probe_candidate = false;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     auto it = tenants_.find(tenant);
-    if (it == tenants_.end() || it->second.chains.empty()) return;
+    if (it == tenants_.end() || it->second.chains.empty()) return false;
     stats_.RecordBreakerTrip();
     shard_stats_[static_cast<size_t>(shard)]->RecordBreakerTrip();
     ShardChain& chain = it->second.chains[static_cast<size_t>(shard)];
@@ -662,6 +727,15 @@ void ShardedModelServer::TripShardBreaker(const std::string& tenant,
                      "error-rate breaker fired on tenant \"" + tenant +
                          "\" shard " + std::to_string(shard),
                      from_version, shard);
+    // Stash the failing slice for a later half-open probe; a newer trip
+    // replaces any older, never-probed candidate.
+    if (options_.breaker.half_open && chain.current != nullptr) {
+      chain.tripped = chain.current;
+      have_probe_candidate = true;
+    } else {
+      chain.tripped.reset();
+    }
+    chain.probe_fallback.reset();
     if (chain.previous != nullptr) {
       CLAPF_LOG(Warning) << "circuit breaker tripped on tenant \"" << tenant
                          << "\" shard " << shard << " slice v"
@@ -686,6 +760,23 @@ void ShardedModelServer::TripShardBreaker(const std::string& tenant,
       chain.current.reset();
     }
   }
+  {
+    // Arm the half-open schedule for this shard's window. RecordOutcome
+    // already zeroed the tumbling counters when it decided the trip; this
+    // re-zeroing only covers direct TripShardBreaker callers.
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    BreakerWindow& w = breaker_windows_[{tenant, shard}];
+    if (have_probe_candidate && options_.breaker.cooldown_queries > 0) {
+      w.state = ShardBreakerState::kCooldown;
+      w.cooldown_left = options_.breaker.cooldown_queries;
+    } else {
+      w.state = ShardBreakerState::kClosed;
+    }
+    w.probe_left = 0;
+    w.probe_errors = 0;
+    w.queries = 0;
+    w.errors = 0;
+  }
   if (!options_.flight_dump_path.empty()) {
     Status dumped = recorder_.DumpJsonFile(options_.flight_dump_path);
     if (!dumped.ok()) {
@@ -694,6 +785,92 @@ void ShardedModelServer::TripShardBreaker(const std::string& tenant,
                          << " failed: " << dumped.ToString();
     }
   }
+  return have_probe_candidate;
+}
+
+bool ShardedModelServer::BeginShardProbe(const std::string& tenant,
+                                         int32_t shard) {
+  bool started = false;
+  int64_t probe_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end() && !it->second.chains.empty()) {
+      ShardChain& chain = it->second.chains[static_cast<size_t>(shard)];
+      if (chain.tripped != nullptr) {
+        chain.probe_fallback = chain.current;
+        probe_version = chain.tripped->version;
+        chain.current = chain.tripped;
+        started = true;
+      }
+    }
+  }
+  if (!started) {
+    // A publish raced the probe open and superseded the stashed slice;
+    // nothing to probe.
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    BreakerWindow& w = breaker_windows_[{tenant, shard}];
+    w.state = ShardBreakerState::kClosed;
+    w.probe_left = 0;
+    w.probe_errors = 0;
+    return false;
+  }
+  stats_.RecordProbe();
+  shard_stats_[static_cast<size_t>(shard)]->RecordProbe();
+  RecordShardEvent(shard, FlightEventKind::kProbeStart,
+                   "half-open probe re-admitted tripped slice on tenant \"" +
+                       tenant + "\" shard " + std::to_string(shard),
+                   probe_version, shard);
+  CLAPF_LOG(Info) << "half-open probe: re-admitting tripped slice v"
+                  << probe_version << " on tenant \"" << tenant << "\" shard "
+                  << shard << " for " << options_.breaker.probe_window
+                  << " queries";
+  return true;
+}
+
+void ShardedModelServer::ResolveShardProbe(const std::string& tenant,
+                                           int32_t shard, bool recovered,
+                                           double error_rate) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.chains.empty()) return;
+  ShardChain& chain = it->second.chains[static_cast<size_t>(shard)];
+  if (chain.tripped == nullptr || chain.current != chain.tripped) {
+    // A publish replaced the probe slice mid-window; its verdict is moot.
+    chain.tripped.reset();
+    chain.probe_fallback.reset();
+    return;
+  }
+  const int64_t probe_version = chain.current->version;
+  if (recovered) {
+    // The probed slice stays serving and the fallback it displaced becomes
+    // the rollback target again — the pre-incident chain restored, for
+    // this shard alone.
+    chain.previous = chain.probe_fallback;
+    stats_.RecordProbeRecovery();
+    shard_stats_[static_cast<size_t>(shard)]->RecordProbeRecovery();
+    RecordShardEvent(shard, FlightEventKind::kProbeRecovered,
+                     "probe passed; shard slice reinstated", probe_version,
+                     chain.previous != nullptr ? chain.previous->version : 0,
+                     error_rate);
+    CLAPF_LOG(Info) << "half-open probe passed: slice v" << probe_version
+                    << " reinstated on tenant \"" << tenant << "\" shard "
+                    << shard << " (error rate " << error_rate << ")";
+  } else {
+    chain.current = chain.probe_fallback;
+    stats_.RecordProbeFailure();
+    shard_stats_[static_cast<size_t>(shard)]->RecordProbeFailure();
+    RecordShardEvent(shard, FlightEventKind::kProbeFailed,
+                     "probe failed; shard reverted to fallback",
+                     probe_version,
+                     chain.current != nullptr ? chain.current->version : 0,
+                     error_rate);
+    CLAPF_LOG(Warning) << "half-open probe failed: slice v" << probe_version
+                       << " discarded on tenant \"" << tenant << "\" shard "
+                       << shard << " (error rate " << error_rate << ")";
+  }
+  chain.tripped.reset();
+  chain.probe_fallback.reset();
 }
 
 std::vector<std::string> ShardedModelServer::tenants() const {

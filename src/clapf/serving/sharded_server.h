@@ -66,11 +66,14 @@ namespace clapf {
 /// score to the shard owning the item, and only that (tenant, shard)
 /// breaker window is charged; a tripped shard rolls back to its previous
 /// slice or degrades to its popularity slice alone while the other shards
-/// keep serving the model. Per-shard breakers are trip-and-rollback only —
-/// half-open probing remains a monolithic-server feature. The governor is
-/// deliberately global: its levers (admission depth, deadline budget,
-/// packed forcing) are shared resources, so per-shard governors would fight
-/// over one knob.
+/// keep serving the model. Each (tenant, shard) breaker then runs the same
+/// half-open recovery as the monolithic server — cooldown, probe window,
+/// reinstate-or-revert (BreakerOptions::half_open et al.) — scoped to its
+/// own failure domain: only queries that consulted the shard advance its
+/// cooldown and probe, and a probe verdict swaps that shard's slice alone.
+/// The governor is deliberately global: its levers (admission depth,
+/// deadline budget, packed forcing) are shared resources, so per-shard
+/// governors would fight over one knob.
 class ShardedModelServer {
  public:
   /// Serves `history` (copied) across ServerOptions::num_shards shards.
@@ -150,14 +153,30 @@ class ShardedModelServer {
   struct ShardChain {
     std::shared_ptr<const ShardSlice> current;
     std::shared_ptr<const ShardSlice> previous;  // breaker rollback target
+    // Half-open recovery (guarded by snapshot_mu_ like the chain itself):
+    // the slice the breaker rolled back from (probe candidate), and what
+    // `current` pointed at before the probe swapped the candidate back in
+    // (revert target).
+    std::shared_ptr<const ShardSlice> tripped;
+    std::shared_ptr<const ShardSlice> probe_fallback;
   };
   struct TenantState {
     std::vector<ShardChain> chains;  // one per shard
   };
-  /// Per-(tenant, shard) tumbling breaker window, guarded by breaker_mu_.
+  /// Tumbling-window breaker phase of one (tenant, shard). kClosed judges
+  /// full windows and trips; kCooldown counts consulted queries toward the
+  /// probe; kHalfOpen judges the probe window against the re-admitted slice.
+  enum class ShardBreakerState { kClosed, kCooldown, kHalfOpen };
+  /// Per-(tenant, shard) breaker window and half-open state, guarded by
+  /// breaker_mu_. A publish to the shard resets the whole struct — a fresh
+  /// slice starts closed with an empty window.
   struct BreakerWindow {
     int64_t queries = 0;
     int64_t errors = 0;
+    ShardBreakerState state = ShardBreakerState::kClosed;
+    int64_t cooldown_left = 0;  // consulted queries until the probe opens
+    int64_t probe_left = 0;     // judged queries left in the probe window
+    int64_t probe_errors = 0;   // internal errors seen during the probe
   };
   /// What a finished query pins on the shards it touched, for stats and
   /// breaker attribution.
@@ -203,8 +222,17 @@ class ShardedModelServer {
 
   /// Breaker action for one (tenant, shard): roll the shard back to its
   /// previous slice or degrade it to popularity; the other shards are
-  /// untouched.
-  void TripShardBreaker(const std::string& tenant, int32_t shard);
+  /// untouched. Returns true when the rolled-back-from slice was stashed
+  /// for a later half-open probe.
+  bool TripShardBreaker(const std::string& tenant, int32_t shard);
+
+  /// Half-open transitions for one (tenant, shard); called off breaker_mu_
+  /// (they take snapshot_mu_), exactly like the monolithic server's
+  /// BeginProbe/ResolveProbe. BeginShardProbe returns false when a publish
+  /// superseded the stashed slice and there is nothing to probe.
+  bool BeginShardProbe(const std::string& tenant, int32_t shard);
+  void ResolveShardProbe(const std::string& tenant, int32_t shard,
+                         bool recovered, double error_rate);
 
   /// Records one shard-scoped event into both the global and the shard's
   /// own recorder.

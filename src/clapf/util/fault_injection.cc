@@ -24,6 +24,14 @@ const char* FaultPointName(FaultPoint point) {
       return "serve-score-nan";
     case FaultPoint::kServeQueueStall:
       return "serve-queue-stall";
+    case FaultPoint::kWalAppendTorn:
+      return "wal-append-torn";
+    case FaultPoint::kWalFsyncFail:
+      return "wal-fsync-fail";
+    case FaultPoint::kWalRotateFail:
+      return "wal-rotate-fail";
+    case FaultPoint::kWalReplayCorrupt:
+      return "wal-replay-corrupt";
     case FaultPoint::kNumFaultPoints:
       break;
   }

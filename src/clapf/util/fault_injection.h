@@ -39,6 +39,19 @@ enum class FaultPoint : int {
   /// A serving worker stalls before running its task, backing the admission
   /// queue up to its bound so overload shedding kicks in.
   kServeQueueStall,
+  /// A WAL append writes only a prefix of the record frame and the process
+  /// "dies" (the writer is poisoned): the classic torn tail that replay must
+  /// truncate after a reopen.
+  kWalAppendTorn,
+  /// The WAL's durability fsync fails (EIO-style), leaving the appended
+  /// records' persistence uncertain.
+  kWalFsyncFail,
+  /// WAL segment rotation fails to open the next segment file; appends keep
+  /// landing in the old segment until a later rotation succeeds.
+  kWalRotateFail,
+  /// WAL replay treats the current record's CRC as mismatched, dropping the
+  /// rest of that segment (silent media corruption at read time).
+  kWalReplayCorrupt,
   kNumFaultPoints,  // sentinel, keep last
 };
 

@@ -1,0 +1,363 @@
+// Interaction-WAL crash drills. The contract under test is RocksDB-style
+// log recovery: positions are assigned by segment headers (stable under any
+// corruption), a torn frame at the tail of the last segment is truncated on
+// reopen (the mid-append crash), a CRC-corrupt record drops the rest of its
+// segment only, and an unreadable segment header loses that segment alone —
+// replay always resumes at the next header, reporting every loss in its
+// stats instead of failing.
+#include "clapf/online/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "clapf/obs/metrics.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/status.h"
+#include "testing/fault_schedule.h"
+
+namespace clapf {
+namespace {
+
+using clapf::testing::ScopedFaultSchedule;
+
+// On-disk layout constants the drills depend on (mirrors wal.cc): a segment
+// header is 20 bytes, a record frame is 8 (crc + len) + 8 (payload).
+constexpr int64_t kHeaderBytes = 20;
+constexpr int64_t kFrameBytes = 16;
+
+// A fresh, empty WAL directory for one test.
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "wal_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+WalOptions Options(const std::string& dir,
+                   int64_t segment_bytes = 1 << 20) {
+  WalOptions options;
+  options.dir = dir;
+  options.segment_bytes = segment_bytes;
+  return options;
+}
+
+std::unique_ptr<InteractionWal> OpenOrDie(const WalOptions& options) {
+  auto wal = InteractionWal::Open(options);
+  CLAPF_CHECK_OK(wal.status());
+  return std::move(wal.value());
+}
+
+// The deterministic record at position p, so replay assertions can verify
+// payloads without bookkeeping.
+WalRecord RecordAt(int64_t p) {
+  return WalRecord{static_cast<UserId>(p * 2 + 1),
+                   static_cast<ItemId>(p * 3 + 2)};
+}
+
+void AppendN(InteractionWal* wal, int64_t from, int64_t count) {
+  for (int64_t p = from; p < from + count; ++p) {
+    ASSERT_TRUE(wal->Append(RecordAt(p)).ok()) << "append at position " << p;
+  }
+}
+
+struct Replayed {
+  WalReplayStats stats;
+  std::vector<std::pair<int64_t, WalRecord>> records;
+};
+
+Replayed ReplayAll(const InteractionWal& wal, int64_t from = 0) {
+  Replayed out;
+  auto stats = wal.Replay(from, [&](int64_t position, const WalRecord& r) {
+    out.records.emplace_back(position, r);
+  });
+  CLAPF_CHECK_OK(stats.status());
+  out.stats = *stats;
+  return out;
+}
+
+// Expects the replayed (position, record) list to be exactly `positions`,
+// each carrying RecordAt(position)'s payload.
+void ExpectPositions(const Replayed& got,
+                     const std::vector<int64_t>& positions) {
+  ASSERT_EQ(got.records.size(), positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_EQ(got.records[i].first, positions[i]) << "at replay index " << i;
+    EXPECT_EQ(got.records[i].second.user, RecordAt(positions[i]).user);
+    EXPECT_EQ(got.records[i].second.item, RecordAt(positions[i]).item);
+  }
+}
+
+// Flips one byte at `offset` in `path` — silent media corruption.
+void CorruptByteAt(const std::string& path, int64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(offset);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0xFF);
+  f.seekp(offset);
+  f.write(&byte, 1);
+}
+
+std::string SegmentPath(const std::string& dir, int64_t seq) {
+  return dir + "/" + InteractionWal::SegmentFileName(seq);
+}
+
+// ---------------------------------------------------------------------------
+// Append / replay basics
+
+TEST(WalTest, AppendsAssignPositionsAndReplayRoundTrips) {
+  auto wal = OpenOrDie(Options(FreshDir("roundtrip")));
+  EXPECT_EQ(wal->next_index(), 0);
+  AppendN(wal.get(), 0, 10);
+  EXPECT_EQ(wal->next_index(), 10);
+
+  Replayed got = ReplayAll(*wal);
+  ExpectPositions(got, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(got.stats.segments_scanned, 1);
+  EXPECT_EQ(got.stats.records_delivered, 10);
+  EXPECT_EQ(got.stats.torn_tail_bytes, 0);
+  EXPECT_EQ(got.stats.corrupt_segments, 0);
+  EXPECT_EQ(got.stats.dropped_records, 0);
+}
+
+TEST(WalTest, RejectsBadOptions) {
+  EXPECT_EQ(InteractionWal::Open(Options("")).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(InteractionWal::Open(Options(FreshDir("tiny"), kHeaderBytes))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WalTest, ReplayFromIndexSkipsTheTrainedPrefix) {
+  auto wal = OpenOrDie(Options(FreshDir("from_index")));
+  AppendN(wal.get(), 0, 10);
+  Replayed got = ReplayAll(*wal, /*from=*/7);
+  ExpectPositions(got, {7, 8, 9});
+  EXPECT_EQ(got.stats.records_delivered, 3);
+}
+
+TEST(WalTest, RotatesSegmentsAndReplaysAcrossThem) {
+  const std::string dir = FreshDir("rotate");
+  // Two records fill a segment exactly; the third append rotates.
+  auto wal = OpenOrDie(Options(dir, kHeaderBytes + 2 * kFrameBytes));
+  AppendN(wal.get(), 0, 7);
+
+  EXPECT_EQ(InteractionWal::SegmentFileName(0), "wal-000000000000.log");
+  for (int64_t seq = 0; seq <= 3; ++seq) {
+    EXPECT_TRUE(std::filesystem::exists(SegmentPath(dir, seq)))
+        << "segment " << seq;
+  }
+  Replayed got = ReplayAll(*wal);
+  ExpectPositions(got, {0, 1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(got.stats.segments_scanned, 4);
+}
+
+TEST(WalTest, ReopenContinuesWhereTheLastRunStopped) {
+  const std::string dir = FreshDir("reopen");
+  {
+    auto wal = OpenOrDie(Options(dir));
+    AppendN(wal.get(), 0, 5);
+  }
+  auto wal = OpenOrDie(Options(dir));
+  EXPECT_EQ(wal->next_index(), 5);
+  AppendN(wal.get(), 5, 3);
+  ExpectPositions(ReplayAll(*wal), {0, 1, 2, 3, 4, 5, 6, 7});
+}
+
+TEST(WalTest, MetricsCountAppendsFsyncsAndRotations) {
+  MetricsRegistry metrics;
+  WalOptions options = Options(FreshDir("metrics"),
+                               kHeaderBytes + 2 * kFrameBytes);
+  options.fsync_every = 2;
+  options.metrics = &metrics;
+  auto wal = OpenOrDie(options);
+  AppendN(wal.get(), 0, 4);  // one rotation (its fsync) + two policy fsyncs
+  EXPECT_EQ(metrics.GetCounter("online.wal.appends_total")->Value(), 4);
+  EXPECT_EQ(metrics.GetCounter("online.wal.rotations_total")->Value(), 1);
+  EXPECT_GE(metrics.GetCounter("online.wal.fsyncs_total")->Value(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// The mid-append crash (torn tail)
+
+TEST(WalTest, TornAppendPoisonsTheWriterUntilReopen) {
+  const std::string dir = FreshDir("torn");
+  auto wal = OpenOrDie(Options(dir));
+  AppendN(wal.get(), 0, 4);
+
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kWalAppendTorn, {.trigger_at_hit = 1}}});
+  EXPECT_EQ(wal->Append(RecordAt(4)).code(), StatusCode::kIoError);
+  // The "process" is dead: every further write is refused, like the crashed
+  // writer it simulates.
+  EXPECT_EQ(wal->Append(RecordAt(4)).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(wal->Sync().code(), StatusCode::kFailedPrecondition);
+  // The torn record never got a position.
+  EXPECT_EQ(wal->next_index(), 4);
+
+  // Replay before recovery sees the intact prefix and reports the torn
+  // half-frame; it is never an error.
+  Replayed before = ReplayAll(*wal);
+  ExpectPositions(before, {0, 1, 2, 3});
+  EXPECT_EQ(before.stats.torn_tail_bytes, kFrameBytes / 2);
+
+  // Reopen = crash recovery: the torn bytes are truncated and the append
+  // position continues exactly where durability ended.
+  wal.reset();
+  auto reopened = OpenOrDie(Options(dir));
+  EXPECT_EQ(reopened->next_index(), 4);
+  AppendN(reopened.get(), 4, 1);
+  Replayed after = ReplayAll(*reopened);
+  ExpectPositions(after, {0, 1, 2, 3, 4});
+  EXPECT_EQ(after.stats.torn_tail_bytes, 0);
+}
+
+TEST(WalTest, GenuinelyTruncatedTailIsCutBackToAFrameBoundary) {
+  const std::string dir = FreshDir("truncate");
+  {
+    auto wal = OpenOrDie(Options(dir));
+    AppendN(wal.get(), 0, 3);
+  }
+  // Cut the last frame in half on disk (the crash happened mid-write).
+  std::filesystem::resize_file(SegmentPath(dir, 0),
+                               kHeaderBytes + 2 * kFrameBytes + 5);
+  auto wal = OpenOrDie(Options(dir));
+  EXPECT_EQ(wal->next_index(), 2);
+  AppendN(wal.get(), 2, 2);
+  ExpectPositions(ReplayAll(*wal), {0, 1, 2, 3});
+}
+
+// ---------------------------------------------------------------------------
+// CRC corruption
+
+TEST(WalTest, CorruptRecordDropsTheRestOfItsSegmentOnly) {
+  const std::string dir = FreshDir("corrupt_record");
+  auto wal = OpenOrDie(Options(dir, kHeaderBytes + 2 * kFrameBytes));
+  AppendN(wal.get(), 0, 6);  // segments: {0,1} {2,3} {4,5}
+
+  // Flip a payload byte of position 1 (second frame of segment 0). The rest
+  // of that segment is lost, but positions come from the headers, so replay
+  // resumes at position 2 with the gap accounted, not renumbered.
+  CorruptByteAt(SegmentPath(dir, 0),
+                kHeaderBytes + kFrameBytes + /*frame header*/ 8);
+  Replayed got = ReplayAll(*wal);
+  ExpectPositions(got, {0, 2, 3, 4, 5});
+  EXPECT_EQ(got.stats.corrupt_segments, 1);
+  EXPECT_EQ(got.stats.dropped_records, 1);
+  EXPECT_EQ(got.stats.segments_scanned, 3);
+}
+
+TEST(WalTest, CorruptSegmentHeaderLosesThatSegmentAlone) {
+  const std::string dir = FreshDir("corrupt_header");
+  auto wal = OpenOrDie(Options(dir, kHeaderBytes + 2 * kFrameBytes));
+  AppendN(wal.get(), 0, 6);
+
+  CorruptByteAt(SegmentPath(dir, 1), 0);  // smash the magic of segment 1
+  Replayed got = ReplayAll(*wal);
+  ExpectPositions(got, {0, 1, 4, 5});
+  EXPECT_EQ(got.stats.corrupt_segments, 1);
+  EXPECT_EQ(got.stats.dropped_records, 2);
+}
+
+TEST(WalTest, OpenRefusesACorruptLastSegmentHeader) {
+  const std::string dir = FreshDir("corrupt_last_header");
+  {
+    auto wal = OpenOrDie(Options(dir));
+    AppendN(wal.get(), 0, 2);
+  }
+  CorruptByteAt(SegmentPath(dir, 0), 0);
+  EXPECT_EQ(InteractionWal::Open(Options(dir)).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WalTest, InjectedReadTimeCorruptionDropsTheSegmentTail) {
+  auto wal = OpenOrDie(Options(FreshDir("replay_fault")));
+  AppendN(wal.get(), 0, 6);
+
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kWalReplayCorrupt, {.trigger_at_hit = 3}}});
+  Replayed got = ReplayAll(*wal);
+  ExpectPositions(got, {0, 1});
+  EXPECT_EQ(got.stats.corrupt_segments, 1);
+  faults.Disarm(FaultPoint::kWalReplayCorrupt);
+
+  // The bits on disk were never damaged: a clean replay sees everything.
+  ExpectPositions(ReplayAll(*wal), {0, 1, 2, 3, 4, 5});
+}
+
+// ---------------------------------------------------------------------------
+// Fsync / rotation failures
+
+TEST(WalTest, FsyncFailureSurfacesButTheRecordKeepsItsPosition) {
+  auto wal = OpenOrDie(Options(FreshDir("fsync_fail")));
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kWalFsyncFail, {.trigger_at_hit = 1}}});
+  // The write landed, the durability fsync did not: the caller is told
+  // (persistence is uncertain) but the writer is not poisoned.
+  EXPECT_EQ(wal->Append(RecordAt(0)).code(), StatusCode::kIoError);
+  EXPECT_EQ(wal->next_index(), 1);
+  AppendN(wal.get(), 1, 2);
+  ExpectPositions(ReplayAll(*wal), {0, 1, 2});
+}
+
+TEST(WalTest, FailedRotationDegradesToAnOversizedSegment) {
+  const std::string dir = FreshDir("rotate_fail");
+  auto wal = OpenOrDie(Options(dir, kHeaderBytes + 2 * kFrameBytes));
+  AppendN(wal.get(), 0, 2);  // fills segment 0 exactly
+
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kWalRotateFail, {.trigger_at_hit = 1}}});
+  // Rotation is due and fails before anything is written: no data loss, no
+  // position consumed.
+  EXPECT_EQ(wal->Append(RecordAt(2)).code(), StatusCode::kIoError);
+  EXPECT_EQ(wal->next_index(), 2);
+  EXPECT_FALSE(std::filesystem::exists(SegmentPath(dir, 1)));
+
+  // The next append retries the rotation and succeeds.
+  AppendN(wal.get(), 2, 1);
+  EXPECT_TRUE(std::filesystem::exists(SegmentPath(dir, 1)));
+  ExpectPositions(ReplayAll(*wal), {0, 1, 2});
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: replay observes a clean prefix while appends run (the Tsan
+// drill for the WAL's locking).
+
+TEST(WalTest, ReplayRunsConcurrentlyWithAppendsAndSeesAPrefix) {
+  auto wal = OpenOrDie(Options(FreshDir("concurrent"),
+                               kHeaderBytes + 8 * kFrameBytes));
+  constexpr int64_t kRecords = 200;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    AppendN(wal.get(), 0, kRecords);
+    done.store(true);
+  });
+  while (!done.load()) {
+    Replayed got = ReplayAll(*wal);
+    // Every observed record is a clean prefix entry: position == index. (A
+    // mid-rotation read may transiently skip a header-less new segment; it
+    // holds no delivered records yet, so the prefix property still holds.)
+    for (size_t i = 0; i < got.records.size(); ++i) {
+      ASSERT_EQ(got.records[i].first, static_cast<int64_t>(i));
+    }
+  }
+  writer.join();
+  ASSERT_EQ(wal->next_index(), kRecords);
+  Replayed settled = ReplayAll(*wal);
+  ASSERT_EQ(settled.stats.records_delivered, kRecords);
+  ASSERT_EQ(settled.stats.corrupt_segments, 0);
+}
+
+}  // namespace
+}  // namespace clapf

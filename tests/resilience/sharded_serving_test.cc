@@ -626,5 +626,149 @@ TEST(ShardedServerTest, PerShardHotReloadUnderLoadStaysConsistent) {
   for (int64_t v : versions) EXPECT_GT(v, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Per-shard half-open recovery: a tripped shard's slice is kept aside, and
+// after a cooldown it is re-admitted for a probe window scoped to that
+// shard's failure domain alone — the other shards never notice.
+
+ServerOptions HalfOpenOptions() {
+  ServerOptions options = DrillOptions(3);
+  options.breaker.cooldown_queries = 4;
+  options.breaker.probe_window = 4;
+  return options;
+}
+
+// Trips one shard, then counts events by kind in its flight recorder.
+int CountShardEvents(const ShardedModelServer& server, int32_t shard,
+                     FlightEventKind kind) {
+  int n = 0;
+  for (const FlightEvent& e :
+       server.shard_flight_recorder(shard).Snapshot()) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+// Drives the breaker to a trip on whatever shard the NaN fault blames;
+// returns that shard. On exit the blamed shard serves v1, the rest v2.
+int32_t TripOneShard(ShardedModelServer* server) {
+  ScopedFaultSchedule faults(
+      {{FaultPoint::kServeScoreNan, {.trigger_at_hit = 1, .max_fires = -1}}});
+  for (int i = 0; i < 4; ++i) {
+    auto got = server->RecommendOne(0, 5);
+    EXPECT_EQ(got.status().code(), StatusCode::kInternal);
+  }
+  faults.Disarm(FaultPoint::kServeScoreNan);
+  int32_t blamed = -1;
+  for (const auto& shard : server->stats().shards) {
+    if (shard.breaker_trips > 0) blamed = shard.shard;
+  }
+  EXPECT_NE(blamed, -1) << "no shard tripped";
+  return blamed;
+}
+
+TEST(ShardedHalfOpenTest, CooldownProbeReinstatesTheHealthySlice) {
+  ShardedModelServer server(History(), HalfOpenOptions());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());  // v1
+  ASSERT_TRUE(server.PublishModel(RandomModel(2)).ok());  // v2
+  const int32_t blamed = TripOneShard(&server);
+  EXPECT_EQ(server.shard_versions()[static_cast<size_t>(blamed)], 1);
+
+  // Four clean queries serve out the cooldown on the fallback, then four
+  // more fill the probe window against the re-admitted slice. The fault is
+  // gone (it was a transient), so the probe passes and v2 is reinstated —
+  // with no republish, and without touching the other shards.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(server.RecommendOne(0, 5).ok()) << "clean query " << i;
+  }
+  std::vector<int64_t> versions = server.shard_versions();
+  for (int32_t s = 0; s < server.num_shards(); ++s) {
+    EXPECT_EQ(versions[static_cast<size_t>(s)], 2) << "shard " << s;
+  }
+  auto stats = server.stats();
+  EXPECT_EQ(stats.total.probes, 1);
+  EXPECT_EQ(stats.total.probe_recoveries, 1);
+  EXPECT_EQ(stats.total.probe_failures, 0);
+  for (const auto& shard : stats.shards) {
+    if (shard.shard == blamed) {
+      EXPECT_EQ(shard.probes, 1);
+      EXPECT_EQ(shard.probe_recoveries, 1);
+    } else {
+      EXPECT_EQ(shard.probes, 0);
+    }
+  }
+  EXPECT_EQ(CountShardEvents(server, blamed, FlightEventKind::kProbeStart),
+            1);
+  EXPECT_EQ(
+      CountShardEvents(server, blamed, FlightEventKind::kProbeRecovered), 1);
+
+  // The reinstated shard is a full citizen again: a later trip rolls it
+  // back to the restored previous slice, not into degraded mode.
+  const int32_t again = TripOneShard(&server);
+  EXPECT_EQ(again, blamed);
+  EXPECT_EQ(server.shard_versions()[static_cast<size_t>(blamed)], 1);
+  EXPECT_FALSE(server.degraded());
+}
+
+TEST(ShardedHalfOpenTest, FailedProbeRevertsAndDiscardsTheSlice) {
+  ShardedModelServer server(History(), HalfOpenOptions());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());  // v1
+  ASSERT_TRUE(server.PublishModel(RandomModel(2)).ok());  // v2
+  const int32_t blamed = TripOneShard(&server);
+
+  // Cooldown on the fallback is clean...
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server.RecommendOne(0, 5).ok());
+  }
+  // ...but the probed slice is still broken: every probe query errors, so
+  // the window fails and the shard reverts to its fallback for good.
+  {
+    ScopedFaultSchedule faults(
+        {{FaultPoint::kServeScoreNan,
+          {.trigger_at_hit = 1, .max_fires = -1}}});
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(server.RecommendOne(0, 5).status().code(),
+                StatusCode::kInternal);
+    }
+  }
+  EXPECT_EQ(server.shard_versions()[static_cast<size_t>(blamed)], 1);
+  auto stats = server.stats();
+  EXPECT_EQ(stats.total.probes, 1);
+  EXPECT_EQ(stats.total.probe_recoveries, 0);
+  EXPECT_EQ(stats.total.probe_failures, 1);
+  EXPECT_EQ(CountShardEvents(server, blamed, FlightEventKind::kProbeFailed),
+            1);
+  // The discarded slice stays gone: clean traffic does not re-open a probe.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(server.RecommendOne(0, 5).ok());
+  }
+  EXPECT_EQ(server.stats().total.probes, 1);
+  EXPECT_EQ(server.shard_versions()[static_cast<size_t>(blamed)], 1);
+}
+
+TEST(ShardedHalfOpenTest, PublishSupersedesAPendingProbe) {
+  ShardedModelServer server(History(), HalfOpenOptions());
+  ASSERT_TRUE(server.PublishModel(RandomModel(1)).ok());  // v1
+  ASSERT_TRUE(server.PublishModel(RandomModel(2)).ok());  // v2
+  const int32_t blamed = TripOneShard(&server);
+
+  // A fresh publish lands during the cooldown: the stashed slice is
+  // superseded and no probe should ever run against it.
+  ASSERT_TRUE(server.PublishModel(RandomModel(3)).ok());  // v3, all shards
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(server.RecommendOne(0, 5).ok());
+  }
+  auto stats = server.stats();
+  EXPECT_EQ(stats.total.probes, 0);
+  EXPECT_EQ(stats.total.probe_recoveries, 0);
+  EXPECT_EQ(stats.total.probe_failures, 0);
+  EXPECT_EQ(CountShardEvents(server, blamed, FlightEventKind::kProbeStart),
+            0);
+  std::vector<int64_t> versions = server.shard_versions();
+  for (int32_t s = 0; s < server.num_shards(); ++s) {
+    EXPECT_EQ(versions[static_cast<size_t>(s)], 3) << "shard " << s;
+  }
+}
+
 }  // namespace
 }  // namespace clapf

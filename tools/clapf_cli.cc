@@ -8,6 +8,9 @@
 //                       --deadline-us 5000 --queue-depth 32 --min-auc 0.6
 //                       --metrics-out metrics.json --metrics-every 10
 //                       --shards 4 --tenant acme --per-tenant-quota 8
+//   clapf_cli online    --dataset u.data --format tab --wal-dir ./wal
+//                       --checkpoint-dir ./ckpt --cycle-every 64
+//                       --min-auc 0.6 --flight-dump flight.json
 //   clapf_cli stats     --input u.data --format tab
 //
 // train/evaluate/recommend/serve accept --metrics-out <path> to dump their
@@ -462,6 +465,148 @@ int RunServe(int argc, char** argv) {
   return 0;
 }
 
+int RunOnline(int argc, char** argv) {
+  std::string dataset_path, format = "tab", metrics_out, flight_dump;
+  std::string wal_dir = "online-wal", checkpoint_dir = "online-ckpt";
+  std::string users_csv = "0";
+  int64_t cycle_every = 64, epochs = 2, reservoir = 1024, factors = 16;
+  int64_t seed = 1, fsync_every = 1, k = 10, threads = 1;
+  double holdout = 0.2, min_auc = 0.0, learning_rate = 0.05;
+  bool has_header = false;
+  FlagParser flags;
+  flags.AddString("dataset", &dataset_path,
+                  "interaction history (.clds or text); a --holdout fraction "
+                  "is replayed as the live arrival stream, the rest "
+                  "bootstraps the online trainer");
+  flags.AddString("format", &format, "tab|colons|csv|pairs");
+  flags.AddBool("header", &has_header, "skip the first line of the input");
+  flags.AddString("wal-dir", &wal_dir,
+                  "interaction WAL directory (created if missing; an "
+                  "existing log is recovered and resumed)");
+  flags.AddString("checkpoint-dir", &checkpoint_dir,
+                  "WAL-position⇄model checkpoint directory (empty disables "
+                  "crash recovery of the trainer state)");
+  flags.AddDouble("holdout", &holdout,
+                  "fraction of the dataset replayed as live arrivals");
+  flags.AddInt("cycle-every", &cycle_every,
+               "arrivals between deployment cycles (train + checkpoint + "
+               "canary-gated publish)");
+  flags.AddInt("epochs", &epochs, "training passes per increment");
+  flags.AddInt("reservoir", &reservoir,
+               "historical interactions mixed into every increment");
+  flags.AddInt("factors", &factors, "latent dimensionality of the model");
+  flags.AddDouble("learning-rate", &learning_rate, "incremental SGD rate");
+  flags.AddInt("threads", &threads,
+               "SGD workers per increment (1 = bit-reproducible)");
+  flags.AddInt("fsync-every", &fsync_every,
+               "fsync the WAL every N appends (0 = never, 1 = every append)");
+  flags.AddDouble("min-auc", &min_auc,
+                  "canary sampled-AUC floor for every online publish "
+                  "(0 = off)");
+  flags.AddInt("seed", &seed, "seed for init, sampling, and the reservoir");
+  flags.AddString("users", &users_csv,
+                  "comma-separated user ids queried after the replay");
+  flags.AddInt("k", &k, "list length for the post-replay queries");
+  flags.AddString("metrics-out", &metrics_out,
+                  "dump online + serving metrics as JSON to this path");
+  flags.AddString("flight-dump", &flight_dump,
+                  "dump the online flight recorder (wal-recovery, "
+                  "online-publish, auc-regression-rollback events) here");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    return s.code() == StatusCode::kFailedPrecondition ? 0 : Fail(s);
+  }
+  if (dataset_path.empty()) {
+    return Fail(Status::InvalidArgument("--dataset required"));
+  }
+
+  auto data = LoadAnyDataset(dataset_path, format, has_header);
+  if (!data.ok()) return Fail(data.status());
+  std::printf("loaded %s\n", data->Summary().c_str());
+
+  // The full dataset fixes the serving envelope; the split's train half
+  // warm-starts the trainer and its test half becomes the arrival stream.
+  TrainTestSplit split =
+      SplitRandom(*data, 1.0 - holdout, static_cast<uint64_t>(seed));
+
+  MetricsRegistry metrics;
+  ServerOptions server_options;
+  server_options.canary.min_auc = min_auc;
+  ModelServer server(*std::move(data), server_options);
+
+  DeployerOptions options;
+  options.wal.dir = wal_dir;
+  options.wal.fsync_every = fsync_every;
+  options.checkpoint_dir = checkpoint_dir;
+  options.min_increment_records = cycle_every;
+  options.flight_dump_path = flight_dump;
+  options.metrics = &metrics;
+  options.trainer.epochs_per_increment = epochs;
+  options.trainer.reservoir_capacity = reservoir;
+  options.trainer.sgd.num_factors = static_cast<int32_t>(factors);
+  options.trainer.sgd.learning_rate = learning_rate;
+  options.trainer.sgd.seed = static_cast<uint64_t>(seed);
+  options.trainer.sgd.num_threads = static_cast<int>(threads);
+  options.trainer.sgd.divergence.policy = DivergencePolicy::kHalt;
+
+  ContinuousDeployer deployer(&server, split.train, options);
+  if (Status s = deployer.Start(); !s.ok()) return Fail(s);
+  std::printf(
+      "online lifecycle up: wal at %s (position %lld, %lld already "
+      "trained)\n",
+      wal_dir.c_str(), static_cast<long long>(deployer.wal_position()),
+      static_cast<long long>(deployer.trained_position()));
+
+  // Replay the held-out interactions as the live day: ingest (WAL +
+  // trainer) and run a deployment cycle whenever enough records pend.
+  int64_t arrivals = 0;
+  for (UserId u = 0; u < split.test.num_users(); ++u) {
+    for (ItemId i : split.test.ItemsOf(u)) {
+      if (Status s = deployer.Ingest(u, i); !s.ok()) return Fail(s);
+      ++arrivals;
+      auto cycled = deployer.RunCycle();
+      if (!cycled.ok()) return Fail(cycled.status());
+    }
+  }
+  // Flush the partial tail through one final forced cycle.
+  if (auto flushed = deployer.RunCycle(/*force=*/true); !flushed.ok()) {
+    return Fail(flushed.status());
+  }
+  std::printf(
+      "replayed %lld arrivals: %lld increments, model %dx%d, serving v%lld "
+      "(trained through position %lld of %lld)\n",
+      static_cast<long long>(arrivals),
+      static_cast<long long>(deployer.trainer().increments()),
+      deployer.trainer().num_users(), deployer.trainer().num_items(),
+      static_cast<long long>(deployer.published_version()),
+      static_cast<long long>(deployer.trained_position()),
+      static_cast<long long>(deployer.wal_position()));
+
+  for (const std::string& tok : Split(users_csv, ',')) {
+    auto id = ParseInt64(Trim(tok));
+    if (!id.ok()) return Fail(id.status());
+    const UserId u = static_cast<UserId>(*id);
+    auto got = server.Recommend(u, static_cast<size_t>(k));
+    if (!got.ok()) {
+      std::printf("user %d: %s\n", u, got.status().ToString().c_str());
+      continue;
+    }
+    std::printf("top-%lld for user %d:\n", static_cast<long long>(k), u);
+    for (const ScoredItem& item : *got) {
+      std::printf("  item %-8d score %.4f\n", item.item, item.score);
+    }
+  }
+  std::printf("serving stats: %s\n", server.stats().ToString().c_str());
+  if (!flight_dump.empty()) {
+    if (Status s = deployer.DumpFlightRecorder(flight_dump); !s.ok()) {
+      std::printf("flight-recorder dump failed: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("flight recorder dumped to %s\n", flight_dump.c_str());
+    }
+  }
+  MaybeDumpMetrics(metrics, metrics_out);
+  return 0;
+}
+
 int RunStats(int argc, char** argv) {
   std::string input, format = "tab";
   bool has_header = false;
@@ -481,7 +626,8 @@ int RunStats(int argc, char** argv) {
 
 void PrintUsage() {
   std::fputs(
-      "usage: clapf_cli <train|evaluate|recommend|serve|stats> [flags]\n"
+      "usage: clapf_cli <train|evaluate|recommend|serve|online|stats> "
+      "[flags]\n"
       "run a subcommand with --help for its flags\n",
       stderr);
 }
@@ -501,6 +647,7 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return RunEvaluate(sub_argc, sub_argv);
   if (command == "recommend") return RunRecommend(sub_argc, sub_argv);
   if (command == "serve") return RunServe(sub_argc, sub_argv);
+  if (command == "online") return RunOnline(sub_argc, sub_argv);
   if (command == "stats") return RunStats(sub_argc, sub_argv);
   PrintUsage();
   return 1;
