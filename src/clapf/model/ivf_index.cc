@@ -1,0 +1,569 @@
+#include "clapf/model/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "clapf/model/score_kernel.h"
+#include "clapf/util/crc32.h"
+#include "clapf/util/logging.h"
+#include "clapf/util/random.h"
+#include "clapf/util/thread_pool.h"
+#include "clapf/util/top_k.h"
+
+namespace clapf {
+namespace {
+
+// CRC32 of one item's source parameters (factor doubles + bias double).
+// Bitwise, so any training update — however small — flags the item dirty.
+uint32_t ItemCrc(const FactorModel& model, ItemId i) {
+  auto vf = model.ItemFactors(i);
+  uint32_t c = Crc32Init();
+  c = Crc32Update(c, vf.data(), vf.size() * sizeof(double));
+  if (model.use_item_bias()) {
+    const double b = model.ItemBias(i);
+    c = Crc32Update(c, &b, sizeof(b));
+  }
+  return Crc32Finalize(c);
+}
+
+// Squared un-augmented norm b_i² + ‖v_i‖² of item i.
+double ItemNorm2(const FactorModel& model, ItemId i) {
+  auto vf = model.ItemFactors(i);
+  double n2 = 0.0;
+  for (double v : vf) n2 += v * v;
+  if (model.use_item_bias()) {
+    const double b = model.ItemBias(i);
+    n2 += b * b;
+  }
+  return n2;
+}
+
+// Writes item i's norm-augmented vector [b, v.., residual] into out[0..ad).
+// The residual sqrt(M² − n2) is clamped at zero: items that outgrow the M
+// the index was built against (online catalog growth) still get a valid
+// direction, just without the equal-norm guarantee — the recall gate is the
+// backstop for any drift this causes.
+void AugmentItem(const FactorModel& model, ItemId i, double m2, double* out) {
+  const int32_t d = model.num_factors();
+  out[0] = model.use_item_bias() ? model.ItemBias(i) : 0.0;
+  auto vf = model.ItemFactors(i);
+  for (int32_t f = 0; f < d; ++f) out[1 + f] = vf[static_cast<size_t>(f)];
+  const double n2 = ItemNorm2(model, i);
+  out[d + 1] = std::sqrt(std::max(0.0, m2 - n2));
+}
+
+// argmin_c ‖x − c‖² over float centroids, computed as
+// argmin_c (‖c‖²/2 − x·c) with precomputed half-norms; ties break to the
+// smaller cluster id. Purely a function of (x, centroids) — thread-safe and
+// order-independent, which is what keeps parallel assignment deterministic.
+int32_t NearestCentroid(const double* x, const std::vector<float>& centroids,
+                        const std::vector<double>& half_norms, int32_t k,
+                        int32_t ad) {
+  int32_t best = 0;
+  double best_v = std::numeric_limits<double>::infinity();
+  for (int32_t c = 0; c < k; ++c) {
+    const float* cen = centroids.data() + static_cast<size_t>(c) * ad;
+    double dot = 0.0;
+    for (int32_t f = 0; f < ad; ++f) {
+      dot += x[f] * static_cast<double>(cen[f]);
+    }
+    const double v = half_norms[static_cast<size_t>(c)] - dot;
+    if (v < best_v) {
+      best_v = v;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<double> CentroidHalfNorms(const std::vector<float>& centroids,
+                                      int32_t k, int32_t ad) {
+  std::vector<double> half(static_cast<size_t>(k), 0.0);
+  for (int32_t c = 0; c < k; ++c) {
+    const float* cen = centroids.data() + static_cast<size_t>(c) * ad;
+    double n2 = 0.0;
+    for (int32_t f = 0; f < ad; ++f) {
+      n2 += static_cast<double>(cen[f]) * static_cast<double>(cen[f]);
+    }
+    half[static_cast<size_t>(c)] = 0.5 * n2;
+  }
+  return half;
+}
+
+// Runs fn(i) for i in [0, n), across `threads` workers when > 1. fn must be
+// order-independent with disjoint writes.
+void ForEachItem(int64_t n, int threads,
+                 const std::function<void(int64_t)>& fn) {
+  if (threads > 1 && n > 1) {
+    ThreadPool pool(threads);
+    pool.ParallelFor(0, n, fn);
+  } else {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
+IvfIndex IvfIndex::Build(const FactorModel& model, const IvfOptions& options) {
+  IvfIndex idx;
+  idx.options_ = options;
+  idx.num_items_ = model.num_items();
+  idx.num_factors_ = model.num_factors();
+  idx.use_item_bias_ = model.use_item_bias();
+
+  const int32_t n = idx.num_items_;
+  const int32_t d = idx.num_factors_;
+  const int32_t ad = d + 2;
+
+  if (n == 0) {
+    idx.num_clusters_ = 0;
+    idx.cluster_begin_.assign(1, 0);
+    idx.packed_ = PackedSnapshot::Build(model);
+    return idx;
+  }
+
+  int32_t k = options.num_clusters > 0
+                  ? options.num_clusters
+                  : static_cast<int32_t>(
+                        std::ceil(std::sqrt(static_cast<double>(n))));
+  k = std::max(1, std::min(k, n));
+  idx.num_clusters_ = k;
+
+  // Lift the catalog into the augmented space once.
+  double m2 = 0.0;
+  for (ItemId i = 0; i < n; ++i) m2 = std::max(m2, ItemNorm2(model, i));
+  idx.aug_m2_ = m2;
+  std::vector<double> aug(static_cast<size_t>(n) * ad);
+  ForEachItem(n, options.build_threads, [&](int64_t i) {
+    AugmentItem(model, static_cast<ItemId>(i), m2,
+                aug.data() + static_cast<size_t>(i) * ad);
+  });
+
+  // Deterministic strided training sample.
+  const int32_t max_train = std::max(1, options.max_train_points);
+  const int32_t stride = std::max(1, n / std::min(max_train, n));
+  std::vector<int32_t> sample;
+  sample.reserve(static_cast<size_t>(n / stride) + 1);
+  for (ItemId i = 0; i < n; i += stride) sample.push_back(i);
+
+  // Seeded init: k distinct sample points in shuffled order (cycled when the
+  // sample is smaller than k — the duplicates converge apart or end up as
+  // empty clusters, both handled below).
+  std::vector<int32_t> init = sample;
+  Rng rng(options.seed);
+  rng.Shuffle(init);
+  std::vector<double> centroids(static_cast<size_t>(k) * ad);
+  for (int32_t c = 0; c < k; ++c) {
+    const int32_t src = init[static_cast<size_t>(c) % init.size()];
+    std::memcpy(centroids.data() + static_cast<size_t>(c) * ad,
+                aug.data() + static_cast<size_t>(src) * ad,
+                sizeof(double) * static_cast<size_t>(ad));
+  }
+
+  // Lloyd iterations over the sample. Assignment is parallel (disjoint
+  // writes, shared read-only centroids); the centroid update accumulates
+  // serially in sample order — so the result is bit-identical for any
+  // build_threads.
+  std::vector<float> centroids_f(static_cast<size_t>(k) * ad);
+  std::vector<int32_t> sample_assign(sample.size());
+  std::vector<double> sums(static_cast<size_t>(k) * ad);
+  std::vector<int64_t> counts(static_cast<size_t>(k));
+  for (int32_t iter = 0; iter < std::max(0, options.kmeans_iterations);
+       ++iter) {
+    for (size_t x = 0; x < centroids.size(); ++x) {
+      centroids_f[x] = static_cast<float>(centroids[x]);
+    }
+    const std::vector<double> half = CentroidHalfNorms(centroids_f, k, ad);
+    ForEachItem(static_cast<int64_t>(sample.size()), options.build_threads,
+                [&](int64_t s) {
+                  sample_assign[static_cast<size_t>(s)] = NearestCentroid(
+                      aug.data() +
+                          static_cast<size_t>(sample[static_cast<size_t>(s)]) *
+                              ad,
+                      centroids_f, half, k, ad);
+                });
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t s = 0; s < sample.size(); ++s) {
+      const int32_t c = sample_assign[s];
+      const double* x = aug.data() + static_cast<size_t>(sample[s]) * ad;
+      double* dst = sums.data() + static_cast<size_t>(c) * ad;
+      for (int32_t f = 0; f < ad; ++f) dst[f] += x[f];
+      ++counts[static_cast<size_t>(c)];
+    }
+    for (int32_t c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;  // keep previous
+      const double inv = 1.0 / static_cast<double>(counts[static_cast<size_t>(c)]);
+      double* dst = centroids.data() + static_cast<size_t>(c) * ad;
+      const double* src = sums.data() + static_cast<size_t>(c) * ad;
+      for (int32_t f = 0; f < ad; ++f) dst[f] = src[f] * inv;
+    }
+  }
+
+  // Freeze centroids as float32 *before* the final full assignment, so a
+  // later RebuildDirty — which only has the float centroids — assigns dirty
+  // items with exactly the arithmetic used here.
+  for (size_t x = 0; x < centroids.size(); ++x) {
+    centroids_f[x] = static_cast<float>(centroids[x]);
+  }
+  idx.centroids_ = centroids_f;
+
+  idx.assignment_.resize(static_cast<size_t>(n));
+  const std::vector<double> half = CentroidHalfNorms(idx.centroids_, k, ad);
+  ForEachItem(n, options.build_threads, [&](int64_t i) {
+    idx.assignment_[static_cast<size_t>(i)] =
+        NearestCentroid(aug.data() + static_cast<size_t>(i) * ad,
+                        idx.centroids_, half, k, ad);
+  });
+
+  idx.item_crc_.resize(static_cast<size_t>(n));
+  ForEachItem(n, options.build_threads, [&](int64_t i) {
+    idx.item_crc_[static_cast<size_t>(i)] =
+        ItemCrc(model, static_cast<ItemId>(i));
+  });
+
+  idx.FinishLayout(model);
+  return idx;
+}
+
+void IvfIndex::FinishLayout(const FactorModel& model) {
+  const int32_t n = num_items_;
+  const int32_t k = num_clusters_;
+  // Counting sort of items by cluster; within a cluster, ascending global id
+  // (stable by construction) — fully deterministic layout.
+  cluster_begin_.assign(static_cast<size_t>(k) + 1, 0);
+  for (ItemId i = 0; i < n; ++i) {
+    ++cluster_begin_[static_cast<size_t>(assignment_[static_cast<size_t>(i)]) +
+                     1];
+  }
+  for (int32_t c = 0; c < k; ++c) {
+    cluster_begin_[static_cast<size_t>(c) + 1] +=
+        cluster_begin_[static_cast<size_t>(c)];
+  }
+  local_to_global_.resize(static_cast<size_t>(n));
+  global_to_local_.resize(static_cast<size_t>(n));
+  std::vector<int32_t> cursor(cluster_begin_.begin(), cluster_begin_.end() - 1);
+  for (ItemId i = 0; i < n; ++i) {
+    const int32_t local =
+        cursor[static_cast<size_t>(assignment_[static_cast<size_t>(i)])]++;
+    local_to_global_[static_cast<size_t>(local)] = i;
+    global_to_local_[static_cast<size_t>(i)] = local;
+  }
+  packed_ = PackedSnapshot::Build(model, local_to_global_.data());
+}
+
+Result<IvfIndex> IvfIndex::RebuildDirty(const IvfIndex& previous,
+                                        const FactorModel& model,
+                                        const IvfOptions& options,
+                                        int64_t* items_reassigned) {
+  if (!options.CompatibleWith(previous.options_)) {
+    return Status::InvalidArgument(
+        "ivf rebuild: options incompatible with the previous build");
+  }
+  if (model.num_factors() != previous.num_factors_ ||
+      model.use_item_bias() != previous.use_item_bias_) {
+    return Status::InvalidArgument(
+        "ivf rebuild: model shape changed (factors/bias) since the previous "
+        "build");
+  }
+  if (model.num_items() < previous.num_items_) {
+    return Status::InvalidArgument("ivf rebuild: catalog shrank from " +
+                                   std::to_string(previous.num_items_) +
+                                   " to " +
+                                   std::to_string(model.num_items()) +
+                                   " items");
+  }
+  if (previous.num_clusters_ == 0) {
+    return Status::InvalidArgument(
+        "ivf rebuild: previous index has no clusters");
+  }
+
+  IvfIndex idx;
+  idx.options_ = options;
+  idx.num_items_ = model.num_items();
+  idx.num_factors_ = previous.num_factors_;
+  idx.num_clusters_ = previous.num_clusters_;
+  idx.use_item_bias_ = previous.use_item_bias_;
+  idx.aug_m2_ = previous.aug_m2_;
+  idx.centroids_ = previous.centroids_;
+
+  const int32_t n = idx.num_items_;
+  const int32_t ad = idx.num_factors_ + 2;
+  idx.assignment_.resize(static_cast<size_t>(n));
+  idx.item_crc_.resize(static_cast<size_t>(n));
+
+  // Dirty detection + reassignment in one parallel pass: an item whose
+  // parameter bytes are unchanged keeps its previous cluster untouched; a
+  // changed (or newly grown) item is re-routed to its nearest frozen
+  // centroid. No k-means re-training — that is the entire saving.
+  const std::vector<double> half =
+      CentroidHalfNorms(idx.centroids_, idx.num_clusters_, ad);
+  std::vector<uint8_t> dirty(static_cast<size_t>(n), 0);
+  ForEachItem(n, options.build_threads, [&](int64_t i) {
+    const uint32_t crc = ItemCrc(model, static_cast<ItemId>(i));
+    idx.item_crc_[static_cast<size_t>(i)] = crc;
+    if (i < previous.num_items_ &&
+        crc == previous.item_crc_[static_cast<size_t>(i)]) {
+      idx.assignment_[static_cast<size_t>(i)] =
+          previous.assignment_[static_cast<size_t>(i)];
+      return;
+    }
+    dirty[static_cast<size_t>(i)] = 1;
+    std::vector<double> x(static_cast<size_t>(ad));
+    AugmentItem(model, static_cast<ItemId>(i), idx.aug_m2_, x.data());
+    idx.assignment_[static_cast<size_t>(i)] =
+        NearestCentroid(x.data(), idx.centroids_, half, idx.num_clusters_, ad);
+  });
+  if (items_reassigned != nullptr) {
+    *items_reassigned = static_cast<int64_t>(
+        std::count(dirty.begin(), dirty.end(), uint8_t{1}));
+  }
+
+  idx.FinishLayout(model);
+  return idx;
+}
+
+void IvfIndex::SelectProbes(UserId u, int32_t nprobe, size_t min_items,
+                            std::vector<IvfProbeRange>* ranges,
+                            int32_t* probes_used) const {
+  ranges->clear();
+  if (probes_used != nullptr) *probes_used = 0;
+  if (num_clusters_ == 0 || num_items_ == 0) return;
+
+  if (nprobe <= 0) nprobe = options_.default_nprobe;
+  nprobe = std::max(1, std::min(nprobe, num_clusters_));
+
+  // Rank clusters by centroid relevance to the augmented query [1, u, 0]:
+  // s_c = c[0]·1 + Σ_f u_f·c[1+f] (the residual coordinate multiplies the
+  // query's 0 and drops out). Ties break to the smaller cluster id so the
+  // probe order — and therefore the whole ANN result — is deterministic.
+  const float* uf = packed_.user_factors(u);
+  const int32_t d = num_factors_;
+  const int32_t ad = d + 2;
+  std::vector<std::pair<double, int32_t>> ranked(
+      static_cast<size_t>(num_clusters_));
+  for (int32_t c = 0; c < num_clusters_; ++c) {
+    const float* cen = centroids_.data() + static_cast<size_t>(c) * ad;
+    double s = static_cast<double>(cen[0]);
+    for (int32_t f = 0; f < d; ++f) {
+      s += static_cast<double>(uf[f]) * static_cast<double>(cen[1 + f]);
+    }
+    ranked[static_cast<size_t>(c)] = {s, c};
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const std::pair<double, int32_t>& a,
+               const std::pair<double, int32_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+
+  // Take the top nprobe clusters, widening past nprobe while fewer than
+  // min_items real items are covered — the guarantee that a k-item query
+  // can always fill its slots (net of exclusions handled by the caller
+  // inflating min_items). Worst case this degrades to the full catalog,
+  // i.e. the exact scan.
+  std::vector<int32_t> chosen;
+  size_t covered = 0;
+  for (const auto& [score, c] : ranked) {
+    (void)score;
+    if (static_cast<int32_t>(chosen.size()) >= nprobe &&
+        covered >= min_items) {
+      break;
+    }
+    chosen.push_back(c);
+    covered += static_cast<size_t>(ClusterSize(c));
+  }
+  if (probes_used != nullptr) {
+    *probes_used = static_cast<int32_t>(chosen.size());
+  }
+
+  // Emit the chosen clusters as local ranges with block-aligned begins
+  // (rounding down may annex the tail of a neighboring cluster's block —
+  // those extra candidates are scored exactly, so they only help), then
+  // merge overlaps so no block is ever scored twice (a double Push would
+  // duplicate an item in the accumulator).
+  ranges->reserve(chosen.size());
+  for (int32_t c : chosen) {
+    ItemId begin = cluster_begin_[static_cast<size_t>(c)];
+    const ItemId end = cluster_begin_[static_cast<size_t>(c) + 1];
+    if (begin == end) continue;  // empty cluster
+    begin -= begin % kPackedBlockItems;
+    ranges->push_back({begin, end});
+  }
+  std::sort(ranges->begin(), ranges->end(),
+            [](const IvfProbeRange& a, const IvfProbeRange& b) {
+              return a.begin < b.begin;
+            });
+  size_t out = 0;
+  for (size_t r = 0; r < ranges->size(); ++r) {
+    if (out > 0 && (*ranges)[r].begin <= (*ranges)[out - 1].end) {
+      (*ranges)[out - 1].end =
+          std::max((*ranges)[out - 1].end, (*ranges)[r].end);
+    } else {
+      (*ranges)[out++] = (*ranges)[r];
+    }
+  }
+  ranges->resize(out);
+}
+
+size_t IvfIndex::CoveredItems(const std::vector<IvfProbeRange>& ranges) {
+  size_t n = 0;
+  for (const IvfProbeRange& r : ranges) {
+    n += static_cast<size_t>(r.end - r.begin);
+  }
+  return n;
+}
+
+size_t IvfIndex::memory_bytes() const {
+  return packed_.memory_bytes() + centroids_.size() * sizeof(float) +
+         (assignment_.size() + local_to_global_.size() +
+          global_to_local_.size()) *
+             sizeof(int32_t) +
+         cluster_begin_.size() * sizeof(int32_t) +
+         item_crc_.size() * sizeof(uint32_t);
+}
+
+Status IvfIndex::VerifyStructure(const std::string& context) const {
+  const size_t n = static_cast<size_t>(num_items_);
+  if (assignment_.size() != n || local_to_global_.size() != n ||
+      global_to_local_.size() != n || item_crc_.size() != n ||
+      cluster_begin_.size() != static_cast<size_t>(num_clusters_) + 1) {
+    return Status::Corruption(context + ": ivf index table sizes inconsistent");
+  }
+  if (packed_.num_items() != num_items_ ||
+      packed_.num_factors() != num_factors_) {
+    return Status::Corruption(context +
+                              ": ivf packed snapshot dimensions disagree");
+  }
+  if (cluster_begin_.front() != 0 ||
+      cluster_begin_.back() != num_items_) {
+    return Status::Corruption(context + ": ivf cluster offsets do not cover "
+                                        "the catalog");
+  }
+  for (size_t c = 1; c < cluster_begin_.size(); ++c) {
+    if (cluster_begin_[c] < cluster_begin_[c - 1]) {
+      return Status::Corruption(context + ": ivf cluster offsets not "
+                                          "monotone");
+    }
+  }
+  std::vector<bool> seen(n, false);
+  for (size_t l = 0; l < n; ++l) {
+    const int32_t g = local_to_global_[l];
+    if (g < 0 || static_cast<size_t>(g) >= n || seen[static_cast<size_t>(g)]) {
+      return Status::Corruption(context +
+                                ": ivf permutation is not a bijection");
+    }
+    seen[static_cast<size_t>(g)] = true;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t c = assignment_[i];
+    if (c < 0 || c >= num_clusters_) {
+      return Status::Corruption(context + ": ivf assignment out of range");
+    }
+  }
+  return Status::OK();
+}
+
+void IvfIndex::DesyncForTesting() {
+  if (local_to_global_.size() < 2) return;
+  std::reverse(local_to_global_.begin(), local_to_global_.end());
+  for (size_t l = 0; l < local_to_global_.size(); ++l) {
+    global_to_local_[static_cast<size_t>(local_to_global_[l])] =
+        static_cast<int32_t>(l);
+  }
+}
+
+Status VerifyIvfBinding(const FactorModel& model, const IvfIndex& index,
+                        const std::string& context) {
+  if (model.num_items() != index.num_items() ||
+      model.num_factors() != index.num_factors()) {
+    return Status::FailedPrecondition(
+        context + ": ivf index dimensions disagree with the model (index " +
+        std::to_string(index.num_items()) + "x" +
+        std::to_string(index.num_factors()) + ", model " +
+        std::to_string(model.num_items()) + "x" +
+        std::to_string(model.num_factors()) + ")");
+  }
+  Status structure = index.VerifyStructure(context);
+  if (!structure.ok()) return structure;
+  for (ItemId i = 0; i < model.num_items(); ++i) {
+    if (ItemCrc(model, i) != index.item_crcs()[static_cast<size_t>(i)]) {
+      return Status::FailedPrecondition(
+          context + ": ivf index is stale — item " + std::to_string(i) +
+          "'s parameters changed since the index was built");
+    }
+  }
+  return Status::OK();
+}
+
+double MeasureIvfRecall(const PackedSnapshot& exact, const IvfIndex& index,
+                        int32_t sample_users, size_t k, int32_t nprobe) {
+  if (exact.num_items() != index.num_items() ||
+      exact.num_users() != index.packed().num_users()) {
+    return 0.0;
+  }
+  const int32_t n = exact.num_items();
+  const int32_t num_users = exact.num_users();
+  if (n == 0 || num_users == 0 || sample_users <= 0) return 1.0;
+  k = std::min(k, static_cast<size_t>(n));
+  if (k == 0) return 1.0;
+
+  const int32_t stride =
+      std::max(1, num_users / std::min(sample_users, num_users));
+  std::vector<IvfProbeRange> ranges;
+  double recall_sum = 0.0;
+  int32_t users = 0;
+  for (UserId u = 0; u < num_users; u += stride) {
+    TopKAccumulator truth_acc(k);
+    ScoreBlocksTopK(exact, u, 0, n, nullptr, &truth_acc);
+    const std::vector<ScoredItem> truth = truth_acc.Take();
+
+    index.SelectProbes(u, nprobe, k, &ranges, nullptr);
+    TopKAccumulator ann_acc(k);
+    for (const IvfProbeRange& r : ranges) {
+      ScoreBlocksTopKMapped(index.packed(), u, r.begin, r.end,
+                            index.local_to_global_data(), nullptr, &ann_acc);
+    }
+    const std::vector<ScoredItem> ann = ann_acc.Take();
+
+    std::vector<int32_t> truth_ids, ann_ids;
+    truth_ids.reserve(truth.size());
+    ann_ids.reserve(ann.size());
+    for (const ScoredItem& s : truth) truth_ids.push_back(s.item);
+    for (const ScoredItem& s : ann) ann_ids.push_back(s.item);
+    std::sort(truth_ids.begin(), truth_ids.end());
+    std::sort(ann_ids.begin(), ann_ids.end());
+    std::vector<int32_t> both;
+    std::set_intersection(truth_ids.begin(), truth_ids.end(), ann_ids.begin(),
+                          ann_ids.end(), std::back_inserter(both));
+    recall_sum += static_cast<double>(both.size()) /
+                  static_cast<double>(truth.size());
+    ++users;
+  }
+  return users > 0 ? recall_sum / users : 1.0;
+}
+
+Status VerifyIvfRecall(const PackedSnapshot& exact, const IvfIndex& index,
+                       int32_t sample_users, size_t k, int32_t nprobe,
+                       double floor, const std::string& context) {
+  if (exact.num_items() != index.num_items()) {
+    return Status::FailedPrecondition(
+        context + ": ivf recall probe dimensions disagree (exact " +
+        std::to_string(exact.num_items()) + " items, index " +
+        std::to_string(index.num_items()) + ")");
+  }
+  const double recall = MeasureIvfRecall(exact, index, sample_users, k, nprobe);
+  if (recall < floor) {
+    return Status::FailedPrecondition(
+        context + ": ivf measured recall@" + std::to_string(k) + " = " +
+        std::to_string(recall) + " at nprobe=" + std::to_string(nprobe) +
+        " below the contract floor " + std::to_string(floor));
+  }
+  return Status::OK();
+}
+
+}  // namespace clapf

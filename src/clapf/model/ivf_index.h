@@ -1,0 +1,214 @@
+#ifndef CLAPF_MODEL_IVF_INDEX_H_
+#define CLAPF_MODEL_IVF_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clapf/model/factor_model.h"
+#include "clapf/model/packed_snapshot.h"
+#include "clapf/util/status.h"
+
+namespace clapf {
+
+/// Build-time knobs for IvfIndex. The index is a pure function of
+/// (model parameter bytes, IvfOptions): equal inputs produce a bit-identical
+/// index regardless of build_threads, which is what makes online
+/// dirty-cluster rebuilds reproducible.
+struct IvfOptions {
+  /// Coarse clusters. 0 (default) = ceil(sqrt(num_items)), always clamped to
+  /// [1, num_items].
+  int32_t num_clusters = 0;
+  /// Lloyd iterations over the training sample.
+  int32_t kmeans_iterations = 8;
+  /// k-means trains on at most this many evenly strided items; the final
+  /// assignment pass still visits every item. Keeps a 1M-item build seconds,
+  /// not minutes, at no measurable recall cost.
+  int32_t max_train_points = 65536;
+  /// Seed for centroid initialization.
+  uint64_t seed = 1;
+  /// Probe-list width used when a query leaves QueryOptions::ann_nprobe at 0.
+  int32_t default_nprobe = 8;
+  /// Threads for the assignment passes (1 = serial). Never changes the
+  /// result: assignments are computed independently per item and centroid
+  /// updates are accumulated serially in item order.
+  int build_threads = 1;
+
+  /// True when two option sets build structurally compatible indexes — the
+  /// precondition for RebuildDirty reusing a previous index's centroids.
+  bool CompatibleWith(const IvfOptions& other) const {
+    return num_clusters == other.num_clusters &&
+           kmeans_iterations == other.kmeans_iterations &&
+           max_train_points == other.max_train_points && seed == other.seed;
+  }
+};
+
+/// A contiguous, block-aligned-begin span of *local* item ids inside
+/// IvfIndex::packed(), ready to feed the fused kernel.
+struct IvfProbeRange {
+  ItemId begin = 0;  // multiple of kPackedBlockItems
+  ItemId end = 0;
+};
+
+/// IVF-style coarse index over the item factors for approximate
+/// maximum-inner-product search (MIPS):
+///
+///   1. Every item vector [b_i, v_i] is lifted into a norm-augmented space
+///      x_i = [b_i, v_i, sqrt(M² − b_i² − ‖v_i‖²)] with M the max augmented
+///      norm over the catalog, so all x_i share norm M and k-means under
+///      plain L2 clusters by *direction* — the standard MIPS→cosine
+///      reduction. A query scores as q = [1, u, 0]: q·x_i = f_ui exactly.
+///   2. k-means (trained on a deterministic strided sample, then one full
+///      assignment pass) partitions the catalog into coarse clusters.
+///   3. The catalog is *re-packed in cluster order*: the index owns its own
+///      PackedSnapshot whose local item ids are a permutation of the global
+///      ids with every cluster occupying one contiguous local range. A
+///      probe list is therefore a handful of block-aligned ranges that the
+///      exact fused ScoreBlocksTopK kernel re-ranks directly — the
+///      approximation lives *only* in which clusters are probed; every
+///      scored candidate gets its exact packed score.
+///
+/// The index binds itself to the source model with a per-item CRC of the
+/// item parameters: VerifyIvfBinding detects a stale or desynced index at
+/// publish time, and RebuildDirty uses the same CRCs to reassign only the
+/// items whose parameters actually changed (frozen centroids), which is the
+/// online incremental-publish path.
+///
+/// Immutable after Build and safe to share read-only across query threads.
+class IvfIndex {
+ public:
+  /// Full build: k-means + cluster-ordered repack. One pass of O(n·k·d/8)
+  /// training work plus an O(n·d) repack; queries never allocate.
+  static IvfIndex Build(const FactorModel& model, const IvfOptions& options);
+
+  /// Incremental rebuild for online publishes: keeps `previous`'s centroids,
+  /// reassigns only the items whose parameter bytes changed (detected via
+  /// the stored per-item CRCs; catalog growth counts as changed), then
+  /// re-packs. `options` must be CompatibleWith the previous build's (query
+  /// knobs like default_nprobe may differ and take effect immediately).
+  /// `items_reassigned` (optional) reports how many items moved through the
+  /// assignment step. Returns InvalidArgument on incompatible options, a
+  /// different factor count / bias mode, or a shrunken catalog — callers
+  /// fall back to a full Build.
+  static Result<IvfIndex> RebuildDirty(const IvfIndex& previous,
+                                       const FactorModel& model,
+                                       const IvfOptions& options,
+                                       int64_t* items_reassigned);
+
+  int32_t num_items() const { return num_items_; }
+  int32_t num_factors() const { return num_factors_; }
+  int32_t num_clusters() const { return num_clusters_; }
+  const IvfOptions& options() const { return options_; }
+  int32_t default_nprobe() const { return options_.default_nprobe; }
+
+  /// The cluster-ordered packed snapshot probe ranges index into. Same users
+  /// and the same per-item float parameters as a snapshot of the source
+  /// model — only the item order differs — so re-ranked scores are
+  /// bit-identical to the full packed scan's.
+  const PackedSnapshot& packed() const { return packed_; }
+
+  /// Global item id of local id `local` in packed().
+  ItemId ToGlobal(ItemId local) const {
+    return local_to_global_[static_cast<size_t>(local)];
+  }
+  /// Raw local→global table for the fused mapped kernel.
+  const int32_t* local_to_global_data() const { return local_to_global_.data(); }
+
+  /// Cluster of global item `i` / number of (real) items in cluster `c`.
+  int32_t ClusterOf(ItemId i) const {
+    return assignment_[static_cast<size_t>(i)];
+  }
+  int32_t ClusterSize(int32_t c) const {
+    return cluster_begin_[static_cast<size_t>(c) + 1] -
+           cluster_begin_[static_cast<size_t>(c)];
+  }
+
+  /// Selects the probe list for user `u`: ranks clusters by centroid inner
+  /// product with the augmented query and keeps the top `nprobe` (clamped to
+  /// [1, num_clusters]), widening past `nprobe` until at least `min_items`
+  /// real items are covered (or the whole catalog is) — the guarantee that a
+  /// query can always fill k slots net of exclusions. Emits merged,
+  /// begin-block-aligned local ranges sorted ascending; `probes_used`
+  /// (optional) reports the widened probe count. Ranges may round down onto
+  /// a neighboring cluster's tail block: those extra candidates are scored
+  /// exactly too, so they can only improve recall.
+  void SelectProbes(UserId u, int32_t nprobe, size_t min_items,
+                    std::vector<IvfProbeRange>* ranges,
+                    int32_t* probes_used) const;
+
+  /// Real (non-pad) items covered by `ranges`.
+  static size_t CoveredItems(const std::vector<IvfProbeRange>& ranges);
+
+  /// Per-item source-parameter CRCs (see class comment): the binding proof
+  /// VerifyIvfBinding checks and RebuildDirty's dirty detector.
+  const std::vector<uint32_t>& item_crcs() const { return item_crc_; }
+
+  /// Total index bytes: permuted snapshot + centroids + tables.
+  size_t memory_bytes() const;
+
+  /// Internal-consistency check: permutation bijection, monotone cluster
+  /// offsets covering [0, num_items), assignments in range, packed dims
+  /// matching. Corruption(context: ...) on violation.
+  Status VerifyStructure(const std::string& context) const;
+
+  /// Test/fault hook: reverses the local→global mapping (still a bijection,
+  /// so VerifyStructure alone cannot tell) WITHOUT re-packing — the
+  /// canonical "cluster assignments desynced from V" corruption that the
+  /// publish-time recall gate must catch. No-op below 2 items.
+  void DesyncForTesting();
+
+ private:
+  IvfIndex() = default;
+
+  /// Shared tail of Build/RebuildDirty: counting-sorts `assignment_` into the
+  /// cluster-ordered permutation and re-packs the catalog in that order.
+  void FinishLayout(const FactorModel& model);
+
+  /// Augmented-space centroid data, num_clusters × (num_factors + 2).
+  std::vector<float> centroids_;
+  /// Per-global-item cluster id.
+  std::vector<int32_t> assignment_;
+  /// Local-id offsets: cluster c = locals [cluster_begin_[c], cluster_begin_[c+1]).
+  std::vector<int32_t> cluster_begin_;
+  /// Permutation tables between packed() local ids and global ids.
+  std::vector<int32_t> local_to_global_;
+  std::vector<int32_t> global_to_local_;
+  /// CRC32 of each item's source parameters (factors + bias doubles):
+  /// binding proof and dirty detector.
+  std::vector<uint32_t> item_crc_;
+  /// Max squared augmented norm M² the residual dimension was built against.
+  double aug_m2_ = 0.0;
+  PackedSnapshot packed_;
+  IvfOptions options_;
+  int32_t num_items_ = 0;
+  int32_t num_factors_ = 0;
+  int32_t num_clusters_ = 0;
+  bool use_item_bias_ = false;
+};
+
+/// Publish-time binding check: `index` must have been built from exactly
+/// `model`'s current item parameters (per-item CRCs and dimensions must all
+/// match) and pass VerifyStructure. FailedPrecondition naming the first
+/// divergent item on a stale/desynced index. This is the cheap, exact half
+/// of the ANN canary gate; `context` names the candidate in errors.
+Status VerifyIvfBinding(const FactorModel& model, const IvfIndex& index,
+                        const std::string& context);
+
+/// Measured recall@k of the probe path at `nprobe` against the exact fused
+/// full scan over `exact` (the *base-order* snapshot of the same model — an
+/// independent ground truth, so a desynced permutation scores low instead of
+/// agreeing with itself). Averages |ann ∩ exact| / k over up to
+/// `sample_users` evenly spaced users. Returns 1.0 for an empty catalog.
+double MeasureIvfRecall(const PackedSnapshot& exact, const IvfIndex& index,
+                        int32_t sample_users, size_t k, int32_t nprobe);
+
+/// The measured half of the ANN canary gate: FailedPrecondition (with the
+/// measured value in the message) when MeasureIvfRecall falls below `floor`.
+Status VerifyIvfRecall(const PackedSnapshot& exact, const IvfIndex& index,
+                       int32_t sample_users, size_t k, int32_t nprobe,
+                       double floor, const std::string& context);
+
+}  // namespace clapf
+
+#endif  // CLAPF_MODEL_IVF_INDEX_H_

@@ -18,6 +18,11 @@ PackedSnapshot::AlignedFloats PackedSnapshot::AllocAligned(std::size_t n) {
 }
 
 PackedSnapshot PackedSnapshot::Build(const FactorModel& model) {
+  return Build(model, nullptr);
+}
+
+PackedSnapshot PackedSnapshot::Build(const FactorModel& model,
+                                     const int32_t* item_perm) {
   PackedSnapshot snap;
   snap.num_users_ = model.num_users();
   snap.num_items_ = model.num_items();
@@ -41,14 +46,15 @@ PackedSnapshot PackedSnapshot::Build(const FactorModel& model) {
 
   const int32_t d = snap.num_factors_;
   for (ItemId i = 0; i < snap.num_items_; ++i) {
+    const ItemId src = item_perm != nullptr ? item_perm[i] : i;
     const int32_t block = i / kPackedBlockItems;
     const int32_t lane = i % kPackedBlockItems;
     float* blk = snap.blocks_.get() +
                  static_cast<std::size_t>(block) * snap.block_stride_;
     if (snap.use_item_bias_) {
-      blk[lane] = static_cast<float>(model.ItemBias(i));
+      blk[lane] = static_cast<float>(model.ItemBias(src));
     }
-    auto vf = model.ItemFactors(i);
+    auto vf = model.ItemFactors(src);
     for (int32_t f = 0; f < d; ++f) {
       blk[static_cast<std::size_t>(f + 1) * kPackedBlockItems + lane] =
           static_cast<float>(vf[static_cast<std::size_t>(f)]);

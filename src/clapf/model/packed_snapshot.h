@@ -60,6 +60,14 @@ class PackedSnapshot {
   /// any later query).
   static PackedSnapshot Build(const FactorModel& model);
 
+  /// As above, but lane `local` of the item block array holds the parameters
+  /// of global item `item_perm[local]`: a reordered repack straight from the
+  /// double model, without materializing a permuted copy of it. `item_perm`
+  /// must be a permutation of [0, num_items); nullptr means identity.
+  /// IvfIndex uses this to lay the catalog out in cluster order.
+  static PackedSnapshot Build(const FactorModel& model,
+                              const int32_t* item_perm);
+
   int32_t num_users() const { return num_users_; }
   int32_t num_items() const { return num_items_; }
   int32_t num_factors() const { return num_factors_; }
@@ -99,6 +107,10 @@ class PackedSnapshot {
   float* mutable_block_data() { return blocks_.get(); }
 
  private:
+  // IvfIndex embeds a (cluster-ordered) snapshot by value and so needs the
+  // default state before its own Build assigns the real one.
+  friend class IvfIndex;
+
   struct AlignedDeleter {
     void operator()(float* p) const {
       ::operator delete[](p, std::align_val_t(kPackedAlignment));

@@ -188,4 +188,36 @@ void ScoreBlocksTopK(const PackedSnapshot& snap, UserId u, ItemId begin,
   }
 }
 
+void ScoreBlocksTopKMapped(const PackedSnapshot& snap, UserId u, ItemId begin,
+                           ItemId end, const int32_t* local_to_global,
+                           const std::vector<bool>* excluded,
+                           TopKAccumulator* acc, double reject_below) {
+  CLAPF_CHECK(begin >= 0 && begin <= end && end <= snap.num_items());
+  CLAPF_CHECK(begin % kPackedBlockItems == 0);
+  if (begin == end) return;
+
+  constexpr int32_t kChunkBlocks = 64;
+  float buf[kChunkBlocks * kPackedBlockItems];
+
+  const int32_t last_block = (end - 1) / kPackedBlockItems;
+  for (int32_t b = begin / kPackedBlockItems; b <= last_block;
+       b += kChunkBlocks) {
+    const int32_t nblocks = std::min(kChunkBlocks, last_block - b + 1);
+    ScoreBlocks(snap, u, b, nblocks, buf);
+    const ItemId lo = b * kPackedBlockItems;
+    const ItemId hi =
+        std::min<ItemId>(end, lo + nblocks * kPackedBlockItems);
+    for (ItemId i = lo; i < hi; ++i) {
+      const ItemId g = local_to_global[static_cast<std::size_t>(i)];
+      if (excluded != nullptr && (*excluded)[static_cast<std::size_t>(g)]) {
+        continue;
+      }
+      const double s = static_cast<double>(buf[i - lo]);
+      if (s < reject_below) continue;
+      if (acc->full() && s < acc->threshold_score()) continue;
+      acc->Push(g, s);
+    }
+  }
+}
+
 }  // namespace clapf

@@ -65,6 +65,23 @@ void ScoreBlocksTopK(const PackedSnapshot& snap, UserId u, ItemId begin,
                      double reject_below =
                          -std::numeric_limits<double>::infinity());
 
+/// ScoreBlocksTopK over a *permuted* snapshot: `snap` holds items in some
+/// local order (e.g. IvfIndex's cluster order) and `local_to_global[i]` is
+/// the global id of local item i. Candidates are pushed under their GLOBAL
+/// id — so the accumulator's smaller-id tie-break and any caller-side result
+/// handling see exactly the ids a scan of the base-order snapshot would
+/// produce — and `excluded` (nullable) is indexed by global id, so callers
+/// reuse the one global exclusion bitmap they already build. Same alignment
+/// precondition, early-reject, and `reject_below` semantics as the unmapped
+/// kernel; per-lane scores are bit-identical to the base-order scan because
+/// a packed score depends only on the item's own lane data.
+void ScoreBlocksTopKMapped(const PackedSnapshot& snap, UserId u, ItemId begin,
+                           ItemId end, const int32_t* local_to_global,
+                           const std::vector<bool>* excluded,
+                           TopKAccumulator* acc,
+                           double reject_below =
+                               -std::numeric_limits<double>::infinity());
+
 }  // namespace clapf
 
 #endif  // CLAPF_MODEL_SCORE_KERNEL_H_

@@ -102,6 +102,58 @@ Result<std::vector<ScoredItem>> Recommender::RecommendOne(
     }
   }
 
+  // ANN fast path: probe-list selection over the IVF index, then the exact
+  // fused kernel re-ranks only the shortlisted cluster ranges — sub-linear
+  // in the catalog. min_items inflates the widening floor by everything the
+  // scan may skip (history + explicit excludes), so the shortlist can always
+  // fill k slots and the result count matches the full scan's. Chunked like
+  // the packed path below, with the same per-chunk fault injection and
+  // deadline polling.
+  if (!cold && options.ann && options.use_packed && ivf_ != nullptr &&
+      ivf_->num_items() == model_.num_items()) {
+    const IvfIndex& ivf = *ivf_;
+    FaultInjector& faults = FaultInjector::Instance();
+    thread_local std::vector<IvfProbeRange> probes;
+    const size_t min_items =
+        k + static_cast<size_t>(history_.NumItemsOf(u)) +
+        options.exclude.size();
+    int32_t probes_used = 0;
+    ivf.SelectProbes(u, options.ann_nprobe, min_items, &probes, &probes_used);
+    if (ann_queries_metric_ != nullptr) {
+      ann_queries_metric_->Inc();
+      ann_probes_metric_->Inc(probes_used);
+      ann_shortlist_metric_->Inc(
+          static_cast<int64_t>(IvfIndex::CoveredItems(probes)));
+    }
+    TopKAccumulator acc(k);
+    ItemId scanned = 0;
+    for (const IvfProbeRange& r : probes) {
+      for (ItemId lo = r.begin; lo < r.end; lo += kRankerBlockItems) {
+        const ItemId hi = std::min<ItemId>(r.end, lo + kRankerBlockItems);
+        if (faults.armed() && faults.ShouldFire(FaultPoint::kServeSlowBlock)) {
+          std::this_thread::sleep_for(kSlowBlockStall);
+        }
+        ScoreBlocksTopKMapped(ivf.packed(), u, lo, hi,
+                              ivf.local_to_global_data(), excluded, &acc);
+        scanned += hi - lo;
+        if (deadline && Clock::now() > *deadline) {
+          return Status::DeadlineExceeded(
+              "ann query for user " + std::to_string(u) +
+              " expired after scoring " + std::to_string(scanned) +
+              " shortlisted items");
+        }
+      }
+    }
+    std::vector<ScoredItem> top = acc.Take();
+    ApplyMinScore(options.min_score, &top);
+    return top;
+  }
+  if (!cold && options.ann && options.use_packed &&
+      ann_fallback_metric_ != nullptr) {
+    // ANN requested but no (usable) index — serve the full scan instead.
+    ann_fallback_metric_->Inc();
+  }
+
   // Packed fast path: fused score + top-k over the SIMD snapshot. Never
   // materializes the score vector — each kRankerBlockItems chunk is scored
   // blockwise into the accumulator with threshold early-reject. Mirrors the
@@ -173,17 +225,51 @@ void Recommender::AdoptPacked(std::shared_ptr<const PackedSnapshot> packed) {
   packed_ = std::move(packed);
 }
 
+Status Recommender::EnableIvf(const IvfOptions& options,
+                              int32_t verify_sample_users,
+                              double verify_recall_floor, size_t recall_k) {
+  if (packed_ == nullptr) {
+    Status base = EnablePacked(0);
+    if (!base.ok()) return base;
+  }
+  auto ivf = std::make_shared<IvfIndex>(IvfIndex::Build(model_, options));
+  if (verify_sample_users > 0) {
+    Status bind = VerifyIvfBinding(model_, *ivf, "EnableIvf");
+    if (!bind.ok()) return bind;
+    if (verify_recall_floor > 0.0) {
+      Status recall =
+          VerifyIvfRecall(*packed_, *ivf, verify_sample_users, recall_k,
+                          /*nprobe=*/0, verify_recall_floor, "EnableIvf");
+      if (!recall.ok()) return recall;
+    }
+  }
+  ivf_ = std::move(ivf);
+  return Status::OK();
+}
+
+void Recommender::AdoptIvf(std::shared_ptr<const IvfIndex> ivf) {
+  ivf_ = std::move(ivf);
+}
+
 void Recommender::SetMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
     queries_metric_ = nullptr;
     deadline_metric_ = nullptr;
     latency_metric_ = nullptr;
+    ann_queries_metric_ = nullptr;
+    ann_probes_metric_ = nullptr;
+    ann_shortlist_metric_ = nullptr;
+    ann_fallback_metric_ = nullptr;
     return;
   }
   queries_metric_ = registry->GetCounter("ranker.queries_total");
   deadline_metric_ = registry->GetCounter("ranker.deadline_exceeded_total");
   latency_metric_ =
       registry->GetHistogram("ranker.query.latency_us", LatencyBucketsUs());
+  ann_queries_metric_ = registry->GetCounter("ann.queries_total");
+  ann_probes_metric_ = registry->GetCounter("ann.probes_total");
+  ann_shortlist_metric_ = registry->GetCounter("ann.shortlist_items_total");
+  ann_fallback_metric_ = registry->GetCounter("ann.fallback_total");
 }
 
 Result<std::vector<ScoredItem>> Recommender::Recommend(

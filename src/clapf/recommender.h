@@ -11,6 +11,7 @@
 
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/model/ivf_index.h"
 #include "clapf/model/packed_snapshot.h"
 #include "clapf/obs/metrics.h"
 #include "clapf/util/status.h"
@@ -51,6 +52,19 @@ struct QueryOptions {
   /// scan and their goldens stay bit-identical. Set false to force the exact
   /// path even when a snapshot is present.
   bool use_packed = true;
+  /// Serve through the IVF approximate index when the recommender carries
+  /// one (EnableIvf / AdoptIvf): probe-list selection + exact fused re-rank
+  /// of the shortlisted blocks, sub-linear in the catalog. Off by default —
+  /// ANN is approximate *beyond* PackedScoreBound (it can miss items
+  /// entirely), so callers opt in per query; without an index the query
+  /// silently falls back to the full scan (counted in ann.fallback_total).
+  /// Requires use_packed: with the packed path disabled, ANN is off too.
+  bool ann = false;
+  /// Probe-list width for ANN queries. 0 (default) = the index's
+  /// default_nprobe; any value is clamped to [1, num_clusters]. More probes
+  /// = higher recall, more items scanned; nprobe = num_clusters degenerates
+  /// to the exact full scan.
+  int32_t ann_nprobe = 0;
 };
 
 /// Reply from Recommender::RecommendBatchPartial: results[i] answers
@@ -126,6 +140,26 @@ class Recommender {
   /// The snapshot packed queries run on, or null when none was built.
   const PackedSnapshot* packed_snapshot() const { return packed_.get(); }
 
+  /// Builds and adopts an IVF index over the current model so queries with
+  /// QueryOptions::ann take the sub-linear probe + re-rank path (building
+  /// the base packed snapshot first if none exists — ANN implies packed).
+  /// When `verify_sample_users` > 0 the index must pass VerifyIvfBinding,
+  /// and additionally VerifyIvfRecall at the index's default nprobe when
+  /// `verify_recall_floor` > 0; a violation is returned and the recommender
+  /// keeps serving without the index. Convenience for CLI / standalone use —
+  /// serving publishes instead gate the index themselves and hand it over
+  /// via AdoptIvf.
+  Status EnableIvf(const IvfOptions& options = {},
+                   int32_t verify_sample_users = 0,
+                   double verify_recall_floor = 0.0, size_t recall_k = 10);
+
+  /// Adopts a pre-built (already gated) index; nullptr drops back to full
+  /// scans.
+  void AdoptIvf(std::shared_ptr<const IvfIndex> ivf);
+
+  /// The index ANN queries probe, or null when none was built.
+  const IvfIndex* ivf_index() const { return ivf_.get(); }
+
   /// Predicted relevance score for one (user, item); OutOfRange on bad ids.
   /// Always exact (double path), independent of any packed snapshot.
   Result<double> Score(UserId u, ItemId i) const;
@@ -134,10 +168,11 @@ class Recommender {
   Status Save(const std::string& model_path) const;
 
   /// Routes ranker telemetry into `registry`: ranker.queries_total, the
-  /// ranker.query.latency_us histogram, and ranker.deadline_exceeded_total.
-  /// Null (default state) disables instrumentation. The registry is not
-  /// owned and must outlive every query; copies of the recommender share
-  /// the same handles.
+  /// ranker.query.latency_us histogram, ranker.deadline_exceeded_total, and
+  /// the ANN family — ann.queries_total, ann.probes_total,
+  /// ann.shortlist_items_total, ann.fallback_total. Null (default state)
+  /// disables instrumentation. The registry is not owned and must outlive
+  /// every query; copies of the recommender share the same handles.
   void SetMetrics(MetricsRegistry* registry);
 
   int32_t num_users() const { return model_.num_users(); }
@@ -164,10 +199,17 @@ class Recommender {
   // Immutable SIMD repack shared read-only across query threads; null until
   // EnablePacked/AdoptPacked. Copies of the recommender share it.
   std::shared_ptr<const PackedSnapshot> packed_;
+  // Immutable IVF index shared read-only across query threads; null until
+  // EnableIvf/AdoptIvf. Copies of the recommender share it.
+  std::shared_ptr<const IvfIndex> ivf_;
   // Telemetry handles (null = off); see SetMetrics.
   Counter* queries_metric_ = nullptr;
   Counter* deadline_metric_ = nullptr;
   Histogram* latency_metric_ = nullptr;
+  Counter* ann_queries_metric_ = nullptr;
+  Counter* ann_probes_metric_ = nullptr;
+  Counter* ann_shortlist_metric_ = nullptr;
+  Counter* ann_fallback_metric_ = nullptr;
 };
 
 }  // namespace clapf

@@ -147,7 +147,60 @@ Status ModelServer::PublishCandidate(FactorModel candidate) {
         std::make_shared<PackedSnapshot>(PackedSnapshot::Build(candidate));
   }
 
+  // Build the IVF index the same way: before the gate, so what is vetted
+  // (binding + measured recall) is exactly what will serve. When the
+  // serving snapshot already carries a compatible index, rebuild
+  // incrementally — frozen centroids, only parameter-changed items
+  // reassigned — which is what keeps online republish cadence affordable.
+  std::shared_ptr<IvfIndex> ivf;
+  if (options_.packed && options_.ann) {
+    auto prev = Acquire();
+    const IvfIndex* prev_ivf =
+        prev != nullptr ? prev->recommender.ivf_index() : nullptr;
+    if (prev_ivf != nullptr) {
+      int64_t reassigned = 0;
+      auto rebuilt =
+          IvfIndex::RebuildDirty(*prev_ivf, candidate, options_.ivf,
+                                 &reassigned);
+      // A majority-dirty republish means the catalog's geometry moved out
+      // from under the frozen centroids; measured recall would pay for the
+      // stale partition. Retrain from scratch instead — incremental
+      // reassignment only wins when the republish is a sliver.
+      if (rebuilt.ok() && 2 * reassigned <= candidate.num_items()) {
+        ivf = std::make_shared<IvfIndex>(std::move(rebuilt).value());
+        metrics_.GetCounter("ann.index_rebuilds_incremental_total")->Inc();
+        metrics_.GetCounter("ann.index_items_reassigned_total")
+            ->Inc(reassigned);
+      }
+    }
+    if (ivf == nullptr) {
+      ivf = std::make_shared<IvfIndex>(
+          IvfIndex::Build(candidate, options_.ivf));
+      metrics_.GetCounter("ann.index_builds_total")->Inc();
+    }
+    if (faults.armed() && faults.ShouldFire(FaultPoint::kAnnCorruptIndex)) {
+      ivf->DesyncForTesting();
+    }
+  }
+
   Status gate = GateCandidate(candidate, packed.get(), "serving candidate");
+  if (gate.ok() && ivf != nullptr && options_.canary.enabled) {
+    // ANN half of the gate: the index must be bound to this candidate's
+    // exact parameter bytes, and its measured recall@k at the default
+    // nprobe must clear the contract floor vs the exact fused scan.
+    gate = VerifyIvfBinding(candidate, *ivf, "serving candidate");
+    if (gate.ok() && options_.canary.ann_recall_floor > 0.0) {
+      gate = VerifyIvfRecall(*packed, *ivf, options_.canary.ann_recall_users,
+                             static_cast<size_t>(std::max(
+                                 1, options_.canary.ann_recall_k)),
+                             /*nprobe=*/0, options_.canary.ann_recall_floor,
+                             "serving candidate");
+    }
+    metrics_
+        .GetCounter(gate.ok() ? "ann.recall_gate_pass_total"
+                              : "ann.recall_gate_fail_total")
+        ->Inc();
+  }
   if (!gate.ok()) {
     stats_.RecordCanaryReject();
     recorder_.Record(FlightEventKind::kCanaryReject, gate.message());
@@ -164,6 +217,7 @@ Status ModelServer::PublishCandidate(FactorModel candidate) {
   }
   rec->SetMetrics(&metrics_);
   rec->AdoptPacked(std::move(packed));  // null when packed serving is off
+  rec->AdoptIvf(std::move(ivf));        // null when ANN serving is off
 
   int64_t published_version = 0;
   {

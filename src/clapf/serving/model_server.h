@@ -42,6 +42,22 @@ struct CanaryOptions {
   /// sampled user must agree within PackedScoreBound(). <= 0 skips the
   /// check.
   int32_t packed_agreement_users = 64;
+
+  // ANN half of the gate, only exercised when ServerOptions::ann builds an
+  // IVF index per publish. The binding + structural checks (VerifyIvfBinding:
+  // the index was built from exactly this candidate's item parameters and
+  // its permutation is coherent) always run; the measured check re-ranks
+  // `ann_recall_users` sampled users at the index's default nprobe and
+  // refuses the publish when recall@`ann_recall_k` vs the exact fused scan
+  // falls below `ann_recall_floor`. This is the PackedScoreBound discipline
+  // extended into the approximate regime: the contract is measured at the
+  // gate, not hoped for.
+  /// Measured-recall floor; <= 0 skips the measured check.
+  double ann_recall_floor = 0.95;
+  /// Users sampled by the recall probe (evenly spaced).
+  int32_t ann_recall_users = 16;
+  /// The k of the recall@k contract.
+  int32_t ann_recall_k = 10;
 };
 
 /// Post-publish error-rate circuit breaker. Queries are grouped into
@@ -87,6 +103,17 @@ struct ServerOptions {
   /// kernels, so what is vetted is what serves. Disable to serve the exact
   /// double path only.
   bool packed = true;
+  /// Build an IVF approximate-MIPS index alongside each published packed
+  /// snapshot (requires `packed`) and canary-verify it (binding + measured
+  /// recall@k, CanaryOptions::ann_recall_*) before adoption, so queries
+  /// opting in with QueryOptions::ann take the sub-linear probe + re-rank
+  /// path. When the previous snapshot carries a compatible index the
+  /// publish rebuilds incrementally: frozen centroids, only items whose
+  /// parameters changed are reassigned (the online incremental-publish
+  /// path). Off by default: index builds cost a k-means pass per publish.
+  bool ann = false;
+  /// Index build knobs when `ann` is set.
+  IvfOptions ivf;
   CanaryOptions canary;
   BreakerOptions breaker;
   /// Adaptive knob control (policy, bounds, tick cadence); the default

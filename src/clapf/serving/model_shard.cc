@@ -49,7 +49,9 @@ ModelShard::ModelShard(int32_t id, ItemId begin, ItemId end,
 
 Result<std::shared_ptr<ShardSlice>> ModelShard::BuildSlice(
     const FactorModel& candidate, bool packed, bool verify_integrity,
-    int32_t packed_agreement_users, const std::string& context) const {
+    int32_t packed_agreement_users, const std::string& context,
+    const ShardAnnOptions* ann, const ShardSlice* previous,
+    int64_t* ann_items_reassigned) const {
   auto slice =
       std::make_shared<ShardSlice>(candidate.SliceItems(begin_, end_));
   if (verify_integrity) {
@@ -67,6 +69,44 @@ Result<std::shared_ptr<ShardSlice>> ModelShard::BuildSlice(
           slice->model, *snap, packed_agreement_users, context));
     }
     slice->packed = std::move(snap);
+  }
+  if (packed && ann != nullptr) {
+    if (ann_items_reassigned != nullptr) *ann_items_reassigned = -1;
+    std::shared_ptr<IvfIndex> ivf;
+    if (previous != nullptr && previous->ivf != nullptr) {
+      int64_t reassigned = 0;
+      auto rebuilt = IvfIndex::RebuildDirty(*previous->ivf, slice->model,
+                                            ann->ivf, &reassigned);
+      // Majority-dirty slices retrain from scratch: frozen centroids from
+      // the previous slice would partition the moved geometry poorly and
+      // the recall gate would (rightly) refuse the result.
+      if (rebuilt.ok() && 2 * reassigned <= slice->model.num_items()) {
+        ivf = std::make_shared<IvfIndex>(std::move(rebuilt).value());
+        if (ann_items_reassigned != nullptr) {
+          *ann_items_reassigned = reassigned;
+        }
+      }
+    }
+    if (ivf == nullptr) {
+      ivf = std::make_shared<IvfIndex>(IvfIndex::Build(slice->model,
+                                                       ann->ivf));
+    }
+    FaultInjector& faults = FaultInjector::Instance();
+    if (faults.armed() && faults.ShouldFire(FaultPoint::kAnnCorruptIndex)) {
+      // Per-shard desync drill: the armed hit schedule picks which shard's
+      // index is scrambled, and only that shard's gate must refuse.
+      ivf->DesyncForTesting();
+    }
+    if (ann->canary) {
+      CLAPF_RETURN_IF_ERROR(VerifyIvfBinding(slice->model, *ivf, context));
+      if (ann->recall_floor > 0.0) {
+        CLAPF_RETURN_IF_ERROR(VerifyIvfRecall(
+            *slice->packed, *ivf, ann->recall_users,
+            static_cast<size_t>(std::max<int32_t>(1, ann->recall_k)),
+            /*nprobe=*/0, ann->recall_floor, context));
+      }
+    }
+    slice->ivf = std::move(ivf);
   }
   return slice;
 }
@@ -98,7 +138,53 @@ Result<std::vector<ScoredItem>> ModelShard::ScoreTopK(
   FaultInjector& faults = FaultInjector::Instance();
   std::vector<ScoredItem> top;
 
-  if (options.use_packed && slice.packed != nullptr) {
+  if (options.ann && options.use_packed && slice.ivf != nullptr &&
+      slice.ivf->num_items() == local_items) {
+    // IVF shortlist path: probe the shard-local index and re-rank the
+    // shortlisted cluster ranges with the fused mapped kernel. The index
+    // was built over the sliced model, so the "global" ids it emits are
+    // shard-local ids — the excluded bitmap indexes them directly and the
+    // final `+= begin_` below lifts them to catalog ids. The cross-shard
+    // bar stays sound under ANN: a shortlist heap's threshold is a lower
+    // bound on that shard's (and hence the global) k-th-best only among
+    // scanned items, so the bar is raised from full heaps exactly as in
+    // the exhaustive path and can only prune items below a real score.
+    const IvfIndex& ivf = *slice.ivf;
+    thread_local std::vector<IvfProbeRange> probes;
+    const size_t min_items = local_k + history_.ItemsOf(u).size() +
+                             options.exclude.size();
+    ivf.SelectProbes(u, options.ann_nprobe, min_items, &probes, nullptr);
+    TopKAccumulator acc(local_k);
+    ItemId scanned = 0;
+    for (const IvfProbeRange& range : probes) {
+      for (ItemId lo = range.begin; lo < range.end; lo += kRankerBlockItems) {
+        const ItemId hi = std::min<ItemId>(range.end, lo + kRankerBlockItems);
+        if (faults.armed() &&
+            faults.ShouldFire(FaultPoint::kServeSlowBlock)) {
+          std::this_thread::sleep_for(kSlowBlockStall);
+        }
+        const double bar =
+            broadcast != nullptr
+                ? broadcast->Get()
+                : -std::numeric_limits<double>::infinity();
+        ScoreBlocksTopKMapped(ivf.packed(), u, lo, hi,
+                              ivf.local_to_global_data(), excluded, &acc,
+                              bar);
+        if (broadcast != nullptr && acc.full()) {
+          broadcast->Raise(acc.threshold_score());
+        }
+        scanned += hi - lo;
+        if (deadline && Clock::now() > *deadline) {
+          return Status::DeadlineExceeded(
+              "ann query for user " + std::to_string(u) +
+              " expired in shard " + std::to_string(id_) +
+              " after scoring " + std::to_string(scanned) +
+              " shortlisted items");
+        }
+      }
+    }
+    top = acc.Take();
+  } else if (options.use_packed && slice.packed != nullptr) {
     // Packed fast path: fused score + top-k over the shard's SIMD repack,
     // chunked like the monolithic ranker (fault + deadline poll per chunk).
     // Each chunk ends by raising the cross-shard bar to this heap's

@@ -12,6 +12,7 @@
 
 #include "clapf/data/dataset.h"
 #include "clapf/model/factor_model.h"
+#include "clapf/model/ivf_index.h"
 #include "clapf/model/packed_snapshot.h"
 #include "clapf/recommender.h"
 #include "clapf/util/status.h"
@@ -30,6 +31,23 @@ struct ShardSlice {
   int64_t version = 0;
   FactorModel model;  // items renumbered to [0, shard size)
   std::shared_ptr<const PackedSnapshot> packed;  // null when packed is off
+  std::shared_ptr<const IvfIndex> ivf;           // null when ANN is off
+};
+
+/// Per-shard ANN build + gate parameters for BuildSlice. Each shard builds
+/// its own IvfIndex over its sliced catalog, and each index is gated
+/// independently — a corrupt or low-recall index refuses only its own
+/// shard's slice, never its siblings'.
+struct ShardAnnOptions {
+  IvfOptions ivf;
+  /// Structural/binding verification plus the measured recall check below.
+  bool canary = true;
+  /// Publish-time recall@recall_k floor at the index's default nprobe,
+  /// measured against the shard's exact packed scan; <= 0 disables the
+  /// measured check (binding + structure still run when `canary` is set).
+  double recall_floor = 0.95;
+  int32_t recall_users = 16;
+  int32_t recall_k = 10;
 };
 
 /// Cross-shard early-reject bar for one scatter-gather query. Each shard
@@ -92,13 +110,22 @@ class ModelShard {
   /// is set the sliced model must pass VerifyModelIntegrity (finite scan +
   /// wire-format/CRC round-trip); when `packed` is set a PackedSnapshot is
   /// built and, if `packed_agreement_users` > 0, verified against the slice
-  /// within PackedScoreBound. Gate failures leave nothing published.
+  /// within PackedScoreBound. When `ann` is non-null (requires `packed`) an
+  /// IvfIndex is built over the sliced catalog and gated per ShardAnnOptions;
+  /// `previous` (may be null) supplies the prior slice whose index seeds an
+  /// incremental RebuildDirty, and `ann_items_reassigned` (may be null)
+  /// receives the number of items the incremental path reassigned, or -1
+  /// when a full build ran. Gate failures leave nothing published.
   Result<std::shared_ptr<ShardSlice>> BuildSlice(
       const FactorModel& candidate, bool packed, bool verify_integrity,
-      int32_t packed_agreement_users, const std::string& context) const;
+      int32_t packed_agreement_users, const std::string& context,
+      const ShardAnnOptions* ann = nullptr,
+      const ShardSlice* previous = nullptr,
+      int64_t* ann_items_reassigned = nullptr) const;
 
   /// Scatter kernel: top-k of this shard's items for user `u`, through the
-  /// packed fast path when the slice carries a snapshot and
+  /// IVF shortlist when `options.ann` is set and the slice carries an index,
+  /// else the packed fast path when the slice carries a snapshot and
   /// `options.use_packed` allows it, else the exact double scan. Applies
   /// history and options.exclude exclusions; does NOT apply min_score or
   /// cold-start policy — those are gather-side (router) decisions so they

@@ -209,14 +209,61 @@ Status ShardedModelServer::PublishModel(PublishRequest request) {
   // Build (and gate) every target slice BEFORE swapping any: an all-shard
   // publish is all-or-nothing, and a failed one-shard publish leaves that
   // shard's prior slice serving.
+  const bool ann_enabled = options_.packed && options_.ann;
+  ShardAnnOptions ann;
+  std::vector<std::shared_ptr<const ShardSlice>> prev_slices(targets.size());
+  if (ann_enabled) {
+    ann.ivf = options_.ivf;
+    ann.canary = canary;
+    ann.recall_floor = options_.canary.ann_recall_floor;
+    ann.recall_users = options_.canary.ann_recall_users;
+    ann.recall_k = options_.canary.ann_recall_k;
+    // A compatible prior index per shard seeds the incremental rebuild;
+    // read the current chain cut once so every target shard's previous
+    // slice comes from the same publish generation.
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end() && !it->second.chains.empty()) {
+      for (size_t i = 0; i < targets.size(); ++i) {
+        prev_slices[i] =
+            it->second.chains[static_cast<size_t>(targets[i])].current;
+      }
+    }
+  }
   std::vector<std::shared_ptr<ShardSlice>> built(targets.size());
   for (size_t i = 0; i < targets.size(); ++i) {
     const int32_t s = targets[i];
+    int64_t ann_reassigned = -1;
     auto slice = shards_[static_cast<size_t>(s)].BuildSlice(
         candidate, options_.packed,
         /*verify_integrity=*/canary && target != kAllShards,
         canary ? options_.canary.packed_agreement_users : 0,
-        context + " (shard " + std::to_string(s) + ")");
+        context + " (shard " + std::to_string(s) + ")",
+        ann_enabled ? &ann : nullptr, prev_slices[i].get(),
+        &ann_reassigned);
+    if (ann_enabled) {
+      // Every ivf gate message carries the "ivf" tag, which distinguishes
+      // "the index was built but refused" from "the slice failed before the
+      // ANN stage ran" (integrity/agreement) where no index counters apply.
+      const bool ivf_failure =
+          !slice.ok() &&
+          slice.status().message().find("ivf") != std::string::npos;
+      if (slice.ok() || ivf_failure) {
+        if (ann_reassigned >= 0) {
+          metrics_.GetCounter("ann.index_rebuilds_incremental_total")->Inc();
+          metrics_.GetCounter("ann.index_items_reassigned_total")
+              ->Inc(ann_reassigned);
+        } else {
+          metrics_.GetCounter("ann.index_builds_total")->Inc();
+        }
+        if (canary) {
+          metrics_
+              .GetCounter(slice.ok() ? "ann.recall_gate_pass_total"
+                                     : "ann.recall_gate_fail_total")
+              ->Inc();
+        }
+      }
+    }
     if (!slice.ok()) {
       stats_.RecordCanaryReject();
       shard_stats_[static_cast<size_t>(s)]->RecordCanaryReject();

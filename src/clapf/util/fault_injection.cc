@@ -32,6 +32,8 @@ const char* FaultPointName(FaultPoint point) {
       return "wal-rotate-fail";
     case FaultPoint::kWalReplayCorrupt:
       return "wal-replay-corrupt";
+    case FaultPoint::kAnnCorruptIndex:
+      return "ann-corrupt-index";
     case FaultPoint::kNumFaultPoints:
       break;
   }

@@ -52,6 +52,10 @@ enum class FaultPoint : int {
   /// WAL replay treats the current record's CRC as mismatched, dropping the
   /// rest of that segment (silent media corruption at read time).
   kWalReplayCorrupt,
+  /// The freshly built IVF index of a publish is desynced from the candidate
+  /// model (its local→global assignment scrambled) before the canary gate
+  /// runs — the measured-recall gate must refuse the publish.
+  kAnnCorruptIndex,
   kNumFaultPoints,  // sentinel, keep last
 };
 

@@ -1,0 +1,259 @@
+// Publish-gate drills for ANN serving: a desynced IvfIndex must be refused
+// at publish time by the measured recall gate (typed refusal + flight-
+// recorder event, prior snapshot keeps serving), incremental republishes
+// must rebuild only dirty clusters, the sharded server must gate each
+// shard's index independently (one corrupt shard never poisons its
+// siblings), and full-probe sharded ANN answers must stay bit-identical to
+// the monolithic exact scan. Part of the `ann` ctest label.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "clapf/model/ivf_index.h"
+#include "clapf/obs/metrics.h"
+#include "clapf/recommender.h"
+#include "clapf/serving/model_server.h"
+#include "clapf/serving/publish_request.h"
+#include "clapf/serving/sharded_server.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/random.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+class AnnServingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+// Catalogs with directional structure (what the recall contract is stated
+// on): items bundle around a handful of centers, as real catalogs do.
+FactorModel MakeServableModel(int32_t num_users, int32_t num_items,
+                              int32_t num_factors, int32_t num_centers,
+                              uint64_t seed) {
+  return testing::MakeClusteredItemModel(num_users, num_items, num_factors,
+                                         num_centers, /*noise=*/0.05, seed);
+}
+
+ServerOptions AnnOptions() {
+  ServerOptions options;
+  options.num_threads = 1;
+  options.ann = true;
+  options.ivf.num_clusters = 8;
+  options.ivf.default_nprobe = 4;
+  options.canary.ann_recall_users = 16;
+  return options;
+}
+
+int64_t CounterValue(MetricsRegistry* metrics, const std::string& name) {
+  return metrics->GetCounter(name)->Value();
+}
+
+bool HasCanaryRejectEvent(const FlightRecorder& recorder) {
+  for (const FlightEvent& event : recorder.Snapshot()) {
+    if (event.kind == FlightEventKind::kCanaryReject) return true;
+  }
+  return false;
+}
+
+TEST_F(AnnServingTest, PublishBuildsGatesAndServesAnn) {
+  const auto history = testing::MakeLearnableDataset(20, 400, 8, 61);
+  ModelServer server(history, AnnOptions());
+  ASSERT_TRUE(server.PublishModel(MakeServableModel(20, 400, 16, 8, 61)).ok());
+
+  MetricsRegistry* metrics = server.mutable_metrics();
+  EXPECT_EQ(CounterValue(metrics, "ann.index_builds_total"), 1);
+  EXPECT_EQ(CounterValue(metrics, "ann.recall_gate_pass_total"), 1);
+  EXPECT_EQ(CounterValue(metrics, "ann.recall_gate_fail_total"), 0);
+
+  QueryOptions ann;
+  ann.ann = true;
+  auto got = server.Recommend(0, 10, ann);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 10u);
+  EXPECT_EQ(CounterValue(metrics, "ann.queries_total"), 1);
+  EXPECT_GT(CounterValue(metrics, "ann.probes_total"), 0);
+  EXPECT_GT(CounterValue(metrics, "ann.shortlist_items_total"), 0);
+  // The shortlist is a strict subset of the catalog at the default nprobe.
+  EXPECT_LT(CounterValue(metrics, "ann.shortlist_items_total"), 400);
+}
+
+TEST_F(AnnServingTest, FullProbeAnnServesExactAnswers) {
+  const auto history = testing::MakeLearnableDataset(16, 300, 6, 67);
+  ModelServer server(history, AnnOptions());
+  ASSERT_TRUE(server.PublishModel(MakeServableModel(16, 300, 8, 8, 67)).ok());
+
+  QueryOptions exact;  // packed full scan
+  QueryOptions ann;
+  ann.ann = true;
+  ann.ann_nprobe = 8;  // every cluster: degenerates to the exact scan
+  for (UserId u = 0; u < 16; ++u) {
+    auto want = server.Recommend(u, 10, exact);
+    auto got = server.Recommend(u, 10, ann);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(want->size(), got->size());
+    for (size_t x = 0; x < want->size(); ++x) {
+      EXPECT_EQ((*want)[x].item, (*got)[x].item) << "user " << u;
+      EXPECT_EQ((*want)[x].score, (*got)[x].score);
+    }
+  }
+}
+
+TEST_F(AnnServingTest, CanaryRefusesDesyncedIndexAndKeepsPriorSnapshot) {
+  const auto history = testing::MakeLearnableDataset(20, 400, 8, 71);
+  ModelServer server(history, AnnOptions());
+  ASSERT_TRUE(server.PublishModel(MakeServableModel(20, 400, 16, 8, 71)).ok());
+  ASSERT_EQ(server.version(), 1);
+
+  // The second publish's index is desynced in flight; the measured recall
+  // gate must refuse it with a typed FailedPrecondition, record the reject
+  // in the flight recorder, and keep version 1 serving.
+  FaultInjector::Instance().Arm(FaultPoint::kAnnCorruptIndex, {});
+  const Status rejected =
+      server.PublishModel(MakeServableModel(20, 400, 16, 8, 72));
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.message().find("recall"), std::string::npos);
+  EXPECT_EQ(server.version(), 1);
+  EXPECT_FALSE(server.degraded());
+  EXPECT_EQ(server.stats().canary_rejects, 1);
+  EXPECT_TRUE(HasCanaryRejectEvent(server.flight_recorder()));
+  EXPECT_EQ(CounterValue(server.mutable_metrics(),
+                         "ann.recall_gate_fail_total"),
+            1);
+
+  // Queries keep working against the retained snapshot.
+  QueryOptions ann;
+  ann.ann = true;
+  EXPECT_TRUE(server.Recommend(0, 10, ann).ok());
+}
+
+TEST_F(AnnServingTest, RepublishRebuildsIncrementallyReassigningDirtyItems) {
+  const auto history = testing::MakeLearnableDataset(20, 400, 8, 73);
+  ModelServer server(history, AnnOptions());
+  auto model = MakeServableModel(20, 400, 16, 8, 73);
+  ASSERT_TRUE(server.PublishModel(model).ok());
+
+  // Perturb 5 items and republish: the online path, where full k-means per
+  // publish would be unaffordable. Only the dirty items go back through
+  // assignment.
+  for (ItemId i : {ItemId{3}, ItemId{90}, ItemId{180}, ItemId{270},
+                   ItemId{399}}) {
+    model.ItemFactors(i)[0] += 1e-3;
+  }
+  ASSERT_TRUE(server.PublishModel(model).ok());
+  EXPECT_EQ(server.version(), 2);
+
+  MetricsRegistry* metrics = server.mutable_metrics();
+  EXPECT_EQ(CounterValue(metrics, "ann.index_builds_total"), 1);
+  EXPECT_EQ(CounterValue(metrics, "ann.index_rebuilds_incremental_total"),
+            1);
+  EXPECT_EQ(CounterValue(metrics, "ann.index_items_reassigned_total"), 5);
+  EXPECT_EQ(CounterValue(metrics, "ann.recall_gate_pass_total"), 2);
+}
+
+TEST_F(AnnServingTest, AnnQueryWithoutIndexFallsBackToFullScan) {
+  const auto history = testing::MakeLearnableDataset(10, 200, 6, 79);
+  ServerOptions options;
+  options.num_threads = 1;
+  ASSERT_FALSE(options.ann);  // ANN serving off: no index is built
+  ModelServer server(history, options);
+  ASSERT_TRUE(server.PublishModel(MakeServableModel(10, 200, 8, 8, 79)).ok());
+
+  QueryOptions exact;
+  QueryOptions ann;
+  ann.ann = true;  // requested but unservable: silent full-scan fallback
+  auto want = server.Recommend(0, 10, exact);
+  auto got = server.Recommend(0, 10, ann);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(want->size(), got->size());
+  for (size_t x = 0; x < want->size(); ++x) {
+    EXPECT_EQ((*want)[x].item, (*got)[x].item);
+    EXPECT_EQ((*want)[x].score, (*got)[x].score);
+  }
+  EXPECT_EQ(CounterValue(server.mutable_metrics(), "ann.fallback_total"), 1);
+  EXPECT_EQ(CounterValue(server.mutable_metrics(), "ann.queries_total"), 0);
+}
+
+TEST_F(AnnServingTest, ShardedPublishGatesEachShardIndexIndependently) {
+  const auto history = testing::MakeLearnableDataset(20, 400, 8, 83);
+  ServerOptions options = AnnOptions();
+  options.num_shards = 4;
+  options.ivf.num_clusters = 4;  // per-shard catalogs are 100 items
+  options.ivf.default_nprobe = 2;
+  ShardedModelServer server(history, options);
+  auto model = MakeServableModel(20, 400, 16, 4, 83);
+  ASSERT_TRUE(server.PublishModel(model).ok());
+  EXPECT_EQ(server.shard_versions(),
+            (std::vector<int64_t>{1, 1, 1, 1}));
+  EXPECT_EQ(CounterValue(server.mutable_metrics(), "ann.index_builds_total"),
+            4);
+  EXPECT_EQ(CounterValue(server.mutable_metrics(),
+                         "ann.recall_gate_pass_total"),
+            4);
+
+  // Nudge a few of shard 1's items (tiny: CRCs flip, geometry unmoved —
+  // the online republish shape) and corrupt exactly that shard's index in
+  // flight: its gate refuses, its siblings' slices are untouched, and
+  // per-shard isolation holds — every chain keeps version 1.
+  for (ItemId i : {ItemId{110}, ItemId{150}, ItemId{190}}) {
+    model.ItemFactors(i)[0] += 1e-3;
+  }
+  FaultInjector::Instance().Arm(FaultPoint::kAnnCorruptIndex, {});
+  const Status rejected =
+      server.PublishModel(PublishRequest(model).WithShard(1));
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.message().find("shard 1"), std::string::npos);
+  EXPECT_EQ(server.shard_versions(),
+            (std::vector<int64_t>{1, 1, 1, 1}));
+  EXPECT_EQ(CounterValue(server.mutable_metrics(),
+                         "ann.recall_gate_fail_total"),
+            1);
+  FaultInjector::Instance().Reset();
+
+  // With the fault gone the same candidate republishes cleanly (through
+  // the incremental dirty path); the other shards still serve their
+  // original slices.
+  ASSERT_TRUE(server.PublishModel(PublishRequest(model).WithShard(1)).ok());
+  EXPECT_EQ(server.shard_versions(),
+            (std::vector<int64_t>{1, 2, 1, 1}));
+}
+
+TEST_F(AnnServingTest, ShardedFullProbeAnnMatchesMonolithicExactScan) {
+  const auto history = testing::MakeLearnableDataset(16, 320, 8, 89);
+  const auto model = MakeServableModel(16, 320, 8, 8, 89);
+
+  ServerOptions mono_options;
+  mono_options.num_threads = 1;
+  ModelServer mono(history, mono_options);
+  ASSERT_TRUE(mono.PublishModel(model).ok());
+
+  ServerOptions sharded_options = AnnOptions();
+  sharded_options.num_shards = 4;
+  sharded_options.ivf.num_clusters = 5;
+  ShardedModelServer sharded(history, sharded_options);
+  ASSERT_TRUE(sharded.PublishModel(model).ok());
+
+  QueryOptions exact;
+  QueryOptions ann;
+  ann.ann = true;
+  ann.ann_nprobe = 1 << 20;  // clamps to every cluster in every shard
+  for (UserId u = 0; u < 16; ++u) {
+    auto want = mono.Recommend(u, 12, exact);
+    auto got = sharded.RecommendOne(u, 12, ann);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(want->size(), got->size());
+    for (size_t x = 0; x < want->size(); ++x) {
+      EXPECT_EQ((*want)[x].item, (*got)[x].item)
+          << "user " << u << " rank " << x;
+      EXPECT_EQ((*want)[x].score, (*got)[x].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clapf

@@ -1,0 +1,498 @@
+// ANN-vs-exact agreement drills for the IVF retrieval layer: shortlist +
+// re-rank must equal the exact fused scan bit-for-bit (ids, order, and the
+// smaller-id tie-break) when every cluster is probed, clear the measured
+// recall contract at the default probe width, build deterministically across
+// rebuilds and thread counts, and survive the degenerate catalog shapes
+// (k > shortlist, empty clusters, one cluster, catalog < nclusters, nprobe
+// clamping). Part of the `ann` ctest label.
+#include "clapf/model/ivf_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "clapf/model/factor_model.h"
+#include "clapf/model/packed_snapshot.h"
+#include "clapf/model/score_kernel.h"
+#include "clapf/recommender.h"
+#include "clapf/util/fault_injection.h"
+#include "clapf/util/random.h"
+#include "clapf/util/top_k.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+// Every test leaves kernel dispatch in its default (auto) state and the
+// fault registry disarmed.
+class IvfIndexTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ClearScoreKernelOverride();
+    FaultInjector::Instance().Reset();
+  }
+};
+
+FactorModel MakeRandomModel(int32_t num_users, int32_t num_items,
+                            int32_t num_factors, uint64_t seed) {
+  FactorModel model(num_users, num_items, num_factors);
+  Rng rng(seed);
+  model.InitGaussian(rng, 0.5);
+  for (ItemId i = 0; i < num_items; ++i) {
+    model.ItemBias(i) = rng.NextDouble() - 0.5;
+  }
+  return model;
+}
+
+// A model drowning in exact score ties: factors are quantized to a handful
+// of values, so whole runs of items share one score and the ranking is
+// decided by the smaller-id tie-break alone.
+FactorModel MakeTieHeavyModel(int32_t num_users, int32_t num_items,
+                              int32_t num_factors, uint64_t seed) {
+  FactorModel model(num_users, num_items, num_factors);
+  Rng rng(seed);
+  for (UserId u = 0; u < num_users; ++u) {
+    auto uf = model.UserFactors(u);
+    for (int32_t f = 0; f < num_factors; ++f) {
+      uf[static_cast<size_t>(f)] = 1.0;
+    }
+  }
+  for (ItemId i = 0; i < num_items; ++i) {
+    auto vf = model.ItemFactors(i);
+    for (int32_t f = 0; f < num_factors; ++f) {
+      vf[static_cast<size_t>(f)] =
+          std::floor(rng.NextDouble() * 3.0);  // 0, 1, or 2
+    }
+    model.ItemBias(i) = std::floor(rng.NextDouble() * 2.0);  // 0 or 1
+  }
+  return model;
+}
+
+// Exact fused full-scan top-k over the base-order snapshot: the ground
+// truth every ANN result is held against.
+std::vector<ScoredItem> ExactTopK(const PackedSnapshot& snap, UserId u,
+                                  size_t k) {
+  TopKAccumulator acc(k);
+  ScoreBlocksTopK(snap, u, 0, snap.num_items(), nullptr, &acc);
+  return acc.Take();
+}
+
+// ANN top-k through the index's own probe + mapped re-rank machinery, the
+// same call sequence the serving path runs.
+std::vector<ScoredItem> AnnTopK(const IvfIndex& index, UserId u, size_t k,
+                                int32_t nprobe) {
+  std::vector<IvfProbeRange> probes;
+  index.SelectProbes(u, nprobe, k, &probes, nullptr);
+  TopKAccumulator acc(k);
+  for (const IvfProbeRange& range : probes) {
+    ScoreBlocksTopKMapped(index.packed(), u, range.begin, range.end,
+                          index.local_to_global_data(), nullptr, &acc);
+  }
+  return acc.Take();
+}
+
+TEST_F(IvfIndexTest, FullProbeEqualsExactScanAcrossDimsAndKernels) {
+  // nprobe = num_clusters degenerates to the exact scan: the shortlist is a
+  // permutation of the whole catalog and per-lane packed scores are
+  // bit-identical regardless of block position, so ids, order, AND scores
+  // must match the base-order fused scan exactly — on both kernels and for
+  // a narrow and a wide factor dimension.
+  for (int32_t d : {16, 64}) {
+    const auto model = MakeRandomModel(12, 500, d, 1000 + d);
+    const PackedSnapshot exact = PackedSnapshot::Build(model);
+    IvfOptions opts;
+    opts.num_clusters = 20;
+    const IvfIndex index = IvfIndex::Build(model, opts);
+    ASSERT_TRUE(index.VerifyStructure("test").ok());
+
+    for (ScoreKernel kernel : {ScoreKernel::kPortable, ScoreKernel::kAvx2}) {
+      if (!ScoreKernelSupported(kernel)) continue;
+      ForceScoreKernel(kernel);
+      for (UserId u = 0; u < 12; ++u) {
+        const auto want = ExactTopK(exact, u, 10);
+        const auto got = AnnTopK(index, u, 10, index.num_clusters());
+        ASSERT_EQ(want.size(), got.size()) << "d=" << d << " user " << u;
+        for (size_t x = 0; x < want.size(); ++x) {
+          EXPECT_EQ(want[x].item, got[x].item)
+              << "d=" << d << " kernel " << ScoreKernelName(kernel)
+              << " user " << u << " rank " << x;
+          EXPECT_EQ(want[x].score, got[x].score)
+              << "d=" << d << " user " << u << " rank " << x;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(IvfIndexTest, FullProbeHonorsSmallerIdTieBreakOnTieHeavyModel) {
+  const auto model = MakeTieHeavyModel(8, 300, 4, 7);
+  const PackedSnapshot exact = PackedSnapshot::Build(model);
+  IvfOptions opts;
+  opts.num_clusters = 12;
+  const IvfIndex index = IvfIndex::Build(model, opts);
+
+  for (ScoreKernel kernel : {ScoreKernel::kPortable, ScoreKernel::kAvx2}) {
+    if (!ScoreKernelSupported(kernel)) continue;
+    ForceScoreKernel(kernel);
+    for (UserId u = 0; u < 8; ++u) {
+      const auto want = ExactTopK(exact, u, 25);
+      const auto got = AnnTopK(index, u, 25, index.num_clusters());
+      ASSERT_EQ(want.size(), got.size());
+      for (size_t x = 0; x < want.size(); ++x) {
+        // The permuted scan pushes GLOBAL ids, so equal scores must still
+        // resolve to the smaller global id, exactly like the base scan.
+        EXPECT_EQ(want[x].item, got[x].item)
+            << "kernel " << ScoreKernelName(kernel) << " user " << u
+            << " rank " << x;
+        EXPECT_EQ(want[x].score, got[x].score);
+      }
+    }
+  }
+}
+
+TEST_F(IvfIndexTest, MeasuredRecallClearsContractAtDefaultNprobe) {
+  // The serving contract: recall@{1,10,50} >= 0.95 at the index's default
+  // probe width, for a narrow and a wide factor dimension. Deterministic
+  // seeds, so this is a regression gate rather than a flaky sample.
+  // Isotropic random items are IVF's adversarial worst case (top-k spreads
+  // over every direction); the contract is stated — and measured — on a
+  // catalog with directional structure, like real catalogs have.
+  for (int32_t d : {16, 64}) {
+    const auto model =
+        testing::MakeClusteredItemModel(32, 2000, d, /*num_centers=*/16,
+                                        /*noise=*/0.05, 42 + d);
+    const PackedSnapshot exact = PackedSnapshot::Build(model);
+    IvfOptions opts;
+    opts.num_clusters = 16;
+    opts.default_nprobe = 8;
+    const IvfIndex index = IvfIndex::Build(model, opts);
+    for (size_t k : {size_t{1}, size_t{10}, size_t{50}}) {
+      const double recall =
+          MeasureIvfRecall(exact, index, /*sample_users=*/32, k,
+                           /*nprobe=*/0);
+      EXPECT_GE(recall, 0.95) << "d=" << d << " k=" << k;
+    }
+    EXPECT_TRUE(VerifyIvfRecall(exact, index, 32, 10, 0, 0.95, "test").ok());
+  }
+}
+
+TEST_F(IvfIndexTest, BuildIsBitIdenticalAcrossRebuildsAndThreadCounts) {
+  const auto model = MakeRandomModel(6, 700, 12, 77);
+  IvfOptions base;
+  base.num_clusters = 24;
+
+  IvfOptions threaded = base;
+  threaded.build_threads = 4;
+  const IvfIndex a = IvfIndex::Build(model, base);
+  const IvfIndex b = IvfIndex::Build(model, base);      // same-thread rebuild
+  const IvfIndex c = IvfIndex::Build(model, threaded);  // 4-way build
+
+  for (const IvfIndex* other : {&b, &c}) {
+    ASSERT_EQ(a.num_clusters(), other->num_clusters());
+    for (ItemId i = 0; i < a.num_items(); ++i) {
+      ASSERT_EQ(a.ClusterOf(i), other->ClusterOf(i)) << "item " << i;
+      ASSERT_EQ(a.ToGlobal(i), other->ToGlobal(i)) << "local " << i;
+    }
+    // The cluster-ordered repack must match to the byte: same permutation,
+    // same float lanes, same pad lanes.
+    ASSERT_EQ(a.packed().num_blocks(), other->packed().num_blocks());
+    EXPECT_EQ(std::memcmp(a.packed().block_data(),
+                          other->packed().block_data(),
+                          static_cast<size_t>(a.packed().num_blocks()) *
+                              a.packed().block_stride() * sizeof(float)),
+              0);
+  }
+}
+
+TEST_F(IvfIndexTest, CatalogSmallerThanRequestedClustersClamps) {
+  const auto model = MakeRandomModel(4, 5, 8, 11);
+  IvfOptions opts;
+  opts.num_clusters = 64;  // > catalog: must clamp to 5
+  const IvfIndex index = IvfIndex::Build(model, opts);
+  EXPECT_EQ(index.num_clusters(), 5);
+  EXPECT_TRUE(index.VerifyStructure("test").ok());
+
+  const PackedSnapshot exact = PackedSnapshot::Build(model);
+  for (UserId u = 0; u < 4; ++u) {
+    const auto want = ExactTopK(exact, u, 5);
+    const auto got = AnnTopK(index, u, 5, index.num_clusters());
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t x = 0; x < want.size(); ++x) {
+      EXPECT_EQ(want[x].item, got[x].item);
+    }
+  }
+}
+
+TEST_F(IvfIndexTest, SingleClusterCatalogIsAlwaysExact) {
+  const auto model = MakeRandomModel(4, 100, 8, 13);
+  IvfOptions opts;
+  opts.num_clusters = 1;
+  const IvfIndex index = IvfIndex::Build(model, opts);
+  EXPECT_EQ(index.num_clusters(), 1);
+
+  const PackedSnapshot exact = PackedSnapshot::Build(model);
+  for (UserId u = 0; u < 4; ++u) {
+    const auto want = ExactTopK(exact, u, 10);
+    const auto got = AnnTopK(index, u, 10, /*nprobe=*/1);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t x = 0; x < want.size(); ++x) {
+      EXPECT_EQ(want[x].item, got[x].item);
+      EXPECT_EQ(want[x].score, got[x].score);
+    }
+  }
+}
+
+TEST_F(IvfIndexTest, EmptyClustersAreSkippedAndHarmless) {
+  // Three distinct item points but 8 requested clusters: at least five
+  // clusters end up empty. Probe selection must skip them and full-probe
+  // agreement must still hold.
+  FactorModel model(3, 48, 4);
+  Rng rng(19);
+  for (UserId u = 0; u < 3; ++u) {
+    auto uf = model.UserFactors(u);
+    for (int32_t f = 0; f < 4; ++f) {
+      uf[static_cast<size_t>(f)] = rng.NextDouble() - 0.5;
+    }
+  }
+  for (ItemId i = 0; i < 48; ++i) {
+    auto vf = model.ItemFactors(i);
+    for (int32_t f = 0; f < 4; ++f) {
+      vf[static_cast<size_t>(f)] = (i % 3 == f % 3) ? 1.0 : -1.0;
+    }
+    model.ItemBias(i) = static_cast<double>(i % 3);
+  }
+  IvfOptions opts;
+  opts.num_clusters = 8;
+  const IvfIndex index = IvfIndex::Build(model, opts);
+  EXPECT_TRUE(index.VerifyStructure("test").ok());
+
+  const PackedSnapshot exact = PackedSnapshot::Build(model);
+  for (UserId u = 0; u < 3; ++u) {
+    const auto want = ExactTopK(exact, u, 12);
+    const auto got = AnnTopK(index, u, 12, index.num_clusters());
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t x = 0; x < want.size(); ++x) {
+      EXPECT_EQ(want[x].item, got[x].item);
+    }
+  }
+}
+
+TEST_F(IvfIndexTest, NprobeIsClampedAtBothEnds) {
+  const auto model = MakeRandomModel(2, 200, 8, 23);
+  IvfOptions opts;
+  opts.num_clusters = 10;
+  const IvfIndex index = IvfIndex::Build(model, opts);
+
+  std::vector<IvfProbeRange> probes;
+  int32_t used = 0;
+  // Oversized nprobe clamps to num_clusters: the whole catalog is covered.
+  index.SelectProbes(0, 1 << 20, /*min_items=*/1, &probes, &used);
+  EXPECT_EQ(used, index.num_clusters());
+  EXPECT_EQ(IvfIndex::CoveredItems(probes), 200u);
+  // Zero/negative fall back to the index default.
+  index.SelectProbes(0, 0, 1, &probes, &used);
+  EXPECT_EQ(used, index.default_nprobe());
+  index.SelectProbes(0, -3, 1, &probes, &used);
+  EXPECT_EQ(used, index.default_nprobe());
+}
+
+TEST_F(IvfIndexTest, MinItemsWidensProbesUntilKIsServable) {
+  // k larger than any single cluster: SelectProbes must widen past nprobe=1
+  // until the shortlist can fill k slots.
+  const auto model = MakeRandomModel(2, 400, 8, 29);
+  IvfOptions opts;
+  opts.num_clusters = 16;
+  const IvfIndex index = IvfIndex::Build(model, opts);
+
+  std::vector<IvfProbeRange> probes;
+  int32_t used = 0;
+  index.SelectProbes(0, /*nprobe=*/1, /*min_items=*/300, &probes, &used);
+  EXPECT_GT(used, 1);
+  EXPECT_GE(IvfIndex::CoveredItems(probes), 300u);
+}
+
+TEST_F(IvfIndexTest, RebuildDirtyReassignsOnlyChangedItems) {
+  auto model = MakeRandomModel(4, 600, 8, 31);
+  IvfOptions opts;
+  opts.num_clusters = 20;
+  const IvfIndex first = IvfIndex::Build(model, opts);
+
+  // No parameter change: a no-op rebuild, bit-identical to its seed.
+  int64_t reassigned = -1;
+  auto same = IvfIndex::RebuildDirty(first, model, opts, &reassigned);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(reassigned, 0);
+  for (ItemId i = 0; i < 600; ++i) {
+    EXPECT_EQ(first.ClusterOf(i), same->ClusterOf(i));
+    EXPECT_EQ(first.ToGlobal(i), same->ToGlobal(i));
+  }
+
+  // Perturb 3 items: exactly those go back through assignment, and the
+  // result still binds to the new model.
+  for (ItemId i : {ItemId{5}, ItemId{250}, ItemId{599}}) {
+    model.ItemFactors(i)[0] += 2.0;
+  }
+  auto dirty = IvfIndex::RebuildDirty(first, model, opts, &reassigned);
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_EQ(reassigned, 3);
+  EXPECT_TRUE(VerifyIvfBinding(model, *dirty, "test").ok());
+  // The stale seed no longer binds.
+  EXPECT_EQ(VerifyIvfBinding(model, first, "test").code(),
+            StatusCode::kFailedPrecondition);
+
+  // Incompatible options refuse instead of silently rebuilding.
+  IvfOptions other = opts;
+  other.seed = 999;
+  EXPECT_EQ(IvfIndex::RebuildDirty(first, model, other, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IvfIndexTest, DesyncedIndexPassesStructureButFailsRecallGate) {
+  // The canonical corruption: assignments desynced from V while still a
+  // bijection. Structure alone cannot see it; the measured recall gate
+  // against the independent base-order ground truth must.
+  const auto model = testing::MakeClusteredItemModel(
+      16, 800, 16, /*num_centers=*/16, /*noise=*/0.05, 37);
+  const PackedSnapshot exact = PackedSnapshot::Build(model);
+  IvfOptions opts;
+  opts.num_clusters = 16;
+  opts.default_nprobe = 8;
+  IvfIndex index = IvfIndex::Build(model, opts);
+  ASSERT_TRUE(VerifyIvfRecall(exact, index, 16, 10, 0, 0.95, "test").ok());
+
+  index.DesyncForTesting();
+  EXPECT_TRUE(index.VerifyStructure("test").ok());  // still a bijection
+  const Status gate = VerifyIvfRecall(exact, index, 16, 10, 0, 0.95, "test");
+  EXPECT_EQ(gate.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(gate.message().find("recall"), std::string::npos);
+}
+
+TEST_F(IvfIndexTest, AnnQueryRespectsExcludeMinScoreAndHistory) {
+  const auto history = testing::MakeLearnableDataset(10, 300, 6, 41);
+  auto rec = Recommender::Create(MakeRandomModel(10, 300, 16, 41), history);
+  ASSERT_TRUE(rec.ok());
+  IvfOptions opts;
+  opts.num_clusters = 12;
+  ASSERT_TRUE(rec->EnableIvf(opts, /*verify_sample_users=*/10,
+                             /*verify_recall_floor=*/0.5)
+                  .ok());
+
+  QueryOptions ann;
+  ann.ann = true;
+  ann.ann_nprobe = 12;  // full probe: ANN ranking == exact ranking
+  ann.exclude = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto got = rec->Recommend(0, 50, ann);
+  ASSERT_TRUE(got.ok());
+  for (const ScoredItem& item : *got) {
+    EXPECT_GT(item.item, 7) << "excluded item served through ANN";
+    EXPECT_FALSE(history.IsObserved(0, item.item))
+        << "history item served through ANN";
+  }
+
+  // min_score keeps the surviving prefix of the same ANN ranking.
+  QueryOptions floored = ann;
+  floored.min_score = (*got)[got->size() / 2].score;
+  auto filtered = rec->Recommend(0, 50, floored);
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_LE(filtered->size(), got->size());
+  for (size_t x = 0; x < filtered->size(); ++x) {
+    EXPECT_EQ((*filtered)[x].item, (*got)[x].item) << "rank " << x;
+    EXPECT_GE((*filtered)[x].score, *floored.min_score);
+  }
+}
+
+TEST_F(IvfIndexTest, KBeyondShortlistStillFillsFromWidenedProbes) {
+  // k = whole catalog with nprobe=1: the widening guarantee must deliver
+  // every servable item, matching the exact path's result count and order.
+  const auto history = testing::MakeLearnableDataset(6, 120, 5, 43);
+  auto rec = Recommender::Create(MakeRandomModel(6, 120, 8, 43), history);
+  ASSERT_TRUE(rec.ok());
+  IvfOptions opts;
+  opts.num_clusters = 10;
+  ASSERT_TRUE(rec->EnableIvf(opts).ok());
+
+  QueryOptions exact_opts;  // packed full scan
+  QueryOptions ann;
+  ann.ann = true;
+  ann.ann_nprobe = 1;
+  for (UserId u = 0; u < 6; ++u) {
+    auto want = rec->Recommend(u, 120, exact_opts);
+    auto got = rec->Recommend(u, 120, ann);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    // Widening covers the entire catalog, so even "nprobe=1" is exact here.
+    ASSERT_EQ(want->size(), got->size());
+    for (size_t x = 0; x < want->size(); ++x) {
+      EXPECT_EQ((*want)[x].item, (*got)[x].item) << "user " << u;
+      EXPECT_EQ((*want)[x].score, (*got)[x].score);
+    }
+  }
+}
+
+TEST_F(IvfIndexTest, DeadlineExpiryUnderAnnReturnsDeadlineExceeded) {
+  const auto history = testing::MakeLearnableDataset(4, 3000, 5, 47);
+  auto rec = Recommender::Create(MakeRandomModel(4, 3000, 8, 47), history);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(rec->EnableIvf({}).ok());
+
+  // Every ANN chunk stalls 2ms; a 1ms budget must expire mid-shortlist.
+  FaultInjector::Instance().Arm(FaultPoint::kServeSlowBlock,
+                                {/*trigger_at_hit=*/1, /*max_fires=*/-1});
+  QueryOptions ann;
+  ann.ann = true;
+  ann.deadline = std::chrono::microseconds(1000);
+  auto got = rec->Recommend(0, 10, ann);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(got.status().message().find("ann"), std::string::npos);
+}
+
+TEST_F(IvfIndexTest, BatchPartialPrefixUnderAnnMatchesUnboundedAnswers) {
+  // A deadline that expires mid-batch hands back the completed prefix; every
+  // completed user's list must equal the unbounded ANN answer — a correct
+  // prefix of the ANN ranking, never a half-scored one.
+  const auto history = testing::MakeLearnableDataset(16, 2000, 5, 53);
+  auto rec = Recommender::Create(MakeRandomModel(16, 2000, 8, 53), history);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(rec->EnableIvf({}).ok());
+
+  std::vector<UserId> users(16);
+  for (UserId u = 0; u < 16; ++u) users[static_cast<size_t>(u)] = u;
+  QueryOptions ann;
+  ann.ann = true;
+  ann.num_threads = 1;
+  auto unbounded = rec->RecommendBatch(users, 10, ann);
+  ASSERT_TRUE(unbounded.ok());
+
+  FaultInjector::Instance().Arm(FaultPoint::kServeSlowBlock,
+                                {/*trigger_at_hit=*/1, /*max_fires=*/-1});
+  QueryOptions bounded = ann;
+  bounded.deadline = std::chrono::microseconds(4000);
+  auto partial = rec->RecommendBatchPartial(users, 10, bounded);
+  ASSERT_TRUE(partial.ok());
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (!partial->complete[i]) {
+      EXPECT_TRUE(partial->results[i].empty());
+      continue;
+    }
+    ASSERT_EQ(partial->results[i].size(), (*unbounded)[i].size());
+    for (size_t x = 0; x < partial->results[i].size(); ++x) {
+      EXPECT_EQ(partial->results[i][x].item, (*unbounded)[i][x].item);
+      EXPECT_EQ(partial->results[i][x].score, (*unbounded)[i][x].score);
+    }
+  }
+}
+
+TEST_F(IvfIndexTest, EmptyCatalogBuildsAnEmptyIndex) {
+  FactorModel model(3, 0, 4);
+  const IvfIndex index = IvfIndex::Build(model, {});
+  EXPECT_EQ(index.num_items(), 0);
+  EXPECT_EQ(index.num_clusters(), 0);
+  EXPECT_TRUE(index.VerifyStructure("test").ok());
+}
+
+}  // namespace
+}  // namespace clapf

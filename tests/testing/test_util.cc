@@ -62,6 +62,35 @@ FactorModel MakeExactModel(const std::vector<std::vector<double>>& scores) {
   return model;
 }
 
+FactorModel MakeClusteredItemModel(int32_t num_users, int32_t num_items,
+                                   int32_t num_factors, int32_t num_centers,
+                                   double noise, uint64_t seed) {
+  CLAPF_CHECK(num_centers > 0);
+  FactorModel model(num_users, num_items, num_factors);
+  Rng rng(seed);
+  std::vector<double> centers(static_cast<size_t>(num_centers) *
+                              static_cast<size_t>(num_factors));
+  for (double& c : centers) c = rng.NextGaussian() * 0.5;
+  for (UserId u = 0; u < num_users; ++u) {
+    auto uf = model.UserFactors(u);
+    for (int32_t f = 0; f < num_factors; ++f) {
+      uf[static_cast<size_t>(f)] = rng.NextGaussian() * 0.5;
+    }
+  }
+  for (ItemId i = 0; i < num_items; ++i) {
+    const double* center =
+        centers.data() +
+        static_cast<size_t>(i % num_centers) * static_cast<size_t>(num_factors);
+    auto vf = model.ItemFactors(i);
+    for (int32_t f = 0; f < num_factors; ++f) {
+      vf[static_cast<size_t>(f)] =
+          center[static_cast<size_t>(f)] + rng.NextGaussian() * noise;
+    }
+    model.ItemBias(i) = rng.NextGaussian() * noise;
+  }
+  return model;
+}
+
 std::string WriteTempFile(const std::string& name,
                           const std::string& content) {
   std::string path = ::testing::TempDir() + name;

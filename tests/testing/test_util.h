@@ -28,6 +28,15 @@ Dataset MakeLearnableDataset(int32_t num_users, int32_t num_items,
 /// Only practical for tiny test matrices.
 FactorModel MakeExactModel(const std::vector<std::vector<double>>& scores);
 
+/// A model whose item factors form `num_centers` tight Gaussian bundles
+/// (center + `noise`-scaled jitter) with small random biases, and random
+/// Gaussian user factors. Real catalogs cluster like this, and it is the
+/// regime where IVF retrieval's measured-recall contract is meaningful —
+/// isotropic random items are the adversarial worst case instead.
+FactorModel MakeClusteredItemModel(int32_t num_users, int32_t num_items,
+                                   int32_t num_factors, int32_t num_centers,
+                                   double noise, uint64_t seed);
+
 /// Writes `content` to a unique temp file and returns its path.
 std::string WriteTempFile(const std::string& name, const std::string& content);
 

@@ -194,8 +194,9 @@ int RunEvaluate(int argc, char** argv) {
 int RunRecommend(int argc, char** argv) {
   std::string model_path = "model.clpf", dataset_path, format = "tab";
   std::string users_csv = "0", exclude_csv, metrics_out;
-  int64_t k = 10, threads = 0;
+  int64_t k = 10, threads = 0, nprobe = 0;
   bool has_header = false, no_cold_fallback = false, packed = false;
+  bool ann = false;
   FlagParser flags;
   flags.AddString("model", &model_path, "model path (.clpf)");
   flags.AddString("dataset", &dataset_path,
@@ -213,6 +214,13 @@ int RunRecommend(int argc, char** argv) {
   flags.AddBool("packed", &packed,
                 "score through the packed SIMD snapshot (verified against "
                 "the exact model first); default is the exact double path");
+  flags.AddBool("ann", &ann,
+                "retrieve through the IVF shortlist with fused exact "
+                "re-rank (implies --packed; the index must clear a measured "
+                "recall@10 >= 0.95 check before it serves)");
+  flags.AddInt("nprobe", &nprobe,
+               "clusters probed per ANN query (0 = the index default; "
+               "higher = better recall, more items scored)");
   flags.AddString("metrics-out", &metrics_out,
                   "dump query metrics (latency histogram, counts) as JSON to "
                   "this path");
@@ -227,13 +235,24 @@ int RunRecommend(int argc, char** argv) {
   if (!data.ok()) return Fail(data.status());
   auto recommender = Recommender::Load(model_path, *std::move(data));
   if (!recommender.ok()) return Fail(recommender.status());
-  if (packed) {
+  if (packed || ann) {
     if (Status s = recommender->EnablePacked(/*verify_sample_users=*/16);
         !s.ok()) {
       return Fail(s);
     }
     std::printf("packed scoring enabled (%s kernel)\n",
                 ScoreKernelName(ActiveScoreKernel()));
+  }
+  if (ann) {
+    if (Status s = recommender->EnableIvf(IvfOptions{},
+                                          /*verify_sample_users=*/16,
+                                          /*verify_recall_floor=*/0.95);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("ann enabled: %d clusters, default nprobe %d\n",
+                recommender->ivf_index()->num_clusters(),
+                recommender->ivf_index()->default_nprobe());
   }
   MetricsRegistry metrics;
   if (!metrics_out.empty()) recommender->SetMetrics(&metrics);
@@ -247,6 +266,8 @@ int RunRecommend(int argc, char** argv) {
   QueryOptions options;
   options.cold_start_fallback = !no_cold_fallback;
   options.num_threads = static_cast<int>(threads);
+  options.ann = ann;
+  options.ann_nprobe = static_cast<int32_t>(nprobe);
   if (!exclude_csv.empty()) {
     for (const std::string& tok : Split(exclude_csv, ',')) {
       auto id = ParseInt64(Trim(tok));
@@ -276,9 +297,9 @@ int RunServe(int argc, char** argv) {
   std::string tenant = std::string(kDefaultTenant);
   int64_t k = 10, threads = 2, queue_depth = 64, repeat = 1;
   int64_t deadline_us = 0, metrics_every = 0, governor_interval_ms = 50;
-  int64_t shards = 1, per_tenant_quota = 0;
+  int64_t shards = 1, per_tenant_quota = 0, nprobe = 0;
   double min_auc = 0.0, latency_target_ms = 5.0;
-  bool has_header = false, packed = true;
+  bool has_header = false, packed = true, ann = false;
   FlagParser flags;
   flags.AddString("model", &model_path, "candidate model path (.clpf)");
   flags.AddString("dataset", &dataset_path,
@@ -298,6 +319,12 @@ int RunServe(int argc, char** argv) {
                 "serve through the packed SIMD fast path, gated by the "
                 "canary agreement check (--packed=false for the exact "
                 "double path)");
+  flags.AddBool("ann", &ann,
+                "serve through the IVF shortlist with fused exact re-rank; "
+                "each publish builds the index and the canary gate refuses "
+                "it below recall@10 0.95 (requires --packed)");
+  flags.AddInt("nprobe", &nprobe,
+               "clusters probed per ANN query (0 = the index default)");
   flags.AddInt("repeat", &repeat, "times to replay the query set");
   flags.AddString("metrics-out", &metrics_out,
                   "dump serving metrics (latency histograms, outcome "
@@ -343,6 +370,7 @@ int RunServe(int argc, char** argv) {
   server_options.max_queue_depth = queue_depth;
   server_options.canary.min_auc = min_auc;
   server_options.packed = packed;
+  server_options.ann = ann;
   server_options.governor.policy = *policy;
   server_options.governor.interval_us = governor_interval_ms * 1000;
   server_options.governor.latency_target_ms = latency_target_ms;
@@ -358,6 +386,8 @@ int RunServe(int argc, char** argv) {
   }
   QueryOptions query_options;
   query_options.deadline = std::chrono::microseconds(deadline_us);
+  query_options.ann = ann;
+  query_options.ann_nprobe = static_cast<int32_t>(nprobe);
 
   // Sharded scatter-gather front end: same publish gate, same answers
   // (bit-identical to the monolithic path), plus per-shard hot reload,
