@@ -1,14 +1,18 @@
 #include "clapf/model/ivf_index.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <functional>
 #include <limits>
 #include <utility>
 
+#include <thread>
+
 #include "clapf/model/score_kernel.h"
 #include "clapf/util/crc32.h"
+#include "clapf/util/fault_injection.h"
 #include "clapf/util/logging.h"
 #include "clapf/util/random.h"
 #include "clapf/util/thread_pool.h"
@@ -106,6 +110,65 @@ void ForEachItem(int64_t n, int threads,
   }
 }
 
+// Items per deadline/fault poll in the quantized first pass — matches the
+// serving scan loops' kRankerBlockItems granularity (kept local so the
+// model layer does not depend on core/).
+constexpr ItemId kPqScanChunkItems = 1024;
+
+// Matches the serving loops' injected kServeSlowBlock stall so pq deadline
+// drills exercise the same timing fault.
+constexpr std::chrono::milliseconds kPqSlowBlockStall(2);
+
+// The k-th largest of keys[0..n) (1 <= k <= n), by MSB-first radix
+// selection with no data-dependent branches in the scan loops. This is the
+// shortlist's compaction selector: quickselect (std::nth_element) runs its
+// partition branches on fresh per-query data, where they mispredict ~50%
+// and cost 3-5x what reused-input microbenchmarks suggest; histogram
+// counting and predicated gathers don't care what the data looks like.
+// Each level pins one more key byte — histogram the current byte, walk
+// buckets from the top until the k-th key's bucket is found, then gather
+// that bucket and recurse into the next byte. PqPackCandidate keys are
+// unique, so the candidate set collapses to one key within a few levels on
+// real score distributions (the early exits below).
+uint64_t PqRadixSelect(const uint64_t* keys, size_t n, size_t k) {
+  static thread_local std::vector<uint64_t> buf_a, buf_b;
+  buf_a.assign(keys, keys + n);
+  buf_b.resize(n);
+  uint64_t* cur = buf_a.data();
+  uint64_t* nxt = buf_b.data();
+  size_t cnt = n;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    if (cnt == 1) return cur[0];
+    if (cnt == k) {
+      // Every remaining key ranks at or above position k: the k-th largest
+      // is their minimum.
+      uint64_t m = cur[0];
+      for (size_t i = 1; i < cnt; ++i) m = std::min(m, cur[i]);
+      return m;
+    }
+    uint32_t hist[256] = {0};
+    for (size_t i = 0; i < cnt; ++i) {
+      ++hist[(cur[i] >> shift) & 0xffu];
+    }
+    size_t above = 0;
+    uint64_t byte = 255;
+    for (;; --byte) {
+      if (above + hist[byte] >= k) break;
+      above += hist[byte];
+    }
+    k -= above;
+    size_t w = 0;
+    for (size_t i = 0; i < cnt; ++i) {
+      const uint64_t key = cur[i];
+      nxt[w] = key;
+      w += static_cast<size_t>(((key >> shift) & 0xffu) == byte);
+    }
+    cnt = w;
+    std::swap(cur, nxt);
+  }
+  return cur[0];  // all 8 bytes pinned: the survivors are all equal
+}
+
 }  // namespace
 
 IvfIndex IvfIndex::Build(const FactorModel& model, const IvfOptions& options) {
@@ -123,6 +186,10 @@ IvfIndex IvfIndex::Build(const FactorModel& model, const IvfOptions& options) {
     idx.num_clusters_ = 0;
     idx.cluster_begin_.assign(1, 0);
     idx.packed_ = PackedSnapshot::Build(model);
+    if (options.pq) {
+      idx.pq_ = PqCodes::Encode(idx.packed_,
+                                PqCodes::TrainBook(idx.packed_, 1), 1);
+    }
     return idx;
   }
 
@@ -227,6 +294,14 @@ IvfIndex IvfIndex::Build(const FactorModel& model, const IvfOptions& options) {
   });
 
   idx.FinishLayout(model);
+  // Full build trains a fresh code book from the permuted floats and
+  // encodes every item. Deterministic for any build_threads (min/max
+  // reductions + disjoint per-item encodes), like the rest of the build.
+  if (options.pq) {
+    idx.pq_ = PqCodes::Encode(
+        idx.packed_, PqCodes::TrainBook(idx.packed_, options.build_threads),
+        options.build_threads);
+  }
   return idx;
 }
 
@@ -324,6 +399,33 @@ Result<IvfIndex> IvfIndex::RebuildDirty(const IvfIndex& previous,
   }
 
   idx.FinishLayout(model);
+  // Incremental code refresh against the FROZEN book: clean items' codes are
+  // copied byte-for-byte from the previous index (through both permutations)
+  // and only dirty items run the quantizer. The book never retrains here —
+  // a majority-dirty republish already falls back to a full Build at the
+  // caller, which is where the book (like the centroids) gets refreshed.
+  // New items can land outside the frozen book's range and clamp; the
+  // measured composed-recall gate is the backstop for that drift.
+  if (options.pq) {
+    if (previous.has_pq()) {
+      idx.pq_ = PqCodes::Allocate(idx.packed_, previous.pq_.book());
+      ForEachItem(n, options.build_threads, [&](int64_t local) {
+        const ItemId g = idx.local_to_global_[static_cast<size_t>(local)];
+        if (g < previous.num_items_ && dirty[static_cast<size_t>(g)] == 0) {
+          idx.pq_.CopyItemFrom(
+              previous.pq_, previous.global_to_local_[static_cast<size_t>(g)],
+              static_cast<ItemId>(local));
+        } else {
+          idx.pq_.EncodeItem(idx.packed_, static_cast<ItemId>(local));
+        }
+      });
+      idx.pq_.RecomputeBlockBounds(options.build_threads);
+    } else {
+      idx.pq_ = PqCodes::Encode(
+          idx.packed_, PqCodes::TrainBook(idx.packed_, options.build_threads),
+          options.build_threads);
+    }
+  }
   return idx;
 }
 
@@ -344,9 +446,36 @@ void IvfIndex::SelectProbes(UserId u, int32_t nprobe, size_t min_items,
   const float* uf = packed_.user_factors(u);
   const int32_t d = num_factors_;
   const int32_t ad = d + 2;
-  std::vector<std::pair<double, int32_t>> ranked(
-      static_cast<size_t>(num_clusters_));
-  for (int32_t c = 0; c < num_clusters_; ++c) {
+  thread_local std::vector<std::pair<double, int32_t>> ranked;
+  ranked.resize(static_cast<size_t>(num_clusters_));
+  // Four clusters in flight: each cluster's sum is a serial double-add
+  // chain (latency-bound), but clusters are independent, so interleaving
+  // them hides the add latency without changing any cluster's summation
+  // order — scores stay bit-identical to the one-at-a-time loop, and so
+  // does every probe selection downstream.
+  int32_t c = 0;
+  for (; c + 4 <= num_clusters_; c += 4) {
+    const float* c0 = centroids_.data() + static_cast<size_t>(c) * ad;
+    const float* c1 = c0 + ad;
+    const float* c2 = c1 + ad;
+    const float* c3 = c2 + ad;
+    double s0 = static_cast<double>(c0[0]);
+    double s1 = static_cast<double>(c1[0]);
+    double s2 = static_cast<double>(c2[0]);
+    double s3 = static_cast<double>(c3[0]);
+    for (int32_t f = 0; f < d; ++f) {
+      const double w = static_cast<double>(uf[f]);
+      s0 += w * static_cast<double>(c0[1 + f]);
+      s1 += w * static_cast<double>(c1[1 + f]);
+      s2 += w * static_cast<double>(c2[1 + f]);
+      s3 += w * static_cast<double>(c3[1 + f]);
+    }
+    ranked[static_cast<size_t>(c)] = {s0, c};
+    ranked[static_cast<size_t>(c) + 1] = {s1, c + 1};
+    ranked[static_cast<size_t>(c) + 2] = {s2, c + 2};
+    ranked[static_cast<size_t>(c) + 3] = {s3, c + 3};
+  }
+  for (; c < num_clusters_; ++c) {
     const float* cen = centroids_.data() + static_cast<size_t>(c) * ad;
     double s = static_cast<double>(cen[0]);
     for (int32_t f = 0; f < d; ++f) {
@@ -354,28 +483,44 @@ void IvfIndex::SelectProbes(UserId u, int32_t nprobe, size_t min_items,
     }
     ranked[static_cast<size_t>(c)] = {s, c};
   }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const std::pair<double, int32_t>& a,
-               const std::pair<double, int32_t>& b) {
-              if (a.first != b.first) return a.first > b.first;
-              return a.second < b.second;
-            });
+  const auto better = [](const std::pair<double, int32_t>& a,
+                         const std::pair<double, int32_t>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
 
   // Take the top nprobe clusters, widening past nprobe while fewer than
   // min_items real items are covered — the guarantee that a k-item query
   // can always fill its slots (net of exclusions handled by the caller
   // inflating min_items). Worst case this degrades to the full catalog,
-  // i.e. the exact scan.
-  std::vector<int32_t> chosen;
+  // i.e. the exact scan. The take-loop almost always consumes just the top
+  // nprobe clusters, so only a geometrically growing prefix is ordered
+  // (partial_sort) instead of fully sorting every cluster per query — the
+  // full sort dominated ANN query latency at serving cluster counts. The
+  // comparator is a strict total order (score, then id), so the selected
+  // prefix is identical no matter how much of the tail stays unordered.
+  thread_local std::vector<int32_t> chosen;
   size_t covered = 0;
-  for (const auto& [score, c] : ranked) {
-    (void)score;
-    if (static_cast<int32_t>(chosen.size()) >= nprobe &&
-        covered >= min_items) {
+  int32_t prefix = std::min(num_clusters_, std::max(nprobe, 1));
+  for (;;) {
+    std::partial_sort(ranked.begin(), ranked.begin() + prefix, ranked.end(),
+                      better);
+    chosen.clear();
+    covered = 0;
+    for (int32_t i = 0; i < prefix; ++i) {
+      if (static_cast<int32_t>(chosen.size()) >= nprobe &&
+          covered >= min_items) {
+        break;
+      }
+      chosen.push_back(ranked[static_cast<size_t>(i)].second);
+      covered += static_cast<size_t>(ClusterSize(chosen.back()));
+    }
+    if ((static_cast<int32_t>(chosen.size()) >= nprobe &&
+         covered >= min_items) ||
+        prefix == num_clusters_) {
       break;
     }
-    chosen.push_back(c);
-    covered += static_cast<size_t>(ClusterSize(c));
+    prefix = std::min(num_clusters_, prefix * 4);
   }
   if (probes_used != nullptr) {
     *probes_used = static_cast<int32_t>(chosen.size());
@@ -418,8 +563,314 @@ size_t IvfIndex::CoveredItems(const std::vector<IvfProbeRange>& ranges) {
   return n;
 }
 
+Status IvfIndex::QuantizedShortlist(
+    UserId u, const std::vector<IvfProbeRange>& probes, size_t rerank_budget,
+    const std::vector<bool>* excluded,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    std::vector<IvfProbeRange>* rerank_ranges, int64_t* survivors) const {
+  rerank_ranges->clear();
+  if (survivors != nullptr) *survivors = 0;
+  CLAPF_CHECK(has_pq());
+  if (probes.empty() || rerank_budget == 0) return Status::OK();
+
+  // Per-query affine terms: lane_weights[l] multiplies the raw code, base
+  // seeds every accumulator (see PqPrepareQuery).
+  const int32_t d = num_factors_;
+  thread_local std::vector<float> lane_weights;
+  lane_weights.resize(static_cast<size_t>(d) + 1);
+  const float base = PqPrepareQuery(pq_.book(), packed_.user_factors(u), d,
+                                    lane_weights.data());
+
+  // First pass: stream the codes over the probe ranges, keeping the top
+  // `rerank_budget` candidates by quantized score under their LOCAL ids
+  // (smaller local id on ties). Candidates live as packed uint64 keys end
+  // to end (see PqPackCandidate) and selection is buffered instead of
+  // heaped: the fused collect kernel appends keys at or above the current
+  // bar, and the buffer is compacted whenever it fills. That is O(1)
+  // amortized per scanned item — a streaming binary heap paid O(log
+  // budget) per winning push and dominated the whole quantized stage at
+  // serving budgets. The key order is the same (score desc, local asc)
+  // total order the heap used, so the surviving SET is identical.
+  // Strictly-below-the-bar candidates can never enter the kept set; ties
+  // at the bar may still win on the smaller-id tie-break, so the kernel
+  // keeps them for the compaction to cut.
+  thread_local std::vector<uint64_t> cand;
+  cand.clear();
+  // Compact at a few multiples of the budget: large enough to amortize the
+  // selection, small enough to stay cache-resident.
+  const size_t cap =
+      std::max<size_t>(rerank_budget * 4, static_cast<size_t>(1024));
+  float bar = -std::numeric_limits<float>::infinity();
+  // Compaction: radix-select the budget-th best key, then keep the keys at
+  // or above it with one predicated pass. Keys are unique, so "at or
+  // above the budget-th largest" is exactly the budget best — no
+  // tie-trimming step, and neither pass has a data-dependent branch.
+  const auto compact = [&] {
+    const uint64_t bar_key =
+        PqRadixSelect(cand.data(), cand.size(), rerank_budget);
+    size_t w = 0;
+    for (size_t i = 0; i < cand.size(); ++i) {
+      const uint64_t k = cand[i];
+      cand[w] = k;
+      w += static_cast<size_t>(k >= bar_key);
+    }
+    cand.resize(w);
+    bar = PqCandidateScore(bar_key);
+  };
+  // Excluded items must never consume budget, and the kernel is blind to
+  // exclusions — so with exclusions in play each window collects into a
+  // side scratch that is filtered while appending. The common no-exclusions
+  // query collects straight into `cand`.
+  thread_local std::vector<uint64_t> window_scratch;
+
+  // Split the probe ranges into per-CLUSTER scan units, cut at
+  // block-aligned boundaries (align-down of each interior cluster begin —
+  // consecutive units share the cut, so the units tile the ranges exactly:
+  // nothing is scanned twice, nothing is missed), and scan them
+  // most-relevant first by centroid score — the same relevance
+  // SelectProbes ranked clusters by. The final bar is almost always set by
+  // the best cluster's items, so visiting it first collapses the candidate
+  // volume every later unit emits AND hands the block-bound pruning below
+  // a near-final bar for the rest of the scan. Unit granularity matters:
+  // on clustered catalogs neighboring clusters sit adjacent in local id
+  // order, so SelectProbes often merges most probes into one huge range —
+  // ordering whole ranges degenerates to id-order scanning, which left the
+  // bar loose for most of the scan and tripled first-pass cost. Scan order
+  // cannot change the surviving set — selection is exact — only how much
+  // the collect pass over-collects.
+  struct ScanUnit {
+    double score;
+    ItemId lo;
+    ItemId hi;
+  };
+  thread_local std::vector<ScanUnit> scan_order;
+  scan_order.clear();
+  const float* uf = packed_.user_factors(u);
+  const int32_t ad = d + 2;
+  for (const IvfProbeRange& r : probes) {
+    CLAPF_CHECK(r.begin % kPackedBlockItems == 0);
+    // First cluster whose range reaches past r.begin (block-aligned begins
+    // may annex the tail of a neighboring cluster's block — its unit
+    // collapses to empty below and the annexed items land in the first
+    // chosen cluster's unit).
+    int32_t c = static_cast<int32_t>(
+        std::upper_bound(cluster_begin_.begin(), cluster_begin_.end(),
+                         r.begin) -
+        cluster_begin_.begin() - 1);
+    c = std::max(c, 0);
+    ItemId lo = r.begin;
+    for (; c < num_clusters_ &&
+           cluster_begin_[static_cast<size_t>(c)] < r.end;
+         ++c) {
+      const ItemId c_end = cluster_begin_[static_cast<size_t>(c) + 1];
+      const ItemId hi =
+          c_end >= r.end ? r.end
+                         : std::max(lo, c_end - c_end % kPackedBlockItems);
+      if (hi > lo) {
+        const float* cen = centroids_.data() + static_cast<size_t>(c) * ad;
+        double s = static_cast<double>(cen[0]);
+        for (int32_t f = 0; f < d; ++f) {
+          s += static_cast<double>(uf[f]) * static_cast<double>(cen[1 + f]);
+        }
+        scan_order.push_back({s, lo, hi});
+        lo = hi;
+      }
+    }
+  }
+  std::sort(scan_order.begin(), scan_order.end(),
+            [](const ScanUnit& a, const ScanUnit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.lo < b.lo;
+            });
+  FaultInjector& faults = FaultInjector::Instance();
+  ItemId scanned = 0;
+  Status scan_status = Status::OK();
+  // Collects LOCAL items [lo, hi) — lo block-aligned — with no polling:
+  // just the fused kernel, the exclusion filter, and the budget compaction.
+  // Callers own the deadline/fault polls; the bound-pruned path below calls
+  // this once per surviving run, and per-run clock reads were measurably
+  // eating what the pruning saved.
+  const auto collect_raw = [&](ItemId lo, ItemId hi) {
+    if (excluded == nullptr) {
+      PqScoreCollect(pq_.block_codes(), pq_.block_stride(), d,
+                     lane_weights.data(), base, lo, hi, bar, &cand);
+    } else {
+      window_scratch.clear();
+      PqScoreCollect(pq_.block_codes(), pq_.block_stride(), d,
+                     lane_weights.data(), base, lo, hi, bar,
+                     &window_scratch);
+      for (const uint64_t k : window_scratch) {
+        if ((*excluded)[static_cast<size_t>(
+                local_to_global_[static_cast<size_t>(
+                    PqCandidateLocal(k))])]) {
+          continue;
+        }
+        cand.push_back(k);
+      }
+    }
+    while (cand.size() >= cap && cand.size() > rerank_budget) compact();
+    scanned += hi - lo;
+  };
+  // True when the deadline fired (scan_status then carries the error).
+  const auto deadline_hit = [&] {
+    if (!deadline || std::chrono::steady_clock::now() <= *deadline) {
+      return false;
+    }
+    scan_status = Status::DeadlineExceeded(
+        "pq query for user " + std::to_string(u) + " expired after scanning " +
+        std::to_string(scanned) + " quantized candidates");
+    return true;
+  };
+  // Windowed variant for un-bounded spans: deadline/fault polls every
+  // kPqScanChunkItems, matching the serving scan loops' poll granularity.
+  const auto collect_span = [&](ItemId span_lo, ItemId span_hi) {
+    for (ItemId lo = span_lo; lo < span_hi;) {
+      const ItemId hi = std::min<ItemId>(
+          span_hi, (lo / kPqScanChunkItems + 1) * kPqScanChunkItems);
+      if (faults.armed() && faults.ShouldFire(FaultPoint::kServeSlowBlock)) {
+        std::this_thread::sleep_for(kPqSlowBlockStall);
+      }
+      collect_raw(lo, hi);
+      if (deadline_hit()) return false;
+      lo = hi;
+    }
+    return true;
+  };
+
+  // Per-block upper-bound pruning (see PqCodes::bound_lane_max): once a
+  // bar exists, each unit's corner blocks — per-lane extrema picked by the
+  // query's lane-weight signs, 8 real blocks summarized per kernel block —
+  // are scored through the SAME accumulation chain as real items
+  // (PqScoreBoundBlocks reads each lane straight from the max or min
+  // array, so there is no blend pass). IEEE rounding is monotone, so a
+  // corner score is ≥ every kernel score inside its block bit-for-bit, and
+  // a block whose corner score is strictly below the bar cannot contain a
+  // survivor (ties at the bar keep the block). Surviving blocks merge into
+  // runs so the collect kernel still streams contiguous spans, with the
+  // next-but-one run prefetched while the current one is scored — short
+  // scattered runs restart the hardware prefetcher's stride detection and
+  // were costing back most of what the pruning saved. On the clustered
+  // bench catalog the best-cluster-first bar prunes roughly half of all
+  // probed blocks at nprobe 16; the bound pass itself touches 2 bytes per
+  // lane per block — a quarter of the code bytes it saves rescanning.
+  const int32_t lanes = d + 1;
+  const std::size_t stride = pq_.block_stride();
+  thread_local std::vector<const int8_t*> lane_base;
+  lane_base.resize(static_cast<size_t>(lanes));
+  for (int32_t l = 0; l < lanes; ++l) {
+    lane_base[static_cast<size_t>(l)] =
+        lane_weights[static_cast<size_t>(l)] >= 0.0f ? pq_.bound_lane_max()
+                                                     : pq_.bound_lane_min();
+  }
+  thread_local std::vector<float> bound_scores;
+  thread_local std::vector<IvfProbeRange> runs;
+  const auto prefetch_run = [&](const IvfProbeRange& pr) {
+    const char* p = reinterpret_cast<const char*>(
+        pq_.block_codes() +
+        static_cast<std::size_t>(pr.begin / kPackedBlockItems) * stride);
+    const std::size_t bytes = std::min<std::size_t>(
+        4096, static_cast<std::size_t>(
+                  (pr.end - pr.begin + kPackedBlockItems - 1) /
+                  kPackedBlockItems) *
+                  stride);
+    for (std::size_t off = 0; off < bytes; off += 64) {
+      __builtin_prefetch(p + off, 0, 3);
+    }
+  };
+
+  for (const ScanUnit& unit : scan_order) {
+    if (bar == -std::numeric_limits<float>::infinity()) {
+      // No bar yet (before the first compaction): bounds cannot prune, so
+      // skip straight to the scan.
+      if (!collect_span(unit.lo, unit.hi)) return scan_status;
+      continue;
+    }
+    const int32_t b0 = unit.lo / kPackedBlockItems;
+    const int32_t b1 = (unit.hi + kPackedBlockItems - 1) / kPackedBlockItems;
+    const int32_t sb0 = b0 / kPackedBlockItems;
+    const int32_t nsb =
+        (b1 + kPackedBlockItems - 1) / kPackedBlockItems - sb0;
+    bound_scores.resize(static_cast<std::size_t>(nsb) * kPackedBlockItems);
+    PqScoreBoundBlocks(lane_base.data(), stride, d, lane_weights.data(), base,
+                       sb0, nsb, bound_scores.data());
+    if (faults.armed() && faults.ShouldFire(FaultPoint::kServeSlowBlock)) {
+      std::this_thread::sleep_for(kPqSlowBlockStall);
+    }
+    runs.clear();
+    int32_t run_b = -1;
+    for (int32_t b = b0; b <= b1; ++b) {
+      const bool keep =
+          b < b1 &&
+          bound_scores[static_cast<std::size_t>(b - sb0 * kPackedBlockItems)] >=
+              bar;
+      if (keep) {
+        if (run_b < 0) run_b = b;
+        continue;
+      }
+      if (run_b >= 0) {
+        runs.push_back({run_b * kPackedBlockItems,
+                        std::min<ItemId>(unit.hi, b * kPackedBlockItems)});
+        run_b = -1;
+      }
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (i + 2 < runs.size()) prefetch_run(runs[i + 2]);
+      collect_raw(runs[i].begin, runs[i].end);
+    }
+    if (deadline_hit()) return scan_status;
+  }
+  if (cand.size() > rerank_budget) compact();
+
+  // Survivors → merged block runs, clamped inside the probe ranges so the
+  // re-rank never scores an item the plain ANN scan would not have (the
+  // bit-identity contract at rerank_budget ≥ shortlist). Each survivor's
+  // block lies in exactly one probe range: range begins are block-aligned
+  // and SelectProbes merges ranges that touch, so a block never straddles
+  // two of them.
+  if (survivors != nullptr) *survivors = static_cast<int64_t>(cand.size());
+  if (cand.empty()) return Status::OK();
+  thread_local std::vector<ItemId> locals;
+  locals.clear();
+  locals.reserve(cand.size());
+  for (const uint64_t k : cand) locals.push_back(PqCandidateLocal(k));
+  std::sort(locals.begin(), locals.end());
+
+  size_t p = 0;  // index into `probes`, advanced in lockstep with `locals`
+  int32_t run_lo = -1, run_hi = -1;  // current run of consecutive blocks
+  const auto flush = [&](ItemId range_end) {
+    if (run_lo < 0) return;
+    rerank_ranges->push_back(
+        {run_lo * kPackedBlockItems,
+         std::min<ItemId>(range_end, run_hi * kPackedBlockItems)});
+    run_lo = run_hi = -1;
+  };
+  for (ItemId local : locals) {
+    while (p < probes.size() && local >= probes[p].end) {
+      flush(probes[p].end);
+      ++p;
+    }
+    CLAPF_CHECK(p < probes.size() && local >= probes[p].begin);
+    const int32_t b = local / kPackedBlockItems;
+    if (run_lo < 0) {
+      run_lo = b;
+      run_hi = b + 1;
+    } else if (b < run_hi) {
+      // same block as the previous survivor
+    } else if (b == run_hi) {
+      run_hi = b + 1;
+    } else {
+      flush(probes[p].end);
+      run_lo = b;
+      run_hi = b + 1;
+    }
+  }
+  if (p < probes.size()) flush(probes[p].end);
+  return Status::OK();
+}
+
 size_t IvfIndex::memory_bytes() const {
-  return packed_.memory_bytes() + centroids_.size() * sizeof(float) +
+  return packed_.memory_bytes() + pq_.memory_bytes() +
+         centroids_.size() * sizeof(float) +
          (assignment_.size() + local_to_global_.size() +
           global_to_local_.size()) *
              sizeof(int32_t) +
@@ -464,6 +915,10 @@ Status IvfIndex::VerifyStructure(const std::string& context) const {
     if (c < 0 || c >= num_clusters_) {
       return Status::Corruption(context + ": ivf assignment out of range");
     }
+  }
+  if (options_.pq) {
+    Status pq = pq_.VerifyGeometry(packed_, context);
+    if (!pq.ok()) return pq;
   }
   return Status::OK();
 }
@@ -562,6 +1017,94 @@ Status VerifyIvfRecall(const PackedSnapshot& exact, const IvfIndex& index,
         context + ": ivf measured recall@" + std::to_string(k) + " = " +
         std::to_string(recall) + " at nprobe=" + std::to_string(nprobe) +
         " below the contract floor " + std::to_string(floor));
+  }
+  return Status::OK();
+}
+
+double MeasurePqRecall(const PackedSnapshot& exact, const IvfIndex& index,
+                       int32_t sample_users, size_t k, int32_t nprobe,
+                       size_t rerank_budget) {
+  if (!index.has_pq()) return 0.0;
+  if (exact.num_items() != index.num_items() ||
+      exact.num_users() != index.packed().num_users()) {
+    return 0.0;
+  }
+  const int32_t n = exact.num_items();
+  const int32_t num_users = exact.num_users();
+  if (n == 0 || num_users == 0 || sample_users <= 0) return 1.0;
+  k = std::min(k, static_cast<size_t>(n));
+  if (k == 0) return 1.0;
+  if (rerank_budget == 0) {
+    rerank_budget = static_cast<size_t>(
+        std::max<int32_t>(1, index.default_rerank_budget()));
+  }
+  rerank_budget = std::max(rerank_budget, k);
+
+  const int32_t stride =
+      std::max(1, num_users / std::min(sample_users, num_users));
+  std::vector<IvfProbeRange> probes, rerank;
+  double recall_sum = 0.0;
+  int32_t users = 0;
+  for (UserId u = 0; u < num_users; u += stride) {
+    TopKAccumulator truth_acc(k);
+    ScoreBlocksTopK(exact, u, 0, n, nullptr, &truth_acc);
+    const std::vector<ScoredItem> truth = truth_acc.Take();
+
+    // The composed serving path verbatim: probes → quantized first pass →
+    // exact fused re-rank of the surviving blocks.
+    index.SelectProbes(u, nprobe, k, &probes, nullptr);
+    Status first = index.QuantizedShortlist(u, probes, rerank_budget,
+                                            /*excluded=*/nullptr,
+                                            /*deadline=*/std::nullopt,
+                                            &rerank, /*survivors=*/nullptr);
+    CLAPF_CHECK(first.ok());  // no deadline passed, so expiry is impossible
+    TopKAccumulator pq_acc(k);
+    for (const IvfProbeRange& r : rerank) {
+      ScoreBlocksTopKMapped(index.packed(), u, r.begin, r.end,
+                            index.local_to_global_data(), nullptr, &pq_acc);
+    }
+    const std::vector<ScoredItem> got = pq_acc.Take();
+
+    std::vector<int32_t> truth_ids, got_ids;
+    truth_ids.reserve(truth.size());
+    got_ids.reserve(got.size());
+    for (const ScoredItem& s : truth) truth_ids.push_back(s.item);
+    for (const ScoredItem& s : got) got_ids.push_back(s.item);
+    std::sort(truth_ids.begin(), truth_ids.end());
+    std::sort(got_ids.begin(), got_ids.end());
+    std::vector<int32_t> both;
+    std::set_intersection(truth_ids.begin(), truth_ids.end(), got_ids.begin(),
+                          got_ids.end(), std::back_inserter(both));
+    recall_sum += static_cast<double>(both.size()) /
+                  static_cast<double>(truth.size());
+    ++users;
+  }
+  return users > 0 ? recall_sum / users : 1.0;
+}
+
+Status VerifyPqRecall(const PackedSnapshot& exact, const IvfIndex& index,
+                      int32_t sample_users, size_t k, int32_t nprobe,
+                      size_t rerank_budget, double floor,
+                      const std::string& context) {
+  if (!index.has_pq()) {
+    return Status::FailedPrecondition(
+        context + ": ivf pq recall gate requires a code book but the index "
+                  "carries none (or it is desynced from the catalog)");
+  }
+  if (exact.num_items() != index.num_items()) {
+    return Status::FailedPrecondition(
+        context + ": ivf pq recall probe dimensions disagree (exact " +
+        std::to_string(exact.num_items()) + " items, index " +
+        std::to_string(index.num_items()) + ")");
+  }
+  const double recall =
+      MeasurePqRecall(exact, index, sample_users, k, nprobe, rerank_budget);
+  if (recall < floor) {
+    return Status::FailedPrecondition(
+        context + ": ivf pq composed measured recall@" + std::to_string(k) +
+        " = " + std::to_string(recall) + " at nprobe=" +
+        std::to_string(nprobe) + " below the contract floor " +
+        std::to_string(floor));
   }
   return Status::OK();
 }

@@ -1,13 +1,16 @@
 #ifndef CLAPF_MODEL_IVF_INDEX_H_
 #define CLAPF_MODEL_IVF_INDEX_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "clapf/model/factor_model.h"
 #include "clapf/model/packed_snapshot.h"
+#include "clapf/model/pq_codec.h"
 #include "clapf/util/status.h"
 
 namespace clapf {
@@ -34,13 +37,27 @@ struct IvfOptions {
   /// result: assignments are computed independently per item and centroid
   /// updates are accumulated serially in item order.
   int build_threads = 1;
+  /// Build the per-lane int8 code book + codes alongside the repack so
+  /// queries can opt into the quantized first-pass path
+  /// (QueryOptions::pq). Build cost is one extra O(n·d) pass; query-time
+  /// the codes stream at a quarter of the float bandwidth.
+  bool pq = false;
+  /// Survivor count the quantized first pass keeps for the exact re-rank
+  /// when a query leaves QueryOptions::rerank_budget at 0. On clustered
+  /// catalogs ~10x k is already at full composed recall (the bench catalog
+  /// measures recall@10 = 1.0 at 128) and the scattered re-rank is what a
+  /// bigger budget inflates; the composed recall gate measures the
+  /// consequence of whatever is configured here.
+  int32_t default_rerank_budget = 128;
 
   /// True when two option sets build structurally compatible indexes — the
-  /// precondition for RebuildDirty reusing a previous index's centroids.
+  /// precondition for RebuildDirty reusing a previous index's centroids
+  /// (and, with pq on, its frozen code book).
   bool CompatibleWith(const IvfOptions& other) const {
     return num_clusters == other.num_clusters &&
            kmeans_iterations == other.kmeans_iterations &&
-           max_train_points == other.max_train_points && seed == other.seed;
+           max_train_points == other.max_train_points && seed == other.seed &&
+           pq == other.pq;
   }
 };
 
@@ -115,6 +132,23 @@ class IvfIndex {
   /// Raw local→global table for the fused mapped kernel.
   const int32_t* local_to_global_data() const { return local_to_global_.data(); }
 
+  /// Hints the prefetcher at the packed lanes and id-map entries of `r`'s
+  /// first block. Re-rank ranges are mostly single sparse blocks scattered
+  /// across a DRAM-resident repack, so each range starts with a demand miss
+  /// unless the loop prefetches a few ranges ahead — pure hint, no
+  /// behavioral effect.
+  void PrefetchRange(const IvfProbeRange& r) const {
+    const std::size_t b =
+        static_cast<std::size_t>(r.begin) / kPackedBlockItems;
+    const char* lanes = reinterpret_cast<const char*>(
+        packed_.block_data() + b * packed_.block_stride());
+    const std::size_t bytes = packed_.block_stride() * sizeof(float);
+    for (std::size_t off = 0; off < bytes; off += 64) {
+      __builtin_prefetch(lanes + off, 0, 1);
+    }
+    __builtin_prefetch(local_to_global_.data() + r.begin, 0, 1);
+  }
+
   /// Cluster of global item `i` / number of (real) items in cluster `c`.
   int32_t ClusterOf(ItemId i) const {
     return assignment_[static_cast<size_t>(i)];
@@ -139,6 +173,41 @@ class IvfIndex {
 
   /// Real (non-pad) items covered by `ranges`.
   static size_t CoveredItems(const std::vector<IvfProbeRange>& ranges);
+
+  /// True when this index carries servable quantized codes (built with
+  /// IvfOptions::pq and matching the catalog).
+  bool has_pq() const {
+    return options_.pq && pq_.num_items() == num_items_;
+  }
+  /// The block-aligned codes + frozen book, meaningful only when has_pq().
+  const PqCodes& pq_codes() const { return pq_; }
+  int32_t default_rerank_budget() const {
+    return options_.default_rerank_budget;
+  }
+
+  /// The quantized first pass of the pq serving path: streams the int8 codes
+  /// over `probes` (block-aligned ranges from SelectProbes), keeps the top
+  /// `rerank_budget` non-excluded candidates by quantized score (smaller
+  /// LOCAL id on ties — deterministic under the coarse codes' frequent
+  /// collisions), and emits the blocks holding the survivors as merged
+  /// block-aligned `rerank_ranges` clamped inside `probes` — ready for the
+  /// exact fused ScoreBlocksTopKMapped re-rank, and never covering an item
+  /// the plain ANN scan would not have scored (which is what makes
+  /// rerank_budget ≥ shortlist bit-identical to the float ANN path).
+  /// `excluded` (nullable) is indexed by global id; excluded items never
+  /// consume budget. `survivors` (optional) reports how many candidates made
+  /// the cut. Polls `deadline` (and the kServeSlowBlock fault) per scanned
+  /// chunk like the serving scan loops; expiry returns DeadlineExceeded.
+  Status QuantizedShortlist(
+      UserId u, const std::vector<IvfProbeRange>& probes, size_t rerank_budget,
+      const std::vector<bool>* excluded,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      std::vector<IvfProbeRange>* rerank_ranges, int64_t* survivors) const;
+
+  /// Test/fault hook for kAnnCorruptCodes: scrambles the code bytes while
+  /// the floats, book, and geometry stay intact — caught only by the
+  /// measured composed-recall gate.
+  void CorruptPqForTesting() { pq_.CorruptForTesting(options_.seed); }
 
   /// Per-item source-parameter CRCs (see class comment): the binding proof
   /// VerifyIvfBinding checks and RebuildDirty's dirty detector.
@@ -180,6 +249,10 @@ class IvfIndex {
   /// Max squared augmented norm M² the residual dimension was built against.
   double aug_m2_ = 0.0;
   PackedSnapshot packed_;
+  /// Quantized first-pass codes over packed_'s local order (empty unless
+  /// options_.pq): trained at full build, frozen-book re-encoded on
+  /// RebuildDirty.
+  PqCodes pq_;
   IvfOptions options_;
   int32_t num_items_ = 0;
   int32_t num_factors_ = 0;
@@ -208,6 +281,26 @@ double MeasureIvfRecall(const PackedSnapshot& exact, const IvfIndex& index,
 Status VerifyIvfRecall(const PackedSnapshot& exact, const IvfIndex& index,
                        int32_t sample_users, size_t k, int32_t nprobe,
                        double floor, const std::string& context);
+
+/// Measured recall@k of the *composed* quantized+re-rank path — quantized
+/// first pass at `rerank_budget` (0 = the index default) over the probes at
+/// `nprobe`, then the exact fused re-rank of the survivors — against the
+/// exact full scan over `exact` (base-order snapshot: independent ground
+/// truth). This is the serving path verbatim, so a corrupted or desynced
+/// code book scores low here even though every structural check passes.
+/// Returns 0.0 when the index carries no servable codes.
+double MeasurePqRecall(const PackedSnapshot& exact, const IvfIndex& index,
+                       int32_t sample_users, size_t k, int32_t nprobe,
+                       size_t rerank_budget);
+
+/// The measured composed-recall gate for pq-enabled indexes: the same
+/// contract floor as VerifyIvfRecall, applied to the quantized+re-rank path
+/// that will actually serve. FailedPrecondition (with the measured value)
+/// below `floor`, or when the index has no servable codes at all.
+Status VerifyPqRecall(const PackedSnapshot& exact, const IvfIndex& index,
+                      int32_t sample_users, size_t k, int32_t nprobe,
+                      size_t rerank_budget, double floor,
+                      const std::string& context);
 
 }  // namespace clapf
 

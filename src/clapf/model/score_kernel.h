@@ -1,6 +1,7 @@
 #ifndef CLAPF_MODEL_SCORE_KERNEL_H_
 #define CLAPF_MODEL_SCORE_KERNEL_H_
 
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -64,6 +65,80 @@ void ScoreBlocksTopK(const PackedSnapshot& snap, UserId u, ItemId begin,
                      TopKAccumulator* acc,
                      double reject_below =
                          -std::numeric_limits<double>::infinity());
+
+/// Quantized analogue of ScoreBlocks over block-aligned int8 codes (PqCodes
+/// layout: blocks of kPackedBlockItems items, SoA, `code_stride` bytes per
+/// block). Every lane code dequantizes through the per-query affine terms
+/// the caller prepared with PqPrepareQuery: lane_weights[l] multiplies the
+/// raw code and `base` (the per-query constant) seeds each accumulator, so
+/// out[i] ≈ the exact packed score within the code book's quantization
+/// error. Runs under the same runtime kernel dispatch (portable / AVX2) as
+/// the float kernels. Pad lanes score `base` plus zero-code terms; callers
+/// bound what they consume by the item count.
+void PqScoreBlocks(const int8_t* codes, std::size_t code_stride,
+                   int32_t num_factors, const float* lane_weights, float base,
+                   int32_t first_block, int32_t num_blocks, float* out);
+
+/// A quantized-scan survivor packed into one sortable uint64. The high word
+/// is the first-pass score's bits remapped so unsigned integer order equals
+/// float order (sign bit flipped for non-negatives, all bits complemented
+/// for negatives, -0.0 normalized onto +0.0); the low word is the bitwise
+/// NOT of the LOCAL (permuted) id. A bigger key is a better candidate under
+/// (score desc, local-id asc), every key is unique (locals are), and key
+/// compares are single branchless 64-bit compares — which is what keeps the
+/// shortlist's selection passes off the branch predictor on fresh per-query
+/// data, where comparator branches mispredict ~50%.
+inline uint64_t PqPackCandidate(float score, ItemId local) {
+  uint32_t u = std::bit_cast<uint32_t>(score);
+  if (u == 0x80000000u) u = 0;  // -0.0 ranks with +0.0
+  u = (u & 0x80000000u) ? ~u : (u | 0x80000000u);
+  return (static_cast<uint64_t>(u) << 32) |
+         static_cast<uint32_t>(~static_cast<uint32_t>(local));
+}
+
+/// The score a key was packed from (exact, apart from -0.0 → +0.0).
+inline float PqCandidateScore(uint64_t key) {
+  uint32_t u = static_cast<uint32_t>(key >> 32);
+  u = (u & 0x80000000u) ? (u & 0x7fffffffu) : ~u;
+  return std::bit_cast<float>(u);
+}
+
+/// The LOCAL id a key was packed from.
+inline ItemId PqCandidateLocal(uint64_t key) {
+  return static_cast<ItemId>(~static_cast<uint32_t>(key));
+}
+
+/// Fused quantized scan + bar filter over LOCAL items [begin, end): scores
+/// the covering code blocks like PqScoreBlocks and appends every item whose
+/// score is >= `bar` to `out` as a PqPackCandidate key (appends — the
+/// caller owns clearing), in ascending local-id order. This is the hot
+/// inner loop of the pq first pass: under AVX2 the compare happens on the
+/// 8-score accumulator register and a movemask skips fully-below-bar blocks
+/// without ever storing scores, so the per-item cost of a converged bar is
+/// a fraction of a nanosecond. Pass -inf to collect everything (the
+/// caller's state before the first budget compaction establishes a bar).
+/// Ties at the bar are appended — the caller's budget cut owns the
+/// smaller-local-id tie-break. `begin` must be block-aligned; pad lanes of
+/// a tail block are never emitted.
+void PqScoreCollect(const int8_t* codes, std::size_t code_stride,
+                    int32_t num_factors, const float* lane_weights,
+                    float base, ItemId begin, ItemId end, float bar,
+                    std::vector<uint64_t>* out);
+
+/// PqScoreBlocks with per-LANE source arrays: lane l of block b is read
+/// from lane_src[l] + b·code_stride + l·kPackedBlockItems instead of one
+/// shared code array. This is the block-bound scoring pass: the caller
+/// points every lane at whichever of the codec's bound_lane_max /
+/// bound_lane_min arrays its lane weight's sign makes the upper-bound
+/// corner (max for w ≥ 0, min for w < 0), and the kernel runs the EXACT
+/// accumulation chain of PqScoreBlocks over that virtual corner block — so
+/// by monotonicity of IEEE rounding each output is a bit-for-bit upper
+/// bound of every item score in the summarized block, with no blend pass
+/// and no margin term. lane_src must hold num_factors + 1 pointers.
+void PqScoreBoundBlocks(const int8_t* const* lane_src,
+                        std::size_t code_stride, int32_t num_factors,
+                        const float* lane_weights, float base,
+                        int32_t first_block, int32_t num_blocks, float* out);
 
 /// ScoreBlocksTopK over a *permuted* snapshot: `snap` holds items in some
 /// local order (e.g. IvfIndex's cluster order) and `local_to_global[i]` is

@@ -122,12 +122,50 @@ Result<std::vector<ScoredItem>> Recommender::RecommendOne(
     if (ann_queries_metric_ != nullptr) {
       ann_queries_metric_->Inc();
       ann_probes_metric_->Inc(probes_used);
-      ann_shortlist_metric_->Inc(
-          static_cast<int64_t>(IvfIndex::CoveredItems(probes)));
+      ann_shortlist_hist_->Record(
+          static_cast<double>(IvfIndex::CoveredItems(probes)));
     }
+
+    // Quantized first pass (pq): stream the int8 codes over the shortlist,
+    // keep the top rerank_budget survivors, and narrow the exact re-rank
+    // below to just the blocks holding them. Exclusions are applied during
+    // the quantized scan (they never consume budget); min_score, deadline,
+    // and the smaller-id tie-break all live in the exact re-rank, which is
+    // the same fused mapped kernel as the plain ANN path.
+    const bool pq = options.pq && ivf.has_pq();
+    thread_local std::vector<IvfProbeRange> rerank_ranges;
+    const std::vector<IvfProbeRange>* scan_ranges = &probes;
+    if (pq) {
+      size_t budget = options.rerank_budget > 0
+                          ? static_cast<size_t>(options.rerank_budget)
+                          : static_cast<size_t>(std::max<int32_t>(
+                                1, ivf.default_rerank_budget()));
+      budget = std::max(budget, k);
+      int64_t survivors = 0;
+      Status first = ivf.QuantizedShortlist(u, probes, budget, excluded,
+                                            deadline, &rerank_ranges,
+                                            &survivors);
+      if (!first.ok()) return first;
+      if (ann_pq_queries_metric_ != nullptr) {
+        ann_pq_queries_metric_->Inc();
+        ann_rerank_hist_->Record(static_cast<double>(survivors));
+      }
+      scan_ranges = &rerank_ranges;
+    } else if (options.pq && ann_pq_fallback_metric_ != nullptr) {
+      // pq requested but the index carries no codes — plain ANN serves.
+      ann_pq_fallback_metric_->Inc();
+    }
+
     TopKAccumulator acc(k);
     ItemId scanned = 0;
-    for (const IvfProbeRange& r : probes) {
+    for (size_t ri = 0; ri < scan_ranges->size(); ++ri) {
+      // Sparse pq re-rank ranges each start on a cold block; prefetching a
+      // few ranges ahead overlaps those misses with scoring. (Plain ANN's
+      // handful of huge ranges is unaffected.)
+      if (ri + 3 < scan_ranges->size()) {
+        ivf.PrefetchRange((*scan_ranges)[ri + 3]);
+      }
+      const IvfProbeRange& r = (*scan_ranges)[ri];
       for (ItemId lo = r.begin; lo < r.end; lo += kRankerBlockItems) {
         const ItemId hi = std::min<ItemId>(r.end, lo + kRankerBlockItems);
         if (faults.armed() && faults.ShouldFire(FaultPoint::kServeSlowBlock)) {
@@ -237,9 +275,16 @@ Status Recommender::EnableIvf(const IvfOptions& options,
     Status bind = VerifyIvfBinding(model_, *ivf, "EnableIvf");
     if (!bind.ok()) return bind;
     if (verify_recall_floor > 0.0) {
+      // With pq on, gate the *composed* quantized+re-rank path — the one
+      // that will actually serve — instead of the probe-only recall.
       Status recall =
-          VerifyIvfRecall(*packed_, *ivf, verify_sample_users, recall_k,
-                          /*nprobe=*/0, verify_recall_floor, "EnableIvf");
+          options.pq
+              ? VerifyPqRecall(*packed_, *ivf, verify_sample_users, recall_k,
+                               /*nprobe=*/0, /*rerank_budget=*/0,
+                               verify_recall_floor, "EnableIvf")
+              : VerifyIvfRecall(*packed_, *ivf, verify_sample_users, recall_k,
+                                /*nprobe=*/0, verify_recall_floor,
+                                "EnableIvf");
       if (!recall.ok()) return recall;
     }
   }
@@ -258,8 +303,11 @@ void Recommender::SetMetrics(MetricsRegistry* registry) {
     latency_metric_ = nullptr;
     ann_queries_metric_ = nullptr;
     ann_probes_metric_ = nullptr;
-    ann_shortlist_metric_ = nullptr;
     ann_fallback_metric_ = nullptr;
+    ann_pq_queries_metric_ = nullptr;
+    ann_pq_fallback_metric_ = nullptr;
+    ann_shortlist_hist_ = nullptr;
+    ann_rerank_hist_ = nullptr;
     return;
   }
   queries_metric_ = registry->GetCounter("ranker.queries_total");
@@ -268,8 +316,13 @@ void Recommender::SetMetrics(MetricsRegistry* registry) {
       registry->GetHistogram("ranker.query.latency_us", LatencyBucketsUs());
   ann_queries_metric_ = registry->GetCounter("ann.queries_total");
   ann_probes_metric_ = registry->GetCounter("ann.probes_total");
-  ann_shortlist_metric_ = registry->GetCounter("ann.shortlist_items_total");
   ann_fallback_metric_ = registry->GetCounter("ann.fallback_total");
+  ann_pq_queries_metric_ = registry->GetCounter("ann.pq_queries_total");
+  ann_pq_fallback_metric_ = registry->GetCounter("ann.pq_fallback_total");
+  ann_shortlist_hist_ =
+      registry->GetHistogram("ann.shortlist_size", DrawDepthBuckets());
+  ann_rerank_hist_ =
+      registry->GetHistogram("ann.rerank_survivors", DrawDepthBuckets());
 }
 
 Result<std::vector<ScoredItem>> Recommender::Recommend(

@@ -65,6 +65,20 @@ struct QueryOptions {
   /// = higher recall, more items scanned; nprobe = num_clusters degenerates
   /// to the exact full scan.
   int32_t ann_nprobe = 0;
+  /// Quantized first-pass scoring inside the ANN shortlist: stream the int8
+  /// codes over the probe ranges, keep the top rerank_budget candidates,
+  /// then exact-fused-re-rank only the survivors. Requires `ann` and an
+  /// index built with IvfOptions::pq (a pq query against an index without
+  /// codes silently serves the plain ANN path, counted in
+  /// ann.pq_fallback_total). Lossier than plain ANN in principle — which is
+  /// why publishes gate the *composed* path's measured recall — but every
+  /// returned score is still exact.
+  bool pq = false;
+  /// Survivor count the quantized first pass hands to the exact re-rank.
+  /// 0 (default) = the index's default_rerank_budget; always clamped up to
+  /// k so the re-rank can fill every slot. A budget ≥ the shortlist
+  /// degenerates to the plain ANN path bit-identically.
+  int32_t rerank_budget = 0;
 };
 
 /// Reply from Recommender::RecommendBatchPartial: results[i] answers
@@ -170,9 +184,12 @@ class Recommender {
   /// Routes ranker telemetry into `registry`: ranker.queries_total, the
   /// ranker.query.latency_us histogram, ranker.deadline_exceeded_total, and
   /// the ANN family — ann.queries_total, ann.probes_total,
-  /// ann.shortlist_items_total, ann.fallback_total. Null (default state)
-  /// disables instrumentation. The registry is not owned and must outlive
-  /// every query; copies of the recommender share the same handles.
+  /// ann.fallback_total, ann.pq_queries_total, ann.pq_fallback_total, plus
+  /// the ann.shortlist_size and ann.rerank_survivors histograms (power-of-two
+  /// buckets), so shortlist inflation and the survivor distribution are
+  /// visible in the Prometheus/JSON exports. Null (default state) disables
+  /// instrumentation. The registry is not owned and must outlive every
+  /// query; copies of the recommender share the same handles.
   void SetMetrics(MetricsRegistry* registry);
 
   int32_t num_users() const { return model_.num_users(); }
@@ -208,8 +225,11 @@ class Recommender {
   Histogram* latency_metric_ = nullptr;
   Counter* ann_queries_metric_ = nullptr;
   Counter* ann_probes_metric_ = nullptr;
-  Counter* ann_shortlist_metric_ = nullptr;
   Counter* ann_fallback_metric_ = nullptr;
+  Counter* ann_pq_queries_metric_ = nullptr;
+  Counter* ann_pq_fallback_metric_ = nullptr;
+  Histogram* ann_shortlist_hist_ = nullptr;
+  Histogram* ann_rerank_hist_ = nullptr;
 };
 
 }  // namespace clapf

@@ -181,20 +181,35 @@ Status ModelServer::PublishCandidate(FactorModel candidate) {
     if (faults.armed() && faults.ShouldFire(FaultPoint::kAnnCorruptIndex)) {
       ivf->DesyncForTesting();
     }
+    if (options_.ivf.pq && faults.armed() &&
+        faults.ShouldFire(FaultPoint::kAnnCorruptCodes)) {
+      ivf->CorruptPqForTesting();
+    }
   }
 
   Status gate = GateCandidate(candidate, packed.get(), "serving candidate");
   if (gate.ok() && ivf != nullptr && options_.canary.enabled) {
     // ANN half of the gate: the index must be bound to this candidate's
     // exact parameter bytes, and its measured recall@k at the default
-    // nprobe must clear the contract floor vs the exact fused scan.
+    // nprobe must clear the contract floor vs the exact fused scan. With a
+    // code book on board the gate measures the *composed* quantized+re-rank
+    // path — the strictly stronger check, and the only one that can catch a
+    // corrupted or desynced code book (all structural checks pass on it).
     gate = VerifyIvfBinding(candidate, *ivf, "serving candidate");
     if (gate.ok() && options_.canary.ann_recall_floor > 0.0) {
-      gate = VerifyIvfRecall(*packed, *ivf, options_.canary.ann_recall_users,
-                             static_cast<size_t>(std::max(
-                                 1, options_.canary.ann_recall_k)),
-                             /*nprobe=*/0, options_.canary.ann_recall_floor,
-                             "serving candidate");
+      const size_t gate_k =
+          static_cast<size_t>(std::max(1, options_.canary.ann_recall_k));
+      gate = ivf->has_pq()
+                 ? VerifyPqRecall(*packed, *ivf,
+                                  options_.canary.ann_recall_users, gate_k,
+                                  /*nprobe=*/0, /*rerank_budget=*/0,
+                                  options_.canary.ann_recall_floor,
+                                  "serving candidate")
+                 : VerifyIvfRecall(*packed, *ivf,
+                                   options_.canary.ann_recall_users, gate_k,
+                                   /*nprobe=*/0,
+                                   options_.canary.ann_recall_floor,
+                                   "serving candidate");
     }
     metrics_
         .GetCounter(gate.ok() ? "ann.recall_gate_pass_total"

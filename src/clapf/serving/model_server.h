@@ -112,7 +112,11 @@ struct ServerOptions {
   /// parameters changed are reassigned (the online incremental-publish
   /// path). Off by default: index builds cost a k-means pass per publish.
   bool ann = false;
-  /// Index build knobs when `ann` is set.
+  /// Index build knobs when `ann` is set. With `ivf.pq` on, each publish
+  /// additionally trains/refreshes the per-lane int8 code book next to the
+  /// repack and the canary gate measures the *composed* quantized+re-rank
+  /// recall instead of the probe-only recall (same floor) — queries opt in
+  /// per request with QueryOptions::pq.
   IvfOptions ivf;
   CanaryOptions canary;
   BreakerOptions breaker;

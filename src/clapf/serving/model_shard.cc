@@ -97,13 +97,28 @@ Result<std::shared_ptr<ShardSlice>> ModelShard::BuildSlice(
       // index is scrambled, and only that shard's gate must refuse.
       ivf->DesyncForTesting();
     }
+    if (ann->ivf.pq && faults.armed() &&
+        faults.ShouldFire(FaultPoint::kAnnCorruptCodes)) {
+      // Code-book corruption drill: geometry and floats stay intact, so
+      // only the measured composed-recall gate below can catch it.
+      ivf->CorruptPqForTesting();
+    }
     if (ann->canary) {
       CLAPF_RETURN_IF_ERROR(VerifyIvfBinding(slice->model, *ivf, context));
       if (ann->recall_floor > 0.0) {
-        CLAPF_RETURN_IF_ERROR(VerifyIvfRecall(
-            *slice->packed, *ivf, ann->recall_users,
-            static_cast<size_t>(std::max<int32_t>(1, ann->recall_k)),
-            /*nprobe=*/0, ann->recall_floor, context));
+        const size_t gate_k =
+            static_cast<size_t>(std::max<int32_t>(1, ann->recall_k));
+        // With codes present, gate the composed quantized+re-rank path the
+        // shard will actually serve — strictly stronger than the probe-only
+        // check, since the survivors are a subset of the shortlist.
+        CLAPF_RETURN_IF_ERROR(
+            ivf->has_pq()
+                ? VerifyPqRecall(*slice->packed, *ivf, ann->recall_users,
+                                 gate_k, /*nprobe=*/0, /*rerank_budget=*/0,
+                                 ann->recall_floor, context)
+                : VerifyIvfRecall(*slice->packed, *ivf, ann->recall_users,
+                                  gate_k, /*nprobe=*/0, ann->recall_floor,
+                                  context));
       }
     }
     slice->ivf = std::move(ivf);
@@ -154,9 +169,34 @@ Result<std::vector<ScoredItem>> ModelShard::ScoreTopK(
     const size_t min_items = local_k + history_.ItemsOf(u).size() +
                              options.exclude.size();
     ivf.SelectProbes(u, options.ann_nprobe, min_items, &probes, nullptr);
+    const std::vector<IvfProbeRange>* scan_ranges = &probes;
+    if (options.pq && ivf.has_pq()) {
+      // Quantized first pass over this shard's own code book: stream the
+      // int8 codes across the probe ranges and keep only rerank_budget
+      // survivor blocks for the exact re-rank below. The cross-shard bar is
+      // deliberately NOT applied to quantized scores — quantization error
+      // could push a true global-top-k item under the bar — so the bar
+      // kicks in only at the exact stage, where it remains sound.
+      thread_local std::vector<IvfProbeRange> rerank_ranges;
+      size_t budget = options.rerank_budget > 0
+                          ? static_cast<size_t>(options.rerank_budget)
+                          : static_cast<size_t>(std::max<int32_t>(
+                                1, ivf.default_rerank_budget()));
+      budget = std::max(budget, local_k);
+      int64_t survivors = 0;
+      CLAPF_RETURN_IF_ERROR(ivf.QuantizedShortlist(
+          u, probes, budget, excluded, deadline, &rerank_ranges, &survivors));
+      scan_ranges = &rerank_ranges;
+    }
     TopKAccumulator acc(local_k);
     ItemId scanned = 0;
-    for (const IvfProbeRange& range : probes) {
+    for (size_t ri = 0; ri < scan_ranges->size(); ++ri) {
+      // Sparse pq re-rank ranges each start on a cold block; prefetching a
+      // few ranges ahead overlaps those misses with scoring.
+      if (ri + 3 < scan_ranges->size()) {
+        ivf.PrefetchRange((*scan_ranges)[ri + 3]);
+      }
+      const IvfProbeRange& range = (*scan_ranges)[ri];
       for (ItemId lo = range.begin; lo < range.end; lo += kRankerBlockItems) {
         const ItemId hi = std::min<ItemId>(range.end, lo + kRankerBlockItems);
         if (faults.armed() &&

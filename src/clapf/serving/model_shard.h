@@ -39,6 +39,9 @@ struct ShardSlice {
 /// independently — a corrupt or low-recall index refuses only its own
 /// shard's slice, never its siblings'.
 struct ShardAnnOptions {
+  /// With `ivf.pq` on, every slice gets its own code book (trained on the
+  /// shard's items, frozen across that shard's incremental rebuilds) and
+  /// the recall check below measures the composed quantized+re-rank path.
   IvfOptions ivf;
   /// Structural/binding verification plus the measured recall check below.
   bool canary = true;

@@ -34,6 +34,8 @@ const char* FaultPointName(FaultPoint point) {
       return "wal-replay-corrupt";
     case FaultPoint::kAnnCorruptIndex:
       return "ann-corrupt-index";
+    case FaultPoint::kAnnCorruptCodes:
+      return "ann-corrupt-codes";
     case FaultPoint::kNumFaultPoints:
       break;
   }

@@ -56,6 +56,10 @@ enum class FaultPoint : int {
   /// model (its local→global assignment scrambled) before the canary gate
   /// runs — the measured-recall gate must refuse the publish.
   kAnnCorruptIndex,
+  /// The freshly built quantized code book of a publish is scrambled before
+  /// the canary gate runs (geometry and floats intact, code bytes garbage) —
+  /// only the measured *composed* recall gate can refuse this one.
+  kAnnCorruptCodes,
   kNumFaultPoints,  // sentinel, keep last
 };
 

@@ -51,6 +51,11 @@ int64_t CounterValue(MetricsRegistry* metrics, const std::string& name) {
   return metrics->GetCounter(name)->Value();
 }
 
+HistogramSnapshot HistValue(MetricsRegistry* metrics,
+                            const std::string& name) {
+  return metrics->GetHistogram(name, DrawDepthBuckets())->Snapshot();
+}
+
 bool HasCanaryRejectEvent(const FlightRecorder& recorder) {
   for (const FlightEvent& event : recorder.Snapshot()) {
     if (event.kind == FlightEventKind::kCanaryReject) return true;
@@ -75,9 +80,13 @@ TEST_F(AnnServingTest, PublishBuildsGatesAndServesAnn) {
   EXPECT_EQ(got->size(), 10u);
   EXPECT_EQ(CounterValue(metrics, "ann.queries_total"), 1);
   EXPECT_GT(CounterValue(metrics, "ann.probes_total"), 0);
-  EXPECT_GT(CounterValue(metrics, "ann.shortlist_items_total"), 0);
-  // The shortlist is a strict subset of the catalog at the default nprobe.
-  EXPECT_LT(CounterValue(metrics, "ann.shortlist_items_total"), 400);
+  // The shortlist depth lands in the histogram: one recording, and its sum
+  // (total shortlisted items) is a strict subset of the catalog at the
+  // default nprobe.
+  const HistogramSnapshot shortlist = HistValue(metrics, "ann.shortlist_size");
+  EXPECT_EQ(shortlist.count, 1);
+  EXPECT_GT(shortlist.sum, 0.0);
+  EXPECT_LT(shortlist.sum, 400.0);
 }
 
 TEST_F(AnnServingTest, FullProbeAnnServesExactAnswers) {

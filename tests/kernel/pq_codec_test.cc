@@ -1,0 +1,244 @@
+// Isolation tests for the quantized first-pass codec: per-lane round-trip
+// error inside the book's half-step bound, bit-identical books and codes at
+// any build thread count, degenerate catalogs (empty, sub-block, constant
+// lane), portable-vs-AVX2 quantized kernel parity, and the smaller-local-id
+// tie-break under the coarse codes' frequent score collisions. Part of the
+// `pq` ctest label.
+#include "clapf/model/pq_codec.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clapf/model/factor_model.h"
+#include "clapf/model/ivf_index.h"
+#include "clapf/model/packed_snapshot.h"
+#include "clapf/model/score_kernel.h"
+#include "clapf/util/random.h"
+#include "testing/test_util.h"
+
+namespace clapf {
+namespace {
+
+FactorModel MakeModel(int32_t num_users, int32_t num_items,
+                      int32_t num_factors, uint64_t seed) {
+  return testing::MakeClusteredItemModel(num_users, num_items, num_factors,
+                                         /*num_centers=*/8, /*noise=*/0.1,
+                                         seed);
+}
+
+TEST(PqCodecTest, RoundTripErrorStaysWithinHalfStep) {
+  const FactorModel model = MakeModel(4, 500, 12, 7);
+  const PackedSnapshot packed = PackedSnapshot::Build(model);
+  const PqCodes codes =
+      PqCodes::Encode(packed, PqCodes::TrainBook(packed, 1), 1);
+  ASSERT_EQ(codes.num_items(), packed.num_items());
+  const int32_t lanes = packed.num_factors() + 1;
+  const float* floats = packed.block_data();
+  for (ItemId i = 0; i < packed.num_items(); ++i) {
+    const std::size_t block = static_cast<std::size_t>(i) / kPackedBlockItems;
+    const std::size_t pos = static_cast<std::size_t>(i) % kPackedBlockItems;
+    for (int32_t l = 0; l < lanes; ++l) {
+      const float exact =
+          floats[block * packed.block_stride() +
+                 static_cast<std::size_t>(l) * kPackedBlockItems + pos];
+      const float step = codes.book().scale[static_cast<size_t>(l)];
+      // Nearest-code rounding: at most half a quantization step away, plus
+      // a whisper of float slack for the affine arithmetic itself.
+      EXPECT_LE(std::abs(codes.DecodeLane(i, l) - exact),
+                step / 2.0f + 1e-5f)
+          << "item " << i << " lane " << l;
+    }
+  }
+}
+
+TEST(PqCodecTest, BookAndCodesBitIdenticalAcrossBuildThreads) {
+  const FactorModel model = MakeModel(4, 700, 16, 11);
+  const PackedSnapshot packed = PackedSnapshot::Build(model);
+  const PqCodeBook book1 = PqCodes::TrainBook(packed, 1);
+  const PqCodeBook book4 = PqCodes::TrainBook(packed, 4);
+  ASSERT_EQ(book1.num_lanes(), book4.num_lanes());
+  EXPECT_EQ(std::memcmp(book1.scale.data(), book4.scale.data(),
+                        book1.scale.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(book1.offset.data(), book4.offset.data(),
+                        book1.offset.size() * sizeof(float)),
+            0);
+  const PqCodes codes1 = PqCodes::Encode(packed, book1, 1);
+  const PqCodes codes4 = PqCodes::Encode(packed, book4, 4);
+  ASSERT_EQ(codes1.num_blocks(), codes4.num_blocks());
+  ASSERT_EQ(codes1.block_stride(), codes4.block_stride());
+  EXPECT_EQ(std::memcmp(codes1.block_codes(), codes4.block_codes(),
+                        static_cast<std::size_t>(codes1.num_blocks()) *
+                            codes1.block_stride()),
+            0);
+}
+
+TEST(PqCodecTest, EmptyCatalogEncodesToNothing) {
+  const FactorModel model(3, 0, 4);
+  const PackedSnapshot packed = PackedSnapshot::Build(model);
+  const PqCodes codes =
+      PqCodes::Encode(packed, PqCodes::TrainBook(packed, 1), 1);
+  EXPECT_EQ(codes.num_items(), 0);
+  EXPECT_EQ(codes.num_blocks(), 0);
+  EXPECT_TRUE(codes.VerifyGeometry(packed, "empty").ok());
+}
+
+TEST(PqCodecTest, CatalogSmallerThanOneBlockRoundTrips) {
+  // 5 items < kPackedBlockItems: one tail block whose pad lanes must never
+  // leak into decoded values for the real items.
+  const FactorModel model = MakeModel(2, 5, 6, 13);
+  const PackedSnapshot packed = PackedSnapshot::Build(model);
+  const PqCodes codes =
+      PqCodes::Encode(packed, PqCodes::TrainBook(packed, 1), 1);
+  EXPECT_EQ(codes.num_items(), 5);
+  EXPECT_EQ(codes.num_blocks(), 1);
+  for (ItemId i = 0; i < 5; ++i) {
+    for (int32_t l = 0; l < packed.num_factors() + 1; ++l) {
+      const float step = codes.book().scale[static_cast<size_t>(l)];
+      const float exact =
+          packed.block_data()[static_cast<std::size_t>(l) * kPackedBlockItems +
+                              static_cast<std::size_t>(i)];
+      EXPECT_LE(std::abs(codes.DecodeLane(i, l) - exact),
+                step / 2.0f + 1e-5f);
+    }
+  }
+}
+
+TEST(PqCodecTest, ConstantLaneIsDegenerateAndDecodesExactly) {
+  // Every item shares factor 0, so that lane's min == max: the book must
+  // collapse it to scale 0 and reproduce the value bit-exactly.
+  FactorModel model = MakeModel(2, 100, 4, 17);
+  for (ItemId i = 0; i < 100; ++i) model.ItemFactors(i)[0] = 0.625;
+  const PackedSnapshot packed = PackedSnapshot::Build(model);
+  const PqCodes codes =
+      PqCodes::Encode(packed, PqCodes::TrainBook(packed, 1), 1);
+  // Lane 1 is factor 0 (lane 0 is the bias strip).
+  EXPECT_EQ(codes.book().scale[1], 0.0f);
+  for (ItemId i = 0; i < 100; ++i) {
+    EXPECT_EQ(codes.DecodeLane(i, 1), 0.625f);
+  }
+}
+
+TEST(PqCodecTest, QuantizedKernelPortableMatchesAvx2) {
+  if (!ScoreKernelSupported(ScoreKernel::kAvx2)) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  const FactorModel model = MakeModel(6, 333, 16, 19);
+  const PackedSnapshot packed = PackedSnapshot::Build(model);
+  const PqCodes codes =
+      PqCodes::Encode(packed, PqCodes::TrainBook(packed, 1), 1);
+  std::vector<float> weights(static_cast<size_t>(packed.num_factors()) + 1);
+  const float base = PqPrepareQuery(codes.book(), packed.user_factors(2),
+                                    packed.num_factors(), weights.data());
+  const int32_t blocks = codes.num_blocks();
+  std::vector<float> portable(static_cast<size_t>(blocks) *
+                              kPackedBlockItems);
+  std::vector<float> avx2(portable.size());
+  ForceScoreKernel(ScoreKernel::kPortable);
+  PqScoreBlocks(codes.block_codes(), codes.block_stride(),
+                packed.num_factors(), weights.data(), base, 0, blocks,
+                portable.data());
+  ForceScoreKernel(ScoreKernel::kAvx2);
+  PqScoreBlocks(codes.block_codes(), codes.block_stride(),
+                packed.num_factors(), weights.data(), base, 0, blocks,
+                avx2.data());
+  ClearScoreKernelOverride();
+  for (size_t i = 0; i < portable.size(); ++i) {
+    // Both kernels run the identical fma-per-lane recurrence over the same
+    // int8 codes; only instruction selection differs, so agreement is tight.
+    EXPECT_NEAR(portable[i], avx2[i], 1e-4f) << "slot " << i;
+  }
+}
+
+TEST(PqCodecTest, QuantizedCollisionsBreakTiesTowardSmallerLocalIds) {
+  // Every item identical: all quantized scores collide, so the first pass
+  // must keep exactly the smallest local ids — the same deterministic
+  // tie-break the exact kernels guarantee.
+  FactorModel model(2, 64, 3);
+  Rng rng(23);
+  model.InitGaussian(rng, 0.3);
+  for (ItemId i = 1; i < 64; ++i) {
+    for (int32_t f = 0; f < 3; ++f) {
+      model.ItemFactors(i)[f] = model.ItemFactors(0)[f];
+    }
+    model.ItemBias(i) = model.ItemBias(0);
+  }
+  IvfOptions options;
+  options.num_clusters = 1;
+  options.pq = true;
+  const IvfIndex index = IvfIndex::Build(model, options);
+  ASSERT_TRUE(index.has_pq());
+  std::vector<IvfProbeRange> probes;
+  index.SelectProbes(0, 1, 10, &probes, nullptr);
+  std::vector<IvfProbeRange> rerank;
+  int64_t survivors = 0;
+  // Budget 20 < the 64-way tie: survivors must be locals 0..19, i.e. the
+  // first ceil(20/8) = 3 blocks and nothing else.
+  ASSERT_TRUE(index
+                  .QuantizedShortlist(0, probes, /*rerank_budget=*/20,
+                                      nullptr, std::nullopt, &rerank,
+                                      &survivors)
+                  .ok());
+  EXPECT_EQ(survivors, 20);
+  ASSERT_EQ(rerank.size(), 1u);
+  EXPECT_EQ(rerank[0].begin, 0);
+  EXPECT_EQ(rerank[0].end, 24);
+}
+
+TEST(PqCodecTest, BlockBoundsDominateEveryItemScoreUnderEitherKernel) {
+  // The pruning contract: for any query — negative lane weights included —
+  // a block's corner bound scored by PqScoreBoundBlocks is >= every item
+  // score PqScoreBlocks produces inside that block, bit-for-bit, because
+  // both run the same accumulation chain and IEEE rounding is monotone.
+  // Checked under each supported kernel separately (the guarantee is
+  // per-chain, and portable and AVX2 order their FMAs differently).
+  const int32_t d = 12;
+  const FactorModel model = MakeModel(6, 700, d, 31);
+  const PackedSnapshot packed = PackedSnapshot::Build(model);
+  const PqCodes codes =
+      PqCodes::Encode(packed, PqCodes::TrainBook(packed, 1), 1);
+  const int32_t lanes = d + 1;
+  const std::size_t stride = codes.block_stride();
+  Rng rng(77);
+  for (const ScoreKernel kernel : {ScoreKernel::kPortable, ScoreKernel::kAvx2}) {
+    if (!ScoreKernelSupported(kernel)) continue;
+    ForceScoreKernel(kernel);
+    for (int q = 0; q < 6; ++q) {
+      // Signed user factors so both bound arrays get exercised.
+      std::vector<float> uf(static_cast<size_t>(d));
+      for (float& v : uf) v = static_cast<float>(rng.NextGaussian());
+      std::vector<float> lane_weights(static_cast<size_t>(lanes));
+      const float base =
+          PqPrepareQuery(codes.book(), uf.data(), d, lane_weights.data());
+      std::vector<const int8_t*> lane_src(static_cast<size_t>(lanes));
+      for (int32_t l = 0; l < lanes; ++l) {
+        lane_src[static_cast<size_t>(l)] =
+            lane_weights[static_cast<size_t>(l)] >= 0.0f
+                ? codes.bound_lane_max()
+                : codes.bound_lane_min();
+      }
+      const int32_t nsb = codes.num_bound_superblocks();
+      std::vector<float> bounds(static_cast<size_t>(nsb) *
+                                kPackedBlockItems);
+      PqScoreBoundBlocks(lane_src.data(), stride, d, lane_weights.data(),
+                         base, 0, nsb, bounds.data());
+      std::vector<float> scores(
+          static_cast<size_t>(codes.num_blocks()) * kPackedBlockItems);
+      PqScoreBlocks(codes.block_codes(), stride, d, lane_weights.data(),
+                    base, 0, codes.num_blocks(), scores.data());
+      for (ItemId i = 0; i < codes.num_items(); ++i) {
+        EXPECT_GE(bounds[static_cast<size_t>(i) / kPackedBlockItems],
+                  scores[static_cast<size_t>(i)])
+            << "kernel " << ScoreKernelName(kernel) << " query " << q
+            << " item " << i;
+      }
+    }
+  }
+  ClearScoreKernelOverride();
+}
+
+}  // namespace
+}  // namespace clapf

@@ -47,10 +47,37 @@ void PopulateRegistry(MetricsRegistry* registry) {
   h->Record(0.5);    // bucket le="1"
   h->Record(2.5);    // bucket le="2.5" (inclusive)
   h->Record(100.0);  // overflow
+  // The ANN shortlist-depth family as the serving layer registers it:
+  // power-of-two draw-depth buckets, one recording per ANN query.
+  Histogram* s =
+      registry->GetHistogram("ann.shortlist_size", DrawDepthBuckets());
+  s->Record(3.0);    // bucket le="4"
+  s->Record(200.0);  // bucket le="256"
 }
 
-// Snapshot order is sorted by raw name: "serving..." < "sgd..." ('e' < 'g').
+// Snapshot order is sorted by raw name: "ann..." < "serving..." < "sgd...".
 constexpr char kGoldenPrometheus[] =
+    "# TYPE clapf_ann_shortlist_size histogram\n"
+    "clapf_ann_shortlist_size_bucket{le=\"1\"} 0\n"
+    "clapf_ann_shortlist_size_bucket{le=\"2\"} 0\n"
+    "clapf_ann_shortlist_size_bucket{le=\"4\"} 1\n"
+    "clapf_ann_shortlist_size_bucket{le=\"8\"} 1\n"
+    "clapf_ann_shortlist_size_bucket{le=\"16\"} 1\n"
+    "clapf_ann_shortlist_size_bucket{le=\"32\"} 1\n"
+    "clapf_ann_shortlist_size_bucket{le=\"64\"} 1\n"
+    "clapf_ann_shortlist_size_bucket{le=\"128\"} 1\n"
+    "clapf_ann_shortlist_size_bucket{le=\"256\"} 2\n"
+    "clapf_ann_shortlist_size_bucket{le=\"512\"} 2\n"
+    "clapf_ann_shortlist_size_bucket{le=\"1024\"} 2\n"
+    "clapf_ann_shortlist_size_bucket{le=\"2048\"} 2\n"
+    "clapf_ann_shortlist_size_bucket{le=\"4096\"} 2\n"
+    "clapf_ann_shortlist_size_bucket{le=\"8192\"} 2\n"
+    "clapf_ann_shortlist_size_bucket{le=\"16384\"} 2\n"
+    "clapf_ann_shortlist_size_bucket{le=\"32768\"} 2\n"
+    "clapf_ann_shortlist_size_bucket{le=\"65536\"} 2\n"
+    "clapf_ann_shortlist_size_bucket{le=\"+Inf\"} 2\n"
+    "clapf_ann_shortlist_size_sum 203\n"
+    "clapf_ann_shortlist_size_count 2\n"
     "# TYPE clapf_serving_query_latency_us histogram\n"
     "clapf_serving_query_latency_us_bucket{le=\"1\"} 1\n"
     "clapf_serving_query_latency_us_bucket{le=\"2.5\"} 2\n"
@@ -66,7 +93,18 @@ constexpr char kGoldenPrometheus[] =
 constexpr char kGoldenJson[] =
     "{\"counters\":{\"sgd.updates_total\":42},"
     "\"gauges\":{\"sgd.epoch_loss\":0.5},"
-    "\"histograms\":{\"serving.query.latency_us\":{"
+    "\"histograms\":{\"ann.shortlist_size\":{"
+    "\"buckets\":[{\"le\":1,\"count\":0},{\"le\":2,\"count\":0},"
+    "{\"le\":4,\"count\":1},{\"le\":8,\"count\":0},"
+    "{\"le\":16,\"count\":0},{\"le\":32,\"count\":0},"
+    "{\"le\":64,\"count\":0},{\"le\":128,\"count\":0},"
+    "{\"le\":256,\"count\":1},{\"le\":512,\"count\":0},"
+    "{\"le\":1024,\"count\":0},{\"le\":2048,\"count\":0},"
+    "{\"le\":4096,\"count\":0},{\"le\":8192,\"count\":0},"
+    "{\"le\":16384,\"count\":0},{\"le\":32768,\"count\":0},"
+    "{\"le\":65536,\"count\":0},{\"le\":\"+Inf\",\"count\":0}],"
+    "\"count\":2,\"sum\":203},"
+    "\"serving.query.latency_us\":{"
     "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":2.5,\"count\":1},"
     "{\"le\":10,\"count\":0},{\"le\":\"+Inf\",\"count\":1}],"
     "\"count\":3,\"sum\":103}}}";

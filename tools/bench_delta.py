@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Diff two Google-Benchmark JSON result files and flag regressions.
+
+Usage:
+  tools/bench_delta.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Matches benchmark rows by their full "name" and compares per-iteration
+real_time. A row whose candidate time exceeds the baseline by more than the
+threshold (default 10%) is a regression; so is a drop of more than the
+threshold in any extra counter that is better-when-larger (recall_at_10,
+items_per_second). Rows present on only one side are reported but never
+fail the run — benchmarks come and go across PRs.
+
+Exit status: 0 when no regression crosses the threshold, 1 otherwise, 2 on
+malformed input. Intended for eyeballing a before/after pair of
+results/BENCH_scoring.json captures and as a cheap CI tripwire.
+"""
+
+import argparse
+import json
+import sys
+
+# Counters where larger is better; everything else in a row is ignored.
+GAIN_COUNTERS = ("recall_at_10", "items_per_second")
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_delta: cannot read {path}: {err}")
+    rows = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) would double-count; keep the
+        # plain iteration rows only.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        rows[bench["name"]] = bench
+    if not rows:
+        sys.exit(f"bench_delta: {path} contains no benchmark rows")
+    return rows
+
+
+def fmt_time(row):
+    return f"{row['real_time']:.1f}{row.get('time_unit', 'ns')}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change that counts as a regression (default 0.10)",
+    )
+    args = parser.parse_args()
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+
+    regressions = []
+    for name in sorted(base.keys() & cand.keys()):
+        b, c = base[name], cand[name]
+        if b.get("time_unit") != c.get("time_unit"):
+            sys.exit(
+                f"bench_delta: {name} changed time_unit "
+                f"({b.get('time_unit')} -> {c.get('time_unit')}); "
+                "re-capture both sides"
+            )
+        delta = (c["real_time"] - b["real_time"]) / b["real_time"]
+        marker = ""
+        if delta > args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(name)
+        print(
+            f"{name}: {fmt_time(b)} -> {fmt_time(c)} "
+            f"({delta:+.1%}){marker}"
+        )
+        for counter in GAIN_COUNTERS:
+            if counter not in b or counter not in c or b[counter] == 0:
+                continue
+            drop = (b[counter] - c[counter]) / b[counter]
+            if drop > args.threshold:
+                regressions.append(f"{name}:{counter}")
+                print(
+                    f"{name}: {counter} {b[counter]:.4g} -> "
+                    f"{c[counter]:.4g} ({-drop:+.1%})  <-- REGRESSION"
+                )
+
+    for name in sorted(base.keys() - cand.keys()):
+        print(f"{name}: removed in candidate")
+    for name in sorted(cand.keys() - base.keys()):
+        print(f"{name}: new in candidate ({fmt_time(cand[name])})")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%}:",
+            ", ".join(regressions),
+        )
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

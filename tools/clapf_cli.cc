@@ -4,6 +4,7 @@
 //                       --model-out model.clpf --dataset-out data.clds
 //   clapf_cli evaluate  --model model.clpf --dataset data.clds
 //   clapf_cli recommend --model model.clpf --dataset data.clds --user 5 --k 10
+//                       --ann --pq --rerank-budget 256
 //   clapf_cli serve     --model model.clpf --dataset data.clds --users 1,5
 //                       --deadline-us 5000 --queue-depth 32 --min-auc 0.6
 //                       --metrics-out metrics.json --metrics-every 10
@@ -194,9 +195,10 @@ int RunEvaluate(int argc, char** argv) {
 int RunRecommend(int argc, char** argv) {
   std::string model_path = "model.clpf", dataset_path, format = "tab";
   std::string users_csv = "0", exclude_csv, metrics_out;
-  int64_t k = 10, threads = 0, nprobe = 0;
+  int64_t k = 10, threads = 0, nprobe = 0, rerank_budget = 0;
+  int64_t build_threads = 0;
   bool has_header = false, no_cold_fallback = false, packed = false;
-  bool ann = false;
+  bool ann = false, pq = false;
   FlagParser flags;
   flags.AddString("model", &model_path, "model path (.clpf)");
   flags.AddString("dataset", &dataset_path,
@@ -221,6 +223,17 @@ int RunRecommend(int argc, char** argv) {
   flags.AddInt("nprobe", &nprobe,
                "clusters probed per ANN query (0 = the index default; "
                "higher = better recall, more items scored)");
+  flags.AddBool("pq", &pq,
+                "quantized first-pass scoring inside the ANN shortlist: "
+                "stream int8 codes, exact-re-rank only the top "
+                "--rerank-budget survivors; the gate measures the composed "
+                "path's recall (requires --ann)");
+  flags.AddInt("rerank-budget", &rerank_budget,
+               "survivors the quantized pass hands to the exact re-rank "
+               "(0 = the index default; requires --pq)");
+  flags.AddInt("build-threads", &build_threads,
+               "worker threads for the IVF/code-book build (0 = the index "
+               "default of 1; the index is identical at any count)");
   flags.AddString("metrics-out", &metrics_out,
                   "dump query metrics (latency histogram, counts) as JSON to "
                   "this path");
@@ -229,6 +242,15 @@ int RunRecommend(int argc, char** argv) {
   }
   if (dataset_path.empty()) {
     return Fail(Status::InvalidArgument("--dataset required"));
+  }
+  if (pq && !ann) {
+    return Fail(Status::InvalidArgument("--pq requires --ann"));
+  }
+  if (rerank_budget != 0 && !pq) {
+    return Fail(Status::InvalidArgument("--rerank-budget requires --pq"));
+  }
+  if (build_threads != 0 && !ann) {
+    return Fail(Status::InvalidArgument("--build-threads requires --ann"));
   }
 
   auto data = LoadAnyDataset(dataset_path, format, has_header);
@@ -244,7 +266,14 @@ int RunRecommend(int argc, char** argv) {
                 ScoreKernelName(ActiveScoreKernel()));
   }
   if (ann) {
-    if (Status s = recommender->EnableIvf(IvfOptions{},
+    IvfOptions ivf_options;
+    ivf_options.pq = pq;
+    if (build_threads > 0) {
+      ivf_options.build_threads = static_cast<int>(build_threads);
+    }
+    // With --pq the 0.95 floor below gates the composed quantized+re-rank
+    // path (EnableIvf switches checks when codes are present).
+    if (Status s = recommender->EnableIvf(ivf_options,
                                           /*verify_sample_users=*/16,
                                           /*verify_recall_floor=*/0.95);
         !s.ok()) {
@@ -253,6 +282,13 @@ int RunRecommend(int argc, char** argv) {
     std::printf("ann enabled: %d clusters, default nprobe %d\n",
                 recommender->ivf_index()->num_clusters(),
                 recommender->ivf_index()->default_nprobe());
+    if (pq) {
+      std::printf("pq enabled: int8 codes, rerank budget %lld\n",
+                  static_cast<long long>(
+                      rerank_budget > 0
+                          ? rerank_budget
+                          : recommender->ivf_index()->default_rerank_budget()));
+    }
   }
   MetricsRegistry metrics;
   if (!metrics_out.empty()) recommender->SetMetrics(&metrics);
@@ -268,6 +304,8 @@ int RunRecommend(int argc, char** argv) {
   options.num_threads = static_cast<int>(threads);
   options.ann = ann;
   options.ann_nprobe = static_cast<int32_t>(nprobe);
+  options.pq = pq;
+  options.rerank_budget = static_cast<int32_t>(rerank_budget);
   if (!exclude_csv.empty()) {
     for (const std::string& tok : Split(exclude_csv, ',')) {
       auto id = ParseInt64(Trim(tok));
@@ -286,8 +324,29 @@ int RunRecommend(int argc, char** argv) {
       std::printf("  item %-8d score %.4f\n", item.item, item.score);
     }
   }
+  // Which path actually scored: a --pq request against an index without
+  // codes silently serves plain ANN, so report from the index state rather
+  // than echoing the flags.
+  const bool served_pq = pq && recommender->ivf_index() != nullptr &&
+                         recommender->ivf_index()->has_pq();
+  std::printf("scoring path: %s\n",
+              served_pq ? "ann+pq"
+                        : (ann ? "ann" : (packed ? "packed" : "exact")));
   MaybeDumpMetrics(metrics, metrics_out);
   return 0;
+}
+
+// Reports which scoring path actually answered the replayed serve queries,
+// read back from the serving counters rather than echoed from the flags —
+// a --pq run whose index carries no codes serves plain ANN and says so.
+void PrintScoringPath(MetricsRegistry* metrics, bool packed) {
+  const int64_t pq_queries =
+      metrics->GetCounter("ann.pq_queries_total")->Value();
+  const int64_t ann_queries = metrics->GetCounter("ann.queries_total")->Value();
+  std::printf("scoring path: %s\n",
+              pq_queries > 0
+                  ? "ann+pq"
+                  : (ann_queries > 0 ? "ann" : (packed ? "packed" : "exact")));
 }
 
 int RunServe(int argc, char** argv) {
@@ -297,9 +356,10 @@ int RunServe(int argc, char** argv) {
   std::string tenant = std::string(kDefaultTenant);
   int64_t k = 10, threads = 2, queue_depth = 64, repeat = 1;
   int64_t deadline_us = 0, metrics_every = 0, governor_interval_ms = 50;
-  int64_t shards = 1, per_tenant_quota = 0, nprobe = 0;
+  int64_t shards = 1, per_tenant_quota = 0, nprobe = 0, rerank_budget = 0;
+  int64_t build_threads = 0;
   double min_auc = 0.0, latency_target_ms = 5.0;
-  bool has_header = false, packed = true, ann = false;
+  bool has_header = false, packed = true, ann = false, pq = false;
   FlagParser flags;
   flags.AddString("model", &model_path, "candidate model path (.clpf)");
   flags.AddString("dataset", &dataset_path,
@@ -325,6 +385,17 @@ int RunServe(int argc, char** argv) {
                 "it below recall@10 0.95 (requires --packed)");
   flags.AddInt("nprobe", &nprobe,
                "clusters probed per ANN query (0 = the index default)");
+  flags.AddBool("pq", &pq,
+                "quantized first-pass scoring inside the ANN shortlist; "
+                "publishes train the int8 code book alongside the index and "
+                "the canary gate measures the composed quantized+re-rank "
+                "recall (requires --ann)");
+  flags.AddInt("rerank-budget", &rerank_budget,
+               "survivors the quantized pass hands to the exact re-rank "
+               "(0 = the index default; requires --pq)");
+  flags.AddInt("build-threads", &build_threads,
+               "worker threads for each publish's IVF/code-book build "
+               "(0 = the index default of 1; requires --ann)");
   flags.AddInt("repeat", &repeat, "times to replay the query set");
   flags.AddString("metrics-out", &metrics_out,
                   "dump serving metrics (latency histograms, outcome "
@@ -358,6 +429,15 @@ int RunServe(int argc, char** argv) {
   if (dataset_path.empty()) {
     return Fail(Status::InvalidArgument("--dataset required"));
   }
+  if (pq && !ann) {
+    return Fail(Status::InvalidArgument("--pq requires --ann"));
+  }
+  if (rerank_budget != 0 && !pq) {
+    return Fail(Status::InvalidArgument("--rerank-budget requires --pq"));
+  }
+  if (build_threads != 0 && !ann) {
+    return Fail(Status::InvalidArgument("--build-threads requires --ann"));
+  }
 
   auto data = LoadAnyDataset(dataset_path, format, has_header);
   if (!data.ok()) return Fail(data.status());
@@ -371,6 +451,10 @@ int RunServe(int argc, char** argv) {
   server_options.canary.min_auc = min_auc;
   server_options.packed = packed;
   server_options.ann = ann;
+  server_options.ivf.pq = pq;
+  if (build_threads > 0) {
+    server_options.ivf.build_threads = static_cast<int>(build_threads);
+  }
   server_options.governor.policy = *policy;
   server_options.governor.interval_us = governor_interval_ms * 1000;
   server_options.governor.latency_target_ms = latency_target_ms;
@@ -388,6 +472,8 @@ int RunServe(int argc, char** argv) {
   query_options.deadline = std::chrono::microseconds(deadline_us);
   query_options.ann = ann;
   query_options.ann_nprobe = static_cast<int32_t>(nprobe);
+  query_options.pq = pq;
+  query_options.rerank_budget = static_cast<int32_t>(rerank_budget);
 
   // Sharded scatter-gather front end: same publish gate, same answers
   // (bit-identical to the monolithic path), plus per-shard hot reload,
@@ -422,6 +508,7 @@ int RunServe(int argc, char** argv) {
         MaybeDumpMetrics(server.metrics(), metrics_out);
       }
     }
+    PrintScoringPath(server.mutable_metrics(), packed);
     std::printf("serving stats:\n%s\n", server.stats().ToString().c_str());
     if (!flight_dump.empty()) {
       if (Status s = server.DumpFlightRecorder(flight_dump); !s.ok()) {
@@ -470,6 +557,7 @@ int RunServe(int argc, char** argv) {
       MaybeDumpMetrics(server.metrics(), metrics_out);
     }
   }
+  PrintScoringPath(server.mutable_metrics(), packed);
   std::printf("serving stats: %s\n", server.stats().ToString().c_str());
   if (*policy != GovernorPolicy::kPerformance) {
     const GovernorKnobs knobs = server.governor().knobs();

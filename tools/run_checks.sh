@@ -31,7 +31,7 @@ STAGE="${1:-all}"
 # Every ctest label the ladder exercises. The default rung runs the entire
 # unfiltered suite; the sanitizer rungs run the labels listed in their
 # functions below. Add a new suite's label here AND to the right rung(s).
-COVERED_LABELS="faultinjection parallel serving obs kernel governor shard online ann"
+COVERED_LABELS="faultinjection parallel serving obs kernel governor shard online ann pq"
 
 check_label_coverage() {
   local declared missing=""
@@ -59,7 +59,7 @@ run_default() {
 }
 
 run_sanitize() {
-  echo "=== [2/3] sanitize preset: ASan+UBSan fault-injection + serving + obs + kernel + governor + shard + online + ann ==="
+  echo "=== [2/3] sanitize preset: ASan+UBSan fault-injection + serving + obs + kernel + governor + shard + online + ann + pq ==="
   cmake --preset sanitize >/dev/null
   cmake --build --preset sanitize -j "${JOBS}"
   ctest --preset sanitize-faultinjection
@@ -70,10 +70,11 @@ run_sanitize() {
   ctest --preset sanitize-shard
   ctest --preset sanitize-online
   ctest --preset sanitize-ann
+  ctest --preset sanitize-pq
 }
 
 run_tsan() {
-  echo "=== [3/3] tsan preset: ThreadSanitizer parallel + serving + obs + kernel + governor + shard + online + ann ==="
+  echo "=== [3/3] tsan preset: ThreadSanitizer parallel + serving + obs + kernel + governor + shard + online + ann + pq ==="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan-parallel
@@ -84,6 +85,7 @@ run_tsan() {
   ctest --preset tsan-shard
   ctest --preset tsan-online
   ctest --preset tsan-ann
+  ctest --preset tsan-pq
 }
 
 check_label_coverage
